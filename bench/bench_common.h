@@ -1,0 +1,76 @@
+#ifndef HERMES_BENCH_BENCH_COMMON_H_
+#define HERMES_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the paper-reproduction benches: flag parsing,
+// table printing, and the common experiment setup (Metis initial
+// partitioning + the Section 5.3.1 workload skew).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/profiles.h"
+#include "graph/graph.h"
+#include "partition/assignment.h"
+#include "partition/multilevel.h"
+
+namespace hermes::bench {
+
+/// Parses "--name=value" style flags; returns fallback when absent.
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline long FlagInt(int argc, char** argv, const char* name, long fallback) {
+  return static_cast<long>(FlagDouble(argc, argv, name,
+                                      static_cast<double>(fallback)));
+}
+
+/// The paper's evaluation setup (Section 5.3.1): the graph is initially
+/// partitioned by Metis on an unskewed trace; then the workload shifts so
+/// that users on one partition are read twice as often, which doubles
+/// their popularity weights and creates hotspots.
+struct SkewedExperiment {
+  DatasetProfile profile;
+  Graph graph;                    // weights already reflect the skew
+  PartitionAssignment initial;    // Metis placement from before the skew
+  PartitionId hot_partition = 0;
+};
+
+inline SkewedExperiment MakeSkewedExperiment(const DatasetProfile& profile,
+                                             PartitionId alpha,
+                                             double skew_factor = 2.0) {
+  SkewedExperiment exp;
+  exp.profile = profile;
+  exp.graph = GenerateDataset(profile);
+  MultilevelOptions mopt;
+  mopt.seed = 42;
+  exp.initial = MultilevelPartitioner(mopt).Partition(exp.graph, alpha);
+  for (VertexId v = 0; v < exp.graph.NumVertices(); ++v) {
+    if (exp.initial.PartitionOf(v) == exp.hot_partition) {
+      exp.graph.AddVertexWeight(v, (skew_factor - 1.0) *
+                                       exp.graph.VertexWeight(v));
+    }
+  }
+  return exp;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s of Nicoara et al., EDBT 2015)\n", title,
+              paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace hermes::bench
+
+#endif  // HERMES_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,74 @@
+// Figure 11 + Table 2: sensitivity to k, the per-iteration migration cap.
+// Shape to check (Section 5.3.4): larger k converges in fewer iterations
+// but degrades the load-balance factor (paper: 1.05 at k=500 to 1.16 at
+// k=2000); the final edge-cut is nearly independent of k.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "partition/aux_data.h"
+#include "partition/lightweight.h"
+#include "partition/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace hermes;
+  using namespace hermes::bench;
+  SetLogLevel(LogLevel::kWarning);
+  const double scale = FlagDouble(argc, argv, "scale", 0.2);
+  const auto alpha = static_cast<PartitionId>(FlagInt(argc, argv, "alpha", 16));
+
+  PrintHeader("Sensitivity to the per-iteration migration cap k",
+              "Figure 11 + Table 2");
+  // The paper uses k in {500, 1000, 2000} on multi-million-vertex graphs;
+  // the sweep below scales those caps to the synthetic sizes.
+  std::printf("alpha=%u partitions, scale=%.2f\n", alpha, scale);
+  std::printf(
+      "'balance*' disables the apply-time balance guard, reproducing the\n"
+      "paper's behaviour where only k bounds simultaneous-migration skew.\n\n");
+  std::printf("%-10s %8s | %12s %12s %12s %12s %12s\n", "dataset", "k",
+              "edge-cuts", "cut frac", "iterations", "balance", "balance*");
+
+  for (const char* name : {"orkut", "dblp", "twitter"}) {
+    const DatasetProfile profile = *ProfileByName(name, scale);
+    SkewedExperiment exp = MakeSkewedExperiment(profile, alpha);
+    // The paper sweeps k in {500, 1000, 2000} on multi-million-vertex
+    // graphs (k/n between ~0.017% and ~0.07%); scale the cap to keep the
+    // same regime.
+    const std::size_t base_k =
+        std::max<std::size_t>(8, exp.graph.NumVertices() / 500);
+
+    std::printf("%-10s %8s | %12zu %11.1f%% %12s %12.3f %12s\n", name,
+                "init", EdgeCut(exp.graph, exp.initial),
+                100.0 * EdgeCutFraction(exp.graph, exp.initial), "-",
+                ImbalanceFactor(exp.graph, exp.initial), "-");
+
+    for (std::size_t k : {base_k, 2 * base_k, 4 * base_k}) {
+      RepartitionerOptions ropt;
+      ropt.beta = 1.1;
+      ropt.k = k;
+
+      PartitionAssignment asg = exp.initial;
+      AuxiliaryData aux(exp.graph, asg);
+      const RepartitionResult r =
+          LightweightRepartitioner(ropt).Run(exp.graph, &asg, &aux);
+
+      // The paper's variant: only k bounds simultaneous migration.
+      RepartitionerOptions unguarded = ropt;
+      unguarded.apply_time_balance_check = false;
+      PartitionAssignment asg2 = exp.initial;
+      AuxiliaryData aux2(exp.graph, asg2);
+      LightweightRepartitioner(unguarded).Run(exp.graph, &asg2, &aux2);
+
+      std::printf("%-10s %8zu | %12zu %11.1f%% %9zu%s %12.3f %12.3f\n", "",
+                  k, EdgeCut(exp.graph, asg),
+                  100.0 * EdgeCutFraction(exp.graph, asg), r.iterations,
+                  r.converged ? "  " : " !", ImbalanceFactor(exp.graph, asg),
+                  ImbalanceFactor(exp.graph, asg2));
+    }
+  }
+  std::printf(
+      "\nShape check (Table 2 / Fig. 11): iterations fall as k grows; the\n"
+      "balance factor worsens slightly; edge-cut is ~independent of k.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 8: migration volume needed to adapt to the skew — (a) percentage
+// of vertices migrated and (b) percentage of relationships changed or
+// migrated, Hermes vs. rerunning Metis. Shape to check: Hermes moves an
+// order of magnitude less data (paper: ~2% of vertices and ~5% of
+// relationships vs. tens of percent for Metis).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "partition/aux_data.h"
+#include "partition/lightweight.h"
+#include "partition/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace hermes;
+  using namespace hermes::bench;
+  SetLogLevel(LogLevel::kWarning);
+  const double scale = FlagDouble(argc, argv, "scale", 0.2);
+  const auto alpha = static_cast<PartitionId>(FlagInt(argc, argv, "alpha", 16));
+
+  PrintHeader("Migration volume to adapt to the skew", "Figure 8a / 8b");
+  std::printf("alpha=%u partitions, scale=%.2f\n\n", alpha, scale);
+  std::printf("%-10s | %12s %12s | %12s %12s | %12s\n", "dataset",
+              "Metis vert%", "Hermes vert%", "Metis rel%", "Hermes rel%",
+              "aux KB");
+
+  for (const char* name : {"orkut", "twitter", "dblp"}) {
+    const DatasetProfile profile = *ProfileByName(name, scale);
+    SkewedExperiment exp = MakeSkewedExperiment(profile, alpha);
+    const double n = static_cast<double>(exp.graph.NumVertices());
+    const double m = static_cast<double>(exp.graph.NumEdges());
+
+    // Metis rerun; labels matched to the initial placement so only real
+    // moves count (Metis labels are arbitrary).
+    MultilevelOptions mopt;
+    mopt.seed = 7;
+    const auto metis_asg = MatchLabels(
+        exp.initial, MultilevelPartitioner(mopt).Partition(exp.graph, alpha));
+
+    PartitionAssignment hermes_asg = exp.initial;
+    AuxiliaryData aux(exp.graph, hermes_asg);
+    RepartitionerOptions ropt;
+    ropt.beta = 1.1;
+    ropt.k_fraction = 0.01;
+    const RepartitionResult run =
+        LightweightRepartitioner(ropt).Run(exp.graph, &hermes_asg, &aux);
+
+    const double metis_v = VerticesMoved(exp.initial, metis_asg) / n;
+    const double hermes_v = VerticesMoved(exp.initial, hermes_asg) / n;
+    const double metis_r =
+        RelationshipsTouched(exp.graph, exp.initial, metis_asg) / m;
+    const double hermes_r =
+        RelationshipsTouched(exp.graph, exp.initial, hermes_asg) / m;
+
+    std::printf("%-10s | %11.1f%% %11.1f%% | %11.1f%% %11.1f%% | %12.1f\n",
+                name, 100.0 * metis_v, 100.0 * hermes_v, 100.0 * metis_r,
+                100.0 * hermes_r,
+                static_cast<double>(run.aux_bytes_exchanged) / 1024.0);
+  }
+  std::printf(
+      "\nShape check: Hermes migrates a small fraction of vertices and\n"
+      "relationships; Metis reshuffles a large share of the graph. 'aux KB'\n"
+      "is the repartitioner's entire phase-one control traffic (Theorem 2's\n"
+      "lightweight claim) vs. the physical record movement both need.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// friend_recommendations: the paper's motivating 2-hop analytical query
+// (Section 5.3.2 — "recommendations, e.g., friend, events or ad
+// recommendations") written against the declarative traversal API.
+//
+// For a user u, candidates are friends-of-friends that are not yet
+// friends, ranked by the number of mutual friends. The traversal runs
+// against the distributed cluster: adjacency fetches are routed to
+// whichever server hosts each vertex.
+//
+// Run: ./build/examples/friend_recommendations
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/hermes_cluster.h"
+#include "common/logging.h"
+#include "gen/social_graph.h"
+#include "graphdb/traversal.h"
+#include "partition/multilevel.h"
+
+using namespace hermes;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  SocialGraphOptions gopt;
+  gopt.num_vertices = 4000;
+  gopt.community_mixing = 0.08;
+  gopt.triangle_closure = 0.4;  // social graphs close triangles
+  gopt.seed = 31;
+  Graph g = GenerateSocialGraph(gopt);
+  const auto placement = MultilevelPartitioner().Partition(g, 4);
+  HermesCluster cluster(std::move(g), placement);
+  const NeighborProvider provider = cluster.MakeNeighborProvider();
+
+  // Pick a reasonably social user.
+  VertexId user = 0;
+  for (VertexId v = 0; v < cluster.graph().NumVertices(); ++v) {
+    if (cluster.graph().Degree(v) >= 8) {
+      user = v;
+      break;
+    }
+  }
+
+  // Direct friends (1-hop).
+  TraversalDescription one_hop;
+  one_hop.max_depth = 1;
+  auto friends_result = Traverse(user, one_hop, provider);
+  if (!friends_result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 friends_result.status().ToString().c_str());
+    return 1;
+  }
+  std::unordered_set<VertexId> friends;
+  for (const TraversalHit& hit : friends_result->hits) {
+    if (hit.depth == 1) friends.insert(hit.node);
+  }
+  std::printf("user %llu has %zu friends\n",
+              static_cast<unsigned long long>(user), friends.size());
+
+  // Friends-of-friends with revisit counting: under Uniqueness::kNone a
+  // candidate reached through three different friends appears three times
+  // — exactly the mutual-friend count we want to rank by.
+  TraversalDescription two_hop;
+  two_hop.max_depth = 2;
+  two_hop.uniqueness = Uniqueness::kNone;
+  two_hop.include = [](VertexId, int depth) { return depth == 2; };
+  auto fof = Traverse(user, two_hop, provider);
+  if (!fof.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 fof.status().ToString().c_str());
+    return 1;
+  }
+
+  std::unordered_map<VertexId, int> mutual_count;
+  for (const TraversalHit& hit : fof->hits) {
+    if (hit.node != user && friends.count(hit.node) == 0) {
+      ++mutual_count[hit.node];
+    }
+  }
+  std::vector<std::pair<VertexId, int>> ranked(mutual_count.begin(),
+                                               mutual_count.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+
+  std::printf("processed %llu vertex records (%zu unique hits) — the\n",
+              static_cast<unsigned long long>(fof->nodes_processed),
+              fof->hits.size());
+  std::printf("response/processed gap the paper reports for 2-hop queries.\n");
+  std::printf("\ntop friend recommendations:\n");
+  for (std::size_t i = 0; i < ranked.size() && i < 10; ++i) {
+    std::printf("  user %-8llu %d mutual friends\n",
+                static_cast<unsigned long long>(ranked[i].first),
+                ranked[i].second);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the Hermes workflow on a toy social graph.
+//
+//   1. Build a graph (two friend communities bridged by one edge).
+//   2. Partition it offline with the multilevel (Metis-equivalent)
+//      partitioner.
+//   3. Simulate a popularity spike on one community (vertex weights are
+//      read counts).
+//   4. Run the lightweight repartitioner and watch it restore balance
+//      while keeping communities intact.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "graph/graph.h"
+#include "partition/aux_data.h"
+#include "partition/lightweight.h"
+#include "partition/metrics.h"
+#include "partition/multilevel.h"
+
+using namespace hermes;
+
+namespace {
+void PrintState(const char* label, const Graph& g,
+                const PartitionAssignment& asg) {
+  const auto weights = PartitionWeights(g, asg);
+  std::printf("%-28s edge-cut=%zu  imbalance=%.3f  weights=[", label,
+              EdgeCut(g, asg), ImbalanceFactor(g, asg));
+  for (std::size_t p = 0; p < weights.size(); ++p) {
+    std::printf("%s%.0f", p ? ", " : "", weights[p]);
+  }
+  std::printf("]\n");
+}
+}  // namespace
+
+int main() {
+  // Two 6-person friend groups with one acquaintance edge between them.
+  Graph g(12);
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) {
+      (void)g.AddEdge(u, v);
+      (void)g.AddEdge(6 + u, 6 + v);
+    }
+  }
+  (void)g.AddEdge(5, 6);
+
+  // Offline initial partitioning (the paper uses Metis for this step).
+  const PartitionAssignment initial =
+      MultilevelPartitioner().Partition(g, /*num_partitions=*/2);
+  PrintState("initial (multilevel)", g, initial);
+
+  // One community goes viral: its read counts triple.
+  for (VertexId v = 0; v < 6; ++v) g.SetVertexWeight(v, 3.0);
+  PrintState("after popularity spike", g, initial);
+
+  // The lightweight repartitioner fixes the imbalance using only its
+  // auxiliary data (neighbor counts per partition + partition weights).
+  PartitionAssignment asg = initial;
+  AuxiliaryData aux(g, asg);
+  RepartitionerOptions options;
+  options.beta = 1.3;  // allow 30% skew before a partition is overloaded
+  options.k = 2;       // migrate at most 2 vertices per partition per stage
+  const RepartitionResult result =
+      LightweightRepartitioner(options).Run(g, &asg, &aux);
+
+  PrintState("after repartitioning", g, asg);
+  std::printf(
+      "\nrepartitioner: %zu iterations, converged=%s, %zu vertices "
+      "physically migrated\n",
+      result.iterations, result.converged ? "yes" : "no",
+      result.net_moves.size());
+  for (const MigrationRecord& move : result.net_moves) {
+    std::printf("  vertex %llu: partition %u -> %u\n",
+                static_cast<unsigned long long>(move.vertex), move.from,
+                move.to);
+  }
+  return 0;
+}

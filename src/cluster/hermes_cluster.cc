@@ -1,0 +1,452 @@
+#include "cluster/hermes_cluster.h"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "partition/hash_partitioner.h"
+#include "partition/metrics.h"
+
+namespace hermes {
+
+HermesCluster::HermesCluster(Graph graph, PartitionAssignment assignment,
+                             Options options)
+    : graph_(std::move(graph)),
+      assignment_(std::move(assignment)),
+      aux_(graph_, assignment_),
+      options_(std::move(options)) {
+  HERMES_CHECK(assignment_.size() == graph_.NumVertices());
+  Status st = InitStores();
+  HERMES_CHECK(st.ok());
+  st = LoadStores();
+  HERMES_CHECK(st.ok());
+}
+
+HermesCluster::HermesCluster(Graph graph, PartitionAssignment assignment)
+    : HermesCluster(std::move(graph), std::move(assignment), Options{}) {}
+
+HermesCluster::HermesCluster(
+    RecoveredTag, Graph graph, PartitionAssignment assignment,
+    Options options, std::vector<std::unique_ptr<DurableGraphStore>> durable)
+    : graph_(std::move(graph)),
+      assignment_(std::move(assignment)),
+      aux_(graph_, assignment_),
+      options_(std::move(options)),
+      durable_(std::move(durable)) {
+  store_ptrs_.reserve(durable_.size());
+  for (auto& d : durable_) store_ptrs_.push_back(d->mutable_store());
+}
+
+Status HermesCluster::InitStores() {
+  const PartitionId alpha = assignment_.num_partitions();
+  store_ptrs_.clear();
+  if (durable()) {
+    for (PartitionId p = 0; p < alpha; ++p) {
+      const std::string dir =
+          options_.durability_dir + "/p" + std::to_string(p);
+      std::filesystem::create_directories(dir);
+      HERMES_ASSIGN_OR_RETURN(auto store, DurableGraphStore::Open(p, dir));
+      store_ptrs_.push_back(store->mutable_store());
+      durable_.push_back(std::move(store));
+    }
+  } else {
+    for (PartitionId p = 0; p < alpha; ++p) {
+      stores_.push_back(std::make_unique<GraphStore>(p));
+      store_ptrs_.push_back(stores_.back().get());
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<HermesCluster>> HermesCluster::Recover(
+    PartitionId num_partitions, Options options) {
+  if (options.durability_dir.empty()) {
+    return Status::InvalidArgument("Recover() needs a durability_dir");
+  }
+  std::vector<std::unique_ptr<DurableGraphStore>> durable;
+  VertexId max_id = 0;
+  bool any_node = false;
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    const std::string dir =
+        options.durability_dir + "/p" + std::to_string(p);
+    std::filesystem::create_directories(dir);
+    HERMES_ASSIGN_OR_RETURN(auto store, DurableGraphStore::Open(p, dir));
+    for (VertexId id : store->store().NodeIds()) {
+      max_id = std::max(max_id, id);
+      any_node = true;
+    }
+    durable.push_back(std::move(store));
+  }
+
+  // Rebuild the graph view and directory from the recovered records:
+  // every node record places its vertex; every non-ghost relationship
+  // record contributes its edge exactly once (full records appear in one
+  // store; cross-partition edges have one real and one ghost copy).
+  const std::size_t n = any_node ? static_cast<std::size_t>(max_id) + 1 : 0;
+  Graph graph(n);
+  PartitionAssignment assignment(n, num_partitions);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    for (const auto& node : durable[p]->store().DumpNodes()) {
+      assignment.Assign(node.id, p);
+      graph.SetVertexWeight(node.id, node.weight);
+    }
+  }
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    for (const auto& rel : durable[p]->store().DumpRelationships()) {
+      if (rel.ghost) continue;
+      const Status st = graph.AddEdge(rel.src, rel.dst);
+      if (!st.ok() && !st.IsAlreadyExists()) return st;
+    }
+  }
+  return std::unique_ptr<HermesCluster>(
+      new HermesCluster(RecoveredTag{}, std::move(graph),
+                        std::move(assignment), std::move(options),
+                        std::move(durable)));
+}
+
+Status HermesCluster::Checkpoint() {
+  if (!durable()) {
+    return Status::InvalidArgument("cluster is not durable");
+  }
+  for (auto& d : durable_) {
+    HERMES_RETURN_NOT_OK(d->Checkpoint());
+  }
+  return Status::OK();
+}
+
+// --- Mutation routing -----------------------------------------------------
+
+Status HermesCluster::DoCreateNode(PartitionId p, VertexId id, double w) {
+  return durable() ? durable_[p]->CreateNode(id, w)
+                   : store_ptrs_[p]->CreateNode(id, w);
+}
+Status HermesCluster::DoRemoveNode(PartitionId p, VertexId v) {
+  return durable() ? durable_[p]->RemoveNode(v)
+                   : store_ptrs_[p]->RemoveNode(v);
+}
+Status HermesCluster::DoSetNodeState(PartitionId p, VertexId v,
+                                     NodeState state) {
+  return durable() ? durable_[p]->SetNodeState(v, state)
+                   : store_ptrs_[p]->SetNodeState(v, state);
+}
+Status HermesCluster::DoAddNodeWeight(PartitionId p, VertexId v,
+                                      double delta) {
+  return durable() ? durable_[p]->AddNodeWeight(v, delta)
+                   : store_ptrs_[p]->AddNodeWeight(v, delta);
+}
+Result<RecordId> HermesCluster::DoAddEdge(PartitionId p, VertexId v,
+                                          VertexId other, std::uint32_t type,
+                                          bool other_is_local) {
+  return durable() ? durable_[p]->AddEdge(v, other, type, other_is_local)
+                   : store_ptrs_[p]->AddEdge(v, other, type, other_is_local);
+}
+Status HermesCluster::DoSetNodeProperty(PartitionId p, VertexId v,
+                                        std::uint32_t key,
+                                        const std::string& value) {
+  return durable() ? durable_[p]->SetNodeProperty(v, key, value)
+                   : store_ptrs_[p]->SetNodeProperty(v, key, value);
+}
+Status HermesCluster::DoSetEdgeProperty(PartitionId p, VertexId v,
+                                        VertexId other, std::uint32_t key,
+                                        const std::string& value) {
+  return durable() ? durable_[p]->SetEdgeProperty(v, other, key, value)
+                   : store_ptrs_[p]->SetEdgeProperty(v, other, key, value);
+}
+
+Status HermesCluster::LoadStores() {
+  const std::size_t n = graph_.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    HERMES_RETURN_NOT_OK(DoCreateNode(assignment_.PartitionOf(v), v,
+                                      graph_.VertexWeight(v)));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionId pv = assignment_.PartitionOf(v);
+    for (VertexId w : graph_.Neighbors(v)) {
+      if (w < v) continue;  // one pass per undirected edge
+      const PartitionId pw = assignment_.PartitionOf(w);
+      if (pv == pw) {
+        HERMES_RETURN_NOT_OK(DoAddEdge(pv, v, w, 0, true).status());
+      } else {
+        HERMES_RETURN_NOT_OK(DoAddEdge(pv, v, w, 0, false).status());
+        HERMES_RETURN_NOT_OK(DoAddEdge(pw, w, v, 0, false).status());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
+                                                               int hops) {
+  if (start >= graph_.NumVertices()) {
+    return Status::OutOfRange("start vertex out of range");
+  }
+  const PartitionId p0 = assignment_.PartitionOf(start);
+  if (!store_ptrs_[p0]->HasNode(start)) {
+    return Status::Unavailable("start vertex unavailable (mid-migration)");
+  }
+
+  TraversalRun run;
+  run.segments.emplace_back(p0, 1);
+  run.vertices_processed = 1;
+  run.unique_vertices = 1;
+
+  // Level-synchronous execution with per-server batching: at each hop the
+  // query is forwarded once to every server that hosts touched vertices
+  // (scatter-gather), not once per edge. Touching a vertex's record
+  // happens on its host, so the per-server visit counts — and the number
+  // of distinct remote servers per level — are what edge-cut controls.
+  std::unordered_set<VertexId> seen{start};
+  std::vector<VertexId> level{start};
+  PartitionId position = p0;  // server currently holding the traversal
+  for (int depth = 0; depth < hops && !level.empty(); ++depth) {
+    std::vector<VertexId> next_level;
+    std::map<PartitionId, std::uint32_t> visits_by_server;
+    for (VertexId v : level) {
+      const PartitionId pv = assignment_.PartitionOf(v);
+      auto neighbors = store_ptrs_[pv]->Neighbors(v);
+      if (!neighbors.ok()) continue;  // vertex went unavailable mid-run
+      for (VertexId w : *neighbors) {
+        ++visits_by_server[assignment_.PartitionOf(w)];
+        ++run.vertices_processed;
+        if (seen.insert(w).second) {
+          ++run.unique_vertices;
+          next_level.push_back(w);
+        }
+      }
+    }
+    // Serve the local batch first, then hop to each remote server once.
+    if (auto it = visits_by_server.find(position);
+        it != visits_by_server.end()) {
+      run.segments.back().second += it->second;
+      visits_by_server.erase(it);
+    }
+    for (const auto& [server, visits] : visits_by_server) {
+      ++run.remote_hops;
+      run.segments.emplace_back(server, visits);
+      position = server;
+    }
+    level = std::move(next_level);
+  }
+
+  if (options_.count_reads_in_weights) {
+    graph_.AddVertexWeight(start, 1.0);
+    aux_.OnVertexWeightChanged(start, 1.0, assignment_);
+    (void)DoAddNodeWeight(p0, start, 1.0);
+  }
+  return run;
+}
+
+NeighborProvider HermesCluster::MakeNeighborProvider() const {
+  return [this](VertexId v, std::optional<std::uint32_t> type)
+             -> Result<std::vector<VertexId>> {
+    if (v >= assignment_.size()) {
+      return Status::OutOfRange("vertex out of range");
+    }
+    return store_ptrs_[assignment_.PartitionOf(v)]->NeighborsByType(v, type);
+  };
+}
+
+Result<VertexId> HermesCluster::InsertVertex(double weight) {
+  const VertexId id = graph_.AddVertex(weight);
+  const PartitionId p =
+      HashPartitioner(1).PartitionFor(id, assignment_.num_partitions());
+  assignment_.AddVertex(p);
+  aux_.OnVertexAdded(p, weight);
+  HERMES_RETURN_NOT_OK(DoCreateNode(p, id, weight));
+  return id;
+}
+
+Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
+  if (u >= graph_.NumVertices() || v >= graph_.NumVertices()) {
+    return Status::OutOfRange("endpoint out of range");
+  }
+  Transaction txn = txns_.Begin();
+  // Lock both endpoints in id order to keep lock acquisition ordered;
+  // conflicting workloads still resolve deadlocks by timeout.
+  HERMES_RETURN_NOT_OK(txn.LockExclusive(std::min(u, v)));
+  HERMES_RETURN_NOT_OK(txn.LockExclusive(std::max(u, v)));
+
+  const Status st = graph_.AddEdge(u, v);
+  if (!st.ok()) {
+    txn.Abort();
+    return st;
+  }
+  const PartitionId pu = assignment_.PartitionOf(u);
+  const PartitionId pv = assignment_.PartitionOf(v);
+  if (pu == pv) {
+    HERMES_RETURN_NOT_OK(DoAddEdge(pu, u, v, type, true).status());
+  } else {
+    HERMES_RETURN_NOT_OK(DoAddEdge(pu, u, v, type, false).status());
+    HERMES_RETURN_NOT_OK(DoAddEdge(pv, v, u, type, false).status());
+  }
+  aux_.OnEdgeAdded(u, v, assignment_);
+  txn.Commit();
+  return Status::OK();
+}
+
+Result<MigrationStats> HermesCluster::RunLightweightRepartition() {
+  const PartitionAssignment before = assignment_;
+  LightweightRepartitioner repartitioner(options_.repartitioner);
+  const RepartitionResult logical =
+      repartitioner.Run(graph_, &assignment_, &aux_);
+
+  HERMES_ASSIGN_OR_RETURN(MigrationStats stats,
+                          MigrateDiff(before, assignment_));
+  stats.repartitioner_iterations = logical.iterations;
+  stats.repartitioner_converged = logical.converged;
+  stats.aux_bytes_exchanged = logical.aux_bytes_exchanged;
+  stats.edge_cut_fraction_before = logical.initial_edge_cut_fraction;
+  stats.edge_cut_fraction_after = logical.final_edge_cut_fraction;
+  stats.imbalance_before = logical.initial_imbalance;
+  stats.imbalance_after = logical.final_imbalance;
+  return stats;
+}
+
+Result<MigrationStats> HermesCluster::MigrateToAssignment(
+    const PartitionAssignment& target) {
+  if (target.size() != assignment_.size() ||
+      target.num_partitions() != assignment_.num_partitions()) {
+    return Status::InvalidArgument("assignment shape mismatch");
+  }
+  const PartitionAssignment before = assignment_;
+  assignment_ = target;
+  HERMES_ASSIGN_OR_RETURN(MigrationStats stats,
+                          MigrateDiff(before, assignment_));
+  stats.edge_cut_fraction_before = EdgeCutFraction(graph_, before);
+  stats.edge_cut_fraction_after = EdgeCutFraction(graph_, assignment_);
+  stats.imbalance_before = ImbalanceFactor(graph_, before);
+  stats.imbalance_after = ImbalanceFactor(graph_, assignment_);
+  // A global repartitioner invalidates the incremental counts; rebuild.
+  aux_ = AuxiliaryData(graph_, assignment_);
+  return stats;
+}
+
+Result<MigrationStats> HermesCluster::MigrateDiff(
+    const PartitionAssignment& before, const PartitionAssignment& after) {
+  MigrationStats stats;
+  std::vector<VertexId> moved;
+  for (VertexId v = 0; v < before.size(); ++v) {
+    if (before.PartitionOf(v) != after.PartitionOf(v)) moved.push_back(v);
+  }
+  stats.vertices_moved = moved.size();
+  stats.relationships_touched = RelationshipsTouched(graph_, before, after);
+  if (moved.empty()) return stats;
+
+  const PartitionId alpha = assignment_.num_partitions();
+  std::vector<SimTime> target_busy(alpha, 0.0);
+  std::vector<SimTime> source_busy(alpha, 0.0);
+
+  // --- Copy step: snapshot on the source, replicate on the target.
+  // Insertion-only, so every target proceeds fully in parallel
+  // (Section 3.2); the step's duration is the busiest server's time.
+  std::vector<NodeSnapshot> snapshots;
+  snapshots.reserve(moved.size());
+  for (VertexId v : moved) {
+    HERMES_ASSIGN_OR_RETURN(NodeSnapshot snap,
+                            store_ptrs_[before.PartitionOf(v)]->ExtractNode(v));
+    stats.bytes_copied += snap.WireBytes();
+    target_busy[after.PartitionOf(v)] +=
+        static_cast<SimTime>(snap.WireBytes()) * options_.net.per_byte_us +
+        static_cast<SimTime>(1 + snap.relationships.size()) *
+            options_.net.write_op_us;
+    snapshots.push_back(std::move(snap));
+  }
+  // Replicate node records first so that edges between co-migrating
+  // vertices find both endpoints present.
+  for (const NodeSnapshot& snap : snapshots) {
+    const PartitionId tp = after.PartitionOf(snap.id);
+    HERMES_RETURN_NOT_OK(DoCreateNode(tp, snap.id, snap.weight));
+    for (const auto& [key, value] : snap.properties) {
+      HERMES_RETURN_NOT_OK(DoSetNodeProperty(tp, snap.id, key, value));
+    }
+  }
+  for (const NodeSnapshot& snap : snapshots) {
+    const PartitionId tp = after.PartitionOf(snap.id);
+    for (const auto& rel : snap.relationships) {
+      const bool other_local = after.PartitionOf(rel.other) == tp;
+      auto added = DoAddEdge(tp, snap.id, rel.other, rel.type, other_local);
+      if (!added.ok()) {
+        if (added.status().IsAlreadyExists()) continue;  // co-migrated edge
+        return added.status();
+      }
+      if (rel.properties_included) {
+        for (const auto& [key, value] : rel.properties) {
+          const Status st =
+              DoSetEdgeProperty(tp, snap.id, rel.other, key, value);
+          // Ghost copies refuse properties by design.
+          if (!st.ok() && !st.IsInvalidArgument()) return st;
+        }
+      }
+    }
+  }
+  stats.copy_time_us =
+      *std::max_element(target_busy.begin(), target_busy.end());
+
+  // --- Synchronization barrier, then remove step: mark unavailable and
+  // delete the originals (queries treat unavailable records as absent, so
+  // no locks are held).
+  for (VertexId v : moved) {
+    const PartitionId sp = before.PartitionOf(v);
+    HERMES_RETURN_NOT_OK(DoSetNodeState(sp, v, NodeState::kUnavailable));
+  }
+  for (const NodeSnapshot& snap : snapshots) {
+    const PartitionId sp = before.PartitionOf(snap.id);
+    source_busy[sp] += static_cast<SimTime>(1 + snap.relationships.size()) *
+                       options_.net.write_op_us;
+    HERMES_RETURN_NOT_OK(DoRemoveNode(sp, snap.id));
+  }
+  stats.total_time_us =
+      stats.copy_time_us + options_.net.migration_barrier_us +
+      *std::max_element(source_busy.begin(), source_busy.end());
+  return stats;
+}
+
+bool HermesCluster::Validate(std::size_t sample, std::uint64_t seed) const {
+  const std::size_t n = graph_.NumVertices();
+  Rng rng(seed);
+  const bool all = (sample == 0 || sample >= n);
+  const std::size_t rounds = all ? n : sample;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const VertexId v = all ? static_cast<VertexId>(i) : rng.Uniform(n);
+    const PartitionId pv = assignment_.PartitionOf(v);
+    if (!store_ptrs_[pv]->HasNode(v)) return false;
+    // No other store may host v.
+    for (PartitionId p = 0; p < num_servers(); ++p) {
+      if (p != pv && store_ptrs_[p]->NodeExists(v)) return false;
+    }
+    auto neighbors = store_ptrs_[pv]->Neighbors(v);
+    if (!neighbors.ok()) return false;
+    std::vector<VertexId> from_store = *neighbors;
+    std::sort(from_store.begin(), from_store.end());
+    const auto expected = graph_.Neighbors(v);
+    if (from_store.size() != expected.size() ||
+        !std::equal(from_store.begin(), from_store.end(), expected.begin())) {
+      return false;
+    }
+    // Ghost discipline: cross-partition edges have exactly one ghost copy;
+    // co-located edges have a single non-ghost record.
+    for (VertexId w : expected) {
+      const PartitionId pw = assignment_.PartitionOf(w);
+      auto mine = store_ptrs_[pv]->EdgeIsGhost(v, w);
+      auto theirs = store_ptrs_[pw]->EdgeIsGhost(w, v);
+      if (!mine.ok() || !theirs.ok()) return false;
+      if (pv == pw) {
+        if (*mine || *theirs) return false;
+      } else {
+        if (*mine == *theirs) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t HermesCluster::TotalStoreBytes() const {
+  std::size_t total = 0;
+  for (const GraphStore* store : store_ptrs_) total += store->MemoryBytes();
+  return total;
+}
+
+}  // namespace hermes

@@ -1,0 +1,181 @@
+#ifndef HERMES_CLUSTER_HERMES_CLUSTER_H_
+#define HERMES_CLUSTER_HERMES_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graphdb/durable_store.h"
+#include "graphdb/graph_store.h"
+#include "graphdb/traversal.h"
+#include "partition/assignment.h"
+#include "partition/aux_data.h"
+#include "partition/lightweight.h"
+#include "sim/network.h"
+#include "txn/transaction.h"
+
+namespace hermes {
+
+/// Statistics of one physical migration epoch (copy step -> barrier ->
+/// remove step, Section 3.2).
+struct MigrationStats {
+  std::size_t vertices_moved = 0;
+  std::size_t relationships_touched = 0;
+  std::size_t bytes_copied = 0;
+  SimTime copy_time_us = 0.0;
+  SimTime total_time_us = 0.0;
+  // Filled when the move list came from the lightweight repartitioner.
+  std::size_t repartitioner_iterations = 0;
+  bool repartitioner_converged = false;
+  std::size_t aux_bytes_exchanged = 0;  // phase-one control traffic
+  double edge_cut_fraction_before = 0.0;
+  double edge_cut_fraction_after = 0.0;
+  double imbalance_before = 0.0;
+  double imbalance_after = 0.0;
+};
+
+/// The distributed Hermes deployment: `alpha` peer servers, each hosting a
+/// GraphStore shard of the social graph, plus the shared directory
+/// (PartitionAssignment), per-server auxiliary data, and transaction
+/// management (Figure 5/6). Clients connect to any server; traversals are
+/// forwarded along partition boundaries as remote hops.
+///
+/// The cluster also keeps the algorithmic `Graph` view in sync with the
+/// stores: the repartitioner runs against the auxiliary data exactly as in
+/// the paper, and physical migration runs against the stores.
+class HermesCluster {
+ public:
+  struct Options {
+    NetworkParams net;
+    RepartitionerOptions repartitioner;
+    /// Bump the start vertex's popularity weight on every read (the
+    /// paper's vertex weight = read-request count).
+    bool count_reads_in_weights = true;
+    /// When non-empty, every server's store is durable: mutations are
+    /// WAL-logged under `<durability_dir>/p<i>/` and Checkpoint() /
+    /// Recover() provide crash safety for the whole cluster.
+    std::string durability_dir;
+  };
+
+  /// Builds the cluster, loading every store with its shard (ghost
+  /// relationships created for cross-partition edges).
+  HermesCluster(Graph graph, PartitionAssignment assignment,
+                Options options);
+  HermesCluster(Graph graph, PartitionAssignment assignment);
+
+  /// Reopens a durable cluster from `options.durability_dir` after a
+  /// crash or shutdown: recovers every server's store (snapshot + WAL
+  /// tail), then rebuilds the directory, graph view, and auxiliary data
+  /// from the recovered records.
+  static Result<std::unique_ptr<HermesCluster>> Recover(
+      PartitionId num_partitions, Options options);
+
+  /// Snapshots every durable server and truncates its log. Errors when
+  /// durability is off.
+  Status Checkpoint();
+
+  bool durable() const { return !options_.durability_dir.empty(); }
+
+  PartitionId num_servers() const { return assignment_.num_partitions(); }
+  const Graph& graph() const { return graph_; }
+  const PartitionAssignment& assignment() const { return assignment_; }
+  const AuxiliaryData& aux() const { return aux_; }
+  GraphStore* store(PartitionId p) { return store_ptrs_[p]; }
+  const GraphStore* store(PartitionId p) const { return store_ptrs_[p]; }
+  TransactionManager* txn_manager() { return &txns_; }
+  const Options& options() const { return options_; }
+
+  // --- Queries ---------------------------------------------------------------
+
+  /// One executed traversal, decomposed into per-server work segments for
+  /// the timing model.
+  struct TraversalRun {
+    /// (server, vertices visited there) in execution order; consecutive
+    /// entries on different servers are remote hops.
+    std::vector<std::pair<PartitionId, std::uint32_t>> segments;
+    std::uint64_t vertices_processed = 0;
+    std::uint64_t unique_vertices = 0;  // the query response size
+    std::uint64_t remote_hops = 0;
+  };
+
+  /// Executes a `hops`-hop traversal from `start` against the stores
+  /// (walking real relationship chains) and records per-server segments.
+  /// Reads bump the start vertex's weight when configured.
+  Result<TraversalRun> ExecuteRead(VertexId start, int hops);
+
+  /// Adapter for the declarative traversal API (graphdb/traversal.h):
+  /// routes each adjacency fetch to the owning server's store, i.e. a
+  /// cluster-wide remote-traversal-capable NeighborProvider.
+  NeighborProvider MakeNeighborProvider() const;
+
+  // --- Writes ----------------------------------------------------------------
+
+  /// Creates a new vertex; placement by hash (new users have no history).
+  Result<VertexId> InsertVertex(double weight = 1.0);
+
+  /// Creates edge {u, v}, updating stores (with ghosts), the graph view,
+  /// and the auxiliary data. Takes exclusive locks on both endpoints; a
+  /// lock timeout aborts with kTimedOut (deadlock resolution).
+  Status InsertEdge(VertexId u, VertexId v, std::uint32_t type = 0);
+
+  // --- Repartitioning -----------------------------------------------------------
+
+  /// Phase 1 + 2 of the paper's algorithm: runs the lightweight
+  /// repartitioner on the auxiliary data (logical moves), then physically
+  /// migrates the net-moved vertices between stores.
+  Result<MigrationStats> RunLightweightRepartition();
+
+  /// Physically migrates stores to match `target` (used to apply an
+  /// offline Metis partitioning for comparison). Labels should already be
+  /// matched to the current assignment.
+  Result<MigrationStats> MigrateToAssignment(const PartitionAssignment& target);
+
+  /// Cross-checks stores against the graph view and directory on a sample
+  /// of `sample` vertices (0 = all). Returns false on any inconsistency.
+  bool Validate(std::size_t sample = 0, std::uint64_t seed = 1) const;
+
+  /// Total bytes across all store shards.
+  std::size_t TotalStoreBytes() const;
+
+ private:
+  /// Builds without loading stores (used by Recover()).
+  struct RecoveredTag {};
+  HermesCluster(RecoveredTag, Graph graph, PartitionAssignment assignment,
+                Options options,
+                std::vector<std::unique_ptr<DurableGraphStore>> durable);
+
+  Status InitStores();
+  Status LoadStores();
+  Result<MigrationStats> MigrateDiff(const PartitionAssignment& before,
+                                     const PartitionAssignment& after);
+
+  // Mutation helpers: route through the WAL when durability is on.
+  Status DoCreateNode(PartitionId p, VertexId id, double weight);
+  Status DoRemoveNode(PartitionId p, VertexId v);
+  Status DoSetNodeState(PartitionId p, VertexId v, NodeState state);
+  Status DoAddNodeWeight(PartitionId p, VertexId v, double delta);
+  Result<RecordId> DoAddEdge(PartitionId p, VertexId v, VertexId other,
+                             std::uint32_t type, bool other_is_local);
+  Status DoSetNodeProperty(PartitionId p, VertexId v, std::uint32_t key,
+                           const std::string& value);
+  Status DoSetEdgeProperty(PartitionId p, VertexId v, VertexId other,
+                           std::uint32_t key, const std::string& value);
+
+  Graph graph_;
+  PartitionAssignment assignment_;
+  AuxiliaryData aux_;
+  Options options_;
+  std::vector<std::unique_ptr<GraphStore>> stores_;            // in-memory mode
+  std::vector<std::unique_ptr<DurableGraphStore>> durable_;    // durable mode
+  std::vector<GraphStore*> store_ptrs_;  // uniform read access
+  TransactionManager txns_;
+  Rng rng_{0xbead5ULL};
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_CLUSTER_HERMES_CLUSTER_H_

@@ -1,0 +1,74 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hermes {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::BucketFor(double value) {
+  if (value <= 0.0) return 0;
+  // Quarter-decade log buckets spanning ~1e-8 .. ~1e24.
+  const double idx = (std::log10(value) + 8.0) * 4.0;
+  if (idx < 0.0) return 0;
+  const auto b = static_cast<std::size_t>(idx);
+  return std::min(b, kNumBuckets - 1);
+}
+
+double Histogram::BucketUpper(std::size_t bucket) {
+  return std::pow(10.0, (static_cast<double>(bucket + 1) / 4.0) - 8.0);
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative >= target) {
+      return std::min(max_, std::max(min_, BucketUpper(i)));
+    }
+  }
+  return max_;
+}
+
+}  // namespace hermes

@@ -1,0 +1,61 @@
+#ifndef HERMES_COMMON_LOGGING_H_
+#define HERMES_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hermes {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level below which log lines are dropped. Defaults to
+/// kInfo; benchmarks lower it to kWarning to keep output clean.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HERMES_LOG(level)                                          \
+  ::hermes::internal::LogMessage(::hermes::LogLevel::k##level,     \
+                                 __FILE__, __LINE__)
+
+/// Fatal invariant check: logs and aborts. Used for programming errors
+/// only; recoverable conditions use Status.
+#define HERMES_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::hermes::internal::LogMessage(::hermes::LogLevel::kError,        \
+                                     __FILE__, __LINE__)                \
+          << "Check failed: " #cond;                                    \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_LOGGING_H_

@@ -1,0 +1,18 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hermes {
+
+std::size_t SampleFromCumulative(const std::vector<double>& cumulative,
+                                 Rng* rng) {
+  assert(!cumulative.empty());
+  const double total = cumulative.back();
+  const double target = rng->NextDouble() * total;
+  auto it = std::upper_bound(cumulative.begin(), cumulative.end(), target);
+  if (it == cumulative.end()) --it;
+  return static_cast<std::size_t>(it - cumulative.begin());
+}
+
+}  // namespace hermes

@@ -1,0 +1,132 @@
+#ifndef HERMES_COMMON_STATUS_H_
+#define HERMES_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace hermes {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of status-based error handling; Hermes never throws.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kTimedOut,
+  kAborted,
+  kUnavailable,
+  kIOError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a human-readable name for a status code (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status encodes the result of an operation that can fail.
+///
+/// The OK state carries no allocation; error states hold a code and a
+/// message. Status is cheaply movable and copyable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+/// Propagates a non-OK status to the caller.
+#define HERMES_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::hermes::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+/// Usage: HERMES_ASSIGN_OR_RETURN(auto v, ComputeValue());
+#define HERMES_ASSIGN_OR_RETURN(lhs, expr)                    \
+  HERMES_ASSIGN_OR_RETURN_IMPL(                               \
+      HERMES_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define HERMES_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define HERMES_CONCAT_NAME(x, y) HERMES_CONCAT_NAME_INNER(x, y)
+#define HERMES_CONCAT_NAME_INNER(x, y) x##y
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef HERMES_COMMON_TYPES_H_
+#define HERMES_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hermes {
+
+/// Identifier of a vertex in the (global) social graph.
+using VertexId = std::uint64_t;
+
+/// Identifier of a partition (server shard). The paper calls the number of
+/// partitions alpha; it is small (typically 16), so 32 bits suffice.
+using PartitionId = std::uint32_t;
+
+/// Identifier of a stored record (relationship, property, dynamic block).
+using RecordId = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+inline constexpr RecordId kInvalidRecord =
+    std::numeric_limits<RecordId>::max();
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_TYPES_H_

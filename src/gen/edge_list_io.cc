@@ -1,0 +1,49 @@
+#include "gen/edge_list_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace hermes {
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::string line;
+  auto intern = [&remap](std::uint64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<VertexId>(remap.size()));
+    return it->second;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (!(ls >> a >> b)) {
+      return Status::IOError("malformed edge-list line: " + line);
+    }
+    edges.emplace_back(intern(a), intern(b));
+  }
+  return GraphFromEdges(remap.size(), edges);
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "# hermes edge list: " << g.NumVertices() << " vertices, "
+      << g.NumEdges() << " edges\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (w > v) out << v << " " << w << "\n";
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace hermes

@@ -1,0 +1,23 @@
+#ifndef HERMES_GEN_EDGE_LIST_IO_H_
+#define HERMES_GEN_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace hermes {
+
+/// Loads an undirected graph from a whitespace-separated edge-list file
+/// ("u v" per line; '#' comments allowed) — the common SNAP format, so the
+/// real Twitter/Orkut/DBLP crawls can be dropped in when available.
+/// Vertices are renumbered densely; duplicate edges and self-loops are
+/// skipped.
+Result<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes a graph back out in the same format.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace hermes
+
+#endif  // HERMES_GEN_EDGE_LIST_IO_H_

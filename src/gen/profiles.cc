@@ -1,0 +1,103 @@
+#include "gen/profiles.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hermes {
+
+namespace {
+std::size_t Scaled(double scale, std::size_t base) {
+  return std::max<std::size_t>(1000, static_cast<std::size_t>(
+                                         scale * static_cast<double>(base)));
+}
+}  // namespace
+
+DatasetProfile TwitterProfile(double scale, std::uint64_t seed) {
+  DatasetProfile p;
+  p.name = "twitter";
+  p.gen.num_vertices = Scaled(scale, 60000);
+  // Twitter: strong hubs (celebrities), weak communities, low clustering.
+  p.gen.power_law_exponent = 2.276;
+  p.gen.min_degree = 3;
+  p.gen.max_degree = p.gen.num_vertices / 12;
+  p.gen.community_mixing = 0.22;
+  p.gen.community_size_exponent = 2.0;
+  p.gen.min_community_size = 30;
+  p.gen.triangle_closure = 0.02;
+  p.gen.seed = seed;
+  p.paper_num_nodes = 11.3e6;
+  p.paper_num_edges = 85.3e6;
+  p.paper_symmetric_links = 0.221;
+  p.paper_avg_path_length = 4.12;
+  p.paper_clustering = -1.0;  // unpublished in Table 1
+  p.paper_power_law = 2.276;
+  return p;
+}
+
+DatasetProfile OrkutProfile(double scale, std::uint64_t seed) {
+  DatasetProfile p;
+  p.name = "orkut";
+  p.gen.num_vertices = Scaled(scale, 40000);
+  // Orkut: very heavy tail (exponent 1.18), dense, moderate clustering.
+  // Exponents this close to 1 need a tight degree cap to keep the mean
+  // finite at simulation scale.
+  p.gen.power_law_exponent = 1.5;
+  p.gen.min_degree = 5;
+  p.gen.max_degree = p.gen.num_vertices / 40;
+  p.gen.community_mixing = 0.15;
+  p.gen.community_size_exponent = 1.8;
+  p.gen.min_community_size = 40;
+  p.gen.triangle_closure = 0.10;
+  p.gen.seed = seed;
+  p.paper_num_nodes = 3e6;
+  p.paper_num_edges = 223.5e6;
+  p.paper_symmetric_links = 1.0;
+  p.paper_avg_path_length = 4.25;
+  p.paper_clustering = 0.167;
+  p.paper_power_law = 1.18;
+  return p;
+}
+
+DatasetProfile DblpProfile(double scale, std::uint64_t seed) {
+  DatasetProfile p;
+  p.name = "dblp";
+  p.gen.num_vertices = Scaled(scale, 32000);
+  // DBLP: co-authorship — small tight communities, very high clustering,
+  // steep degree distribution.
+  p.gen.power_law_exponent = 3.2;
+  p.gen.min_degree = 2;
+  p.gen.max_degree = 400;
+  p.gen.community_mixing = 0.06;
+  p.gen.community_size_exponent = 2.2;
+  p.gen.min_community_size = 8;
+  p.gen.max_community_size = 120;
+  p.gen.triangle_closure = 0.55;
+  p.gen.seed = seed;
+  p.paper_num_nodes = 317e3;
+  p.paper_num_edges = 1e6;
+  p.paper_symmetric_links = 1.0;
+  p.paper_avg_path_length = 9.2;
+  p.paper_clustering = 0.6324;
+  p.paper_power_law = 3.64;
+  return p;
+}
+
+std::vector<DatasetProfile> AllProfiles(double scale) {
+  return {OrkutProfile(scale), TwitterProfile(scale), DblpProfile(scale)};
+}
+
+Result<DatasetProfile> ProfileByName(const std::string& name, double scale) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "twitter") return TwitterProfile(scale);
+  if (lower == "orkut") return OrkutProfile(scale);
+  if (lower == "dblp") return DblpProfile(scale);
+  return Status::NotFound("unknown dataset profile: " + name);
+}
+
+Graph GenerateDataset(const DatasetProfile& profile) {
+  return GenerateSocialGraph(profile.gen);
+}
+
+}  // namespace hermes

@@ -1,0 +1,51 @@
+#ifndef HERMES_GEN_PROFILES_H_
+#define HERMES_GEN_PROFILES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gen/social_graph.h"
+#include "graph/graph.h"
+
+namespace hermes {
+
+/// A dataset profile reproduces one row of Table 1 at laptop scale. The
+/// real Twitter/Orkut/DBLP crawls are not redistributable; the generator
+/// parameters below are tuned so that the *structural properties the
+/// repartitioner is sensitive to* (degree skew, community strength,
+/// clustering) match the published characterization.
+struct DatasetProfile {
+  std::string name;
+
+  /// Generator parameters (scaled; num_vertices defaults below).
+  SocialGraphOptions gen;
+
+  // --- Published values from Table 1, recorded for comparison ------------
+  double paper_num_nodes = 0;       // in the original dataset
+  double paper_num_edges = 0;
+  double paper_symmetric_links = 0;  // fraction
+  double paper_avg_path_length = 0;
+  double paper_clustering = 0;       // < 0 when unpublished
+  double paper_power_law = 0;
+};
+
+/// Profiles for the paper's three datasets. `scale` multiplies the default
+/// vertex count (1.0 ≈ tens of thousands of vertices; keep benches fast).
+DatasetProfile TwitterProfile(double scale = 1.0, std::uint64_t seed = 11);
+DatasetProfile OrkutProfile(double scale = 1.0, std::uint64_t seed = 12);
+DatasetProfile DblpProfile(double scale = 1.0, std::uint64_t seed = 13);
+
+/// All three, in the order the paper's figures list them.
+std::vector<DatasetProfile> AllProfiles(double scale = 1.0);
+
+/// Looks a profile up by (case-insensitive) name.
+Result<DatasetProfile> ProfileByName(const std::string& name, double scale);
+
+/// Generates the graph for a profile.
+Graph GenerateDataset(const DatasetProfile& profile);
+
+}  // namespace hermes
+
+#endif  // HERMES_GEN_PROFILES_H_

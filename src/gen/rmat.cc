@@ -1,0 +1,59 @@
+#include "gen/rmat.h"
+
+#include <cstddef>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hermes {
+
+Graph GenerateRmat(const RmatOptions& opt) {
+  HERMES_CHECK(opt.scale > 0 && opt.scale < 32);
+  const std::size_t n = static_cast<std::size_t>(1) << opt.scale;
+  const auto target_edges =
+      static_cast<std::size_t>(opt.edge_factor * static_cast<double>(n));
+  Rng rng(opt.seed);
+  Graph g(n);
+
+  std::size_t placed = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_edges * 12 + 64;
+  const double ab = opt.a + opt.b;
+  const double abc = opt.a + opt.b + opt.c;
+  while (placed < target_edges && attempts < max_attempts) {
+    ++attempts;
+    std::size_t u = 0;
+    std::size_t v = 0;
+    for (std::size_t bit = 0; bit < opt.scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < opt.a) {
+        // top-left quadrant: no bits set
+      } else if (r < ab) {
+        v |= 1;
+      } else if (r < abc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (g.AddEdge(u, v).ok()) ++placed;
+  }
+
+  // Attach isolated vertices so the graph is a single usable component.
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.Degree(v) == 0) {
+      const VertexId peer = rng.Uniform(n);
+      if (peer != v) {
+        (void)g.AddEdge(v, peer);
+      } else {
+        (void)g.AddEdge(v, (v + 1) % n);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace hermes

@@ -1,0 +1,34 @@
+#ifndef HERMES_GEN_RMAT_H_
+#define HERMES_GEN_RMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace hermes {
+
+/// Recursive-matrix (R-MAT / Kronecker) generator: the standard model for
+/// heavy-tailed web/social graphs with weak community structure (used for
+/// the Twitter-like profile, which has low clustering and strong hubs).
+struct RmatOptions {
+  /// log2 of the number of vertices.
+  std::size_t scale = 14;
+
+  /// Target undirected edges per vertex.
+  double edge_factor = 8.0;
+
+  /// Quadrant probabilities; must sum to ~1. Defaults are Graph500's.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+
+  std::uint64_t seed = 1;
+};
+
+Graph GenerateRmat(const RmatOptions& options);
+
+}  // namespace hermes
+
+#endif  // HERMES_GEN_RMAT_H_

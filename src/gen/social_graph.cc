@@ -1,0 +1,154 @@
+#include "gen/social_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hermes {
+
+namespace {
+
+/// Draws community sizes from a bounded power law until they cover n
+/// vertices; the last community absorbs the remainder.
+std::vector<std::size_t> DrawCommunitySizes(const SocialGraphOptions& opt,
+                                            Rng* rng) {
+  const std::size_t n = opt.num_vertices;
+  const std::size_t max_size =
+      opt.max_community_size > 0
+          ? opt.max_community_size
+          : std::max<std::size_t>(opt.min_community_size + 1, n / 10);
+  std::vector<std::size_t> sizes;
+  std::size_t covered = 0;
+  while (covered < n) {
+    auto size = static_cast<std::size_t>(
+        rng->PowerLaw(opt.community_size_exponent,
+                      static_cast<double>(opt.min_community_size)));
+    size = std::clamp(size, opt.min_community_size, max_size);
+    size = std::min(size, n - covered);
+    sizes.push_back(size);
+    covered += size;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+Graph GenerateSocialGraph(const SocialGraphOptions& opt,
+                          std::vector<std::uint32_t>* community_of) {
+  HERMES_CHECK(opt.power_law_exponent > 1.0);
+  HERMES_CHECK(opt.num_vertices > 1);
+  Rng rng(opt.seed);
+  const std::size_t n = opt.num_vertices;
+  const std::size_t max_degree =
+      opt.max_degree > 0 ? opt.max_degree
+                         : std::max<std::size_t>(opt.min_degree + 1, n / 20);
+
+  // 1. Community layout: contiguous vertex ranges per community.
+  const std::vector<std::size_t> sizes = DrawCommunitySizes(opt, &rng);
+  std::vector<std::uint32_t> community(n);
+  std::vector<std::size_t> community_start(sizes.size());
+  {
+    std::size_t cursor = 0;
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+      community_start[c] = cursor;
+      for (std::size_t i = 0; i < sizes[c]; ++i) {
+        community[cursor + i] = static_cast<std::uint32_t>(c);
+      }
+      cursor += sizes[c];
+    }
+  }
+
+  // 2. Power-law target degrees.
+  std::vector<std::size_t> degree(n);
+  std::size_t degree_sum = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    auto d = static_cast<std::size_t>(rng.PowerLaw(
+        opt.power_law_exponent, static_cast<double>(opt.min_degree)));
+    d = std::clamp(d, opt.min_degree, max_degree);
+    degree[v] = d;
+    degree_sum += d;
+  }
+
+  // 3. Degree-weighted cumulative samplers: one global, one per community.
+  std::vector<double> global_cum(n);
+  {
+    double acc = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      acc += static_cast<double>(degree[v]);
+      global_cum[v] = acc;
+    }
+  }
+  std::vector<std::vector<double>> comm_cum(sizes.size());
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    comm_cum[c].resize(sizes[c]);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < sizes[c]; ++i) {
+      acc += static_cast<double>(degree[community_start[c] + i]);
+      comm_cum[c][i] = acc;
+    }
+  }
+
+  // 4. Edge placement (Chung-Lu flavoured): each endpoint is drawn
+  // degree-weighted; the second endpoint stays inside the community with
+  // probability 1 - mixing.
+  Graph g(n);
+  const std::size_t target_edges = degree_sum / 2;
+  std::size_t placed = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_edges * 12 + 64;
+  while (placed < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const auto u =
+        static_cast<VertexId>(SampleFromCumulative(global_cum, &rng));
+    VertexId v;
+    if (!rng.Bernoulli(opt.community_mixing)) {
+      const std::uint32_t c = community[u];
+      v = static_cast<VertexId>(community_start[c] +
+                                SampleFromCumulative(comm_cum[c], &rng));
+    } else {
+      v = static_cast<VertexId>(SampleFromCumulative(global_cum, &rng));
+    }
+    if (g.AddEdge(u, v).ok()) ++placed;
+  }
+
+  // 5. Triangle closure: close random wedges to raise clustering.
+  if (opt.triangle_closure > 0.0) {
+    const auto extra = static_cast<std::size_t>(
+        opt.triangle_closure * static_cast<double>(g.NumEdges()));
+    std::size_t closed = 0;
+    attempts = 0;
+    const std::size_t closure_attempts = extra * 12 + 64;
+    while (closed < extra && attempts < closure_attempts) {
+      ++attempts;
+      const VertexId w = rng.Uniform(n);
+      const auto neigh = g.Neighbors(w);
+      if (neigh.size() < 2) continue;
+      const VertexId a = neigh[rng.Uniform(neigh.size())];
+      const VertexId b = neigh[rng.Uniform(neigh.size())];
+      if (a != b && g.AddEdge(a, b).ok()) ++closed;
+    }
+  }
+
+  // 6. Stitch isolated vertices into their community so traversals and BFS
+  // statistics see one big component.
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.Degree(v) == 0) {
+      const std::uint32_t c = community[v];
+      const VertexId peer = static_cast<VertexId>(
+          community_start[c] + SampleFromCumulative(comm_cum[c], &rng));
+      if (peer != v) {
+        (void)g.AddEdge(v, peer);
+      } else {
+        (void)g.AddEdge(v, (v + 1) % n);
+      }
+    }
+  }
+
+  if (community_of != nullptr) *community_of = std::move(community);
+  return g;
+}
+
+}  // namespace hermes

@@ -1,0 +1,78 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace hermes {
+
+namespace {
+void AddSorted(std::vector<VertexId>* list, VertexId value) {
+  auto it = std::lower_bound(list->begin(), list->end(), value);
+  list->insert(it, value);
+}
+}  // namespace
+
+VertexId Graph::AddVertex(double weight) {
+  adjacency_.emplace_back();
+  weights_.push_back(weight);
+  total_weight_ += weight;
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+Status Graph::AddEdge(VertexId u, VertexId v) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loops are not allowed");
+  }
+  if (HasEdge(u, v)) {
+    return Status::AlreadyExists("edge already present");
+  }
+  AddSorted(&adjacency_[u], v);
+  AddSorted(&adjacency_[v], u);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status Graph::RemoveEdge(VertexId u, VertexId v) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  auto& au = adjacency_[u];
+  auto it = std::lower_bound(au.begin(), au.end(), v);
+  if (it == au.end() || *it != v) {
+    return Status::NotFound("edge not present");
+  }
+  au.erase(it);
+  auto& av = adjacency_[v];
+  av.erase(std::lower_bound(av.begin(), av.end(), u));
+  --num_edges_;
+  return Status::OK();
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
+  const auto& a = adjacency_[u];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+double Graph::RecomputeTotalWeight() {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  total_weight_ = total;
+  return total;
+}
+
+Graph GraphFromEdges(std::size_t n,
+                     const std::vector<std::pair<VertexId, VertexId>>& edges,
+                     std::size_t* skipped) {
+  Graph g(n);
+  std::size_t dropped = 0;
+  for (const auto& [u, v] : edges) {
+    if (!g.AddEdge(u, v).ok()) ++dropped;
+  }
+  if (skipped != nullptr) *skipped = dropped;
+  return g;
+}
+
+}  // namespace hermes

@@ -1,0 +1,86 @@
+#ifndef HERMES_GRAPH_GRAPH_H_
+#define HERMES_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hermes {
+
+/// In-memory undirected graph with per-vertex weights.
+///
+/// This is the algorithmic representation used by the partitioners and the
+/// workload generators: vertices are dense indices [0, NumVertices());
+/// adjacency is stored as per-vertex neighbor vectors. Vertex weights model
+/// access popularity (read-request counts), per Section 2.1 of the paper.
+///
+/// The graph is mutable: social networks evolve (new users, new
+/// friendships), and the dynamic experiments add vertices/edges online.
+/// Edge insertion keeps each adjacency list sorted so that HasEdge and
+/// deduplication are O(log degree).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Constructs a graph with `n` vertices of weight 1 and no edges.
+  explicit Graph(std::size_t n) : adjacency_(n), weights_(n, 1.0) {
+    total_weight_ = static_cast<double>(n);
+  }
+
+  /// Adds a vertex and returns its id. O(1) amortized.
+  VertexId AddVertex(double weight = 1.0);
+
+  /// Adds an undirected edge {u, v}. Rejects self-loops, duplicate edges,
+  /// and out-of-range endpoints.
+  Status AddEdge(VertexId u, VertexId v);
+
+  /// Removes the undirected edge {u, v} if present.
+  Status RemoveEdge(VertexId u, VertexId v);
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  std::size_t NumVertices() const { return adjacency_.size(); }
+  std::size_t NumEdges() const { return num_edges_; }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+  std::size_t Degree(VertexId v) const { return adjacency_[v].size(); }
+
+  double VertexWeight(VertexId v) const { return weights_[v]; }
+  void SetVertexWeight(VertexId v, double w) {
+    total_weight_ += w - weights_[v];
+    weights_[v] = w;
+  }
+  void AddVertexWeight(VertexId v, double delta) {
+    weights_[v] += delta;
+    total_weight_ += delta;
+  }
+
+  /// Sum of all vertex weights.
+  double TotalWeight() const { return total_weight_; }
+
+  /// Recomputes the cached total weight (exact); useful after bulk edits in
+  /// tests to guard against drift.
+  double RecomputeTotalWeight();
+
+ private:
+  std::vector<std::vector<VertexId>> adjacency_;
+  std::vector<double> weights_;
+  std::size_t num_edges_ = 0;
+  double total_weight_ = 0.0;
+};
+
+/// Convenience constructor from an edge list; vertices are 0..n-1.
+/// Ignores duplicate edges and self-loops (returns the count it skipped via
+/// `skipped`, which may be null).
+Graph GraphFromEdges(std::size_t n,
+                     const std::vector<std::pair<VertexId, VertexId>>& edges,
+                     std::size_t* skipped = nullptr);
+
+}  // namespace hermes
+
+#endif  // HERMES_GRAPH_GRAPH_H_

@@ -1,0 +1,125 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace hermes {
+
+double LocalClusteringCoefficient(const Graph& g, VertexId v) {
+  const auto neigh = g.Neighbors(v);
+  const std::size_t d = neigh.size();
+  if (d < 2) return 0.0;
+  std::size_t closed = 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      if (g.HasEdge(neigh[i], neigh[j])) ++closed;
+    }
+  }
+  return 2.0 * static_cast<double>(closed) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double ClusteringCoefficient(const Graph& g, std::size_t samples, Rng* rng) {
+  const std::size_t n = g.NumVertices();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  if (samples == 0 || samples >= n) {
+    for (VertexId v = 0; v < n; ++v) sum += LocalClusteringCoefficient(g, v);
+    return sum / static_cast<double>(n);
+  }
+  for (std::size_t i = 0; i < samples; ++i) {
+    sum += LocalClusteringCoefficient(g, rng->Uniform(n));
+  }
+  return sum / static_cast<double>(samples);
+}
+
+double AveragePathLength(const Graph& g, std::size_t sources, Rng* rng) {
+  const std::size_t n = g.NumVertices();
+  if (n < 2) return 0.0;
+  const bool all = (sources == 0 || sources >= n);
+  const std::size_t rounds = all ? n : sources;
+
+  double total = 0.0;
+  std::uint64_t pairs = 0;
+  std::vector<std::uint32_t> dist(n);
+  constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const VertexId src = all ? static_cast<VertexId>(r) : rng->Uniform(n);
+    std::fill(dist.begin(), dist.end(), kUnvisited);
+    dist[src] = 0;
+    std::deque<VertexId> queue{src};
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId w : g.Neighbors(u)) {
+        if (dist[w] == kUnvisited) {
+          dist[w] = dist[u] + 1;
+          total += dist[w];
+          ++pairs;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+double PowerLawExponent(const Graph& g, std::size_t d_min) {
+  // Discrete MLE approximation: alpha = 1 + m / sum(ln(d_i / (d_min - 0.5))).
+  const std::size_t n = g.NumVertices();
+  d_min = std::max<std::size_t>(1, d_min);
+  double log_sum = 0.0;
+  std::size_t m = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t d = g.Degree(v);
+    if (d >= d_min) {
+      log_sum += std::log(static_cast<double>(d) /
+                          (static_cast<double>(d_min) - 0.5));
+      ++m;
+    }
+  }
+  if (m < 2 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(m) / log_sum;
+}
+
+double LargestComponentLowerBound(const Graph& g) {
+  const std::size_t n = g.NumVertices();
+  if (n == 0) return 0.0;
+  std::vector<bool> seen(n, false);
+  std::deque<VertexId> queue{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId w : g.Neighbors(u)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        queue.push_back(w);
+      }
+    }
+  }
+  return static_cast<double>(visited) / static_cast<double>(n);
+}
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  const std::size_t n = g.NumVertices();
+  if (n == 0) return stats;
+  stats.min = std::numeric_limits<std::size_t>::max();
+  std::size_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t d = g.Degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    total += d;
+  }
+  stats.mean = static_cast<double>(total) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace hermes

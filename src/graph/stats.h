@@ -1,0 +1,46 @@
+#ifndef HERMES_GRAPH_STATS_H_
+#define HERMES_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace hermes {
+
+/// Graph statistics matching Table 1 of the paper: average path length,
+/// clustering coefficient, and power-law (degree-distribution) coefficient.
+
+/// Local clustering coefficient of a single vertex: fraction of pairs of
+/// neighbors that are themselves connected. 0 for degree < 2.
+double LocalClusteringCoefficient(const Graph& g, VertexId v);
+
+/// Average local clustering coefficient over `samples` vertices drawn
+/// uniformly (or over all vertices when samples == 0 or >= n).
+double ClusteringCoefficient(const Graph& g, std::size_t samples, Rng* rng);
+
+/// Average shortest-path length estimated by BFS from `sources` sampled
+/// start vertices (all vertices when sources == 0 or >= n). Unreachable
+/// pairs are excluded. Returns 0 for graphs with < 2 vertices.
+double AveragePathLength(const Graph& g, std::size_t sources, Rng* rng);
+
+/// Maximum-likelihood estimate of the power-law exponent of the degree
+/// distribution (Clauset-Shalizi-Newman discrete approximation) using
+/// degrees >= d_min. Returns 0 when fewer than 2 vertices qualify.
+double PowerLawExponent(const Graph& g, std::size_t d_min = 1);
+
+/// Fraction of vertices reachable from vertex 0 (connectivity check).
+double LargestComponentLowerBound(const Graph& g);
+
+/// Degree summary.
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+};
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+}  // namespace hermes
+
+#endif  // HERMES_GRAPH_STATS_H_

@@ -1,0 +1,345 @@
+#include "graphdb/durable_store.h"
+
+#include <cstring>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace hermes {
+
+namespace {
+
+constexpr std::uint64_t kSnapshotMagic = 0x4845524d45533032ULL;  // "HERMES02"
+
+// Snapshot I/O goes through the page cache (storage/page_cache.h) so bulk
+// store reads/writes exercise the buffer-management layer like any other
+// store file. Header layout on page 0: [magic u64][partition u32]
+// [pad u32][content_length u64], content follows at byte 24.
+constexpr std::uint64_t kSnapshotHeaderBytes = 24;
+constexpr std::size_t kSnapshotCachePages = 64;
+
+void WriteU64(PagedWriter& out, std::uint64_t v) {
+  out.Append(&v, sizeof(v));
+}
+void WriteU32(PagedWriter& out, std::uint32_t v) {
+  out.Append(&v, sizeof(v));
+}
+void WriteF64(PagedWriter& out, double v) { out.Append(&v, sizeof(v)); }
+void WriteString(PagedWriter& out, const std::string& s) {
+  WriteU32(out, static_cast<std::uint32_t>(s.size()));
+  out.Append(s.data(), s.size());
+}
+
+bool ReadU64(PagedReader& in, std::uint64_t* v) {
+  return in.Read(v, sizeof(*v));
+}
+bool ReadU32(PagedReader& in, std::uint32_t* v) {
+  return in.Read(v, sizeof(*v));
+}
+bool ReadF64(PagedReader& in, double* v) { return in.Read(v, sizeof(*v)); }
+bool ReadString(PagedReader& in, std::string* s) {
+  std::uint32_t size = 0;
+  if (!ReadU32(in, &size) || size > (1u << 28)) return false;
+  s->resize(size);
+  return size == 0 || in.Read(s->data(), size);
+}
+
+using Properties = std::vector<std::pair<std::uint32_t, std::string>>;
+
+void WriteProperties(PagedWriter& out, const Properties& props) {
+  WriteU32(out, static_cast<std::uint32_t>(props.size()));
+  for (const auto& [key, value] : props) {
+    WriteU32(out, key);
+    WriteString(out, value);
+  }
+}
+
+bool ReadProperties(PagedReader& in, Properties* props) {
+  std::uint32_t count = 0;
+  if (!ReadU32(in, &count) || count > (1u << 24)) return false;
+  props->clear();
+  props->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t key = 0;
+    std::string value;
+    if (!ReadU32(in, &key) || !ReadString(in, &value)) return false;
+    props->emplace_back(key, std::move(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+Status DurableGraphStore::WriteSnapshot(const GraphStore& store,
+                                        const std::string& path) {
+  // Write to a temp file then rename for atomicity.
+  const std::string tmp = path + ".tmp";
+  std::remove(tmp.c_str());
+  {
+    HERMES_ASSIGN_OR_RETURN(PagedFile file, PagedFile::Open(tmp));
+    PageCache cache(&file, kSnapshotCachePages);
+    PagedWriter out(&cache);
+
+    // Header placeholder; patched once the content length is known.
+    const std::uint64_t zero64 = 0;
+    WriteU64(out, zero64);  // magic
+    WriteU32(out, 0);       // partition
+    WriteU32(out, 0);       // pad
+    WriteU64(out, zero64);  // content length
+
+    const auto nodes = store.DumpNodes();
+    WriteU64(out, nodes.size());
+    for (const auto& n : nodes) {
+      WriteU64(out, n.id);
+      WriteF64(out, n.weight);
+      WriteU32(out, static_cast<std::uint32_t>(n.state));
+      WriteProperties(out, n.properties);
+    }
+    const auto rels = store.DumpRelationships();
+    WriteU64(out, rels.size());
+    for (const auto& r : rels) {
+      WriteU64(out, r.src);
+      WriteU64(out, r.dst);
+      WriteU32(out, r.type);
+      WriteU32(out, r.ghost ? 1 : 0);
+      WriteProperties(out, r.properties);
+    }
+    const std::uint64_t total = out.position();
+    HERMES_RETURN_NOT_OK(out.Finish());
+
+    // Patch the header in place (page 0 round-trips the cache again).
+    HERMES_ASSIGN_OR_RETURN(Page * header, cache.Pin(0));
+    const std::uint32_t partition = store.partition_id();
+    const std::uint64_t content = total - kSnapshotHeaderBytes;
+    std::memcpy(header->bytes.data(), &kSnapshotMagic, sizeof(std::uint64_t));
+    std::memcpy(header->bytes.data() + 8, &partition, sizeof(partition));
+    std::memcpy(header->bytes.data() + 16, &content, sizeof(content));
+    cache.Unpin(0, /*dirty=*/true);
+    HERMES_RETURN_NOT_OK(cache.FlushAll());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("snapshot rename failed");
+  }
+  return Status::OK();
+}
+
+Status DurableGraphStore::LoadSnapshot(const std::string& path,
+                                       GraphStore* store) {
+  if (!std::filesystem::exists(path)) {
+    return Status::NotFound("no snapshot at " + path);
+  }
+  HERMES_ASSIGN_OR_RETURN(PagedFile file, PagedFile::Open(path));
+  PageCache cache(&file, kSnapshotCachePages);
+  PagedReader in(&cache, file.NumPages() * kPageSize);
+
+  std::uint64_t magic = 0;
+  std::uint32_t partition = 0;
+  std::uint32_t pad = 0;
+  std::uint64_t content_length = 0;
+  if (!ReadU64(in, &magic) || magic != kSnapshotMagic ||
+      !ReadU32(in, &partition) || !ReadU32(in, &pad) ||
+      !ReadU64(in, &content_length)) {
+    return Status::IOError("bad snapshot header");
+  }
+
+  std::uint64_t node_count = 0;
+  if (!ReadU64(in, &node_count)) return Status::IOError("truncated snapshot");
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    std::uint64_t id = 0;
+    double weight = 0.0;
+    std::uint32_t state = 0;
+    Properties props;
+    if (!ReadU64(in, &id) || !ReadF64(in, &weight) || !ReadU32(in, &state) ||
+        !ReadProperties(in, &props)) {
+      return Status::IOError("truncated snapshot (nodes)");
+    }
+    HERMES_RETURN_NOT_OK(store->CreateNode(id, weight));
+    HERMES_RETURN_NOT_OK(
+        store->SetNodeState(id, static_cast<NodeState>(state)));
+    for (const auto& [key, value] : props) {
+      HERMES_RETURN_NOT_OK(store->SetNodeProperty(id, key, value));
+    }
+  }
+
+  std::uint64_t rel_count = 0;
+  if (!ReadU64(in, &rel_count)) return Status::IOError("truncated snapshot");
+  for (std::uint64_t i = 0; i < rel_count; ++i) {
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    std::uint32_t type = 0;
+    std::uint32_t ghost = 0;
+    Properties props;
+    if (!ReadU64(in, &src) || !ReadU64(in, &dst) || !ReadU32(in, &type) ||
+        !ReadU32(in, &ghost) || !ReadProperties(in, &props)) {
+      return Status::IOError("truncated snapshot (relationships)");
+    }
+    // Full records have both endpoints locally; half records exactly one.
+    const bool src_local = store->NodeExists(src);
+    const bool dst_local = store->NodeExists(dst);
+    Result<RecordId> added = Status::Internal("unset");
+    if (src_local && dst_local) {
+      added = store->AddEdge(src, dst, type, /*other_is_local=*/true);
+    } else if (src_local) {
+      added = store->AddEdge(src, dst, type, /*other_is_local=*/false);
+    } else if (dst_local) {
+      added = store->AddEdge(dst, src, type, /*other_is_local=*/false);
+    } else {
+      return Status::IOError("snapshot relationship with no local endpoint");
+    }
+    HERMES_RETURN_NOT_OK(added.status());
+    for (const auto& [key, value] : props) {
+      const Status st = store->SetEdgeProperty(src_local ? src : dst,
+                                               src_local ? dst : src, key,
+                                               value);
+      if (!st.ok() && !st.IsInvalidArgument()) return st;  // ghost: no props
+    }
+  }
+  if (in.position() != kSnapshotHeaderBytes + content_length) {
+    return Status::IOError("snapshot length mismatch");
+  }
+  return Status::OK();
+}
+
+Status DurableGraphStore::Replay(const WalEntry& e, GraphStore* store) {
+  switch (e.type) {
+    case WalOpType::kCreateNode:
+      return store->CreateNode(e.a, e.weight);
+    case WalOpType::kRemoveNode:
+      return store->RemoveNode(e.a);
+    case WalOpType::kSetNodeState:
+      return store->SetNodeState(e.a, static_cast<NodeState>(e.flag));
+    case WalOpType::kAddNodeWeight:
+      return store->AddNodeWeight(e.a, e.weight);
+    case WalOpType::kAddEdge:
+      return store->AddEdge(e.a, e.b, e.key, e.flag != 0).status();
+    case WalOpType::kRemoveEdge:
+      return store->RemoveEdge(e.a, e.b);
+    case WalOpType::kSetNodeProperty:
+      return store->SetNodeProperty(e.a, e.key, e.payload);
+    case WalOpType::kSetEdgeProperty:
+      return store->SetEdgeProperty(e.a, e.b, e.key, e.payload);
+    case WalOpType::kCheckpoint:
+      return Status::OK();
+  }
+  return Status::Internal("unknown WAL entry type");
+}
+
+Result<std::unique_ptr<DurableGraphStore>> DurableGraphStore::Open(
+    PartitionId partition_id, const std::string& dir) {
+  auto store = std::make_unique<GraphStore>(partition_id);
+  const std::string snapshot_path = dir + "/snapshot.bin";
+  const std::string wal_path = dir + "/wal.log";
+
+  // 1. Latest snapshot (if any).
+  const Status snap = LoadSnapshot(snapshot_path, store.get());
+  if (!snap.ok() && !snap.IsNotFound()) return snap;
+
+  // 2. Replay the log tail after the last checkpoint. A missing log just
+  // means a fresh store.
+  auto entries = WriteAheadLog::ReadAll(wal_path,
+                                        /*after_last_checkpoint=*/true);
+  if (entries.ok()) {
+    for (const WalEntry& e : *entries) {
+      const Status st = Replay(e, store.get());
+      // Replay is idempotent-ish: an entry already reflected in the
+      // snapshot (log not yet truncated) may fail with AlreadyExists.
+      if (!st.ok() && !st.IsAlreadyExists() && !st.IsNotFound()) return st;
+    }
+  }
+
+  HERMES_ASSIGN_OR_RETURN(WriteAheadLog wal, WriteAheadLog::Open(wal_path));
+  return std::unique_ptr<DurableGraphStore>(new DurableGraphStore(
+      partition_id, dir, std::move(store),
+      std::make_unique<WriteAheadLog>(std::move(wal))));
+}
+
+Status DurableGraphStore::Checkpoint() {
+  HERMES_RETURN_NOT_OK(WriteSnapshot(*store_, dir_ + "/snapshot.bin"));
+  HERMES_RETURN_NOT_OK(wal_->LogCheckpoint().status());
+  return wal_->Reset();
+}
+
+Status DurableGraphStore::CreateNode(VertexId id, double weight) {
+  WalEntry e;
+  e.type = WalOpType::kCreateNode;
+  e.a = id;
+  e.weight = weight;
+  HERMES_RETURN_NOT_OK(Log(std::move(e)));
+  return store_->CreateNode(id, weight);
+}
+
+Status DurableGraphStore::RemoveNode(VertexId v) {
+  WalEntry e;
+  e.type = WalOpType::kRemoveNode;
+  e.a = v;
+  HERMES_RETURN_NOT_OK(Log(std::move(e)));
+  return store_->RemoveNode(v);
+}
+
+Status DurableGraphStore::SetNodeState(VertexId id, NodeState state) {
+  WalEntry e;
+  e.type = WalOpType::kSetNodeState;
+  e.a = id;
+  e.flag = static_cast<std::uint8_t>(state);
+  HERMES_RETURN_NOT_OK(Log(std::move(e)));
+  return store_->SetNodeState(id, state);
+}
+
+Status DurableGraphStore::AddNodeWeight(VertexId id, double delta) {
+  WalEntry e;
+  e.type = WalOpType::kAddNodeWeight;
+  e.a = id;
+  e.weight = delta;
+  HERMES_RETURN_NOT_OK(Log(std::move(e)));
+  return store_->AddNodeWeight(id, delta);
+}
+
+Result<RecordId> DurableGraphStore::AddEdge(VertexId v, VertexId other,
+                                            std::uint32_t type,
+                                            bool other_is_local) {
+  WalEntry e;
+  e.type = WalOpType::kAddEdge;
+  e.a = v;
+  e.b = other;
+  e.key = type;
+  e.flag = other_is_local ? 1 : 0;
+  HERMES_RETURN_NOT_OK(Log(std::move(e)));
+  return store_->AddEdge(v, other, type, other_is_local);
+}
+
+Status DurableGraphStore::RemoveEdge(VertexId v, VertexId other) {
+  WalEntry e;
+  e.type = WalOpType::kRemoveEdge;
+  e.a = v;
+  e.b = other;
+  HERMES_RETURN_NOT_OK(Log(std::move(e)));
+  return store_->RemoveEdge(v, other);
+}
+
+Status DurableGraphStore::SetNodeProperty(VertexId id, std::uint32_t key,
+                                          const std::string& value) {
+  WalEntry e;
+  e.type = WalOpType::kSetNodeProperty;
+  e.a = id;
+  e.key = key;
+  e.payload = value;
+  HERMES_RETURN_NOT_OK(Log(std::move(e)));
+  return store_->SetNodeProperty(id, key, value);
+}
+
+Status DurableGraphStore::SetEdgeProperty(VertexId v, VertexId other,
+                                          std::uint32_t key,
+                                          const std::string& value) {
+  WalEntry e;
+  e.type = WalOpType::kSetEdgeProperty;
+  e.a = v;
+  e.b = other;
+  e.key = key;
+  e.payload = value;
+  HERMES_RETURN_NOT_OK(Log(std::move(e)));
+  return store_->SetEdgeProperty(v, other, key, value);
+}
+
+}  // namespace hermes

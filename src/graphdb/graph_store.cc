@@ -1,0 +1,481 @@
+#include "graphdb/graph_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hermes {
+
+GraphStore::GraphStore(PartitionId partition_id)
+    : partition_id_(partition_id),
+      rel_ids_(partition_id),
+      prop_ids_(partition_id) {}
+
+// --- Nodes -------------------------------------------------------------------
+
+Status GraphStore::CreateNode(VertexId id, double weight) {
+  NodeRecord record;
+  record.in_use = true;
+  record.state = NodeState::kAvailable;
+  record.weight = weight;
+  return nodes_.Create(id, record);
+}
+
+bool GraphStore::HasNode(VertexId id) const {
+  const NodeRecord* r = nodes_.GetPtr(id);
+  return r != nullptr && r->in_use && r->state == NodeState::kAvailable;
+}
+
+bool GraphStore::NodeExists(VertexId id) const {
+  const NodeRecord* r = nodes_.GetPtr(id);
+  return r != nullptr && r->in_use;
+}
+
+Result<double> GraphStore::NodeWeight(VertexId id) const {
+  const NodeRecord* r = nodes_.GetPtr(id);
+  if (r == nullptr || !r->in_use) return Status::NotFound("no such node");
+  return r->weight;
+}
+
+Status GraphStore::AddNodeWeight(VertexId id, double delta) {
+  NodeRecord* r = nodes_.GetMutable(id);
+  if (r == nullptr || !r->in_use) return Status::NotFound("no such node");
+  r->weight += delta;
+  return Status::OK();
+}
+
+Status GraphStore::SetNodeState(VertexId id, NodeState state) {
+  NodeRecord* r = nodes_.GetMutable(id);
+  if (r == nullptr || !r->in_use) return Status::NotFound("no such node");
+  r->state = state;
+  return Status::OK();
+}
+
+Result<NodeState> GraphStore::GetNodeState(VertexId id) const {
+  const NodeRecord* r = nodes_.GetPtr(id);
+  if (r == nullptr || !r->in_use) return Status::NotFound("no such node");
+  return r->state;
+}
+
+// --- Relationship chains -------------------------------------------------------
+
+void GraphStore::LinkIntoChain(VertexId node, RecordId rel_id,
+                               RelationshipRecord* rec) {
+  NodeRecord* n = nodes_.GetMutable(node);
+  HERMES_CHECK(n != nullptr && n->in_use);
+  const RecordId old_head = n->first_rel;
+  NextLink(rec, node) = old_head;
+  PrevLink(rec, node) = kInvalidRecord;
+  if (old_head != kInvalidRecord) {
+    RelationshipRecord* head = rels_.GetMutable(old_head);
+    HERMES_CHECK(head != nullptr);
+    PrevLink(head, node) = rel_id;
+  }
+  n->first_rel = rel_id;
+}
+
+void GraphStore::UnlinkFromChain(VertexId node, RecordId rel_id,
+                                 RelationshipRecord* rec) {
+  const RecordId prev = PrevLink(rec, node);
+  const RecordId next = NextLink(rec, node);
+  if (prev != kInvalidRecord) {
+    RelationshipRecord* p = rels_.GetMutable(prev);
+    HERMES_CHECK(p != nullptr);
+    NextLink(p, node) = next;
+  } else {
+    NodeRecord* n = nodes_.GetMutable(node);
+    HERMES_CHECK(n != nullptr);
+    HERMES_CHECK(n->first_rel == rel_id);
+    n->first_rel = next;
+  }
+  if (next != kInvalidRecord) {
+    RelationshipRecord* nx = rels_.GetMutable(next);
+    HERMES_CHECK(nx != nullptr);
+    PrevLink(nx, node) = prev;
+  }
+  NextLink(rec, node) = kInvalidRecord;
+  PrevLink(rec, node) = kInvalidRecord;
+}
+
+Result<RecordId> GraphStore::AddEdge(VertexId v, VertexId other,
+                                     std::uint32_t type,
+                                     bool other_is_local) {
+  if (v == other) return Status::InvalidArgument("self-loops not allowed");
+  if (!NodeExists(v)) return Status::NotFound("local endpoint missing");
+
+  // Existing record? (Either a duplicate AddEdge, or — during migration —
+  // a half record created from the other endpoint that we now upgrade.)
+  auto existing = FindEdge(v, other);
+  if (existing.ok()) {
+    return Status::AlreadyExists("edge already present in chain");
+  }
+  if (other_is_local) {
+    if (!NodeExists(other)) {
+      return Status::NotFound("other endpoint claimed local but missing");
+    }
+    // The other endpoint may already hold a half record for this edge
+    // (it used to see `v` as remote). Upgrade it to a full record.
+    auto half = FindEdge(other, v);
+    if (half.ok()) {
+      const RecordId rel_id = *half;
+      RelationshipRecord* rec = rels_.GetMutable(rel_id);
+      rec->ghost = false;
+      LinkIntoChain(v, rel_id, rec);
+      return rel_id;
+    }
+  }
+
+  RelationshipRecord rec;
+  rec.in_use = true;
+  rec.type = type;
+  // Store the lower endpoint as src so chain-side selection is stable.
+  rec.src = std::min(v, other);
+  rec.dst = std::max(v, other);
+  rec.ghost = other_is_local ? false : HalfEdgeIsGhost(v, other);
+
+  const RecordId rel_id = rel_ids_.Next();
+  HERMES_RETURN_NOT_OK(rels_.Create(rel_id, rec));
+  RelationshipRecord* stored = rels_.GetMutable(rel_id);
+  LinkIntoChain(v, rel_id, stored);
+  if (other_is_local) LinkIntoChain(other, rel_id, stored);
+  return rel_id;
+}
+
+Status GraphStore::RemoveEdge(VertexId v, VertexId other) {
+  HERMES_ASSIGN_OR_RETURN(RecordId rel_id, FindEdge(v, other));
+  RelationshipRecord* rec = rels_.GetMutable(rel_id);
+  UnlinkFromChain(v, rel_id, rec);
+  // Full record: also unlink from the other endpoint's chain.
+  if (NodeExists(other)) {
+    auto still = FindEdge(other, v);
+    if (still.ok() && *still == rel_id) {
+      UnlinkFromChain(other, rel_id, rec);
+    }
+  }
+  FreePropertyChain(rec->first_prop);
+  return rels_.Delete(rel_id);
+}
+
+Result<std::vector<VertexId>> GraphStore::Neighbors(VertexId v) const {
+  const NodeRecord* n = nodes_.GetPtr(v);
+  if (n == nullptr || !n->in_use) return Status::NotFound("no such node");
+  if (n->state != NodeState::kAvailable) {
+    return Status::Unavailable("node is mid-migration");
+  }
+  std::vector<VertexId> out;
+  RecordId id = n->first_rel;
+  while (id != kInvalidRecord) {
+    const RelationshipRecord* rec = rels_.GetPtr(id);
+    HERMES_CHECK(rec != nullptr);
+    out.push_back(rec->OtherEnd(v));
+    id = GetNext(*rec, v);
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> GraphStore::NeighborsByType(
+    VertexId v, std::optional<std::uint32_t> type) const {
+  const NodeRecord* n = nodes_.GetPtr(v);
+  if (n == nullptr || !n->in_use) return Status::NotFound("no such node");
+  if (n->state != NodeState::kAvailable) {
+    return Status::Unavailable("node is mid-migration");
+  }
+  std::vector<VertexId> out;
+  RecordId id = n->first_rel;
+  while (id != kInvalidRecord) {
+    const RelationshipRecord* rec = rels_.GetPtr(id);
+    HERMES_CHECK(rec != nullptr);
+    if (!type.has_value() || rec->type == *type) {
+      out.push_back(rec->OtherEnd(v));
+    }
+    id = GetNext(*rec, v);
+  }
+  return out;
+}
+
+Result<std::size_t> GraphStore::DegreeOf(VertexId v) const {
+  HERMES_ASSIGN_OR_RETURN(auto neighbors, Neighbors(v));
+  return neighbors.size();
+}
+
+Result<RecordId> GraphStore::FindEdge(VertexId v, VertexId other) const {
+  const NodeRecord* n = nodes_.GetPtr(v);
+  if (n == nullptr || !n->in_use) return Status::NotFound("no such node");
+  RecordId id = n->first_rel;
+  while (id != kInvalidRecord) {
+    const RelationshipRecord* rec = rels_.GetPtr(id);
+    HERMES_CHECK(rec != nullptr);
+    if (rec->OtherEnd(v) == other) return id;
+    id = GetNext(*rec, v);
+  }
+  return Status::NotFound("edge not in chain");
+}
+
+Result<bool> GraphStore::EdgeIsGhost(VertexId v, VertexId other) const {
+  HERMES_ASSIGN_OR_RETURN(RecordId rel_id, FindEdge(v, other));
+  return rels_.GetPtr(rel_id)->ghost;
+}
+
+// --- Properties ----------------------------------------------------------------
+
+Status GraphStore::SetPropertyOnChain(RecordId* first_prop,
+                                      std::uint32_t key,
+                                      const std::string& value) {
+  // Look for an existing property record with this key.
+  RecordId id = *first_prop;
+  while (id != kInvalidRecord) {
+    PropertyRecord* rec = props_.GetMutable(id);
+    HERMES_CHECK(rec != nullptr);
+    if (rec->key_id == key) {
+      if (!rec->inlined && rec->dynamic_head != kInvalidRecord) {
+        HERMES_RETURN_NOT_OK(dynamic_.Free(rec->dynamic_head));
+      }
+      rec->inlined = false;
+      rec->dynamic_head = dynamic_.Put(value);
+      return Status::OK();
+    }
+    id = rec->next_prop;
+  }
+  // Prepend a new property record.
+  PropertyRecord rec;
+  rec.in_use = true;
+  rec.key_id = key;
+  rec.inlined = false;
+  rec.dynamic_head = dynamic_.Put(value);
+  rec.next_prop = *first_prop;
+  const RecordId prop_id = prop_ids_.Next();
+  HERMES_RETURN_NOT_OK(props_.Create(prop_id, rec));
+  *first_prop = prop_id;
+  return Status::OK();
+}
+
+Result<std::string> GraphStore::GetPropertyFromChain(
+    RecordId first_prop, std::uint32_t key) const {
+  RecordId id = first_prop;
+  while (id != kInvalidRecord) {
+    const PropertyRecord* rec = props_.GetPtr(id);
+    HERMES_CHECK(rec != nullptr);
+    if (rec->key_id == key) {
+      if (rec->inlined) return std::to_string(rec->inline_value);
+      return dynamic_.Get(rec->dynamic_head);
+    }
+    id = rec->next_prop;
+  }
+  return Status::NotFound("no such property");
+}
+
+void GraphStore::FreePropertyChain(RecordId first_prop) {
+  RecordId id = first_prop;
+  while (id != kInvalidRecord) {
+    const PropertyRecord* rec = props_.GetPtr(id);
+    HERMES_CHECK(rec != nullptr);
+    const RecordId next = rec->next_prop;
+    if (!rec->inlined && rec->dynamic_head != kInvalidRecord) {
+      (void)dynamic_.Free(rec->dynamic_head);
+    }
+    (void)props_.Delete(id);
+    id = next;
+  }
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+GraphStore::DumpPropertyChain(RecordId first_prop) const {
+  std::vector<std::pair<std::uint32_t, std::string>> out;
+  RecordId id = first_prop;
+  while (id != kInvalidRecord) {
+    const PropertyRecord* rec = props_.GetPtr(id);
+    HERMES_CHECK(rec != nullptr);
+    std::string value = rec->inlined
+                            ? std::to_string(rec->inline_value)
+                            : dynamic_.Get(rec->dynamic_head).ValueOr("");
+    out.emplace_back(rec->key_id, std::move(value));
+    id = rec->next_prop;
+  }
+  return out;
+}
+
+Status GraphStore::SetNodeProperty(VertexId id, std::uint32_t key,
+                                   const std::string& value) {
+  NodeRecord* n = nodes_.GetMutable(id);
+  if (n == nullptr || !n->in_use) return Status::NotFound("no such node");
+  return SetPropertyOnChain(&n->first_prop, key, value);
+}
+
+Result<std::string> GraphStore::GetNodeProperty(VertexId id,
+                                                std::uint32_t key) const {
+  const NodeRecord* n = nodes_.GetPtr(id);
+  if (n == nullptr || !n->in_use) return Status::NotFound("no such node");
+  return GetPropertyFromChain(n->first_prop, key);
+}
+
+Status GraphStore::SetEdgeProperty(VertexId v, VertexId other,
+                                   std::uint32_t key,
+                                   const std::string& value) {
+  HERMES_ASSIGN_OR_RETURN(RecordId rel_id, FindEdge(v, other));
+  RelationshipRecord* rec = rels_.GetMutable(rel_id);
+  if (rec->ghost) {
+    return Status::InvalidArgument(
+        "ghost relationships hold no properties; write to the owning "
+        "partition");
+  }
+  return SetPropertyOnChain(&rec->first_prop, key, value);
+}
+
+Result<std::string> GraphStore::GetEdgeProperty(VertexId v, VertexId other,
+                                                std::uint32_t key) const {
+  HERMES_ASSIGN_OR_RETURN(RecordId rel_id, FindEdge(v, other));
+  const RelationshipRecord* rec = rels_.GetPtr(rel_id);
+  if (rec->ghost) {
+    return Status::Unavailable("property lives on the owning partition");
+  }
+  return GetPropertyFromChain(rec->first_prop, key);
+}
+
+// --- Migration -------------------------------------------------------------------
+
+Result<NodeSnapshot> GraphStore::ExtractNode(VertexId v) const {
+  const NodeRecord* n = nodes_.GetPtr(v);
+  if (n == nullptr || !n->in_use) return Status::NotFound("no such node");
+
+  NodeSnapshot snap;
+  snap.id = v;
+  snap.weight = n->weight;
+  snap.properties = DumpPropertyChain(n->first_prop);
+
+  RecordId id = n->first_rel;
+  while (id != kInvalidRecord) {
+    const RelationshipRecord* rec = rels_.GetPtr(id);
+    HERMES_CHECK(rec != nullptr);
+    NodeSnapshot::Relationship rel;
+    rel.other = rec->OtherEnd(v);
+    rel.type = rec->type;
+    rel.properties_included = !rec->ghost;
+    if (!rec->ghost) rel.properties = DumpPropertyChain(rec->first_prop);
+    snap.relationships.push_back(std::move(rel));
+    id = GetNext(*rec, v);
+  }
+  return snap;
+}
+
+Status GraphStore::RemoveNode(VertexId v) {
+  NodeRecord* n = nodes_.GetMutable(v);
+  if (n == nullptr || !n->in_use) return Status::NotFound("no such node");
+
+  RecordId id = n->first_rel;
+  while (id != kInvalidRecord) {
+    RelationshipRecord* rec = rels_.GetMutable(id);
+    HERMES_CHECK(rec != nullptr);
+    const RecordId next = GetNext(*rec, v);
+    const VertexId other = rec->OtherEnd(v);
+
+    UnlinkFromChain(v, id, rec);
+    bool shared_with_local_neighbor = false;
+    if (NodeExists(other)) {
+      auto other_side = FindEdge(other, v);
+      shared_with_local_neighbor = other_side.ok() && *other_side == id;
+    }
+    if (shared_with_local_neighbor) {
+      // Full record degrades to the neighbor's half record. The ghost rule
+      // (real copy follows the lower vertex id) decides whether this side
+      // keeps the properties.
+      rec->ghost = HalfEdgeIsGhost(other, v);
+      if (rec->ghost && rec->first_prop != kInvalidRecord) {
+        FreePropertyChain(rec->first_prop);
+        rec->first_prop = kInvalidRecord;
+      }
+    } else {
+      FreePropertyChain(rec->first_prop);
+      HERMES_RETURN_NOT_OK(rels_.Delete(id));
+    }
+    id = next;
+  }
+
+  FreePropertyChain(n->first_prop);
+  return nodes_.Delete(v);
+}
+
+// --- Introspection -----------------------------------------------------------------
+
+std::size_t GraphStore::NumGhostRelationships() const {
+  std::size_t ghosts = 0;
+  rels_.ForEach([&ghosts](RecordId, const RelationshipRecord& rec) {
+    if (rec.ghost) ++ghosts;
+    return true;
+  });
+  return ghosts;
+}
+
+std::size_t GraphStore::MemoryBytes() const {
+  return nodes_.MemoryBytes() + rels_.MemoryBytes() + props_.MemoryBytes() +
+         dynamic_.MemoryBytes();
+}
+
+bool GraphStore::CheckChains() const {
+  bool ok = true;
+  nodes_.ForEach([&](RecordId node_id, const NodeRecord& n) {
+    if (!n.in_use) return true;
+    const auto v = static_cast<VertexId>(node_id);
+    RecordId id = n.first_rel;
+    RecordId expected_prev = kInvalidRecord;
+    std::size_t steps = 0;
+    while (id != kInvalidRecord) {
+      const RelationshipRecord* rec = rels_.GetPtr(id);
+      if (rec == nullptr || !(rec->src == v || rec->dst == v)) {
+        ok = false;
+        return false;
+      }
+      const RecordId prev = rec->src == v ? rec->src_prev : rec->dst_prev;
+      if (prev != expected_prev) {
+        ok = false;
+        return false;
+      }
+      expected_prev = id;
+      id = GetNext(*rec, v);
+      if (++steps > rels_.size() + 1) {  // cycle guard
+        ok = false;
+        return false;
+      }
+    }
+    return true;
+  });
+  return ok;
+}
+
+std::vector<GraphStore::NodeDump> GraphStore::DumpNodes() const {
+  std::vector<NodeDump> out;
+  out.reserve(nodes_.size());
+  nodes_.ForEach([&](RecordId id, const NodeRecord& n) {
+    if (n.in_use) {
+      out.push_back(NodeDump{static_cast<VertexId>(id), n.weight, n.state,
+                             DumpPropertyChain(n.first_prop)});
+    }
+    return true;
+  });
+  return out;
+}
+
+std::vector<GraphStore::RelationshipDump> GraphStore::DumpRelationships()
+    const {
+  std::vector<RelationshipDump> out;
+  out.reserve(rels_.size());
+  rels_.ForEach([&](RecordId, const RelationshipRecord& r) {
+    if (r.in_use) {
+      out.push_back(RelationshipDump{r.src, r.dst, r.type, r.ghost,
+                                     DumpPropertyChain(r.first_prop)});
+    }
+    return true;
+  });
+  return out;
+}
+
+std::vector<VertexId> GraphStore::NodeIds() const {
+  std::vector<VertexId> out;
+  out.reserve(nodes_.size());
+  nodes_.ForEach([&out](RecordId id, const NodeRecord& n) {
+    if (n.in_use) out.push_back(static_cast<VertexId>(id));
+    return true;
+  });
+  return out;
+}
+
+}  // namespace hermes

@@ -1,0 +1,220 @@
+#ifndef HERMES_GRAPHDB_GRAPH_STORE_H_
+#define HERMES_GRAPHDB_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "graphdb/node_snapshot.h"
+#include "storage/dynamic_store.h"
+#include "storage/id_generator.h"
+#include "storage/record_store.h"
+#include "storage/records.h"
+
+namespace hermes {
+
+/// One partition's slice of the distributed graph: Neo4j's layered store
+/// model (node store, relationship store with doubly-linked chains,
+/// property store with dynamic blocks) extended with the Hermes
+/// distribution mechanisms — ghost relationships, node availability
+/// states, and snapshot-based migration (Section 4).
+///
+/// Edge representation. An edge {v, u} is materialized on every partition
+/// that hosts one of its endpoints:
+///   * both endpoints local  -> one full record linked into both chains;
+///   * one endpoint remote   -> a half record linked into the local
+///     endpoint's chain only. The copy co-located with the lower vertex id
+///     is the property-bearing one; the other carries the ghost flag and no
+///     properties. Both sides derive this rule independently, so no
+///     coordination is needed.
+/// Either way the adjacency list of a local node is fully local, which is
+/// what keeps traversal hops cheap.
+class GraphStore {
+ public:
+  explicit GraphStore(PartitionId partition_id);
+
+  PartitionId partition_id() const { return partition_id_; }
+
+  // --- Nodes ---------------------------------------------------------------
+
+  Status CreateNode(VertexId id, double weight = 1.0);
+
+  /// True when the node exists and is available (not mid-migration).
+  bool HasNode(VertexId id) const;
+
+  /// True when the node record exists regardless of availability.
+  bool NodeExists(VertexId id) const;
+
+  Result<double> NodeWeight(VertexId id) const;
+  Status AddNodeWeight(VertexId id, double delta);
+
+  /// Marks a node unavailable: standard queries treat it as absent and no
+  /// locks can be taken on it (migration remove step, Section 3.2).
+  Status SetNodeState(VertexId id, NodeState state);
+  Result<NodeState> GetNodeState(VertexId id) const;
+
+  // --- Relationships --------------------------------------------------------
+
+  /// Adds the local materialization of edge {v, other}. `other_is_local`
+  /// selects full-record vs. ghost/half-record handling; `v` must be local
+  /// and available. When both endpoints are local and the record already
+  /// exists (e.g. created via the other endpoint) the call is a no-op
+  /// returning the existing record id.
+  Result<RecordId> AddEdge(VertexId v, VertexId other, std::uint32_t type,
+                           bool other_is_local);
+
+  /// Removes the local materialization of edge {v, other}.
+  Status RemoveEdge(VertexId v, VertexId other);
+
+  /// Walks v's relationship chain; fully local by construction.
+  Result<std::vector<VertexId>> Neighbors(VertexId v) const;
+
+  /// Neighbors reached via relationships of the given type only
+  /// (pass std::nullopt for all types).
+  Result<std::vector<VertexId>> NeighborsByType(
+      VertexId v, std::optional<std::uint32_t> type) const;
+
+  Result<std::size_t> DegreeOf(VertexId v) const;
+
+  /// Record id of the edge {v, other} seen from v's chain.
+  Result<RecordId> FindEdge(VertexId v, VertexId other) const;
+
+  /// Whether the local copy of edge {v, other} is a ghost (no properties).
+  Result<bool> EdgeIsGhost(VertexId v, VertexId other) const;
+
+  // --- Properties ------------------------------------------------------------
+
+  Status SetNodeProperty(VertexId id, std::uint32_t key,
+                         const std::string& value);
+  Result<std::string> GetNodeProperty(VertexId id, std::uint32_t key) const;
+
+  Status SetEdgeProperty(VertexId v, VertexId other, std::uint32_t key,
+                         const std::string& value);
+  Result<std::string> GetEdgeProperty(VertexId v, VertexId other,
+                                      std::uint32_t key) const;
+
+  // --- Migration -------------------------------------------------------------
+
+  /// Copy-step payload for node v (does not modify the store).
+  Result<NodeSnapshot> ExtractNode(VertexId v) const;
+
+  /// Rebuilds a migrated node locally. `is_local` reports whether a given
+  /// neighbor is hosted on this partition *after* the migration epoch;
+  /// half records for neighbors that are local get merged into full
+  /// records (AddEdge handles the merge).
+  template <typename IsLocalFn>
+  Status IngestNodeWith(const NodeSnapshot& snapshot, IsLocalFn is_local);
+
+  /// Remove-step: deletes v and v's chain. Full records shared with a
+  /// still-local neighbor degrade to half records (the neighbor keeps the
+  /// edge; the ghost rule decides whether properties are kept or dropped).
+  Status RemoveNode(VertexId v);
+
+  // --- Introspection ----------------------------------------------------------
+
+  std::size_t NumNodes() const { return nodes_.size(); }
+  std::size_t NumRelationships() const { return rels_.size(); }
+  std::size_t NumGhostRelationships() const;
+  std::size_t MemoryBytes() const;
+
+  /// Validates chain integrity (prev/next symmetry, chain membership);
+  /// used by tests.
+  bool CheckChains() const;
+
+  /// All local node ids (in id order).
+  std::vector<VertexId> NodeIds() const;
+
+  // --- Bulk export (snapshots / persistence) -----------------------------
+
+  struct NodeDump {
+    VertexId id;
+    double weight;
+    NodeState state;
+    std::vector<std::pair<std::uint32_t, std::string>> properties;
+  };
+  struct RelationshipDump {
+    VertexId src;
+    VertexId dst;
+    std::uint32_t type;
+    bool ghost;
+    std::vector<std::pair<std::uint32_t, std::string>> properties;
+  };
+
+  /// Every node record with its property chain, in id order.
+  std::vector<NodeDump> DumpNodes() const;
+
+  /// Every relationship record (full and half/ghost alike), in record-id
+  /// order. Whether a record was full or half is recoverable from which
+  /// endpoints exist locally; the ghost flag is also carried explicitly.
+  std::vector<RelationshipDump> DumpRelationships() const;
+
+ private:
+  // Chain-side helpers: a record participates in the chain of `node` via
+  // its src_* links when node == src, else its dst_* links.
+  RecordId& NextLink(RelationshipRecord* r, VertexId node) const {
+    return r->src == node ? r->src_next : r->dst_next;
+  }
+  RecordId& PrevLink(RelationshipRecord* r, VertexId node) const {
+    return r->src == node ? r->src_prev : r->dst_prev;
+  }
+  RecordId GetNext(const RelationshipRecord& r, VertexId node) const {
+    return r.src == node ? r.src_next : r.dst_next;
+  }
+
+  void LinkIntoChain(VertexId node, RecordId rel_id, RelationshipRecord* rec);
+  void UnlinkFromChain(VertexId node, RecordId rel_id,
+                       RelationshipRecord* rec);
+
+  /// Whether the local copy of a half edge {local, remote} is the ghost.
+  static bool HalfEdgeIsGhost(VertexId local, VertexId remote) {
+    return local > remote;
+  }
+
+  Status SetPropertyOnChain(RecordId* first_prop, std::uint32_t key,
+                            const std::string& value);
+  Result<std::string> GetPropertyFromChain(RecordId first_prop,
+                                           std::uint32_t key) const;
+  void FreePropertyChain(RecordId first_prop);
+  std::vector<std::pair<std::uint32_t, std::string>> DumpPropertyChain(
+      RecordId first_prop) const;
+
+  PartitionId partition_id_;
+  RecordStore<NodeRecord> nodes_;
+  RecordStore<RelationshipRecord> rels_;
+  RecordStore<PropertyRecord> props_;
+  DynamicStore dynamic_;
+  IdGenerator rel_ids_;
+  IdGenerator prop_ids_;
+};
+
+template <typename IsLocalFn>
+Status GraphStore::IngestNodeWith(const NodeSnapshot& snapshot,
+                                  IsLocalFn is_local) {
+  HERMES_RETURN_NOT_OK(CreateNode(snapshot.id, snapshot.weight));
+  for (const auto& [key, value] : snapshot.properties) {
+    HERMES_RETURN_NOT_OK(SetNodeProperty(snapshot.id, key, value));
+  }
+  for (const auto& rel : snapshot.relationships) {
+    HERMES_ASSIGN_OR_RETURN(
+        RecordId rel_id,
+        AddEdge(snapshot.id, rel.other, rel.type, is_local(rel.other)));
+    (void)rel_id;
+    if (rel.properties_included) {
+      for (const auto& [key, value] : rel.properties) {
+        // Ghost copies drop properties by design; SetEdgeProperty on a
+        // ghost returns InvalidArgument, which we tolerate here.
+        Status st = SetEdgeProperty(snapshot.id, rel.other, key, value);
+        if (!st.ok() && !st.IsInvalidArgument()) return st;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hermes
+
+#endif  // HERMES_GRAPHDB_GRAPH_STORE_H_

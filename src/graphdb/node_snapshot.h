@@ -1,0 +1,48 @@
+#ifndef HERMES_GRAPHDB_NODE_SNAPSHOT_H_
+#define HERMES_GRAPHDB_NODE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hermes {
+
+/// Serialized form of a node used by the physical migration protocol
+/// (Section 3.2): the copy step ships snapshots to the target partition,
+/// the remove step deletes the originals. The snapshot carries everything
+/// the target needs to rebuild the node: weight, properties, and all
+/// incident relationships with their properties.
+struct NodeSnapshot {
+  struct Relationship {
+    VertexId other = kInvalidVertex;
+    std::uint32_t type = 0;
+    /// True when this side held only a ghost record (properties live with
+    /// the other endpoint's partition).
+    bool properties_included = false;
+    std::vector<std::pair<std::uint32_t, std::string>> properties;
+  };
+
+  VertexId id = kInvalidVertex;
+  double weight = 1.0;
+  std::vector<std::pair<std::uint32_t, std::string>> properties;
+  std::vector<Relationship> relationships;
+
+  /// Approximate wire size in bytes — used by the cluster simulator to
+  /// charge network time for migrations.
+  std::size_t WireBytes() const {
+    std::size_t bytes = sizeof(VertexId) + sizeof(double);
+    for (const auto& [k, v] : properties) bytes += sizeof(k) + v.size();
+    for (const auto& rel : relationships) {
+      bytes += sizeof(VertexId) + sizeof(std::uint32_t) + 2;
+      for (const auto& [k, v] : rel.properties) bytes += sizeof(k) + v.size();
+    }
+    return bytes;
+  }
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_GRAPHDB_NODE_SNAPSHOT_H_

@@ -1,0 +1,74 @@
+#include "graphdb/traversal.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace hermes {
+
+Result<TraversalResult> Traverse(VertexId start,
+                                 const TraversalDescription& d,
+                                 const NeighborProvider& neighbors) {
+  // Probe the start node through the provider so a missing/unavailable
+  // start fails the query.
+  HERMES_ASSIGN_OR_RETURN(auto start_neighbors,
+                          neighbors(start, d.relationship_type));
+
+  TraversalResult result;
+  result.nodes_processed = 1;
+  auto include = [&](VertexId v, int depth) {
+    return !d.include || d.include(v, depth);
+  };
+  auto prune = [&](VertexId v, int depth) {
+    return d.prune && d.prune(v, depth);
+  };
+  auto push_hit = [&](VertexId v, int depth) {
+    if (include(v, depth)) result.hits.push_back(TraversalHit{v, depth});
+    return d.max_results == 0 || result.hits.size() < d.max_results;
+  };
+
+  if (!push_hit(start, 0)) return result;
+
+  std::unordered_set<VertexId> seen{start};
+  std::deque<std::pair<VertexId, int>> frontier;
+  if (d.max_depth > 0 && !prune(start, 0)) frontier.emplace_back(start, 0);
+
+  bool first_expansion = true;
+  while (!frontier.empty()) {
+    const auto [v, depth] = frontier.front();
+    frontier.pop_front();
+
+    std::vector<VertexId> adjacent;
+    if (first_expansion) {
+      adjacent = std::move(start_neighbors);  // already fetched
+      first_expansion = false;
+    } else {
+      auto fetched = neighbors(v, d.relationship_type);
+      if (!fetched.ok()) continue;  // mid-migration: treat as absent
+      adjacent = std::move(*fetched);
+    }
+
+    for (VertexId w : adjacent) {
+      ++result.nodes_processed;
+      const bool fresh = (d.uniqueness == Uniqueness::kNone)
+                             ? true
+                             : seen.insert(w).second;
+      if (d.uniqueness == Uniqueness::kNone) {
+        // Under kNone every arrival is reported, but expansion still
+        // happens once per node to keep the traversal finite.
+        if (!push_hit(w, depth + 1)) return result;
+        if (seen.insert(w).second && depth + 1 < d.max_depth &&
+            !prune(w, depth + 1)) {
+          frontier.emplace_back(w, depth + 1);
+        }
+      } else if (fresh) {
+        if (!push_hit(w, depth + 1)) return result;
+        if (depth + 1 < d.max_depth && !prune(w, depth + 1)) {
+          frontier.emplace_back(w, depth + 1);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hermes

@@ -1,0 +1,73 @@
+#ifndef HERMES_GRAPHDB_TRAVERSAL_H_
+#define HERMES_GRAPHDB_TRAVERSAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace hermes {
+
+/// Revisit policy, mirroring Neo4j's traversal-framework uniqueness modes.
+enum class Uniqueness {
+  /// Each node is visited at most once (default; BFS semantics).
+  kNodeGlobal,
+  /// Nodes may be reached repeatedly through different paths (the mode
+  /// that makes 2-hop queries reprocess vertices, Section 5.3.2).
+  kNone,
+};
+
+/// Declarative description of a traversal — Hermes' primary query
+/// interface, following Neo4j's TraversalDescription (Section 4).
+struct TraversalDescription {
+  int max_depth = 1;
+  Uniqueness uniqueness = Uniqueness::kNodeGlobal;
+
+  /// Only follow relationships of this type when set.
+  std::optional<std::uint32_t> relationship_type;
+
+  /// Include a reached node in the result? (depth 0 = start node).
+  /// Default: include everything.
+  std::function<bool(VertexId, int)> include;
+
+  /// Stop expanding below this node when true (node still included).
+  std::function<bool(VertexId, int)> prune;
+
+  /// Stop the whole traversal after this many result nodes (0 = no cap).
+  std::size_t max_results = 0;
+};
+
+/// One reached node.
+struct TraversalHit {
+  VertexId node;
+  int depth;
+};
+
+/// Result of a traversal: hits in breadth-first order plus the work
+/// counters the evaluation section reports (processed vs. response size).
+struct TraversalResult {
+  std::vector<TraversalHit> hits;
+  std::uint64_t nodes_processed = 0;  // includes revisits under kNone
+};
+
+/// Supplies the neighbors of a node under an optional relationship-type
+/// filter. Implementations wrap a local GraphStore, a remote server, or
+/// the whole cluster (the cluster version forwards across partitions).
+using NeighborProvider = std::function<Result<std::vector<VertexId>>(
+    VertexId, std::optional<std::uint32_t>)>;
+
+/// Runs a breadth-first traversal from `start` under `description`,
+/// resolving adjacency through `neighbors`. Errors from the provider for
+/// the start node fail the traversal; errors while expanding interior
+/// nodes (e.g. a vertex mid-migration) skip that node's expansion, exactly
+/// like queries treat unavailable records (Section 3.2).
+Result<TraversalResult> Traverse(VertexId start,
+                                 const TraversalDescription& description,
+                                 const NeighborProvider& neighbors);
+
+}  // namespace hermes
+
+#endif  // HERMES_GRAPHDB_TRAVERSAL_H_

@@ -1,0 +1,56 @@
+#ifndef HERMES_PARTITION_ASSIGNMENT_H_
+#define HERMES_PARTITION_ASSIGNMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace hermes {
+
+/// Maps every vertex to a partition (shard). The number of partitions is
+/// the paper's alpha. This is the "directory" shared by all servers.
+class PartitionAssignment {
+ public:
+  PartitionAssignment() = default;
+
+  /// All `n` vertices start in partition `initial`.
+  PartitionAssignment(std::size_t n, PartitionId num_partitions,
+                      PartitionId initial = 0)
+      : part_of_(n, initial), num_partitions_(num_partitions) {
+    HERMES_CHECK(num_partitions > 0);
+    HERMES_CHECK(initial < num_partitions);
+  }
+
+  PartitionId PartitionOf(VertexId v) const { return part_of_[v]; }
+
+  void Assign(VertexId v, PartitionId p) {
+    HERMES_CHECK(p < num_partitions_);
+    part_of_[v] = p;
+  }
+
+  /// Registers a newly created vertex (id == current size()).
+  void AddVertex(PartitionId p) {
+    HERMES_CHECK(p < num_partitions_);
+    part_of_.push_back(p);
+  }
+
+  std::size_t size() const { return part_of_.size(); }
+  PartitionId num_partitions() const { return num_partitions_; }
+
+  const std::vector<PartitionId>& raw() const { return part_of_; }
+
+  bool operator==(const PartitionAssignment& other) const {
+    return num_partitions_ == other.num_partitions_ &&
+           part_of_ == other.part_of_;
+  }
+
+ private:
+  std::vector<PartitionId> part_of_;
+  PartitionId num_partitions_ = 1;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_PARTITION_ASSIGNMENT_H_

@@ -1,0 +1,58 @@
+#include "partition/aux_data.h"
+
+#include "common/logging.h"
+
+namespace hermes {
+
+AuxiliaryData::AuxiliaryData(const Graph& g, const PartitionAssignment& asg)
+    : alpha_(asg.num_partitions()),
+      counts_(g.NumVertices() * asg.num_partitions(), 0),
+      weights_(asg.num_partitions(), 0.0) {
+  const std::size_t n = g.NumVertices();
+  HERMES_CHECK(asg.size() == n);
+  for (VertexId v = 0; v < n; ++v) {
+    weights_[asg.PartitionOf(v)] += g.VertexWeight(v);
+    for (VertexId w : g.Neighbors(v)) {
+      ++counts_[v * alpha_ + asg.PartitionOf(w)];
+    }
+  }
+  total_weight_ = g.TotalWeight();
+}
+
+void AuxiliaryData::OnVertexAdded(PartitionId p, double w) {
+  counts_.insert(counts_.end(), alpha_, 0);
+  weights_[p] += w;
+  total_weight_ += w;
+}
+
+void AuxiliaryData::OnEdgeAdded(VertexId u, VertexId v,
+                                const PartitionAssignment& asg) {
+  ++counts_[u * alpha_ + asg.PartitionOf(v)];
+  ++counts_[v * alpha_ + asg.PartitionOf(u)];
+}
+
+void AuxiliaryData::OnEdgeRemoved(VertexId u, VertexId v,
+                                  const PartitionAssignment& asg) {
+  --counts_[u * alpha_ + asg.PartitionOf(v)];
+  --counts_[v * alpha_ + asg.PartitionOf(u)];
+}
+
+void AuxiliaryData::OnVertexWeightChanged(VertexId v, double delta,
+                                          const PartitionAssignment& asg) {
+  weights_[asg.PartitionOf(v)] += delta;
+  total_weight_ += delta;
+}
+
+void AuxiliaryData::OnVertexMigrated(const Graph& g, VertexId v,
+                                     PartitionId from, PartitionId to) {
+  if (from == to) return;
+  const double w = g.VertexWeight(v);
+  weights_[from] -= w;
+  weights_[to] += w;
+  for (VertexId nbr : g.Neighbors(v)) {
+    --counts_[nbr * alpha_ + from];
+    ++counts_[nbr * alpha_ + to];
+  }
+}
+
+}  // namespace hermes

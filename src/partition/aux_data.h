@@ -1,0 +1,89 @@
+#ifndef HERMES_PARTITION_AUX_DATA_H_
+#define HERMES_PARTITION_AUX_DATA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/assignment.h"
+
+namespace hermes {
+
+/// The repartitioner's auxiliary data (Section 2.2 / 3.1 of the paper):
+///
+///   * for each vertex v, alpha integers d_v(0..alpha-1) counting v's
+///     neighbors hosted in each partition, and
+///   * the aggregate vertex weight of every partition.
+///
+/// This is all the repartitioner ever reads — it never touches adjacency
+/// lists or property payloads, which is what makes it "lightweight"
+/// (Theorem 2: amortized n + Theta(alpha) integers per partition).
+///
+/// The data is maintained incrementally as user requests execute: adding an
+/// edge increments two counters; a read bumps a vertex weight; migrating a
+/// vertex shifts one counter on each of its neighbors.
+class AuxiliaryData {
+ public:
+  AuxiliaryData() = default;
+
+  /// Builds counts and weights from scratch (initial load).
+  AuxiliaryData(const Graph& g, const PartitionAssignment& asg);
+
+  PartitionId num_partitions() const { return alpha_; }
+  std::size_t num_vertices() const { return alpha_ == 0 ? 0 : counts_.size() / alpha_; }
+
+  /// d_v(p): number of neighbors of v hosted in partition p.
+  std::uint32_t NeighborCount(VertexId v, PartitionId p) const {
+    return counts_[v * alpha_ + p];
+  }
+
+  double PartitionWeight(PartitionId p) const { return weights_[p]; }
+  double TotalWeight() const { return total_weight_; }
+  double AverageWeight() const {
+    return total_weight_ / static_cast<double>(alpha_);
+  }
+
+  /// Imbalance factor of partition p (weight / average weight).
+  double Imbalance(PartitionId p) const {
+    const double avg = AverageWeight();
+    return avg <= 0.0 ? 1.0 : weights_[p] / avg;
+  }
+
+  // --- Incremental maintenance hooks -------------------------------------
+
+  /// A new vertex was created in partition p with weight w.
+  void OnVertexAdded(PartitionId p, double w);
+
+  /// Edge {u, v} was created; counters of both endpoints are bumped.
+  void OnEdgeAdded(VertexId u, VertexId v, const PartitionAssignment& asg);
+
+  /// Edge {u, v} was removed.
+  void OnEdgeRemoved(VertexId u, VertexId v, const PartitionAssignment& asg);
+
+  /// Vertex v's popularity weight changed by `delta` (e.g. read traffic).
+  void OnVertexWeightChanged(VertexId v, double delta,
+                             const PartitionAssignment& asg);
+
+  /// Vertex v (with its current weight `w` and neighbor list from `g`)
+  /// logically moved from partition `from` to `to`. Updates v's neighbors'
+  /// counters and the partition weights. The caller updates `asg`.
+  void OnVertexMigrated(const Graph& g, VertexId v, PartitionId from,
+                        PartitionId to);
+
+  /// Bytes of auxiliary state (Theorem 2 accounting).
+  std::size_t MemoryBytes() const {
+    return counts_.size() * sizeof(std::uint32_t) +
+           weights_.size() * sizeof(double);
+  }
+
+ private:
+  PartitionId alpha_ = 0;
+  std::vector<std::uint32_t> counts_;  // n * alpha, row-major by vertex
+  std::vector<double> weights_;        // per-partition aggregate weight
+  double total_weight_ = 0.0;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_PARTITION_AUX_DATA_H_

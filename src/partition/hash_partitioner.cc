@@ -1,0 +1,32 @@
+#include "partition/hash_partitioner.h"
+
+namespace hermes {
+
+namespace {
+// SplitMix64 finalizer: a high-quality 64-bit mixer.
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+PartitionId HashPartitioner::PartitionFor(VertexId v,
+                                          PartitionId num_partitions) const {
+  return static_cast<PartitionId>(Mix(v + 0x9e3779b97f4a7c15ULL * (seed_ + 1)) %
+                                  num_partitions);
+}
+
+PartitionAssignment HashPartitioner::Partition(
+    const Graph& g, PartitionId num_partitions) const {
+  PartitionAssignment asg(g.NumVertices(), num_partitions);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    asg.Assign(v, PartitionFor(v, num_partitions));
+  }
+  return asg;
+}
+
+}  // namespace hermes

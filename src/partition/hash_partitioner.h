@@ -1,0 +1,27 @@
+#ifndef HERMES_PARTITION_HASH_PARTITIONER_H_
+#define HERMES_PARTITION_HASH_PARTITIONER_H_
+
+#include "graph/graph.h"
+#include "partition/assignment.h"
+
+namespace hermes {
+
+/// Random hash-based partitioning — the de-facto standard baseline
+/// (Section 5.3). Decentralized, vertex-count balanced, oblivious to graph
+/// structure, so its edge-cut approaches (alpha-1)/alpha of all edges.
+class HashPartitioner {
+ public:
+  explicit HashPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  PartitionId PartitionFor(VertexId v, PartitionId num_partitions) const;
+
+  PartitionAssignment Partition(const Graph& g,
+                                PartitionId num_partitions) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_PARTITION_HASH_PARTITIONER_H_

@@ -1,0 +1,53 @@
+#ifndef HERMES_PARTITION_JABEJA_H_
+#define HERMES_PARTITION_JABEJA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "partition/assignment.h"
+
+namespace hermes {
+
+/// Options for JA-BE-JA (Rahimian et al., SASO 2013), discussed as related
+/// work in Section 6 of the Hermes paper.
+struct JabejaOptions {
+  /// Rounds of local search (each round every vertex attempts one swap).
+  std::size_t rounds = 100;
+
+  /// Energy exponent (the JA-BE-JA paper's alpha; 2 is its default).
+  double exponent = 2.0;
+
+  /// Simulated-annealing start temperature (decays linearly to 1).
+  double initial_temperature = 2.0;
+
+  /// Random vertices examined when no neighbor swap helps.
+  std::size_t sample_size = 6;
+
+  std::uint64_t seed = 7;
+};
+
+/// Distributed swap-based partitioner without global knowledge: starts from
+/// a uniform random coloring and greedily *swaps* colors between vertex
+/// pairs, which preserves the per-color vertex counts exactly. As the
+/// Hermes paper notes, this guarantees balance only under fixed uniform
+/// vertex weights — it cannot rebalance popularity skew, which is the case
+/// Hermes targets. Implemented as a comparison baseline.
+class JabejaPartitioner {
+ public:
+  explicit JabejaPartitioner(JabejaOptions options = {});
+
+  /// Runs local search starting from a uniform random color assignment.
+  PartitionAssignment Partition(const Graph& g,
+                                PartitionId num_partitions) const;
+
+  /// Improves a provided assignment in place (counts per color preserved).
+  void Improve(const Graph& g, PartitionAssignment* asg) const;
+
+ private:
+  JabejaOptions options_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_PARTITION_JABEJA_H_

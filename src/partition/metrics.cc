@@ -1,0 +1,133 @@
+#include "partition/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hermes {
+
+std::size_t EdgeCut(const Graph& g, const PartitionAssignment& asg) {
+  std::size_t cut = 0;
+  const std::size_t n = g.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionId pv = asg.PartitionOf(v);
+    for (VertexId w : g.Neighbors(v)) {
+      if (w > v && asg.PartitionOf(w) != pv) ++cut;
+    }
+  }
+  return cut;
+}
+
+double EdgeCutFraction(const Graph& g, const PartitionAssignment& asg) {
+  const std::size_t m = g.NumEdges();
+  if (m == 0) return 0.0;
+  return static_cast<double>(EdgeCut(g, asg)) / static_cast<double>(m);
+}
+
+std::vector<double> PartitionWeights(const Graph& g,
+                                     const PartitionAssignment& asg) {
+  std::vector<double> weights(asg.num_partitions(), 0.0);
+  const std::size_t n = g.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    weights[asg.PartitionOf(v)] += g.VertexWeight(v);
+  }
+  return weights;
+}
+
+double ImbalanceFactor(const Graph& g, const PartitionAssignment& asg) {
+  const auto weights = PartitionWeights(g, asg);
+  const double avg = g.TotalWeight() / static_cast<double>(weights.size());
+  if (avg <= 0.0) return 1.0;
+  const double max_w = *std::max_element(weights.begin(), weights.end());
+  return max_w / avg;
+}
+
+bool IsBalanced(const Graph& g, const PartitionAssignment& asg, double beta) {
+  const auto weights = PartitionWeights(g, asg);
+  const double avg = g.TotalWeight() / static_cast<double>(weights.size());
+  if (avg <= 0.0) return true;
+  for (double w : weights) {
+    if (w > beta * avg) return false;
+    if (w < (2.0 - beta) * avg) return false;
+  }
+  return true;
+}
+
+std::size_t VerticesMoved(const PartitionAssignment& before,
+                          const PartitionAssignment& after) {
+  const std::size_t n = std::min(before.size(), after.size());
+  std::size_t moved = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (before.PartitionOf(v) != after.PartitionOf(v)) ++moved;
+  }
+  return moved;
+}
+
+std::size_t RelationshipsTouched(const Graph& g,
+                                 const PartitionAssignment& before,
+                                 const PartitionAssignment& after) {
+  std::size_t touched = 0;
+  const std::size_t n = std::min({g.NumVertices(), before.size(), after.size()});
+  for (VertexId v = 0; v < n; ++v) {
+    const bool v_moved = before.PartitionOf(v) != after.PartitionOf(v);
+    for (VertexId w : g.Neighbors(v)) {
+      if (w > v && w < n) {
+        const bool w_moved = before.PartitionOf(w) != after.PartitionOf(w);
+        if (v_moved || w_moved) ++touched;
+      }
+    }
+  }
+  return touched;
+}
+
+PartitionAssignment MatchLabels(const PartitionAssignment& before,
+                                const PartitionAssignment& after) {
+  const PartitionId alpha = after.num_partitions();
+  const std::size_t n = std::min(before.size(), after.size());
+
+  // Confusion matrix: overlap[a][b] = #vertices in after-partition a and
+  // before-partition b.
+  std::vector<std::vector<std::size_t>> overlap(
+      alpha, std::vector<std::size_t>(before.num_partitions(), 0));
+  for (VertexId v = 0; v < n; ++v) {
+    ++overlap[after.PartitionOf(v)][before.PartitionOf(v)];
+  }
+
+  // Greedy maximum matching: repeatedly pick the largest remaining overlap.
+  std::vector<PartitionId> relabel(alpha, kInvalidPartition);
+  std::vector<bool> after_used(alpha, false);
+  std::vector<bool> before_used(before.num_partitions(), false);
+  for (PartitionId round = 0; round < alpha; ++round) {
+    std::size_t best = 0;
+    PartitionId best_a = kInvalidPartition;
+    PartitionId best_b = kInvalidPartition;
+    for (PartitionId a = 0; a < alpha; ++a) {
+      if (after_used[a]) continue;
+      for (PartitionId b = 0; b < before.num_partitions(); ++b) {
+        if (before_used[b]) continue;
+        if (overlap[a][b] >= best &&
+            (best_a == kInvalidPartition || overlap[a][b] > best)) {
+          best = overlap[a][b];
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a == kInvalidPartition || best_b == kInvalidPartition) break;
+    relabel[best_a] = best_b % alpha;
+    after_used[best_a] = true;
+    before_used[best_b] = true;
+  }
+  // Any unmatched labels keep their own id (only possible when partition
+  // counts differ).
+  for (PartitionId a = 0; a < alpha; ++a) {
+    if (relabel[a] == kInvalidPartition) relabel[a] = a;
+  }
+
+  PartitionAssignment result(after.size(), alpha);
+  for (VertexId v = 0; v < after.size(); ++v) {
+    result.Assign(v, relabel[after.PartitionOf(v)]);
+  }
+  return result;
+}
+
+}  // namespace hermes

@@ -1,0 +1,49 @@
+#ifndef HERMES_PARTITION_METRICS_H_
+#define HERMES_PARTITION_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/assignment.h"
+
+namespace hermes {
+
+/// Number of edges whose endpoints lie in different partitions.
+std::size_t EdgeCut(const Graph& g, const PartitionAssignment& asg);
+
+/// EdgeCut as a fraction of all edges (0 when the graph has no edges).
+double EdgeCutFraction(const Graph& g, const PartitionAssignment& asg);
+
+/// Aggregate vertex weight per partition.
+std::vector<double> PartitionWeights(const Graph& g,
+                                     const PartitionAssignment& asg);
+
+/// Imbalance load factor: max partition weight divided by the average
+/// partition weight (>= 1 for nonempty graphs). The paper's beta bounds it.
+double ImbalanceFactor(const Graph& g, const PartitionAssignment& asg);
+
+/// True iff every partition's weight is within [(2-beta)*avg, beta*avg].
+bool IsBalanced(const Graph& g, const PartitionAssignment& asg, double beta);
+
+/// Number of vertices assigned differently in `before` vs `after`.
+std::size_t VerticesMoved(const PartitionAssignment& before,
+                          const PartitionAssignment& after);
+
+/// Number of edges with at least one endpoint that changed partition —
+/// every such relationship record (and its ghost counterpart) must be
+/// rewritten during physical migration (Fig. 8b's metric).
+std::size_t RelationshipsTouched(const Graph& g,
+                                 const PartitionAssignment& before,
+                                 const PartitionAssignment& after);
+
+/// Relabels `after`'s partitions to maximize per-vertex agreement with
+/// `before` (greedy maximum-overlap matching on the confusion matrix).
+/// Offline partitioners like Metis assign arbitrary labels; matching makes
+/// migration-volume comparisons fair.
+PartitionAssignment MatchLabels(const PartitionAssignment& before,
+                                const PartitionAssignment& after);
+
+}  // namespace hermes
+
+#endif  // HERMES_PARTITION_METRICS_H_

@@ -1,0 +1,466 @@
+#include "partition/multilevel.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hermes {
+
+namespace {
+
+/// Internal weighted graph used across coarsening levels: vertex weights
+/// accumulate merged vertices; edge weights accumulate merged edges.
+struct WeightedGraph {
+  // adj[v] = (neighbor, edge weight); neighbor lists are unsorted.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adj;
+  std::vector<double> vweights;
+
+  std::size_t NumVertices() const { return adj.size(); }
+
+  double TotalWeight() const {
+    return std::accumulate(vweights.begin(), vweights.end(), 0.0);
+  }
+
+  std::size_t MemoryBytes() const {
+    std::size_t bytes = vweights.size() * sizeof(double);
+    for (const auto& list : adj) {
+      bytes += list.size() * sizeof(std::pair<std::uint32_t, double>);
+    }
+    return bytes;
+  }
+};
+
+WeightedGraph FromGraph(const Graph& g) {
+  WeightedGraph wg;
+  const std::size_t n = g.NumVertices();
+  wg.adj.resize(n);
+  wg.vweights.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    wg.vweights[v] = g.VertexWeight(v);
+    const auto neigh = g.Neighbors(v);
+    wg.adj[v].reserve(neigh.size());
+    for (VertexId w : neigh) {
+      wg.adj[v].emplace_back(static_cast<std::uint32_t>(w), 1.0);
+    }
+  }
+  return wg;
+}
+
+/// Heavy-edge matching: every vertex pairs with its unmatched neighbor of
+/// maximum edge weight. Returns the coarse-vertex map and the number of
+/// coarse vertices.
+std::size_t HeavyEdgeMatching(const WeightedGraph& g, double max_vweight,
+                              Rng* rng,
+                              std::vector<std::uint32_t>* coarse_of) {
+  const std::size_t n = g.NumVertices();
+  constexpr std::uint32_t kUnmatched = 0xffffffffu;
+  std::vector<std::uint32_t> match(n, kUnmatched);
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  for (std::uint32_t v : order) {
+    if (match[v] != kUnmatched) continue;
+    std::uint32_t best = v;  // fall back to matching with self
+    double best_weight = -1.0;
+    for (const auto& [u, w] : g.adj[v]) {
+      // Standard Metis constraint: never merge past the maximum coarse
+      // vertex weight, or heavy coarse vertices force unbalanced (and
+      // therefore high-cut) partitions later.
+      if (match[u] == kUnmatched && u != v && w > best_weight &&
+          g.vweights[v] + g.vweights[u] <= max_vweight) {
+        best = u;
+        best_weight = w;
+      }
+    }
+    match[v] = best;
+    match[best] = v;
+  }
+
+  coarse_of->assign(n, kUnmatched);
+  std::size_t next = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if ((*coarse_of)[v] != kUnmatched) continue;
+    const std::uint32_t u = match[v];
+    (*coarse_of)[v] = static_cast<std::uint32_t>(next);
+    (*coarse_of)[u] = static_cast<std::uint32_t>(next);
+    ++next;
+  }
+  return next;
+}
+
+WeightedGraph Contract(const WeightedGraph& g,
+                       const std::vector<std::uint32_t>& coarse_of,
+                       std::size_t coarse_n) {
+  WeightedGraph coarse;
+  coarse.adj.resize(coarse_n);
+  coarse.vweights.assign(coarse_n, 0.0);
+
+  const std::size_t n = g.NumVertices();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    coarse.vweights[coarse_of[v]] += g.vweights[v];
+  }
+  // Accumulate parallel edges: per-coarse-vertex maps keyed by coarse
+  // neighbor, filled in one pass over the fine vertices.
+  std::vector<std::unordered_map<std::uint32_t, double>> maps(coarse_n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t cv = coarse_of[v];
+    for (const auto& [u, w] : g.adj[v]) {
+      const std::uint32_t cu = coarse_of[u];
+      if (cu != cv) maps[cv][cu] += w;
+    }
+  }
+  for (std::uint32_t cv = 0; cv < coarse_n; ++cv) {
+    coarse.adj[cv].assign(maps[cv].begin(), maps[cv].end());
+  }
+  return coarse;
+}
+
+/// Greedy graph-growing bisection (GGGP): grows side A from a seed by
+/// always absorbing the frontier vertex with the strongest connection to
+/// A, until A holds ~`fraction` of the total weight. Returns side flags.
+std::vector<bool> GrowBisection(const WeightedGraph& g, double fraction,
+                                Rng* rng) {
+  const std::size_t n = g.NumVertices();
+  const double target = fraction * g.TotalWeight();
+  std::vector<bool> in_a(n, false);
+  std::vector<double> conn(n, 0.0);
+  double weight_a = 0.0;
+
+  // Frontier as a lazy max-heap of (connectivity, vertex) snapshots.
+  std::priority_queue<std::pair<double, std::uint32_t>> frontier;
+  auto seed_new_region = [&]() {
+    for (std::size_t attempts = 0; attempts < n; ++attempts) {
+      const std::uint32_t v = rng->Uniform(n);
+      if (!in_a[v]) {
+        frontier.emplace(0.0, v);
+        return true;
+      }
+    }
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!in_a[v]) {
+        frontier.emplace(0.0, v);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  seed_new_region();
+  while (weight_a < target) {
+    if (frontier.empty() && !seed_new_region()) break;
+    if (frontier.empty()) break;
+    const auto [snapshot_conn, v] = frontier.top();
+    frontier.pop();
+    if (in_a[v]) continue;
+    if (snapshot_conn < conn[v]) {
+      // Stale snapshot; requeue with the fresh connectivity.
+      frontier.emplace(conn[v], v);
+      continue;
+    }
+    in_a[v] = true;
+    weight_a += g.vweights[v];
+    for (const auto& [u, w] : g.adj[v]) {
+      if (!in_a[u]) {
+        conn[u] += w;
+        frontier.emplace(conn[u], u);
+      }
+    }
+  }
+  return in_a;
+}
+
+/// FM-flavoured boundary refinement for a (possibly asymmetric) bisection:
+/// sides have target weights fraction*total and (1-fraction)*total; moves
+/// need positive gain unless the source side is overloaded.
+void RefineBisection(const WeightedGraph& g, double fraction, double beta,
+                     std::size_t passes, Rng* rng, std::vector<bool>* in_a) {
+  const std::size_t n = g.NumVertices();
+  const double total = g.TotalWeight();
+  const double max_a = beta * fraction * total;
+  const double max_b = beta * (1.0 - fraction) * total;
+
+  double weight_a = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if ((*in_a)[v]) weight_a += g.vweights[v];
+  }
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    rng->Shuffle(&order);
+    std::size_t moves = 0;
+    for (std::uint32_t v : order) {
+      const bool a_side = (*in_a)[v];
+      double conn_same = 0.0;
+      double conn_other = 0.0;
+      for (const auto& [u, w] : g.adj[v]) {
+        if ((*in_a)[u] == a_side) {
+          conn_same += w;
+        } else {
+          conn_other += w;
+        }
+      }
+      const double gain = conn_other - conn_same;
+      const double wv = g.vweights[v];
+      const double weight_b = total - weight_a;
+      const bool source_overloaded = a_side ? weight_a > max_a
+                                            : weight_b > max_b;
+      const bool target_has_room = a_side ? (weight_b + wv <= max_b)
+                                          : (weight_a + wv <= max_a);
+      if (!target_has_room) continue;
+      if (gain > 0.0 || source_overloaded) {
+        (*in_a)[v] = !a_side;
+        weight_a += a_side ? -wv : wv;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+}
+
+/// Induced subgraph over `keep` (flag per vertex); fills old->new map.
+WeightedGraph InducedSubgraph(const WeightedGraph& g,
+                              const std::vector<bool>& keep,
+                              std::vector<std::uint32_t>* old_ids) {
+  const std::size_t n = g.NumVertices();
+  std::vector<std::uint32_t> new_id(n, 0xffffffffu);
+  old_ids->clear();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (keep[v]) {
+      new_id[v] = static_cast<std::uint32_t>(old_ids->size());
+      old_ids->push_back(v);
+    }
+  }
+  WeightedGraph sub;
+  sub.adj.resize(old_ids->size());
+  sub.vweights.resize(old_ids->size());
+  for (std::uint32_t sv = 0; sv < old_ids->size(); ++sv) {
+    const std::uint32_t v = (*old_ids)[sv];
+    sub.vweights[sv] = g.vweights[v];
+    for (const auto& [u, w] : g.adj[v]) {
+      if (keep[u]) sub.adj[sv].emplace_back(new_id[u], w);
+    }
+  }
+  return sub;
+}
+
+/// Recursive bisection: partitions g into k parts labelled
+/// offset..offset+k-1 (the classic Metis initial-partitioning strategy).
+void RecursiveBisect(const WeightedGraph& g, PartitionId k,
+                     PartitionId offset, double beta, std::size_t passes,
+                     Rng* rng, std::vector<PartitionId>* labels_by_vertex,
+                     const std::vector<std::uint32_t>& global_ids) {
+  if (k <= 1 || g.NumVertices() == 0) {
+    for (std::uint32_t gid : global_ids) {
+      (*labels_by_vertex)[gid] = offset;
+    }
+    return;
+  }
+  const PartitionId k1 = k / 2;
+  const PartitionId k2 = k - k1;
+  const double fraction = static_cast<double>(k1) / static_cast<double>(k);
+
+  // GGGP: grow + refine from several seeds and keep the best bisection
+  // (cut weight of edges crossing the A/B boundary).
+  auto cut_weight = [&g](const std::vector<bool>& in_a) {
+    double cut = 0.0;
+    for (std::uint32_t v = 0; v < g.NumVertices(); ++v) {
+      if (!in_a[v]) continue;
+      for (const auto& [u, w] : g.adj[v]) {
+        if (!in_a[u]) cut += w;
+      }
+    }
+    return cut;
+  };
+  constexpr int kBisectionTries = 4;
+  std::vector<bool> in_a;
+  double best_cut = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < kBisectionTries; ++attempt) {
+    std::vector<bool> candidate = GrowBisection(g, fraction, rng);
+    RefineBisection(g, fraction, beta, passes, rng, &candidate);
+    const double cut = cut_weight(candidate);
+    if (cut < best_cut) {
+      best_cut = cut;
+      in_a = std::move(candidate);
+    }
+  }
+
+  std::vector<std::uint32_t> a_old;
+  std::vector<std::uint32_t> b_old;
+  const WeightedGraph sub_a = InducedSubgraph(g, in_a, &a_old);
+  std::vector<bool> in_b(in_a.size());
+  for (std::size_t v = 0; v < in_a.size(); ++v) in_b[v] = !in_a[v];
+  const WeightedGraph sub_b = InducedSubgraph(g, in_b, &b_old);
+
+  std::vector<std::uint32_t> a_global(a_old.size());
+  for (std::size_t i = 0; i < a_old.size(); ++i) {
+    a_global[i] = global_ids[a_old[i]];
+  }
+  std::vector<std::uint32_t> b_global(b_old.size());
+  for (std::size_t i = 0; i < b_old.size(); ++i) {
+    b_global[i] = global_ids[b_old[i]];
+  }
+  RecursiveBisect(sub_a, k1, offset, beta, passes, rng, labels_by_vertex,
+                  a_global);
+  RecursiveBisect(sub_b, k2, offset + k1, beta, passes, rng,
+                  labels_by_vertex, b_global);
+}
+
+/// K-way greedy boundary refinement (Fiduccia-Mattheyses flavour): moves a
+/// vertex to the partition maximizing connection gain subject to the
+/// balance constraint; overloaded partitions may shed with negative gain.
+void Refine(const WeightedGraph& g, PartitionId alpha, double beta,
+            std::size_t passes, Rng* rng, std::vector<PartitionId>* part) {
+  const std::size_t n = g.NumVertices();
+  const double total = g.TotalWeight();
+  const double avg = total / static_cast<double>(alpha);
+  const double max_weight = beta * avg;
+
+  std::vector<double> weight(alpha, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) weight[(*part)[v]] += g.vweights[v];
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> conn(alpha, 0.0);
+
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    rng->Shuffle(&order);
+    std::size_t moves = 0;
+    for (std::uint32_t v : order) {
+      const PartitionId s = (*part)[v];
+      const double wv = g.vweights[v];
+      const bool source_overloaded = weight[s] > max_weight;
+      std::fill(conn.begin(), conn.end(), 0.0);
+      bool boundary = false;
+      for (const auto& [u, w] : g.adj[v]) {
+        conn[(*part)[u]] += w;
+        if ((*part)[u] != s) boundary = true;
+      }
+      if (!boundary && !source_overloaded) continue;
+
+      // Best target by gain; ties prefer the lightest partition. When the
+      // source is overloaded any gain is admissible (shedding).
+      PartitionId best = s;
+      double best_gain = source_overloaded
+                             ? -std::numeric_limits<double>::infinity()
+                             : 0.0;
+      for (PartitionId t = 0; t < alpha; ++t) {
+        if (t == s) continue;
+        if (weight[t] + wv > max_weight) continue;
+        const double gain = conn[t] - conn[s];
+        if (gain > best_gain ||
+            (gain == best_gain && best != s && weight[t] < weight[best])) {
+          best = t;
+          best_gain = gain;
+        }
+      }
+      const bool worth_moving =
+          best != s &&
+          (source_overloaded || best_gain > 0.0 ||
+           (best_gain == 0.0 && weight[best] + wv < weight[s] - wv));
+      if (worth_moving) {
+        weight[s] -= wv;
+        weight[best] += wv;
+        (*part)[v] = best;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+}
+
+}  // namespace
+
+MultilevelPartitioner::MultilevelPartitioner(MultilevelOptions options)
+    : options_(options) {
+  HERMES_CHECK(options_.beta > 1.0);
+}
+
+PartitionAssignment MultilevelPartitioner::Partition(
+    const Graph& g, PartitionId alpha, MultilevelStats* stats) const {
+  HERMES_CHECK(alpha > 0);
+  Rng rng(options_.seed);
+  const std::size_t n = g.NumVertices();
+  if (stats != nullptr) *stats = MultilevelStats{};
+
+  if (n == 0 || alpha == 1) {
+    return PartitionAssignment(n, alpha);
+  }
+
+  const std::size_t coarsen_until =
+      options_.coarsen_until > 0
+          ? options_.coarsen_until
+          : std::max<std::size_t>(120, 24 * static_cast<std::size_t>(alpha));
+
+  // --- Coarsening phase ---------------------------------------------------
+  std::vector<WeightedGraph> levels;
+  std::vector<std::vector<std::uint32_t>> maps;  // fine -> coarse per level
+  levels.push_back(FromGraph(g));
+  std::size_t peak_memory = levels.back().MemoryBytes();
+
+  // Cap on merged vertex weight: a coarse vertex must stay well below a
+  // partition's weight budget or refinement cannot rebalance it later.
+  const double max_vweight =
+      levels.back().TotalWeight() / (4.0 * static_cast<double>(alpha));
+  while (levels.back().NumVertices() > coarsen_until &&
+         levels.size() < options_.max_levels) {
+    std::vector<std::uint32_t> coarse_of;
+    const std::size_t coarse_n =
+        HeavyEdgeMatching(levels.back(), max_vweight, &rng, &coarse_of);
+    // Stop when matching no longer shrinks the graph meaningfully.
+    if (coarse_n >
+        static_cast<std::size_t>(0.95 * static_cast<double>(
+                                            levels.back().NumVertices()))) {
+      break;
+    }
+    WeightedGraph coarse = Contract(levels.back(), coarse_of, coarse_n);
+    peak_memory += coarse.MemoryBytes();
+    maps.push_back(std::move(coarse_of));
+    levels.push_back(std::move(coarse));
+  }
+
+  // --- Initial partitioning: recursive bisection on the coarsest graph ----
+  const WeightedGraph& coarsest = levels.back();
+  std::vector<PartitionId> part(coarsest.NumVertices(), 0);
+  {
+    std::vector<std::uint32_t> all(coarsest.NumVertices());
+    std::iota(all.begin(), all.end(), 0);
+    RecursiveBisect(coarsest, alpha, 0, options_.beta,
+                    options_.refinement_passes * 2, &rng, &part, all);
+  }
+  Refine(coarsest, alpha, options_.beta, options_.refinement_passes * 2,
+         &rng, &part);
+
+  // --- Uncoarsening + refinement -------------------------------------------
+  for (std::size_t level = maps.size(); level-- > 0;) {
+    const auto& coarse_of = maps[level];
+    std::vector<PartitionId> fine_part(coarse_of.size());
+    for (std::size_t v = 0; v < coarse_of.size(); ++v) {
+      fine_part[v] = part[coarse_of[v]];
+    }
+    part = std::move(fine_part);
+    Refine(levels[level], alpha, options_.beta, options_.refinement_passes,
+           &rng, &part);
+  }
+
+  if (stats != nullptr) {
+    stats->levels = levels.size();
+    stats->peak_memory_bytes = peak_memory;
+  }
+
+  PartitionAssignment asg(n, alpha);
+  for (VertexId v = 0; v < n; ++v) asg.Assign(v, part[v]);
+  return asg;
+}
+
+}  // namespace hermes

@@ -1,0 +1,135 @@
+#include "partition/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hermes {
+
+namespace {
+
+/// Counts already-placed neighbors of v per partition.
+void NeighborCounts(const Graph& g, const std::vector<PartitionId>& part,
+                    VertexId v, std::vector<std::size_t>* counts) {
+  std::fill(counts->begin(), counts->end(), 0);
+  for (VertexId w : g.Neighbors(v)) {
+    if (part[w] != kInvalidPartition) ++(*counts)[part[w]];
+  }
+}
+
+std::vector<VertexId> StreamOrder(std::size_t n, std::uint64_t seed) {
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  return order;
+}
+
+}  // namespace
+
+LdgPartitioner::LdgPartitioner(LdgOptions options) : options_(options) {
+  HERMES_CHECK(options_.capacity_slack >= 1.0);
+}
+
+PartitionAssignment LdgPartitioner::Partition(
+    const Graph& g, PartitionId alpha) const {
+  const std::size_t n = g.NumVertices();
+  const double capacity = options_.capacity_slack *
+                          static_cast<double>(n) /
+                          static_cast<double>(alpha);
+  std::vector<PartitionId> part(n, kInvalidPartition);
+  std::vector<std::size_t> size(alpha, 0);
+  std::vector<std::size_t> counts(alpha, 0);
+
+  for (VertexId v : StreamOrder(n, options_.seed)) {
+    NeighborCounts(g, part, v, &counts);
+    PartitionId best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (PartitionId p = 0; p < alpha; ++p) {
+      const double fullness =
+          static_cast<double>(size[p]) / capacity;
+      if (fullness >= 1.0) continue;  // at capacity
+      const double score =
+          static_cast<double>(counts[p]) * (1.0 - fullness);
+      const bool better =
+          score > best_score ||
+          (score == best_score && size[p] < size[best]);
+      if (better) {
+        best = p;
+        best_score = score;
+      }
+    }
+    if (best_score == -std::numeric_limits<double>::infinity()) {
+      // All partitions full (slack = 1.0 rounding): take the smallest.
+      best = static_cast<PartitionId>(
+          std::min_element(size.begin(), size.end()) - size.begin());
+    }
+    part[v] = best;
+    ++size[best];
+  }
+
+  PartitionAssignment asg(n, alpha);
+  for (VertexId v = 0; v < n; ++v) asg.Assign(v, part[v]);
+  return asg;
+}
+
+FennelPartitioner::FennelPartitioner(FennelOptions options)
+    : options_(options) {
+  HERMES_CHECK(options_.gamma > 1.0);
+  HERMES_CHECK(options_.nu >= 1.0);
+}
+
+PartitionAssignment FennelPartitioner::Partition(
+    const Graph& g, PartitionId alpha) const {
+  const std::size_t n = g.NumVertices();
+  const std::size_t m = g.NumEdges();
+  // FENNEL's interpolation constant: alpha_cost = sqrt(k) * m / n^gamma.
+  const double alpha_cost =
+      std::sqrt(static_cast<double>(alpha)) * static_cast<double>(m) /
+      std::pow(static_cast<double>(std::max<std::size_t>(n, 1)),
+               options_.gamma);
+  const double capacity = options_.nu * static_cast<double>(n) /
+                          static_cast<double>(alpha);
+
+  std::vector<PartitionId> part(n, kInvalidPartition);
+  std::vector<std::size_t> size(alpha, 0);
+  std::vector<std::size_t> counts(alpha, 0);
+
+  for (VertexId v : StreamOrder(n, options_.seed)) {
+    NeighborCounts(g, part, v, &counts);
+    PartitionId best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (PartitionId p = 0; p < alpha; ++p) {
+      if (static_cast<double>(size[p]) + 1.0 > capacity) continue;
+      const double penalty =
+          alpha_cost * options_.gamma *
+          std::pow(static_cast<double>(size[p]),
+                   options_.gamma - 1.0);
+      const double score = static_cast<double>(counts[p]) - penalty;
+      const bool better =
+          score > best_score ||
+          (score == best_score && size[p] < size[best]);
+      if (better) {
+        best = p;
+        best_score = score;
+      }
+    }
+    if (best_score == -std::numeric_limits<double>::infinity()) {
+      best = static_cast<PartitionId>(
+          std::min_element(size.begin(), size.end()) - size.begin());
+    }
+    part[v] = best;
+    ++size[best];
+  }
+
+  PartitionAssignment asg(n, alpha);
+  for (VertexId v = 0; v < n; ++v) asg.Assign(v, part[v]);
+  return asg;
+}
+
+}  // namespace hermes

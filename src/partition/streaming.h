@@ -1,0 +1,59 @@
+#ifndef HERMES_PARTITION_STREAMING_H_
+#define HERMES_PARTITION_STREAMING_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "partition/assignment.h"
+
+namespace hermes {
+
+/// Streaming (single-pass) partitioners from the paper's related work
+/// (Section 6): vertices arrive one at a time and are placed permanently
+/// using only the placement of previously seen vertices. They improve
+/// *initial* placement but, as the paper notes, cannot adapt to workload
+/// changes afterwards — which is the gap the lightweight repartitioner
+/// fills.
+
+/// Linear Deterministic Greedy (Stanton & Kliot, KDD 2012 [32]):
+/// place v on the partition holding most of v's already-placed neighbors,
+/// discounted linearly by fullness: score = |N(v) ∩ P| * (1 - |P|/C).
+struct LdgOptions {
+  /// Per-partition capacity slack over n/alpha (1.0 = exact).
+  double capacity_slack = 1.0;
+  std::uint64_t seed = 3;
+};
+
+class LdgPartitioner {
+ public:
+  explicit LdgPartitioner(LdgOptions options = {});
+  PartitionAssignment Partition(const Graph& g,
+                                PartitionId num_partitions) const;
+
+ private:
+  LdgOptions options_;
+};
+
+/// FENNEL (Tsourakakis et al., WSDM 2014 [33]): interpolates between
+/// neighbor attraction and a superlinear load penalty:
+/// score = |N(v) ∩ P| - alpha_cost * gamma * |P|^(gamma-1).
+struct FennelOptions {
+  double gamma = 1.5;
+  /// Load-balance slack nu (partitions capped at nu * n / alpha).
+  double nu = 1.1;
+  std::uint64_t seed = 3;
+};
+
+class FennelPartitioner {
+ public:
+  explicit FennelPartitioner(FennelOptions options = {});
+  PartitionAssignment Partition(const Graph& g,
+                                PartitionId num_partitions) const;
+
+ private:
+  FennelOptions options_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_PARTITION_STREAMING_H_

@@ -1,0 +1,48 @@
+#ifndef HERMES_SIM_NETWORK_H_
+#define HERMES_SIM_NETWORK_H_
+
+#include <cstddef>
+
+#include "sim/simulator.h"
+
+namespace hermes {
+
+/// Cost model for the virtual cluster, in microseconds. Defaults are
+/// loosely calibrated to the paper's testbed (1GbE between dual-core
+/// servers): a remote traversal hop costs two orders of magnitude more
+/// than visiting a vertex locally — which is precisely why edge-cut drives
+/// throughput.
+struct NetworkParams {
+  /// CPU time to visit one vertex (read its record + adjacency step).
+  SimTime local_visit_us = 1.0;
+
+  /// Latency of forwarding a traversal to another server (RPC round
+  /// setup + wire time for a small message).
+  SimTime remote_hop_us = 120.0;
+
+  /// One-way client -> server request overhead (connection handling,
+  /// serialization, index lookup for the start vertex).
+  SimTime client_request_us = 150.0;
+
+  /// Extra cost per vertex visited on a server other than the one the
+  /// traversal originated on: request marshalling, result serialization,
+  /// and the remote server's dispatch work. This is what makes the
+  /// *number* of remote visits (edge-cut), not just the number of remote
+  /// round-trips, drive throughput.
+  SimTime remote_visit_overhead_us = 4.0;
+
+  /// CPU time for one record write (B+Tree append path).
+  SimTime write_op_us = 4.0;
+
+  /// Wire time per byte for bulk transfers (migration copy step);
+  /// ~1 Gb/s ≈ 0.008 us per byte.
+  SimTime per_byte_us = 0.008;
+
+  /// Fixed synchronization barrier cost between the copy and remove steps
+  /// of physical migration.
+  SimTime migration_barrier_us = 500.0;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_SIM_NETWORK_H_

@@ -1,0 +1,79 @@
+#ifndef HERMES_SIM_SIMULATOR_H_
+#define HERMES_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hermes {
+
+/// Simulated time in microseconds.
+using SimTime = double;
+
+/// Deterministic discrete-event simulator. The paper measured Hermes on a
+/// 16-machine cluster; we reproduce the *relative* performance of
+/// partitioning strategies by replaying the same request streams against a
+/// virtual cluster whose servers and network links have explicit costs.
+/// Determinism: ties in time are broken by insertion order.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when` (clamped to Now()).
+  void At(SimTime when, Callback cb) {
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_seq_++, std::move(cb)});
+  }
+
+  /// Schedules `cb` `delay` after Now().
+  void After(SimTime delay, Callback cb) {
+    At(now_ + delay, std::move(cb));
+  }
+
+  /// Runs events until the queue drains. Returns the final time.
+  SimTime Run() {
+    while (!queue_.empty()) Step();
+    return now_;
+  }
+
+  /// Runs events with time <= `until`. Later events stay queued.
+  SimTime RunUntil(SimTime until) {
+    while (!queue_.empty() && queue_.top().time <= until) Step();
+    if (now_ < until) now_ = until;
+    return now_;
+  }
+
+  bool Idle() const { return queue_.empty(); }
+  std::size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void Step() {
+    // Moving the callback out before popping keeps reentrant scheduling
+    // (callbacks scheduling new events) safe.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_SIM_SIMULATOR_H_

@@ -1,0 +1,52 @@
+#include "storage/dynamic_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hermes {
+
+RecordId DynamicStore::Put(const std::string& payload) {
+  const RecordId head = next_id_;
+  std::size_t offset = 0;
+  RecordId id = head;
+  do {
+    Block block;
+    const std::size_t chunk =
+        std::min(kBlockPayload, payload.size() - offset);
+    block.length = static_cast<std::uint8_t>(chunk);
+    if (chunk > 0) std::memcpy(block.data.data(), payload.data() + offset, chunk);
+    offset += chunk;
+    const bool more = offset < payload.size();
+    block.next = more ? id + 1 : kInvalidRecord;
+    blocks_.Insert(id, block);
+    ++id;
+  } while (offset < payload.size());
+  next_id_ = id;
+  return head;
+}
+
+Result<std::string> DynamicStore::Get(RecordId head) const {
+  std::string out;
+  RecordId id = head;
+  while (id != kInvalidRecord) {
+    const Block* block = blocks_.Find(id);
+    if (block == nullptr) return Status::NotFound("dangling dynamic block");
+    out.append(block->data.data(), block->length);
+    id = block->next;
+  }
+  return out;
+}
+
+Status DynamicStore::Free(RecordId head) {
+  RecordId id = head;
+  while (id != kInvalidRecord) {
+    const Block* block = blocks_.Find(id);
+    if (block == nullptr) return Status::NotFound("dangling dynamic block");
+    const RecordId next = block->next;
+    blocks_.Erase(id);
+    id = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace hermes

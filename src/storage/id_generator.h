@@ -1,0 +1,54 @@
+#ifndef HERMES_STORAGE_ID_GENERATOR_H_
+#define HERMES_STORAGE_ID_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace hermes {
+
+/// Monotonically increasing ID generator, namespaced by origin partition.
+///
+/// Neo4j relies on contiguous, monotonically increasing IDs so inserts
+/// always append (Section 5.3.3: "insertions in the B+Tree always happen
+/// in the last page"). In a sharded deployment each server must mint
+/// globally unique IDs without coordination, so the top 16 bits carry the
+/// origin partition and the low 48 bits a local monotonic counter.
+class IdGenerator {
+ public:
+  explicit IdGenerator(PartitionId origin, std::uint64_t start = 0)
+      : origin_(static_cast<std::uint64_t>(origin) << kShift),
+        next_(start) {}
+
+  /// Next globally unique id; strictly increasing per generator.
+  RecordId Next() { return origin_ | next_++; }
+
+  /// Advances past `id` if it was minted elsewhere with our origin
+  /// (used when ingesting migrated records).
+  void ObserveExternal(RecordId id) {
+    if (OriginOf(id) == origin()) {
+      const std::uint64_t local = LocalOf(id);
+      if (local >= next_) next_ = local + 1;
+    }
+  }
+
+  PartitionId origin() const {
+    return static_cast<PartitionId>(origin_ >> kShift);
+  }
+
+  static PartitionId OriginOf(RecordId id) {
+    return static_cast<PartitionId>(id >> kShift);
+  }
+  static std::uint64_t LocalOf(RecordId id) { return id & kLocalMask; }
+
+ private:
+  static constexpr unsigned kShift = 48;
+  static constexpr std::uint64_t kLocalMask = (1ULL << kShift) - 1;
+
+  std::uint64_t origin_;
+  std::uint64_t next_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_STORAGE_ID_GENERATOR_H_

@@ -1,0 +1,124 @@
+#include "storage/page_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace hermes {
+
+PageCache::PageCache(PagedFile* file, std::size_t capacity_pages)
+    : file_(file), capacity_(std::max<std::size_t>(1, capacity_pages)) {}
+
+Result<Page*> PageCache::Pin(std::uint64_t page_no) {
+  auto it = frames_.find(page_no);
+  if (it != frames_.end()) {
+    Frame* frame = it->second.get();
+    ++stats_.hits;
+    if (frame->in_lru) {
+      lru_.erase(frame->lru_pos);
+      frame->in_lru = false;
+    }
+    ++frame->pins;
+    return &frame->page;
+  }
+
+  ++stats_.misses;
+  if (frames_.size() >= capacity_) {
+    HERMES_RETURN_NOT_OK(EvictOne());
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->page_no = page_no;
+  frame->pins = 1;
+  HERMES_RETURN_NOT_OK(file_->ReadPage(page_no, &frame->page));
+  Page* page = &frame->page;
+  frames_.emplace(page_no, std::move(frame));
+  return page;
+}
+
+void PageCache::Unpin(std::uint64_t page_no, bool dirty) {
+  auto it = frames_.find(page_no);
+  HERMES_CHECK(it != frames_.end());
+  Frame* frame = it->second.get();
+  HERMES_CHECK(frame->pins > 0);
+  frame->dirty = frame->dirty || dirty;
+  if (--frame->pins == 0) {
+    lru_.push_front(page_no);
+    frame->lru_pos = lru_.begin();
+    frame->in_lru = true;
+  }
+}
+
+Status PageCache::EvictOne() {
+  if (lru_.empty()) {
+    return Status::Internal("page cache exhausted: all pages pinned");
+  }
+  const std::uint64_t victim = lru_.back();
+  lru_.pop_back();
+  auto it = frames_.find(victim);
+  HERMES_CHECK(it != frames_.end());
+  Frame* frame = it->second.get();
+  if (frame->dirty) {
+    HERMES_RETURN_NOT_OK(file_->WritePage(victim, frame->page));
+    ++stats_.writebacks;
+  }
+  frames_.erase(it);
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Status PageCache::FlushAll() {
+  for (auto& [page_no, frame] : frames_) {
+    if (frame->dirty) {
+      HERMES_RETURN_NOT_OK(file_->WritePage(page_no, frame->page));
+      frame->dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return file_->Sync();
+}
+
+void PagedWriter::Append(const void* data, std::size_t size) {
+  if (!first_error_.ok()) return;
+  const auto* src = static_cast<const unsigned char*>(data);
+  while (size > 0) {
+    const std::uint64_t page_no = position_ / kPageSize;
+    const std::size_t offset = position_ % kPageSize;
+    const std::size_t chunk = std::min(size, kPageSize - offset);
+    auto page = cache_->Pin(page_no);
+    if (!page.ok()) {
+      first_error_ = page.status();
+      return;
+    }
+    std::memcpy((*page)->bytes.data() + offset, src, chunk);
+    cache_->Unpin(page_no, /*dirty=*/true);
+    src += chunk;
+    size -= chunk;
+    position_ += chunk;
+  }
+}
+
+Status PagedWriter::Finish() {
+  HERMES_RETURN_NOT_OK(first_error_);
+  return cache_->FlushAll();
+}
+
+bool PagedReader::Read(void* out, std::size_t size) {
+  if (position_ + size > limit_) return false;
+  auto* dst = static_cast<unsigned char*>(out);
+  while (size > 0) {
+    const std::uint64_t page_no = position_ / kPageSize;
+    const std::size_t offset = position_ % kPageSize;
+    const std::size_t chunk = std::min(size, kPageSize - offset);
+    auto page = cache_->Pin(page_no);
+    if (!page.ok()) return false;
+    std::memcpy(dst, (*page)->bytes.data() + offset, chunk);
+    cache_->Unpin(page_no, /*dirty=*/false);
+    dst += chunk;
+    size -= chunk;
+    position_ += chunk;
+  }
+  return true;
+}
+
+}  // namespace hermes

@@ -1,0 +1,108 @@
+#ifndef HERMES_STORAGE_PAGE_CACHE_H_
+#define HERMES_STORAGE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/paged_file.h"
+
+namespace hermes {
+
+/// LRU page cache over a PagedFile — the buffer-management layer between
+/// the stores and disk (Neo4j's page cache). Pages are pinned for access;
+/// unpinned dirty pages are written back on eviction or on FlushAll().
+class PageCache {
+ public:
+  PageCache(PagedFile* file, std::size_t capacity_pages);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Pins `page_no` and returns a pointer to its in-memory copy, loading
+  /// it (or materializing a zero page past EOF) on miss. The pointer
+  /// stays valid until Unpin.
+  Result<Page*> Pin(std::uint64_t page_no);
+
+  /// Releases a pin; `dirty` marks the page for write-back.
+  void Unpin(std::uint64_t page_no, bool dirty);
+
+  /// Writes back every dirty page and syncs the file.
+  Status FlushAll();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t resident() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    Page page;
+    std::uint64_t page_no = 0;
+    int pins = 0;
+    bool dirty = false;
+    std::list<std::uint64_t>::iterator lru_pos;  // valid when pins == 0
+    bool in_lru = false;
+  };
+
+  /// Evicts one unpinned page (LRU order); fails when all pages pinned.
+  Status EvictOne();
+
+  PagedFile* file_;
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  Stats stats_;
+};
+
+/// Sequential byte-stream writer over a PageCache: Append() packs bytes
+/// into consecutive pages; Finish() flushes. Used by the snapshot writer
+/// so bulk store I/O exercises the buffer layer.
+class PagedWriter {
+ public:
+  explicit PagedWriter(PageCache* cache) : cache_(cache) {}
+
+  /// Appends raw bytes; errors are sticky and reported by Finish().
+  void Append(const void* data, std::size_t size);
+
+  /// Total bytes appended so far.
+  std::uint64_t position() const { return position_; }
+
+  /// Flushes and returns the first error encountered (if any).
+  Status Finish();
+
+ private:
+  PageCache* cache_;
+  std::uint64_t position_ = 0;
+  Status first_error_;
+};
+
+/// Sequential reader counterpart.
+class PagedReader {
+ public:
+  PagedReader(PageCache* cache, std::uint64_t limit_bytes)
+      : cache_(cache), limit_(limit_bytes) {}
+
+  /// Reads exactly `size` bytes; returns false at/past end or on error.
+  bool Read(void* out, std::size_t size);
+
+  std::uint64_t position() const { return position_; }
+
+ private:
+  PageCache* cache_;
+  std::uint64_t position_ = 0;
+  std::uint64_t limit_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_STORAGE_PAGE_CACHE_H_

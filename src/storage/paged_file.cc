@@ -1,0 +1,67 @@
+#include "storage/paged_file.h"
+
+#include <cstring>
+#include <filesystem>
+
+namespace hermes {
+
+Result<PagedFile> PagedFile::Open(const std::string& path) {
+  // Ensure the file exists before opening read/write.
+  if (!std::filesystem::exists(path)) {
+    std::ofstream create(path, std::ios::binary);
+    if (!create) return Status::IOError("cannot create " + path);
+  }
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) return Status::IOError("cannot open " + path);
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(file.tellg());
+  return PagedFile(path, std::move(file),
+                   (size + kPageSize - 1) / kPageSize);
+}
+
+Status PagedFile::ReadPage(std::uint64_t page_no, Page* page) {
+  if (page_no >= num_pages_) {
+    page->bytes.fill(0);
+    return Status::OK();
+  }
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(page_no * kPageSize));
+  file_.read(reinterpret_cast<char*>(page->bytes.data()), kPageSize);
+  if (file_.gcount() < static_cast<std::streamsize>(kPageSize)) {
+    // Short tail page: zero-fill the remainder.
+    std::memset(page->bytes.data() + file_.gcount(), 0,
+                kPageSize - static_cast<std::size_t>(file_.gcount()));
+    file_.clear();
+  }
+  return Status::OK();
+}
+
+Status PagedFile::WritePage(std::uint64_t page_no, const Page& page) {
+  file_.clear();
+  file_.seekp(static_cast<std::streamoff>(page_no * kPageSize));
+  file_.write(reinterpret_cast<const char*>(page.bytes.data()), kPageSize);
+  if (!file_) return Status::IOError("page write failed");
+  num_pages_ = std::max(num_pages_, page_no + 1);
+  return Status::OK();
+}
+
+Status PagedFile::Sync() {
+  file_.flush();
+  if (!file_) return Status::IOError("sync failed");
+  return Status::OK();
+}
+
+Status PagedFile::Reset() {
+  file_.close();
+  {
+    std::ofstream truncate(path_, std::ios::binary | std::ios::trunc);
+    if (!truncate) return Status::IOError("truncate failed");
+  }
+  file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
+  if (!file_) return Status::IOError("reopen failed");
+  num_pages_ = 0;
+  return Status::OK();
+}
+
+}  // namespace hermes

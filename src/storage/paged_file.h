@@ -1,0 +1,64 @@
+#ifndef HERMES_STORAGE_PAGED_FILE_H_
+#define HERMES_STORAGE_PAGED_FILE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hermes {
+
+/// Fixed page size used by the storage layer (Neo4j's page cache default).
+inline constexpr std::size_t kPageSize = 8192;
+
+/// One 8 KiB page of raw bytes.
+struct Page {
+  std::array<unsigned char, kPageSize> bytes{};
+};
+
+/// A file addressed in fixed-size pages — the unit the PageCache manages.
+/// All higher-level store files (snapshots, and any future paged record
+/// stores) sit on this abstraction.
+class PagedFile {
+ public:
+  /// Opens (creating if needed) the paged file at `path`.
+  static Result<PagedFile> Open(const std::string& path);
+
+  PagedFile(PagedFile&&) = default;
+  PagedFile& operator=(PagedFile&&) = default;
+
+  /// Reads page `page_no`. Reading a page past the end yields zeros (the
+  /// file grows lazily).
+  Status ReadPage(std::uint64_t page_no, Page* page);
+
+  /// Writes page `page_no`, growing the file as needed.
+  Status WritePage(std::uint64_t page_no, const Page& page);
+
+  /// Pages currently materialized in the file.
+  std::uint64_t NumPages() const { return num_pages_; }
+
+  Status Sync();
+
+  /// Truncates to zero pages.
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  PagedFile(std::string path, std::fstream file, std::uint64_t num_pages)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        num_pages_(num_pages) {}
+
+  std::string path_;
+  std::fstream file_;
+  std::uint64_t num_pages_ = 0;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,66 @@
+#ifndef HERMES_STORAGE_RECORD_STORE_H_
+#define HERMES_STORAGE_RECORD_STORE_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/bptree.h"
+
+namespace hermes {
+
+/// A store of fixed-size records keyed by RecordId through a B+Tree index.
+/// One instance per record type per partition (node store, relationship
+/// store, property store).
+template <typename Record>
+class RecordStore {
+ public:
+  /// Creates a record under `id`; fails if the id is taken.
+  Status Create(RecordId id, Record record) {
+    if (!tree_.Insert(id, std::move(record))) {
+      return Status::AlreadyExists("record id already in use");
+    }
+    return Status::OK();
+  }
+
+  /// Copy of the record.
+  Result<Record> Get(RecordId id) const {
+    const Record* r = tree_.Find(id);
+    if (r == nullptr) return Status::NotFound("no such record");
+    return *r;
+  }
+
+  /// In-place access; nullptr when absent.
+  Record* GetMutable(RecordId id) { return tree_.FindMutable(id); }
+  const Record* GetPtr(RecordId id) const { return tree_.Find(id); }
+
+  bool Exists(RecordId id) const { return tree_.Contains(id); }
+
+  Status Delete(RecordId id) {
+    if (!tree_.Erase(id)) return Status::NotFound("no such record");
+    return Status::OK();
+  }
+
+  std::size_t size() const { return tree_.size(); }
+
+  /// Approximate resident bytes (records + index keys).
+  std::size_t MemoryBytes() const {
+    return tree_.size() * (sizeof(Record) + sizeof(RecordId));
+  }
+
+  /// Iterates records in id order; `fn(id, record)` returning false stops.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (auto it = tree_.begin(); it != tree_.end(); ++it) {
+      if (!fn(it.key(), it.value())) break;
+    }
+  }
+
+ private:
+  BPlusTree<RecordId, Record, 64> tree_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_STORAGE_RECORD_STORE_H_

@@ -1,0 +1,152 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+namespace hermes {
+
+namespace {
+
+/// Fixed-width binary header preceding each entry's variable payload.
+struct EntryHeader {
+  std::uint8_t type;
+  std::uint64_t lsn;
+  std::uint64_t a;
+  std::uint64_t b;
+  double weight;
+  std::uint32_t key;
+  std::uint8_t flag;
+  std::uint32_t payload_size;
+};
+
+void PutBytes(std::string* buf, const void* data, std::size_t size) {
+  buf->append(static_cast<const char*>(data), size);
+}
+
+std::string EncodeEntry(const WalEntry& e) {
+  EntryHeader h{};
+  h.type = static_cast<std::uint8_t>(e.type);
+  h.lsn = e.lsn;
+  h.a = e.a;
+  h.b = e.b;
+  h.weight = e.weight;
+  h.key = e.key;
+  h.flag = e.flag;
+  h.payload_size = static_cast<std::uint32_t>(e.payload.size());
+
+  std::string body;
+  PutBytes(&body, &h, sizeof(h));
+  body += e.payload;
+
+  // Frame: [u32 length][u32 crc][body].
+  std::string frame;
+  const auto length = static_cast<std::uint32_t>(body.size());
+  const std::uint32_t crc = WalCrc32(body.data(), body.size());
+  PutBytes(&frame, &length, sizeof(length));
+  PutBytes(&frame, &crc, sizeof(crc));
+  frame += body;
+  return frame;
+}
+
+}  // namespace
+
+std::uint32_t WalCrc32(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= bytes[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0x82f63b78u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
+  // Scan any existing log to find the next LSN.
+  std::uint64_t next_lsn = 1;
+  {
+    auto existing = ReadAll(path, /*after_last_checkpoint=*/false);
+    if (existing.ok() && !existing->empty()) {
+      next_lsn = existing->back().lsn + 1;
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("cannot open WAL at " + path);
+  return WriteAheadLog(path, std::move(out), next_lsn);
+}
+
+Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry) {
+  entry.lsn = next_lsn_++;
+  const std::string frame = EncodeEntry(entry);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  if (!out_) return Status::IOError("WAL append failed");
+  return entry.lsn;
+}
+
+Status WriteAheadLog::Sync() {
+  out_.flush();
+  if (!out_) return Status::IOError("WAL sync failed");
+  return Status::OK();
+}
+
+Result<std::uint64_t> WriteAheadLog::LogCheckpoint() {
+  WalEntry marker;
+  marker.type = WalOpType::kCheckpoint;
+  HERMES_ASSIGN_OR_RETURN(std::uint64_t lsn, Append(marker));
+  HERMES_RETURN_NOT_OK(Sync());
+  return lsn;
+}
+
+Result<std::vector<WalEntry>> WriteAheadLog::ReadAll(
+    const std::string& path, bool after_last_checkpoint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot read WAL at " + path);
+
+  std::vector<WalEntry> entries;
+  for (;;) {
+    std::uint32_t length = 0;
+    std::uint32_t crc = 0;
+    if (!in.read(reinterpret_cast<char*>(&length), sizeof(length))) break;
+    if (!in.read(reinterpret_cast<char*>(&crc), sizeof(crc))) break;
+    if (length < sizeof(EntryHeader) || length > (1u << 26)) break;
+    std::string body(length, '\0');
+    if (!in.read(body.data(), length)) break;  // torn tail: stop replay
+    if (WalCrc32(body.data(), body.size()) != crc) break;  // corrupt tail
+
+    EntryHeader h;
+    std::memcpy(&h, body.data(), sizeof(h));
+    if (sizeof(h) + h.payload_size != body.size()) break;
+    WalEntry e;
+    e.type = static_cast<WalOpType>(h.type);
+    e.lsn = h.lsn;
+    e.a = h.a;
+    e.b = h.b;
+    e.weight = h.weight;
+    e.key = h.key;
+    e.flag = h.flag;
+    e.payload = body.substr(sizeof(h));
+    entries.push_back(std::move(e));
+  }
+
+  if (after_last_checkpoint) {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].type == WalOpType::kCheckpoint) start = i + 1;
+    }
+    entries.erase(entries.begin(),
+                  entries.begin() + static_cast<std::ptrdiff_t>(start));
+  }
+  return entries;
+}
+
+Status WriteAheadLog::Reset() {
+  out_.close();
+  std::ofstream truncate(path_, std::ios::binary | std::ios::trunc);
+  if (!truncate) return Status::IOError("WAL truncate failed");
+  truncate.close();
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) return Status::IOError("WAL reopen failed");
+  return Status::OK();
+}
+
+}  // namespace hermes

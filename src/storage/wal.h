@@ -1,0 +1,96 @@
+#ifndef HERMES_STORAGE_WAL_H_
+#define HERMES_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hermes {
+
+/// Logical operations recorded in the write-ahead log. Each entry is the
+/// redo record for one mutation of a partition's GraphStore.
+enum class WalOpType : std::uint8_t {
+  kCreateNode = 1,
+  kRemoveNode = 2,
+  kSetNodeState = 3,
+  kAddNodeWeight = 4,
+  kAddEdge = 5,
+  kRemoveEdge = 6,
+  kSetNodeProperty = 7,
+  kSetEdgeProperty = 8,
+  kCheckpoint = 9,  // snapshot boundary: earlier entries are durable
+};
+
+/// One redo record. Fields are interpreted per op type; unused fields stay
+/// at their defaults.
+struct WalEntry {
+  WalOpType type = WalOpType::kCheckpoint;
+  std::uint64_t lsn = 0;            // log sequence number, assigned on append
+  VertexId a = kInvalidVertex;      // primary vertex
+  VertexId b = kInvalidVertex;      // other endpoint (edges)
+  double weight = 0.0;              // node weight / weight delta
+  std::uint32_t key = 0;            // property key / relationship type
+  std::uint8_t flag = 0;            // other_is_local / NodeState
+  std::string payload;              // property value
+
+  bool operator==(const WalEntry& other) const {
+    return type == other.type && lsn == other.lsn && a == other.a &&
+           b == other.b && weight == other.weight && key == other.key &&
+           flag == other.flag && payload == other.payload;
+  }
+};
+
+/// Append-only write-ahead log with CRC-protected, length-prefixed binary
+/// records. Mutations are logged before they are applied to the store
+/// (WAL rule); recovery replays every complete entry after the last
+/// checkpoint and discards a torn tail (crash during append).
+class WriteAheadLog {
+ public:
+  /// Opens (creating if needed) the log at `path` for appending.
+  static Result<WriteAheadLog> Open(const std::string& path);
+
+  WriteAheadLog(WriteAheadLog&&) = default;
+  WriteAheadLog& operator=(WriteAheadLog&&) = default;
+
+  /// Appends an entry; assigns and returns its LSN.
+  Result<std::uint64_t> Append(WalEntry entry);
+
+  /// Forces buffered appends to the OS.
+  Status Sync();
+
+  /// Appends a checkpoint marker (call right after a snapshot succeeds).
+  Result<std::uint64_t> LogCheckpoint();
+
+  /// Reads all complete entries from a log file, tolerating a torn final
+  /// record. Entries before the *last* checkpoint are skipped when
+  /// `after_last_checkpoint` is true.
+  static Result<std::vector<WalEntry>> ReadAll(
+      const std::string& path, bool after_last_checkpoint = false);
+
+  /// Truncates the log (after a snapshot made it redundant).
+  Status Reset();
+
+  std::uint64_t next_lsn() const { return next_lsn_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(std::string path, std::ofstream out, std::uint64_t next_lsn)
+      : path_(std::move(path)), out_(std::move(out)), next_lsn_(next_lsn) {}
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t next_lsn_ = 1;
+};
+
+/// CRC32 (Castagnoli polynomial, bitwise) used by the log format; exposed
+/// for tests.
+std::uint32_t WalCrc32(const void* data, std::size_t size);
+
+}  // namespace hermes
+
+#endif  // HERMES_STORAGE_WAL_H_

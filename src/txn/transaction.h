@@ -1,0 +1,90 @@
+#ifndef HERMES_TXN_TRANSACTION_H_
+#define HERMES_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/lock_manager.h"
+
+namespace hermes {
+
+/// A transaction context: tracks acquired locks and releases them all on
+/// commit or abort (strict two-phase locking). Queries on unavailable
+/// (mid-migration) records never reach the lock table — the store rejects
+/// them first — which is what lets the remove step proceed without lock
+/// contention (Section 3.2).
+class Transaction {
+ public:
+  Transaction(std::uint64_t id, LockManager* locks)
+      : id_(id), locks_(locks) {}
+
+  ~Transaction() {
+    if (!finished_) Abort();
+  }
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  Transaction(Transaction&& other) noexcept
+      : id_(other.id_), locks_(other.locks_),
+        held_(std::move(other.held_)), finished_(other.finished_) {
+    other.finished_ = true;
+  }
+
+  std::uint64_t id() const { return id_; }
+  bool finished() const { return finished_; }
+
+  /// Read lock on a record key; kTimedOut signals deadlock resolution and
+  /// the caller must Abort().
+  Status LockShared(LockManager::LockKey key) {
+    HERMES_RETURN_NOT_OK(locks_->AcquireShared(id_, key));
+    held_.push_back(key);
+    return Status::OK();
+  }
+
+  Status LockExclusive(LockManager::LockKey key) {
+    HERMES_RETURN_NOT_OK(locks_->AcquireExclusive(id_, key));
+    held_.push_back(key);
+    return Status::OK();
+  }
+
+  void Commit() { Finish(); }
+  void Abort() { Finish(); }
+
+ private:
+  void Finish() {
+    if (finished_) return;
+    for (LockManager::LockKey key : held_) locks_->Release(id_, key);
+    held_.clear();
+    finished_ = true;
+  }
+
+  std::uint64_t id_;
+  LockManager* locks_;
+  std::vector<LockManager::LockKey> held_;
+  bool finished_ = false;
+};
+
+/// Issues transaction ids and owns the lock table.
+class TransactionManager {
+ public:
+  explicit TransactionManager(
+      std::chrono::milliseconds lock_timeout = std::chrono::milliseconds(100))
+      : locks_(lock_timeout) {}
+
+  Transaction Begin() {
+    return Transaction(next_id_.fetch_add(1, std::memory_order_relaxed),
+                       &locks_);
+  }
+
+  LockManager* lock_manager() { return &locks_; }
+
+ private:
+  std::atomic<std::uint64_t> next_id_{1};
+  LockManager locks_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_TXN_TRANSACTION_H_

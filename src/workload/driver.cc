@@ -1,0 +1,163 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hermes {
+
+namespace {
+
+/// Shared mutable state for one workload run.
+struct RunState {
+  HermesCluster* cluster;
+  const std::vector<Operation>* trace;
+  const NetworkParams* net;
+  Simulator sim;
+  std::vector<SimTime> server_free;  // per-server FIFO availability
+  std::size_t next_op = 0;
+  ThroughputReport report;
+
+  /// Serves `service_us` of work on server `p` for a request arriving at
+  /// Now(); returns the completion time.
+  SimTime Serve(PartitionId p, SimTime service_us) {
+    const SimTime start = std::max(sim.Now(), server_free[p]);
+    const SimTime done = start + service_us;
+    server_free[p] = done;
+    return done;
+  }
+};
+
+void ClientLoop(RunState* state);
+
+void FinishOpAt(RunState* state, SimTime when) {
+  state->sim.At(when, [state] { ClientLoop(state); });
+}
+
+/// Executes segment `index` of a traversal at its actual arrival time,
+/// then schedules the next segment one remote hop later. Scheduling each
+/// hop as its own event keeps server FIFO queues honest: a server's time
+/// is only claimed once the forwarded request has really arrived.
+void TraversalSegmentStep(
+    RunState* state,
+    std::shared_ptr<const HermesCluster::TraversalRun> run,
+    std::size_t index) {
+  const NetworkParams& net = *state->net;
+  const PartitionId origin = run->segments.front().first;
+  const auto [server, visits] = run->segments[index];
+  SimTime per_visit = net.local_visit_us;
+  if (server != origin) per_visit += net.remote_visit_overhead_us;
+  const SimTime done =
+      state->Serve(server, static_cast<SimTime>(visits) * per_visit);
+  if (index + 1 < run->segments.size()) {
+    state->sim.At(done + net.remote_hop_us,
+                  [state, run = std::move(run), index] {
+                    TraversalSegmentStep(state, std::move(run), index + 1);
+                  });
+  } else {
+    FinishOpAt(state, done + net.client_request_us);
+  }
+}
+
+/// Advances one client: executes its next operation functionally (state
+/// changes take effect now, in simulated-time order), then charges the
+/// operation's latency through the event queue.
+void ClientLoop(RunState* state) {
+  if (state->next_op >= state->trace->size()) return;
+  const Operation& op = (*state->trace)[state->next_op++];
+  HermesCluster* cluster = state->cluster;
+  const NetworkParams& net = *state->net;
+
+  switch (op.type) {
+    case Operation::Type::kRead: {
+      auto run = cluster->ExecuteRead(op.start, op.hops);
+      if (!run.ok()) {
+        ++state->report.failed_ops;
+        FinishOpAt(state, state->sim.Now() + net.client_request_us);
+        return;
+      }
+      state->report.vertices_processed += run->vertices_processed;
+      state->report.unique_vertices += run->unique_vertices;
+      state->report.remote_hops += run->remote_hops;
+      ++state->report.reads_completed;
+
+      auto shared =
+          std::make_shared<const HermesCluster::TraversalRun>(std::move(*run));
+      state->sim.After(net.client_request_us,
+                       [state, shared = std::move(shared)] {
+                         TraversalSegmentStep(state, std::move(shared), 0);
+                       });
+      return;
+    }
+    case Operation::Type::kInsertVertex: {
+      auto id = cluster->InsertVertex();
+      if (id.ok()) {
+        const PartitionId p = cluster->assignment().PartitionOf(*id);
+        ++state->report.writes_completed;
+        state->report.vertices_processed += 1;  // the created record
+        // Writes acknowledge once enqueued; the sequential-append B+Tree
+        // write path drains in the background (Section 5.3.3 attributes
+        // the small write-rate impact to exactly this property). The
+        // server time is still claimed, delaying reads that queue behind.
+        state->sim.After(net.client_request_us, [state, p] {
+          state->Serve(p, state->net->write_op_us);
+        });
+        FinishOpAt(state, state->sim.Now() + net.client_request_us);
+      } else {
+        ++state->report.failed_ops;
+        FinishOpAt(state, state->sim.Now() + 2.0 * net.client_request_us);
+      }
+      return;
+    }
+    case Operation::Type::kInsertEdge: {
+      const PartitionId pu = cluster->assignment().PartitionOf(op.start);
+      const PartitionId pv = cluster->assignment().PartitionOf(op.other);
+      const Status st = cluster->InsertEdge(op.start, op.other);
+      if (!st.ok()) {
+        ++state->report.failed_ops;  // duplicate edge, lock timeout, ...
+        FinishOpAt(state, state->sim.Now() + 2.0 * net.client_request_us);
+        return;
+      }
+      ++state->report.writes_completed;
+      state->report.vertices_processed += 2;  // both endpoint records
+      // Two record writes on pu (relationship + chain-head update);
+      // cross-partition edges add the ghost copy's writes after a hop.
+      // Acknowledged once enqueued (see the kInsertVertex note).
+      state->sim.After(net.client_request_us, [state, pu, pv] {
+        const NetworkParams& n = *state->net;
+        const SimTime first = state->Serve(pu, 2.0 * n.write_op_us);
+        if (pu != pv) {
+          state->sim.At(first + n.remote_hop_us, [state, pv] {
+            state->Serve(pv, 2.0 * state->net->write_op_us);
+          });
+        }
+      });
+      FinishOpAt(state, state->sim.Now() + net.client_request_us);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ThroughputReport RunWorkload(HermesCluster* cluster,
+                             const std::vector<Operation>& trace,
+                             const DriverOptions& options) {
+  RunState state;
+  state.cluster = cluster;
+  state.trace = &trace;
+  state.net = &cluster->options().net;
+  state.server_free.assign(cluster->num_servers(), 0.0);
+
+  const std::size_t clients = std::max<std::size_t>(1, options.num_clients);
+  for (std::size_t c = 0; c < clients && c < trace.size(); ++c) {
+    state.sim.At(0.0, [&state] { ClientLoop(&state); });
+  }
+  state.report.duration_us = state.sim.Run();
+  return state.report;
+}
+
+}  // namespace hermes

@@ -1,0 +1,58 @@
+#ifndef HERMES_WORKLOAD_DRIVER_H_
+#define HERMES_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/hermes_cluster.h"
+#include "workload/trace.h"
+
+namespace hermes {
+
+/// Closed-loop driver parameters (the paper uses 32 concurrent clients
+/// against 16 servers).
+struct DriverOptions {
+  std::size_t num_clients = 32;
+};
+
+/// Aggregate results of one timed workload run.
+struct ThroughputReport {
+  SimTime duration_us = 0.0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t failed_ops = 0;
+  std::uint64_t vertices_processed = 0;  // paper's throughput numerator
+  std::uint64_t unique_vertices = 0;     // query-response size
+  std::uint64_t remote_hops = 0;
+
+  /// Aggregate throughput in visited vertices per simulated second.
+  double VerticesPerSecond() const {
+    return duration_us <= 0.0
+               ? 0.0
+               : static_cast<double>(vertices_processed) /
+                     (duration_us / 1e6);
+  }
+
+  /// Response / processed ratio (Section 5.3.2): 1.0 for 1-hop,
+  /// well below 1 for 2-hop due to revisits.
+  double ResponseProcessedRatio() const {
+    return vertices_processed == 0
+               ? 0.0
+               : static_cast<double>(unique_vertices) /
+                     static_cast<double>(vertices_processed);
+  }
+};
+
+/// Replays `trace` against the cluster with `num_clients` closed-loop
+/// clients over the discrete-event simulator: each read is decomposed into
+/// per-server segments (queueing at busy servers, remote-hop latency
+/// between segments); writes charge record-write time on the involved
+/// servers. Mutating operations take effect in simulated-time order, so
+/// runs are deterministic.
+ThroughputReport RunWorkload(HermesCluster* cluster,
+                             const std::vector<Operation>& trace,
+                             const DriverOptions& options = {});
+
+}  // namespace hermes
+
+#endif  // HERMES_WORKLOAD_DRIVER_H_

@@ -1,0 +1,46 @@
+#include "workload/trace.h"
+
+#include "common/rng.h"
+
+namespace hermes {
+
+std::vector<Operation> GenerateTrace(const Graph& g,
+                                     const PartitionAssignment& assignment,
+                                     const TraceOptions& opt) {
+  Rng rng(opt.seed);
+  const std::size_t n = g.NumVertices();
+
+  // Start-vertex sampler: uniform, with hot-partition vertices boosted by
+  // skew_factor.
+  std::vector<double> cumulative(n);
+  double acc = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const bool hot = opt.hot_partition != kInvalidPartition &&
+                     assignment.PartitionOf(v) == opt.hot_partition;
+    acc += hot ? opt.skew_factor : 1.0;
+    cumulative[v] = acc;
+  }
+
+  std::vector<Operation> trace;
+  trace.reserve(opt.num_requests);
+  for (std::size_t i = 0; i < opt.num_requests; ++i) {
+    Operation op;
+    if (rng.Bernoulli(opt.write_fraction)) {
+      if (rng.Bernoulli(opt.vertex_insert_share)) {
+        op.type = Operation::Type::kInsertVertex;
+      } else {
+        op.type = Operation::Type::kInsertEdge;
+        op.start = SampleFromCumulative(cumulative, &rng);
+        op.other = rng.Uniform(n);
+      }
+    } else {
+      op.type = Operation::Type::kRead;
+      op.start = SampleFromCumulative(cumulative, &rng);
+      op.hops = opt.hops;
+    }
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace hermes

@@ -1,0 +1,50 @@
+#ifndef HERMES_WORKLOAD_TRACE_H_
+#define HERMES_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "partition/assignment.h"
+
+namespace hermes {
+
+/// One client request. Reads are `hops`-hop traversals from `start`
+/// (the paper's representative social-network operations: 1-hop profile /
+/// timeline reads, 2-hop friend/ad recommendations). Writes grow the graph
+/// (Section 5.3.3's mixed read/write experiments).
+struct Operation {
+  enum class Type { kRead, kInsertEdge, kInsertVertex };
+  Type type = Type::kRead;
+  VertexId start = 0;   // reads: traversal start; edge inserts: endpoint u
+  VertexId other = 0;   // edge inserts: endpoint v
+  int hops = 1;
+};
+
+/// Trace parameters, mirroring Section 5.3.1: start vertices are sampled
+/// uniformly, except that users on `hot_partition` are selected
+/// `skew_factor` times as often ("twice as many times as before"),
+/// creating hotspots that trigger the repartitioner.
+struct TraceOptions {
+  std::size_t num_requests = 20000;
+  int hops = 1;
+  double write_fraction = 0.0;
+  /// Within the write mix, the share that creates new vertices (the rest
+  /// are new relationships).
+  double vertex_insert_share = 0.1;
+  PartitionId hot_partition = kInvalidPartition;  // kInvalid = no skew
+  double skew_factor = 2.0;
+  std::uint64_t seed = 99;
+};
+
+/// Generates a request trace against the current placement. The skew is
+/// computed from `assignment` at generation time (hotspots are a property
+/// of the *placement*, as in the paper's experiment design).
+std::vector<Operation> GenerateTrace(const Graph& g,
+                                     const PartitionAssignment& assignment,
+                                     const TraceOptions& options);
+
+}  // namespace hermes
+
+#endif  // HERMES_WORKLOAD_TRACE_H_

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/social_graph.h"
+#include "graph/graph.h"
+#include "partition/assignment.h"
+#include "partition/aux_data.h"
+#include "partition/hash_partitioner.h"
+
+namespace hermes {
+namespace {
+
+bool AuxMatchesRebuild(const Graph& g, const PartitionAssignment& asg,
+                       const AuxiliaryData& aux) {
+  const AuxiliaryData fresh(g, asg);
+  if (fresh.num_partitions() != aux.num_partitions()) return false;
+  if (fresh.num_vertices() != aux.num_vertices()) return false;
+  for (PartitionId p = 0; p < aux.num_partitions(); ++p) {
+    if (std::abs(fresh.PartitionWeight(p) - aux.PartitionWeight(p)) > 1e-9) {
+      return false;
+    }
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (PartitionId p = 0; p < aux.num_partitions(); ++p) {
+      if (fresh.NeighborCount(v, p) != aux.NeighborCount(v, p)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(AuxDataTest, BuildCountsNeighborsPerPartition) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  PartitionAssignment asg(4, 2);
+  asg.Assign(2, 1);
+  asg.Assign(3, 1);
+  AuxiliaryData aux(g, asg);
+  EXPECT_EQ(aux.NeighborCount(0, 0), 1u);  // neighbor 1
+  EXPECT_EQ(aux.NeighborCount(0, 1), 2u);  // neighbors 2, 3
+  EXPECT_EQ(aux.NeighborCount(1, 0), 1u);
+  EXPECT_EQ(aux.NeighborCount(1, 1), 0u);
+}
+
+TEST(AuxDataTest, BuildSumsWeights) {
+  Graph g(4);
+  g.SetVertexWeight(0, 3.0);
+  PartitionAssignment asg(4, 2);
+  asg.Assign(3, 1);
+  AuxiliaryData aux(g, asg);
+  EXPECT_DOUBLE_EQ(aux.PartitionWeight(0), 5.0);
+  EXPECT_DOUBLE_EQ(aux.PartitionWeight(1), 1.0);
+  EXPECT_DOUBLE_EQ(aux.TotalWeight(), 6.0);
+  EXPECT_DOUBLE_EQ(aux.AverageWeight(), 3.0);
+  EXPECT_DOUBLE_EQ(aux.Imbalance(0), 5.0 / 3.0);
+}
+
+TEST(AuxDataTest, OnEdgeAddedUpdatesBothEndpoints) {
+  Graph g(3);
+  PartitionAssignment asg(3, 2);
+  asg.Assign(2, 1);
+  AuxiliaryData aux(g, asg);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  aux.OnEdgeAdded(0, 2, asg);
+  EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
+  EXPECT_EQ(aux.NeighborCount(0, 1), 1u);
+  EXPECT_EQ(aux.NeighborCount(2, 0), 1u);
+}
+
+TEST(AuxDataTest, OnEdgeRemovedReverses) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  PartitionAssignment asg(3, 2);
+  AuxiliaryData aux(g, asg);
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  aux.OnEdgeRemoved(0, 1, asg);
+  EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
+}
+
+TEST(AuxDataTest, OnVertexAddedExtends) {
+  Graph g(2);
+  PartitionAssignment asg(2, 2);
+  AuxiliaryData aux(g, asg);
+  g.AddVertex(2.0);
+  asg.AddVertex(1);
+  aux.OnVertexAdded(1, 2.0);
+  EXPECT_EQ(aux.num_vertices(), 3u);
+  EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
+}
+
+TEST(AuxDataTest, OnVertexWeightChanged) {
+  Graph g(2);
+  PartitionAssignment asg(2, 2);
+  asg.Assign(1, 1);
+  AuxiliaryData aux(g, asg);
+  g.AddVertexWeight(1, 4.0);
+  aux.OnVertexWeightChanged(1, 4.0, asg);
+  EXPECT_DOUBLE_EQ(aux.PartitionWeight(1), 5.0);
+  EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
+}
+
+TEST(AuxDataTest, OnVertexMigratedShiftsNeighborCounts) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  PartitionAssignment asg(3, 2);
+  AuxiliaryData aux(g, asg);
+  // Move vertex 1 to partition 1.
+  aux.OnVertexMigrated(g, 1, 0, 1);
+  asg.Assign(1, 1);
+  EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
+  EXPECT_EQ(aux.NeighborCount(0, 0), 0u);
+  EXPECT_EQ(aux.NeighborCount(0, 1), 1u);
+}
+
+TEST(AuxDataTest, MigrateToSamePartitionIsNoop) {
+  Graph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  PartitionAssignment asg(2, 2);
+  AuxiliaryData aux(g, asg);
+  aux.OnVertexMigrated(g, 0, 0, 0);
+  EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
+}
+
+TEST(AuxDataTest, MemoryIsLinearInVerticesTimesPartitions) {
+  // Theorem 2: aux data is n*alpha neighbor counters plus alpha weights —
+  // amortized n + Theta(alpha) integers per partition.
+  Graph g(1000);
+  PartitionAssignment asg(1000, 16);
+  AuxiliaryData aux(g, asg);
+  EXPECT_EQ(aux.MemoryBytes(),
+            1000u * 16u * sizeof(std::uint32_t) + 16u * sizeof(double));
+}
+
+// Property test: a random interleaving of every mutation hook stays
+// consistent with a from-scratch rebuild.
+class AuxDataFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuxDataFuzzTest, IncrementalMatchesRebuild) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 300;
+  opt.seed = GetParam();
+  Graph g = GenerateSocialGraph(opt);
+  PartitionAssignment asg = HashPartitioner(GetParam()).Partition(g, 4);
+  AuxiliaryData aux(g, asg);
+  Rng rng(GetParam() * 31 + 7);
+
+  for (int step = 0; step < 400; ++step) {
+    switch (rng.Uniform(5)) {
+      case 0: {  // add edge
+        const VertexId u = rng.Uniform(g.NumVertices());
+        const VertexId v = rng.Uniform(g.NumVertices());
+        if (g.AddEdge(u, v).ok()) aux.OnEdgeAdded(u, v, asg);
+        break;
+      }
+      case 1: {  // remove edge
+        const VertexId u = rng.Uniform(g.NumVertices());
+        const auto neigh = g.Neighbors(u);
+        if (!neigh.empty()) {
+          const VertexId v = neigh[rng.Uniform(neigh.size())];
+          ASSERT_TRUE(g.RemoveEdge(u, v).ok());
+          aux.OnEdgeRemoved(u, v, asg);
+        }
+        break;
+      }
+      case 2: {  // weight bump (a read)
+        const VertexId v = rng.Uniform(g.NumVertices());
+        g.AddVertexWeight(v, 1.0);
+        aux.OnVertexWeightChanged(v, 1.0, asg);
+        break;
+      }
+      case 3: {  // new vertex
+        const auto p = static_cast<PartitionId>(rng.Uniform(4));
+        g.AddVertex();
+        asg.AddVertex(p);
+        aux.OnVertexAdded(p, 1.0);
+        break;
+      }
+      case 4: {  // migration
+        const VertexId v = rng.Uniform(g.NumVertices());
+        const auto to = static_cast<PartitionId>(rng.Uniform(4));
+        const PartitionId from = asg.PartitionOf(v);
+        if (from != to) {
+          aux.OnVertexMigrated(g, v, from, to);
+          asg.Assign(v, to);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuxDataFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,223 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cluster/hermes_cluster.h"
+#include "gen/social_graph.h"
+#include "partition/hash_partitioner.h"
+#include "partition/metrics.h"
+#include "partition/multilevel.h"
+
+namespace hermes {
+namespace {
+
+Graph TwoCommunities() {
+  // Communities {0..4} and {5..9}, near-cliques, one bridge 4-5.
+  Graph g(10);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) {
+      EXPECT_TRUE(g.AddEdge(u, v).ok());
+      EXPECT_TRUE(g.AddEdge(5 + u, 5 + v).ok());
+    }
+  }
+  EXPECT_TRUE(g.AddEdge(4, 5).ok());
+  return g;
+}
+
+PartitionAssignment GoodSplit() {
+  PartitionAssignment asg(10, 2);
+  for (VertexId v = 5; v < 10; ++v) asg.Assign(v, 1);
+  return asg;
+}
+
+TEST(HermesClusterTest, LoadsStoresConsistently) {
+  HermesCluster cluster(TwoCommunities(), GoodSplit());
+  EXPECT_EQ(cluster.num_servers(), 2u);
+  EXPECT_EQ(cluster.store(0)->NumNodes(), 5u);
+  EXPECT_EQ(cluster.store(1)->NumNodes(), 5u);
+  EXPECT_TRUE(cluster.Validate());
+  // One cross-partition edge -> one ghost copy somewhere.
+  EXPECT_EQ(cluster.store(0)->NumGhostRelationships() +
+                cluster.store(1)->NumGhostRelationships(),
+            1u);
+}
+
+TEST(HermesClusterTest, OneHopTraversalLocalWhenCommunityIntact) {
+  HermesCluster cluster(TwoCommunities(), GoodSplit());
+  auto run = cluster.ExecuteRead(0, 1);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->vertices_processed, 5u);  // start + 4 neighbors
+  EXPECT_EQ(run->unique_vertices, 5u);
+  EXPECT_EQ(run->remote_hops, 0u);
+  ASSERT_EQ(run->segments.size(), 1u);
+  EXPECT_EQ(run->segments[0].first, 0u);
+}
+
+TEST(HermesClusterTest, BorderVertexIncursRemoteHop) {
+  HermesCluster cluster(TwoCommunities(), GoodSplit());
+  auto run = cluster.ExecuteRead(4, 1);  // neighbor 5 is remote
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->vertices_processed, 6u);
+  EXPECT_GE(run->remote_hops, 1u);
+}
+
+TEST(HermesClusterTest, TwoHopRevisitsVertices) {
+  HermesCluster cluster(TwoCommunities(), GoodSplit());
+  auto run = cluster.ExecuteRead(0, 2);
+  ASSERT_TRUE(run.ok());
+  // Dense community: 2-hop reprocesses many vertices; response holds each
+  // once (Section 5.3.2's response/processed ratio < 1).
+  EXPECT_GT(run->vertices_processed, run->unique_vertices);
+}
+
+TEST(HermesClusterTest, ReadsBumpStartVertexWeight) {
+  HermesCluster cluster(TwoCommunities(), GoodSplit());
+  const double before = cluster.graph().VertexWeight(0);
+  ASSERT_TRUE(cluster.ExecuteRead(0, 1).ok());
+  ASSERT_TRUE(cluster.ExecuteRead(0, 1).ok());
+  EXPECT_DOUBLE_EQ(cluster.graph().VertexWeight(0), before + 2.0);
+  EXPECT_DOUBLE_EQ(*cluster.store(0)->NodeWeight(0), before + 2.0);
+  EXPECT_DOUBLE_EQ(cluster.aux().PartitionWeight(0), 7.0);
+}
+
+TEST(HermesClusterTest, WeightCountingCanBeDisabled) {
+  HermesCluster::Options options;
+  options.count_reads_in_weights = false;
+  HermesCluster cluster(TwoCommunities(), GoodSplit(), options);
+  ASSERT_TRUE(cluster.ExecuteRead(0, 1).ok());
+  EXPECT_DOUBLE_EQ(cluster.graph().VertexWeight(0), 1.0);
+}
+
+TEST(HermesClusterTest, InsertVertexPlacesByHash) {
+  HermesCluster cluster(TwoCommunities(), GoodSplit());
+  auto id = cluster.InsertVertex(2.0);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 10u);
+  const PartitionId p = cluster.assignment().PartitionOf(*id);
+  EXPECT_TRUE(cluster.store(p)->HasNode(*id));
+  EXPECT_EQ(cluster.graph().NumVertices(), 11u);
+  EXPECT_TRUE(cluster.Validate());
+}
+
+TEST(HermesClusterTest, InsertEdgeSamePartition) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  PartitionAssignment asg(4, 2);
+  asg.Assign(2, 1);
+  asg.Assign(3, 1);
+  HermesCluster cluster(std::move(g), asg);
+  ASSERT_TRUE(cluster.InsertEdge(2, 3).ok());
+  EXPECT_TRUE(cluster.graph().HasEdge(2, 3));
+  EXPECT_FALSE(*cluster.store(1)->EdgeIsGhost(2, 3));
+  EXPECT_TRUE(cluster.Validate());
+}
+
+TEST(HermesClusterTest, InsertEdgeAcrossPartitionsCreatesGhost) {
+  Graph g(4);
+  PartitionAssignment asg(4, 2);
+  asg.Assign(2, 1);
+  asg.Assign(3, 1);
+  HermesCluster cluster(std::move(g), asg);
+  ASSERT_TRUE(cluster.InsertEdge(0, 3).ok());
+  EXPECT_TRUE(cluster.graph().HasEdge(0, 3));
+  // Real copy follows lower id (0): store 0 real, store 1 ghost.
+  EXPECT_FALSE(*cluster.store(0)->EdgeIsGhost(0, 3));
+  EXPECT_TRUE(*cluster.store(1)->EdgeIsGhost(3, 0));
+  EXPECT_TRUE(cluster.Validate());
+}
+
+TEST(HermesClusterTest, DuplicateInsertEdgeFails) {
+  HermesCluster cluster(TwoCommunities(), GoodSplit());
+  EXPECT_TRUE(cluster.InsertEdge(0, 1).IsAlreadyExists());
+  EXPECT_TRUE(cluster.Validate());
+}
+
+TEST(HermesClusterTest, RepartitionMovesHotLoadAndKeepsStoresValid) {
+  Graph g = TwoCommunities();
+  // Hotspot on partition 0.
+  for (VertexId v = 0; v < 5; ++v) g.SetVertexWeight(v, 3.0);
+  HermesCluster::Options options;
+  options.repartitioner.beta = 1.1;
+  options.repartitioner.k = 1;
+  HermesCluster cluster(std::move(g), GoodSplit(), options);
+
+  auto stats = cluster.RunLightweightRepartition();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->repartitioner_converged);
+  EXPECT_GT(stats->vertices_moved, 0u);
+  EXPECT_LT(stats->imbalance_after, stats->imbalance_before);
+  EXPECT_TRUE(cluster.Validate());
+  EXPECT_TRUE(cluster.store(0)->CheckChains());
+  EXPECT_TRUE(cluster.store(1)->CheckChains());
+}
+
+TEST(HermesClusterTest, MigrateToAssignmentAppliesOfflinePartitioning) {
+  SocialGraphOptions gopt;
+  gopt.num_vertices = 500;
+  gopt.seed = 3;
+  Graph g = GenerateSocialGraph(gopt);
+  const auto initial = HashPartitioner(1).Partition(g, 4);
+  const auto target = MatchLabels(
+      initial, MultilevelPartitioner().Partition(g, 4));
+  const double target_cut = EdgeCutFraction(g, target);
+
+  HermesCluster cluster(std::move(g), initial);
+  auto stats = cluster.MigrateToAssignment(target);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->vertices_moved, 0u);
+  EXPECT_GT(stats->bytes_copied, 0u);
+  EXPECT_GT(stats->total_time_us, stats->copy_time_us);
+  EXPECT_NEAR(stats->edge_cut_fraction_after, target_cut, 1e-12);
+  EXPECT_TRUE(cluster.assignment() == target);
+  EXPECT_TRUE(cluster.Validate());
+}
+
+TEST(HermesClusterTest, MigrationPreservesProperties) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  PartitionAssignment asg(3, 2);
+  HermesCluster cluster(std::move(g), asg);
+  ASSERT_TRUE(cluster.store(0)->SetNodeProperty(1, 0, "profile-blob").ok());
+
+  PartitionAssignment target(3, 2);
+  target.Assign(1, 1);
+  ASSERT_TRUE(cluster.MigrateToAssignment(target).ok());
+  EXPECT_EQ(*cluster.store(1)->GetNodeProperty(1, 0), "profile-blob");
+  EXPECT_FALSE(cluster.store(0)->NodeExists(1));
+  EXPECT_TRUE(cluster.Validate());
+}
+
+TEST(HermesClusterTest, MigrationShapeMismatchRejected) {
+  HermesCluster cluster(TwoCommunities(), GoodSplit());
+  PartitionAssignment wrong(10, 4);
+  EXPECT_TRUE(
+      cluster.MigrateToAssignment(wrong).status().IsInvalidArgument());
+}
+
+TEST(HermesClusterTest, RepeatedRepartitionIsStable) {
+  Graph g = TwoCommunities();
+  for (VertexId v = 0; v < 5; ++v) g.SetVertexWeight(v, 3.0);
+  HermesCluster::Options options;
+  options.repartitioner.k = 1;
+  HermesCluster cluster(std::move(g), GoodSplit(), options);
+  ASSERT_TRUE(cluster.RunLightweightRepartition().ok());
+  auto second = cluster.RunLightweightRepartition();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->vertices_moved, 0u);  // already converged
+  EXPECT_TRUE(cluster.Validate());
+}
+
+TEST(HermesClusterTest, ValidateDetectsNothingOnLargerGraph) {
+  SocialGraphOptions gopt;
+  gopt.num_vertices = 1000;
+  gopt.seed = 9;
+  Graph g = GenerateSocialGraph(gopt);
+  const auto asg = HashPartitioner(3).Partition(g, 8);
+  HermesCluster cluster(std::move(g), asg);
+  EXPECT_TRUE(cluster.Validate(200));
+  EXPECT_GT(cluster.TotalStoreBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace hermes

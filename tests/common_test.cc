@@ -1,0 +1,304 @@
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace hermes {
+namespace {
+
+// --- Status -------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing record 42");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing record 42");
+  EXPECT_EQ(st.ToString(), "NotFound: missing record 42");
+}
+
+TEST(StatusTest, AllFactoryFunctionsSetMatchingCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::Aborted("abc");
+  Status b = a;  // shared state
+  EXPECT_TRUE(b.IsAborted());
+  EXPECT_EQ(b.message(), "abc");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    HERMES_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+// --- Result -------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = []() -> Result<int> { return 5; };
+  auto fail = []() -> Result<int> { return Status::Aborted("x"); };
+  auto chain = [&](bool ok_path) -> Result<int> {
+    HERMES_ASSIGN_OR_RETURN(int v, ok_path ? produce() : fail());
+    return v * 2;
+  };
+  EXPECT_EQ(*chain(true), 10);
+  EXPECT_TRUE(chain(false).status().IsAborted());
+}
+
+// --- Rng ----------------------------------------------------------------
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleIsInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, PowerLawRespectsMinimum) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.PowerLaw(2.5, 3.0), 3.0);
+  }
+}
+
+TEST(RngTest, PowerLawMeanMatchesTheory) {
+  // For exponent a > 2, mean = x_min * (a-1)/(a-2).
+  Rng rng(19);
+  double sum = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += rng.PowerLaw(3.0, 1.0);
+  EXPECT_NEAR(sum / trials, 2.0, 0.1);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleFromCumulativeRespectsWeights) {
+  Rng rng(29);
+  // Weights 1, 3 -> second picked ~75%.
+  std::vector<double> cum{1.0, 4.0};
+  int second = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (SampleFromCumulative(cum, &rng) == 1) ++second;
+  }
+  EXPECT_NEAR(static_cast<double>(second) / trials, 0.75, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// --- Histogram ------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, TracksMinMaxMean) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  h.Add(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+}
+
+TEST(HistogramTest, QuantileIsMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double val = h.Quantile(q);
+    EXPECT_GE(val, prev);
+    prev = val;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, QuantileApproximatesMedian) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(static_cast<double>(i));
+  const double median = h.Quantile(0.5);
+  // Bucketed estimate: allow a factor-2 band.
+  EXPECT_GT(median, 2500.0);
+  EXPECT_LT(median, 10000.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Add(1.0);
+  b.Add(9.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 5.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,203 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graphdb/durable_store.h"
+
+namespace hermes {
+namespace {
+
+std::string FreshDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void PopulateSmall(DurableGraphStore* db) {
+  ASSERT_TRUE(db->CreateNode(1, 2.0).ok());
+  ASSERT_TRUE(db->CreateNode(2).ok());
+  ASSERT_TRUE(db->CreateNode(3).ok());
+  ASSERT_TRUE(db->AddEdge(1, 2, 5, true).ok());
+  ASSERT_TRUE(db->AddEdge(2, 99, 0, false).ok());  // ghost-capable half
+  ASSERT_TRUE(db->SetNodeProperty(1, 0, "alice").ok());
+  ASSERT_TRUE(db->SetEdgeProperty(1, 2, 1, "friends-since-2009").ok());
+  ASSERT_TRUE(db->Sync().ok());
+}
+
+void ExpectSmallContent(const GraphStore& store,
+                        double node1_weight = 2.0) {
+  EXPECT_TRUE(store.HasNode(1));
+  EXPECT_TRUE(store.HasNode(2));
+  EXPECT_TRUE(store.HasNode(3));
+  EXPECT_DOUBLE_EQ(*store.NodeWeight(1), node1_weight);
+  EXPECT_EQ(*store.GetNodeProperty(1, 0), "alice");
+  EXPECT_EQ(*store.GetEdgeProperty(2, 1, 1), "friends-since-2009");
+  auto neigh = store.Neighbors(2);
+  ASSERT_TRUE(neigh.ok());
+  EXPECT_EQ(neigh->size(), 2u);  // node 1 and remote 99
+  EXPECT_TRUE(store.CheckChains());
+}
+
+TEST(DurableStoreTest, RecoversFromWalOnly) {
+  const std::string dir = FreshDir("hermes_wal_only");
+  {
+    auto db = DurableGraphStore::Open(0, dir);
+    ASSERT_TRUE(db.ok());
+    PopulateSmall(db->get());
+    // No checkpoint: recovery must come entirely from the log.
+  }
+  auto db = DurableGraphStore::Open(0, dir);
+  ASSERT_TRUE(db.ok());
+  ExpectSmallContent((*db)->store());
+}
+
+TEST(DurableStoreTest, RecoversFromSnapshotAfterCheckpoint) {
+  const std::string dir = FreshDir("hermes_snapshot");
+  {
+    auto db = DurableGraphStore::Open(0, dir);
+    ASSERT_TRUE(db.ok());
+    PopulateSmall(db->get());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = DurableGraphStore::Open(0, dir);
+  ASSERT_TRUE(db.ok());
+  ExpectSmallContent((*db)->store());
+  // The log was truncated by the checkpoint.
+  auto tail = WriteAheadLog::ReadAll(dir + "/wal.log", true);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_TRUE(tail->empty());
+}
+
+TEST(DurableStoreTest, SnapshotPlusTailReplay) {
+  const std::string dir = FreshDir("hermes_mixed");
+  {
+    auto db = DurableGraphStore::Open(0, dir);
+    ASSERT_TRUE(db.ok());
+    PopulateSmall(db->get());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    // Post-checkpoint mutations live only in the log.
+    ASSERT_TRUE((*db)->CreateNode(4).ok());
+    ASSERT_TRUE((*db)->AddEdge(3, 4, 0, true).ok());
+    ASSERT_TRUE((*db)->AddNodeWeight(1, 5.0).ok());
+    ASSERT_TRUE((*db)->Sync().ok());
+  }
+  auto db = DurableGraphStore::Open(0, dir);
+  ASSERT_TRUE(db.ok());
+  const GraphStore& store = (*db)->store();
+  ExpectSmallContent(store, /*node1_weight=*/7.0);
+  EXPECT_TRUE(store.HasNode(4));
+  auto neigh = store.Neighbors(3);
+  ASSERT_TRUE(neigh.ok());
+  EXPECT_EQ(neigh->size(), 1u);
+}
+
+TEST(DurableStoreTest, DeletesSurviveRecovery) {
+  const std::string dir = FreshDir("hermes_deletes");
+  {
+    auto db = DurableGraphStore::Open(0, dir);
+    ASSERT_TRUE(db.ok());
+    PopulateSmall(db->get());
+    ASSERT_TRUE((*db)->RemoveEdge(1, 2).ok());
+    ASSERT_TRUE((*db)->SetNodeState(3, NodeState::kUnavailable).ok());
+    ASSERT_TRUE((*db)->RemoveNode(3).ok());
+    ASSERT_TRUE((*db)->Sync().ok());
+  }
+  auto db = DurableGraphStore::Open(0, dir);
+  ASSERT_TRUE(db.ok());
+  const GraphStore& store = (*db)->store();
+  EXPECT_FALSE(store.NodeExists(3));
+  EXPECT_TRUE(store.FindEdge(1, 2).status().IsNotFound());
+  EXPECT_TRUE(store.CheckChains());
+}
+
+TEST(DurableStoreTest, GhostFlagsSurviveSnapshotRoundTrip) {
+  GraphStore store(2);
+  ASSERT_TRUE(store.CreateNode(10).ok());
+  ASSERT_TRUE(store.CreateNode(20).ok());
+  ASSERT_TRUE(store.AddEdge(10, 20, 0, true).ok());
+  ASSERT_TRUE(store.AddEdge(10, 500, 0, false).ok());  // real half (10<500)
+  ASSERT_TRUE(store.AddEdge(20, 3, 0, false).ok());    // ghost half (20>3)
+
+  const std::string path = ::testing::TempDir() + "/hermes_ghosts.snap";
+  ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, path).ok());
+  GraphStore restored(2);
+  ASSERT_TRUE(DurableGraphStore::LoadSnapshot(path, &restored).ok());
+
+  EXPECT_FALSE(*restored.EdgeIsGhost(10, 20));
+  EXPECT_FALSE(*restored.EdgeIsGhost(10, 500));
+  EXPECT_TRUE(*restored.EdgeIsGhost(20, 3));
+  EXPECT_EQ(restored.NumRelationships(), store.NumRelationships());
+  EXPECT_TRUE(restored.CheckChains());
+  std::remove(path.c_str());
+}
+
+TEST(DurableStoreTest, UnavailableStateSurvivesSnapshot) {
+  GraphStore store(0);
+  ASSERT_TRUE(store.CreateNode(1).ok());
+  ASSERT_TRUE(store.SetNodeState(1, NodeState::kUnavailable).ok());
+  const std::string path = ::testing::TempDir() + "/hermes_state.snap";
+  ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, path).ok());
+  GraphStore restored(0);
+  ASSERT_TRUE(DurableGraphStore::LoadSnapshot(path, &restored).ok());
+  EXPECT_TRUE(restored.NodeExists(1));
+  EXPECT_FALSE(restored.HasNode(1));
+  std::remove(path.c_str());
+}
+
+TEST(DurableStoreTest, TornLogTailLosesOnlyUnsyncedSuffix) {
+  const std::string dir = FreshDir("hermes_torn");
+  {
+    auto db = DurableGraphStore::Open(0, dir);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateNode(1).ok());
+    ASSERT_TRUE((*db)->CreateNode(2).ok());
+    ASSERT_TRUE((*db)->AddEdge(1, 2, 0, true).ok());
+    ASSERT_TRUE((*db)->Sync().ok());
+  }
+  // Crash simulation: truncate the final bytes of the log.
+  {
+    const std::string wal = dir + "/wal.log";
+    const auto size = std::filesystem::file_size(wal);
+    std::filesystem::resize_file(wal, size - 4);
+  }
+  auto db = DurableGraphStore::Open(0, dir);
+  ASSERT_TRUE(db.ok());
+  const GraphStore& store = (*db)->store();
+  // Nodes (earlier records) recovered; the torn edge append is lost.
+  EXPECT_TRUE(store.HasNode(1));
+  EXPECT_TRUE(store.HasNode(2));
+  EXPECT_TRUE(store.FindEdge(1, 2).status().IsNotFound());
+}
+
+TEST(DurableStoreTest, OpenOnEmptyDirectoryIsFreshStore) {
+  const std::string dir = FreshDir("hermes_fresh");
+  auto db = DurableGraphStore::Open(3, dir);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->store().NumNodes(), 0u);
+  EXPECT_EQ((*db)->store().partition_id(), 3u);
+}
+
+TEST(DurableStoreTest, RepeatedCheckpointsStayConsistent) {
+  const std::string dir = FreshDir("hermes_repeat");
+  auto db = DurableGraphStore::Open(0, dir);
+  ASSERT_TRUE(db.ok());
+  for (VertexId v = 0; v < 50; ++v) {
+    ASSERT_TRUE((*db)->CreateNode(v).ok());
+    if (v > 0) ASSERT_TRUE((*db)->AddEdge(v - 1, v, 0, true).ok());
+    if (v % 10 == 9) ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  ASSERT_TRUE((*db)->Sync().ok());
+  db->reset();  // close
+
+  auto reopened = DurableGraphStore::Open(0, dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->store().NumNodes(), 50u);
+  EXPECT_EQ((*reopened)->store().NumRelationships(), 49u);
+  EXPECT_TRUE((*reopened)->store().CheckChains());
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,206 @@
+// Cross-module edge cases and failure-injection scenarios that the
+// per-module suites do not cover.
+
+#include <gtest/gtest.h>
+
+#include "cluster/hermes_cluster.h"
+#include "gen/social_graph.h"
+#include "partition/hash_partitioner.h"
+#include "partition/lightweight.h"
+#include "partition/metrics.h"
+#include "partition/multilevel.h"
+#include "workload/driver.h"
+#include "workload/trace.h"
+
+namespace hermes {
+namespace {
+
+TEST(EdgeCases, ClusterReadOutOfRangeFails) {
+  Graph g(4);
+  HermesCluster cluster(std::move(g), PartitionAssignment(4, 2));
+  EXPECT_TRUE(cluster.ExecuteRead(99, 1).status().IsOutOfRange());
+}
+
+TEST(EdgeCases, ClusterReadOfUnavailableVertexFails) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  HermesCluster cluster(std::move(g), PartitionAssignment(4, 2));
+  ASSERT_TRUE(cluster.store(0)->SetNodeState(1, NodeState::kUnavailable).ok());
+  EXPECT_TRUE(cluster.ExecuteRead(1, 1).status().IsUnavailable());
+  // Traversals through the unavailable vertex skip it.
+  auto run = cluster.ExecuteRead(0, 2);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->unique_vertices, 2u);  // 0 and the id of 1 (not expanded)
+}
+
+TEST(EdgeCases, NeighborProviderOutOfRange) {
+  Graph g(2);
+  HermesCluster cluster(std::move(g), PartitionAssignment(2, 2));
+  const auto provider = cluster.MakeNeighborProvider();
+  EXPECT_TRUE(provider(77, std::nullopt).status().IsOutOfRange());
+}
+
+TEST(EdgeCases, ZeroHopReadTouchesOnlyTheStart) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  HermesCluster cluster(std::move(g), PartitionAssignment(4, 2));
+  auto run = cluster.ExecuteRead(0, 0);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->vertices_processed, 1u);
+  EXPECT_EQ(run->remote_hops, 0u);
+}
+
+TEST(EdgeCases, DriverCountsDuplicateEdgeInsertsAsFailed) {
+  Graph g(10);
+  for (VertexId v = 0; v + 1 < 10; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  const auto asg = HashPartitioner(1).Partition(g, 2);
+  HermesCluster cluster(std::move(g), asg);
+
+  std::vector<Operation> trace;
+  Operation dup;
+  dup.type = Operation::Type::kInsertEdge;
+  dup.start = 0;
+  dup.other = 1;  // already present
+  trace.push_back(dup);
+  trace.push_back(dup);
+  const ThroughputReport report = RunWorkload(&cluster, trace);
+  EXPECT_EQ(report.failed_ops, 2u);
+  EXPECT_EQ(report.writes_completed, 0u);
+}
+
+TEST(EdgeCases, EmptyTraceFinishesInstantly) {
+  Graph g(4);
+  HermesCluster cluster(std::move(g), PartitionAssignment(4, 2));
+  const ThroughputReport report = RunWorkload(&cluster, {});
+  EXPECT_EQ(report.reads_completed, 0u);
+  EXPECT_DOUBLE_EQ(report.duration_us, 0.0);
+}
+
+TEST(EdgeCases, TraceVertexInsertShare) {
+  Graph g(100);
+  const auto asg = HashPartitioner(1).Partition(g, 2);
+  TraceOptions topt;
+  topt.num_requests = 10000;
+  topt.write_fraction = 1.0;
+  topt.vertex_insert_share = 0.5;
+  const auto trace = GenerateTrace(g, asg, topt);
+  std::size_t vertex_inserts = 0;
+  for (const Operation& op : trace) {
+    EXPECT_NE(static_cast<int>(op.type),
+              static_cast<int>(Operation::Type::kRead));
+    if (op.type == Operation::Type::kInsertVertex) ++vertex_inserts;
+  }
+  EXPECT_NEAR(static_cast<double>(vertex_inserts) / trace.size(), 0.5, 0.03);
+}
+
+TEST(EdgeCases, MultilevelAlphaLargerThanGraph) {
+  Graph g(5);
+  for (VertexId v = 0; v + 1 < 5; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  const auto asg = MultilevelPartitioner().Partition(g, 16);
+  ASSERT_EQ(asg.size(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_LT(asg.PartitionOf(v), 16u);
+}
+
+TEST(EdgeCases, MultilevelOnDisconnectedGraph) {
+  // Two components of very different sizes.
+  Graph g(60);
+  for (VertexId v = 0; v + 1 < 40; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  for (VertexId v = 40; v + 1 < 60; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  const auto asg = MultilevelPartitioner().Partition(g, 4);
+  EXPECT_LE(ImbalanceFactor(g, asg), 1.3);
+}
+
+TEST(EdgeCases, RepartitionerOnEmptyAndTinyGraphs) {
+  Graph empty;
+  PartitionAssignment asg0(0, 2);
+  AuxiliaryData aux0(empty, asg0);
+  const auto r0 = LightweightRepartitioner(RepartitionerOptions{})
+                      .Run(empty, &asg0, &aux0);
+  EXPECT_TRUE(r0.converged);
+  EXPECT_EQ(r0.total_logical_moves, 0u);
+
+  Graph one(1);
+  PartitionAssignment asg1(1, 4);
+  AuxiliaryData aux1(one, asg1);
+  const auto r1 = LightweightRepartitioner(RepartitionerOptions{})
+                      .Run(one, &asg1, &aux1);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_EQ(asg1.PartitionOf(0), 0u);
+}
+
+TEST(EdgeCases, RepartitionerSinglePartitionIsNoop) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 200;
+  opt.seed = 1;
+  Graph g = GenerateSocialGraph(opt);
+  PartitionAssignment asg(g.NumVertices(), 1);
+  AuxiliaryData aux(g, asg);
+  const auto r =
+      LightweightRepartitioner(RepartitionerOptions{}).Run(g, &asg, &aux);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.total_logical_moves, 0u);
+}
+
+TEST(EdgeCases, MigrateWholePartitionAway) {
+  // Every vertex of partition 0 moves: partition 0's store must end empty
+  // and the others consistent.
+  Graph g(8);
+  for (VertexId v = 0; v + 1 < 8; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  PartitionAssignment initial(8, 2);
+  for (VertexId v = 4; v < 8; ++v) initial.Assign(v, 1);
+  HermesCluster cluster(std::move(g), initial);
+
+  PartitionAssignment everyone_on_1(8, 2, 1);
+  ASSERT_TRUE(cluster.MigrateToAssignment(everyone_on_1).ok());
+  EXPECT_EQ(cluster.store(0)->NumNodes(), 0u);
+  EXPECT_EQ(cluster.store(0)->NumRelationships(), 0u);
+  EXPECT_EQ(cluster.store(1)->NumNodes(), 8u);
+  EXPECT_TRUE(cluster.Validate());
+}
+
+TEST(EdgeCases, ChainedMigrationsAcrossThreePartitions) {
+  // Move a vertex 0 -> 1 -> 2 across epochs; ghosts must stay coherent.
+  Graph g(6);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_TRUE(g.AddEdge(0, 5).ok());
+  PartitionAssignment initial(6, 3);
+  for (VertexId v = 2; v < 4; ++v) initial.Assign(v, 1);
+  for (VertexId v = 4; v < 6; ++v) initial.Assign(v, 2);
+  HermesCluster cluster(std::move(g), initial);
+
+  PartitionAssignment step1 = cluster.assignment();
+  step1.Assign(0, 1);
+  ASSERT_TRUE(cluster.MigrateToAssignment(step1).ok());
+  ASSERT_TRUE(cluster.Validate());
+
+  PartitionAssignment step2 = cluster.assignment();
+  step2.Assign(0, 2);
+  ASSERT_TRUE(cluster.MigrateToAssignment(step2).ok());
+  ASSERT_TRUE(cluster.Validate());
+  // 0 now co-located with 5: that edge must be a full record.
+  EXPECT_FALSE(*cluster.store(2)->EdgeIsGhost(0, 5));
+  EXPECT_FALSE(*cluster.store(2)->EdgeIsGhost(5, 0));
+}
+
+TEST(EdgeCases, LabelMatchingWithDifferentPartitionCounts) {
+  PartitionAssignment before(4, 2);
+  PartitionAssignment after(4, 4);
+  for (VertexId v = 0; v < 4; ++v) {
+    after.Assign(v, static_cast<PartitionId>(v));
+  }
+  const auto matched = MatchLabels(before, after);
+  EXPECT_EQ(matched.size(), 4u);
+  EXPECT_EQ(matched.num_partitions(), 4u);
+}
+
+TEST(EdgeCases, SelfInsertEdgeRejectedThroughCluster) {
+  Graph g(4);
+  HermesCluster cluster(std::move(g), PartitionAssignment(4, 2));
+  EXPECT_FALSE(cluster.InsertEdge(1, 1).ok());
+  EXPECT_TRUE(cluster.InsertEdge(0, 9).IsOutOfRange());
+  EXPECT_TRUE(cluster.Validate());
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,127 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace hermes {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 0.0);
+}
+
+TEST(GraphTest, ConstructWithVertices) {
+  Graph g(5);
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 5.0);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(g.VertexWeight(v), 1.0);
+    EXPECT_EQ(g.Degree(v), 0u);
+  }
+}
+
+TEST(GraphTest, AddVertexReturnsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex(), 0u);
+  EXPECT_EQ(g.AddVertex(2.5), 1u);
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_DOUBLE_EQ(g.VertexWeight(1), 2.5);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 3.5);
+}
+
+TEST(GraphTest, AddEdgeIsUndirected) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_EQ(g.Degree(1), 0u);
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_TRUE(g.AddEdge(1, 1).IsInvalidArgument());
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, RejectsDuplicateEdge) {
+  Graph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(0, 1).IsAlreadyExists());
+  EXPECT_TRUE(g.AddEdge(1, 0).IsAlreadyExists());
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  Graph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 2).IsOutOfRange());
+  EXPECT_TRUE(g.AddEdge(5, 0).IsOutOfRange());
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph g(5);
+  ASSERT_TRUE(g.AddEdge(2, 4).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  const auto n = g.Neighbors(2);
+  const std::vector<VertexId> expected{0, 3, 4};
+  EXPECT_TRUE(std::equal(n.begin(), n.end(), expected.begin(),
+                         expected.end()));
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.RemoveEdge(0, 1).IsNotFound());
+}
+
+TEST(GraphTest, RemoveEdgeOutOfRange) {
+  Graph g(2);
+  EXPECT_TRUE(g.RemoveEdge(0, 7).IsOutOfRange());
+}
+
+TEST(GraphTest, WeightUpdatesKeepTotalInSync) {
+  Graph g(3);
+  g.SetVertexWeight(0, 5.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 7.0);
+  g.AddVertexWeight(1, 2.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 9.0);
+  EXPECT_DOUBLE_EQ(g.VertexWeight(1), 3.0);
+  EXPECT_DOUBLE_EQ(g.RecomputeTotalWeight(), 9.0);
+}
+
+TEST(GraphTest, GraphFromEdgesSkipsBadEdges) {
+  std::size_t skipped = 0;
+  Graph g = GraphFromEdges(
+      3, {{0, 1}, {1, 2}, {1, 2}, {2, 2}}, &skipped);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(skipped, 2u);
+}
+
+TEST(GraphTest, HasEdgeOutOfRangeIsFalse) {
+  Graph g(2);
+  EXPECT_FALSE(g.HasEdge(0, 9));
+}
+
+TEST(GraphTest, LargeStarDegrees) {
+  Graph g(1001);
+  for (VertexId v = 1; v <= 1000; ++v) {
+    ASSERT_TRUE(g.AddEdge(0, v).ok());
+  }
+  EXPECT_EQ(g.Degree(0), 1000u);
+  EXPECT_EQ(g.NumEdges(), 1000u);
+}
+
+}  // namespace
+}  // namespace hermes

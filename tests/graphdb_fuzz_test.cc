@@ -1,0 +1,181 @@
+// Property-based stress test for the GraphStore: a long random sequence
+// of node/edge/property operations (including ghost halves and full
+// records) is mirrored into a trivially correct reference model; store
+// contents and chain invariants must match throughout.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graphdb/graph_store.h"
+
+namespace hermes {
+namespace {
+
+struct Reference {
+  // node id -> weight; adjacency as sorted sets.
+  std::map<VertexId, double> nodes;
+  std::map<VertexId, std::set<VertexId>> adjacency;
+  std::map<std::pair<VertexId, VertexId>, std::string> edge_prop;
+
+  static std::pair<VertexId, VertexId> Key(VertexId a, VertexId b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
+};
+
+class GraphStoreFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphStoreFuzzTest, MatchesReferenceModel) {
+  GraphStore store(0);
+  Reference ref;
+  Rng rng(GetParam());
+  constexpr VertexId kLocalSpace = 60;    // ids 0..59 may be local nodes
+  constexpr VertexId kRemoteBase = 1000;  // ids >= 1000 are "remote"
+
+  for (int step = 0; step < 3000; ++step) {
+    switch (rng.Uniform(7)) {
+      case 0: {  // create node
+        const VertexId v = rng.Uniform(kLocalSpace);
+        const double w = 1.0 + static_cast<double>(rng.Uniform(5));
+        const Status st = store.CreateNode(v, w);
+        if (ref.nodes.count(v)) {
+          ASSERT_TRUE(st.IsAlreadyExists());
+        } else {
+          ASSERT_TRUE(st.ok());
+          ref.nodes[v] = w;
+        }
+        break;
+      }
+      case 1: {  // add local-local edge
+        const VertexId a = rng.Uniform(kLocalSpace);
+        const VertexId b = rng.Uniform(kLocalSpace);
+        auto st = store.AddEdge(a, b, 0, /*other_is_local=*/true);
+        const bool can = a != b && ref.nodes.count(a) && ref.nodes.count(b) &&
+                         !ref.adjacency[a].count(b);
+        if (can) {
+          ASSERT_TRUE(st.ok()) << st.status().ToString();
+          ref.adjacency[a].insert(b);
+          ref.adjacency[b].insert(a);
+        } else {
+          ASSERT_FALSE(st.ok());
+        }
+        break;
+      }
+      case 2: {  // add half edge to a remote id
+        const VertexId a = rng.Uniform(kLocalSpace);
+        const VertexId b = kRemoteBase + rng.Uniform(20);
+        auto st = store.AddEdge(a, b, 0, /*other_is_local=*/false);
+        const bool can = ref.nodes.count(a) && !ref.adjacency[a].count(b);
+        if (can) {
+          ASSERT_TRUE(st.ok());
+          ref.adjacency[a].insert(b);  // one-sided: b is remote
+        } else {
+          ASSERT_FALSE(st.ok());
+        }
+        break;
+      }
+      case 3: {  // remove edge
+        const VertexId a = rng.Uniform(kLocalSpace);
+        if (!ref.nodes.count(a) || ref.adjacency[a].empty()) {
+          ASSERT_FALSE(store.RemoveEdge(a, 0).ok());
+          break;
+        }
+        auto it = ref.adjacency[a].begin();
+        std::advance(it, rng.Uniform(ref.adjacency[a].size()));
+        const VertexId b = *it;
+        ASSERT_TRUE(store.RemoveEdge(a, b).ok());
+        ref.adjacency[a].erase(b);
+        if (b < kRemoteBase) ref.adjacency[b].erase(a);
+        ref.edge_prop.erase(Reference::Key(a, b));
+        break;
+      }
+      case 4: {  // remove node
+        const VertexId v = rng.Uniform(kLocalSpace);
+        const Status st = store.RemoveNode(v);
+        if (!ref.nodes.count(v)) {
+          ASSERT_TRUE(st.IsNotFound());
+          break;
+        }
+        ASSERT_TRUE(st.ok());
+        // Local neighbors keep a half record toward v (degrade), remote
+        // halves disappear. Mirror: v keeps appearing in local neighbors'
+        // adjacency (they now see v as remote).
+        ref.nodes.erase(v);
+        for (VertexId nbr : ref.adjacency[v]) {
+          // local neighbor keeps edge; nothing to change in ref.adjacency
+          // (nbr's set still holds v). Remote ids have no ref entry.
+          (void)nbr;
+        }
+        ref.adjacency.erase(v);
+        break;
+      }
+      case 5: {  // set edge property on a local-local edge
+        const VertexId a = rng.Uniform(kLocalSpace);
+        if (!ref.nodes.count(a) || ref.adjacency[a].empty()) break;
+        auto it = ref.adjacency[a].begin();
+        std::advance(it, rng.Uniform(ref.adjacency[a].size()));
+        const VertexId b = *it;
+        const std::string value = "v" + std::to_string(step);
+        const Status st = store.SetEdgeProperty(a, b, 1, value);
+        if (st.ok()) {
+          ref.edge_prop[Reference::Key(a, b)] = value;
+        } else {
+          // Ghost copies refuse properties.
+          ASSERT_TRUE(st.IsInvalidArgument()) << st.ToString();
+        }
+        break;
+      }
+      case 6: {  // weight bump
+        const VertexId v = rng.Uniform(kLocalSpace);
+        const Status st = store.AddNodeWeight(v, 1.0);
+        if (ref.nodes.count(v)) {
+          ASSERT_TRUE(st.ok());
+          ref.nodes[v] += 1.0;
+        } else {
+          ASSERT_TRUE(st.IsNotFound());
+        }
+        break;
+      }
+    }
+
+    if (step % 250 == 0) {
+      ASSERT_TRUE(store.CheckChains()) << "step " << step;
+    }
+  }
+
+  // Final full cross-check.
+  ASSERT_TRUE(store.CheckChains());
+  ASSERT_EQ(store.NumNodes(), ref.nodes.size());
+  for (const auto& [v, weight] : ref.nodes) {
+    ASSERT_TRUE(store.NodeExists(v));
+    EXPECT_DOUBLE_EQ(*store.NodeWeight(v), weight);
+    auto neighbors = store.Neighbors(v);
+    ASSERT_TRUE(neighbors.ok());
+    std::vector<VertexId> got = *neighbors;
+    std::sort(got.begin(), got.end());
+    std::vector<VertexId> want(ref.adjacency[v].begin(),
+                               ref.adjacency[v].end());
+    EXPECT_EQ(got, want) << "vertex " << v;
+  }
+  for (const auto& [key, value] : ref.edge_prop) {
+    const auto [a, b] = key;
+    // Property lives on the non-ghost copy; read from the node that still
+    // exists locally.
+    const VertexId reader = ref.nodes.count(a) ? a : b;
+    const VertexId other = reader == a ? b : a;
+    if (!ref.nodes.count(reader)) continue;
+    auto got = store.GetEdgeProperty(reader, other, 1);
+    if (got.ok()) EXPECT_EQ(*got, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphStoreFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+}  // namespace
+}  // namespace hermes

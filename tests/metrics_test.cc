@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "partition/assignment.h"
+#include "partition/hash_partitioner.h"
+#include "partition/metrics.h"
+
+namespace hermes {
+namespace {
+
+Graph TwoTriangles() {
+  // Vertices 0-2 and 3-5 form triangles, bridged by edge 2-3.
+  Graph g(6);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_TRUE(g.AddEdge(3, 4).ok());
+  EXPECT_TRUE(g.AddEdge(4, 5).ok());
+  EXPECT_TRUE(g.AddEdge(3, 5).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3).ok());
+  return g;
+}
+
+PartitionAssignment Split(std::vector<PartitionId> parts, PartitionId alpha) {
+  PartitionAssignment asg(parts.size(), alpha);
+  for (VertexId v = 0; v < parts.size(); ++v) asg.Assign(v, parts[v]);
+  return asg;
+}
+
+TEST(MetricsTest, EdgeCutCountsCrossEdges) {
+  Graph g = TwoTriangles();
+  // Perfect split: only the bridge is cut.
+  auto asg = Split({0, 0, 0, 1, 1, 1}, 2);
+  EXPECT_EQ(EdgeCut(g, asg), 1u);
+  EXPECT_NEAR(EdgeCutFraction(g, asg), 1.0 / 7.0, 1e-12);
+
+  // Alternating split: cuts 0-1, 1-2, 3-4, 4-5, 2-3; keeps 0-2 and 3-5.
+  auto bad = Split({0, 1, 0, 1, 0, 1}, 2);
+  EXPECT_EQ(EdgeCut(g, bad), 5u);
+}
+
+TEST(MetricsTest, EdgeCutFractionEmptyGraph) {
+  Graph g(3);
+  PartitionAssignment asg(3, 2);
+  EXPECT_DOUBLE_EQ(EdgeCutFraction(g, asg), 0.0);
+}
+
+TEST(MetricsTest, PartitionWeightsSumVertexWeights) {
+  Graph g(4);
+  g.SetVertexWeight(0, 2.0);
+  g.SetVertexWeight(3, 5.0);
+  auto asg = Split({0, 0, 1, 1}, 2);
+  const auto weights = PartitionWeights(g, asg);
+  EXPECT_DOUBLE_EQ(weights[0], 3.0);  // 2 + 1
+  EXPECT_DOUBLE_EQ(weights[1], 6.0);  // 1 + 5
+}
+
+TEST(MetricsTest, ImbalanceFactorBalanced) {
+  Graph g(4);
+  auto asg = Split({0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(ImbalanceFactor(g, asg), 1.0);
+  EXPECT_TRUE(IsBalanced(g, asg, 1.1));
+}
+
+TEST(MetricsTest, ImbalanceFactorSkewed) {
+  Graph g(4);
+  g.SetVertexWeight(0, 7.0);  // partition 0: 8, partition 1: 2, avg 5
+  auto asg = Split({0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(ImbalanceFactor(g, asg), 8.0 / 5.0);
+  EXPECT_FALSE(IsBalanced(g, asg, 1.1));
+  EXPECT_TRUE(IsBalanced(g, asg, 1.61));
+}
+
+TEST(MetricsTest, IsBalancedChecksUnderload) {
+  Graph g(10);
+  // Partition 1 gets one vertex: weight 1 vs avg 5 -> underloaded.
+  PartitionAssignment asg(10, 2, 0);
+  asg.Assign(9, 1);
+  EXPECT_FALSE(IsBalanced(g, asg, 1.2));
+}
+
+TEST(MetricsTest, VerticesMoved) {
+  auto before = Split({0, 0, 1, 1}, 2);
+  auto after = Split({0, 1, 1, 0}, 2);
+  EXPECT_EQ(VerticesMoved(before, after), 2u);
+  EXPECT_EQ(VerticesMoved(before, before), 0u);
+}
+
+TEST(MetricsTest, RelationshipsTouchedCountsIncidentEdges) {
+  Graph g = TwoTriangles();
+  auto before = Split({0, 0, 0, 1, 1, 1}, 2);
+  auto after = before;
+  after.Assign(2, 1);  // vertex 2 moves; incident edges: 0-2, 1-2, 2-3
+  EXPECT_EQ(RelationshipsTouched(g, before, after), 3u);
+  EXPECT_EQ(RelationshipsTouched(g, before, before), 0u);
+}
+
+TEST(MetricsTest, MatchLabelsRecoversPermutation) {
+  // after = before with labels swapped; matching should undo the swap.
+  auto before = Split({0, 0, 0, 1, 1, 1}, 2);
+  auto after = Split({1, 1, 1, 0, 0, 0}, 2);
+  const auto matched = MatchLabels(before, after);
+  EXPECT_EQ(VerticesMoved(before, matched), 0u);
+}
+
+TEST(MetricsTest, MatchLabelsThreeWayPermutation) {
+  auto before = Split({0, 0, 1, 1, 2, 2}, 3);
+  auto after = Split({2, 2, 0, 0, 1, 1}, 3);
+  const auto matched = MatchLabels(before, after);
+  EXPECT_EQ(VerticesMoved(before, matched), 0u);
+}
+
+TEST(MetricsTest, MatchLabelsKeepsGenuineMoves) {
+  auto before = Split({0, 0, 0, 1, 1, 1}, 2);
+  auto after = Split({1, 1, 1, 0, 0, 1}, 2);  // swap + vertex 5 moved
+  const auto matched = MatchLabels(before, after);
+  EXPECT_EQ(VerticesMoved(before, matched), 1u);
+}
+
+TEST(HashPartitionerTest, DeterministicAndInRange) {
+  HashPartitioner hp(3);
+  Graph g(1000);
+  const auto asg = hp.Partition(g, 16);
+  for (VertexId v = 0; v < 1000; ++v) {
+    EXPECT_LT(asg.PartitionOf(v), 16u);
+    EXPECT_EQ(asg.PartitionOf(v), hp.PartitionFor(v, 16));
+  }
+}
+
+TEST(HashPartitionerTest, RoughlyBalancedCounts) {
+  HashPartitioner hp(1);
+  Graph g(16000);
+  const auto asg = hp.Partition(g, 16);
+  const auto weights = PartitionWeights(g, asg);
+  for (double w : weights) {
+    EXPECT_GT(w, 800.0);   // expected 1000 each
+    EXPECT_LT(w, 1200.0);
+  }
+}
+
+TEST(HashPartitionerTest, SeedChangesPlacement) {
+  Graph g(100);
+  const auto a = HashPartitioner(1).Partition(g, 8);
+  const auto b = HashPartitioner(2).Partition(g, 8);
+  EXPECT_GT(VerticesMoved(a, b), 0u);
+}
+
+TEST(HashPartitionerTest, HighEdgeCutOnCommunityGraph) {
+  Graph g = TwoTriangles();
+  const auto asg = HashPartitioner(1).Partition(g, 2);
+  // Random placement cuts roughly half the edges of a 2-community graph;
+  // certainly far more than the optimal single cut. (Deterministic given
+  // the fixed seed.)
+  EXPECT_GE(EdgeCut(g, asg), 2u);
+}
+
+TEST(AssignmentTest, AddVertexExtends) {
+  PartitionAssignment asg(2, 4);
+  asg.AddVertex(3);
+  EXPECT_EQ(asg.size(), 3u);
+  EXPECT_EQ(asg.PartitionOf(2), 3u);
+}
+
+TEST(AssignmentTest, EqualityComparesContent) {
+  auto a = Split({0, 1}, 2);
+  auto b = Split({0, 1}, 2);
+  auto c = Split({1, 0}, 2);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,157 @@
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "gen/social_graph.h"
+#include "graph/graph.h"
+#include "partition/hash_partitioner.h"
+#include "partition/metrics.h"
+#include "partition/multilevel.h"
+
+namespace hermes {
+namespace {
+
+TEST(MultilevelTest, HandlesTrivialInputs) {
+  MultilevelPartitioner mp;
+  Graph empty;
+  EXPECT_EQ(mp.Partition(empty, 4).size(), 0u);
+
+  Graph one(1);
+  const auto asg = mp.Partition(one, 1);
+  EXPECT_EQ(asg.size(), 1u);
+  EXPECT_EQ(asg.PartitionOf(0), 0u);
+}
+
+TEST(MultilevelTest, AssignsEveryVertexInRange) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 3000;
+  opt.seed = 1;
+  Graph g = GenerateSocialGraph(opt);
+  const auto asg = MultilevelPartitioner().Partition(g, 8);
+  ASSERT_EQ(asg.size(), g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LT(asg.PartitionOf(v), 8u);
+  }
+}
+
+TEST(MultilevelTest, SeparatesTwoCliques) {
+  // Two 20-cliques joined by one edge: the optimal bisection cuts one edge.
+  Graph g(40);
+  for (VertexId u = 0; u < 20; ++u) {
+    for (VertexId v = u + 1; v < 20; ++v) {
+      ASSERT_TRUE(g.AddEdge(u, v).ok());
+      ASSERT_TRUE(g.AddEdge(20 + u, 20 + v).ok());
+    }
+  }
+  ASSERT_TRUE(g.AddEdge(0, 20).ok());
+  const auto asg = MultilevelPartitioner().Partition(g, 2);
+  EXPECT_EQ(EdgeCut(g, asg), 1u);
+  EXPECT_LE(ImbalanceFactor(g, asg), 1.05 + 1e-9);
+}
+
+TEST(MultilevelTest, RespectsBalanceConstraint) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 5000;
+  opt.seed = 2;
+  Graph g = GenerateSocialGraph(opt);
+  MultilevelOptions mopt;
+  mopt.beta = 1.05;
+  const auto asg = MultilevelPartitioner(mopt).Partition(g, 16);
+  EXPECT_LE(ImbalanceFactor(g, asg), 1.10 + 1e-9);
+}
+
+TEST(MultilevelTest, BeatsRandomByAWideMargin) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 6000;
+  opt.community_mixing = 0.15;
+  opt.seed = 3;
+  Graph g = GenerateSocialGraph(opt);
+  const double metis_cut =
+      EdgeCutFraction(g, MultilevelPartitioner().Partition(g, 16));
+  const double random_cut =
+      EdgeCutFraction(g, HashPartitioner(1).Partition(g, 16));
+  EXPECT_LT(metis_cut, 0.5 * random_cut);
+}
+
+TEST(MultilevelTest, HonorsVertexWeights) {
+  // One very heavy vertex: a weight-aware partitioner must isolate it
+  // with few companions to keep weights balanced.
+  SocialGraphOptions opt;
+  opt.num_vertices = 2000;
+  opt.seed = 4;
+  Graph g = GenerateSocialGraph(opt);
+  g.SetVertexWeight(0, static_cast<double>(g.NumVertices()) / 4.0);
+  MultilevelOptions mopt;
+  mopt.beta = 1.10;
+  const auto asg = MultilevelPartitioner(mopt).Partition(g, 4);
+  EXPECT_LE(ImbalanceFactor(g, asg), 1.25);
+}
+
+TEST(MultilevelTest, DeterministicBySeed) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 2000;
+  opt.seed = 5;
+  Graph g = GenerateSocialGraph(opt);
+  MultilevelOptions mopt;
+  mopt.seed = 9;
+  const auto a = MultilevelPartitioner(mopt).Partition(g, 8);
+  const auto b = MultilevelPartitioner(mopt).Partition(g, 8);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(MultilevelTest, StatsReportCoarseningLevels) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 8000;
+  opt.seed = 6;
+  Graph g = GenerateSocialGraph(opt);
+  MultilevelStats stats;
+  MultilevelPartitioner().Partition(g, 8, &stats);
+  EXPECT_GT(stats.levels, 2u);
+  EXPECT_GT(stats.peak_memory_bytes, g.NumEdges() * sizeof(std::uint32_t));
+}
+
+TEST(MultilevelTest, MemoryScalesWithEdgesNotVertices) {
+  // Section 5.3: Metis memory scales with relationships (all coarsening
+  // levels are retained); the aux data scales with vertices. Verify the
+  // multilevel stats dwarf the aux-data budget on a dense graph.
+  SocialGraphOptions opt;
+  opt.num_vertices = 4000;
+  opt.min_degree = 8;
+  opt.seed = 7;
+  Graph g = GenerateSocialGraph(opt);
+  MultilevelStats stats;
+  MultilevelPartitioner().Partition(g, 8, &stats);
+  const std::size_t aux_bytes =
+      g.NumVertices() * 8 * sizeof(std::uint32_t) + 8 * sizeof(double);
+  EXPECT_GT(stats.peak_memory_bytes, 3 * aux_bytes);
+}
+
+// Parameterized sweep over (alpha, mixing): the partitioning is always
+// valid and always better than random.
+class MultilevelSweep
+    : public ::testing::TestWithParam<std::tuple<PartitionId, double>> {};
+
+TEST_P(MultilevelSweep, ValidAndBetterThanRandom) {
+  const auto [alpha, mixing] = GetParam();
+  SocialGraphOptions opt;
+  opt.num_vertices = 3000;
+  opt.community_mixing = mixing;
+  opt.seed = 11;
+  Graph g = GenerateSocialGraph(opt);
+  MultilevelOptions mopt;
+  mopt.beta = 1.05;
+  const auto asg = MultilevelPartitioner(mopt).Partition(g, alpha);
+  EXPECT_LE(ImbalanceFactor(g, asg), 1.12);
+  const double random_cut =
+      EdgeCutFraction(g, HashPartitioner(2).Partition(g, alpha));
+  EXPECT_LT(EdgeCutFraction(g, asg), random_cut);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultilevelSweep,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u, 16u),
+                       ::testing::Values(0.1, 0.3, 0.5)));
+
+}  // namespace
+}  // namespace hermes

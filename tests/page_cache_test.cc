@@ -1,0 +1,202 @@
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/page_cache.h"
+#include "storage/paged_file.h"
+
+namespace hermes {
+namespace {
+
+std::string TempFile(const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+Page MakePage(unsigned char fill) {
+  Page p;
+  p.bytes.fill(fill);
+  return p;
+}
+
+TEST(PagedFileTest, WriteReadRoundTrip) {
+  auto file = PagedFile::Open(TempFile("pf_roundtrip.pg"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->WritePage(0, MakePage(0xAB)).ok());
+  ASSERT_TRUE(file->WritePage(3, MakePage(0xCD)).ok());
+  EXPECT_EQ(file->NumPages(), 4u);
+
+  Page p;
+  ASSERT_TRUE(file->ReadPage(0, &p).ok());
+  EXPECT_EQ(p.bytes[0], 0xAB);
+  EXPECT_EQ(p.bytes[kPageSize - 1], 0xAB);
+  ASSERT_TRUE(file->ReadPage(3, &p).ok());
+  EXPECT_EQ(p.bytes[100], 0xCD);
+}
+
+TEST(PagedFileTest, ReadPastEndYieldsZeros) {
+  auto file = PagedFile::Open(TempFile("pf_zeros.pg"));
+  ASSERT_TRUE(file.ok());
+  Page p = MakePage(0xFF);
+  ASSERT_TRUE(file->ReadPage(42, &p).ok());
+  for (unsigned char b : p.bytes) ASSERT_EQ(b, 0);
+}
+
+TEST(PagedFileTest, PersistsAcrossReopen) {
+  const std::string path = TempFile("pf_reopen.pg");
+  {
+    auto file = PagedFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->WritePage(1, MakePage(0x5A)).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto file = PagedFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->NumPages(), 2u);
+  Page p;
+  ASSERT_TRUE(file->ReadPage(1, &p).ok());
+  EXPECT_EQ(p.bytes[17], 0x5A);
+}
+
+TEST(PagedFileTest, ResetTruncates) {
+  auto file = PagedFile::Open(TempFile("pf_reset.pg"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->WritePage(5, MakePage(1)).ok());
+  ASSERT_TRUE(file->Reset().ok());
+  EXPECT_EQ(file->NumPages(), 0u);
+}
+
+TEST(PageCacheTest, HitAfterMiss) {
+  auto file = PagedFile::Open(TempFile("pc_hits.pg"));
+  ASSERT_TRUE(file.ok());
+  PageCache cache(&*file, 4);
+  auto p = cache.Pin(0);
+  ASSERT_TRUE(p.ok());
+  cache.Unpin(0, false);
+  ASSERT_TRUE(cache.Pin(0).ok());
+  cache.Unpin(0, false);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PageCacheTest, DirtyPageWrittenBackOnEviction) {
+  auto file = PagedFile::Open(TempFile("pc_dirty.pg"));
+  ASSERT_TRUE(file.ok());
+  PageCache cache(&*file, 2);
+  {
+    auto p = cache.Pin(0);
+    ASSERT_TRUE(p.ok());
+    (*p)->bytes[7] = 0x77;
+    cache.Unpin(0, true);
+  }
+  // Touch two more pages: page 0 must be evicted and written back.
+  for (std::uint64_t pg : {1u, 2u}) {
+    auto p = cache.Pin(pg);
+    ASSERT_TRUE(p.ok());
+    cache.Unpin(pg, false);
+  }
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_GE(cache.stats().writebacks, 1u);
+  Page direct;
+  ASSERT_TRUE(file->ReadPage(0, &direct).ok());
+  EXPECT_EQ(direct.bytes[7], 0x77);
+}
+
+TEST(PageCacheTest, PinnedPagesNeverEvicted) {
+  auto file = PagedFile::Open(TempFile("pc_pinned.pg"));
+  ASSERT_TRUE(file.ok());
+  PageCache cache(&*file, 2);
+  auto a = cache.Pin(0);
+  auto b = cache.Pin(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Both frames pinned: a third pin must fail, not evict.
+  EXPECT_TRUE(cache.Pin(2).status().IsInternal());
+  cache.Unpin(0, false);
+  cache.Unpin(1, false);
+  EXPECT_TRUE(cache.Pin(2).ok());
+  cache.Unpin(2, false);
+}
+
+TEST(PageCacheTest, LruEvictsColdestPage) {
+  auto file = PagedFile::Open(TempFile("pc_lru.pg"));
+  ASSERT_TRUE(file.ok());
+  PageCache cache(&*file, 2);
+  for (std::uint64_t pg : {0u, 1u}) {
+    ASSERT_TRUE(cache.Pin(pg).ok());
+    cache.Unpin(pg, false);
+  }
+  // Re-touch page 0 so page 1 is the LRU victim.
+  ASSERT_TRUE(cache.Pin(0).ok());
+  cache.Unpin(0, false);
+  ASSERT_TRUE(cache.Pin(2).ok());
+  cache.Unpin(2, false);
+  // Page 0 should still be resident (hit), page 1 should miss.
+  const auto hits_before = cache.stats().hits;
+  ASSERT_TRUE(cache.Pin(0).ok());
+  cache.Unpin(0, false);
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+}
+
+TEST(PageCacheTest, FlushAllPersistsWithoutEviction) {
+  auto file = PagedFile::Open(TempFile("pc_flush.pg"));
+  ASSERT_TRUE(file.ok());
+  PageCache cache(&*file, 8);
+  auto p = cache.Pin(3);
+  ASSERT_TRUE(p.ok());
+  (*p)->bytes[0] = 0x99;
+  cache.Unpin(3, true);
+  ASSERT_TRUE(cache.FlushAll().ok());
+  Page direct;
+  ASSERT_TRUE(file->ReadPage(3, &direct).ok());
+  EXPECT_EQ(direct.bytes[0], 0x99);
+}
+
+TEST(PagedStreamTest, WriterReaderRoundTripAcrossPages) {
+  auto file = PagedFile::Open(TempFile("ps_roundtrip.pg"));
+  ASSERT_TRUE(file.ok());
+  PageCache cache(&*file, 3);  // smaller than the data: forces eviction
+  PagedWriter writer(&cache);
+
+  Rng rng(5);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {  // ~40 KB, 5 pages
+    values.push_back(rng.Next());
+    writer.Append(&values.back(), sizeof(std::uint64_t));
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.position(), 5000u * sizeof(std::uint64_t));
+
+  PagedReader reader(&cache, writer.position());
+  for (std::uint64_t expected : values) {
+    std::uint64_t got = 0;
+    ASSERT_TRUE(reader.Read(&got, sizeof(got)));
+    ASSERT_EQ(got, expected);
+  }
+  std::uint64_t extra;
+  EXPECT_FALSE(reader.Read(&extra, sizeof(extra)));  // limit enforced
+}
+
+TEST(PagedStreamTest, UnalignedWritesSpanPageBoundaries) {
+  auto file = PagedFile::Open(TempFile("ps_unaligned.pg"));
+  ASSERT_TRUE(file.ok());
+  PageCache cache(&*file, 2);
+  PagedWriter writer(&cache);
+  const std::string chunk = "abcdefghijklmnopqrstuvwxy";  // 25 bytes
+  for (int i = 0; i < 1000; ++i) writer.Append(chunk.data(), chunk.size());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  PagedReader reader(&cache, writer.position());
+  std::string got(chunk.size(), '\0');
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(reader.Read(got.data(), got.size()));
+    ASSERT_EQ(got, chunk);
+  }
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,107 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace hermes {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(30.0, [&order] { order.push_back(3); });
+  sim.At(10.0, [&order] { order.push_back(1); });
+  sim.At(20.0, [&order] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 30.0);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(5.0, [&order] { order.push_back(1); });
+  sim.At(5.0, [&order] { order.push_back(2); });
+  sim.At(5.0, [&order] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.At(10.0, [&sim, &fired_at] {
+    sim.After(5.0, [&sim, &fired_at] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.At(10.0, [&sim, &fired_at] {
+    sim.At(3.0, [&sim, &fired_at] { fired_at = sim.Now(); });  // in the past
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(SimulatorTest, ReentrantSchedulingChains) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) sim.After(1.0, tick);
+  };
+  sim.At(0.0, tick);
+  sim.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.Now(), 99.0);
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(10.0, [&fired] { ++fired; });
+  sim.At(50.0, [&fired] { ++fired; });
+  sim.RunUntil(20.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 20.0);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<double> times;
+    for (int i = 0; i < 50; ++i) {
+      sim.At(static_cast<double>((i * 37) % 50),
+             [&times, &sim] { times.push_back(sim.Now()); });
+    }
+    sim.Run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(NetworkParamsTest, RemoteHopDominatesLocalVisit) {
+  // The premise of the whole paper: a remote traversal costs orders of
+  // magnitude more than a local visit. Guard the default calibration.
+  NetworkParams net;
+  EXPECT_GT(net.remote_hop_us, 50.0 * net.local_visit_us);
+  EXPECT_GT(net.client_request_us, 0.0);
+  EXPECT_GT(net.write_op_us, net.local_visit_us);
+}
+
+}  // namespace
+}  // namespace hermes

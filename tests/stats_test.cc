@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/social_graph.h"
+#include "graph/graph.h"
+#include "graph/stats.h"
+
+namespace hermes {
+namespace {
+
+Graph Triangle() {
+  Graph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2).ok());
+  return g;
+}
+
+Graph Path(std::size_t n) {
+  Graph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    EXPECT_TRUE(g.AddEdge(v, v + 1).ok());
+  }
+  return g;
+}
+
+TEST(StatsTest, TriangleClusteringIsOne) {
+  Graph g = Triangle();
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(g, 0, &rng), 1.0);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, v), 1.0);
+  }
+}
+
+TEST(StatsTest, PathClusteringIsZero) {
+  Graph g = Path(10);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(g, 0, &rng), 0.0);
+}
+
+TEST(StatsTest, StarCenterClusteringZero) {
+  Graph g(5);
+  for (VertexId v = 1; v < 5; ++v) ASSERT_TRUE(g.AddEdge(0, v).ok());
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 0.0);
+  // Leaves have degree 1 -> defined as 0.
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 1), 0.0);
+}
+
+TEST(StatsTest, HalfClosedWedge) {
+  // 0-1, 0-2, 0-3, 1-2: vertex 0 has 3 neighbor pairs, 1 closed.
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_NEAR(LocalClusteringCoefficient(g, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, TrianglePathLengthIsOne) {
+  Graph g = Triangle();
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(AveragePathLength(g, 0, &rng), 1.0);
+}
+
+TEST(StatsTest, PathGraphAveragePathLength) {
+  // Path of 3: distances 1,1,2 in both directions -> mean 4/3.
+  Graph g = Path(3);
+  Rng rng(1);
+  EXPECT_NEAR(AveragePathLength(g, 0, &rng), 4.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, SampledPathLengthCloseToExact) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 2000;
+  opt.seed = 5;
+  Graph g = GenerateSocialGraph(opt);
+  Rng rng(2);
+  const double exact = AveragePathLength(g, 0, &rng);
+  const double sampled = AveragePathLength(g, 200, &rng);
+  EXPECT_NEAR(sampled, exact, exact * 0.15);
+}
+
+TEST(StatsTest, PowerLawExponentRecoversGeneratedExponent) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 20000;
+  opt.power_law_exponent = 2.5;
+  opt.min_degree = 2;
+  opt.community_mixing = 1.0;  // pure Chung-Lu, no communities
+  opt.seed = 9;
+  Graph g = GenerateSocialGraph(opt);
+  const double est = PowerLawExponent(g, 2);
+  EXPECT_GT(est, 1.9);
+  EXPECT_LT(est, 3.2);
+}
+
+TEST(StatsTest, PowerLawDegenerateCases) {
+  Graph g(1);
+  EXPECT_DOUBLE_EQ(PowerLawExponent(g), 0.0);
+}
+
+TEST(StatsTest, ComponentBoundOnConnectedGraph) {
+  Graph g = Path(50);
+  EXPECT_DOUBLE_EQ(LargestComponentLowerBound(g), 1.0);
+}
+
+TEST(StatsTest, ComponentBoundOnDisconnectedGraph) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  // 2 and 3 isolated from 0.
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  EXPECT_DOUBLE_EQ(LargestComponentLowerBound(g), 0.5);
+}
+
+TEST(StatsTest, DegreeStats) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean, 1.5);
+}
+
+TEST(StatsTest, EmptyGraphStats) {
+  Graph g;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(AveragePathLength(g, 0, &rng), 0.0);
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(g, 0, &rng), 0.0);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace hermes

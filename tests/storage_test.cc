@@ -1,0 +1,193 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/dynamic_store.h"
+#include "storage/id_generator.h"
+#include "storage/record_store.h"
+#include "storage/records.h"
+
+namespace hermes {
+namespace {
+
+// --- RecordStore ------------------------------------------------------------
+
+TEST(RecordStoreTest, CreateGetDelete) {
+  RecordStore<NodeRecord> store;
+  NodeRecord rec;
+  rec.in_use = true;
+  rec.weight = 3.0;
+  ASSERT_TRUE(store.Create(10, rec).ok());
+  EXPECT_TRUE(store.Exists(10));
+  auto got = store.Get(10);
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got->weight, 3.0);
+  ASSERT_TRUE(store.Delete(10).ok());
+  EXPECT_FALSE(store.Exists(10));
+  EXPECT_TRUE(store.Get(10).status().IsNotFound());
+}
+
+TEST(RecordStoreTest, DuplicateCreateRejected) {
+  RecordStore<NodeRecord> store;
+  ASSERT_TRUE(store.Create(1, NodeRecord{}).ok());
+  EXPECT_TRUE(store.Create(1, NodeRecord{}).IsAlreadyExists());
+}
+
+TEST(RecordStoreTest, GetMutableUpdatesInPlace) {
+  RecordStore<NodeRecord> store;
+  ASSERT_TRUE(store.Create(5, NodeRecord{}).ok());
+  store.GetMutable(5)->weight = 42.0;
+  EXPECT_DOUBLE_EQ(store.Get(5)->weight, 42.0);
+  EXPECT_EQ(store.GetMutable(999), nullptr);
+}
+
+TEST(RecordStoreTest, ForEachVisitsInIdOrder) {
+  RecordStore<RelationshipRecord> store;
+  for (RecordId id : {30, 10, 20}) {
+    ASSERT_TRUE(store.Create(id, RelationshipRecord{}).ok());
+  }
+  std::vector<RecordId> seen;
+  store.ForEach([&seen](RecordId id, const RelationshipRecord&) {
+    seen.push_back(id);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<RecordId>{10, 20, 30}));
+}
+
+TEST(RecordStoreTest, ForEachEarlyStop) {
+  RecordStore<NodeRecord> store;
+  for (RecordId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(store.Create(id, NodeRecord{}).ok());
+  }
+  int visited = 0;
+  store.ForEach([&visited](RecordId, const NodeRecord&) {
+    return ++visited < 3;
+  });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(RecordStoreTest, MemoryAccountingGrows) {
+  RecordStore<NodeRecord> store;
+  const std::size_t empty = store.MemoryBytes();
+  for (RecordId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(store.Create(id, NodeRecord{}).ok());
+  }
+  EXPECT_GT(store.MemoryBytes(), empty);
+  EXPECT_EQ(store.size(), 100u);
+}
+
+// --- DynamicStore ------------------------------------------------------------
+
+TEST(DynamicStoreTest, ShortStringRoundTrip) {
+  DynamicStore store;
+  const RecordId head = store.Put("hello");
+  auto got = store.Get(head);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello");
+  EXPECT_EQ(store.num_blocks(), 1u);
+}
+
+TEST(DynamicStoreTest, EmptyString) {
+  DynamicStore store;
+  const RecordId head = store.Put("");
+  auto got = store.Get(head);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "");
+}
+
+TEST(DynamicStoreTest, LongStringSpansBlocks) {
+  DynamicStore store;
+  const std::string payload(100, 'x');
+  const RecordId head = store.Put(payload);
+  // ceil(100 / 24) = 5 blocks.
+  EXPECT_EQ(store.num_blocks(), 5u);
+  EXPECT_EQ(*store.Get(head), payload);
+}
+
+TEST(DynamicStoreTest, ExactBlockBoundary) {
+  DynamicStore store;
+  const std::string payload(DynamicStore::kBlockPayload, 'y');
+  const RecordId head = store.Put(payload);
+  EXPECT_EQ(store.num_blocks(), 1u);
+  EXPECT_EQ(*store.Get(head), payload);
+}
+
+TEST(DynamicStoreTest, FreeReleasesChain) {
+  DynamicStore store;
+  const RecordId a = store.Put(std::string(60, 'a'));
+  const RecordId b = store.Put("short");
+  ASSERT_TRUE(store.Free(a).ok());
+  EXPECT_EQ(store.num_blocks(), 1u);
+  EXPECT_TRUE(store.Get(a).status().IsNotFound());
+  EXPECT_EQ(*store.Get(b), "short");
+}
+
+TEST(DynamicStoreTest, BinaryPayloadWithNulBytes) {
+  DynamicStore store;
+  std::string payload = "abc";
+  payload.push_back('\0');
+  payload += "def";
+  const RecordId head = store.Put(payload);
+  EXPECT_EQ(*store.Get(head), payload);
+}
+
+TEST(DynamicStoreTest, ManyInterleavedChains) {
+  DynamicStore store;
+  std::vector<std::pair<RecordId, std::string>> entries;
+  for (int i = 0; i < 50; ++i) {
+    const std::string payload(static_cast<std::size_t>(i * 7 % 90), 'a' + i % 26);
+    entries.emplace_back(store.Put(payload), payload);
+  }
+  for (const auto& [head, payload] : entries) {
+    EXPECT_EQ(*store.Get(head), payload);
+  }
+}
+
+// --- IdGenerator ------------------------------------------------------------
+
+TEST(IdGeneratorTest, MonotonicallyIncreasing) {
+  IdGenerator gen(0);
+  RecordId prev = gen.Next();
+  for (int i = 0; i < 1000; ++i) {
+    const RecordId id = gen.Next();
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(IdGeneratorTest, OriginEncodedInHighBits) {
+  IdGenerator gen(7);
+  const RecordId id = gen.Next();
+  EXPECT_EQ(IdGenerator::OriginOf(id), 7u);
+  EXPECT_EQ(IdGenerator::LocalOf(id), 0u);
+  EXPECT_EQ(gen.origin(), 7u);
+}
+
+TEST(IdGeneratorTest, DifferentOriginsNeverCollide) {
+  IdGenerator a(1);
+  IdGenerator b(2);
+  std::set<RecordId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(ids.insert(a.Next()).second);
+    EXPECT_TRUE(ids.insert(b.Next()).second);
+  }
+}
+
+TEST(IdGeneratorTest, ObserveExternalAdvancesCounter) {
+  IdGenerator gen(3);
+  IdGenerator source(3, 100);
+  const RecordId foreign = source.Next();  // local counter 100
+  gen.ObserveExternal(foreign);
+  EXPECT_GT(IdGenerator::LocalOf(gen.Next()), 100u);
+}
+
+TEST(IdGeneratorTest, ObserveExternalIgnoresOtherOrigins) {
+  IdGenerator gen(3);
+  IdGenerator other(9, 5000);
+  gen.ObserveExternal(other.Next());
+  EXPECT_EQ(IdGenerator::LocalOf(gen.Next()), 0u);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,175 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/wal.h"
+
+namespace hermes {
+namespace {
+
+std::string TempLog(const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+WalEntry MakeEdgeEntry(VertexId a, VertexId b) {
+  WalEntry e;
+  e.type = WalOpType::kAddEdge;
+  e.a = a;
+  e.b = b;
+  e.key = 7;
+  e.flag = 1;
+  return e;
+}
+
+TEST(WalTest, AppendAssignsIncreasingLsns) {
+  const std::string path = TempLog("wal_lsn.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  auto l1 = wal->Append(MakeEdgeEntry(1, 2));
+  auto l2 = wal->Append(MakeEdgeEntry(3, 4));
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  EXPECT_LT(*l1, *l2);
+}
+
+TEST(WalTest, RoundTripAllFields) {
+  const std::string path = TempLog("wal_roundtrip.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    WalEntry e;
+    e.type = WalOpType::kSetNodeProperty;
+    e.a = 42;
+    e.b = 43;
+    e.weight = 2.5;
+    e.key = 9;
+    e.flag = 1;
+    e.payload = "hello \0 world";
+    ASSERT_TRUE(wal->Append(e).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  const WalEntry& e = entries->front();
+  EXPECT_EQ(e.type, WalOpType::kSetNodeProperty);
+  EXPECT_EQ(e.a, 42u);
+  EXPECT_EQ(e.b, 43u);
+  EXPECT_DOUBLE_EQ(e.weight, 2.5);
+  EXPECT_EQ(e.key, 9u);
+  EXPECT_EQ(e.flag, 1);
+  EXPECT_EQ(e.lsn, 1u);
+}
+
+TEST(WalTest, ManyEntriesSurviveReopen) {
+  const std::string path = TempLog("wal_reopen.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (VertexId i = 0; i < 100; ++i) {
+      ASSERT_TRUE(wal->Append(MakeEdgeEntry(i, i + 1)).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  // Reopen continues the LSN sequence.
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(wal->next_lsn(), 101u);
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 100u);
+}
+
+TEST(WalTest, TornTailIsDiscarded) {
+  const std::string path = TempLog("wal_torn.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (VertexId i = 0; i < 10; ++i) {
+      ASSERT_TRUE(wal->Append(MakeEdgeEntry(i, i + 1)).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  // Simulate a crash mid-append: chop off the last 5 bytes.
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    std::string data(size, '\0');
+    in.read(data.data(), static_cast<std::streamsize>(size));
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(size - 5));
+  }
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 9u);  // the torn 10th entry is dropped
+}
+
+TEST(WalTest, CorruptTailIsDiscarded) {
+  const std::string path = TempLog("wal_corrupt.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (VertexId i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wal->Append(MakeEdgeEntry(i, i + 1)).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  {
+    // Flip a byte inside the last record's body.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-3, std::ios::end);
+    f.put('\xff');
+  }
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 4u);
+}
+
+TEST(WalTest, CheckpointFiltersEarlierEntries) {
+  const std::string path = TempLog("wal_checkpoint.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(MakeEdgeEntry(1, 2)).ok());
+  ASSERT_TRUE(wal->Append(MakeEdgeEntry(3, 4)).ok());
+  ASSERT_TRUE(wal->LogCheckpoint().ok());
+  ASSERT_TRUE(wal->Append(MakeEdgeEntry(5, 6)).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+
+  auto all = WriteAheadLog::ReadAll(path, false);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 4u);
+
+  auto tail = WriteAheadLog::ReadAll(path, true);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 1u);
+  EXPECT_EQ(tail->front().a, 5u);
+}
+
+TEST(WalTest, ResetTruncates) {
+  const std::string path = TempLog("wal_reset.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(MakeEdgeEntry(1, 2)).ok());
+  ASSERT_TRUE(wal->Reset().ok());
+  ASSERT_TRUE(wal->Append(MakeEdgeEntry(9, 10)).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ(entries->front().a, 9u);
+}
+
+TEST(WalTest, Crc32KnownVector) {
+  // CRC-32C of "123456789" is 0xE3069283 (RFC 3720 test vector).
+  EXPECT_EQ(WalCrc32("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(WalCrc32("", 0), 0u);
+}
+
+}  // namespace
+}  // namespace hermes
