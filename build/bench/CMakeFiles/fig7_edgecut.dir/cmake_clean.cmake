@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_edgecut.dir/fig7_edgecut.cc.o"
+  "CMakeFiles/fig7_edgecut.dir/fig7_edgecut.cc.o.d"
+  "fig7_edgecut"
+  "fig7_edgecut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_edgecut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

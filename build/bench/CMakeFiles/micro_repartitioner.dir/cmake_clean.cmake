@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_repartitioner.dir/micro_repartitioner.cc.o"
+  "CMakeFiles/micro_repartitioner.dir/micro_repartitioner.cc.o.d"
+  "micro_repartitioner"
+  "micro_repartitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_repartitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

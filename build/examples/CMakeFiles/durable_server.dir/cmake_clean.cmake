@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_server.dir/durable_server.cpp.o"
+  "CMakeFiles/durable_server.dir/durable_server.cpp.o.d"
+  "durable_server"
+  "durable_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

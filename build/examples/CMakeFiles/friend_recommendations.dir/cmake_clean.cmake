@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/friend_recommendations.dir/friend_recommendations.cpp.o"
+  "CMakeFiles/friend_recommendations.dir/friend_recommendations.cpp.o.d"
+  "friend_recommendations"
+  "friend_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/friend_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_cluster.dir/social_cluster.cpp.o"
+  "CMakeFiles/social_cluster.dir/social_cluster.cpp.o.d"
+  "social_cluster"
+  "social_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

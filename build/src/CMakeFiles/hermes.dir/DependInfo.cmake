@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/hermes_cluster.cc" "src/CMakeFiles/hermes.dir/cluster/hermes_cluster.cc.o" "gcc" "src/CMakeFiles/hermes.dir/cluster/hermes_cluster.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/hermes.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/hermes.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/hermes.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/hermes.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/hermes.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/hermes.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hermes.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hermes.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/hermes.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/hermes.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/gen/edge_list_io.cc" "src/CMakeFiles/hermes.dir/gen/edge_list_io.cc.o" "gcc" "src/CMakeFiles/hermes.dir/gen/edge_list_io.cc.o.d"
+  "/root/repo/src/gen/profiles.cc" "src/CMakeFiles/hermes.dir/gen/profiles.cc.o" "gcc" "src/CMakeFiles/hermes.dir/gen/profiles.cc.o.d"
+  "/root/repo/src/gen/rmat.cc" "src/CMakeFiles/hermes.dir/gen/rmat.cc.o" "gcc" "src/CMakeFiles/hermes.dir/gen/rmat.cc.o.d"
+  "/root/repo/src/gen/social_graph.cc" "src/CMakeFiles/hermes.dir/gen/social_graph.cc.o" "gcc" "src/CMakeFiles/hermes.dir/gen/social_graph.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/hermes.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/hermes.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/CMakeFiles/hermes.dir/graph/stats.cc.o" "gcc" "src/CMakeFiles/hermes.dir/graph/stats.cc.o.d"
+  "/root/repo/src/graphdb/durable_store.cc" "src/CMakeFiles/hermes.dir/graphdb/durable_store.cc.o" "gcc" "src/CMakeFiles/hermes.dir/graphdb/durable_store.cc.o.d"
+  "/root/repo/src/graphdb/graph_store.cc" "src/CMakeFiles/hermes.dir/graphdb/graph_store.cc.o" "gcc" "src/CMakeFiles/hermes.dir/graphdb/graph_store.cc.o.d"
+  "/root/repo/src/graphdb/traversal.cc" "src/CMakeFiles/hermes.dir/graphdb/traversal.cc.o" "gcc" "src/CMakeFiles/hermes.dir/graphdb/traversal.cc.o.d"
+  "/root/repo/src/partition/aux_data.cc" "src/CMakeFiles/hermes.dir/partition/aux_data.cc.o" "gcc" "src/CMakeFiles/hermes.dir/partition/aux_data.cc.o.d"
+  "/root/repo/src/partition/hash_partitioner.cc" "src/CMakeFiles/hermes.dir/partition/hash_partitioner.cc.o" "gcc" "src/CMakeFiles/hermes.dir/partition/hash_partitioner.cc.o.d"
+  "/root/repo/src/partition/jabeja.cc" "src/CMakeFiles/hermes.dir/partition/jabeja.cc.o" "gcc" "src/CMakeFiles/hermes.dir/partition/jabeja.cc.o.d"
+  "/root/repo/src/partition/lightweight.cc" "src/CMakeFiles/hermes.dir/partition/lightweight.cc.o" "gcc" "src/CMakeFiles/hermes.dir/partition/lightweight.cc.o.d"
+  "/root/repo/src/partition/metrics.cc" "src/CMakeFiles/hermes.dir/partition/metrics.cc.o" "gcc" "src/CMakeFiles/hermes.dir/partition/metrics.cc.o.d"
+  "/root/repo/src/partition/multilevel.cc" "src/CMakeFiles/hermes.dir/partition/multilevel.cc.o" "gcc" "src/CMakeFiles/hermes.dir/partition/multilevel.cc.o.d"
+  "/root/repo/src/partition/streaming.cc" "src/CMakeFiles/hermes.dir/partition/streaming.cc.o" "gcc" "src/CMakeFiles/hermes.dir/partition/streaming.cc.o.d"
+  "/root/repo/src/storage/dynamic_store.cc" "src/CMakeFiles/hermes.dir/storage/dynamic_store.cc.o" "gcc" "src/CMakeFiles/hermes.dir/storage/dynamic_store.cc.o.d"
+  "/root/repo/src/storage/page_cache.cc" "src/CMakeFiles/hermes.dir/storage/page_cache.cc.o" "gcc" "src/CMakeFiles/hermes.dir/storage/page_cache.cc.o.d"
+  "/root/repo/src/storage/paged_file.cc" "src/CMakeFiles/hermes.dir/storage/paged_file.cc.o" "gcc" "src/CMakeFiles/hermes.dir/storage/paged_file.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/hermes.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/hermes.dir/storage/wal.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/hermes.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/hermes.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/hermes.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/hermes.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/hermes.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/hermes.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

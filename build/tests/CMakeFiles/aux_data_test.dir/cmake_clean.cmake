@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aux_data_test.dir/aux_data_test.cc.o"
+  "CMakeFiles/aux_data_test.dir/aux_data_test.cc.o.d"
+  "aux_data_test"
+  "aux_data_test.pdb"
+  "aux_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aux_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

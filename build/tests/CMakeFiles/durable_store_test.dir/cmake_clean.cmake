@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_store_test.dir/durable_store_test.cc.o"
+  "CMakeFiles/durable_store_test.dir/durable_store_test.cc.o.d"
+  "durable_store_test"
+  "durable_store_test.pdb"
+  "durable_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphdb_fuzz_test.dir/graphdb_fuzz_test.cc.o"
+  "CMakeFiles/graphdb_fuzz_test.dir/graphdb_fuzz_test.cc.o.d"
+  "graphdb_fuzz_test"
+  "graphdb_fuzz_test.pdb"
+  "graphdb_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphdb_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

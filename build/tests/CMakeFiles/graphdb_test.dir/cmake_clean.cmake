@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphdb_test.dir/graphdb_test.cc.o"
+  "CMakeFiles/graphdb_test.dir/graphdb_test.cc.o.d"
+  "graphdb_test"
+  "graphdb_test.pdb"
+  "graphdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

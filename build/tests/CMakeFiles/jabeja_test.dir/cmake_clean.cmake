@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jabeja_test.dir/jabeja_test.cc.o"
+  "CMakeFiles/jabeja_test.dir/jabeja_test.cc.o.d"
+  "jabeja_test"
+  "jabeja_test.pdb"
+  "jabeja_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jabeja_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightweight_sweep_test.dir/lightweight_sweep_test.cc.o"
+  "CMakeFiles/lightweight_sweep_test.dir/lightweight_sweep_test.cc.o.d"
+  "lightweight_sweep_test"
+  "lightweight_sweep_test.pdb"
+  "lightweight_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightweight_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/bptree_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/graphdb_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/aux_data_test[1]_include.cmake")
+include("/root/repo/build/tests/lightweight_test[1]_include.cmake")
+include("/root/repo/build/tests/multilevel_test[1]_include.cmake")
+include("/root/repo/build/tests/jabeja_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/durable_store_test[1]_include.cmake")
+include("/root/repo/build/tests/traversal_test[1]_include.cmake")
+include("/root/repo/build/tests/streaming_test[1]_include.cmake")
+include("/root/repo/build/tests/graphdb_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/lightweight_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/page_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
