@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local verification: repo lint, a sanitized build, and the test
+# suite. Run from the repo root. Pass `tsan` to use the ThreadSanitizer
+# preset instead of asan-ubsan (they cannot be combined in one binary).
+#
+#   scripts/check.sh          # lint + asan-ubsan build + ctest
+#   scripts/check.sh tsan     # lint + tsan build + ctest
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset="${1:-asan-ubsan}"
+case "$preset" in
+  asan-ubsan|tsan|default) ;;
+  *) echo "usage: $0 [asan-ubsan|tsan|default]" >&2; exit 2 ;;
+esac
+
+echo "== repo lint =="
+python3 tools/lint.py .
+
+echo "== configure ($preset preset) =="
+cmake --preset "$preset"
+
+echo "== build =="
+cmake --build --preset "$preset" -j "$(nproc)"
+
+echo "== test =="
+ctest --preset "$preset" -j "$(nproc)"
+
+echo "OK: lint + $preset build + tests all green"

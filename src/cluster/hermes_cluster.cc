@@ -41,6 +41,7 @@ HermesCluster::HermesCluster(
 }
 
 Status HermesCluster::InitStores() {
+  MutexLock lock(&mu_);
   const PartitionId alpha = assignment_.num_partitions();
   store_ptrs_.clear();
   if (durable()) {
@@ -108,6 +109,7 @@ Result<std::unique_ptr<HermesCluster>> HermesCluster::Recover(
 }
 
 Status HermesCluster::Checkpoint() {
+  MutexLock lock(&mu_);
   if (!durable()) {
     return Status::InvalidArgument("cluster is not durable");
   }
@@ -157,6 +159,7 @@ Status HermesCluster::DoSetEdgeProperty(PartitionId p, VertexId v,
 }
 
 Status HermesCluster::LoadStores() {
+  MutexLock lock(&mu_);
   const std::size_t n = graph_.NumVertices();
   for (VertexId v = 0; v < n; ++v) {
     HERMES_RETURN_NOT_OK(DoCreateNode(assignment_.PartitionOf(v), v,
@@ -180,6 +183,7 @@ Status HermesCluster::LoadStores() {
 
 Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
                                                                int hops) {
+  MutexLock lock(&mu_);
   if (start >= graph_.NumVertices()) {
     return Status::OutOfRange("start vertex out of range");
   }
@@ -242,6 +246,7 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
 NeighborProvider HermesCluster::MakeNeighborProvider() const {
   return [this](VertexId v, std::optional<std::uint32_t> type)
              -> Result<std::vector<VertexId>> {
+    MutexLock lock(&mu_);
     if (v >= assignment_.size()) {
       return Status::OutOfRange("vertex out of range");
     }
@@ -250,6 +255,7 @@ NeighborProvider HermesCluster::MakeNeighborProvider() const {
 }
 
 Result<VertexId> HermesCluster::InsertVertex(double weight) {
+  MutexLock lock(&mu_);
   const VertexId id = graph_.AddVertex(weight);
   const PartitionId p =
       HashPartitioner(1).PartitionFor(id, assignment_.num_partitions());
@@ -260,6 +266,7 @@ Result<VertexId> HermesCluster::InsertVertex(double weight) {
 }
 
 Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
+  MutexLock lock(&mu_);
   if (u >= graph_.NumVertices() || v >= graph_.NumVertices()) {
     return Status::OutOfRange("endpoint out of range");
   }
@@ -288,6 +295,7 @@ Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
 }
 
 Result<MigrationStats> HermesCluster::RunLightweightRepartition() {
+  MutexLock lock(&mu_);
   const PartitionAssignment before = assignment_;
   LightweightRepartitioner repartitioner(options_.repartitioner);
   const RepartitionResult logical =
@@ -307,6 +315,7 @@ Result<MigrationStats> HermesCluster::RunLightweightRepartition() {
 
 Result<MigrationStats> HermesCluster::MigrateToAssignment(
     const PartitionAssignment& target) {
+  MutexLock lock(&mu_);
   if (target.size() != assignment_.size() ||
       target.num_partitions() != assignment_.num_partitions()) {
     return Status::InvalidArgument("assignment shape mismatch");
@@ -405,6 +414,7 @@ Result<MigrationStats> HermesCluster::MigrateDiff(
 }
 
 bool HermesCluster::Validate(std::size_t sample, std::uint64_t seed) const {
+  MutexLock lock(&mu_);
   const std::size_t n = graph_.NumVertices();
   Rng rng(seed);
   const bool all = (sample == 0 || sample >= n);
@@ -444,6 +454,7 @@ bool HermesCluster::Validate(std::size_t sample, std::uint64_t seed) const {
 }
 
 std::size_t HermesCluster::TotalStoreBytes() const {
+  MutexLock lock(&mu_);
   std::size_t total = 0;
   for (const GraphStore* store : store_ptrs_) total += store->MemoryBytes();
   return total;

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "graphdb/durable_store.h"
 #include "graphdb/graph_store.h"
@@ -47,6 +48,18 @@ struct MigrationStats {
 /// The cluster also keeps the algorithmic `Graph` view in sync with the
 /// stores: the repartitioner runs against the auxiliary data exactly as in
 /// the paper, and physical migration runs against the stores.
+///
+/// Concurrency model (phase 1, coarse): one cluster-level mutex `mu_`
+/// serializes every operation that touches shared state — reads, writes,
+/// repartitioning, and migration — because GraphStore, Graph, and
+/// AuxiliaryData are not internally synchronized. Record-level locks from
+/// the TransactionManager are acquired UNDER mu_ (lock order: mu_ ->
+/// DurableGraphStore::mu_ -> WriteAheadLog::mu_; LockManager::mu_ is a
+/// leaf). A writer stalled on a record lock held by an external
+/// transaction resolves by timeout, never deadlock. The const accessors
+/// (graph(), aux(), store(), ...) hand out unsynchronized references and
+/// are only safe on a quiesced cluster — see DESIGN.md "Concurrency
+/// invariants".
 class HermesCluster {
  public:
   struct Options {
@@ -76,7 +89,7 @@ class HermesCluster {
 
   /// Snapshots every durable server and truncates its log. Errors when
   /// durability is off.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(mu_);
 
   bool durable() const { return !options_.durability_dir.empty(); }
 
@@ -105,7 +118,7 @@ class HermesCluster {
   /// Executes a `hops`-hop traversal from `start` against the stores
   /// (walking real relationship chains) and records per-server segments.
   /// Reads bump the start vertex's weight when configured.
-  Result<TraversalRun> ExecuteRead(VertexId start, int hops);
+  Result<TraversalRun> ExecuteRead(VertexId start, int hops) EXCLUDES(mu_);
 
   /// Adapter for the declarative traversal API (graphdb/traversal.h):
   /// routes each adjacency fetch to the owning server's store, i.e. a
@@ -115,31 +128,34 @@ class HermesCluster {
   // --- Writes ----------------------------------------------------------------
 
   /// Creates a new vertex; placement by hash (new users have no history).
-  Result<VertexId> InsertVertex(double weight = 1.0);
+  Result<VertexId> InsertVertex(double weight = 1.0) EXCLUDES(mu_);
 
   /// Creates edge {u, v}, updating stores (with ghosts), the graph view,
   /// and the auxiliary data. Takes exclusive locks on both endpoints; a
   /// lock timeout aborts with kTimedOut (deadlock resolution).
-  Status InsertEdge(VertexId u, VertexId v, std::uint32_t type = 0);
+  Status InsertEdge(VertexId u, VertexId v, std::uint32_t type = 0)
+      EXCLUDES(mu_);
 
   // --- Repartitioning -----------------------------------------------------------
 
   /// Phase 1 + 2 of the paper's algorithm: runs the lightweight
   /// repartitioner on the auxiliary data (logical moves), then physically
   /// migrates the net-moved vertices between stores.
-  Result<MigrationStats> RunLightweightRepartition();
+  Result<MigrationStats> RunLightweightRepartition() EXCLUDES(mu_);
 
   /// Physically migrates stores to match `target` (used to apply an
   /// offline Metis partitioning for comparison). Labels should already be
   /// matched to the current assignment.
-  Result<MigrationStats> MigrateToAssignment(const PartitionAssignment& target);
+  Result<MigrationStats> MigrateToAssignment(const PartitionAssignment& target)
+      EXCLUDES(mu_);
 
   /// Cross-checks stores against the graph view and directory on a sample
   /// of `sample` vertices (0 = all). Returns false on any inconsistency.
-  bool Validate(std::size_t sample = 0, std::uint64_t seed = 1) const;
+  bool Validate(std::size_t sample = 0, std::uint64_t seed = 1) const
+      EXCLUDES(mu_);
 
   /// Total bytes across all store shards.
-  std::size_t TotalStoreBytes() const;
+  std::size_t TotalStoreBytes() const EXCLUDES(mu_);
 
  private:
   /// Builds without loading stores (used by Recover()).
@@ -148,32 +164,45 @@ class HermesCluster {
                 Options options,
                 std::vector<std::unique_ptr<DurableGraphStore>> durable);
 
-  Status InitStores();
-  Status LoadStores();
+  Status InitStores() EXCLUDES(mu_);
+  Status LoadStores() EXCLUDES(mu_);
   Result<MigrationStats> MigrateDiff(const PartitionAssignment& before,
-                                     const PartitionAssignment& after);
+                                     const PartitionAssignment& after)
+      REQUIRES(mu_);
 
   // Mutation helpers: route through the WAL when durability is on.
-  Status DoCreateNode(PartitionId p, VertexId id, double weight);
-  Status DoRemoveNode(PartitionId p, VertexId v);
-  Status DoSetNodeState(PartitionId p, VertexId v, NodeState state);
-  Status DoAddNodeWeight(PartitionId p, VertexId v, double delta);
+  Status DoCreateNode(PartitionId p, VertexId id, double weight)
+      REQUIRES(mu_);
+  Status DoRemoveNode(PartitionId p, VertexId v) REQUIRES(mu_);
+  Status DoSetNodeState(PartitionId p, VertexId v, NodeState state)
+      REQUIRES(mu_);
+  Status DoAddNodeWeight(PartitionId p, VertexId v, double delta)
+      REQUIRES(mu_);
   Result<RecordId> DoAddEdge(PartitionId p, VertexId v, VertexId other,
-                             std::uint32_t type, bool other_is_local);
+                             std::uint32_t type, bool other_is_local)
+      REQUIRES(mu_);
   Status DoSetNodeProperty(PartitionId p, VertexId v, std::uint32_t key,
-                           const std::string& value);
+                           const std::string& value) REQUIRES(mu_);
   Status DoSetEdgeProperty(PartitionId p, VertexId v, VertexId other,
-                           std::uint32_t key, const std::string& value);
+                           std::uint32_t key, const std::string& value)
+      REQUIRES(mu_);
 
+  /// Serializes all cluster operations (see class comment for the model
+  /// and the lock order). graph_/assignment_/aux_/store_ptrs_/txns_ are
+  /// guarded by mu_ by convention; they stay unannotated only because the
+  /// const accessors expose quiesced-read references.
+  mutable Mutex mu_;
   Graph graph_;
   PartitionAssignment assignment_;
   AuxiliaryData aux_;
   Options options_;
-  std::vector<std::unique_ptr<GraphStore>> stores_;            // in-memory mode
-  std::vector<std::unique_ptr<DurableGraphStore>> durable_;    // durable mode
+  std::vector<std::unique_ptr<GraphStore>> stores_
+      GUARDED_BY(mu_);  // in-memory mode
+  std::vector<std::unique_ptr<DurableGraphStore>> durable_
+      GUARDED_BY(mu_);  // durable mode
   std::vector<GraphStore*> store_ptrs_;  // uniform read access
   TransactionManager txns_;
-  Rng rng_{0xbead5ULL};
+  Rng rng_ GUARDED_BY(mu_){0xbead5ULL};
 };
 
 }  // namespace hermes

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstring>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace hermes {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;  // serializes line emission to stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -50,7 +51,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(&g_log_mutex);
     std::cerr << stream_.str() << std::endl;
   }
   (void)level_;

@@ -1,18 +1,24 @@
 #ifndef HERMES_COMMON_THREAD_POOL_H_
 #define HERMES_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hermes {
 
 /// Fixed-size worker pool used to run per-partition repartitioner passes in
 /// parallel (the paper's algorithm runs independently on each server).
+///
+/// Thread-safe: Submit() may be called from any thread, including from a
+/// running task (recursive submission). Wait() returns once every task
+/// submitted so far — including tasks those tasks submitted — has finished;
+/// `in_flight_` counts queued plus running tasks, so it only reaches zero
+/// at full quiescence.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -22,23 +28,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; tasks run in FIFO order across workers.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until all submitted tasks have completed.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   std::size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> tasks_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written in ctor, joined in dtor only
 };
 
 }  // namespace hermes

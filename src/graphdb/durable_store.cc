@@ -256,12 +256,14 @@ Result<std::unique_ptr<DurableGraphStore>> DurableGraphStore::Open(
 }
 
 Status DurableGraphStore::Checkpoint() {
+  MutexLock lock(&mu_);
   HERMES_RETURN_NOT_OK(WriteSnapshot(*store_, dir_ + "/snapshot.bin"));
   HERMES_RETURN_NOT_OK(wal_->LogCheckpoint().status());
   return wal_->Reset();
 }
 
 Status DurableGraphStore::CreateNode(VertexId id, double weight) {
+  MutexLock lock(&mu_);
   WalEntry e;
   e.type = WalOpType::kCreateNode;
   e.a = id;
@@ -271,6 +273,7 @@ Status DurableGraphStore::CreateNode(VertexId id, double weight) {
 }
 
 Status DurableGraphStore::RemoveNode(VertexId v) {
+  MutexLock lock(&mu_);
   WalEntry e;
   e.type = WalOpType::kRemoveNode;
   e.a = v;
@@ -279,6 +282,7 @@ Status DurableGraphStore::RemoveNode(VertexId v) {
 }
 
 Status DurableGraphStore::SetNodeState(VertexId id, NodeState state) {
+  MutexLock lock(&mu_);
   WalEntry e;
   e.type = WalOpType::kSetNodeState;
   e.a = id;
@@ -288,6 +292,7 @@ Status DurableGraphStore::SetNodeState(VertexId id, NodeState state) {
 }
 
 Status DurableGraphStore::AddNodeWeight(VertexId id, double delta) {
+  MutexLock lock(&mu_);
   WalEntry e;
   e.type = WalOpType::kAddNodeWeight;
   e.a = id;
@@ -299,6 +304,7 @@ Status DurableGraphStore::AddNodeWeight(VertexId id, double delta) {
 Result<RecordId> DurableGraphStore::AddEdge(VertexId v, VertexId other,
                                             std::uint32_t type,
                                             bool other_is_local) {
+  MutexLock lock(&mu_);
   WalEntry e;
   e.type = WalOpType::kAddEdge;
   e.a = v;
@@ -310,6 +316,7 @@ Result<RecordId> DurableGraphStore::AddEdge(VertexId v, VertexId other,
 }
 
 Status DurableGraphStore::RemoveEdge(VertexId v, VertexId other) {
+  MutexLock lock(&mu_);
   WalEntry e;
   e.type = WalOpType::kRemoveEdge;
   e.a = v;
@@ -320,6 +327,7 @@ Status DurableGraphStore::RemoveEdge(VertexId v, VertexId other) {
 
 Status DurableGraphStore::SetNodeProperty(VertexId id, std::uint32_t key,
                                           const std::string& value) {
+  MutexLock lock(&mu_);
   WalEntry e;
   e.type = WalOpType::kSetNodeProperty;
   e.a = id;
@@ -332,6 +340,7 @@ Status DurableGraphStore::SetNodeProperty(VertexId id, std::uint32_t key,
 Status DurableGraphStore::SetEdgeProperty(VertexId v, VertexId other,
                                           std::uint32_t key,
                                           const std::string& value) {
+  MutexLock lock(&mu_);
   WalEntry e;
   e.type = WalOpType::kSetEdgeProperty;
   e.a = v;

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graphdb/graph_store.h"
 #include "storage/wal.h"
 #include "storage/page_cache.h"
@@ -21,6 +22,13 @@ namespace hermes {
 /// This is the persistence half of the Neo4j heritage (Section 4: a
 /// "disk-based, transactional persistence engine"); the lock manager in
 /// src/txn supplies the isolation half.
+///
+/// Concurrency: every logged mutation and Checkpoint() is serialized
+/// under `mu_`, which keeps the WAL rule atomic (log, then apply) across
+/// threads. Lock order: mu_ is acquired BEFORE the WriteAheadLog's
+/// internal mutex (never the reverse). Reads through store() are
+/// lock-free and therefore only safe when writers are quiesced or the
+/// caller holds record-level locks — see DESIGN.md.
 class DurableGraphStore {
  public:
   /// Opens (and recovers) the partition stored under `dir`. The directory
@@ -38,26 +46,32 @@ class DurableGraphStore {
 
   // --- Logged mutations (same contracts as GraphStore) --------------------
 
-  Status CreateNode(VertexId id, double weight = 1.0);
-  Status RemoveNode(VertexId v);
-  Status SetNodeState(VertexId id, NodeState state);
-  Status AddNodeWeight(VertexId id, double delta);
+  Status CreateNode(VertexId id, double weight = 1.0) EXCLUDES(mu_);
+  Status RemoveNode(VertexId v) EXCLUDES(mu_);
+  Status SetNodeState(VertexId id, NodeState state) EXCLUDES(mu_);
+  Status AddNodeWeight(VertexId id, double delta) EXCLUDES(mu_);
   Result<RecordId> AddEdge(VertexId v, VertexId other, std::uint32_t type,
-                           bool other_is_local);
-  Status RemoveEdge(VertexId v, VertexId other);
+                           bool other_is_local) EXCLUDES(mu_);
+  Status RemoveEdge(VertexId v, VertexId other) EXCLUDES(mu_);
   Status SetNodeProperty(VertexId id, std::uint32_t key,
-                         const std::string& value);
+                         const std::string& value) EXCLUDES(mu_);
   Status SetEdgeProperty(VertexId v, VertexId other, std::uint32_t key,
-                         const std::string& value);
+                         const std::string& value) EXCLUDES(mu_);
 
   /// Writes a snapshot, marks a checkpoint, and truncates the log.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(mu_);
 
   /// Flushes the log to the OS (group-commit point).
-  Status Sync() { return wal_->Sync(); }
+  Status Sync() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return wal_->Sync();
+  }
 
   const std::string& directory() const { return dir_; }
-  std::uint64_t next_lsn() const { return wal_->next_lsn(); }
+  std::uint64_t next_lsn() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return wal_->next_lsn();
+  }
 
   // Exposed for tests: snapshot round-trip without a full Open().
   static Status WriteSnapshot(const GraphStore& store,
@@ -75,14 +89,17 @@ class DurableGraphStore {
 
   static Status Replay(const WalEntry& entry, GraphStore* store);
 
-  Status Log(WalEntry entry) {
+  Status Log(WalEntry entry) REQUIRES(mu_) {
     return wal_->Append(std::move(entry)).status();
   }
 
   PartitionId partition_id_;
   std::string dir_;
+  mutable Mutex mu_;
+  // Guarded by mu_ on every logged-mutation path; the store() accessors
+  // expose lock-free reads by documented contract (see class comment).
   std::unique_ptr<GraphStore> store_;
-  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<WriteAheadLog> wal_ GUARDED_BY(mu_);
 };
 
 }  // namespace hermes

@@ -23,6 +23,15 @@ namespace hermes {
 /// The data is maintained incrementally as user requests execute: adding an
 /// edge increments two counters; a read bumps a vertex weight; migrating a
 /// vertex shifts one counter on each of its neighbors.
+///
+/// Concurrency: NOT internally synchronized — the counters sit on the
+/// repartitioner's hot path and a per-call mutex would defeat Theorem 2's
+/// lightweight claim. Every mutation hook and every read during an active
+/// repartition must be externally serialized; in this repo that external
+/// capability is HermesCluster::mu_, which is held across all calls into
+/// this class (parallel candidate scans in the repartitioner are
+/// read-only and joined before the next mutation). See DESIGN.md
+/// "Concurrency invariants".
 class AuxiliaryData {
  public:
   AuxiliaryData() = default;

@@ -1,6 +1,7 @@
 #ifndef HERMES_STORAGE_ID_GENERATOR_H_
 #define HERMES_STORAGE_ID_GENERATOR_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/types.h"
@@ -14,21 +15,45 @@ namespace hermes {
 /// in the last page"). In a sharded deployment each server must mint
 /// globally unique IDs without coordination, so the top 16 bits carry the
 /// origin partition and the low 48 bits a local monotonic counter.
+///
+/// Thread-safe and lock-free: the local counter is a std::atomic, so
+/// concurrent Next() calls on one generator never mint duplicate ids.
 class IdGenerator {
  public:
   explicit IdGenerator(PartitionId origin, std::uint64_t start = 0)
       : origin_(static_cast<std::uint64_t>(origin) << kShift),
         next_(start) {}
 
+  IdGenerator(const IdGenerator&) = delete;
+  IdGenerator& operator=(const IdGenerator&) = delete;
+
+  // Moving is only legal while no other thread uses either generator
+  // (it happens during single-threaded store construction/teardown).
+  IdGenerator(IdGenerator&& other) noexcept
+      : origin_(other.origin_),
+        next_(other.next_.load(std::memory_order_relaxed)) {}
+  IdGenerator& operator=(IdGenerator&& other) noexcept {
+    origin_ = other.origin_;
+    next_.store(other.next_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Next globally unique id; strictly increasing per generator.
-  RecordId Next() { return origin_ | next_++; }
+  RecordId Next() {
+    return origin_ | next_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Advances past `id` if it was minted elsewhere with our origin
   /// (used when ingesting migrated records).
   void ObserveExternal(RecordId id) {
     if (OriginOf(id) == origin()) {
       const std::uint64_t local = LocalOf(id);
-      if (local >= next_) next_ = local + 1;
+      std::uint64_t cur = next_.load(std::memory_order_relaxed);
+      while (local >= cur &&
+             !next_.compare_exchange_weak(cur, local + 1,
+                                          std::memory_order_relaxed)) {
+      }
     }
   }
 
@@ -45,8 +70,8 @@ class IdGenerator {
   static constexpr unsigned kShift = 48;
   static constexpr std::uint64_t kLocalMask = (1ULL << kShift) - 1;
 
-  std::uint64_t origin_;
-  std::uint64_t next_;
+  std::uint64_t origin_;  // constant after construction (moves aside)
+  std::atomic<std::uint64_t> next_;
 };
 
 }  // namespace hermes

@@ -11,6 +11,7 @@ PageCache::PageCache(PagedFile* file, std::size_t capacity_pages)
     : file_(file), capacity_(std::max<std::size_t>(1, capacity_pages)) {}
 
 Result<Page*> PageCache::Pin(std::uint64_t page_no) {
+  MutexLock lock(&mu_);
   auto it = frames_.find(page_no);
   if (it != frames_.end()) {
     Frame* frame = it->second.get();
@@ -37,6 +38,7 @@ Result<Page*> PageCache::Pin(std::uint64_t page_no) {
 }
 
 void PageCache::Unpin(std::uint64_t page_no, bool dirty) {
+  MutexLock lock(&mu_);
   auto it = frames_.find(page_no);
   HERMES_CHECK(it != frames_.end());
   Frame* frame = it->second.get();
@@ -68,6 +70,7 @@ Status PageCache::EvictOne() {
 }
 
 Status PageCache::FlushAll() {
+  MutexLock lock(&mu_);
   for (auto& [page_no, frame] : frames_) {
     if (frame->dirty) {
       HERMES_RETURN_NOT_OK(file_->WritePage(page_no, frame->page));
@@ -76,6 +79,16 @@ Status PageCache::FlushAll() {
     }
   }
   return file_->Sync();
+}
+
+PageCache::Stats PageCache::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+std::size_t PageCache::resident() const {
+  MutexLock lock(&mu_);
+  return frames_.size();
 }
 
 void PagedWriter::Append(const void* data, std::size_t size) {

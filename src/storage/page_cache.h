@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/paged_file.h"
 
 namespace hermes {
@@ -15,6 +16,15 @@ namespace hermes {
 /// LRU page cache over a PagedFile — the buffer-management layer between
 /// the stores and disk (Neo4j's page cache). Pages are pinned for access;
 /// unpinned dirty pages are written back on eviction or on FlushAll().
+///
+/// Thread-safe: Pin/Unpin/FlushAll may be called concurrently. A pinned
+/// page is never evicted, so the Page* returned by Pin() stays valid (and
+/// its frame's address stable) until the matching Unpin(); concurrent
+/// pinners of the same page share one frame. Byte-range coordination
+/// WITHIN a pinned page is the caller's job (record-level locks) — the
+/// cache only guarantees frame lifetime and metadata consistency. File
+/// I/O currently happens under `mu_` (correctness first; lock-free I/O is
+/// future work).
 class PageCache {
  public:
   PageCache(PagedFile* file, std::size_t capacity_pages);
@@ -25,13 +35,13 @@ class PageCache {
   /// Pins `page_no` and returns a pointer to its in-memory copy, loading
   /// it (or materializing a zero page past EOF) on miss. The pointer
   /// stays valid until Unpin.
-  Result<Page*> Pin(std::uint64_t page_no);
+  Result<Page*> Pin(std::uint64_t page_no) EXCLUDES(mu_);
 
   /// Releases a pin; `dirty` marks the page for write-back.
-  void Unpin(std::uint64_t page_no, bool dirty);
+  void Unpin(std::uint64_t page_no, bool dirty) EXCLUDES(mu_);
 
   /// Writes back every dirty page and syncs the file.
-  Status FlushAll();
+  Status FlushAll() EXCLUDES(mu_);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -39,10 +49,10 @@ class PageCache {
     std::uint64_t evictions = 0;
     std::uint64_t writebacks = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const EXCLUDES(mu_);
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t resident() const { return frames_.size(); }
+  std::size_t resident() const EXCLUDES(mu_);
 
  private:
   struct Frame {
@@ -55,18 +65,21 @@ class PageCache {
   };
 
   /// Evicts one unpinned page (LRU order); fails when all pages pinned.
-  Status EvictOne();
+  Status EvictOne() REQUIRES(mu_);
 
-  PagedFile* file_;
-  std::size_t capacity_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_;
-  std::list<std::uint64_t> lru_;  // front = most recent
-  Stats stats_;
+  PagedFile* const file_ PT_GUARDED_BY(mu_);
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_
+      GUARDED_BY(mu_);
+  std::list<std::uint64_t> lru_ GUARDED_BY(mu_);  // front = most recent
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 /// Sequential byte-stream writer over a PageCache: Append() packs bytes
 /// into consecutive pages; Finish() flushes. Used by the snapshot writer
-/// so bulk store I/O exercises the buffer layer.
+/// so bulk store I/O exercises the buffer layer. Not thread-safe: one
+/// stream, one thread (the underlying cache is shared safely).
 class PagedWriter {
  public:
   explicit PagedWriter(PageCache* cache) : cache_(cache) {}
@@ -86,7 +99,7 @@ class PagedWriter {
   Status first_error_;
 };
 
-/// Sequential reader counterpart.
+/// Sequential reader counterpart. Not thread-safe (see PagedWriter).
 class PagedReader {
  public:
   PagedReader(PageCache* cache, std::uint64_t limit_bytes)

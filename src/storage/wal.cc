@@ -76,6 +76,7 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
 }
 
 Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry) {
+  MutexLock lock(&mu_);
   entry.lsn = next_lsn_++;
   const std::string frame = EncodeEntry(entry);
   out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
@@ -84,6 +85,7 @@ Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry) {
 }
 
 Status WriteAheadLog::Sync() {
+  MutexLock lock(&mu_);
   out_.flush();
   if (!out_) return Status::IOError("WAL sync failed");
   return Status::OK();
@@ -140,6 +142,7 @@ Result<std::vector<WalEntry>> WriteAheadLog::ReadAll(
 }
 
 Status WriteAheadLog::Reset() {
+  MutexLock lock(&mu_);
   out_.close();
   std::ofstream truncate(path_, std::ios::binary | std::ios::trunc);
   if (!truncate) return Status::IOError("WAL truncate failed");

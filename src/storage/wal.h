@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace hermes {
@@ -49,22 +50,36 @@ struct WalEntry {
 /// records. Mutations are logged before they are applied to the store
 /// (WAL rule); recovery replays every complete entry after the last
 /// checkpoint and discards a torn tail (crash during append).
+///
+/// Thread-safe: concurrent Append()s are serialized under `mu_` (LSN
+/// assignment and the stream write happen atomically, so frames never
+/// interleave). Moving a WriteAheadLog is only legal while no other
+/// thread uses it (it happens once, inside Open()).
 class WriteAheadLog {
  public:
   /// Opens (creating if needed) the log at `path` for appending.
   static Result<WriteAheadLog> Open(const std::string& path);
 
-  WriteAheadLog(WriteAheadLog&&) = default;
-  WriteAheadLog& operator=(WriteAheadLog&&) = default;
+  WriteAheadLog(WriteAheadLog&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
+      : path_(std::move(other.path_)),
+        out_(std::move(other.out_)),
+        next_lsn_(other.next_lsn_) {}
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept
+      NO_THREAD_SAFETY_ANALYSIS {
+    path_ = std::move(other.path_);
+    out_ = std::move(other.out_);
+    next_lsn_ = other.next_lsn_;
+    return *this;
+  }
 
   /// Appends an entry; assigns and returns its LSN.
-  Result<std::uint64_t> Append(WalEntry entry);
+  Result<std::uint64_t> Append(WalEntry entry) EXCLUDES(mu_);
 
   /// Forces buffered appends to the OS.
-  Status Sync();
+  Status Sync() EXCLUDES(mu_);
 
   /// Appends a checkpoint marker (call right after a snapshot succeeds).
-  Result<std::uint64_t> LogCheckpoint();
+  Result<std::uint64_t> LogCheckpoint() EXCLUDES(mu_);
 
   /// Reads all complete entries from a log file, tolerating a torn final
   /// record. Entries before the *last* checkpoint are skipped when
@@ -73,18 +88,22 @@ class WriteAheadLog {
       const std::string& path, bool after_last_checkpoint = false);
 
   /// Truncates the log (after a snapshot made it redundant).
-  Status Reset();
+  Status Reset() EXCLUDES(mu_);
 
-  std::uint64_t next_lsn() const { return next_lsn_; }
+  std::uint64_t next_lsn() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_lsn_;
+  }
   const std::string& path() const { return path_; }
 
  private:
   WriteAheadLog(std::string path, std::ofstream out, std::uint64_t next_lsn)
       : path_(std::move(path)), out_(std::move(out)), next_lsn_(next_lsn) {}
 
-  std::string path_;
-  std::ofstream out_;
-  std::uint64_t next_lsn_ = 1;
+  std::string path_;  // set at construction, never mutated afterwards
+  mutable Mutex mu_;
+  std::ofstream out_ GUARDED_BY(mu_);
+  std::uint64_t next_lsn_ GUARDED_BY(mu_) = 1;
 };
 
 /// CRC32 (Castagnoli polynomial, bitwise) used by the log format; exposed

@@ -3,7 +3,7 @@
 namespace hermes {
 
 Status LockManager::AcquireShared(TxnId txn, LockKey key) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   for (;;) {
     LockState& state = table_[key];
@@ -11,14 +11,14 @@ Status LockManager::AcquireShared(TxnId txn, LockKey key) {
       state.shared.insert(txn);
       return Status::OK();
     }
-    if (released_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (released_.WaitUntil(&mu_, deadline) == std::cv_status::timeout) {
       return Status::TimedOut("shared lock wait timed out (possible deadlock)");
     }
   }
 }
 
 Status LockManager::AcquireExclusive(TxnId txn, LockKey key) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   for (;;) {
     LockState& state = table_[key];
@@ -33,7 +33,7 @@ Status LockManager::AcquireExclusive(TxnId txn, LockKey key) {
       state.exclusive = txn;
       return Status::OK();
     }
-    if (released_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (released_.WaitUntil(&mu_, deadline) == std::cv_status::timeout) {
       return Status::TimedOut(
           "exclusive lock wait timed out (possible deadlock)");
     }
@@ -41,7 +41,7 @@ Status LockManager::AcquireExclusive(TxnId txn, LockKey key) {
 }
 
 void LockManager::Release(TxnId txn, LockKey key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_.find(key);
   if (it == table_.end()) return;
   LockState& state = it->second;
@@ -53,11 +53,11 @@ void LockManager::Release(TxnId txn, LockKey key) {
   if (state.shared.empty() && !state.has_exclusive) {
     table_.erase(it);
   }
-  released_.notify_all();
+  released_.NotifyAll();
 }
 
 bool LockManager::Holds(TxnId txn, LockKey key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_.find(key);
   if (it == table_.end()) return false;
   const LockState& state = it->second;
@@ -66,7 +66,7 @@ bool LockManager::Holds(TxnId txn, LockKey key) const {
 }
 
 std::size_t LockManager::NumLockedKeys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return table_.size();
 }
 

@@ -2,13 +2,12 @@
 #define HERMES_TXN_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace hermes {
 
@@ -21,6 +20,9 @@ namespace hermes {
 /// that cannot acquire a lock within the timeout aborts with kTimedOut and
 /// the caller rolls its transaction back. False positives are possible,
 /// deadlocks are not.
+///
+/// Thread-safe: all methods may be called concurrently; `mu_` is a leaf in
+/// the repo lock order (no other mutex is acquired while it is held).
 class LockManager {
  public:
   using TxnId = std::uint64_t;
@@ -32,19 +34,19 @@ class LockManager {
 
   /// Shared (read) lock. Re-entrant; a transaction holding the exclusive
   /// lock implicitly holds the shared one.
-  Status AcquireShared(TxnId txn, LockKey key);
+  Status AcquireShared(TxnId txn, LockKey key) EXCLUDES(mu_);
 
   /// Exclusive (write) lock. Re-entrant; upgrades from shared succeed when
   /// the requester is the only reader.
-  Status AcquireExclusive(TxnId txn, LockKey key);
+  Status AcquireExclusive(TxnId txn, LockKey key) EXCLUDES(mu_);
 
   /// Releases whatever `txn` holds on `key` (no-op when it holds nothing).
-  void Release(TxnId txn, LockKey key);
+  void Release(TxnId txn, LockKey key) EXCLUDES(mu_);
 
   /// True when `txn` holds any mode of lock on `key` (test helper).
-  bool Holds(TxnId txn, LockKey key) const;
+  bool Holds(TxnId txn, LockKey key) const EXCLUDES(mu_);
 
-  std::size_t NumLockedKeys() const;
+  std::size_t NumLockedKeys() const EXCLUDES(mu_);
 
   std::chrono::milliseconds timeout() const { return timeout_; }
 
@@ -55,10 +57,10 @@ class LockManager {
     bool has_exclusive = false;
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable released_;
-  std::unordered_map<LockKey, LockState> table_;
-  std::chrono::milliseconds timeout_;
+  mutable Mutex mu_;
+  CondVar released_;
+  std::unordered_map<LockKey, LockState> table_ GUARDED_BY(mu_);
+  const std::chrono::milliseconds timeout_;
 };
 
 }  // namespace hermes

@@ -1,0 +1,508 @@
+// Multi-threaded stress tests for every internally synchronized class,
+// sized to finish quickly under ThreadSanitizer on a small CI machine
+// (build with the `tsan` or `asan-ubsan` CMake preset to run them under
+// the sanitizers; see DESIGN.md "Concurrency invariants").
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/hermes_cluster.h"
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "partition/assignment.h"
+#include "storage/id_generator.h"
+#include "storage/page_cache.h"
+#include "storage/paged_file.h"
+#include "storage/wal.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace hermes {
+namespace {
+
+std::string TempFile(const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+// Regression for the Wait()/Submit() interleaving: in_flight_ counts queued
+// plus running tasks, so Wait() returning means every prior Submit's task
+// has fully completed — asserted here via an acquire on the counter.
+TEST(ConcurrencyStressTest, ThreadPoolWaitSeesAllSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 20; ++round) {
+    const int batch = 50;
+    for (int i = 0; i < batch; ++i) {
+      pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(done.load(), (round + 1) * batch);
+  }
+}
+
+// Tasks submitted by running tasks are also covered by Wait(): the parent
+// increments in_flight_ before it finishes, so the counter never touches
+// zero while recursive work is pending.
+TEST(ConcurrencyStressTest, ThreadPoolWaitCoversRecursiveSubmissions) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 25; ++i) {
+    pool.Submit([&pool, &done] {
+      pool.Submit([&done] { done.fetch_add(1); });
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ConcurrencyStressTest, ThreadPoolConcurrentSubmittersAndWaiters) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &done] {
+      for (int i = 0; i < 100; ++i) {
+        pool.Submit([&done] { done.fetch_add(1); });
+        if (i % 25 == 0) pool.Wait();  // waiters interleave with submitters
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(done.load(), 400);
+}
+
+// --- PageCache -------------------------------------------------------------
+
+// Concurrent readers/writers over a cache smaller than the working set:
+// every miss forces an eviction while other threads hold pins. Each thread
+// owns one byte offset per page, so page content is a per-thread op
+// counter and write-back must never lose an update.
+TEST(ConcurrencyStressTest, PageCacheConcurrentReadersWritersWithEviction) {
+  auto file = PagedFile::Open(TempFile("cc_cache.pg"));
+  ASSERT_TRUE(file.ok());
+  constexpr int kThreads = 4;
+  constexpr int kPages = 12;
+  constexpr int kOpsPerThread = 300;
+  PageCache cache(&*file, /*capacity_pages=*/5);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t page_no =
+            static_cast<std::uint64_t>((i * 7 + t * 3) % kPages);
+        auto page = cache.Pin(page_no);
+        ASSERT_TRUE(page.ok()) << page.status().ToString();
+        ++(*page)->bytes[static_cast<std::size_t>(t)];
+        cache.Unpin(page_no, /*dirty=*/true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(cache.FlushAll().ok());
+  EXPECT_GE(cache.stats().evictions, 1u);  // the working set overflowed
+
+  // Per-page expected counts: thread t touched page p once per i with
+  // (i*7 + t*3) % kPages == p.
+  for (int p = 0; p < kPages; ++p) {
+    Page on_disk;
+    ASSERT_TRUE(file->ReadPage(static_cast<std::uint64_t>(p), &on_disk).ok());
+    for (int t = 0; t < kThreads; ++t) {
+      int expected = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if ((i * 7 + t * 3) % kPages == p) ++expected;
+      }
+      EXPECT_EQ(static_cast<int>(on_disk.bytes[static_cast<std::size_t>(t)]),
+                expected % 256)
+          << "page " << p << " thread " << t;
+    }
+  }
+}
+
+// Pinned pages survive eviction pressure: a long-held pin must keep its
+// frame address stable while other threads churn the rest of the cache.
+TEST(ConcurrencyStressTest, PageCachePinnedPageNeverEvicted) {
+  auto file = PagedFile::Open(TempFile("cc_pin.pg"));
+  ASSERT_TRUE(file.ok());
+  // Capacity leaves room for the long-held pin plus one transient pin per
+  // churner thread (a Pin can only fail when every frame is pinned).
+  PageCache cache(&*file, /*capacity_pages=*/5);
+
+  auto held = cache.Pin(0);
+  ASSERT_TRUE(held.ok());
+  Page* held_ptr = *held;
+  held_ptr->bytes[0] = 42;
+
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 3; ++t) {
+    churners.emplace_back([&cache, t] {
+      for (int i = 0; i < 200; ++i) {
+        const auto page_no = static_cast<std::uint64_t>(1 + (i + t) % 8);
+        auto page = cache.Pin(page_no);
+        ASSERT_TRUE(page.ok());
+        cache.Unpin(page_no, /*dirty=*/false);
+      }
+    });
+  }
+  for (auto& t : churners) t.join();
+
+  // The pinned frame was untouched by eviction; re-pinning yields the same
+  // frame with our write still in memory.
+  auto again = cache.Pin(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, held_ptr);
+  EXPECT_EQ((*again)->bytes[0], 42);
+  cache.Unpin(0, /*dirty=*/true);
+  cache.Unpin(0, /*dirty=*/false);
+  ASSERT_TRUE(cache.FlushAll().ok());
+}
+
+// --- LockManager -----------------------------------------------------------
+
+// Real multi-threaded contention for the timeout-based deadlock scheme:
+// half the threads lock key pairs in ascending order, half descending, so
+// genuine deadlock cycles form constantly. Every acquisition must either
+// succeed or abort with kTimedOut — and the run must terminate.
+TEST(ConcurrencyStressTest, LockManagerResolvesDeadlocksByTimeout) {
+  LockManager locks(std::chrono::milliseconds(10));
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 30;
+  std::atomic<int> committed{0};
+  std::atomic<int> timed_out{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const auto txn = static_cast<LockManager::TxnId>(t * kRounds + r + 1);
+        const LockManager::LockKey first = (t % 2 == 0) ? 1 : 2;
+        const LockManager::LockKey second = (t % 2 == 0) ? 2 : 1;
+        const Status a = locks.AcquireExclusive(txn, first);
+        if (!a.ok()) {
+          ASSERT_TRUE(a.IsTimedOut()) << a.ToString();
+          ++timed_out;
+          continue;
+        }
+        const Status b = locks.AcquireExclusive(txn, second);
+        if (b.ok()) {
+          ++committed;
+          locks.Release(txn, second);
+        } else {
+          ASSERT_TRUE(b.IsTimedOut()) << b.ToString();
+          ++timed_out;
+        }
+        locks.Release(txn, first);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(committed.load(), 0);        // the scheme makes progress...
+  EXPECT_EQ(locks.NumLockedKeys(), 0u);  // ...and everything drains
+}
+
+// With a consistent acquisition order and retry-on-timeout, every
+// transaction eventually commits (timeouts are false-positive aborts, not
+// lost work).
+TEST(ConcurrencyStressTest, LockManagerOrderedAcquisitionAllCommit) {
+  LockManager locks(std::chrono::milliseconds(20));
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 25;
+  std::atomic<int> committed{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kTxnsPerThread; ++r) {
+        const auto txn =
+            static_cast<LockManager::TxnId>(t * kTxnsPerThread + r + 1);
+        for (;;) {  // retry the whole transaction on timeout
+          if (!locks.AcquireExclusive(txn, 7).ok()) continue;
+          if (!locks.AcquireExclusive(txn, 9).ok()) {
+            locks.Release(txn, 7);
+            continue;
+          }
+          ++committed;
+          locks.Release(txn, 9);
+          locks.Release(txn, 7);
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(committed.load(), kThreads * kTxnsPerThread);
+  EXPECT_EQ(locks.NumLockedKeys(), 0u);
+}
+
+// Shared/exclusive interaction under contention: readers overlap freely,
+// writers exclude everyone, upgrades either succeed or time out cleanly.
+TEST(ConcurrencyStressTest, LockManagerSharedExclusiveContention) {
+  LockManager locks(std::chrono::milliseconds(10));
+  std::atomic<int> write_epoch{0};
+  std::atomic<bool> writer_active{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < 40; ++r) {
+        const auto txn = static_cast<LockManager::TxnId>(100 * (t + 1) + r);
+        if (t == 0) {  // writer
+          if (locks.AcquireExclusive(txn, 5).ok()) {
+            EXPECT_FALSE(writer_active.exchange(true));
+            ++write_epoch;
+            EXPECT_TRUE(writer_active.exchange(false));
+            locks.Release(txn, 5);
+          }
+        } else {  // readers, occasionally upgrading
+          if (!locks.AcquireShared(txn, 5).ok()) continue;
+          EXPECT_FALSE(writer_active.load());
+          if (r % 8 == 0) {
+            const Status up = locks.AcquireExclusive(txn, 5);
+            if (!up.ok()) {
+              EXPECT_TRUE(up.IsTimedOut());
+            }
+          }
+          locks.Release(txn, 5);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(locks.NumLockedKeys(), 0u);
+}
+
+// Transaction RAII + manager under contention (the txn_test coverage is
+// single-threaded; this is the real interleaving).
+TEST(ConcurrencyStressTest, TransactionsUnderContentionReleaseEverything) {
+  TransactionManager manager(std::chrono::milliseconds(10));
+  std::atomic<int> aborted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < 30; ++r) {
+        Transaction txn = manager.Begin();
+        const LockManager::LockKey a = (t % 2 == 0) ? 11 : 13;
+        const LockManager::LockKey b = (t % 2 == 0) ? 13 : 11;
+        if (!txn.LockExclusive(a).ok() || !txn.LockExclusive(b).ok()) {
+          ++aborted;
+          txn.Abort();
+          continue;
+        }
+        txn.Commit();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(manager.lock_manager()->NumLockedKeys(), 0u);
+}
+
+// --- WriteAheadLog ---------------------------------------------------------
+
+// Concurrent appenders: LSNs must come out dense and unique, and every
+// frame must be intact on disk (no interleaved torn writes).
+TEST(ConcurrencyStressTest, WalConcurrentAppendsKeepFramesIntact) {
+  const std::string path = TempFile("cc_wal.log");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&wal, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          WalEntry e;
+          e.type = WalOpType::kSetNodeProperty;
+          e.a = static_cast<VertexId>(t);
+          e.key = static_cast<std::uint32_t>(i);
+          e.payload = std::string(17 + (i % 5), static_cast<char>('a' + t));
+          auto lsn = wal->Append(e);
+          ASSERT_TRUE(lsn.ok());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_TRUE(wal->Sync().ok());
+    EXPECT_EQ(wal->next_lsn(), 1u + kThreads * kPerThread);
+  }
+
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::set<std::uint64_t> lsns;
+  std::array<int, kThreads> per_thread{};
+  for (const WalEntry& e : *entries) {
+    lsns.insert(e.lsn);
+    ASSERT_LT(e.a, static_cast<VertexId>(kThreads));
+    const auto t = static_cast<std::size_t>(e.a);
+    ++per_thread[t];
+    EXPECT_EQ(e.payload, std::string(17 + (e.key % 5),
+                                     static_cast<char>('a' + e.a)));
+  }
+  EXPECT_EQ(lsns.size(), entries->size());       // unique
+  EXPECT_EQ(*lsns.begin(), 1u);                  // dense from 1
+  EXPECT_EQ(*lsns.rbegin(), entries->size());
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[t], kPerThread);
+}
+
+// --- DurableGraphStore -----------------------------------------------------
+
+// Concurrent logged mutations on one partition store, then recovery from
+// the log: nothing may be lost or torn.
+TEST(ConcurrencyStressTest, DurableStoreConcurrentMutationsRecover) {
+  const std::string dir = ::testing::TempDir() + "/cc_durable_store";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  constexpr int kThreads = 4;
+  constexpr int kNodesPerThread = 40;
+  {
+    auto store = DurableGraphStore::Open(0, dir);
+    ASSERT_TRUE(store.ok());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&store, t] {
+        for (int i = 0; i < kNodesPerThread; ++i) {
+          const auto id =
+              static_cast<VertexId>(t * kNodesPerThread + i);
+          ASSERT_TRUE((*store)->CreateNode(id, 1.0).ok());
+          ASSERT_TRUE(
+              (*store)->SetNodeProperty(id, 0, "n" + std::to_string(id)).ok());
+          if (i > 0) {
+            ASSERT_TRUE(
+                (*store)->AddEdge(id, id - 1, 0, /*other_is_local=*/true)
+                    .ok());
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  // Crash-reopen: replay the log from scratch.
+  auto recovered = DurableGraphStore::Open(0, dir);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->store().NumNodes(),
+            static_cast<std::size_t>(kThreads * kNodesPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 1; i < kNodesPerThread; ++i) {
+      const auto id = static_cast<VertexId>(t * kNodesPerThread + i);
+      auto neighbors = (*recovered)->store().Neighbors(id);
+      ASSERT_TRUE(neighbors.ok());
+      EXPECT_TRUE(std::find(neighbors->begin(), neighbors->end(),
+                            id - 1) != neighbors->end());
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- IdGenerator -----------------------------------------------------------
+
+TEST(ConcurrencyStressTest, IdGeneratorMintsUniqueIdsAcrossThreads) {
+  IdGenerator gen(3);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<RecordId>> minted(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gen, &minted, t] {
+      minted[static_cast<std::size_t>(t)].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        minted[static_cast<std::size_t>(t)].push_back(gen.Next());
+      }
+      // Concurrent external observations must never wind the counter back.
+      gen.ObserveExternal((3ULL << 48) | 123);
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<RecordId> unique;
+  for (const auto& ids : minted) {
+    for (RecordId id : ids) {
+      EXPECT_EQ(IdGenerator::OriginOf(id), 3u);
+      EXPECT_TRUE(unique.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+// --- HermesCluster ---------------------------------------------------------
+
+Graph RingWithChords(std::size_t n) {
+  Graph g(n);
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_TRUE(g.AddEdge(v, (v + 1) % n).ok());
+    // Chords only from the first half so no {v, v + n/2} pair repeats
+    // (AddEdge rejects duplicates).
+    if (v % 3 == 0 && v < n / 2) {
+      EXPECT_TRUE(g.AddEdge(v, v + n / 2).ok());
+    }
+  }
+  return g;
+}
+
+// Parallel repartitioner iterations (the paper's per-server passes run on
+// the ThreadPool) racing against reads and edge inserts. The cluster's
+// coarse lock must keep the directory, stores, graph view, and auxiliary
+// data mutually consistent throughout.
+TEST(ConcurrencyStressTest, ClusterReadsWritesAndRepartitionInParallel) {
+  const std::size_t n = 240;
+  Graph g = RingWithChords(n);
+  PartitionAssignment asg(n, 4);
+  for (VertexId v = 0; v < n; ++v) asg.Assign(v, v % 4);  // poor locality
+  HermesCluster::Options options;
+  options.repartitioner.num_threads = 3;  // parallel candidate scans
+  options.repartitioner.max_iterations = 4;
+  HermesCluster cluster(std::move(g), std::move(asg), options);
+
+  std::atomic<int> reads_ok{0};
+  std::atomic<int> edges_added{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {  // readers
+    threads.emplace_back([&cluster, &reads_ok, t] {
+      for (int i = 0; i < 60; ++i) {
+        const auto start = static_cast<VertexId>((i * 13 + t * 7) % 240);
+        auto run = cluster.ExecuteRead(start, 1 + i % 2);
+        if (run.ok()) ++reads_ok;
+      }
+    });
+  }
+  threads.emplace_back([&cluster, &edges_added] {  // writer
+    for (int i = 0; i < 40; ++i) {
+      const auto u = static_cast<VertexId>((i * 17) % 240);
+      const auto v = static_cast<VertexId>((i * 17 + 29) % 240);
+      const Status st = cluster.InsertEdge(u, v);
+      if (st.ok()) ++edges_added;
+      // AlreadyExists / TimedOut are legitimate under contention.
+    }
+  });
+  threads.emplace_back([&cluster] {  // repartitioner
+    for (int i = 0; i < 2; ++i) {
+      auto stats = cluster.RunLightweightRepartition();
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(reads_ok.load(), 0);
+  EXPECT_GT(edges_added.load(), 0);
+  EXPECT_TRUE(cluster.Validate());
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Repo lint for the hermes codebase; runs as the `repo_lint` ctest.
+
+Checks (all over `src/`, the shipped library code):
+
+  1. include guards: every header uses the canonical
+     HERMES_<PATH>_H_ guard (``#ifndef`` / ``#define`` as the first
+     preprocessor conditional).
+  2. header hygiene: no ``#pragma once`` and no ``using namespace std``
+     in headers.
+  3. locking discipline: no raw ``std::mutex`` / ``std::condition_variable``
+     (or the ``std::*lock*`` RAII helpers) outside
+     src/common/thread_annotations.h — shared state must use the annotated
+     Mutex/MutexLock/CondVar wrappers so clang -Wthread-safety sees it.
+  4. build completeness: every ``.cc`` under src/ is listed in a
+     CMakeLists.txt, so nothing silently drops out of the library.
+
+Usage: tools/lint.py [repo_root]   (exit 0 = clean, 1 = findings)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Raw-synchronization tokens banned outside the annotated wrapper. The
+# lock-RAII types are included: locking an annotated Mutex through
+# std::unique_lock would hide the acquisition from thread-safety analysis.
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|condition_variable(_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+USING_NAMESPACE_STD_RE = re.compile(r"^\s*using\s+namespace\s+std\s*;")
+IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
+PREPROC_COND_RE = re.compile(r"^\s*#\s*(if|ifdef|ifndef)\b")
+
+ALLOWED_RAW_SYNC = {Path("src/common/thread_annotations.h")}
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments (string literals are rare enough in
+    this codebase that we accept the imprecision)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def expected_guard(rel):
+    return "HERMES_" + re.sub(r"[^A-Za-z0-9]", "_", str(rel.relative_to("src"))).upper() + "_"
+
+
+def check_include_guard(rel, lines, findings):
+    guard = expected_guard(rel)
+    ifndef = None
+    for line in lines:
+        m = PREPROC_COND_RE.match(line)
+        if m:
+            ifndef = IFNDEF_RE.match(line)
+            break
+    if not ifndef:
+        findings.append(f"{rel}: missing include guard (expected {guard})")
+        return
+    if ifndef.group(1) != guard:
+        findings.append(
+            f"{rel}: include guard {ifndef.group(1)} should be {guard}")
+        return
+    for line in lines:
+        m = DEFINE_RE.match(line)
+        if m:
+            if m.group(1) != guard:
+                findings.append(
+                    f"{rel}: #define {m.group(1)} does not match guard {guard}")
+            return
+    findings.append(f"{rel}: include guard {guard} is never #defined")
+
+
+def check_header_hygiene(rel, lines, findings):
+    for i, line in enumerate(lines, 1):
+        if PRAGMA_ONCE_RE.match(line):
+            findings.append(f"{rel}:{i}: #pragma once (use HERMES_*_H_ guards)")
+        if USING_NAMESPACE_STD_RE.match(line):
+            findings.append(f"{rel}:{i}: 'using namespace std' in a header")
+
+
+def check_raw_sync(rel, text, findings):
+    if rel in ALLOWED_RAW_SYNC:
+        return
+    for i, line in enumerate(strip_comments(text).splitlines(), 1):
+        m = RAW_SYNC_RE.search(line)
+        if m:
+            findings.append(
+                f"{rel}:{i}: raw std::{m.group(1)} — use the annotated "
+                "Mutex/MutexLock/CondVar from common/thread_annotations.h")
+
+
+def check_cmake_lists_all_sources(root, findings):
+    cmake_text = ""
+    for cmake in (root / "src").rglob("CMakeLists.txt"):
+        cmake_text += cmake.read_text(encoding="utf-8")
+    listed = set(re.findall(r"[\w./-]+\.cc\b", cmake_text))
+    for cc in sorted((root / "src").rglob("*.cc")):
+        rel_to_src = cc.relative_to(root / "src").as_posix()
+        if rel_to_src not in listed and cc.name not in listed:
+            findings.append(
+                f"src/{rel_to_src}: not listed in any src/ CMakeLists.txt")
+
+
+def main(argv):
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint.py: no src/ directory under {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(root)
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        if path.suffix == ".h":
+            check_include_guard(rel, lines, findings)
+            check_header_hygiene(rel, lines, findings)
+        check_raw_sync(rel, text, findings)
+    check_cmake_lists_all_sources(root, findings)
+
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s):")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
