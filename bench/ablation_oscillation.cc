@@ -41,7 +41,8 @@ Graph AdversarialGraph(std::size_t group, PartitionAssignment* asg) {
 }
 
 void RunCase(const char* label, const Graph& g,
-             const PartitionAssignment& initial, RepartitionerOptions opt) {
+             const PartitionAssignment& initial, RepartitionerOptions opt,
+             bench::BenchReport* report) {
   PartitionAssignment asg = initial;
   AuxiliaryData aux(g, asg);
   const RepartitionResult r =
@@ -50,6 +51,12 @@ void RunCase(const char* label, const Graph& g,
               r.iterations, r.converged ? "yes" : "NO",
               r.total_logical_moves, 100.0 * EdgeCutFraction(g, asg),
               ImbalanceFactor(g, asg));
+  report->AddResult(std::string(label) + ".iterations",
+                    static_cast<double>(r.iterations));
+  report->AddResult(std::string(label) + ".converged",
+                    r.converged ? 1.0 : 0.0);
+  report->AddResult(std::string(label) + ".imbalance",
+                    ImbalanceFactor(g, asg));
 }
 
 }  // namespace
@@ -58,6 +65,9 @@ int main(int argc, char** argv) {
   using namespace hermes::bench;
   SetLogLevel(LogLevel::kWarning);
   const double scale = FlagDouble(argc, argv, "scale", 0.1);
+
+  BenchReport report("ablation_oscillation");
+  report.SetParam("scale", scale);
 
   PrintHeader("Ablation: oscillation prevention and overload shedding",
               "Figure 2 / Section 3.1 design choices");
@@ -71,12 +81,12 @@ int main(int argc, char** argv) {
     RepartitionerOptions two_stage;
     two_stage.beta = 1.9;
     two_stage.k = 100;
-    RunCase("adversarial: two-stage", g, initial, two_stage);
+    RunCase("adversarial: two-stage", g, initial, two_stage, &report);
     RepartitionerOptions single = two_stage;
     single.two_stage = false;
     single.quiescence_window = 0;
     single.max_iterations = 30;
-    RunCase("adversarial: single-stage", g, initial, single);
+    RunCase("adversarial: single-stage", g, initial, single, &report);
   }
 
   // (a') Social graph, same comparison.
@@ -86,12 +96,14 @@ int main(int argc, char** argv) {
     RepartitionerOptions two_stage;
     two_stage.beta = 1.1;
     two_stage.k_fraction = 0.01;
-    RunCase("twitter-skew: two-stage", exp.graph, exp.initial, two_stage);
+    RunCase("twitter-skew: two-stage", exp.graph, exp.initial, two_stage,
+            &report);
     RepartitionerOptions single = two_stage;
     single.two_stage = false;
     single.quiescence_window = 0;
     single.max_iterations = 60;
-    RunCase("twitter-skew: single-stage", exp.graph, exp.initial, single);
+    RunCase("twitter-skew: single-stage", exp.graph, exp.initial, single,
+            &report);
   }
 
   // (b) Overload shedding rule under a hotspot.
@@ -102,16 +114,18 @@ int main(int argc, char** argv) {
     prose.beta = 1.1;
     prose.k_fraction = 0.01;
     prose.overloaded_admits_any_gain = true;
-    RunCase("hotspot: shed any gain (prose)", exp.graph, exp.initial, prose);
+    RunCase("hotspot: shed any gain (prose)", exp.graph, exp.initial, prose,
+            &report);
     RepartitionerOptions strict = prose;
     strict.overloaded_admits_any_gain = false;
     RunCase("hotspot: gain >= 0 only (pseudo)", exp.graph, exp.initial,
-            strict);
+            strict, &report);
   }
 
   std::printf(
       "\nShape check: single-stage fails to converge (oscillation) with no\n"
       "edge-cut gain; the strict gain sentinel leaves higher imbalance\n"
       "than the shed-any-gain rule on hotspot workloads.\n");
+  report.Write();
   return 0;
 }

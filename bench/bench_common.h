@@ -2,15 +2,21 @@
 #define HERMES_BENCH_BENCH_COMMON_H_
 
 // Shared scaffolding for the paper-reproduction benches: flag parsing,
-// table printing, and the common experiment setup (Metis initial
-// partitioning + the Section 5.3.1 workload skew).
+// table printing, the common experiment setup (Metis initial
+// partitioning + the Section 5.3.1 workload skew), and the BENCH_*.json
+// machine-readable reporter.
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "gen/profiles.h"
 #include "graph/graph.h"
 #include "partition/assignment.h"
@@ -70,6 +76,148 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
               paper_ref);
   std::printf("================================================================\n");
 }
+
+// --- Machine-readable bench output (BENCH_<name>.json) ---------------------
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/inf literals; non-finite values serialize as null.
+inline std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Collects a bench run's parameters, result rows, and simulated time, and
+/// writes them — together with a snapshot of the process-wide metrics —
+/// to `BENCH_<name>.json` in the working directory. Schema (version 1):
+///
+///   { "name": str, "schema_version": 1, "wall_time_us": num,
+///     "sim_time_us": num, "params": {str: num},
+///     "results": [{"label": str, "value": num, "unit": str}],
+///     "metrics": { "counters": {str: num}, "gauges": {str: num},
+///                  "histograms": {str: {"count","mean","min","max",
+///                                       "p50","p99"}} } }
+///
+/// Every fig*/micro_* binary writes one of these so runs can be diffed
+/// and tracked without scraping stdout; tools/bench_smoke.py validates
+/// the schema in CI.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void SetParam(const std::string& key, double value) {
+    params_.emplace_back(key, value);
+  }
+  void AddResult(const std::string& label, double value,
+                 const std::string& unit = "") {
+    results_.push_back(Row{label, value, unit});
+  }
+  void AddSimTime(double us) { sim_time_us_ += us; }
+
+  /// Writes BENCH_<name>.json; returns false (and warns) on I/O failure.
+  bool Write() const {
+    const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"name\": \"" << JsonEscape(name_) << "\",\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"wall_time_us\": " << wall << ",\n";
+    out << "  \"sim_time_us\": " << JsonNumber(sim_time_us_) << ",\n";
+    out << "  \"params\": {";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (i) out << ", ";
+      out << "\"" << JsonEscape(params_[i].first)
+          << "\": " << JsonNumber(params_[i].second);
+    }
+    out << "},\n  \"results\": [";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      if (i) out << ", ";
+      out << "{\"label\": \"" << JsonEscape(results_[i].label)
+          << "\", \"value\": " << JsonNumber(results_[i].value)
+          << ", \"unit\": \"" << JsonEscape(results_[i].unit) << "\"}";
+    }
+    out << "],\n  \"metrics\": {\n    \"counters\": {";
+    bool first = true;
+    for (const auto& [key, value] : snap.counters) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << JsonEscape(key) << "\": " << value;
+    }
+    out << "},\n    \"gauges\": {";
+    first = true;
+    for (const auto& [key, value] : snap.gauges) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << JsonEscape(key) << "\": " << JsonNumber(value);
+    }
+    out << "},\n    \"histograms\": {";
+    first = true;
+    for (const auto& [key, h] : snap.histograms) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << JsonEscape(key) << "\": {\"count\": " << h.count
+          << ", \"mean\": " << JsonNumber(h.mean)
+          << ", \"min\": " << JsonNumber(h.min)
+          << ", \"max\": " << JsonNumber(h.max)
+          << ", \"p50\": " << JsonNumber(h.p50)
+          << ", \"p99\": " << JsonNumber(h.p99) << "}";
+    }
+    out << "}\n  }\n}\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "warning: failed writing %s\n", path.c_str());
+      return false;
+    }
+    std::printf("[bench] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  double sim_time_us_ = 0.0;
+  std::vector<std::pair<std::string, double>> params_;
+  std::vector<Row> results_;
+};
 
 }  // namespace hermes::bench
 

@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   const auto requests =
       static_cast<std::size_t>(FlagInt(argc, argv, "requests", 4000));
 
+  BenchReport bench_report("fig10_write_mix");
+  bench_report.SetParam("scale", scale);
+  bench_report.SetParam("alpha", alpha);
+  bench_report.SetParam("requests", static_cast<double>(requests));
+
   PrintHeader("Throughput vs write rate", "Figure 10");
   std::printf("alpha=%u servers, %zu requests, scale=%.2f\n\n", alpha,
               requests, scale);
@@ -56,6 +61,10 @@ int main(int argc, char** argv) {
       if (write_pct == 0) baseline = vps;
       last_vps = vps;
       std::printf(" %12.0f", vps);
+      bench_report.AddResult(std::string(name) + ".writes" +
+                                 std::to_string(write_pct) + "_vps",
+                             vps, "v/s");
+      bench_report.AddSimTime(report.duration_us);
 
       if (write_pct == 30) {
         // After the inserts, repartition and compare a pure-read run
@@ -80,6 +89,10 @@ int main(int argc, char** argv) {
             RunWorkload(&metis_cluster, read_trace).VerticesPerSecond();
         std::printf(" %+13.1f%%",
                     100.0 * (hermes_vps - metis_vps) / metis_vps);
+        bench_report.AddResult(std::string(name) + ".post_hermes_vps",
+                               hermes_vps, "v/s");
+        bench_report.AddResult(std::string(name) + ".post_metis_vps",
+                               metis_vps, "v/s");
       }
     }
     std::printf("   (30%% vs 0%%: %+.1f%%)\n",
@@ -88,5 +101,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check: single-digit %% degradation as the write share rises;\n"
       "post-insert repartitioned quality within a few %% of Metis.\n");
+  bench_report.Write();
   return 0;
 }

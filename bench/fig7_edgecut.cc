@@ -19,6 +19,10 @@ int main(int argc, char** argv) {
   const double scale = FlagDouble(argc, argv, "scale", 0.2);
   const auto alpha = static_cast<PartitionId>(FlagInt(argc, argv, "alpha", 16));
 
+  BenchReport report("fig7_edgecut");
+  report.SetParam("scale", scale);
+  report.SetParam("alpha", alpha);
+
   PrintHeader("Edge-cut after workload skew: Hermes vs Metis", "Figure 7");
   std::printf("alpha=%u partitions, scale=%.2f\n\n", alpha, scale);
   std::printf("%-10s %12s %12s %12s %12s\n", "dataset", "initial",
@@ -48,9 +52,13 @@ int main(int argc, char** argv) {
     std::printf("%-10s %11.1f%% %11.1f%% %11.1f%% %12.1f\n", name,
                 100.0 * initial_cut, 100.0 * metis_cut, 100.0 * hermes_cut,
                 100.0 * (hermes_cut - metis_cut));
+    report.AddResult(std::string(name) + ".initial_cut", initial_cut);
+    report.AddResult(std::string(name) + ".metis_cut", metis_cut);
+    report.AddResult(std::string(name) + ".hermes_cut", hermes_cut);
   }
   std::printf(
       "\nShape check: Hermes within a few points of Metis on every "
       "dataset.\n");
+  report.Write();
   return 0;
 }

@@ -28,6 +28,7 @@ struct Cell {
   double vps = 0.0;              // vertices per simulated second
   double ratio = 0.0;            // response / processed
   std::uint64_t remote_hops = 0;
+  double sim_us = 0.0;           // simulated run duration
 };
 
 Cell RunOne(const SkewedExperiment& exp, const PartitionAssignment& placement,
@@ -47,7 +48,7 @@ Cell RunOne(const SkewedExperiment& exp, const PartitionAssignment& placement,
 
   const ThroughputReport report = RunWorkload(&cluster, trace);
   return Cell{report.VerticesPerSecond(), report.ResponseProcessedRatio(),
-              report.remote_hops};
+              report.remote_hops, report.duration_us};
 }
 
 }  // namespace
@@ -58,6 +59,11 @@ int main(int argc, char** argv) {
   const auto alpha = static_cast<PartitionId>(FlagInt(argc, argv, "alpha", 16));
   const auto requests =
       static_cast<std::size_t>(FlagInt(argc, argv, "requests", 3000));
+
+  BenchReport bench_report("fig9_throughput");
+  bench_report.SetParam("scale", scale);
+  bench_report.SetParam("alpha", alpha);
+  bench_report.SetParam("requests", static_cast<double>(requests));
 
   PrintHeader("Aggregate traversal throughput under skew", "Figure 9a-9c");
   std::printf("alpha=%u servers, 32 clients, %zu requests, scale=%.2f\n",
@@ -98,11 +104,19 @@ int main(int argc, char** argv) {
         std::printf("  response/processed ratio: 1-hop=1.00, 2-hop=%.2f\n",
                     hermes_cell.ratio);
       }
+      const std::string prefix =
+          std::string(name) + "." + std::to_string(hops) + "hop.";
+      bench_report.AddResult(prefix + "metis_vps", metis.vps, "v/s");
+      bench_report.AddResult(prefix + "hermes_vps", hermes_cell.vps, "v/s");
+      bench_report.AddResult(prefix + "random_vps", random.vps, "v/s");
+      bench_report.AddSimTime(metis.sim_us + hermes_cell.sim_us +
+                              random.sim_us);
     }
   }
   std::printf(
       "\nShape check: Hermes within a few %% of Metis; 2-3x over Random on\n"
       "orkut/twitter; differences muted on dblp (high locality already).\n"
       "Units are visited vertices per simulated second.\n");
+  bench_report.Write();
   return 0;
 }

@@ -11,7 +11,9 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench/bench_common.h"
 #include "common/logging.h"
 #include "gen/social_graph.h"
 #include "graphdb/durable_store.h"
@@ -193,6 +195,9 @@ void BM_FullRepartitionConvergence(benchmark::State& state) {
   const auto initial = HashPartitioner(1).Partition(g, 16);
   RepartitionerOptions opt;
   opt.k_fraction = 0.01;
+  // range(1): scan threads. >1 exercises the run-wide shared pool (one
+  // ThreadPool per Run(), not per stage).
+  opt.num_threads = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
     PartitionAssignment asg = initial;
     AuxiliaryData aux(g, asg);
@@ -200,13 +205,46 @@ void BM_FullRepartitionConvergence(benchmark::State& state) {
     state.counters["iterations"] = static_cast<double>(r.iterations);
   }
 }
-BENCHMARK(BM_FullRepartitionConvergence)->Arg(8000)->Iterations(2);
+BENCHMARK(BM_FullRepartitionConvergence)
+    ->Args({8000, 1})
+    ->Args({8000, 4})
+    ->Iterations(2);
+
+/// Console output plus a row per run for BENCH_micro_repartitioner.json.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      rows_.push_back(Row{run.benchmark_name(), run.GetAdjustedRealTime(),
+                          benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   hermes::SetLogLevel(hermes::LogLevel::kWarning);
+  hermes::bench::BenchReport report("micro_repartitioner");
   ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
+  CollectingReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  for (const auto& row : reporter.rows()) {
+    report.AddResult(row.name, row.value, row.unit);
+  }
+  report.Write();
   return 0;
 }

@@ -40,6 +40,10 @@ int main(int argc, char** argv) {
   const double scale = FlagDouble(argc, argv, "scale", 0.1);
   const auto alpha = static_cast<PartitionId>(FlagInt(argc, argv, "alpha", 8));
 
+  BenchReport bench_report("related_work");
+  bench_report.SetParam("scale", scale);
+  bench_report.SetParam("alpha", alpha);
+
   PrintHeader("Related-work partitioner comparison", "Section 6");
   std::printf("alpha=%u partitions, scale=%.2f\n", alpha, scale);
   std::printf(
@@ -104,6 +108,12 @@ int main(int argc, char** argv) {
                   100.0 * EdgeCutFraction(g, row.asg),
                   ImbalanceFactor(g, row.asg),
                   ImbalanceFactor(skewed, row.asg), row.ms);
+      bench_report.AddResult(
+          std::string(name) + "." + row.label + ".edge_cut",
+          EdgeCutFraction(g, row.asg));
+      bench_report.AddResult(
+          std::string(name) + "." + row.label + ".skewed_balance",
+          ImbalanceFactor(skewed, row.asg));
     }
 
     const PartitionAssignment hash_asg = rows[0].asg;
@@ -127,11 +137,16 @@ int main(int argc, char** argv) {
                   100.0 * EdgeCutFraction(skewed, asg), "-",
                   ImbalanceFactor(skewed, asg), MillisSince(t0),
                   result.iterations);
+      bench_report.AddResult(std::string(name) + ".hermes.edge_cut",
+                             EdgeCutFraction(skewed, asg));
+      bench_report.AddResult(std::string(name) + ".hermes.skewed_balance",
+                             ImbalanceFactor(skewed, asg));
     }
   }
   std::printf(
       "\nShape check: Metis best cut; streaming between hash and Metis;\n"
       "only the lightweight repartitioner restores skewed balance "
       "(<= 1.1).\n");
+  bench_report.Write();
   return 0;
 }

@@ -27,4 +27,14 @@ cmake --build --preset "$preset" -j "$(nproc)"
 echo "== test =="
 ctest --preset "$preset" -j "$(nproc)"
 
-echo "OK: lint + $preset build + tests all green"
+# The sanitizer presets build without the benches, so the BENCH_*.json
+# smoke test needs the default preset's fig7_edgecut. The default preset
+# already ran it as part of ctest above.
+if [ "$preset" != "default" ]; then
+  echo "== bench smoke (default preset) =="
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target fig7_edgecut
+  ctest --test-dir build -R bench_smoke --output-on-failure
+fi
+
+echo "OK: lint + $preset build + tests + bench smoke all green"

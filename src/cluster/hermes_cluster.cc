@@ -240,6 +240,8 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
     aux_.OnVertexWeightChanged(start, 1.0, assignment_);
     (void)DoAddNodeWeight(p0, start, 1.0);
   }
+  m_reads_->Increment();
+  m_read_remote_hops_->Increment(run.remote_hops);
   return run;
 }
 
@@ -262,6 +264,7 @@ Result<VertexId> HermesCluster::InsertVertex(double weight) {
   assignment_.AddVertex(p);
   aux_.OnVertexAdded(p, weight);
   HERMES_RETURN_NOT_OK(DoCreateNode(p, id, weight));
+  m_writes_->Increment();
   return id;
 }
 
@@ -291,10 +294,12 @@ Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
   }
   aux_.OnEdgeAdded(u, v, assignment_);
   txn.Commit();
+  m_writes_->Increment();
   return Status::OK();
 }
 
 Result<MigrationStats> HermesCluster::RunLightweightRepartition() {
+  TraceSpan span("cluster.repartition");
   MutexLock lock(&mu_);
   const PartitionAssignment before = assignment_;
   LightweightRepartitioner repartitioner(options_.repartitioner);
@@ -353,40 +358,43 @@ Result<MigrationStats> HermesCluster::MigrateDiff(
   // (Section 3.2); the step's duration is the busiest server's time.
   std::vector<NodeSnapshot> snapshots;
   snapshots.reserve(moved.size());
-  for (VertexId v : moved) {
-    HERMES_ASSIGN_OR_RETURN(NodeSnapshot snap,
-                            store_ptrs_[before.PartitionOf(v)]->ExtractNode(v));
-    stats.bytes_copied += snap.WireBytes();
-    target_busy[after.PartitionOf(v)] +=
-        static_cast<SimTime>(snap.WireBytes()) * options_.net.per_byte_us +
-        static_cast<SimTime>(1 + snap.relationships.size()) *
-            options_.net.write_op_us;
-    snapshots.push_back(std::move(snap));
-  }
-  // Replicate node records first so that edges between co-migrating
-  // vertices find both endpoints present.
-  for (const NodeSnapshot& snap : snapshots) {
-    const PartitionId tp = after.PartitionOf(snap.id);
-    HERMES_RETURN_NOT_OK(DoCreateNode(tp, snap.id, snap.weight));
-    for (const auto& [key, value] : snap.properties) {
-      HERMES_RETURN_NOT_OK(DoSetNodeProperty(tp, snap.id, key, value));
+  {
+    TraceSpan copy_span("cluster.migration.copy");
+    for (VertexId v : moved) {
+      HERMES_ASSIGN_OR_RETURN(
+          NodeSnapshot snap, store_ptrs_[before.PartitionOf(v)]->ExtractNode(v));
+      stats.bytes_copied += snap.WireBytes();
+      target_busy[after.PartitionOf(v)] +=
+          static_cast<SimTime>(snap.WireBytes()) * options_.net.per_byte_us +
+          static_cast<SimTime>(1 + snap.relationships.size()) *
+              options_.net.write_op_us;
+      snapshots.push_back(std::move(snap));
     }
-  }
-  for (const NodeSnapshot& snap : snapshots) {
-    const PartitionId tp = after.PartitionOf(snap.id);
-    for (const auto& rel : snap.relationships) {
-      const bool other_local = after.PartitionOf(rel.other) == tp;
-      auto added = DoAddEdge(tp, snap.id, rel.other, rel.type, other_local);
-      if (!added.ok()) {
-        if (added.status().IsAlreadyExists()) continue;  // co-migrated edge
-        return added.status();
+    // Replicate node records first so that edges between co-migrating
+    // vertices find both endpoints present.
+    for (const NodeSnapshot& snap : snapshots) {
+      const PartitionId tp = after.PartitionOf(snap.id);
+      HERMES_RETURN_NOT_OK(DoCreateNode(tp, snap.id, snap.weight));
+      for (const auto& [key, value] : snap.properties) {
+        HERMES_RETURN_NOT_OK(DoSetNodeProperty(tp, snap.id, key, value));
       }
-      if (rel.properties_included) {
-        for (const auto& [key, value] : rel.properties) {
-          const Status st =
-              DoSetEdgeProperty(tp, snap.id, rel.other, key, value);
-          // Ghost copies refuse properties by design.
-          if (!st.ok() && !st.IsInvalidArgument()) return st;
+    }
+    for (const NodeSnapshot& snap : snapshots) {
+      const PartitionId tp = after.PartitionOf(snap.id);
+      for (const auto& rel : snap.relationships) {
+        const bool other_local = after.PartitionOf(rel.other) == tp;
+        auto added = DoAddEdge(tp, snap.id, rel.other, rel.type, other_local);
+        if (!added.ok()) {
+          if (added.status().IsAlreadyExists()) continue;  // co-migrated edge
+          return added.status();
+        }
+        if (rel.properties_included) {
+          for (const auto& [key, value] : rel.properties) {
+            const Status st =
+                DoSetEdgeProperty(tp, snap.id, rel.other, key, value);
+            // Ghost copies refuse properties by design.
+            if (!st.ok() && !st.IsInvalidArgument()) return st;
+          }
         }
       }
     }
@@ -397,19 +405,25 @@ Result<MigrationStats> HermesCluster::MigrateDiff(
   // --- Synchronization barrier, then remove step: mark unavailable and
   // delete the originals (queries treat unavailable records as absent, so
   // no locks are held).
-  for (VertexId v : moved) {
-    const PartitionId sp = before.PartitionOf(v);
-    HERMES_RETURN_NOT_OK(DoSetNodeState(sp, v, NodeState::kUnavailable));
-  }
-  for (const NodeSnapshot& snap : snapshots) {
-    const PartitionId sp = before.PartitionOf(snap.id);
-    source_busy[sp] += static_cast<SimTime>(1 + snap.relationships.size()) *
-                       options_.net.write_op_us;
-    HERMES_RETURN_NOT_OK(DoRemoveNode(sp, snap.id));
+  {
+    TraceSpan remove_span("cluster.migration.remove");
+    for (VertexId v : moved) {
+      const PartitionId sp = before.PartitionOf(v);
+      HERMES_RETURN_NOT_OK(DoSetNodeState(sp, v, NodeState::kUnavailable));
+    }
+    for (const NodeSnapshot& snap : snapshots) {
+      const PartitionId sp = before.PartitionOf(snap.id);
+      source_busy[sp] += static_cast<SimTime>(1 + snap.relationships.size()) *
+                         options_.net.write_op_us;
+      HERMES_RETURN_NOT_OK(DoRemoveNode(sp, snap.id));
+    }
   }
   stats.total_time_us =
       stats.copy_time_us + options_.net.migration_barrier_us +
       *std::max_element(source_busy.begin(), source_busy.end());
+  m_migrations_->Increment();
+  m_vertices_migrated_->Increment(stats.vertices_moved);
+  m_migration_bytes_->Increment(stats.bytes_copied);
   return stats;
 }
 
@@ -458,6 +472,28 @@ std::size_t HermesCluster::TotalStoreBytes() const {
   std::size_t total = 0;
   for (const GraphStore* store : store_ptrs_) total += store->MemoryBytes();
   return total;
+}
+
+hermes::MetricsSnapshot HermesCluster::MetricsSnapshot() const {
+  auto& registry = MetricsRegistry::Global();
+  {
+    // Refresh point-in-time gauges under mu_, then snapshot. The registry
+    // mutex is a leaf, so mu_ -> registry.mu_ respects the lock order.
+    MutexLock lock(&mu_);
+    std::size_t store_bytes = 0;
+    for (const GraphStore* store : store_ptrs_) {
+      store_bytes += store->MemoryBytes();
+    }
+    registry.GetGauge("cluster.store_bytes")
+        ->Set(static_cast<double>(store_bytes));
+    registry.GetGauge("cluster.num_vertices")
+        ->Set(static_cast<double>(graph_.NumVertices()));
+    registry.GetGauge("cluster.num_edges")
+        ->Set(static_cast<double>(graph_.NumEdges()));
+    registry.GetGauge("cluster.imbalance")
+        ->Set(ImbalanceFactor(graph_, assignment_));
+  }
+  return registry.Snapshot();
 }
 
 }  // namespace hermes

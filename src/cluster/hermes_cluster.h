@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -157,6 +158,12 @@ class HermesCluster {
   /// Total bytes across all store shards.
   std::size_t TotalStoreBytes() const EXCLUDES(mu_);
 
+  /// Refreshes the cluster gauges (store bytes, vertex count) under `mu_`
+  /// and returns a consistent copy of the process-wide metrics. Safe to
+  /// call concurrently with any other cluster operation: it takes mu_
+  /// first and MetricsRegistry's leaf mutex second (DESIGN.md §7).
+  hermes::MetricsSnapshot MetricsSnapshot() const EXCLUDES(mu_);
+
  private:
   /// Builds without loading stores (used by Recover()).
   struct RecoveredTag {};
@@ -203,6 +210,21 @@ class HermesCluster {
   std::vector<GraphStore*> store_ptrs_;  // uniform read access
   TransactionManager txns_;
   Rng rng_ GUARDED_BY(mu_){0xbead5ULL};
+
+  // Observability (process-wide counters, DESIGN.md §7). Initialized here
+  // so every constructor path shares them.
+  Counter* const m_reads_ =
+      MetricsRegistry::Global().GetCounter("cluster.reads");
+  Counter* const m_read_remote_hops_ =
+      MetricsRegistry::Global().GetCounter("cluster.read_remote_hops");
+  Counter* const m_writes_ =
+      MetricsRegistry::Global().GetCounter("cluster.writes");
+  Counter* const m_migrations_ =
+      MetricsRegistry::Global().GetCounter("cluster.migrations");
+  Counter* const m_vertices_migrated_ =
+      MetricsRegistry::Global().GetCounter("cluster.vertices_migrated");
+  Counter* const m_migration_bytes_ =
+      MetricsRegistry::Global().GetCounter("cluster.migration_bytes_copied");
 };
 
 }  // namespace hermes

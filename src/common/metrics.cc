@@ -1,0 +1,114 @@
+#include "common/metrics.h"
+
+#include <chrono>
+
+namespace hermes {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  MutexLock lock(&mu_);
+  histograms_[name].Add(value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MutexLock lock(&mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramSummary s;
+    s.count = hist.count();
+    s.sum = hist.sum();
+    s.mean = hist.Mean();
+    s.min = hist.min();
+    s.max = hist.max();
+    s.p50 = hist.Quantile(0.5);
+    s.p99 = hist.Quantile(0.99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  MutexLock lock(&mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist.Reset();
+}
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* log = new TraceLog();
+  return *log;
+}
+
+void TraceLog::Record(const char* name, std::uint64_t start_us,
+                      std::uint64_t duration_us) {
+  MutexLock lock(&mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(TraceEvent{name, start_us, duration_us});
+  } else {
+    ring_[next_] = TraceEvent{name, start_us, duration_us};
+    next_ = (next_ + 1) % kCapacity;
+  }
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceLog::Events() const {
+  MutexLock lock(&mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // `next_` is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceLog::total_recorded() const {
+  MutexLock lock(&mu_);
+  return recorded_;
+}
+
+std::uint64_t TraceLog::dropped() const {
+  MutexLock lock(&mu_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+void TraceLog::Clear() {
+  MutexLock lock(&mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::uint64_t SteadyNowMicros() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin)
+          .count());
+}
+
+}  // namespace hermes

@@ -27,14 +27,16 @@ void AuxiliaryData::OnVertexAdded(PartitionId p, double w) {
 
 void AuxiliaryData::OnEdgeAdded(VertexId u, VertexId v,
                                 const PartitionAssignment& asg) {
+  // A self-loop contributes a single neighbor-list entry (mirroring the
+  // constructor's per-entry count), so only bump one slot when u == v.
   ++counts_[u * alpha_ + asg.PartitionOf(v)];
-  ++counts_[v * alpha_ + asg.PartitionOf(u)];
+  if (u != v) ++counts_[v * alpha_ + asg.PartitionOf(u)];
 }
 
 void AuxiliaryData::OnEdgeRemoved(VertexId u, VertexId v,
                                   const PartitionAssignment& asg) {
   --counts_[u * alpha_ + asg.PartitionOf(v)];
-  --counts_[v * alpha_ + asg.PartitionOf(u)];
+  if (u != v) --counts_[v * alpha_ + asg.PartitionOf(u)];
 }
 
 void AuxiliaryData::OnVertexWeightChanged(VertexId v, double delta,

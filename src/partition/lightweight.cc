@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <tuple>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "partition/metrics.h"
 
@@ -86,7 +88,8 @@ PartitionId LightweightRepartitioner::GetTargetPartition(
 
 std::size_t LightweightRepartitioner::RunStage(const Graph& g, int stage,
                                                PartitionAssignment* asg,
-                                               AuxiliaryData* aux) const {
+                                               AuxiliaryData* aux,
+                                               ThreadPool* pool) const {
   const std::size_t n = g.NumVertices();
   const PartitionId alpha = asg->num_partitions();
 
@@ -113,24 +116,24 @@ std::size_t LightweightRepartitioner::RunStage(const Graph& g, int stage,
     }
   };
 
-  if (options_.num_threads > 1 && n > 1024) {
+  if (pool != nullptr && n > 1024) {
     // Shard the read-only scan; merge shard results in shard order so the
-    // outcome is identical to the serial scan.
-    const std::size_t shards = options_.num_threads;
+    // outcome is identical to the serial scan. The pool is created once per
+    // Run() and reused across every stage of every iteration.
+    const std::size_t shards = pool->num_threads();
     const std::size_t chunk = (n + shards - 1) / shards;
     std::vector<std::vector<std::vector<Candidate>>> shard_results(
         shards, std::vector<std::vector<Candidate>>(alpha));
-    ThreadPool pool(shards);
     for (std::size_t s = 0; s < shards; ++s) {
       const VertexId begin = static_cast<VertexId>(s * chunk);
       const VertexId end =
           static_cast<VertexId>(std::min(n, (s + 1) * chunk));
       if (begin >= end) break;
-      pool.Submit([&, s, begin, end] {
+      pool->Submit([&, s, begin, end] {
         scan_range(begin, end, &shard_results[s]);
       });
     }
-    pool.Wait();
+    pool->Wait();
     for (std::size_t s = 0; s < shards; ++s) {
       for (PartitionId p = 0; p < alpha; ++p) {
         auto& dst = per_partition[p];
@@ -144,6 +147,7 @@ std::size_t LightweightRepartitioner::RunStage(const Graph& g, int stage,
 
   const std::size_t k = EffectiveK(n);
   std::size_t moves = 0;
+  long applied_gain = 0;
   for (PartitionId p = 0; p < alpha; ++p) {
     auto& cands = per_partition[p];
     if (cands.size() > k) {
@@ -173,45 +177,85 @@ std::size_t LightweightRepartitioner::RunStage(const Graph& g, int stage,
       // Logical migration: only auxiliary data and the directory move.
       aux->OnVertexMigrated(g, c.vertex, p, c.target);
       asg->Assign(c.vertex, c.target);
+      applied_gain += c.gain;
       ++moves;
     }
+  }
+  if (moves > 0) {
+    MetricsRegistry::Global().Observe("repartitioner.stage_gain_sum",
+                                      static_cast<double>(applied_gain));
   }
   return moves;
 }
 
 std::size_t LightweightRepartitioner::RunIteration(const Graph& g,
                                                    PartitionAssignment* asg,
-                                                   AuxiliaryData* aux) const {
+                                                   AuxiliaryData* aux,
+                                                   ThreadPool* pool) const {
   if (!options_.two_stage) {
     // Ablation: one bidirectional stage per iteration (stage index 0 means
     // no direction filter in GetTargetPartition).
-    return RunStage(g, 0, asg, aux);
+    return RunStage(g, 0, asg, aux, pool);
   }
-  std::size_t moves = RunStage(g, 1, asg, aux);
-  moves += RunStage(g, 2, asg, aux);
+  std::size_t moves = RunStage(g, 1, asg, aux, pool);
+  moves += RunStage(g, 2, asg, aux, pool);
   return moves;
+}
+
+std::size_t LightweightRepartitioner::RunIteration(const Graph& g,
+                                                   PartitionAssignment* asg,
+                                                   AuxiliaryData* aux) const {
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1 && g.NumVertices() > 1024) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return RunIteration(g, asg, aux, pool.get());
 }
 
 RepartitionResult LightweightRepartitioner::Run(const Graph& g,
                                                 PartitionAssignment* asg,
                                                 AuxiliaryData* aux) const {
+  TraceSpan span("repartitioner.run");
+  auto& registry = MetricsRegistry::Global();
+  Counter* const m_iterations =
+      registry.GetCounter("repartitioner.iterations");
+  Counter* const m_moves = registry.GetCounter("repartitioner.logical_moves");
+  Counter* const m_aux_bytes =
+      registry.GetCounter("repartitioner.aux_bytes_exchanged");
+
   RepartitionResult result;
   const PartitionAssignment initial = *asg;
   result.initial_edge_cut_fraction = EdgeCutFraction(g, *asg);
   result.initial_imbalance = AuxImbalance(*aux);
 
+  // One scan pool for the whole run; RunStage previously constructed and
+  // joined a fresh pool per stage, paying thread create/teardown up to
+  // 2 * max_iterations times.
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1 && g.NumVertices() > 1024) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+
   std::size_t best_cut = EdgeCut(g, *asg);
   double best_imbalance = AuxImbalance(*aux);
   std::size_t stalled_iterations = 0;
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
-    const std::size_t moves = RunIteration(g, asg, aux);
+    const std::size_t moves = RunIteration(g, asg, aux, pool.get());
     ++result.iterations;
     result.total_logical_moves += moves;
     result.moves_per_iteration.push_back(moves);
     const std::size_t alpha = asg->num_partitions();
-    result.aux_bytes_exchanged +=
-        moves * (alpha * sizeof(std::uint32_t) + sizeof(double)) +
-        alpha * (alpha - 1) * sizeof(double);
+    // A zero-move iteration changes no partition weight, so nothing is
+    // broadcast; the convergence-detecting final iteration costs no bytes.
+    std::size_t iter_bytes =
+        moves * (alpha * sizeof(std::uint32_t) + sizeof(double));
+    if (moves > 0) iter_bytes += alpha * (alpha - 1) * sizeof(double);
+    result.aux_bytes_exchanged += iter_bytes;
+    m_iterations->Increment();
+    m_moves->Increment(moves);
+    m_aux_bytes->Increment(iter_bytes);
+    registry.Observe("repartitioner.iteration_moves",
+                     static_cast<double>(moves));
     const std::size_t cut = EdgeCut(g, *asg);
     if (options_.track_edge_cut_history) {
       result.edge_cut_history.push_back(cut);

@@ -10,6 +10,8 @@
 
 namespace hermes {
 
+class ThreadPool;
+
 /// One logical vertex movement chosen by the repartitioner.
 struct MigrationRecord {
   VertexId vertex;
@@ -94,8 +96,11 @@ struct RepartitionResult {
 
   /// Network bytes of auxiliary data exchanged during phase one: each
   /// logical move ships the vertex's per-partition neighbor counters plus
-  /// its weight, and each iteration broadcasts the partition weights
-  /// (alpha doubles to alpha-1 peers). This is the entire inter-server
+  /// its weight, and each iteration that moves anything broadcasts the
+  /// partition weights (alpha doubles to alpha-1 peers; a zero-move
+  /// iteration leaves the weights unchanged, so nothing is sent and the
+  /// final convergence-detecting iteration is free). This is the entire
+  /// inter-server
   /// traffic of the repartitioning algorithm itself — the quantified
   /// "lightweight" claim; physical record movement is reported separately
   /// by the migration layer.
@@ -145,8 +150,12 @@ class LightweightRepartitioner {
   std::size_t EffectiveK(std::size_t n) const;
 
  private:
+  /// `pool` is the shared scan pool (owned by Run(), created once per run
+  /// rather than per stage); nullptr means scan serially.
   std::size_t RunStage(const Graph& g, int stage, PartitionAssignment* asg,
-                       AuxiliaryData* aux) const;
+                       AuxiliaryData* aux, ThreadPool* pool) const;
+  std::size_t RunIteration(const Graph& g, PartitionAssignment* asg,
+                           AuxiliaryData* aux, ThreadPool* pool) const;
 
   RepartitionerOptions options_;
 };

@@ -93,9 +93,14 @@ PartitionAssignment MatchLabels(const PartitionAssignment& before,
   }
 
   // Greedy maximum matching: repeatedly pick the largest remaining overlap.
+  // The relabeling must stay a permutation of [0, alpha): a before-label
+  // >= alpha cannot be used directly (and must not wrap onto a taken id),
+  // so such matches consume their row/column but get a label later, from
+  // the unused pool.
   std::vector<PartitionId> relabel(alpha, kInvalidPartition);
   std::vector<bool> after_used(alpha, false);
   std::vector<bool> before_used(before.num_partitions(), false);
+  std::vector<bool> label_used(alpha, false);
   for (PartitionId round = 0; round < alpha; ++round) {
     std::size_t best = 0;
     PartitionId best_a = kInvalidPartition;
@@ -113,14 +118,27 @@ PartitionAssignment MatchLabels(const PartitionAssignment& before,
       }
     }
     if (best_a == kInvalidPartition || best_b == kInvalidPartition) break;
-    relabel[best_a] = best_b % alpha;
+    if (best_b < alpha) {
+      relabel[best_a] = best_b;
+      label_used[best_b] = true;
+    }
     after_used[best_a] = true;
     before_used[best_b] = true;
   }
-  // Any unmatched labels keep their own id (only possible when partition
-  // counts differ).
+  // Unmatched after-partitions (possible only when partition counts
+  // differ) take unused labels, keeping their own id when it is free.
   for (PartitionId a = 0; a < alpha; ++a) {
-    if (relabel[a] == kInvalidPartition) relabel[a] = a;
+    if (relabel[a] == kInvalidPartition && !label_used[a]) {
+      relabel[a] = a;
+      label_used[a] = true;
+    }
+  }
+  PartitionId next_free = 0;
+  for (PartitionId a = 0; a < alpha; ++a) {
+    if (relabel[a] != kInvalidPartition) continue;
+    while (label_used[next_free]) ++next_free;
+    relabel[a] = next_free;
+    label_used[next_free] = true;
   }
 
   PartitionAssignment result(after.size(), alpha);

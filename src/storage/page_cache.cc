@@ -8,7 +8,14 @@
 namespace hermes {
 
 PageCache::PageCache(PagedFile* file, std::size_t capacity_pages)
-    : file_(file), capacity_(std::max<std::size_t>(1, capacity_pages)) {}
+    : file_(file),
+      capacity_(std::max<std::size_t>(1, capacity_pages)),
+      m_hits_(MetricsRegistry::Global().GetCounter("page_cache.hits")),
+      m_misses_(MetricsRegistry::Global().GetCounter("page_cache.misses")),
+      m_evictions_(
+          MetricsRegistry::Global().GetCounter("page_cache.evictions")),
+      m_writebacks_(
+          MetricsRegistry::Global().GetCounter("page_cache.writebacks")) {}
 
 Result<Page*> PageCache::Pin(std::uint64_t page_no) {
   MutexLock lock(&mu_);
@@ -16,6 +23,7 @@ Result<Page*> PageCache::Pin(std::uint64_t page_no) {
   if (it != frames_.end()) {
     Frame* frame = it->second.get();
     ++stats_.hits;
+    m_hits_->Increment();
     if (frame->in_lru) {
       lru_.erase(frame->lru_pos);
       frame->in_lru = false;
@@ -25,6 +33,7 @@ Result<Page*> PageCache::Pin(std::uint64_t page_no) {
   }
 
   ++stats_.misses;
+  m_misses_->Increment();
   if (frames_.size() >= capacity_) {
     HERMES_RETURN_NOT_OK(EvictOne());
   }
@@ -63,9 +72,11 @@ Status PageCache::EvictOne() {
   if (frame->dirty) {
     HERMES_RETURN_NOT_OK(file_->WritePage(victim, frame->page));
     ++stats_.writebacks;
+    m_writebacks_->Increment();
   }
   frames_.erase(it);
   ++stats_.evictions;
+  m_evictions_->Increment();
   return Status::OK();
 }
 
@@ -76,6 +87,7 @@ Status PageCache::FlushAll() {
       HERMES_RETURN_NOT_OK(file_->WritePage(page_no, frame->page));
       frame->dirty = false;
       ++stats_.writebacks;
+      m_writebacks_->Increment();
     }
   }
   return file_->Sync();

@@ -6,6 +6,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -74,6 +75,13 @@ class PageCache {
       GUARDED_BY(mu_);
   std::list<std::uint64_t> lru_ GUARDED_BY(mu_);  // front = most recent
   Stats stats_ GUARDED_BY(mu_);
+
+  // Process-wide observability mirrors of stats_ (metric naming scheme in
+  // DESIGN.md §7); pointers cached once, registry owns the counters.
+  Counter* const m_hits_;
+  Counter* const m_misses_;
+  Counter* const m_evictions_;
+  Counter* const m_writebacks_;
 };
 
 /// Sequential byte-stream writer over a PageCache: Append() packs bytes

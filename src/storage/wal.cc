@@ -61,6 +61,16 @@ std::uint32_t WalCrc32(const void* data, std::size_t size) {
   return crc ^ 0xffffffffu;
 }
 
+WriteAheadLog::WriteAheadLog(std::string path, std::ofstream out,
+                             std::uint64_t next_lsn)
+    : path_(std::move(path)),
+      out_(std::move(out)),
+      next_lsn_(next_lsn),
+      m_appends_(MetricsRegistry::Global().GetCounter("wal.appends")),
+      m_append_bytes_(
+          MetricsRegistry::Global().GetCounter("wal.append_bytes")),
+      m_syncs_(MetricsRegistry::Global().GetCounter("wal.syncs")) {}
+
 Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
   // Scan any existing log to find the next LSN.
   std::uint64_t next_lsn = 1;
@@ -81,6 +91,8 @@ Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry) {
   const std::string frame = EncodeEntry(entry);
   out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
   if (!out_) return Status::IOError("WAL append failed");
+  m_appends_->Increment();
+  m_append_bytes_->Increment(frame.size());
   return entry.lsn;
 }
 
@@ -88,6 +100,7 @@ Status WriteAheadLog::Sync() {
   MutexLock lock(&mu_);
   out_.flush();
   if (!out_) return Status::IOError("WAL sync failed");
+  m_syncs_->Increment();
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -63,12 +64,18 @@ class WriteAheadLog {
   WriteAheadLog(WriteAheadLog&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
       : path_(std::move(other.path_)),
         out_(std::move(other.out_)),
-        next_lsn_(other.next_lsn_) {}
+        next_lsn_(other.next_lsn_),
+        m_appends_(other.m_appends_),
+        m_append_bytes_(other.m_append_bytes_),
+        m_syncs_(other.m_syncs_) {}
   WriteAheadLog& operator=(WriteAheadLog&& other) noexcept
       NO_THREAD_SAFETY_ANALYSIS {
     path_ = std::move(other.path_);
     out_ = std::move(other.out_);
     next_lsn_ = other.next_lsn_;
+    m_appends_ = other.m_appends_;
+    m_append_bytes_ = other.m_append_bytes_;
+    m_syncs_ = other.m_syncs_;
     return *this;
   }
 
@@ -97,13 +104,17 @@ class WriteAheadLog {
   const std::string& path() const { return path_; }
 
  private:
-  WriteAheadLog(std::string path, std::ofstream out, std::uint64_t next_lsn)
-      : path_(std::move(path)), out_(std::move(out)), next_lsn_(next_lsn) {}
+  WriteAheadLog(std::string path, std::ofstream out, std::uint64_t next_lsn);
 
   std::string path_;  // set at construction, never mutated afterwards
   mutable Mutex mu_;
   std::ofstream out_ GUARDED_BY(mu_);
   std::uint64_t next_lsn_ GUARDED_BY(mu_) = 1;
+
+  // Observability (all logs share the process-wide counters; DESIGN.md §7).
+  Counter* m_appends_ = nullptr;
+  Counter* m_append_bytes_ = nullptr;
+  Counter* m_syncs_ = nullptr;
 };
 
 /// CRC32 (Castagnoli polynomial, bitwise) used by the log format; exposed

@@ -9,9 +9,11 @@ Status LockManager::AcquireShared(TxnId txn, LockKey key) {
     LockState& state = table_[key];
     if (!state.has_exclusive || state.exclusive == txn) {
       state.shared.insert(txn);
+      m_shared_->Increment();
       return Status::OK();
     }
     if (released_.WaitUntil(&mu_, deadline) == std::cv_status::timeout) {
+      m_timeouts_->Increment();
       return Status::TimedOut("shared lock wait timed out (possible deadlock)");
     }
   }
@@ -31,9 +33,11 @@ Status LockManager::AcquireExclusive(TxnId txn, LockKey key) {
     if (!state.has_exclusive && only_reader_is_us) {
       state.has_exclusive = true;
       state.exclusive = txn;
+      m_exclusive_->Increment();
       return Status::OK();
     }
     if (released_.WaitUntil(&mu_, deadline) == std::cv_status::timeout) {
+      m_timeouts_->Increment();
       return Status::TimedOut(
           "exclusive lock wait timed out (possible deadlock)");
     }

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 
@@ -30,7 +31,13 @@ class LockManager {
 
   explicit LockManager(
       std::chrono::milliseconds timeout = std::chrono::milliseconds(100))
-      : timeout_(timeout) {}
+      : timeout_(timeout),
+        m_shared_(MetricsRegistry::Global().GetCounter(
+            "lock_manager.acquired_shared")),
+        m_exclusive_(MetricsRegistry::Global().GetCounter(
+            "lock_manager.acquired_exclusive")),
+        m_timeouts_(
+            MetricsRegistry::Global().GetCounter("lock_manager.timeouts")) {}
 
   /// Shared (read) lock. Re-entrant; a transaction holding the exclusive
   /// lock implicitly holds the shared one.
@@ -61,6 +68,11 @@ class LockManager {
   CondVar released_;
   std::unordered_map<LockKey, LockState> table_ GUARDED_BY(mu_);
   const std::chrono::milliseconds timeout_;
+
+  // Observability (DESIGN.md §7 naming scheme).
+  Counter* const m_shared_;
+  Counter* const m_exclusive_;
+  Counter* const m_timeouts_;
 };
 
 }  // namespace hermes

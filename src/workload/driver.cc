@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "sim/simulator.h"
 
 namespace hermes {
@@ -27,6 +28,11 @@ struct RunState {
     const SimTime start = std::max(sim.Now(), server_free[p]);
     const SimTime done = start + service_us;
     server_free[p] = done;
+    report.server_busy_us[p] += service_us;
+    report.max_queue_delay_us =
+        std::max(report.max_queue_delay_us, start - sim.Now());
+    report.peak_pending_events =
+        std::max(report.peak_pending_events, sim.PendingEvents());
     return done;
   }
 };
@@ -151,12 +157,28 @@ ThroughputReport RunWorkload(HermesCluster* cluster,
   state.trace = &trace;
   state.net = &cluster->options().net;
   state.server_free.assign(cluster->num_servers(), 0.0);
+  state.report.server_busy_us.assign(cluster->num_servers(), 0.0);
 
   const std::size_t clients = std::max<std::size_t>(1, options.num_clients);
   for (std::size_t c = 0; c < clients && c < trace.size(); ++c) {
     state.sim.At(0.0, [&state] { ClientLoop(&state); });
   }
   state.report.duration_us = state.sim.Run();
+
+  // Publish the run's load picture (DESIGN.md §7). Gauges, not counters:
+  // each run overwrites the previous values.
+  auto& registry = MetricsRegistry::Global();
+  registry.GetGauge("driver.mean_utilization")
+      ->Set(state.report.MeanUtilization());
+  registry.GetGauge("driver.max_queue_delay_us")
+      ->Set(state.report.max_queue_delay_us);
+  registry.GetGauge("driver.peak_pending_events")
+      ->Set(static_cast<double>(state.report.peak_pending_events));
+  registry.GetCounter("driver.ops_completed")
+      ->Increment(state.report.reads_completed +
+                  state.report.writes_completed);
+  registry.GetCounter("driver.ops_failed")
+      ->Increment(state.report.failed_ops);
   return state.report;
 }
 

@@ -25,6 +25,25 @@ struct ThroughputReport {
   std::uint64_t unique_vertices = 0;     // query-response size
   std::uint64_t remote_hops = 0;
 
+  /// Simulated busy time accumulated per server (one entry per partition);
+  /// the skew across entries is the load-imbalance signal the
+  /// repartitioner removes.
+  std::vector<SimTime> server_busy_us;
+  /// Worst queueing delay any request saw at a busy server.
+  SimTime max_queue_delay_us = 0.0;
+  /// High-water mark of the simulator's event queue (proxy for in-flight
+  /// requests).
+  std::size_t peak_pending_events = 0;
+
+  /// Mean fraction of the run each server spent serving requests; 0 for
+  /// an empty run (duration 0).
+  double MeanUtilization() const {
+    if (duration_us <= 0.0 || server_busy_us.empty()) return 0.0;
+    SimTime busy = 0.0;
+    for (SimTime b : server_busy_us) busy += b;
+    return busy / (duration_us * static_cast<double>(server_busy_us.size()));
+  }
+
   /// Aggregate throughput in visited vertices per simulated second.
   double VerticesPerSecond() const {
     return duration_us <= 0.0

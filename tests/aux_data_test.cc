@@ -78,6 +78,38 @@ TEST(AuxDataTest, OnEdgeRemovedReverses) {
   EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
 }
 
+TEST(AuxDataTest, SelfLoopCountsOnce) {
+  // Regression: OnEdgeAdded(v, v) used to bump the counter for both
+  // "endpoints", double-counting the single neighbor-list entry a
+  // self-loop would contribute and desyncing aux from a rebuild.
+  Graph g(3);
+  PartitionAssignment asg(3, 2);
+  asg.Assign(2, 1);
+  AuxiliaryData aux(g, asg);
+  ASSERT_EQ(aux.NeighborCount(2, 1), 0u);
+
+  aux.OnEdgeAdded(2, 2, asg);
+  EXPECT_EQ(aux.NeighborCount(2, 1), 1u);  // exactly one, not two
+  EXPECT_EQ(aux.NeighborCount(2, 0), 0u);
+  EXPECT_EQ(aux.NeighborCount(0, 0), 0u);  // other vertices untouched
+}
+
+TEST(AuxDataTest, SelfLoopRemovalRestoresCounts) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  PartitionAssignment asg(3, 2);
+  asg.Assign(2, 1);
+  AuxiliaryData aux(g, asg);
+
+  aux.OnEdgeAdded(2, 2, asg);
+  aux.OnEdgeRemoved(2, 2, asg);
+  // Add/remove of a self-loop must be a no-op; the pre-existing edge's
+  // counts survive intact (a rebuild of the loop-free graph agrees).
+  EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
+  EXPECT_EQ(aux.NeighborCount(2, 0), 1u);
+  EXPECT_EQ(aux.NeighborCount(0, 1), 1u);
+}
+
 TEST(AuxDataTest, OnVertexAddedExtends) {
   Graph g(2);
   PartitionAssignment asg(2, 2);

@@ -479,6 +479,53 @@ TEST(LightweightRunTest, LargerKConvergesInFewerIterations) {
   EXPECT_GT(iterations[0], iterations[1]);
 }
 
+TEST(LightweightRunTest, ConvergedInputExchangesNoAuxBytes) {
+  // Regression: a run on an already-balanced assignment converges in one
+  // zero-move iteration; that iteration used to be charged the
+  // alpha*(alpha-1) weight broadcast even though no weight changed.
+  SocialGraphOptions gopt;
+  gopt.num_vertices = 1000;
+  gopt.seed = 23;
+  Graph g = GenerateSocialGraph(gopt);
+  PartitionAssignment asg = HashPartitioner(3).Partition(g, 4);
+  AuxiliaryData aux(g, asg);
+  LightweightRepartitioner rp((RepartitionerOptions{}));
+
+  // First run drives the system to convergence...
+  (void)rp.Run(g, &asg, &aux);
+  // ...so the second run is a pure no-op and must report zero traffic.
+  const RepartitionResult again = rp.Run(g, &asg, &aux);
+  EXPECT_TRUE(again.converged);
+  EXPECT_EQ(again.total_logical_moves, 0u);
+  EXPECT_EQ(again.aux_bytes_exchanged, 0u);
+}
+
+TEST(LightweightRunTest, ThreadedScanMatchesSerialResult) {
+  // The gain scan shards over a run-wide ThreadPool when num_threads > 1;
+  // candidate selection must stay deterministic, so the multi-threaded run
+  // has to produce the exact assignment the serial run does.
+  SocialGraphOptions gopt;
+  gopt.num_vertices = 5000;
+  gopt.community_mixing = 0.15;
+  gopt.seed = 29;
+
+  std::vector<PartitionAssignment> finals;
+  std::vector<RepartitionResult> results;
+  for (std::size_t threads : {1u, 4u}) {
+    Graph g = GenerateSocialGraph(gopt);
+    PartitionAssignment asg = HashPartitioner(5).Partition(g, 8);
+    AuxiliaryData aux(g, asg);
+    RepartitionerOptions opt;
+    opt.num_threads = threads;
+    results.push_back(LightweightRepartitioner(opt).Run(g, &asg, &aux));
+    finals.push_back(asg);
+  }
+  EXPECT_TRUE(finals[0] == finals[1]);
+  EXPECT_EQ(results[0].iterations, results[1].iterations);
+  EXPECT_EQ(results[0].total_logical_moves, results[1].total_logical_moves);
+  EXPECT_EQ(results[0].aux_bytes_exchanged, results[1].aux_bytes_exchanged);
+}
+
 TEST(LightweightRunTest, InvalidBetaIsRejected) {
   RepartitionerOptions opt;
   opt.beta = 2.5;

@@ -117,6 +117,50 @@ TEST(MetricsTest, MatchLabelsKeepsGenuineMoves) {
   EXPECT_EQ(VerticesMoved(before, matched), 1u);
 }
 
+TEST(MetricsTest, MatchLabelsStaysPermutationWhenBeforeHasMorePartitions) {
+  // Regression: with before.num_partitions() > after's alpha, the greedy
+  // matcher used to wrap out-of-range before-labels (best_b % alpha) and
+  // could hand the same label to two after-partitions, silently merging
+  // them. Here after-partition 0 matches before-partition 2 (-> 2 % 2 == 0)
+  // and after-partition 1 matches before-partition 0 (-> 0), a collision.
+  auto before = Split({2, 2, 0, 0}, 4);
+  auto after = Split({0, 0, 1, 1}, 2);
+  const auto matched = MatchLabels(before, after);
+
+  ASSERT_EQ(matched.num_partitions(), 2u);
+  // The two after-partitions must remain distinct...
+  EXPECT_EQ(matched.PartitionOf(0), matched.PartitionOf(1));
+  EXPECT_EQ(matched.PartitionOf(2), matched.PartitionOf(3));
+  EXPECT_NE(matched.PartitionOf(0), matched.PartitionOf(2));
+  // ...and in range. The matchable pair (after 1 <-> before 0) keeps its
+  // before-label; the unmatchable one takes the remaining free label.
+  EXPECT_EQ(matched.PartitionOf(2), 0u);
+  EXPECT_EQ(matched.PartitionOf(0), 1u);
+}
+
+TEST(MetricsTest, MatchLabelsFallbackNeverReusesTakenLabels) {
+  // Regression for the fallback path: unmatched after-partitions must draw
+  // from the *unused* label pool, not re-take an id already assigned by the
+  // greedy phase. Four after-partitions compete for labels where only
+  // before-partitions {4, 5, 0, 1} exist.
+  auto before = Split({4, 4, 5, 5, 0, 0, 1, 1}, 6);
+  auto after = Split({0, 0, 1, 1, 2, 2, 3, 3}, 4);
+  const auto matched = MatchLabels(before, after);
+
+  ASSERT_EQ(matched.num_partitions(), 4u);
+  std::vector<bool> seen(4, false);
+  for (VertexId v = 0; v < matched.size(); v += 2) {
+    const PartitionId p = matched.PartitionOf(v);
+    ASSERT_LT(p, 4u);
+    EXPECT_FALSE(seen[p]) << "label " << p << " assigned twice";
+    seen[p] = true;
+  }
+  // The in-range matches (after 2 <-> before 0, after 3 <-> before 1) keep
+  // their before-labels so VerticesMoved stays minimal.
+  EXPECT_EQ(matched.PartitionOf(4), 0u);
+  EXPECT_EQ(matched.PartitionOf(6), 1u);
+}
+
 TEST(HashPartitionerTest, DeterministicAndInRange) {
   HashPartitioner hp(3);
   Graph g(1000);

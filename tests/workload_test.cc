@@ -1,3 +1,6 @@
+#include <cmath>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "cluster/hermes_cluster.h"
@@ -180,6 +183,79 @@ TEST(DriverTest, DeterministicSimulation) {
   EXPECT_DOUBLE_EQ(a.duration_us, b.duration_us);
   EXPECT_EQ(a.vertices_processed, b.vertices_processed);
   EXPECT_EQ(a.writes_completed, b.writes_completed);
+}
+
+TEST(DriverTest, DeterministicAcrossRepartitionerThreads) {
+  // The cluster's repartitioner may shard its gain scan over a thread
+  // pool; the simulated workload before and after a repartition must be
+  // bit-identical regardless of that thread count.
+  auto run_once = [](std::size_t threads) {
+    Graph g = SmallSocial(17, 1200);
+    const auto asg = HashPartitioner(1).Partition(g, 4);
+    HermesCluster::Options copt;
+    copt.repartitioner.num_threads = threads;
+    HermesCluster cluster(std::move(g), asg, copt);
+    TraceOptions topt;
+    topt.num_requests = 600;
+    topt.hot_partition = 0;
+    topt.skew_factor = 2.0;
+    const auto trace =
+        GenerateTrace(cluster.graph(), cluster.assignment(), topt);
+    ThroughputReport before = RunWorkload(&cluster, trace);
+    EXPECT_TRUE(cluster.RunLightweightRepartition().ok());
+    ThroughputReport after = RunWorkload(&cluster, trace);
+    return std::pair<ThroughputReport, ThroughputReport>(before, after);
+  };
+  const auto serial = run_once(1);
+  const auto threaded = run_once(4);
+  for (const auto& [a, b] : {std::pair(serial.first, threaded.first),
+                             std::pair(serial.second, threaded.second)}) {
+    EXPECT_DOUBLE_EQ(a.duration_us, b.duration_us);
+    EXPECT_EQ(a.vertices_processed, b.vertices_processed);
+    EXPECT_EQ(a.remote_hops, b.remote_hops);
+    EXPECT_DOUBLE_EQ(a.max_queue_delay_us, b.max_queue_delay_us);
+    EXPECT_EQ(a.peak_pending_events, b.peak_pending_events);
+    ASSERT_EQ(a.server_busy_us.size(), b.server_busy_us.size());
+    for (std::size_t p = 0; p < a.server_busy_us.size(); ++p) {
+      EXPECT_DOUBLE_EQ(a.server_busy_us[p], b.server_busy_us[p]);
+    }
+  }
+}
+
+TEST(DriverTest, EmptyTraceYieldsFiniteZeroReport) {
+  // Edge case: zero requests means duration 0; the derived rates must
+  // come out 0, never inf or NaN.
+  Graph g = SmallSocial(5, 300);
+  const auto asg = HashPartitioner(1).Partition(g, 4);
+  HermesCluster cluster(std::move(g), asg);
+  const ThroughputReport report = RunWorkload(&cluster, {});
+  EXPECT_DOUBLE_EQ(report.duration_us, 0.0);
+  EXPECT_EQ(report.vertices_processed, 0u);
+  EXPECT_DOUBLE_EQ(report.VerticesPerSecond(), 0.0);
+  EXPECT_DOUBLE_EQ(report.MeanUtilization(), 0.0);
+  EXPECT_DOUBLE_EQ(report.ResponseProcessedRatio(), 0.0);
+  EXPECT_TRUE(std::isfinite(report.VerticesPerSecond()));
+  EXPECT_TRUE(std::isfinite(report.MeanUtilization()));
+}
+
+TEST(DriverTest, UtilizationAndQueueStatsPopulated) {
+  Graph g = SmallSocial(9, 1000);
+  const auto asg = HashPartitioner(1).Partition(g, 4);
+  HermesCluster cluster(std::move(g), asg);
+  TraceOptions topt;
+  topt.num_requests = 800;
+  const auto trace = GenerateTrace(cluster.graph(), cluster.assignment(), topt);
+  const ThroughputReport report = RunWorkload(&cluster, trace);
+  ASSERT_EQ(report.server_busy_us.size(), cluster.num_servers());
+  const double util = report.MeanUtilization();
+  EXPECT_GT(util, 0.0);
+  EXPECT_LE(util, 1.0);
+  for (SimTime busy : report.server_busy_us) {
+    EXPECT_GE(busy, 0.0);
+    EXPECT_LE(busy, report.duration_us);
+  }
+  EXPECT_GE(report.max_queue_delay_us, 0.0);
+  EXPECT_GT(report.peak_pending_events, 0u);
 }
 
 TEST(DriverTest, MoreClientsFinishSoonerUnderLightLoad) {

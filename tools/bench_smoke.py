@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Smoke test for the BENCH_*.json reporter; runs as the `bench_smoke` ctest.
+
+Runs one bench binary in a scratch directory and validates the
+machine-readable report it writes (bench/bench_common.h, BenchReport):
+
+  * the file BENCH_<binary-name>.json exists and parses as JSON,
+  * schema_version is 1 and the top-level keys are present and typed,
+  * results is a non-empty list of {label, value, unit} rows,
+  * metrics.counters is a non-empty dict of integers (the binary must
+    actually exercise instrumented code paths).
+
+Usage: tools/bench_smoke.py <bench-binary> [bench args...]
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_KEYS = {
+    "name": str,
+    "schema_version": int,
+    "wall_time_us": int,
+    "params": dict,
+    "results": list,
+    "metrics": dict,
+}
+
+
+def fail(msg):
+    print(f"bench_smoke: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(report, name):
+    for key, typ in REQUIRED_KEYS.items():
+        if key not in report:
+            return f"missing top-level key {key!r}"
+        if not isinstance(report[key], typ):
+            return f"key {key!r} has type {type(report[key]).__name__}, " \
+                   f"expected {typ.__name__}"
+    if "sim_time_us" not in report:
+        return "missing top-level key 'sim_time_us'"
+    if not isinstance(report["sim_time_us"], (int, float, type(None))):
+        return "sim_time_us is not a number or null"
+    if report["name"] != name:
+        return f"name is {report['name']!r}, expected {name!r}"
+    if report["schema_version"] != 1:
+        return f"schema_version is {report['schema_version']}, expected 1"
+    if report["wall_time_us"] < 0:
+        return "wall_time_us is negative"
+    if not report["results"]:
+        return "results is empty"
+    for row in report["results"]:
+        if not isinstance(row, dict):
+            return f"result row is not an object: {row!r}"
+        if set(row) != {"label", "value", "unit"}:
+            return f"result row keys are {sorted(row)}, " \
+                   "expected [label, unit, value]"
+        if not isinstance(row["label"], str) or not isinstance(row["unit"], str):
+            return f"result row {row['label']!r}: label/unit must be strings"
+        if not isinstance(row["value"], (int, float, type(None))):
+            return f"result row {row['label']!r}: value must be a number"
+    metrics = report["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics or not isinstance(metrics[section], dict):
+            return f"metrics.{section} missing or not an object"
+    if not metrics["counters"]:
+        return "metrics.counters is empty (no instrumented code path ran)"
+    for key, value in metrics["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            return f"counter {key!r} is not a non-negative integer"
+    for key, hist in metrics["histograms"].items():
+        expected = {"count", "mean", "min", "max", "p50", "p99"}
+        if set(hist) != expected:
+            return f"histogram {key!r} keys are {sorted(hist)}"
+    return None
+
+
+def main(argv):
+    if len(argv) < 2:
+        return fail("usage: bench_smoke.py <bench-binary> [bench args...]")
+    binary = os.path.abspath(argv[1])
+    name = os.path.basename(binary)
+    with tempfile.TemporaryDirectory(prefix="bench_smoke_") as scratch:
+        proc = subprocess.run([binary] + argv[2:], cwd=scratch,
+                              stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                              text=True, timeout=600)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            return fail(f"{name} exited with {proc.returncode}")
+        path = os.path.join(scratch, f"BENCH_{name}.json")
+        if not os.path.exists(path):
+            return fail(f"{name} did not write BENCH_{name}.json")
+        try:
+            with open(path, encoding="utf-8") as f:
+                report = json.load(f)
+        except json.JSONDecodeError as e:
+            return fail(f"BENCH_{name}.json is not valid JSON: {e}")
+        error = validate(report, name)
+        if error:
+            return fail(f"BENCH_{name}.json: {error}")
+    print(f"bench_smoke: OK ({name}: {len(report['results'])} results, "
+          f"{len(report['metrics']['counters'])} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -14,6 +14,10 @@ Checks (all over `src/`, the shipped library code):
      Mutex/MutexLock/CondVar wrappers so clang -Wthread-safety sees it.
   4. build completeness: every ``.cc`` under src/ is listed in a
      CMakeLists.txt, so nothing silently drops out of the library.
+  5. metrics discipline: no ad-hoc ``std::atomic`` members outside the
+     metrics registry (src/common/metrics.h) and the few pre-existing
+     ID/log-level atomics — counters belong in MetricsRegistry so they
+     show up in MetricsSnapshot() and the BENCH_*.json reports.
 
 Usage: tools/lint.py [repo_root]   (exit 0 = clean, 1 = findings)
 """
@@ -37,6 +41,18 @@ DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
 PREPROC_COND_RE = re.compile(r"^\s*#\s*(if|ifdef|ifndef)\b")
 
 ALLOWED_RAW_SYNC = {Path("src/common/thread_annotations.h")}
+
+# Ad-hoc atomics hide state from the observability layer; new counters and
+# gauges go through MetricsRegistry (src/common/metrics.h). The allowlist
+# covers the registry itself plus the pre-existing non-metric atomics
+# (ID generation, the log-level flag).
+ATOMIC_RE = re.compile(r"std::atomic\b")
+ALLOWED_ATOMIC = {
+    Path("src/common/metrics.h"),
+    Path("src/common/logging.cc"),
+    Path("src/storage/id_generator.h"),
+    Path("src/txn/transaction.h"),
+}
 
 
 def strip_comments(text):
@@ -94,6 +110,17 @@ def check_raw_sync(rel, text, findings):
                 "Mutex/MutexLock/CondVar from common/thread_annotations.h")
 
 
+def check_adhoc_atomics(rel, text, findings):
+    if rel in ALLOWED_ATOMIC:
+        return
+    for i, line in enumerate(strip_comments(text).splitlines(), 1):
+        if ATOMIC_RE.search(line):
+            findings.append(
+                f"{rel}:{i}: ad-hoc std::atomic — counters/gauges belong in "
+                "MetricsRegistry (common/metrics.h) so they appear in "
+                "MetricsSnapshot() and BENCH_*.json")
+
+
 def check_cmake_lists_all_sources(root, findings):
     cmake_text = ""
     for cmake in (root / "src").rglob("CMakeLists.txt"):
@@ -124,6 +151,7 @@ def main(argv):
             check_include_guard(rel, lines, findings)
             check_header_hygiene(rel, lines, findings)
         check_raw_sync(rel, text, findings)
+        check_adhoc_atomics(rel, text, findings)
     check_cmake_lists_all_sources(root, findings)
 
     if findings:
