@@ -18,6 +18,12 @@ esac
 echo "== repo lint =="
 python3 tools/lint.py .
 
+echo "== layering check =="
+python3 tools/layering_check.py .
+
+# clang_tidy also runs as a ctest below (zero-findings gate over
+# compile_commands.json); it self-skips when no clang-tidy binary exists.
+
 echo "== configure ($preset preset) =="
 cmake --preset "$preset"
 
@@ -37,4 +43,4 @@ if [ "$preset" != "default" ]; then
   ctest --test-dir build -R bench_smoke --output-on-failure
 fi
 
-echo "OK: lint + $preset build + tests + bench smoke all green"
+echo "OK: lint + layering + $preset build + tests + bench smoke all green"

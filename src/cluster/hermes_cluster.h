@@ -198,7 +198,7 @@ class HermesCluster {
   /// and the lock order). graph_/assignment_/aux_/store_ptrs_/txns_ are
   /// guarded by mu_ by convention; they stay unannotated only because the
   /// const accessors expose quiesced-read references.
-  mutable Mutex mu_;
+  mutable Mutex mu_{"cluster.mu", lock_order::kRankCluster};
   Graph graph_;
   PartitionAssignment assignment_;
   AuxiliaryData aux_;

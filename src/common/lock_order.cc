@@ -1,0 +1,132 @@
+#include "common/lock_order.h"
+
+#ifdef HERMES_DEBUG_LOCK_ORDER
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>  // raw std::mutex: the validator cannot use the Mutex it instruments
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hermes {
+namespace lock_order {
+namespace {
+
+struct Held {
+  const void* mu;
+  const char* name;
+  int rank;
+};
+
+// Per-thread stack of ranked locks currently held (push on acquire, erase
+// by address on release). thread_local keeps the hot path allocation-free
+// after the first few acquisitions on a thread.
+thread_local std::vector<Held> tl_held;
+
+// Global acquired-before graph: (held name, acquired name) -> the held
+// stack snapshot when the edge was first observed. Guarded by a raw
+// std::mutex because the validator must not recurse into the annotated
+// Mutex it instruments.
+std::mutex g_graph_mu;
+std::map<std::pair<std::string, std::string>, std::string>* g_edges = nullptr;
+
+std::string StackString(const std::vector<Held>& held) {
+  std::string out;
+  for (const Held& h : held) {
+    if (!out.empty()) out += " -> ";
+    out += h.name;
+    out += "(rank ";
+    out += std::to_string(h.rank);
+    out += ")";
+  }
+  return out.empty() ? std::string("<empty>") : out;
+}
+
+[[noreturn]] void Die(const char* kind, const char* name, int rank,
+                      const std::string& prior_stack) {
+  std::fprintf(stderr,
+               "lock_order: FATAL %s acquiring %s (rank %d)\n"
+               "lock_order:   this thread holds: %s\n",
+               kind, name, rank, StackString(tl_held).c_str());
+  if (!prior_stack.empty()) {
+    std::fprintf(stderr,
+                 "lock_order:   opposite order first seen holding: %s\n",
+                 prior_stack.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Records held->acquired edges and returns the stored stack for the
+/// reverse edge, if that inversion has ever been observed.
+std::string RecordEdges(const char* name) {
+  std::string reverse_stack;
+  std::lock_guard<std::mutex> g(g_graph_mu);
+  if (g_edges == nullptr) {
+    g_edges = new std::map<std::pair<std::string, std::string>, std::string>();
+  }
+  for (const Held& h : tl_held) {
+    auto key = std::make_pair(std::string(h.name), std::string(name));
+    g_edges->emplace(std::move(key), StackString(tl_held));
+    auto rev = g_edges->find({std::string(name), std::string(h.name)});
+    if (rev != g_edges->end()) reverse_stack = rev->second;
+  }
+  return reverse_stack;
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, const char* name, int rank) {
+  if (rank == kRankUnranked) return;
+  for (const Held& h : tl_held) {
+    if (h.mu == mu) {
+      Die("self-relock (non-recursive mutex)", name, rank, "");
+    }
+  }
+  const std::string reverse_stack =
+      tl_held.empty() ? std::string() : RecordEdges(name);
+  if (!reverse_stack.empty()) {
+    Die("acquired-before inversion", name, rank, reverse_stack);
+  }
+  for (const Held& h : tl_held) {
+    if (h.rank >= rank) {
+      Die("rank-order violation", name, rank, reverse_stack);
+    }
+  }
+  tl_held.push_back(Held{mu, name, rank});
+}
+
+void OnRelease(const void* mu) {
+  for (auto it = tl_held.begin(); it != tl_held.end(); ++it) {
+    if (it->mu == mu) {
+      tl_held.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t HeldCount() { return tl_held.size(); }
+
+void ResetGraphForTest() {
+  std::lock_guard<std::mutex> g(g_graph_mu);
+  if (g_edges != nullptr) g_edges->clear();
+}
+
+}  // namespace lock_order
+}  // namespace hermes
+
+#else  // !HERMES_DEBUG_LOCK_ORDER
+
+// The hooks are inline no-ops in the header; this TU is intentionally
+// empty in release builds.
+namespace hermes {
+namespace lock_order {
+namespace {
+[[maybe_unused]] const int kTranslationUnitNotEmpty = 0;
+}  // namespace
+}  // namespace lock_order
+}  // namespace hermes
+
+#endif  // HERMES_DEBUG_LOCK_ORDER

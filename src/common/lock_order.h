@@ -1,0 +1,74 @@
+#ifndef HERMES_COMMON_LOCK_ORDER_H_
+#define HERMES_COMMON_LOCK_ORDER_H_
+
+#include <cstddef>
+
+/// Runtime lock-order validator (DESIGN.md §6 / §8).
+///
+/// Every shared-state Mutex in the repo is constructed with a name and a
+/// rank from the table below; ranks mirror the declared global
+/// acquisition order ("acquire in this order and never the reverse").
+/// When HERMES_DEBUG_LOCK_ORDER is defined (the asan-ubsan and tsan
+/// presets turn it on) each acquisition is checked against a per-thread
+/// held-lock stack — a thread may only acquire a mutex whose rank is
+/// strictly greater than every rank it already holds — and recorded into
+/// a global acquired-before graph so that a rank-table bug that lets two
+/// mutexes invert still gets caught by the observed-edge check. A
+/// violation aborts the process after printing the current thread's
+/// held-lock stack and, when the opposite edge was seen before, the
+/// held-lock stack recorded at that first observation.
+///
+/// Without the flag every hook is an empty inline function and the
+/// annotated Mutex stays the zero-cost veneer documented in
+/// common/thread_annotations.h.
+namespace hermes {
+namespace lock_order {
+
+/// Rank table — the global acquisition order, outermost first. Gaps are
+/// deliberate so future mutexes slot in without renumbering. A thread
+/// holding rank r may only acquire ranks strictly greater than r, so
+/// equal-rank mutexes can never be held together (leaves are therefore
+/// given distinct ranks even though they are never nested).
+inline constexpr int kRankUnranked = -1;       // invisible to the validator
+inline constexpr int kRankCluster = 10;        // HermesCluster::mu_
+inline constexpr int kRankDurableStore = 20;   // DurableGraphStore::mu_
+inline constexpr int kRankWal = 30;            // WriteAheadLog::mu_
+inline constexpr int kRankThreadPool = 40;     // ThreadPool::mu_
+inline constexpr int kRankLockManager = 50;    // LockManager::mu_ (leaf)
+inline constexpr int kRankPageCache = 60;      // PageCache::mu_ (leaf)
+inline constexpr int kRankMetrics = 70;        // MetricsRegistry::mu_ (leaf)
+inline constexpr int kRankTraceLog = 80;       // TraceLog::mu_ (leaf)
+inline constexpr int kRankLogging = 90;        // g_log_mutex (ultimate leaf)
+
+#ifdef HERMES_DEBUG_LOCK_ORDER
+
+/// Called by Mutex immediately before a blocking Lock() (so a would-be
+/// deadlock aborts with the stacks instead of hanging) and after a
+/// successful TryLock(). Aborts on rank inversion, self-relock, or an
+/// acquired-before edge whose reverse was observed earlier.
+void OnAcquire(const void* mu, const char* name, int rank);
+
+/// Called by Mutex after unlocking. Removal is by address anywhere in
+/// the stack: unlock order is not required to be LIFO.
+void OnRelease(const void* mu);
+
+/// Number of ranked locks the calling thread currently holds (test hook).
+std::size_t HeldCount();
+
+/// Drops every recorded acquired-before edge (test hook; the per-thread
+/// stacks are left alone because live locks are still held).
+void ResetGraphForTest();
+
+#else  // !HERMES_DEBUG_LOCK_ORDER
+
+inline void OnAcquire(const void*, const char*, int) {}
+inline void OnRelease(const void*) {}
+inline std::size_t HeldCount() { return 0; }
+inline void ResetGraphForTest() {}
+
+#endif  // HERMES_DEBUG_LOCK_ORDER
+
+}  // namespace lock_order
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_LOCK_ORDER_H_

@@ -9,7 +9,9 @@ namespace hermes {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
-Mutex g_log_mutex;  // serializes line emission to stderr
+// Serializes line emission to stderr. The ultimate lock-order leaf: LOG()
+// must be callable while holding any other mutex in the repo.
+Mutex g_log_mutex{"common.log.mu", lock_order::kRankLogging};
 
 const char* LevelName(LogLevel level) {
   switch (level) {

@@ -104,7 +104,7 @@ class MetricsRegistry {
   void ResetAll() EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"metrics_registry.mu", lock_order::kRankMetrics};
   std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<std::string, Histogram> histograms_ GUARDED_BY(mu_);
@@ -137,7 +137,7 @@ class TraceLog {
   void Clear() EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"trace_log.mu", lock_order::kRankTraceLog};
   std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
   std::size_t next_ GUARDED_BY(mu_) = 0;      // ring write position
   std::uint64_t recorded_ GUARDED_BY(mu_) = 0;

@@ -5,6 +5,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_order.h"
+
 /// Clang thread-safety-analysis annotations plus an annotated Mutex /
 /// MutexLock / CondVar wrapper used by every shared-state class in the
 /// repo (ThreadPool, PageCache, LockManager, WriteAheadLog, ...).
@@ -91,23 +93,46 @@ namespace hermes {
 /// Annotated std::mutex. Lock()/Unlock()/TryLock() carry the acquire /
 /// release attributes; the lowercase BasicLockable aliases let CondVar
 /// (condition_variable_any) release and reacquire it during waits.
+///
+/// Shared-state mutexes are constructed with a name and a rank from the
+/// lock_order table (common/lock_order.h) mirroring DESIGN.md §6's
+/// global acquisition order. Under HERMES_DEBUG_LOCK_ORDER every
+/// acquisition is validated against the per-thread held-lock stack and
+/// the global acquired-before graph; otherwise the hooks compile to
+/// empty inlines and only the two identity fields remain.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  Mutex(const char* name, int rank) : name_(name), rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    lock_order::OnAcquire(this, name_, rank_);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    lock_order::OnRelease(this);
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_order::OnAcquire(this, name_, rank_);
+    return true;
+  }
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
 
   // BasicLockable interface (std::condition_variable_any, std::scoped_lock).
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() ACQUIRE() { Lock(); }
+  void unlock() RELEASE() { Unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return TryLock(); }
 
  private:
   std::mutex mu_;
+  const char* name_ = "<unranked>";
+  int rank_ = lock_order::kRankUnranked;
 };
 
 /// RAII lock over Mutex, visible to the analysis as a scoped capability.

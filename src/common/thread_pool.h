@@ -38,7 +38,7 @@ class ThreadPool {
  private:
   void WorkerLoop() EXCLUDES(mu_);
 
-  Mutex mu_;
+  Mutex mu_{"thread_pool.mu", lock_order::kRankThreadPool};
   CondVar task_available_;
   CondVar all_done_;
   std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);

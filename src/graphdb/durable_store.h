@@ -95,7 +95,7 @@ class DurableGraphStore {
 
   PartitionId partition_id_;
   std::string dir_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"durable_store.mu", lock_order::kRankDurableStore};
   // Guarded by mu_ on every logged-mutation path; the store() accessors
   // expose lock-free reads by documented contract (see class comment).
   std::unique_ptr<GraphStore> store_;

@@ -5,7 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -108,18 +108,33 @@ WeightedGraph Contract(const WeightedGraph& g,
   for (std::uint32_t v = 0; v < n; ++v) {
     coarse.vweights[coarse_of[v]] += g.vweights[v];
   }
-  // Accumulate parallel edges: per-coarse-vertex maps keyed by coarse
-  // neighbor, filled in one pass over the fine vertices.
-  std::vector<std::unordered_map<std::uint32_t, double>> maps(coarse_n);
+  // Accumulate parallel edges per coarse vertex: collect raw
+  // (neighbor, weight) pairs, then sort by neighbor id and merge
+  // duplicates. Sorting makes the coarse adjacency order deterministic
+  // across platforms — it used to follow unordered_map iteration order,
+  // which leaked into heavy-edge-matching tie-breaks (repo_lint's
+  // determinism rule now bans unordered containers here).
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> raw(coarse_n);
   for (std::uint32_t v = 0; v < n; ++v) {
     const std::uint32_t cv = coarse_of[v];
     for (const auto& [u, w] : g.adj[v]) {
       const std::uint32_t cu = coarse_of[u];
-      if (cu != cv) maps[cv][cu] += w;
+      if (cu != cv) raw[cv].emplace_back(cu, w);
     }
   }
   for (std::uint32_t cv = 0; cv < coarse_n; ++cv) {
-    coarse.adj[cv].assign(maps[cv].begin(), maps[cv].end());
+    auto& pairs = raw[cv];
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    auto& out = coarse.adj[cv];
+    out.reserve(pairs.size());
+    for (const auto& [cu, w] : pairs) {
+      if (!out.empty() && out.back().first == cu) {
+        out.back().second += w;
+      } else {
+        out.emplace_back(cu, w);
+      }
+    }
   }
   return coarse;
 }

@@ -70,7 +70,7 @@ class PageCache {
 
   PagedFile* const file_ PT_GUARDED_BY(mu_);
   const std::size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"page_cache.mu", lock_order::kRankPageCache};
   std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_
       GUARDED_BY(mu_);
   std::list<std::uint64_t> lru_ GUARDED_BY(mu_);  // front = most recent

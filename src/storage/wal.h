@@ -107,7 +107,7 @@ class WriteAheadLog {
   WriteAheadLog(std::string path, std::ofstream out, std::uint64_t next_lsn);
 
   std::string path_;  // set at construction, never mutated afterwards
-  mutable Mutex mu_;
+  mutable Mutex mu_{"wal.mu", lock_order::kRankWal};
   std::ofstream out_ GUARDED_BY(mu_);
   std::uint64_t next_lsn_ GUARDED_BY(mu_) = 1;
 

@@ -64,7 +64,7 @@ class LockManager {
     bool has_exclusive = false;
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"lock_manager.mu", lock_order::kRankLockManager};
   CondVar released_;
   std::unordered_map<LockKey, LockState> table_ GUARDED_BY(mu_);
   const std::chrono::milliseconds timeout_;

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py; runs as the `lint_selftest` ctest.
+
+Builds throwaway fixture repos in a temp directory and asserts that the
+lint flags known-bad trees and passes known-good ones. The fixtures pin
+the regressions that motivated rule changes:
+
+  * CMake source-listing must match on the **src-relative path** — a
+    `.cc` sitting in the wrong directory while a same-named entry exists
+    in another module's list used to pass via the bare-name fallback.
+  * The determinism rules must fire on every banned construct inside
+    src/sim and src/partition (std::random_device, rand(), wall/steady
+    clocks, std::unordered_*, pointer-keyed map/set) and stay quiet
+    outside those modules and on `lint:allow(determinism)` lines.
+
+Usage: tests/lint_selftest.py [repo_root]   (exit 0 = all cases pass)
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+LINT = REPO_ROOT / "tools" / "lint.py"
+
+FAILURES = []
+
+
+def run_lint(root):
+    proc = subprocess.run([sys.executable, str(LINT), str(root)],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def write(root, rel, text):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+def guard_header(rel_to_src, body=""):
+    guard = "HERMES_" + rel_to_src.replace("/", "_").replace(".", "_").upper() + "_"
+    return f"#ifndef {guard}\n#define {guard}\n{body}\n#endif  // {guard}\n"
+
+
+def check(name, condition, detail=""):
+    if condition:
+        print(f"  ok: {name}")
+    else:
+        print(f"  FAIL: {name}\n{detail}")
+        FAILURES.append(name)
+
+
+def case_clean_tree_passes():
+    print("case: clean tree passes")
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        write(root, "src/CMakeLists.txt", "add_library(x STATIC common/a.cc)\n")
+        write(root, "src/common/a.cc", "int a() { return 1; }\n")
+        write(root, "src/common/a.h", guard_header("common/a.h", "int a();"))
+        code, out = run_lint(root)
+        check("clean tree exits 0", code == 0, out)
+
+
+def case_wrong_directory_cc_is_flagged():
+    """Regression: `cc.name in listed` used to let a file in the wrong
+    directory (or covered only by a stale same-named entry) pass."""
+    print("case: wrong-directory .cc no longer passes via bare-name match")
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        # CMake lists common/a.cc, but the file actually lives in
+        # src/storage/. The basename matches; the src-relative path does
+        # not — this must be a finding.
+        write(root, "src/CMakeLists.txt", "add_library(x STATIC common/a.cc)\n")
+        write(root, "src/storage/a.cc", "int a() { return 1; }\n")
+        code, out = run_lint(root)
+        check("wrong-directory .cc exits 1", code == 1, out)
+        check("finding names the unlisted path",
+              "src/storage/a.cc: not listed" in out, out)
+
+
+def case_determinism_rules_fire():
+    print("case: determinism rules fire in src/sim and src/partition")
+    bad = """
+#include <chrono>
+#include <random>
+#include <unordered_map>
+inline unsigned Seed() { return std::random_device{}(); }
+inline int Legacy() { return rand(); }
+inline long Wall() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+inline std::unordered_map<int, int> table;
+inline std::map<int*, int> by_pointer;
+"""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        write(root, "src/CMakeLists.txt", "\n")
+        write(root, "src/sim/bad.h", guard_header("sim/bad.h", bad))
+        code, out = run_lint(root)
+        check("nondeterministic sim header exits 1", code == 1, out)
+        for needle in ("std::random_device", "rand()/srand()",
+                       "wall/steady clock", "std::unordered_*",
+                       "pointer-keyed map/set"):
+            check(f"flags {needle!r}", needle in out, out)
+
+
+def case_determinism_scope_and_suppression():
+    print("case: determinism rules respect module scope and the allow marker")
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        write(root, "src/CMakeLists.txt", "\n")
+        # Same banned tokens, but in src/graphdb — out of scope.
+        write(root, "src/graphdb/ok.h", guard_header(
+            "graphdb/ok.h",
+            "#include <unordered_map>\ninline std::unordered_map<int,int> m;"))
+        # In scope, but with an audited suppression on the line.
+        write(root, "src/partition/audited.h", guard_header(
+            "partition/audited.h",
+            "#include <unordered_map>\n"
+            "inline std::unordered_map<int, int> members_only;  "
+            "// lint:allow(determinism) membership checks only, never iterated"))
+        code, out = run_lint(root)
+        check("out-of-scope and suppressed uses exit 0", code == 0, out)
+
+
+def case_repo_itself_is_clean():
+    print("case: the repo itself lints clean")
+    code, out = run_lint(REPO_ROOT)
+    check("repo exits 0", code == 0, out)
+
+
+def main():
+    for case in (case_clean_tree_passes,
+                 case_wrong_directory_cc_is_flagged,
+                 case_determinism_rules_fire,
+                 case_determinism_scope_and_suppression,
+                 case_repo_itself_is_clean):
+        case()
+    if FAILURES:
+        print(f"lint_selftest: {len(FAILURES)} case(s) FAILED: {FAILURES}")
+        return 1
+    print("lint_selftest: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

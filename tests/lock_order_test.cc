@@ -1,0 +1,220 @@
+// Tests for the runtime lock-order validator (src/common/lock_order.*).
+//
+// The validator is compiled in only under HERMES_DEBUG_LOCK_ORDER (the
+// asan-ubsan and tsan presets enable it); in release builds the hooks
+// are no-ops and the death tests GTEST_SKIP so the suite stays green in
+// every preset. The deliberate-inversion test checks the acceptance
+// criterion verbatim: the abort message names both lock stacks — the
+// acquiring thread's held stack and the stack recorded when the
+// opposite acquisition order was first observed.
+
+#include "common/lock_order.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "txn/lock_manager.h"
+
+namespace hermes {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(LockOrderTest, MutexCarriesNameAndRank) {
+  Mutex mu("test.named.mu", lock_order::kRankPageCache);
+  EXPECT_STREQ(mu.name(), "test.named.mu");
+  EXPECT_EQ(mu.rank(), lock_order::kRankPageCache);
+
+  Mutex plain;
+  EXPECT_STREQ(plain.name(), "<unranked>");
+  EXPECT_EQ(plain.rank(), lock_order::kRankUnranked);
+}
+
+TEST(LockOrderTest, RankedAcquisitionInDeclaredOrderSucceeds) {
+  lock_order::ResetGraphForTest();
+  Mutex outer("test.order.outer", 11);
+  Mutex middle("test.order.middle", 21);
+  Mutex inner("test.order.inner", 31);
+
+  outer.Lock();
+  middle.Lock();
+  inner.Lock();
+#ifdef HERMES_DEBUG_LOCK_ORDER
+  EXPECT_EQ(lock_order::HeldCount(), 3u);
+#else
+  EXPECT_EQ(lock_order::HeldCount(), 0u);
+#endif
+  // Out-of-LIFO release order is legal; only acquisition order is ranked.
+  middle.Unlock();
+  outer.Unlock();
+  inner.Unlock();
+  EXPECT_EQ(lock_order::HeldCount(), 0u);
+}
+
+TEST(LockOrderTest, UnrankedMutexIsInvisibleToTheValidator) {
+  Mutex plain;
+  plain.Lock();
+  EXPECT_EQ(lock_order::HeldCount(), 0u);
+  plain.Unlock();
+}
+
+TEST(LockOrderTest, TryLockTracksOnlySuccessfulAcquisitions) {
+  lock_order::ResetGraphForTest();
+  Mutex mu("test.trylock.mu", 12);
+  mu.Lock();
+  std::thread contender([&] {
+    EXPECT_FALSE(mu.TryLock());
+    EXPECT_EQ(lock_order::HeldCount(), 0u);  // failed try must not track
+  });
+  contender.join();
+  mu.Unlock();
+
+  ASSERT_TRUE(mu.TryLock());
+#ifdef HERMES_DEBUG_LOCK_ORDER
+  EXPECT_EQ(lock_order::HeldCount(), 1u);
+#endif
+  mu.Unlock();
+  EXPECT_EQ(lock_order::HeldCount(), 0u);
+}
+
+#ifdef HERMES_DEBUG_LOCK_ORDER
+
+using LockOrderDeathTest = ::testing::Test;
+
+TEST(LockOrderDeathTest, DeliberateInversionAbortsWithBothStacks) {
+  lock_order::ResetGraphForTest();
+  Mutex outer("test.death.outer", 13);
+  Mutex inner("test.death.inner", 23);
+
+  // Seed the acquired-before graph with the legal order outer -> inner.
+  outer.Lock();
+  inner.Lock();
+  inner.Unlock();
+  outer.Unlock();
+
+  // The reverse order must abort, printing the acquiring thread's held
+  // stack (inner) and the recorded stack of the first observation
+  // (outer). Matched in two death assertions because the message spans
+  // lines.
+  EXPECT_DEATH(
+      {
+        inner.Lock();
+        outer.Lock();
+      },
+      "inversion acquiring test\\.death\\.outer");
+  EXPECT_DEATH(
+      {
+        inner.Lock();
+        outer.Lock();
+      },
+      "this thread holds: test\\.death\\.inner\\(rank 23\\)");
+  EXPECT_DEATH(
+      {
+        inner.Lock();
+        outer.Lock();
+      },
+      "opposite order first seen holding: test\\.death\\.outer\\(rank 13\\)");
+}
+
+TEST(LockOrderDeathTest, RankOrderViolationAbortsWithHeldStack) {
+  lock_order::ResetGraphForTest();
+  Mutex low("test.rank.low", 14);
+  Mutex high("test.rank.high", 24);
+  EXPECT_DEATH(
+      {
+        high.Lock();
+        low.Lock();
+      },
+      "rank-order violation acquiring test\\.rank\\.low \\(rank 14\\)");
+}
+
+TEST(LockOrderDeathTest, EqualRankPairAborts) {
+  lock_order::ResetGraphForTest();
+  Mutex a("test.equal.a", 16);
+  Mutex b("test.equal.b", 16);
+  EXPECT_DEATH(
+      {
+        a.Lock();
+        b.Lock();
+      },
+      "rank-order violation acquiring test\\.equal\\.b");
+}
+
+TEST(LockOrderDeathTest, SelfRelockAborts) {
+  lock_order::ResetGraphForTest();
+  Mutex mu("test.relock.mu", 17);
+  EXPECT_DEATH(
+      {
+        mu.Lock();
+        mu.Lock();
+      },
+      "self-relock \\(non-recursive mutex\\) acquiring test\\.relock\\.mu");
+}
+
+#else  // !HERMES_DEBUG_LOCK_ORDER
+
+TEST(LockOrderDeathTest, SkippedWithoutValidator) {
+  GTEST_SKIP() << "HERMES_DEBUG_LOCK_ORDER is off in this preset; the "
+                  "asan-ubsan and tsan presets exercise the death tests";
+}
+
+#endif  // HERMES_DEBUG_LOCK_ORDER
+
+// --- LockManager timeout paths under the validator -----------------------
+// LockManager::mu_ is ranked (kRankLockManager); its CondVar::WaitUntil
+// releases and reacquires the annotated mutex through the instrumented
+// lock()/unlock() path, so every timeout and handoff below runs through
+// the validator's push/pop. These run in every preset; under the
+// sanitizer presets they double as validator soak tests.
+
+TEST(LockOrderLockManagerTest, TimeoutPathBalancesHeldStack) {
+  LockManager locks(milliseconds(30));
+  ASSERT_TRUE(locks.AcquireExclusive(1, 0xA).ok());
+  Status s;
+  std::thread blocked([&] {
+    s = locks.AcquireExclusive(2, 0xA);
+    EXPECT_EQ(lock_order::HeldCount(), 0u);  // wait churn must balance
+  });
+  blocked.join();
+  EXPECT_TRUE(s.IsTimedOut());
+  locks.Release(1, 0xA);
+  EXPECT_EQ(lock_order::HeldCount(), 0u);
+}
+
+TEST(LockOrderLockManagerTest, TimeoutUnderOuterClusterRankLock) {
+  // HermesCluster acquires record locks while holding cluster.mu_; the
+  // declared order cluster(10) -> lock_manager(50) must hold through
+  // both the success and the timeout path.
+  lock_order::ResetGraphForTest();
+  Mutex outer("test.cluster_like.mu", lock_order::kRankCluster);
+  LockManager locks(milliseconds(25));
+  ASSERT_TRUE(locks.AcquireExclusive(7, 42).ok());
+
+  outer.Lock();
+  Status s = locks.AcquireExclusive(8, 42);  // waits under outer, times out
+  EXPECT_TRUE(s.IsTimedOut());
+  EXPECT_TRUE(locks.AcquireShared(7, 42).ok());  // re-entrant success path
+  outer.Unlock();
+  EXPECT_EQ(lock_order::HeldCount(), 0u);
+}
+
+TEST(LockOrderLockManagerTest, HandoffBeforeTimeoutReacquiresCleanly) {
+  LockManager locks(milliseconds(500));
+  ASSERT_TRUE(locks.AcquireExclusive(1, 0xF).ok());
+  Status s;
+  std::thread waiter([&] { s = locks.AcquireExclusive(2, 0xF); });
+  std::this_thread::sleep_for(milliseconds(30));
+  locks.Release(1, 0xF);
+  waiter.join();
+  EXPECT_TRUE(s.ok());
+  locks.Release(2, 0xF);
+  EXPECT_EQ(locks.NumLockedKeys(), 0u);
+  EXPECT_EQ(lock_order::HeldCount(), 0u);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -122,6 +122,43 @@ TEST(TraceLogTest, RingOverwritesOldestAndCountsDrops) {
   EXPECT_EQ(events.back().start_us, total - 1);
 }
 
+TEST(TraceLogTest, MultipleFullWraparoundsKeepOrderAndDropCount) {
+  // Wrap the 4096-slot ring twice and a bit: the buffer must hold
+  // exactly the newest kCapacity events in oldest-first order, with
+  // every older record counted as dropped and the write position
+  // mid-ring (total % kCapacity != 0 exercises the unaligned case).
+  auto& log = TraceLog::Global();
+  log.Clear();
+  const std::size_t total = 2 * TraceLog::kCapacity + 123;
+  for (std::size_t i = 0; i < total; ++i) {
+    log.Record("obs_test.wrap", i, 1);
+  }
+  const auto events = log.Events();
+  ASSERT_EQ(events.size(), TraceLog::kCapacity);
+  EXPECT_EQ(log.total_recorded(), total);
+  EXPECT_EQ(log.dropped(), total - TraceLog::kCapacity);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].start_us, total - TraceLog::kCapacity + i);
+  }
+}
+
+TEST(TraceLogTest, ClearResetsRingDropsAndTotals) {
+  auto& log = TraceLog::Global();
+  log.Clear();
+  for (std::size_t i = 0; i < TraceLog::kCapacity + 5; ++i) {
+    log.Record("obs_test.clear", i, 1);
+  }
+  ASSERT_GT(log.dropped(), 0u);
+  log.Clear();
+  EXPECT_TRUE(log.Events().empty());
+  EXPECT_EQ(log.total_recorded(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  // The ring keeps working after a mid-life Clear().
+  log.Record("obs_test.clear", 7, 1);
+  ASSERT_EQ(log.Events().size(), 1u);
+  EXPECT_EQ(log.Events()[0].start_us, 7u);
+}
+
 TEST(ClusterMetricsTest, SnapshotExposesClusterCountersAndGauges) {
   MetricsRegistry::Global().ResetAll();
   SocialGraphOptions gopt;

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Include-graph layering checker; runs as the `layering_check` ctest.
+
+Hermes's module table (DESIGN.md §3) implies a strict layer DAG:
+
+    common -> graph/storage -> gen/txn/sim -> graphdb/partition
+           -> cluster -> workload
+
+`tools/layers.json` declares that DAG as ranked layers. This script
+parses every ``#include "..."`` edge over ``src/`` and rejects:
+
+  * **upward or sideways edges** — a file in module M may include only
+    headers from M itself or from a module in a strictly lower layer;
+  * **unknown modules** — every first-level directory under src/ must be
+    declared in the manifest (so new modules get placed deliberately);
+  * **include cycles** — any cycle in the file-level include graph is
+    reported with the full offending chain, even when the modules
+    involved would be rank-legal.
+
+For each violation the offending include chain is printed: the
+``file:line`` of the bad edge plus, when the edge is only reachable
+through other headers, a shortest ``a.cc -> b.h -> c.h`` chain from a
+translation unit so the fix site is obvious.
+
+Usage: tools/layering_check.py [repo_root]   (exit 0 = clean, 1 = findings)
+"""
+
+import json
+import re
+import sys
+from collections import deque
+from pathlib import Path
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def load_manifest(root):
+    manifest = json.loads((root / "tools" / "layers.json").read_text())
+    rank_of = {}
+    for layer in manifest["layers"]:
+        for module in layer["modules"]:
+            rank_of[module] = layer["rank"]
+    return rank_of
+
+
+def module_of(rel_to_src):
+    return rel_to_src.split("/", 1)[0] if "/" in rel_to_src else None
+
+
+def parse_includes(root):
+    """Returns {src-relative path: [(line_no, included src-relative path)]}."""
+    src = root / "src"
+    edges = {}
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(src).as_posix()
+        out = []
+        for i, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if m and (src / m.group(1)).exists():
+                out.append((i, m.group(1)))
+        edges[rel] = out
+    return edges
+
+
+def shortest_chain(edges, target):
+    """Shortest include chain from any .cc translation unit to `target`
+    (so a violation inside a header is traced back to code that compiles
+    it). Returns a list of files, or None when the target IS a TU."""
+    if target.endswith(".cc"):
+        return None
+    best = None
+    for start in edges:
+        if not start.endswith(".cc"):
+            continue
+        prev = {start: None}
+        queue = deque([start])
+        while queue:
+            cur = queue.popleft()
+            if cur == target:
+                chain = []
+                while cur is not None:
+                    chain.append(cur)
+                    cur = prev[cur]
+                chain.reverse()
+                if best is None or len(chain) < len(best):
+                    best = chain
+                break
+            for _, inc in edges.get(cur, []):
+                if inc not in prev:
+                    prev[inc] = cur
+                    queue.append(inc)
+    return best
+
+
+def check_layering(edges, rank_of, findings):
+    for rel in sorted(edges):
+        mod = module_of(rel)
+        if mod is None:
+            continue
+        if mod not in rank_of:
+            findings.append(
+                f"src/{rel}: module '{mod}' is not declared in tools/layers.json")
+            continue
+        for line_no, inc in edges[rel]:
+            imod = module_of(inc)
+            if imod is None or imod == mod:
+                continue
+            if imod not in rank_of:
+                findings.append(
+                    f"src/{rel}:{line_no}: includes \"{inc}\" from module "
+                    f"'{imod}' which is not declared in tools/layers.json")
+                continue
+            if rank_of[imod] >= rank_of[mod]:
+                kind = ("upward" if rank_of[imod] > rank_of[mod]
+                        else "sideways (same layer)")
+                msg = (f"src/{rel}:{line_no}: {kind} include of \"{inc}\" — "
+                       f"module '{mod}' (layer {rank_of[mod]}) may not depend "
+                       f"on '{imod}' (layer {rank_of[imod]})")
+                chain = shortest_chain(edges, rel)
+                if chain and len(chain) > 1:
+                    msg += "\n      via " + " -> ".join(
+                        f"src/{f}" for f in chain)
+                findings.append(msg)
+
+
+def check_cycles(edges, findings):
+    # Iterative DFS with colour marking; reports each back-edge's cycle.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {f: WHITE for f in edges}
+    seen_cycles = set()
+
+    def dfs(start):
+        stack = [(start, iter(edges.get(start, [])))]
+        colour[start] = GREY
+        path = [start]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for _, inc in it:
+                if colour.get(inc, BLACK) == GREY:
+                    cycle = tuple(path[path.index(inc):] + [inc])
+                    if frozenset(cycle) not in seen_cycles:
+                        seen_cycles.add(frozenset(cycle))
+                        findings.append(
+                            "include cycle: " +
+                            " -> ".join(f"src/{f}" for f in cycle))
+                elif colour.get(inc, BLACK) == WHITE:
+                    colour[inc] = GREY
+                    stack.append((inc, iter(edges.get(inc, []))))
+                    path.append(inc)
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+                path.pop()
+
+    for f in sorted(edges):
+        if colour[f] == WHITE:
+            dfs(f)
+
+
+def main(argv):
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    if not (root / "src").is_dir():
+        print(f"layering_check.py: no src/ directory under {root}",
+              file=sys.stderr)
+        return 2
+
+    rank_of = load_manifest(root)
+    edges = parse_includes(root)
+    findings = []
+    check_layering(edges, rank_of, findings)
+    check_cycles(edges, findings)
+
+    if findings:
+        print(f"layering_check.py: {len(findings)} finding(s):")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    n_edges = sum(len(v) for v in edges.values())
+    print(f"layering_check.py: clean ({len(edges)} files, {n_edges} include "
+          f"edges, {len(rank_of)} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,11 +13,26 @@ Checks (all over `src/`, the shipped library code):
      src/common/thread_annotations.h — shared state must use the annotated
      Mutex/MutexLock/CondVar wrappers so clang -Wthread-safety sees it.
   4. build completeness: every ``.cc`` under src/ is listed in a
-     CMakeLists.txt, so nothing silently drops out of the library.
+     CMakeLists.txt **by its src-relative path** (basename matches are
+     not accepted: a file in the wrong directory, or a stale same-named
+     entry, must not satisfy the check), so nothing silently drops out
+     of the library.
   5. metrics discipline: no ad-hoc ``std::atomic`` members outside the
      metrics registry (src/common/metrics.h) and the few pre-existing
      ID/log-level atomics — counters belong in MetricsRegistry so they
      show up in MetricsSnapshot() and the BENCH_*.json reports.
+  6. determinism (src/sim and src/partition only): the paper's
+     evaluation is reproducible because the simulator and the
+     repartitioners are deterministic, so inside those modules the lint
+     bans nondeterminism sources outright — ``std::random_device``,
+     ``rand()``/``srand()``, wall/steady clocks
+     (``system_clock``/``steady_clock``/``high_resolution_clock``,
+     ``time(nullptr)``), any ``std::unordered_*`` container (iteration
+     order is implementation-defined and has already leaked into
+     tie-breaks once; use sorted containers or sort before iterating),
+     and pointer-keyed ``map``/``set`` (iteration order = allocation
+     order). A line may carry ``// lint:allow(determinism)`` after an
+     audited review to suppress, stating why.
 
 Usage: tools/lint.py [repo_root]   (exit 0 = clean, 1 = findings)
 """
@@ -40,7 +55,12 @@ IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
 DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
 PREPROC_COND_RE = re.compile(r"^\s*#\s*(if|ifdef|ifndef)\b")
 
-ALLOWED_RAW_SYNC = {Path("src/common/thread_annotations.h")}
+ALLOWED_RAW_SYNC = {
+    Path("src/common/thread_annotations.h"),
+    # The lock-order validator cannot use the annotated Mutex it
+    # instruments (it would recurse into its own hooks).
+    Path("src/common/lock_order.cc"),
+}
 
 # Ad-hoc atomics hide state from the observability layer; new counters and
 # gauges go through MetricsRegistry (src/common/metrics.h). The allowlist
@@ -127,10 +147,53 @@ def check_cmake_lists_all_sources(root, findings):
         cmake_text += cmake.read_text(encoding="utf-8")
     listed = set(re.findall(r"[\w./-]+\.cc\b", cmake_text))
     for cc in sorted((root / "src").rglob("*.cc")):
+        # Match on the src-relative path only. A bare-name fallback would
+        # let a file in the wrong directory (or a stale same-named entry
+        # in another module's list) pass — tests/lint_selftest.py keeps a
+        # regression fixture for exactly that.
         rel_to_src = cc.relative_to(root / "src").as_posix()
-        if rel_to_src not in listed and cc.name not in listed:
+        if rel_to_src not in listed:
             findings.append(
-                f"src/{rel_to_src}: not listed in any src/ CMakeLists.txt")
+                f"src/{rel_to_src}: not listed in any src/ CMakeLists.txt "
+                "(sources must be listed by src-relative path)")
+
+
+# --- determinism rules (src/sim, src/partition) ---------------------------
+# DESIGN.md's evaluation claims depend on the simulator and repartitioners
+# being bit-reproducible; these modules may draw randomness only through
+# the seeded common/rng.h generators and may never observe real time.
+DETERMINISM_DIRS = ("src/sim", "src/partition")
+ALLOW_DETERMINISM_MARKER = "lint:allow(determinism)"
+NONDET_TOKEN_RES = [
+    (re.compile(r"std::random_device\b"),
+     "std::random_device — seed from options/Rng, never from entropy"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("),
+     "rand()/srand() — use the seeded common/rng.h generators"),
+    (re.compile(r"\b(system_clock|steady_clock|high_resolution_clock)\b"),
+     "wall/steady clock — simulated components must use SimTime"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "time() — simulated components must use SimTime"),
+    (re.compile(r"std::unordered_(map|set|multimap|multiset)\b"),
+     "std::unordered_* — iteration order is implementation-defined and "
+     "leaks into tie-breaks; use a sorted container or sort before "
+     "iterating"),
+    (re.compile(r"\b(map|set)\s*<[^<>,]*\*\s*[,>]"),
+     "pointer-keyed map/set — iteration order follows allocation "
+     "addresses; key by a stable id instead"),
+]
+
+
+def check_determinism(rel, text, findings):
+    rel_posix = rel.as_posix()
+    if not any(rel_posix.startswith(d + "/") for d in DETERMINISM_DIRS):
+        return
+    raw_lines = text.splitlines()
+    for i, line in enumerate(strip_comments(text).splitlines(), 1):
+        if i <= len(raw_lines) and ALLOW_DETERMINISM_MARKER in raw_lines[i - 1]:
+            continue
+        for token_re, why in NONDET_TOKEN_RES:
+            if token_re.search(line):
+                findings.append(f"{rel}:{i}: nondeterminism: {why}")
 
 
 def main(argv):
@@ -152,6 +215,7 @@ def main(argv):
             check_header_hygiene(rel, lines, findings)
         check_raw_sync(rel, text, findings)
         check_adhoc_atomics(rel, text, findings)
+        check_determinism(rel, text, findings)
     check_cmake_lists_all_sources(root, findings)
 
     if findings:
