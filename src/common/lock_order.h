@@ -36,6 +36,7 @@ inline constexpr int kRankWal = 30;            // WriteAheadLog::mu_
 inline constexpr int kRankThreadPool = 40;     // ThreadPool::mu_
 inline constexpr int kRankLockManager = 50;    // LockManager::mu_ (leaf)
 inline constexpr int kRankPageCache = 60;      // PageCache::mu_ (leaf)
+inline constexpr int kRankFailpoint = 65;      // FailpointRegistry::mu_
 inline constexpr int kRankMetrics = 70;        // MetricsRegistry::mu_ (leaf)
 inline constexpr int kRankTraceLog = 80;       // TraceLog::mu_ (leaf)
 inline constexpr int kRankLogging = 90;        // g_log_mutex (ultimate leaf)

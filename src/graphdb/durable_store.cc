@@ -1,5 +1,6 @@
 #include "graphdb/durable_store.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include <cstdint>
@@ -7,17 +8,22 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/failpoint.h"
+
 namespace hermes {
 
 namespace {
 
-constexpr std::uint64_t kSnapshotMagic = 0x4845524d45533032ULL;  // "HERMES02"
+constexpr std::uint64_t kSnapshotMagic = 0x4845524d45533033ULL;  // "HERMES03"
 
 // Snapshot I/O goes through the page cache (storage/page_cache.h) so bulk
 // store reads/writes exercise the buffer-management layer like any other
 // store file. Header layout on page 0: [magic u64][partition u32]
-// [pad u32][content_length u64], content follows at byte 24.
-constexpr std::uint64_t kSnapshotHeaderBytes = 24;
+// [pad u32][content_length u64][covered_lsn u64], content follows at
+// byte 32. The covered LSN makes recovery safe when a crash lands between
+// the snapshot rename and the WAL truncation: entries at or below it are
+// already reflected in the snapshot and must not be replayed.
+constexpr std::uint64_t kSnapshotHeaderBytes = 32;
 constexpr std::size_t kSnapshotCachePages = 64;
 
 void WriteU64(PagedWriter& out, std::uint64_t v) {
@@ -73,7 +79,8 @@ bool ReadProperties(PagedReader& in, Properties* props) {
 }  // namespace
 
 Status DurableGraphStore::WriteSnapshot(const GraphStore& store,
-                                        const std::string& path) {
+                                        const std::string& path,
+                                        std::uint64_t covered_lsn) {
   // Write to a temp file then rename for atomicity.
   const std::string tmp = path + ".tmp";
   std::remove(tmp.c_str());
@@ -88,6 +95,7 @@ Status DurableGraphStore::WriteSnapshot(const GraphStore& store,
     WriteU32(out, 0);       // partition
     WriteU32(out, 0);       // pad
     WriteU64(out, zero64);  // content length
+    WriteU64(out, zero64);  // covered LSN
 
     const auto nodes = store.DumpNodes();
     WriteU64(out, nodes.size());
@@ -103,7 +111,14 @@ Status DurableGraphStore::WriteSnapshot(const GraphStore& store,
       WriteU64(out, r.src);
       WriteU64(out, r.dst);
       WriteU32(out, r.type);
-      WriteU32(out, r.ghost ? 1 : 0);
+      // Chain linkage must be persisted, not inferred: after a node is
+      // removed and its id re-created, both endpoints of a leftover half
+      // record exist again, and endpoint existence would wrongly
+      // reconstruct it as a full edge.
+      const std::uint32_t flags = (r.ghost ? 1u : 0u) |
+                                  (r.src_linked ? 2u : 0u) |
+                                  (r.dst_linked ? 4u : 0u);
+      WriteU32(out, flags);
       WriteProperties(out, r.properties);
     }
     const std::uint64_t total = out.position();
@@ -116,9 +131,13 @@ Status DurableGraphStore::WriteSnapshot(const GraphStore& store,
     std::memcpy(header->bytes.data(), &kSnapshotMagic, sizeof(std::uint64_t));
     std::memcpy(header->bytes.data() + 8, &partition, sizeof(partition));
     std::memcpy(header->bytes.data() + 16, &content, sizeof(content));
+    std::memcpy(header->bytes.data() + 24, &covered_lsn, sizeof(covered_lsn));
     cache.Unpin(0, /*dirty=*/true);
     HERMES_RETURN_NOT_OK(cache.FlushAll());
   }
+  // Crash with the complete snapshot in the temp file but not yet
+  // renamed: recovery must fall back to the previous snapshot + log.
+  HERMES_FAILPOINT_CRASH("durable_store.snapshot.rename.crash");
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::IOError("snapshot rename failed");
   }
@@ -126,7 +145,8 @@ Status DurableGraphStore::WriteSnapshot(const GraphStore& store,
 }
 
 Status DurableGraphStore::LoadSnapshot(const std::string& path,
-                                       GraphStore* store) {
+                                       GraphStore* store,
+                                       std::uint64_t* covered_lsn) {
   if (!std::filesystem::exists(path)) {
     return Status::NotFound("no snapshot at " + path);
   }
@@ -138,11 +158,13 @@ Status DurableGraphStore::LoadSnapshot(const std::string& path,
   std::uint32_t partition = 0;
   std::uint32_t pad = 0;
   std::uint64_t content_length = 0;
+  std::uint64_t covered = 0;
   if (!ReadU64(in, &magic) || magic != kSnapshotMagic ||
       !ReadU32(in, &partition) || !ReadU32(in, &pad) ||
-      !ReadU64(in, &content_length)) {
+      !ReadU64(in, &content_length) || !ReadU64(in, &covered)) {
     return Status::IOError("bad snapshot header");
   }
+  if (covered_lsn != nullptr) *covered_lsn = covered;
 
   std::uint64_t node_count = 0;
   if (!ReadU64(in, &node_count)) return Status::IOError("truncated snapshot");
@@ -169,29 +191,33 @@ Status DurableGraphStore::LoadSnapshot(const std::string& path,
     std::uint64_t src = 0;
     std::uint64_t dst = 0;
     std::uint32_t type = 0;
-    std::uint32_t ghost = 0;
+    std::uint32_t flags = 0;
     Properties props;
     if (!ReadU64(in, &src) || !ReadU64(in, &dst) || !ReadU32(in, &type) ||
-        !ReadU32(in, &ghost) || !ReadProperties(in, &props)) {
+        !ReadU32(in, &flags) || !ReadProperties(in, &props)) {
       return Status::IOError("truncated snapshot (relationships)");
     }
-    // Full records have both endpoints locally; half records exactly one.
-    const bool src_local = store->NodeExists(src);
-    const bool dst_local = store->NodeExists(dst);
+    // flags: bit0 ghost, bit1 linked into src's chain, bit2 into dst's.
+    // Full records are linked into both; half records into exactly the
+    // one recorded here (the other endpoint may well exist locally — see
+    // WriteSnapshot). AddEdge recomputes the ghost bit for half records
+    // from the same id rule that produced the dumped value.
+    const bool src_linked = (flags & 2u) != 0;
+    const bool dst_linked = (flags & 4u) != 0;
     Result<RecordId> added = Status::Internal("unset");
-    if (src_local && dst_local) {
+    if (src_linked && dst_linked) {
       added = store->AddEdge(src, dst, type, /*other_is_local=*/true);
-    } else if (src_local) {
+    } else if (src_linked) {
       added = store->AddEdge(src, dst, type, /*other_is_local=*/false);
-    } else if (dst_local) {
+    } else if (dst_linked) {
       added = store->AddEdge(dst, src, type, /*other_is_local=*/false);
     } else {
-      return Status::IOError("snapshot relationship with no local endpoint");
+      return Status::IOError("snapshot relationship linked to no chain");
     }
     HERMES_RETURN_NOT_OK(added.status());
     for (const auto& [key, value] : props) {
-      const Status st = store->SetEdgeProperty(src_local ? src : dst,
-                                               src_local ? dst : src, key,
+      const Status st = store->SetEdgeProperty(src_linked ? src : dst,
+                                               src_linked ? dst : src, key,
                                                value);
       if (!st.ok() && !st.IsInvalidArgument()) return st;  // ghost: no props
     }
@@ -203,23 +229,79 @@ Status DurableGraphStore::LoadSnapshot(const std::string& path,
 }
 
 Status DurableGraphStore::Replay(const WalEntry& e, GraphStore* store) {
+  // Precheck() keeps rejected mutations out of the log and the snapshot's
+  // covered LSN keeps already-applied entries out of replay, so a store
+  // rejection here almost always means real divergence. The one tolerated
+  // case: an AlreadyExists whose payload provably matches the current
+  // state (e.g. a pre-v3 log tail overlapping its snapshot) — anything
+  // else must surface instead of hiding behind a blanket tolerance.
   switch (e.type) {
-    case WalOpType::kCreateNode:
-      return store->CreateNode(e.a, e.weight);
+    case WalOpType::kCreateNode: {
+      const Status st = store->CreateNode(e.a, e.weight);
+      if (!st.IsAlreadyExists()) return st;
+      const Result<double> weight = store->NodeWeight(e.a);
+      if (weight.ok() && *weight == e.weight) return Status::OK();
+      return Status::IOError(
+          "replay: kCreateNode collides with an existing node of "
+          "different weight (corrupt log or replay bug)");
+    }
     case WalOpType::kRemoveNode:
       return store->RemoveNode(e.a);
     case WalOpType::kSetNodeState:
       return store->SetNodeState(e.a, static_cast<NodeState>(e.flag));
     case WalOpType::kAddNodeWeight:
       return store->AddNodeWeight(e.a, e.weight);
-    case WalOpType::kAddEdge:
-      return store->AddEdge(e.a, e.b, e.key, e.flag != 0).status();
+    case WalOpType::kAddEdge: {
+      const Status st = store->AddEdge(e.a, e.b, e.key, e.flag != 0).status();
+      if (!st.IsAlreadyExists()) return st;
+      if (store->FindEdge(e.a, e.b).ok()) return Status::OK();
+      return Status::IOError(
+          "replay: kAddEdge rejected but the edge is not present "
+          "(corrupt log or replay bug)");
+    }
     case WalOpType::kRemoveEdge:
       return store->RemoveEdge(e.a, e.b);
     case WalOpType::kSetNodeProperty:
       return store->SetNodeProperty(e.a, e.key, e.payload);
     case WalOpType::kSetEdgeProperty:
       return store->SetEdgeProperty(e.a, e.b, e.key, e.payload);
+    case WalOpType::kCheckpoint:
+      return Status::OK();
+  }
+  return Status::Internal("unknown WAL entry type");
+}
+
+Status DurableGraphStore::Precheck(const WalEntry& e, const GraphStore& s) {
+  switch (e.type) {
+    case WalOpType::kCreateNode:
+      if (s.NodeExists(e.a)) return Status::AlreadyExists("node exists");
+      return Status::OK();
+    case WalOpType::kRemoveNode:
+    case WalOpType::kSetNodeState:
+    case WalOpType::kAddNodeWeight:
+    case WalOpType::kSetNodeProperty:
+      if (!s.NodeExists(e.a)) return Status::NotFound("no such node");
+      return Status::OK();
+    case WalOpType::kAddEdge:
+      if (e.a == e.b) return Status::InvalidArgument("self-loops rejected");
+      if (!s.NodeExists(e.a)) return Status::NotFound("no such node");
+      if (s.FindEdge(e.a, e.b).ok()) {
+        return Status::AlreadyExists("edge exists");
+      }
+      if (e.flag != 0 && !s.NodeExists(e.b)) {
+        return Status::NotFound("local other endpoint missing");
+      }
+      return Status::OK();
+    case WalOpType::kRemoveEdge:
+      return s.FindEdge(e.a, e.b).status();
+    case WalOpType::kSetEdgeProperty: {
+      const Result<bool> ghost = s.EdgeIsGhost(e.a, e.b);
+      if (!ghost.ok()) return ghost.status();
+      if (*ghost) {
+        return Status::InvalidArgument("ghost edges carry no properties");
+      }
+      return Status::OK();
+    }
     case WalOpType::kCheckpoint:
       return Status::OK();
   }
@@ -233,23 +315,32 @@ Result<std::unique_ptr<DurableGraphStore>> DurableGraphStore::Open(
   const std::string wal_path = dir + "/wal.log";
 
   // 1. Latest snapshot (if any).
-  const Status snap = LoadSnapshot(snapshot_path, store.get());
+  std::uint64_t covered_lsn = 0;
+  const Status snap = LoadSnapshot(snapshot_path, store.get(), &covered_lsn);
   if (!snap.ok() && !snap.IsNotFound()) return snap;
 
-  // 2. Replay the log tail after the last checkpoint. A missing log just
-  // means a fresh store.
+  // 2. Replay the log tail after the last checkpoint, skipping entries
+  // the snapshot already covers (a crash between the snapshot rename and
+  // the log truncation leaves both on disk). A missing log just means a
+  // fresh store; any other replay failure is real divergence and aborts
+  // recovery (see Replay for the one verified tolerance).
   auto entries = WriteAheadLog::ReadAll(wal_path,
                                         /*after_last_checkpoint=*/true);
   if (entries.ok()) {
     for (const WalEntry& e : *entries) {
+      if (e.lsn <= covered_lsn) continue;
       const Status st = Replay(e, store.get());
-      // Replay is idempotent-ish: an entry already reflected in the
-      // snapshot (log not yet truncated) may fail with AlreadyExists.
-      if (!st.ok() && !st.IsAlreadyExists() && !st.IsNotFound()) return st;
+      if (!st.ok()) {
+        return Status::IOError("WAL replay failed at lsn " +
+                               std::to_string(e.lsn) + ": " + st.message());
+      }
     }
   }
 
-  HERMES_ASSIGN_OR_RETURN(WriteAheadLog wal, WriteAheadLog::Open(wal_path));
+  // New appends must never reuse LSNs the snapshot covers, even though a
+  // checkpoint truncated the log this scan sees.
+  HERMES_ASSIGN_OR_RETURN(WriteAheadLog wal,
+                          WriteAheadLog::Open(wal_path, covered_lsn + 1));
   return std::unique_ptr<DurableGraphStore>(new DurableGraphStore(
       partition_id, dir, std::move(store),
       std::make_unique<WriteAheadLog>(std::move(wal))));
@@ -257,8 +348,18 @@ Result<std::unique_ptr<DurableGraphStore>> DurableGraphStore::Open(
 
 Status DurableGraphStore::Checkpoint() {
   MutexLock lock(&mu_);
-  HERMES_RETURN_NOT_OK(WriteSnapshot(*store_, dir_ + "/snapshot.bin"));
+  // Crash windows, in order: before the snapshot (old snapshot + full
+  // log recover everything), after the rename but before the checkpoint
+  // marker (new snapshot + stale log — the covered LSN keeps replay from
+  // double-applying), and after the marker but before the truncation
+  // (replay-after-last-checkpoint sees an empty tail).
+  HERMES_FAILPOINT_CRASH("durable_store.checkpoint.crash");
+  const std::uint64_t covered_lsn = wal_->next_lsn() - 1;
+  HERMES_RETURN_NOT_OK(
+      WriteSnapshot(*store_, dir_ + "/snapshot.bin", covered_lsn));
+  HERMES_FAILPOINT_CRASH("durable_store.checkpoint.after_snapshot.crash");
   HERMES_RETURN_NOT_OK(wal_->LogCheckpoint().status());
+  HERMES_FAILPOINT_CRASH("durable_store.checkpoint.before_reset.crash");
   return wal_->Reset();
 }
 
@@ -268,6 +369,7 @@ Status DurableGraphStore::CreateNode(VertexId id, double weight) {
   e.type = WalOpType::kCreateNode;
   e.a = id;
   e.weight = weight;
+  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
   HERMES_RETURN_NOT_OK(Log(std::move(e)));
   return store_->CreateNode(id, weight);
 }
@@ -277,6 +379,7 @@ Status DurableGraphStore::RemoveNode(VertexId v) {
   WalEntry e;
   e.type = WalOpType::kRemoveNode;
   e.a = v;
+  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
   HERMES_RETURN_NOT_OK(Log(std::move(e)));
   return store_->RemoveNode(v);
 }
@@ -287,6 +390,7 @@ Status DurableGraphStore::SetNodeState(VertexId id, NodeState state) {
   e.type = WalOpType::kSetNodeState;
   e.a = id;
   e.flag = static_cast<std::uint8_t>(state);
+  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
   HERMES_RETURN_NOT_OK(Log(std::move(e)));
   return store_->SetNodeState(id, state);
 }
@@ -297,6 +401,7 @@ Status DurableGraphStore::AddNodeWeight(VertexId id, double delta) {
   e.type = WalOpType::kAddNodeWeight;
   e.a = id;
   e.weight = delta;
+  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
   HERMES_RETURN_NOT_OK(Log(std::move(e)));
   return store_->AddNodeWeight(id, delta);
 }
@@ -311,6 +416,7 @@ Result<RecordId> DurableGraphStore::AddEdge(VertexId v, VertexId other,
   e.b = other;
   e.key = type;
   e.flag = other_is_local ? 1 : 0;
+  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
   HERMES_RETURN_NOT_OK(Log(std::move(e)));
   return store_->AddEdge(v, other, type, other_is_local);
 }
@@ -321,6 +427,7 @@ Status DurableGraphStore::RemoveEdge(VertexId v, VertexId other) {
   e.type = WalOpType::kRemoveEdge;
   e.a = v;
   e.b = other;
+  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
   HERMES_RETURN_NOT_OK(Log(std::move(e)));
   return store_->RemoveEdge(v, other);
 }
@@ -333,6 +440,7 @@ Status DurableGraphStore::SetNodeProperty(VertexId id, std::uint32_t key,
   e.a = id;
   e.key = key;
   e.payload = value;
+  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
   HERMES_RETURN_NOT_OK(Log(std::move(e)));
   return store_->SetNodeProperty(id, key, value);
 }
@@ -347,6 +455,7 @@ Status DurableGraphStore::SetEdgeProperty(VertexId v, VertexId other,
   e.b = other;
   e.key = key;
   e.payload = value;
+  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
   HERMES_RETURN_NOT_OK(Log(std::move(e)));
   return store_->SetEdgeProperty(v, other, key, value);
 }

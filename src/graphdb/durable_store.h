@@ -14,10 +14,14 @@
 namespace hermes {
 
 /// Durable wrapper around one partition's GraphStore: every mutation is
-/// appended to a write-ahead log before it is applied (WAL rule), and
-/// Checkpoint() persists a full binary snapshot so the log can be
-/// truncated. Open() recovers by loading the latest snapshot and replaying
-/// the log tail — including after a crash that tore the final record.
+/// prechecked against the store's rejection rules, appended to a
+/// write-ahead log, and only then applied (WAL rule). Prechecking means a
+/// mutation the store would reject never reaches the log, so recovery
+/// replay treats store rejections as real divergence. Checkpoint()
+/// persists a full binary snapshot (stamped with the covered LSN) so the
+/// log can be truncated. Open() recovers by loading the latest snapshot
+/// and replaying the uncovered log tail — including after a crash that
+/// tore the final record.
 ///
 /// This is the persistence half of the Neo4j heritage (Section 4: a
 /// "disk-based, transactional persistence engine"); the lock manager in
@@ -74,9 +78,15 @@ class DurableGraphStore {
   }
 
   // Exposed for tests: snapshot round-trip without a full Open().
-  static Status WriteSnapshot(const GraphStore& store,
-                              const std::string& path);
-  static Status LoadSnapshot(const std::string& path, GraphStore* store);
+  // `covered_lsn` is the highest WAL LSN whose effects the snapshot
+  // contains; Open() skips replaying entries at or below it, which is
+  // what makes a crash between the snapshot rename and the WAL
+  // truncation safe (replaying the stale log in full would double-apply
+  // non-idempotent entries such as kAddNodeWeight).
+  static Status WriteSnapshot(const GraphStore& store, const std::string& path,
+                              std::uint64_t covered_lsn = 0);
+  static Status LoadSnapshot(const std::string& path, GraphStore* store,
+                             std::uint64_t* covered_lsn = nullptr);
 
  private:
   DurableGraphStore(PartitionId partition_id, std::string dir,
@@ -88,6 +98,12 @@ class DurableGraphStore {
         wal_(std::move(wal)) {}
 
   static Status Replay(const WalEntry& entry, GraphStore* store);
+
+  // Read-only mirror of GraphStore's rejection rules, checked BEFORE an
+  // entry is logged. A mutation the live store would reject never reaches
+  // the WAL, so recovery replay can treat any store rejection as real
+  // divergence instead of tolerating it (see Replay).
+  static Status Precheck(const WalEntry& entry, const GraphStore& store);
 
   Status Log(WalEntry entry) REQUIRES(mu_) {
     return wal_->Append(std::move(entry)).status();

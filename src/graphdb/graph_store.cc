@@ -1,6 +1,7 @@
 #include "graphdb/graph_store.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/logging.h"
 
@@ -456,11 +457,29 @@ std::vector<GraphStore::NodeDump> GraphStore::DumpNodes() const {
 
 std::vector<GraphStore::RelationshipDump> GraphStore::DumpRelationships()
     const {
+  // Chain membership per endpoint: a record can sit in one chain (half
+  // record) or both (full record), and src/dst ids alone cannot tell —
+  // a removed-then-recreated node leaves its old half records behind.
+  std::set<std::pair<VertexId, RecordId>> linked;
+  nodes_.ForEach([&](RecordId node_id, const NodeRecord& n) {
+    if (!n.in_use) return true;
+    const auto v = static_cast<VertexId>(node_id);
+    for (RecordId id = n.first_rel; id != kInvalidRecord;) {
+      const RelationshipRecord* rec = rels_.GetPtr(id);
+      HERMES_CHECK(rec != nullptr);
+      linked.emplace(v, id);
+      id = GetNext(*rec, v);
+    }
+    return true;
+  });
+
   std::vector<RelationshipDump> out;
   out.reserve(rels_.size());
-  rels_.ForEach([&](RecordId, const RelationshipRecord& r) {
+  rels_.ForEach([&](RecordId id, const RelationshipRecord& r) {
     if (r.in_use) {
       out.push_back(RelationshipDump{r.src, r.dst, r.type, r.ghost,
+                                     linked.count({r.src, id}) != 0,
+                                     linked.count({r.dst, id}) != 0,
                                      DumpPropertyChain(r.first_prop)});
     }
     return true;

@@ -141,6 +141,13 @@ class GraphStore {
     VertexId dst;
     std::uint32_t type;
     bool ghost;
+    // Which endpoint chains the record is linked into. Both for a full
+    // record; exactly one for a half record (remote endpoint, or a local
+    // endpoint that was removed and possibly re-created since). Node
+    // existence alone cannot recover this distinction, so snapshots must
+    // carry it explicitly.
+    bool src_linked;
+    bool dst_linked;
     std::vector<std::pair<std::uint32_t, std::string>> properties;
   };
 

@@ -1,7 +1,10 @@
 #include "storage/paged_file.h"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
+
+#include "common/failpoint.h"
 
 namespace hermes {
 
@@ -21,6 +24,7 @@ Result<PagedFile> PagedFile::Open(const std::string& path) {
 }
 
 Status PagedFile::ReadPage(std::uint64_t page_no, Page* page) {
+  HERMES_FAILPOINT_IOERROR("paged_file.read.io_error");
   if (page_no >= num_pages_) {
     page->bytes.fill(0);
     return Status::OK();
@@ -38,8 +42,23 @@ Status PagedFile::ReadPage(std::uint64_t page_no, Page* page) {
 }
 
 Status PagedFile::WritePage(std::uint64_t page_no, const Page& page) {
+  HERMES_FAILPOINT_IOERROR("paged_file.write.io_error");
   file_.clear();
   file_.seekp(static_cast<std::streamoff>(page_no * kPageSize));
+  const FailpointHit torn =
+      HERMES_FAILPOINT_HIT("paged_file.write.short_write");
+  if (torn.fired) {
+    // Torn page write: only a prefix of the page reaches the file before
+    // the simulated power loss; the crash latch keeps later writes from
+    // papering over the damage.
+    const std::uint64_t want = torn.arg != 0 ? torn.arg : kPageSize / 2;
+    const auto cut = static_cast<std::streamsize>(
+        std::min<std::uint64_t>(want, kPageSize - 1));
+    file_.write(reinterpret_cast<const char*>(page.bytes.data()), cut);
+    file_.flush();
+    HERMES_FAILPOINT_LATCH_CRASH("paged_file.write.short_write");
+    return Status::IOError("failpoint: paged_file.write.short_write");
+  }
   file_.write(reinterpret_cast<const char*>(page.bytes.data()), kPageSize);
   if (!file_) return Status::IOError("page write failed");
   num_pages_ = std::max(num_pages_, page_no + 1);
@@ -47,6 +66,7 @@ Status PagedFile::WritePage(std::uint64_t page_no, const Page& page) {
 }
 
 Status PagedFile::Sync() {
+  HERMES_FAILPOINT_IOERROR("paged_file.sync.io_error");
   file_.flush();
   if (!file_) return Status::IOError("sync failed");
   return Status::OK();

@@ -1,6 +1,11 @@
 #include "storage/wal.h"
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/failpoint.h"
 
 namespace hermes {
 
@@ -47,6 +52,47 @@ std::string EncodeEntry(const WalEntry& e) {
   return frame;
 }
 
+/// A scanned log: the longest valid-record prefix plus its byte length.
+/// Anything past `valid_bytes` is a torn or corrupt tail that replay can
+/// never reach.
+struct ScannedLog {
+  std::vector<WalEntry> entries;
+  std::uint64_t valid_bytes = 0;
+};
+
+Result<ScannedLog> ScanLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot read WAL at " + path);
+
+  ScannedLog log;
+  for (;;) {
+    std::uint32_t length = 0;
+    std::uint32_t crc = 0;
+    if (!in.read(reinterpret_cast<char*>(&length), sizeof(length))) break;
+    if (!in.read(reinterpret_cast<char*>(&crc), sizeof(crc))) break;
+    if (length < sizeof(EntryHeader) || length > (1u << 26)) break;
+    std::string body(length, '\0');
+    if (!in.read(body.data(), length)) break;  // torn tail: stop replay
+    if (WalCrc32(body.data(), body.size()) != crc) break;  // corrupt tail
+
+    EntryHeader h;
+    std::memcpy(&h, body.data(), sizeof(h));
+    if (sizeof(h) + h.payload_size != body.size()) break;
+    WalEntry e;
+    e.type = static_cast<WalOpType>(h.type);
+    e.lsn = h.lsn;
+    e.a = h.a;
+    e.b = h.b;
+    e.weight = h.weight;
+    e.key = h.key;
+    e.flag = h.flag;
+    e.payload = body.substr(sizeof(h));
+    log.entries.push_back(std::move(e));
+    log.valid_bytes = static_cast<std::uint64_t>(in.tellg());
+  }
+  return log;
+}
+
 }  // namespace
 
 std::uint32_t WalCrc32(const void* data, std::size_t size) {
@@ -71,13 +117,28 @@ WriteAheadLog::WriteAheadLog(std::string path, std::ofstream out,
           MetricsRegistry::Global().GetCounter("wal.append_bytes")),
       m_syncs_(MetricsRegistry::Global().GetCounter("wal.syncs")) {}
 
-Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
+                                          std::uint64_t min_next_lsn) {
   // Scan any existing log to find the next LSN.
-  std::uint64_t next_lsn = 1;
+  std::uint64_t next_lsn = std::max<std::uint64_t>(min_next_lsn, 1);
   {
-    auto existing = ReadAll(path, /*after_last_checkpoint=*/false);
-    if (existing.ok() && !existing->empty()) {
-      next_lsn = existing->back().lsn + 1;
+    auto scanned = ScanLog(path);
+    if (scanned.ok()) {
+      if (!scanned->entries.empty()) {
+        next_lsn = std::max(next_lsn, scanned->entries.back().lsn + 1);
+      }
+      // A crash mid-append can leave a torn or corrupt frame at the tail.
+      // Appending after it would strand every later record beyond bytes
+      // replay refuses to cross, so cut the file back to the valid prefix
+      // before reopening for append.
+      std::error_code ec;
+      const std::uintmax_t size = std::filesystem::file_size(path, ec);
+      if (!ec && size > scanned->valid_bytes) {
+        std::filesystem::resize_file(path, scanned->valid_bytes, ec);
+        if (ec) {
+          return Status::IOError("cannot truncate torn WAL tail at " + path);
+        }
+      }
     }
   }
   std::ofstream out(path, std::ios::binary | std::ios::app);
@@ -87,8 +148,27 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
 
 Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry) {
   MutexLock lock(&mu_);
+  // Transient failure before anything reaches the file or the LSN
+  // counter moves: the entry is simply rejected.
+  HERMES_FAILPOINT_IOERROR("wal.append.io_error");
+  // Crash before the write: the record is fully absent from the file.
+  HERMES_FAILPOINT_CRASH("wal.append.crash");
   entry.lsn = next_lsn_++;
   const std::string frame = EncodeEntry(entry);
+  const FailpointHit torn = HERMES_FAILPOINT_HIT("wal.append.short_write");
+  if (torn.fired) {
+    // Torn write: a prefix of the frame reaches the file and then the
+    // process dies. The crash latch guarantees nothing else can be
+    // appended after the tear — otherwise later (even synced) records
+    // would sit beyond a corrupt frame where replay cannot reach them.
+    const std::uint64_t want = torn.arg != 0 ? torn.arg : frame.size() / 2;
+    const auto cut = static_cast<std::streamsize>(
+        std::min<std::uint64_t>(want, frame.size() - 1));
+    out_.write(frame.data(), cut);
+    out_.flush();
+    HERMES_FAILPOINT_LATCH_CRASH("wal.append.short_write");
+    return Status::IOError("failpoint: wal.append.short_write");
+  }
   out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
   if (!out_) return Status::IOError("WAL append failed");
   m_appends_->Increment();
@@ -98,6 +178,7 @@ Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry) {
 
 Status WriteAheadLog::Sync() {
   MutexLock lock(&mu_);
+  HERMES_FAILPOINT_IOERROR("wal.sync.io_error");
   out_.flush();
   if (!out_) return Status::IOError("WAL sync failed");
   m_syncs_->Increment();
@@ -114,34 +195,8 @@ Result<std::uint64_t> WriteAheadLog::LogCheckpoint() {
 
 Result<std::vector<WalEntry>> WriteAheadLog::ReadAll(
     const std::string& path, bool after_last_checkpoint) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot read WAL at " + path);
-
-  std::vector<WalEntry> entries;
-  for (;;) {
-    std::uint32_t length = 0;
-    std::uint32_t crc = 0;
-    if (!in.read(reinterpret_cast<char*>(&length), sizeof(length))) break;
-    if (!in.read(reinterpret_cast<char*>(&crc), sizeof(crc))) break;
-    if (length < sizeof(EntryHeader) || length > (1u << 26)) break;
-    std::string body(length, '\0');
-    if (!in.read(body.data(), length)) break;  // torn tail: stop replay
-    if (WalCrc32(body.data(), body.size()) != crc) break;  // corrupt tail
-
-    EntryHeader h;
-    std::memcpy(&h, body.data(), sizeof(h));
-    if (sizeof(h) + h.payload_size != body.size()) break;
-    WalEntry e;
-    e.type = static_cast<WalOpType>(h.type);
-    e.lsn = h.lsn;
-    e.a = h.a;
-    e.b = h.b;
-    e.weight = h.weight;
-    e.key = h.key;
-    e.flag = h.flag;
-    e.payload = body.substr(sizeof(h));
-    entries.push_back(std::move(e));
-  }
+  HERMES_ASSIGN_OR_RETURN(ScannedLog log, ScanLog(path));
+  std::vector<WalEntry> entries = std::move(log.entries);
 
   if (after_last_checkpoint) {
     std::size_t start = 0;

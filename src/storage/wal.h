@@ -58,8 +58,15 @@ struct WalEntry {
 /// thread uses it (it happens once, inside Open()).
 class WriteAheadLog {
  public:
-  /// Opens (creating if needed) the log at `path` for appending.
-  static Result<WriteAheadLog> Open(const std::string& path);
+  /// Opens (creating if needed) the log at `path` for appending. LSNs
+  /// continue after the highest one found in the existing log, but never
+  /// start below `min_next_lsn` — DurableGraphStore passes the snapshot's
+  /// covered LSN + 1 so that entries appended after recovery can never
+  /// collide with the range the snapshot already covers (a checkpoint
+  /// truncates the log, so a freshly scanned file alone would restart
+  /// LSNs at 1).
+  static Result<WriteAheadLog> Open(const std::string& path,
+                                    std::uint64_t min_next_lsn = 1);
 
   WriteAheadLog(WriteAheadLog&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
       : path_(std::move(other.path_)),

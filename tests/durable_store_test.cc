@@ -172,6 +172,112 @@ TEST(DurableStoreTest, TornLogTailLosesOnlyUnsyncedSuffix) {
   EXPECT_TRUE(store.FindEdge(1, 2).status().IsNotFound());
 }
 
+// Replay used to tolerate *any* AlreadyExists from the store, which let a
+// log that disagrees with the snapshot (a diverged replica, a corrupted
+// entry, an LSN-accounting bug) recover silently into the wrong state.
+// Now a duplicate create is tolerated only when the entry's payload is
+// already reflected verbatim.
+TEST(DurableStoreTest, ReplayRejectsDuplicateCreateWithDivergentPayload) {
+  const std::string dir = FreshDir("hermes_replay_divergent");
+  {
+    GraphStore store(0);
+    ASSERT_TRUE(store.CreateNode(1, 1.0).ok());
+    ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, dir + "/snapshot.bin",
+                                                 /*covered_lsn=*/0)
+                    .ok());
+  }
+  {
+    auto wal = WriteAheadLog::Open(dir + "/wal.log");
+    ASSERT_TRUE(wal.ok());
+    WalEntry e;
+    e.type = WalOpType::kCreateNode;
+    e.a = 1;
+    e.weight = 2.0;  // disagrees with the snapshot's weight 1.0
+    ASSERT_TRUE(wal->Append(e).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  auto db = DurableGraphStore::Open(0, dir);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsIOError());
+}
+
+TEST(DurableStoreTest, ReplayToleratesDuplicateCreateWithMatchingPayload) {
+  const std::string dir = FreshDir("hermes_replay_matching");
+  {
+    GraphStore store(0);
+    ASSERT_TRUE(store.CreateNode(1, 1.0).ok());
+    ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, dir + "/snapshot.bin",
+                                                 /*covered_lsn=*/0)
+                    .ok());
+  }
+  {
+    auto wal = WriteAheadLog::Open(dir + "/wal.log");
+    ASSERT_TRUE(wal.ok());
+    WalEntry e;
+    e.type = WalOpType::kCreateNode;
+    e.a = 1;
+    e.weight = 1.0;  // same create the snapshot already contains
+    ASSERT_TRUE(wal->Append(e).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  auto db = DurableGraphStore::Open(0, dir);
+  ASSERT_TRUE(db.ok());
+  EXPECT_DOUBLE_EQ(*(*db)->store().NodeWeight(1), 1.0);
+}
+
+TEST(DurableStoreTest, ReplayToleratesEdgeAlreadyInSnapshot) {
+  const std::string dir = FreshDir("hermes_replay_edge_dup");
+  {
+    GraphStore store(0);
+    ASSERT_TRUE(store.CreateNode(1).ok());
+    ASSERT_TRUE(store.CreateNode(2).ok());
+    ASSERT_TRUE(store.AddEdge(1, 2, 7, true).ok());
+    ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, dir + "/snapshot.bin",
+                                                 /*covered_lsn=*/0)
+                    .ok());
+  }
+  {
+    auto wal = WriteAheadLog::Open(dir + "/wal.log");
+    ASSERT_TRUE(wal.ok());
+    WalEntry e;
+    e.type = WalOpType::kAddEdge;
+    e.a = 1;
+    e.b = 2;
+    e.key = 7;
+    e.flag = 1;
+    ASSERT_TRUE(wal->Append(e).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  auto db = DurableGraphStore::Open(0, dir);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->store().FindEdge(1, 2).ok());
+}
+
+TEST(DurableStoreTest, ReplayRejectsEdgeWithMissingEndpoint) {
+  const std::string dir = FreshDir("hermes_replay_edge_bad");
+  {
+    GraphStore store(0);
+    ASSERT_TRUE(store.CreateNode(1).ok());
+    ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, dir + "/snapshot.bin",
+                                                 /*covered_lsn=*/0)
+                    .ok());
+  }
+  {
+    auto wal = WriteAheadLog::Open(dir + "/wal.log");
+    ASSERT_TRUE(wal.ok());
+    WalEntry e;
+    e.type = WalOpType::kAddEdge;
+    e.a = 1;
+    e.b = 3;  // endpoint 3 exists nowhere
+    e.flag = 1;
+    ASSERT_TRUE(wal->Append(e).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  auto db = DurableGraphStore::Open(0, dir);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsIOError());
+}
+
 TEST(DurableStoreTest, OpenOnEmptyDirectoryIsFreshStore) {
   const std::string dir = FreshDir("hermes_fresh");
   auto db = DurableGraphStore::Open(3, dir);

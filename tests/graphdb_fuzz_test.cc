@@ -177,5 +177,112 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GraphStoreFuzzTest,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
                                            88u));
 
+// Focused fuzz over the dynamic property store and id recycling: values
+// whose lengths sweep across the 24-byte dynamic-block payload boundary
+// (empty, sub-block, exact block, multi-block), overwrites that grow and
+// shrink chains, and delete/re-create cycles that recycle node ids — a
+// recycled id must never resurrect the previous incarnation's properties.
+class PropertyRecycleFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertyRecycleFuzzTest, DynamicPropertiesAndIdRecyclingMatchModel) {
+  GraphStore store(0);
+  Rng rng(GetParam());
+  constexpr VertexId kSpace = 24;
+  constexpr std::uint32_t kKeys = 4;
+  std::map<VertexId, double> weights;
+  std::map<VertexId, std::map<std::uint32_t, std::string>> props;
+
+  for (int step = 0; step < 4000; ++step) {
+    const VertexId v = rng.Uniform(kSpace);
+    switch (rng.Uniform(6)) {
+      case 0: {  // create (fresh or recycled id)
+        const Status st = store.CreateNode(v, 1.0);
+        if (weights.count(v)) {
+          ASSERT_TRUE(st.IsAlreadyExists());
+        } else {
+          ASSERT_TRUE(st.ok());
+          weights[v] = 1.0;
+        }
+        break;
+      }
+      case 1: {  // remove: the property chain dies with the node
+        const Status st = store.RemoveNode(v);
+        if (!weights.count(v)) {
+          ASSERT_TRUE(st.IsNotFound());
+        } else {
+          ASSERT_TRUE(st.ok());
+          weights.erase(v);
+          props.erase(v);
+        }
+        break;
+      }
+      case 2:
+      case 3: {  // set or overwrite a property
+        const auto key = static_cast<std::uint32_t>(rng.Uniform(kKeys));
+        const std::string value(rng.Uniform(61),
+                                static_cast<char>('a' + (step % 26)));
+        const Status st = store.SetNodeProperty(v, key, value);
+        if (weights.count(v)) {
+          ASSERT_TRUE(st.ok()) << st.ToString();
+          props[v][key] = value;
+        } else {
+          ASSERT_TRUE(st.IsNotFound());
+        }
+        break;
+      }
+      case 4: {  // point read
+        const auto key = static_cast<std::uint32_t>(rng.Uniform(kKeys));
+        auto got = store.GetNodeProperty(v, key);
+        const auto it = props.find(v);
+        if (it != props.end() && it->second.count(key)) {
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_EQ(*got, it->second.at(key)) << "node " << v;
+        } else {
+          ASSERT_FALSE(got.ok());
+        }
+        break;
+      }
+      case 5: {  // recycle storm: remove + immediate re-create
+        if (weights.count(v)) {
+          ASSERT_TRUE(store.RemoveNode(v).ok());
+          weights.erase(v);
+          props.erase(v);
+        }
+        ASSERT_TRUE(store.CreateNode(v, 2.0).ok());
+        weights[v] = 2.0;
+        for (std::uint32_t key = 0; key < kKeys; ++key) {
+          EXPECT_TRUE(store.GetNodeProperty(v, key).status().IsNotFound())
+              << "recycled node " << v << " kept property " << key;
+        }
+        break;
+      }
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(store.CheckChains()) << "step " << step;
+    }
+  }
+
+  // Full cross-check, including the bulk-export path the snapshot writer
+  // relies on.
+  ASSERT_TRUE(store.CheckChains());
+  const auto dump = store.DumpNodes();
+  ASSERT_EQ(dump.size(), weights.size());
+  for (const auto& nd : dump) {
+    ASSERT_TRUE(weights.count(nd.id)) << "node " << nd.id;
+    EXPECT_DOUBLE_EQ(nd.weight, weights.at(nd.id));
+    std::map<std::uint32_t, std::string> got(nd.properties.begin(),
+                                             nd.properties.end());
+    const auto it = props.find(nd.id);
+    const std::map<std::uint32_t, std::string> want =
+        it == props.end() ? std::map<std::uint32_t, std::string>{}
+                          : it->second;
+    EXPECT_EQ(got, want) << "node " << nd.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyRecycleFuzzTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
 }  // namespace
 }  // namespace hermes

@@ -12,6 +12,10 @@ the regressions that motivated rule changes:
     src/sim and src/partition (std::random_device, rand(), wall/steady
     clocks, std::unordered_*, pointer-keyed map/set) and stay quiet
     outside those modules and on `lint:allow(determinism)` lines.
+  * The failpoint rules must flag HERMES_FAILPOINT* macros outside the
+    storage stack, an option(HERMES_FAILPOINTS) that defaults ON, and a
+    non-sanitizer preset enabling HERMES_FAILPOINTS — and stay quiet on
+    sites inside src/storage//src/graphdb/ and on sanitizer presets.
 
 Usage: tests/lint_selftest.py [repo_root]   (exit 0 = all cases pass)
 """
@@ -125,6 +129,51 @@ def case_determinism_scope_and_suppression():
         check("out-of-scope and suppressed uses exit 0", code == 0, out)
 
 
+def case_failpoint_containment():
+    print("case: HERMES_FAILPOINT macros are flagged outside the storage stack")
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        write(root, "src/CMakeLists.txt",
+              "add_library(x STATIC partition/bad.cc storage/ok.cc)\n")
+        write(root, "src/partition/bad.cc",
+              "int f() {\n  HERMES_FAILPOINT_IOERROR(\"partition.oops\");\n"
+              "  return 0;\n}\n")
+        write(root, "src/storage/ok.cc",
+              "int g() {\n  HERMES_FAILPOINT_IOERROR(\"storage.fine\");\n"
+              "  return 0;\n}\n")
+        code, out = run_lint(root)
+        check("out-of-stack failpoint exits 1", code == 1, out)
+        check("finding names the macro and file",
+              "src/partition/bad.cc" in out and "HERMES_FAILPOINT" in out, out)
+        check("in-stack site is not flagged", "storage/ok.cc" not in out, out)
+
+
+def case_failpoints_must_stay_out_of_release():
+    print("case: HERMES_FAILPOINTS must default OFF and stay out of "
+          "non-sanitizer presets")
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        write(root, "src/CMakeLists.txt", "\n")
+        write(root, "CMakeLists.txt",
+              'option(HERMES_FAILPOINTS "fault injection" ON)\n')
+        write(root, "CMakePresets.json", """\
+{
+  "version": 3,
+  "configurePresets": [
+    {"name": "release",
+     "cacheVariables": {"HERMES_FAILPOINTS": "ON"}},
+    {"name": "asan-ubsan",
+     "cacheVariables": {"HERMES_FAILPOINTS": "ON"}}
+  ]
+}
+""")
+        code, out = run_lint(root)
+        check("failpoints-on-by-default exits 1", code == 1, out)
+        check("flags the ON option default", "must default" in out, out)
+        check("flags the release preset", "'release'" in out, out)
+        check("sanitizer preset is not flagged", "'asan-ubsan'" not in out, out)
+
+
 def case_repo_itself_is_clean():
     print("case: the repo itself lints clean")
     code, out = run_lint(REPO_ROOT)
@@ -136,6 +185,8 @@ def main():
                  case_wrong_directory_cc_is_flagged,
                  case_determinism_rules_fire,
                  case_determinism_scope_and_suppression,
+                 case_failpoint_containment,
+                 case_failpoints_must_stay_out_of_release,
                  case_repo_itself_is_clean):
         case()
     if FAILURES:

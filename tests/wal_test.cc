@@ -1,6 +1,10 @@
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -163,6 +167,133 @@ TEST(WalTest, ResetTruncates) {
   ASSERT_TRUE(entries.ok());
   ASSERT_EQ(entries->size(), 1u);
   EXPECT_EQ(entries->front().a, 9u);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::string data(size, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(size));
+  return data;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+// Walks the [u32 length][u32 crc][body] framing and returns the byte
+// offset of the end of each record, independent of the reader under test.
+std::vector<std::size_t> FrameBoundaries(const std::string& data) {
+  std::vector<std::size_t> ends;
+  std::size_t off = 0;
+  while (off + 8 <= data.size()) {
+    std::uint32_t length = 0;
+    std::memcpy(&length, data.data() + off, sizeof(length));
+    const std::size_t end = off + 8 + length;
+    if (end > data.size()) break;
+    ends.push_back(end);
+    off = end;
+  }
+  return ends;
+}
+
+// Crash-at-every-byte sweep: truncating a multi-record log at any offset
+// must recover exactly the longest valid-record prefix — every record
+// whose frame fits entirely inside the truncated file, and nothing else.
+TEST(WalTest, TruncationSweepRecoversLongestValidPrefix) {
+  const std::string path = TempLog("wal_sweep.log");
+  constexpr std::size_t kRecords = 5;
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      WalEntry e = MakeEdgeEntry(i, i + 1);
+      e.payload = std::string(i * 3, static_cast<char>('a' + i));
+      ASSERT_TRUE(wal->Append(e).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  const std::string full = ReadFileBytes(path);
+  const std::vector<std::size_t> ends = FrameBoundaries(full);
+  ASSERT_EQ(ends.size(), kRecords);
+
+  const std::string cut_path = TempLog("wal_sweep_cut.log");
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    WriteFileBytes(cut_path, full.substr(0, len));
+    const std::size_t want =
+        static_cast<std::size_t>(std::count_if(
+            ends.begin(), ends.end(),
+            [len](std::size_t end) { return end <= len; }));
+    auto entries = WriteAheadLog::ReadAll(cut_path);
+    ASSERT_TRUE(entries.ok()) << "truncated at byte " << len;
+    ASSERT_EQ(entries->size(), want) << "truncated at byte " << len;
+    for (std::size_t i = 0; i < want; ++i) {
+      EXPECT_EQ((*entries)[i].a, i) << "truncated at byte " << len;
+      EXPECT_EQ((*entries)[i].lsn, i + 1) << "truncated at byte " << len;
+    }
+  }
+}
+
+// A CRC failure in the *middle* of the log must stop replay at the last
+// good record before it — never skip the bad record and resume, which
+// would replay a sequence the store never produced.
+TEST(WalTest, FlippedCrcMidLogStopsReplayAtLastGoodRecord) {
+  const std::string path = TempLog("wal_midcrc.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (VertexId i = 0; i < 5; ++i) {
+      WalEntry e = MakeEdgeEntry(i, i + 1);
+      e.payload = "payload";
+      ASSERT_TRUE(wal->Append(e).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  std::string data = ReadFileBytes(path);
+  const std::vector<std::size_t> ends = FrameBoundaries(data);
+  ASSERT_EQ(ends.size(), 5u);
+  // Flip a body byte inside the third record (frame = 8-byte header + body).
+  data[ends[1] + 8] ^= 0x01;
+  WriteFileBytes(path, data);
+
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ(entries->back().a, 1u);
+}
+
+// Open() must cut a torn tail off the file before appending; otherwise
+// new (even synced) records land beyond bytes replay refuses to cross
+// and are silently lost on the next recovery.
+TEST(WalTest, OpenTruncatesTornTailSoLaterAppendsSurvive) {
+  const std::string path = TempLog("wal_open_trunc.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (VertexId i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wal->Append(MakeEdgeEntry(i, i + 1)).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  // Crash mid-append: half of a fourth frame reaches the disk.
+  std::string data = ReadFileBytes(path);
+  const std::size_t intact = data.size();
+  WriteFileBytes(path, data + data.substr(0, 11));
+
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(wal->next_lsn(), 4u);
+  EXPECT_EQ(std::filesystem::file_size(path), intact);
+  ASSERT_TRUE(wal->Append(MakeEdgeEntry(9, 10)).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 4u);
+  EXPECT_EQ(entries->back().a, 9u);
+  EXPECT_EQ(entries->back().lsn, 4u);
 }
 
 TEST(WalTest, Crc32KnownVector) {

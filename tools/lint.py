@@ -33,10 +33,18 @@ Checks (all over `src/`, the shipped library code):
      and pointer-keyed ``map``/``set`` (iteration order = allocation
      order). A line may carry ``// lint:allow(determinism)`` after an
      audited review to suppress, stating why.
+  7. failpoint containment: ``HERMES_FAILPOINT*`` macros may appear only
+     in the storage stack (src/storage/, src/graphdb/) and in the
+     registry itself (src/common/failpoint.{h,cc}) — fault injection is
+     a storage-recovery tool, not a general control-flow mechanism.
+  8. failpoints stay out of release builds: the ``HERMES_FAILPOINTS``
+     CMake option must default OFF, and only sanitizer presets
+     (name contains "san") may turn it ON in CMakePresets.json.
 
 Usage: tools/lint.py [repo_root]   (exit 0 = clean, 1 = findings)
 """
 
+import json
 import re
 import sys
 from pathlib import Path
@@ -183,6 +191,65 @@ NONDET_TOKEN_RES = [
 ]
 
 
+# --- failpoint containment -------------------------------------------------
+# Fault-injection sites belong at the storage stack's I/O boundaries;
+# sprinkling HERMES_FAILPOINT into partitioners, the simulator, or the
+# cluster layer would turn a recovery-testing tool into hidden control
+# flow. The registry itself is the only file outside those layers that
+# may name the macros.
+FAILPOINT_TOKEN_RE = re.compile(r"\bHERMES_FAILPOINT\w*")
+FAILPOINT_ALLOWED_DIRS = ("src/storage", "src/graphdb")
+FAILPOINT_ALLOWED_FILES = {
+    Path("src/common/failpoint.h"),
+    Path("src/common/failpoint.cc"),
+}
+
+
+def check_failpoint_containment(rel, text, findings):
+    if rel in FAILPOINT_ALLOWED_FILES:
+        return
+    rel_posix = rel.as_posix()
+    if any(rel_posix.startswith(d + "/") for d in FAILPOINT_ALLOWED_DIRS):
+        return
+    for i, line in enumerate(strip_comments(text).splitlines(), 1):
+        m = FAILPOINT_TOKEN_RE.search(line)
+        if m:
+            findings.append(
+                f"{rel}:{i}: {m.group(0)} outside the storage stack — "
+                "failpoints live in src/storage/ and src/graphdb/ only "
+                "(registry: src/common/failpoint.{h,cc})")
+
+
+def check_failpoints_off_in_release(root, findings):
+    """Failpoints are a sanitizer-preset-only feature: the CMake option
+    must default OFF and only *san presets may flip it ON. Skips
+    silently when the build files are absent (lint_selftest fixtures)."""
+    cmake = root / "CMakeLists.txt"
+    if cmake.is_file():
+        m = re.search(r"option\s*\(\s*HERMES_FAILPOINTS\b[^)]*\)",
+                      cmake.read_text(encoding="utf-8"))
+        if m and not re.search(r"\bOFF\s*\)$", m.group(0)):
+            findings.append(
+                "CMakeLists.txt: option(HERMES_FAILPOINTS) must default "
+                "OFF — failpoints never ship in default/release builds")
+    presets = root / "CMakePresets.json"
+    if presets.is_file():
+        try:
+            data = json.loads(presets.read_text(encoding="utf-8"))
+        except ValueError as err:
+            findings.append(f"CMakePresets.json: unparseable: {err}")
+            return
+        for preset in data.get("configurePresets", []):
+            name = preset.get("name", "")
+            value = str(preset.get("cacheVariables", {})
+                        .get("HERMES_FAILPOINTS", "OFF")).upper()
+            if value in ("ON", "TRUE", "1") and "san" not in name:
+                findings.append(
+                    f"CMakePresets.json: preset '{name}' sets "
+                    "HERMES_FAILPOINTS=ON — only sanitizer presets may "
+                    "compile failpoints in")
+
+
 def check_determinism(rel, text, findings):
     rel_posix = rel.as_posix()
     if not any(rel_posix.startswith(d + "/") for d in DETERMINISM_DIRS):
@@ -216,7 +283,9 @@ def main(argv):
         check_raw_sync(rel, text, findings)
         check_adhoc_atomics(rel, text, findings)
         check_determinism(rel, text, findings)
+        check_failpoint_containment(rel, text, findings)
     check_cmake_lists_all_sources(root, findings)
+    check_failpoints_off_in_release(root, findings)
 
     if findings:
         print(f"lint.py: {len(findings)} finding(s):")
