@@ -48,7 +48,8 @@ fi
 if [ "$preset" != "default" ]; then
   echo "== bench smoke (default preset) =="
   cmake --preset default
-  cmake --build --preset default -j "$(nproc)" --target fig7_edgecut
+  cmake --build --preset default -j "$(nproc)" \
+    --target fig7_edgecut --target concurrent_reads
   ctest --test-dir build -R bench_smoke --output-on-failure
 fi
 

@@ -1,12 +1,15 @@
 #include "cluster/hermes_cluster.h"
 
 #include <algorithm>
-#include <deque>
+#include <chrono>
 #include <filesystem>
 #include <map>
+#include <optional>
+#include <thread>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metrics.h"
 
@@ -17,7 +20,8 @@ HermesCluster::HermesCluster(Graph graph, PartitionAssignment assignment,
     : graph_(std::move(graph)),
       assignment_(std::move(assignment)),
       aux_(graph_, assignment_),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      tombstoned_(assignment_.size(), 0) {
   HERMES_CHECK(assignment_.size() == graph_.NumVertices());
   Status st = InitStores();
   HERMES_CHECK(st.ok());
@@ -30,19 +34,32 @@ HermesCluster::HermesCluster(Graph graph, PartitionAssignment assignment)
 
 HermesCluster::HermesCluster(
     RecoveredTag, Graph graph, PartitionAssignment assignment,
-    Options options, std::vector<std::unique_ptr<DurableGraphStore>> durable)
+    Options options, std::vector<std::unique_ptr<DurableGraphStore>> durable,
+    std::vector<char> tombstoned)
     : graph_(std::move(graph)),
       assignment_(std::move(assignment)),
       aux_(graph_, assignment_),
       options_(std::move(options)),
+      tombstoned_(std::move(tombstoned)),
       durable_(std::move(durable)) {
+  tombstoned_.resize(assignment_.size(), 0);
   store_ptrs_.reserve(durable_.size());
   for (auto& d : durable_) store_ptrs_.push_back(d->mutable_store());
+  InitShards(static_cast<PartitionId>(durable_.size()));
+}
+
+void HermesCluster::InitShards(PartitionId alpha) {
+  shards_.clear();
+  shards_.reserve(alpha);
+  for (PartitionId p = 0; p < alpha; ++p) {
+    shards_.push_back(std::make_unique<PartitionShard>(p));
+  }
 }
 
 Status HermesCluster::InitStores() {
-  MutexLock lock(&mu_);
+  // Construction-time, single-threaded: no locks needed or taken.
   const PartitionId alpha = assignment_.num_partitions();
+  InitShards(alpha);
   store_ptrs_.clear();
   if (durable()) {
     for (PartitionId p = 0; p < alpha; ++p) {
@@ -89,10 +106,25 @@ Result<std::unique_ptr<HermesCluster>> HermesCluster::Recover(
   const std::size_t n = any_node ? static_cast<std::size_t>(max_id) + 1 : 0;
   Graph graph(n);
   PartitionAssignment assignment(n, num_partitions);
+  std::vector<char> seen(n, 0);
   for (PartitionId p = 0; p < num_partitions; ++p) {
     for (const auto& node : durable[p]->store().DumpNodes()) {
       assignment.Assign(node.id, p);
       graph.SetVertexWeight(node.id, node.weight);
+      seen[node.id] = 1;
+    }
+  }
+  // Ids below max_id with no node record anywhere were removed and never
+  // re-created. Left alone they would recover as weight-1 phantoms on
+  // partition 0 (the directory default) that no store hosts — Validate()
+  // fails forever and InsertEdge to one diverges graph and stores.
+  // Tombstone them instead: weight 0 (so partition weights are exact),
+  // rejected by every mutation/read path, never migrated.
+  std::vector<char> tombstoned(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!seen[v]) {
+      tombstoned[v] = 1;
+      graph.SetVertexWeight(v, 0.0);
     }
   }
   for (PartitionId p = 0; p < num_partitions; ++p) {
@@ -105,11 +137,14 @@ Result<std::unique_ptr<HermesCluster>> HermesCluster::Recover(
   return std::unique_ptr<HermesCluster>(
       new HermesCluster(RecoveredTag{}, std::move(graph),
                         std::move(assignment), std::move(options),
-                        std::move(durable)));
+                        std::move(durable), std::move(tombstoned)));
 }
 
 Status HermesCluster::Checkpoint() {
-  MutexLock lock(&mu_);
+  // migration_mu_ first: a snapshot must never capture the inside of a
+  // chunk (node copied to the target but the directory not yet flipped).
+  MutexLock migration(&migration_mu_);
+  WriterMutexLock dir(&dir_mu_);
   if (!durable()) {
     return Status::InvalidArgument("cluster is not durable");
   }
@@ -120,6 +155,9 @@ Status HermesCluster::Checkpoint() {
 }
 
 // --- Mutation routing -----------------------------------------------------
+//
+// Callers hold either partition p's shard mutex (under dir_mu_ shared) or
+// dir_mu_ exclusively — see the locking contract in the header.
 
 Status HermesCluster::DoCreateNode(PartitionId p, VertexId id, double w) {
   return durable() ? durable_[p]->CreateNode(id, w)
@@ -145,6 +183,10 @@ Result<RecordId> HermesCluster::DoAddEdge(PartitionId p, VertexId v,
   return durable() ? durable_[p]->AddEdge(v, other, type, other_is_local)
                    : store_ptrs_[p]->AddEdge(v, other, type, other_is_local);
 }
+Status HermesCluster::DoRemoveEdge(PartitionId p, VertexId v, VertexId other) {
+  return durable() ? durable_[p]->RemoveEdge(v, other)
+                   : store_ptrs_[p]->RemoveEdge(v, other);
+}
 Status HermesCluster::DoSetNodeProperty(PartitionId p, VertexId v,
                                         std::uint32_t key,
                                         const std::string& value) {
@@ -159,7 +201,7 @@ Status HermesCluster::DoSetEdgeProperty(PartitionId p, VertexId v,
 }
 
 Status HermesCluster::LoadStores() {
-  MutexLock lock(&mu_);
+  // Construction-time, single-threaded: no locks needed or taken.
   const std::size_t n = graph_.NumVertices();
   for (VertexId v = 0; v < n; ++v) {
     HERMES_RETURN_NOT_OK(DoCreateNode(assignment_.PartitionOf(v), v,
@@ -183,13 +225,22 @@ Status HermesCluster::LoadStores() {
 
 Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
                                                                int hops) {
-  MutexLock lock(&mu_);
-  if (start >= graph_.NumVertices()) {
+  // The shared directory hold pins every vertex's placement for the whole
+  // traversal; shard mutexes are taken per adjacency fetch only, so
+  // concurrent traversals (and writes to other partitions) interleave.
+  ReaderMutexLock dir(&dir_mu_);
+  if (start >= assignment_.size()) {
     return Status::OutOfRange("start vertex out of range");
   }
+  if (tombstoned_[start]) {
+    return Status::NotFound("start vertex is tombstoned");
+  }
   const PartitionId p0 = assignment_.PartitionOf(start);
-  if (!store_ptrs_[p0]->HasNode(start)) {
-    return Status::Unavailable("start vertex unavailable (mid-migration)");
+  {
+    MutexLock shard_lock(&shard(p0));
+    if (!store_ptrs_[p0]->HasNode(start)) {
+      return Status::Unavailable("start vertex unavailable (mid-migration)");
+    }
   }
 
   TraversalRun run;
@@ -210,8 +261,12 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
     std::map<PartitionId, std::uint32_t> visits_by_server;
     for (VertexId v : level) {
       const PartitionId pv = assignment_.PartitionOf(v);
-      auto neighbors = store_ptrs_[pv]->Neighbors(v);
-      if (!neighbors.ok()) continue;  // vertex went unavailable mid-run
+      const Result<std::vector<VertexId>> neighbors =
+          [&]() -> Result<std::vector<VertexId>> {
+        MutexLock shard_lock(&shard(pv));
+        return store_ptrs_[pv]->Neighbors(v);
+      }();
+      if (!neighbors.ok()) continue;  // unavailable (mid-migration barrier)
       for (VertexId w : *neighbors) {
         ++visits_by_server[assignment_.PartitionOf(w)];
         ++run.vertices_processed;
@@ -231,13 +286,24 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
       ++run.remote_hops;
       run.segments.emplace_back(server, visits);
       position = server;
+      if (options_.read_hop_latency_us > 0.0) {
+        // Model the remote round-trip with a real wait. No shard mutex is
+        // held here, so concurrent readers overlap their network waits —
+        // under the old global lock these sleeps serialized.
+        std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+            options_.read_hop_latency_us));
+      }
     }
     level = std::move(next_level);
   }
 
   if (options_.count_reads_in_weights) {
-    graph_.AddVertexWeight(start, 1.0);
-    aux_.OnVertexWeightChanged(start, 1.0, assignment_);
+    {
+      MutexLock topo(&topo_mu_);
+      graph_.AddVertexWeight(start, 1.0);
+      aux_.OnVertexWeightChanged(start, 1.0, assignment_);
+    }
+    MutexLock shard_lock(&shard(p0));
     (void)DoAddNodeWeight(p0, start, 1.0);
   }
   m_reads_->Increment();
@@ -248,30 +314,48 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
 NeighborProvider HermesCluster::MakeNeighborProvider() const {
   return [this](VertexId v, std::optional<std::uint32_t> type)
              -> Result<std::vector<VertexId>> {
-    MutexLock lock(&mu_);
+    ReaderMutexLock dir(&dir_mu_);
     if (v >= assignment_.size()) {
       return Status::OutOfRange("vertex out of range");
     }
-    return store_ptrs_[assignment_.PartitionOf(v)]->NeighborsByType(v, type);
+    if (tombstoned_[v]) {
+      return Status::NotFound("vertex is tombstoned");
+    }
+    const PartitionId p = assignment_.PartitionOf(v);
+    MutexLock shard_lock(&shard(p));
+    return store_ptrs_[p]->NeighborsByType(v, type);
   };
 }
 
 Result<VertexId> HermesCluster::InsertVertex(double weight) {
-  MutexLock lock(&mu_);
-  const VertexId id = graph_.AddVertex(weight);
+  // The vertex-id space grows: exclusive directory hold (which also
+  // excludes every shard holder, so no shard mutex is needed).
+  WriterMutexLock dir(&dir_mu_);
+  VertexId id;
+  {
+    MutexLock topo(&topo_mu_);
+    id = graph_.AddVertex(weight);
+  }
   const PartitionId p =
       HashPartitioner(1).PartitionFor(id, assignment_.num_partitions());
   assignment_.AddVertex(p);
-  aux_.OnVertexAdded(p, weight);
+  tombstoned_.push_back(0);
+  {
+    MutexLock topo(&topo_mu_);
+    aux_.OnVertexAdded(p, weight);
+  }
   HERMES_RETURN_NOT_OK(DoCreateNode(p, id, weight));
   m_writes_->Increment();
   return id;
 }
 
 Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
-  MutexLock lock(&mu_);
-  if (u >= graph_.NumVertices() || v >= graph_.NumVertices()) {
+  ReaderMutexLock dir(&dir_mu_);
+  if (u >= assignment_.size() || v >= assignment_.size()) {
     return Status::OutOfRange("endpoint out of range");
+  }
+  if (tombstoned_[u] || tombstoned_[v]) {
+    return Status::NotFound("endpoint is tombstoned");
   }
   Transaction txn = txns_.Begin();
   // Lock both endpoints in id order to keep lock acquisition ordered;
@@ -279,20 +363,61 @@ Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
   HERMES_RETURN_NOT_OK(txn.LockExclusive(std::min(u, v)));
   HERMES_RETURN_NOT_OK(txn.LockExclusive(std::max(u, v)));
 
-  const Status st = graph_.AddEdge(u, v);
-  if (!st.ok()) {
-    txn.Abort();
-    return st;
+  {
+    MutexLock topo(&topo_mu_);
+    const Status st = graph_.AddEdge(u, v);
+    if (!st.ok()) {
+      txn.Abort();
+      return st;
+    }
   }
   const PartitionId pu = assignment_.PartitionOf(u);
   const PartitionId pv = assignment_.PartitionOf(v);
+  // Write the store records with the endpoint shard mutexes held, taken
+  // in partition-id order (== increasing lock rank).
+  Status store_st;
+  bool first_half_stranded = false;
   if (pu == pv) {
-    HERMES_RETURN_NOT_OK(DoAddEdge(pu, u, v, type, true).status());
+    MutexLock shard_lock(&shard(pu));
+    store_st = DoAddEdge(pu, u, v, type, true).status();
   } else {
-    HERMES_RETURN_NOT_OK(DoAddEdge(pu, u, v, type, false).status());
-    HERMES_RETURN_NOT_OK(DoAddEdge(pv, v, u, type, false).status());
+    MutexLock shard_lo(&shard(std::min(pu, pv)));
+    MutexLock shard_hi(&shard(std::max(pu, pv)));
+    store_st = DoAddEdge(pu, u, v, type, false).status();
+    if (store_st.ok()) {
+      store_st = DoAddEdge(pv, v, u, type, false).status();
+      if (!store_st.ok()) {
+        // v's half failed after u's succeeded: undo u's half so the two
+        // stores agree before we roll back the graph view.
+        const Status undo = DoRemoveEdge(pu, u, v);
+        first_half_stranded = !undo.ok();
+      }
+    }
   }
-  aux_.OnEdgeAdded(u, v, assignment_);
+  if (!store_st.ok()) {
+    // Roll back the graph edge and abort: without this, graph_ keeps an
+    // edge the stores never materialized, aux_ is never updated, and the
+    // transaction leaks its record locks until destruction — Validate()
+    // then fails forever.
+    {
+      MutexLock topo(&topo_mu_);
+      (void)graph_.RemoveEdge(u, v);
+    }
+    if (first_half_stranded) {
+      // Double fault: the rollback write itself failed (e.g. the WAL is
+      // rejecting appends). The half record on pu's store is stranded
+      // until recovery; surface it rather than hiding it.
+      HERMES_LOG(Warning) << "InsertEdge rollback failed; edge {" << u << ","
+                          << v << "} half record stranded on partition "
+                          << pu;
+    }
+    txn.Abort();
+    return store_st;
+  }
+  {
+    MutexLock topo(&topo_mu_);
+    aux_.OnEdgeAdded(u, v, assignment_);
+  }
   txn.Commit();
   m_writes_->Increment();
   return Status::OK();
@@ -300,14 +425,22 @@ Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
 
 Result<MigrationStats> HermesCluster::RunLightweightRepartition() {
   TraceSpan span("cluster.repartition");
-  MutexLock lock(&mu_);
-  const PartitionAssignment before = assignment_;
+  MutexLock migration(&migration_mu_);
   LightweightRepartitioner repartitioner(options_.repartitioner);
-  const RepartitionResult logical =
-      repartitioner.Run(graph_, &assignment_, &aux_);
-
-  HERMES_ASSIGN_OR_RETURN(MigrationStats stats,
-                          MigrateDiff(before, assignment_));
+  RepartitionResult logical;
+  std::optional<PartitionAssignment> target;
+  {
+    // Phase one (logical) runs on copies of the directory and auxiliary
+    // data: readers keep traversing the live directory while the
+    // algorithm iterates, and no reader ever observes a post-move
+    // placement before the records physically moved.
+    WriterMutexLock dir(&dir_mu_);
+    MutexLock topo(&topo_mu_);
+    target = assignment_;
+    AuxiliaryData aux_copy = aux_;
+    logical = repartitioner.Run(graph_, &*target, &aux_copy);
+  }
+  HERMES_ASSIGN_OR_RETURN(MigrationStats stats, MigrateDiffChunked(*target));
   stats.repartitioner_iterations = logical.iterations;
   stats.repartitioner_converged = logical.converged;
   stats.aux_bytes_exchanged = logical.aux_bytes_exchanged;
@@ -320,106 +453,177 @@ Result<MigrationStats> HermesCluster::RunLightweightRepartition() {
 
 Result<MigrationStats> HermesCluster::MigrateToAssignment(
     const PartitionAssignment& target) {
-  MutexLock lock(&mu_);
-  if (target.size() != assignment_.size() ||
-      target.num_partitions() != assignment_.num_partitions()) {
-    return Status::InvalidArgument("assignment shape mismatch");
+  MutexLock migration(&migration_mu_);
+  double cut_before = 0.0;
+  double imbalance_before = 0.0;
+  {
+    WriterMutexLock dir(&dir_mu_);
+    if (target.size() != assignment_.size() ||
+        target.num_partitions() != assignment_.num_partitions()) {
+      return Status::InvalidArgument("assignment shape mismatch");
+    }
+    MutexLock topo(&topo_mu_);
+    cut_before = EdgeCutFraction(graph_, assignment_);
+    imbalance_before = ImbalanceFactor(graph_, assignment_);
   }
-  const PartitionAssignment before = assignment_;
-  assignment_ = target;
-  HERMES_ASSIGN_OR_RETURN(MigrationStats stats,
-                          MigrateDiff(before, assignment_));
-  stats.edge_cut_fraction_before = EdgeCutFraction(graph_, before);
-  stats.edge_cut_fraction_after = EdgeCutFraction(graph_, assignment_);
-  stats.imbalance_before = ImbalanceFactor(graph_, before);
-  stats.imbalance_after = ImbalanceFactor(graph_, assignment_);
-  // A global repartitioner invalidates the incremental counts; rebuild.
-  aux_ = AuxiliaryData(graph_, assignment_);
+  HERMES_ASSIGN_OR_RETURN(MigrationStats stats, MigrateDiffChunked(target));
+  stats.edge_cut_fraction_before = cut_before;
+  stats.imbalance_before = imbalance_before;
+  {
+    WriterMutexLock dir(&dir_mu_);
+    MutexLock topo(&topo_mu_);
+    stats.edge_cut_fraction_after = EdgeCutFraction(graph_, assignment_);
+    stats.imbalance_after = ImbalanceFactor(graph_, assignment_);
+    // A global repartitioner invalidates the incremental counts; rebuild.
+    aux_ = AuxiliaryData(graph_, assignment_);
+  }
   return stats;
 }
 
-Result<MigrationStats> HermesCluster::MigrateDiff(
-    const PartitionAssignment& before, const PartitionAssignment& after) {
+Result<MigrationStats> HermesCluster::MigrateDiffChunked(
+    const PartitionAssignment& target) {
   MigrationStats stats;
+  PartitionId alpha = 1;
   std::vector<VertexId> moved;
-  for (VertexId v = 0; v < before.size(); ++v) {
-    if (before.PartitionOf(v) != after.PartitionOf(v)) moved.push_back(v);
+  std::optional<PartitionAssignment> after;
+  {
+    WriterMutexLock dir(&dir_mu_);
+    alpha = assignment_.num_partitions();
+    // Snapshot the final placement now: `target` may be narrower than the
+    // live directory if InsertVertex ran since the caller computed it.
+    // Vertices past target.size() (and tombstones) simply don't move.
+    after = assignment_;
+    const std::size_t n = std::min(target.size(), after->size());
+    for (VertexId v = 0; v < n; ++v) {
+      if (tombstoned_[v]) continue;
+      if (after->PartitionOf(v) != target.PartitionOf(v)) {
+        after->Assign(v, target.PartitionOf(v));
+        moved.push_back(v);
+      }
+    }
+    MutexLock topo(&topo_mu_);
+    stats.relationships_touched =
+        RelationshipsTouched(graph_, assignment_, *after);
   }
   stats.vertices_moved = moved.size();
-  stats.relationships_touched = RelationshipsTouched(graph_, before, after);
   if (moved.empty()) return stats;
 
-  const PartitionId alpha = assignment_.num_partitions();
+  const std::size_t chunk_size =
+      options_.migration_chunk == 0 ? moved.size() : options_.migration_chunk;
   std::vector<SimTime> target_busy(alpha, 0.0);
   std::vector<SimTime> source_busy(alpha, 0.0);
 
-  // --- Copy step: snapshot on the source, replicate on the target.
-  // Insertion-only, so every target proceeds fully in parallel
-  // (Section 3.2); the step's duration is the busiest server's time.
-  std::vector<NodeSnapshot> snapshots;
-  snapshots.reserve(moved.size());
-  {
-    TraceSpan copy_span("cluster.migration.copy");
-    for (VertexId v : moved) {
-      HERMES_ASSIGN_OR_RETURN(
-          NodeSnapshot snap, store_ptrs_[before.PartitionOf(v)]->ExtractNode(v));
-      stats.bytes_copied += snap.WireBytes();
-      target_busy[after.PartitionOf(v)] +=
-          static_cast<SimTime>(snap.WireBytes()) * options_.net.per_byte_us +
-          static_cast<SimTime>(1 + snap.relationships.size()) *
-              options_.net.write_op_us;
-      snapshots.push_back(std::move(snap));
-    }
-    // Replicate node records first so that edges between co-migrating
-    // vertices find both endpoints present.
-    for (const NodeSnapshot& snap : snapshots) {
-      const PartitionId tp = after.PartitionOf(snap.id);
-      HERMES_RETURN_NOT_OK(DoCreateNode(tp, snap.id, snap.weight));
-      for (const auto& [key, value] : snap.properties) {
-        HERMES_RETURN_NOT_OK(DoSetNodeProperty(tp, snap.id, key, value));
+  std::vector<VertexId> chunk;
+  for (std::size_t begin = 0; begin < moved.size(); begin += chunk_size) {
+    const std::size_t end = std::min(moved.size(), begin + chunk_size);
+    chunk.assign(moved.begin() + begin, moved.begin() + end);
+    ++stats.chunks;
+    std::vector<NodeSnapshot> snapshots;
+    std::vector<PartitionId> sources;
+    snapshots.reserve(chunk.size());
+    sources.reserve(chunk.size());
+
+    // --- Copy step (exclusive directory hold, which excludes every shard
+    // holder — no shard mutexes needed). Snapshot on the source, replicate
+    // on the target, then mark the originals unavailable so the barrier
+    // window below is observable to readers (Section 3.2: the directory
+    // still routes to the source, whose record answers Unavailable).
+    {
+      WriterMutexLock dir(&dir_mu_);
+      TraceSpan copy_span("cluster.migration.copy");
+      for (VertexId v : chunk) {
+        const PartitionId sp = assignment_.PartitionOf(v);
+        HERMES_ASSIGN_OR_RETURN(NodeSnapshot snap,
+                                store_ptrs_[sp]->ExtractNode(v));
+        stats.bytes_copied += snap.WireBytes();
+        target_busy[after->PartitionOf(v)] +=
+            static_cast<SimTime>(snap.WireBytes()) * options_.net.per_byte_us +
+            static_cast<SimTime>(1 + snap.relationships.size()) *
+                options_.net.write_op_us;
+        sources.push_back(sp);
+        snapshots.push_back(std::move(snap));
       }
-    }
-    for (const NodeSnapshot& snap : snapshots) {
-      const PartitionId tp = after.PartitionOf(snap.id);
-      for (const auto& rel : snap.relationships) {
-        const bool other_local = after.PartitionOf(rel.other) == tp;
-        auto added = DoAddEdge(tp, snap.id, rel.other, rel.type, other_local);
-        if (!added.ok()) {
-          if (added.status().IsAlreadyExists()) continue;  // co-migrated edge
-          return added.status();
+      // Replicate node records first so that edges between co-migrating
+      // vertices find both endpoints present.
+      for (const NodeSnapshot& snap : snapshots) {
+        const PartitionId tp = after->PartitionOf(snap.id);
+        HERMES_RETURN_NOT_OK(DoCreateNode(tp, snap.id, snap.weight));
+        for (const auto& [key, value] : snap.properties) {
+          HERMES_RETURN_NOT_OK(DoSetNodeProperty(tp, snap.id, key, value));
         }
-        if (rel.properties_included) {
-          for (const auto& [key, value] : rel.properties) {
-            const Status st =
-                DoSetEdgeProperty(tp, snap.id, rel.other, key, value);
-            // Ghost copies refuse properties by design.
-            if (!st.ok() && !st.IsInvalidArgument()) return st;
+      }
+      for (const NodeSnapshot& snap : snapshots) {
+        const PartitionId tp = after->PartitionOf(snap.id);
+        for (const auto& rel : snap.relationships) {
+          // Each chunk is an independent classic migration epoch against
+          // the live directory: a neighbor's locality is its placement as
+          // of the END of this chunk (co-chunk movers land with us; later
+          // chunks are still where the live directory says, and their own
+          // epoch upgrades the half record to full when they arrive — the
+          // ghost rule is id-derived, so both sides stay consistent).
+          const bool other_in_chunk =
+              std::binary_search(chunk.begin(), chunk.end(), rel.other);
+          const PartitionId other_p = other_in_chunk
+                                          ? after->PartitionOf(rel.other)
+                                          : assignment_.PartitionOf(rel.other);
+          const bool other_local = other_p == tp;
+          auto added = DoAddEdge(tp, snap.id, rel.other, rel.type, other_local);
+          if (!added.ok()) {
+            if (added.status().IsAlreadyExists()) continue;  // co-migrated
+            return added.status();
+          }
+          if (rel.properties_included) {
+            for (const auto& [key, value] : rel.properties) {
+              const Status st =
+                  DoSetEdgeProperty(tp, snap.id, rel.other, key, value);
+              // Ghost copies refuse properties by design.
+              if (!st.ok() && !st.IsInvalidArgument()) return st;
+            }
           }
         }
       }
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        HERMES_RETURN_NOT_OK(
+            DoSetNodeState(sources[i], chunk[i], NodeState::kUnavailable));
+      }
+    }
+
+    // --- Synchronization barrier: every lock released, so reads and
+    // writes interleave with the in-flight migration here and observe the
+    // unavailable-record semantics for this chunk's vertices.
+    if (options_.migration_barrier_hook) {
+      options_.migration_barrier_hook(chunk);
+    }
+
+    // --- Remove step: flip the directory, shift the auxiliary counters,
+    // and delete the originals.
+    {
+      WriterMutexLock dir(&dir_mu_);
+      TraceSpan remove_span("cluster.migration.remove");
+      for (std::size_t i = 0; i < snapshots.size(); ++i) {
+        const NodeSnapshot& snap = snapshots[i];
+        const PartitionId sp = sources[i];
+        const PartitionId tp = after->PartitionOf(snap.id);
+        {
+          // Live counters (not the phase-one copies): concurrent weight
+          // bumps between chunks stay accounted.
+          MutexLock topo(&topo_mu_);
+          aux_.OnVertexMigrated(graph_, snap.id, sp, tp);
+        }
+        assignment_.Assign(snap.id, tp);
+        source_busy[sp] +=
+            static_cast<SimTime>(1 + snap.relationships.size()) *
+            options_.net.write_op_us;
+        HERMES_RETURN_NOT_OK(DoRemoveNode(sp, snap.id));
+      }
     }
   }
+
   stats.copy_time_us =
       *std::max_element(target_busy.begin(), target_busy.end());
-
-  // --- Synchronization barrier, then remove step: mark unavailable and
-  // delete the originals (queries treat unavailable records as absent, so
-  // no locks are held).
-  {
-    TraceSpan remove_span("cluster.migration.remove");
-    for (VertexId v : moved) {
-      const PartitionId sp = before.PartitionOf(v);
-      HERMES_RETURN_NOT_OK(DoSetNodeState(sp, v, NodeState::kUnavailable));
-    }
-    for (const NodeSnapshot& snap : snapshots) {
-      const PartitionId sp = before.PartitionOf(snap.id);
-      source_busy[sp] += static_cast<SimTime>(1 + snap.relationships.size()) *
-                         options_.net.write_op_us;
-      HERMES_RETURN_NOT_OK(DoRemoveNode(sp, snap.id));
-    }
-  }
   stats.total_time_us =
-      stats.copy_time_us + options_.net.migration_barrier_us +
+      stats.copy_time_us +
+      static_cast<SimTime>(stats.chunks) * options_.net.migration_barrier_us +
       *std::max_element(source_busy.begin(), source_busy.end());
   m_migrations_->Increment();
   m_vertices_migrated_->Increment(stats.vertices_moved);
@@ -428,13 +632,21 @@ Result<MigrationStats> HermesCluster::MigrateDiff(
 }
 
 bool HermesCluster::Validate(std::size_t sample, std::uint64_t seed) const {
-  MutexLock lock(&mu_);
+  WriterMutexLock dir(&dir_mu_);
+  MutexLock topo(&topo_mu_);
   const std::size_t n = graph_.NumVertices();
   Rng rng(seed);
   const bool all = (sample == 0 || sample >= n);
   const std::size_t rounds = all ? n : sample;
   for (std::size_t i = 0; i < rounds; ++i) {
     const VertexId v = all ? static_cast<VertexId>(i) : rng.Uniform(n);
+    if (tombstoned_[v]) {
+      // A tombstoned id must not exist in any store.
+      for (PartitionId p = 0; p < num_servers(); ++p) {
+        if (store_ptrs_[p]->NodeExists(v)) return false;
+      }
+      continue;
+    }
     const PartitionId pv = assignment_.PartitionOf(v);
     if (!store_ptrs_[pv]->HasNode(v)) return false;
     // No other store may host v.
@@ -468,24 +680,30 @@ bool HermesCluster::Validate(std::size_t sample, std::uint64_t seed) const {
 }
 
 std::size_t HermesCluster::TotalStoreBytes() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock dir(&dir_mu_);
   std::size_t total = 0;
-  for (const GraphStore* store : store_ptrs_) total += store->MemoryBytes();
+  for (PartitionId p = 0; p < num_servers(); ++p) {
+    MutexLock shard_lock(&shard(p));
+    total += store_ptrs_[p]->MemoryBytes();
+  }
   return total;
 }
 
 hermes::MetricsSnapshot HermesCluster::MetricsSnapshot() const {
   auto& registry = MetricsRegistry::Global();
   {
-    // Refresh point-in-time gauges under mu_, then snapshot. The registry
-    // mutex is a leaf, so mu_ -> registry.mu_ respects the lock order.
-    MutexLock lock(&mu_);
+    // Refresh point-in-time gauges under the directory lock, then
+    // snapshot. The registry mutex is a leaf, so every acquisition here
+    // respects the lock order.
+    ReaderMutexLock dir(&dir_mu_);
     std::size_t store_bytes = 0;
-    for (const GraphStore* store : store_ptrs_) {
-      store_bytes += store->MemoryBytes();
+    for (PartitionId p = 0; p < num_servers(); ++p) {
+      MutexLock shard_lock(&shard(p));
+      store_bytes += store_ptrs_[p]->MemoryBytes();
     }
     registry.GetGauge("cluster.store_bytes")
         ->Set(static_cast<double>(store_bytes));
+    MutexLock topo(&topo_mu_);
     registry.GetGauge("cluster.num_vertices")
         ->Set(static_cast<double>(graph_.NumVertices()));
     registry.GetGauge("cluster.num_edges")

@@ -1,13 +1,15 @@
 #ifndef HERMES_CLUSTER_HERMES_CLUSTER_H_
 #define HERMES_CLUSTER_HERMES_CLUSTER_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/result.h"
-#include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "graph/graph.h"
@@ -28,6 +30,9 @@ struct MigrationStats {
   std::size_t vertices_moved = 0;
   std::size_t relationships_touched = 0;
   std::size_t bytes_copied = 0;
+  /// Number of chunks the move list was split into (each chunk is an
+  /// independent copy -> barrier -> remove mini-epoch).
+  std::size_t chunks = 0;
   SimTime copy_time_us = 0.0;
   SimTime total_time_us = 0.0;
   // Filled when the move list came from the lightweight repartitioner.
@@ -50,17 +55,44 @@ struct MigrationStats {
 /// stores: the repartitioner runs against the auxiliary data exactly as in
 /// the paper, and physical migration runs against the stores.
 ///
-/// Concurrency model (phase 1, coarse): one cluster-level mutex `mu_`
-/// serializes every operation that touches shared state — reads, writes,
-/// repartitioning, and migration — because GraphStore, Graph, and
-/// AuxiliaryData are not internally synchronized. Record-level locks from
-/// the TransactionManager are acquired UNDER mu_ (lock order: mu_ ->
-/// DurableGraphStore::mu_ -> WriteAheadLog::mu_; LockManager::mu_ is a
-/// leaf). A writer stalled on a record lock held by an external
-/// transaction resolves by timeout, never deadlock. The const accessors
-/// (graph(), aux(), store(), ...) hand out unsynchronized references and
-/// are only safe on a quiesced cluster — see DESIGN.md "Concurrency
-/// invariants".
+/// Concurrency model (phase 2, sharded — DESIGN.md §6). Four ranked
+/// capabilities replace the old single cluster mutex:
+///
+///   migration_mu_ (rank 5)   one migration epoch at a time; held across
+///                            all chunks of a physical migration and
+///                            across Checkpoint() so a snapshot never
+///                            captures a half-migrated chunk.
+///   dir_mu_       (rank 10)  reader/writer lock over the directory:
+///                            assignment_, tombstoned_, and the vertex-id
+///                            space (graph_/assignment_ sizes). Queries
+///                            and single-edge writes hold it SHARED;
+///                            InsertVertex, Validate, and each migration
+///                            chunk hold it EXCLUSIVE. Writer-preferring,
+///                            so migration cannot be starved by reads.
+///   topo_mu_      (rank 20)  serializes mutations/reads of the graph_
+///                            adjacency+weights and aux_ counters (both
+///                            are not internally synchronized). Always
+///                            taken under dir_mu_ (shared or exclusive).
+///   shards_[p].mu (rank 100+p, name "cluster.p<p>") guards partition
+///                            p's GraphStore/DurableGraphStore. Shard
+///                            mutexes are only ever acquired while
+///                            holding dir_mu_ shared; a thread that needs
+///                            two shards (cross-partition InsertEdge)
+///                            takes them in partition-id order, which is
+///                            exactly increasing rank order. Holding
+///                            dir_mu_ EXCLUSIVE therefore implies
+///                            exclusive access to every store, which is
+///                            what migration chunks rely on.
+///
+/// Record-level transaction locks are acquired under dir_mu_ shared and
+/// before any shard mutex; a writer stalled on a record lock held by an
+/// external transaction resolves by timeout, never deadlock. The const
+/// accessors (graph(), aux(), store(), ...) hand out unsynchronized
+/// references and are only safe on a quiesced cluster — for the same
+/// reason assignment_/graph_/aux_/store state carry documented, not
+/// static, capabilities (per-partition guards are not expressible to the
+/// analysis); the runtime lock-order validator and the tsan preset are
+/// the enforcement mechanism. See DESIGN.md "Concurrency invariants".
 class HermesCluster {
  public:
   struct Options {
@@ -73,6 +105,21 @@ class HermesCluster {
     /// WAL-logged under `<durability_dir>/p<i>/` and Checkpoint() /
     /// Recover() provide crash safety for the whole cluster.
     std::string durability_dir;
+    /// Vertices physically migrated per chunk. Between chunks every lock
+    /// is released, so reads and writes interleave with a live migration
+    /// and observe the paper's unavailable-record semantics.
+    std::size_t migration_chunk = 64;
+    /// When > 0, ExecuteRead sleeps this long (wall clock) per remote
+    /// hop while holding only the shared directory lock — models the
+    /// network round-trip so real-thread benchmarks measure concurrency,
+    /// not just in-memory pointer chasing.
+    double read_hop_latency_us = 0.0;
+    /// Test hook: called between the copy and remove steps of every
+    /// migration chunk with the chunk's vertex list, with no cluster
+    /// locks held (reads from the hook are legal and see the barrier
+    /// window: chunk vertices unavailable at the source, directory not
+    /// yet flipped).
+    std::function<void(const std::vector<VertexId>&)> migration_barrier_hook;
   };
 
   /// Builds the cluster, loading every store with its shard (ghost
@@ -84,13 +131,17 @@ class HermesCluster {
   /// Reopens a durable cluster from `options.durability_dir` after a
   /// crash or shutdown: recovers every server's store (snapshot + WAL
   /// tail), then rebuilds the directory, graph view, and auxiliary data
-  /// from the recovered records.
+  /// from the recovered records. Vertex ids below the recovered max that
+  /// have no node record in any store (removed and never re-created) are
+  /// tombstoned: they keep weight 0, are rejected by reads and writes,
+  /// and are never migrated.
   static Result<std::unique_ptr<HermesCluster>> Recover(
       PartitionId num_partitions, Options options);
 
-  /// Snapshots every durable server and truncates its log. Errors when
-  /// durability is off.
-  Status Checkpoint() EXCLUDES(mu_);
+  /// Snapshots every durable server and truncates its log. Serialized
+  /// against whole migrations (never snapshots a half-migrated chunk).
+  /// Errors when durability is off.
+  Status Checkpoint() EXCLUDES(migration_mu_, dir_mu_);
 
   bool durable() const { return !options_.durability_dir.empty(); }
 
@@ -102,6 +153,12 @@ class HermesCluster {
   const GraphStore* store(PartitionId p) const { return store_ptrs_[p]; }
   TransactionManager* txn_manager() { return &txns_; }
   const Options& options() const { return options_; }
+
+  /// True when vertex id `v` was tombstoned by Recover(). Quiesced-read
+  /// accessor, like graph()/assignment().
+  bool IsTombstoned(VertexId v) const {
+    return v < tombstoned_.size() && tombstoned_[v] != 0;
+  }
 
   // --- Queries ---------------------------------------------------------------
 
@@ -118,8 +175,12 @@ class HermesCluster {
 
   /// Executes a `hops`-hop traversal from `start` against the stores
   /// (walking real relationship chains) and records per-server segments.
-  /// Reads bump the start vertex's weight when configured.
-  Result<TraversalRun> ExecuteRead(VertexId start, int hops) EXCLUDES(mu_);
+  /// Holds dir_mu_ shared for the whole traversal (placement is stable
+  /// for one query) and each shard mutex only per adjacency fetch, so
+  /// traversals run concurrently with each other and with writes. Reads
+  /// bump the start vertex's weight when configured.
+  Result<TraversalRun> ExecuteRead(VertexId start, int hops)
+      EXCLUDES(dir_mu_);
 
   /// Adapter for the declarative traversal API (graphdb/traversal.h):
   /// routes each adjacency fetch to the owning server's store, i.e. a
@@ -129,87 +190,122 @@ class HermesCluster {
   // --- Writes ----------------------------------------------------------------
 
   /// Creates a new vertex; placement by hash (new users have no history).
-  Result<VertexId> InsertVertex(double weight = 1.0) EXCLUDES(mu_);
+  /// Takes the directory exclusively (the vertex-id space grows).
+  Result<VertexId> InsertVertex(double weight = 1.0) EXCLUDES(dir_mu_);
 
   /// Creates edge {u, v}, updating stores (with ghosts), the graph view,
-  /// and the auxiliary data. Takes exclusive locks on both endpoints; a
-  /// lock timeout aborts with kTimedOut (deadlock resolution).
+  /// and the auxiliary data. Takes exclusive record locks on both
+  /// endpoints (a lock timeout aborts with kTimedOut — deadlock
+  /// resolution) and the two endpoint shard mutexes in partition-id
+  /// order. If a store rejects its half of the edge after the graph view
+  /// accepted it, the graph edge is rolled back and the transaction
+  /// aborted, so graph_ and the stores never diverge.
   Status InsertEdge(VertexId u, VertexId v, std::uint32_t type = 0)
-      EXCLUDES(mu_);
+      EXCLUDES(dir_mu_);
 
   // --- Repartitioning -----------------------------------------------------------
 
   /// Phase 1 + 2 of the paper's algorithm: runs the lightweight
-  /// repartitioner on the auxiliary data (logical moves), then physically
-  /// migrates the net-moved vertices between stores.
-  Result<MigrationStats> RunLightweightRepartition() EXCLUDES(mu_);
+  /// repartitioner on copies of the directory and auxiliary data (logical
+  /// moves), then physically migrates the net-moved vertices between
+  /// stores in chunks, releasing all locks between chunks.
+  Result<MigrationStats> RunLightweightRepartition()
+      EXCLUDES(migration_mu_, dir_mu_);
 
   /// Physically migrates stores to match `target` (used to apply an
   /// offline Metis partitioning for comparison). Labels should already be
   /// matched to the current assignment.
   Result<MigrationStats> MigrateToAssignment(const PartitionAssignment& target)
-      EXCLUDES(mu_);
+      EXCLUDES(migration_mu_, dir_mu_);
 
   /// Cross-checks stores against the graph view and directory on a sample
   /// of `sample` vertices (0 = all). Returns false on any inconsistency.
+  /// Takes the directory exclusively, so it is a quiesce point: it never
+  /// observes the inside of a migration chunk.
   bool Validate(std::size_t sample = 0, std::uint64_t seed = 1) const
-      EXCLUDES(mu_);
+      EXCLUDES(dir_mu_);
 
   /// Total bytes across all store shards.
-  std::size_t TotalStoreBytes() const EXCLUDES(mu_);
+  std::size_t TotalStoreBytes() const EXCLUDES(dir_mu_);
 
-  /// Refreshes the cluster gauges (store bytes, vertex count) under `mu_`
-  /// and returns a consistent copy of the process-wide metrics. Safe to
-  /// call concurrently with any other cluster operation: it takes mu_
-  /// first and MetricsRegistry's leaf mutex second (DESIGN.md §7).
-  hermes::MetricsSnapshot MetricsSnapshot() const EXCLUDES(mu_);
+  /// Refreshes the cluster gauges (store bytes, vertex count) under the
+  /// directory lock and returns a consistent copy of the process-wide
+  /// metrics. Safe to call concurrently with any other cluster operation
+  /// (MetricsRegistry's mutex is a leaf in the lock order, DESIGN.md §7).
+  hermes::MetricsSnapshot MetricsSnapshot() const EXCLUDES(dir_mu_);
 
  private:
+  /// One partition's shard: the store mutex plus owned storage for its
+  /// lock-order name ("cluster.p<i>"). Heap-allocated because Mutex is
+  /// neither movable nor copyable.
+  struct PartitionShard {
+    explicit PartitionShard(PartitionId p)
+        : label("cluster.p" + std::to_string(p)),
+          mu(label.c_str(),
+             lock_order::kRankPartitionBase + static_cast<int>(p)) {}
+    const std::string label;
+    Mutex mu;
+  };
+
   /// Builds without loading stores (used by Recover()).
   struct RecoveredTag {};
   HermesCluster(RecoveredTag, Graph graph, PartitionAssignment assignment,
                 Options options,
-                std::vector<std::unique_ptr<DurableGraphStore>> durable);
+                std::vector<std::unique_ptr<DurableGraphStore>> durable,
+                std::vector<char> tombstoned);
 
-  Status InitStores() EXCLUDES(mu_);
-  Status LoadStores() EXCLUDES(mu_);
-  Result<MigrationStats> MigrateDiff(const PartitionAssignment& before,
-                                     const PartitionAssignment& after)
-      REQUIRES(mu_);
+  Mutex& shard(PartitionId p) const { return shards_[p]->mu; }
+  void InitShards(PartitionId alpha);
+  Status InitStores();
+  Status LoadStores();
+
+  /// Physically migrates every vertex whose live placement differs from
+  /// `target`, in chunks of options_.migration_chunk. Each chunk runs the
+  /// classic copy -> barrier -> remove epoch against the live directory:
+  /// copy + mark-unavailable under dir_mu_ exclusive, then all locks
+  /// released (the observable barrier window), then directory flip +
+  /// source removal under dir_mu_ exclusive again.
+  Result<MigrationStats> MigrateDiffChunked(const PartitionAssignment& target)
+      REQUIRES(migration_mu_) EXCLUDES(dir_mu_);
 
   // Mutation helpers: route through the WAL when durability is on.
-  Status DoCreateNode(PartitionId p, VertexId id, double weight)
-      REQUIRES(mu_);
-  Status DoRemoveNode(PartitionId p, VertexId v) REQUIRES(mu_);
-  Status DoSetNodeState(PartitionId p, VertexId v, NodeState state)
-      REQUIRES(mu_);
-  Status DoAddNodeWeight(PartitionId p, VertexId v, double delta)
-      REQUIRES(mu_);
+  // Locking contract (documented, not statically expressible): the caller
+  // holds either partition p's shard mutex (under dir_mu_ shared) or
+  // dir_mu_ exclusively (which excludes all shard holders).
+  Status DoCreateNode(PartitionId p, VertexId id, double weight);
+  Status DoRemoveNode(PartitionId p, VertexId v);
+  Status DoSetNodeState(PartitionId p, VertexId v, NodeState state);
+  Status DoAddNodeWeight(PartitionId p, VertexId v, double delta);
   Result<RecordId> DoAddEdge(PartitionId p, VertexId v, VertexId other,
-                             std::uint32_t type, bool other_is_local)
-      REQUIRES(mu_);
+                             std::uint32_t type, bool other_is_local);
+  Status DoRemoveEdge(PartitionId p, VertexId v, VertexId other);
   Status DoSetNodeProperty(PartitionId p, VertexId v, std::uint32_t key,
-                           const std::string& value) REQUIRES(mu_);
+                           const std::string& value);
   Status DoSetEdgeProperty(PartitionId p, VertexId v, VertexId other,
-                           std::uint32_t key, const std::string& value)
-      REQUIRES(mu_);
+                           std::uint32_t key, const std::string& value);
 
-  /// Serializes all cluster operations (see class comment for the model
-  /// and the lock order). graph_/assignment_/aux_/store_ptrs_/txns_ are
-  /// guarded by mu_ by convention; they stay unannotated only because the
-  /// const accessors expose quiesced-read references.
-  mutable Mutex mu_{"cluster.mu", lock_order::kRankCluster};
+  /// Capabilities — see the class comment for the full scheme. The
+  /// guarded data members stay unannotated (the per-partition guards and
+  /// the "shared-or-exclusive" directory discipline are not expressible
+  /// to the static analysis); the runtime lock-order validator enforces
+  /// the acquisition order instead.
+  mutable Mutex migration_mu_{"cluster.migration_mu",
+                              lock_order::kRankMigration};
+  mutable SharedMutex dir_mu_{"cluster.dir", lock_order::kRankCluster};
+  mutable Mutex topo_mu_{"cluster.topo", lock_order::kRankClusterTopology};
   Graph graph_;
   PartitionAssignment assignment_;
   AuxiliaryData aux_;
   Options options_;
-  std::vector<std::unique_ptr<GraphStore>> stores_
-      GUARDED_BY(mu_);  // in-memory mode
-  std::vector<std::unique_ptr<DurableGraphStore>> durable_
-      GUARDED_BY(mu_);  // durable mode
+  /// tombstoned_[v] != 0 marks an id recovered without a node record
+  /// (guarded like assignment_: dir_mu_ shared to read, exclusive to
+  /// mutate). Always sized assignment_.size().
+  std::vector<char> tombstoned_;
+  std::vector<std::unique_ptr<GraphStore>> stores_;  // in-memory mode
+  std::vector<std::unique_ptr<DurableGraphStore>> durable_;  // durable mode
   std::vector<GraphStore*> store_ptrs_;  // uniform read access
+  std::vector<std::unique_ptr<PartitionShard>> shards_;  // one per partition
   TransactionManager txns_;
-  Rng rng_ GUARDED_BY(mu_){0xbead5ULL};
 
   // Observability (process-wide counters, DESIGN.md §7). Initialized here
   // so every constructor path shares them.

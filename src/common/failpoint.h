@@ -70,11 +70,12 @@ struct FailpointHit {
 /// were never armed. Evaluation also increments `failpoint.<name>.hits`
 /// and (when fired) `failpoint.<name>.fired` in the global
 /// MetricsRegistry; the Counter pointers are cached per site, so the
-/// metrics mutex (rank 70) is only taken on a site's first evaluation —
-/// legal because mu_ holds rank 65.
+/// metrics mutex (rank kRankMetrics) is only taken on a site's first
+/// evaluation — legal because mu_ holds the lower rank kRankFailpoint.
 ///
 /// Thread-safe. mu_ may be acquired while holding any storage-stack
-/// mutex (DurableStore 20, WAL 30, PageCache 60).
+/// mutex (DurableStore, WAL, PageCache — all ranked below kRankFailpoint
+/// in common/lock_order.h).
 class FailpointRegistry {
  public:
   /// The process-wide registry every HERMES_FAILPOINT_* macro consults.

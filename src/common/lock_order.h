@@ -29,17 +29,29 @@ namespace lock_order {
 /// holding rank r may only acquire ranks strictly greater than r, so
 /// equal-rank mutexes can never be held together (leaves are therefore
 /// given distinct ranks even though they are never nested).
-inline constexpr int kRankUnranked = -1;       // invisible to the validator
-inline constexpr int kRankCluster = 10;        // HermesCluster::mu_
-inline constexpr int kRankDurableStore = 20;   // DurableGraphStore::mu_
-inline constexpr int kRankWal = 30;            // WriteAheadLog::mu_
-inline constexpr int kRankThreadPool = 40;     // ThreadPool::mu_
-inline constexpr int kRankLockManager = 50;    // LockManager::mu_ (leaf)
-inline constexpr int kRankPageCache = 60;      // PageCache::mu_ (leaf)
-inline constexpr int kRankFailpoint = 65;      // FailpointRegistry::mu_
-inline constexpr int kRankMetrics = 70;        // MetricsRegistry::mu_ (leaf)
-inline constexpr int kRankTraceLog = 80;       // TraceLog::mu_ (leaf)
-inline constexpr int kRankLogging = 90;        // g_log_mutex (ultimate leaf)
+///
+/// The cluster tier (ranks < 10000) is the sharded locking scheme from
+/// DESIGN.md §6: one whole-migration mutex, the shared directory lock,
+/// the topology mutex, and one mutex per partition shard. Per-partition
+/// mutexes take rank kRankPartitionBase + partition id — distinct ranks
+/// (and distinct names, "cluster.p<i>") so that acquiring two endpoint
+/// partitions in partition-id order is exactly acquiring them in
+/// strictly increasing rank order. The storage tier starts at 10000 so
+/// any realistic partition count fits below it.
+inline constexpr int kRankUnranked = -1;  // invisible to the validator
+inline constexpr int kRankMigration = 5;  // HermesCluster::migration_mu_
+inline constexpr int kRankCluster = 10;   // HermesCluster::dir_mu_ (shared)
+inline constexpr int kRankClusterTopology = 20;  // HermesCluster::topo_mu_
+inline constexpr int kRankPartitionBase = 100;   // cluster.p<i> -> 100 + i
+inline constexpr int kRankDurableStore = 10000;  // DurableGraphStore::mu_
+inline constexpr int kRankWal = 10010;           // WriteAheadLog::mu_
+inline constexpr int kRankThreadPool = 10020;    // ThreadPool::mu_
+inline constexpr int kRankLockManager = 10030;   // LockManager::mu_ (leaf)
+inline constexpr int kRankPageCache = 10040;     // PageCache::mu_ (leaf)
+inline constexpr int kRankFailpoint = 10045;     // FailpointRegistry::mu_
+inline constexpr int kRankMetrics = 10050;       // MetricsRegistry::mu_ (leaf)
+inline constexpr int kRankTraceLog = 10060;      // TraceLog::mu_ (leaf)
+inline constexpr int kRankLogging = 10070;       // g_log_mutex (ultimate leaf)
 
 #ifdef HERMES_DEBUG_LOCK_ORDER
 

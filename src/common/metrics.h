@@ -81,7 +81,7 @@ struct MetricsSnapshot {
 ///
 /// Thread-safe; `mu_` is a leaf in the repo lock order (no other mutex is
 /// acquired while it is held), so metrics may be touched from any context,
-/// including under HermesCluster::mu_.
+/// including under any of HermesCluster's ranked mutexes.
 class MetricsRegistry {
  public:
   /// The process-wide registry every subsystem reports into.

@@ -148,6 +148,101 @@ class SCOPED_CAPABILITY MutexLock {
   Mutex* const mu_;
 };
 
+/// Annotated reader/writer lock with writer preference: once a writer is
+/// waiting, new readers queue behind it, so a migration or topology
+/// update cannot be starved by a continuous read stream (glibc's
+/// std::shared_mutex is reader-preferring, which is exactly the wrong
+/// default for the cluster directory lock — see DESIGN.md §6).
+///
+/// Participates in the lock-order validator like Mutex: both Lock() and
+/// LockShared() run the same OnAcquire rank check, because a shared hold
+/// still forbids acquiring lower-ranked mutexes (the inversion deadlock
+/// needs only one side to block).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex(const char* name, int rank) : name_(name), rank_(rank) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    lock_order::OnAcquire(this, name_, rank_);
+    std::unique_lock<std::mutex> l(mu_);
+    ++waiting_writers_;
+    cv_writer_.wait(l, [&] { return !writer_active_ && active_readers_ == 0; });
+    --waiting_writers_;
+    writer_active_ = true;
+  }
+  void Unlock() RELEASE() {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      writer_active_ = false;
+    }
+    cv_writer_.notify_one();
+    cv_reader_.notify_all();
+    lock_order::OnRelease(this);
+  }
+  void LockShared() ACQUIRE_SHARED() {
+    lock_order::OnAcquire(this, name_, rank_);
+    std::unique_lock<std::mutex> l(mu_);
+    cv_reader_.wait(l, [&] { return !writer_active_ && waiting_writers_ == 0; });
+    ++active_readers_;
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    bool last_reader;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      last_reader = (--active_readers_ == 0);
+    }
+    if (last_reader) cv_writer_.notify_one();
+    lock_order::OnRelease(this);
+  }
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_reader_;
+  std::condition_variable cv_writer_;
+  int active_readers_ = 0;
+  int waiting_writers_ = 0;
+  bool writer_active_ = false;
+  const char* name_;
+  int rank_;
+};
+
+/// RAII shared (read) lock over SharedMutex. Per the clang thread-safety
+/// docs a scoped_lockable destructor always uses the generic RELEASE()
+/// attribute; the analysis pairs it with the shared acquire.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive (write) lock over SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
 /// Condition variable bound to the annotated Mutex. Wait/WaitUntil
 /// REQUIRE the mutex: it is held on entry and on return (released and
 /// reacquired internally, which the analysis cannot see — the REQUIRES

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <utility>
+#include <vector>
 
 #include "common/failpoint.h"
 
@@ -168,6 +170,11 @@ Status DurableGraphStore::LoadSnapshot(const std::string& path,
 
   std::uint64_t node_count = 0;
   if (!ReadU64(in, &node_count)) return Status::IOError("truncated snapshot");
+  // Non-available states are applied only after the relationship section:
+  // AddEdge rejects unavailable endpoints (mid-migration write guard), so
+  // restoring a node's kUnavailable state first would make its own edges
+  // unloadable.
+  std::vector<std::pair<VertexId, NodeState>> deferred_states;
   for (std::uint64_t i = 0; i < node_count; ++i) {
     std::uint64_t id = 0;
     double weight = 0.0;
@@ -178,8 +185,9 @@ Status DurableGraphStore::LoadSnapshot(const std::string& path,
       return Status::IOError("truncated snapshot (nodes)");
     }
     HERMES_RETURN_NOT_OK(store->CreateNode(id, weight));
-    HERMES_RETURN_NOT_OK(
-        store->SetNodeState(id, static_cast<NodeState>(state)));
+    if (static_cast<NodeState>(state) != NodeState::kAvailable) {
+      deferred_states.emplace_back(id, static_cast<NodeState>(state));
+    }
     for (const auto& [key, value] : props) {
       HERMES_RETURN_NOT_OK(store->SetNodeProperty(id, key, value));
     }
@@ -221,6 +229,9 @@ Status DurableGraphStore::LoadSnapshot(const std::string& path,
                                                value);
       if (!st.ok() && !st.IsInvalidArgument()) return st;  // ghost: no props
     }
+  }
+  for (const auto& [id, state] : deferred_states) {
+    HERMES_RETURN_NOT_OK(store->SetNodeState(id, state));
   }
   if (in.position() != kSnapshotHeaderBytes + content_length) {
     return Status::IOError("snapshot length mismatch");
@@ -283,13 +294,25 @@ Status DurableGraphStore::Precheck(const WalEntry& e, const GraphStore& s) {
       if (!s.NodeExists(e.a)) return Status::NotFound("no such node");
       return Status::OK();
     case WalOpType::kAddEdge:
+      // Mirrors GraphStore::AddEdge's check order exactly (including the
+      // mid-migration Unavailable rejections), so that once the entry is
+      // logged the store apply cannot fail and the crash-torture model
+      // sees identical statuses.
       if (e.a == e.b) return Status::InvalidArgument("self-loops rejected");
       if (!s.NodeExists(e.a)) return Status::NotFound("no such node");
+      if (!s.HasNode(e.a)) {
+        return Status::Unavailable("node is mid-migration");
+      }
       if (s.FindEdge(e.a, e.b).ok()) {
         return Status::AlreadyExists("edge exists");
       }
-      if (e.flag != 0 && !s.NodeExists(e.b)) {
-        return Status::NotFound("local other endpoint missing");
+      if (e.flag != 0) {
+        if (!s.NodeExists(e.b)) {
+          return Status::NotFound("local other endpoint missing");
+        }
+        if (!s.HasNode(e.b)) {
+          return Status::Unavailable("other endpoint is mid-migration");
+        }
       }
       return Status::OK();
     case WalOpType::kRemoveEdge:

@@ -103,6 +103,12 @@ Result<RecordId> GraphStore::AddEdge(VertexId v, VertexId other,
                                      bool other_is_local) {
   if (v == other) return Status::InvalidArgument("self-loops not allowed");
   if (!NodeExists(v)) return Status::NotFound("local endpoint missing");
+  // Unavailable endpoints reject writes, exactly like Neighbors() rejects
+  // reads. Without this, an edge written during a migration barrier
+  // window lands on the node's already-snapshotted source copy and is
+  // destroyed by the commit step's RemoveNode — the graph view keeps an
+  // edge no store hosts.
+  if (!HasNode(v)) return Status::Unavailable("node is mid-migration");
 
   // Existing record? (Either a duplicate AddEdge, or — during migration —
   // a half record created from the other endpoint that we now upgrade.)
@@ -113,6 +119,9 @@ Result<RecordId> GraphStore::AddEdge(VertexId v, VertexId other,
   if (other_is_local) {
     if (!NodeExists(other)) {
       return Status::NotFound("other endpoint claimed local but missing");
+    }
+    if (!HasNode(other)) {
+      return Status::Unavailable("other endpoint is mid-migration");
     }
     // The other endpoint may already hold a half record for this edge
     // (it used to see `v` as remote). Upgrade it to a full record.

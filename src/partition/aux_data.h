@@ -28,10 +28,12 @@ namespace hermes {
 /// repartitioner's hot path and a per-call mutex would defeat Theorem 2's
 /// lightweight claim. Every mutation hook and every read during an active
 /// repartition must be externally serialized; in this repo that external
-/// capability is HermesCluster::mu_, which is held across all calls into
-/// this class (parallel candidate scans in the repartitioner are
-/// read-only and joined before the next mutation). See DESIGN.md
-/// "Concurrency invariants".
+/// capability is HermesCluster::topo_mu_ (always itself held under the
+/// cluster's shared directory lock), and the repartitioner's logical
+/// phase runs on a private copy under the directory lock held exclusively
+/// (parallel candidate scans in the repartitioner are read-only and
+/// joined before the next mutation). See DESIGN.md "Concurrency
+/// invariants".
 class AuxiliaryData {
  public:
   AuxiliaryData() = default;

@@ -151,12 +151,25 @@ std::size_t LightweightRepartitioner::RunStage(const Graph& g, int stage,
   for (PartitionId p = 0; p < alpha; ++p) {
     auto& cands = per_partition[p];
     if (cands.size() > k) {
-      // Keep the k candidates with the highest gains.
+      // Keep the k candidates with the highest gains. Ties on gain are
+      // broken by vertex id (ascending) to make the kept set — and the
+      // order moves are applied in — a total order: nth_element with a
+      // partial order would split a gain tie in an implementation-defined
+      // way, so the final cuts could differ across standard libraries.
+      const auto by_gain_then_id = [](const Candidate& a, const Candidate& b) {
+        return a.gain != b.gain ? a.gain > b.gain : a.vertex < b.vertex;
+      };
       std::nth_element(cands.begin(), cands.begin() + k, cands.end(),
-                       [](const Candidate& a, const Candidate& b) {
-                         return a.gain > b.gain;
-                       });
+                       by_gain_then_id);
       cands.resize(k);
+      // Restore scan order within the kept set so the apply loop below
+      // (whose balance re-check is order-sensitive) behaves identically
+      // to the no-truncation path: selection is by gain, application is
+      // by vertex id.
+      std::sort(cands.begin(), cands.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.vertex < b.vertex;
+                });
     }
     for (const Candidate& c : cands) {
       // Apply-time guard: candidates were selected against stage-start

@@ -70,7 +70,16 @@ Status PageCache::EvictOne() {
   HERMES_CHECK(it != frames_.end());
   Frame* frame = it->second.get();
   if (frame->dirty) {
-    HERMES_RETURN_NOT_OK(file_->WritePage(victim, frame->page));
+    const Status st = file_->WritePage(victim, frame->page);
+    if (!st.ok()) {
+      // The victim stays resident (still in frames_ with in_lru == true),
+      // so its lru_pos must be a valid position again — otherwise the
+      // next Pin of this page erases a dangling iterator. Re-queue it at
+      // the cold end: a retried eviction picks the same victim first.
+      lru_.push_back(victim);
+      frame->lru_pos = std::prev(lru_.end());
+      return st;
+    }
     ++stats_.writebacks;
     m_writebacks_->Increment();
   }

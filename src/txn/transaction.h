@@ -15,6 +15,14 @@ namespace hermes {
 /// (mid-migration) records never reach the lock table — the store rejects
 /// them first — which is what lets the remove step proceed without lock
 /// contention (Section 3.2).
+///
+/// Position in the cluster's sharded lock scheme (DESIGN.md §6): record
+/// locks are acquired while holding the cluster's directory lock shared
+/// and BEFORE any partition shard mutex, and they are the only cluster
+/// wait that can block on another transaction — which resolves by the
+/// LockManager timeout (kTimedOut), never deadlock, because every ranked
+/// mutex below them is acquired in rank order and released without
+/// waiting on records.
 class Transaction {
  public:
   Transaction(std::uint64_t id, LockManager* locks)

@@ -138,6 +138,57 @@ TEST(ClusterRecoveryTest, CheckpointTruncatesAllLogs) {
   }
 }
 
+TEST(ClusterRecoveryTest, RemovedNodeRecoversAsTombstoneNotPhantom) {
+  // Regression: an id below max_id whose node record was removed and
+  // never re-created used to recover as a weight-1 "phantom" on
+  // partition 0 (the directory default) that no store hosts — Validate()
+  // failed forever and any mutation against the id diverged graph and
+  // stores. Recover() now tombstones such ids.
+  const std::string dir = FreshDir("hermes_cluster_phantom");
+  {
+    Graph g(5);
+    ASSERT_TRUE(g.AddEdge(0, 1).ok());
+    ASSERT_TRUE(g.AddEdge(1, 3).ok());
+    ASSERT_TRUE(g.AddEdge(3, 4).ok());
+    PartitionAssignment asg(5, 2);
+    asg.Assign(3, 1);
+    asg.Assign(4, 1);
+    HermesCluster::Options opt;
+    opt.durability_dir = dir;
+    HermesCluster cluster(std::move(g), asg, opt);
+    // Drop the isolated vertex's record from its store, then checkpoint:
+    // on disk, id 2 now exists nowhere while max_id is still 4.
+    ASSERT_TRUE(cluster.store(0)->RemoveNode(2).ok());
+    ASSERT_TRUE(cluster.Checkpoint().ok());
+  }
+
+  HermesCluster::Options opt;
+  opt.durability_dir = dir;
+  auto recovered = HermesCluster::Recover(2, opt);
+  ASSERT_TRUE(recovered.ok());
+  HermesCluster& cluster = **recovered;
+  EXPECT_TRUE(cluster.Validate());  // pre-fix: failed (phantom on p0)
+  EXPECT_TRUE(cluster.IsTombstoned(2));
+  EXPECT_DOUBLE_EQ(cluster.graph().VertexWeight(2), 0.0);
+  // Every mutation/read path must reject the dead id...
+  EXPECT_TRUE(cluster.InsertEdge(2, 0).IsNotFound());
+  EXPECT_TRUE(cluster.ExecuteRead(2, 1).status().IsNotFound());
+  // ...while the id space stays monotone: new vertices allocate past it
+  // instead of resurrecting it.
+  auto id = cluster.InsertVertex();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 5u);
+  EXPECT_FALSE(cluster.IsTombstoned(*id));
+  EXPECT_TRUE(cluster.Validate());
+
+  // The tombstone survives another checkpoint/recover cycle.
+  ASSERT_TRUE(cluster.Checkpoint().ok());
+  auto again = HermesCluster::Recover(2, opt);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE((*again)->IsTombstoned(2));
+  EXPECT_TRUE((*again)->Validate());
+}
+
 TEST(ClusterRecoveryTest, NonDurableClusterRejectsCheckpoint) {
   Graph g(4);
   HermesCluster cluster(std::move(g), PartitionAssignment(4, 2));

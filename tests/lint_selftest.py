@@ -16,6 +16,8 @@ the regressions that motivated rule changes:
     storage stack, an option(HERMES_FAILPOINTS) that defaults ON, and a
     non-sanitizer preset enabling HERMES_FAILPOINTS — and stay quiet on
     sites inside src/storage//src/graphdb/ and on sanitizer presets.
+  * Real sleeps (sleep_for/sleep_until) in src/ must be flagged outside
+    the cluster's opt-in hop-latency model (hermes_cluster.cc).
 
 Usage: tests/lint_selftest.py [repo_root]   (exit 0 = all cases pass)
 """
@@ -174,6 +176,25 @@ def case_failpoints_must_stay_out_of_release():
         check("sanitizer preset is not flagged", "'asan-ubsan'" not in out, out)
 
 
+def case_real_sleeps_are_contained():
+    """Sleeps in src/ are banned outside the cluster's opt-in hop-latency
+    model (Options::read_hop_latency_us in src/cluster/hermes_cluster.cc)."""
+    print("case: real sleeps are flagged outside the cluster latency model")
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        write(root, "src/CMakeLists.txt",
+              "add_library(x STATIC storage/s.cc cluster/hermes_cluster.cc)\n")
+        write(root, "src/storage/s.cc",
+              "void s() { std::this_thread::sleep_for(d); }\n")
+        write(root, "src/cluster/hermes_cluster.cc",
+              "void h() { std::this_thread::sleep_until(t); }\n")
+        code, out = run_lint(root)
+        check("sleep_for outside allowlist is a finding",
+              code != 0 and "storage/s.cc" in out and "sleep_for" in out, out)
+        check("allowlisted cluster sleep is quiet",
+              "hermes_cluster.cc" not in out, out)
+
+
 def case_repo_itself_is_clean():
     print("case: the repo itself lints clean")
     code, out = run_lint(REPO_ROOT)
@@ -187,6 +208,7 @@ def main():
                  case_determinism_scope_and_suppression,
                  case_failpoint_containment,
                  case_failpoints_must_stay_out_of_release,
+                 case_real_sleeps_are_contained,
                  case_repo_itself_is_clean):
         case()
     if FAILURES:

@@ -186,9 +186,10 @@ TEST(LockOrderLockManagerTest, TimeoutPathBalancesHeldStack) {
 }
 
 TEST(LockOrderLockManagerTest, TimeoutUnderOuterClusterRankLock) {
-  // HermesCluster acquires record locks while holding cluster.mu_; the
-  // declared order cluster(10) -> lock_manager(50) must hold through
-  // both the success and the timeout path.
+  // HermesCluster acquires record locks while holding the directory lock
+  // (shared); the declared order cluster.dir (kRankCluster) ->
+  // lock_manager (kRankLockManager) must hold through both the success
+  // and the timeout path.
   lock_order::ResetGraphForTest();
   Mutex outer("test.cluster_like.mu", lock_order::kRankCluster);
   LockManager locks(milliseconds(25));

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "storage/page_cache.h"
 #include "storage/paged_file.h"
@@ -104,6 +105,52 @@ TEST(PageCacheTest, DirtyPageWrittenBackOnEviction) {
   Page direct;
   ASSERT_TRUE(file->ReadPage(0, &direct).ok());
   EXPECT_EQ(direct.bytes[7], 0x77);
+}
+
+TEST(PageCacheTest, FailedWritebackKeepsVictimResidentAndEvictable) {
+  // Regression: when the eviction write-back failed, EvictOne used to
+  // return with the victim still in frames_ and in_lru == true but its
+  // lru_pos already erased — the next Pin of that page erased a dangling
+  // iterator (UB, caught by ASan). The fix re-queues the victim at the
+  // cold end of the LRU before surfacing the error.
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "needs HERMES_FAILPOINTS (asan-ubsan / tsan presets)";
+  }
+  auto file = PagedFile::Open(TempFile("pc_wb_fail.pg"));
+  ASSERT_TRUE(file.ok());
+  PageCache cache(&*file, 2);
+  for (std::uint64_t pg : {0u, 1u}) {
+    auto p = cache.Pin(pg);
+    ASSERT_TRUE(p.ok());
+    (*p)->bytes[0] = static_cast<unsigned char>(0x50 + pg);
+    cache.Unpin(pg, /*dirty=*/true);
+  }
+
+  FailpointConfig cfg;
+  cfg.policy = FailpointConfig::Policy::kNthHit;
+  cfg.n = 1;
+  FailpointRegistry::Global().Arm("paged_file.write.io_error", cfg);
+  // Page 0 is the LRU victim; its write-back fails, so the miss fails.
+  auto failed = cache.Pin(2);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsIOError());
+  EXPECT_EQ(cache.resident(), 2u);
+
+  // Pre-fix this Pin was the UB: a hit on the half-evicted victim.
+  auto victim = cache.Pin(0);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ((*victim)->bytes[0], 0x50);  // dirty data survived the failure
+  cache.Unpin(0, /*dirty=*/true);
+
+  // With the fault cleared, eviction (and its write-back) works again.
+  FailpointRegistry::Global().Reset();
+  auto ok = cache.Pin(2);
+  ASSERT_TRUE(ok.ok());
+  cache.Unpin(2, /*dirty=*/false);
+  ASSERT_TRUE(cache.FlushAll().ok());
+  Page direct;
+  ASSERT_TRUE(file->ReadPage(1, &direct).ok());
+  EXPECT_EQ(direct.bytes[0], 0x51);
 }
 
 TEST(PageCacheTest, PinnedPagesNeverEvicted) {

@@ -138,6 +138,29 @@ def check_raw_sync(rel, text, findings):
                 "Mutex/MutexLock/CondVar from common/thread_annotations.h")
 
 
+# Real sleeps stall the single simulated "network" thread pool and make
+# tests wall-clock-dependent. The only legitimate in-tree sleep is the
+# cluster's opt-in remote-hop latency model (Options::read_hop_latency_us),
+# which defaults to off and exists so the concurrency benches are
+# latency-bound rather than CPU-bound.
+SLEEP_RE = re.compile(r"\bsleep_(for|until)\b")
+ALLOWED_SLEEP = {
+    Path("src/cluster/hermes_cluster.cc"),
+}
+
+
+def check_real_sleeps(rel, text, findings):
+    if rel in ALLOWED_SLEEP:
+        return
+    for i, line in enumerate(strip_comments(text).splitlines(), 1):
+        m = SLEEP_RE.search(line)
+        if m:
+            findings.append(
+                f"{rel}:{i}: real sleep_{m.group(1)} in src/ — sleeps belong "
+                "behind an Options knob (see Options::read_hop_latency_us); "
+                "use the simulator clock for timing logic")
+
+
 def check_adhoc_atomics(rel, text, findings):
     if rel in ALLOWED_ATOMIC:
         return
@@ -282,6 +305,7 @@ def main(argv):
             check_header_hygiene(rel, lines, findings)
         check_raw_sync(rel, text, findings)
         check_adhoc_atomics(rel, text, findings)
+        check_real_sleeps(rel, text, findings)
         check_determinism(rel, text, findings)
         check_failpoint_containment(rel, text, findings)
     check_cmake_lists_all_sources(root, findings)
