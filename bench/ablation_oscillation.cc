@@ -29,12 +29,16 @@ Graph AdversarialGraph(std::size_t group, PartitionAssignment* asg) {
   // cross-connected.
   for (VertexId u = 0; u < group; ++u) {
     for (VertexId v = group; v < 2 * group; ++v) {
-      (void)g.AddEdge(u, v);
+      HERMES_CHECK_OK(g.AddEdge(u, v));
     }
   }
   // Ballast paths on each side.
-  for (VertexId v = 2 * group; v + 1 < 3 * group; ++v) (void)g.AddEdge(v, v + 1);
-  for (VertexId v = 3 * group; v + 1 < 4 * group; ++v) (void)g.AddEdge(v, v + 1);
+  for (VertexId v = 2 * group; v + 1 < 3 * group; ++v) {
+    HERMES_CHECK_OK(g.AddEdge(v, v + 1));
+  }
+  for (VertexId v = 3 * group; v + 1 < 4 * group; ++v) {
+    HERMES_CHECK_OK(g.AddEdge(v, v + 1));
+  }
   for (VertexId v = group; v < 2 * group; ++v) asg->Assign(v, 1);
   for (VertexId v = 3 * group; v < 4 * group; ++v) asg->Assign(v, 1);
   return g;

@@ -69,7 +69,9 @@ int main(int argc, char** argv) {
       if (write_pct == 30) {
         // After the inserts, repartition and compare a pure-read run
         // against a fresh Metis placement of the evolved graph.
-        (void)cluster.RunLightweightRepartition();
+        // A failed repartition would silently invalidate the whole
+        // "after repartition" column — abort loudly instead.
+        HERMES_CHECK_OK(cluster.RunLightweightRepartition().status());
         TraceOptions reads;
         reads.num_requests = requests / 2;
         reads.seed = 7;

@@ -119,11 +119,11 @@ void BM_GraphStoreNeighbors(benchmark::State& state) {
   Graph g = MakeGraph(4000);
   GraphStore store(0);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    (void)store.CreateNode(v);
+    HERMES_CHECK_OK(store.CreateNode(v));
   }
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     for (VertexId w : g.Neighbors(v)) {
-      if (w > v) (void)store.AddEdge(v, w, 0, true);
+      if (w > v) HERMES_CHECK_OK(store.AddEdge(v, w, 0, true).status());
     }
   }
   VertexId v = 0;
@@ -149,7 +149,7 @@ void BM_WalAppend(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(wal->Append(entry));
   }
-  (void)wal->Sync();
+  HERMES_CHECK_OK(wal->Sync());
   std::remove(path.c_str());
 }
 BENCHMARK(BM_WalAppend);
@@ -157,10 +157,12 @@ BENCHMARK(BM_WalAppend);
 void BM_SnapshotRoundTrip(benchmark::State& state) {
   Graph g = MakeGraph(static_cast<std::size_t>(state.range(0)));
   GraphStore store(0);
-  for (VertexId v = 0; v < g.NumVertices(); ++v) (void)store.CreateNode(v);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    HERMES_CHECK_OK(store.CreateNode(v));
+  }
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     for (VertexId w : g.Neighbors(v)) {
-      if (w > v) (void)store.AddEdge(v, w, 0, true);
+      if (w > v) HERMES_CHECK_OK(store.AddEdge(v, w, 0, true).status());
     }
   }
   const std::string path = "/tmp/hermes_bench_snapshot.bin";

@@ -41,14 +41,14 @@ int main() {
     std::printf("Loading %zu users and %zu friendships (all WAL-logged)...\n",
                 g.NumVertices(), g.NumEdges());
     for (VertexId v = 0; v < g.NumVertices(); ++v) {
-      (void)db.CreateNode(v, g.VertexWeight(v));
+      HERMES_CHECK_OK(db.CreateNode(v, g.VertexWeight(v)));
     }
     for (VertexId v = 0; v < g.NumVertices(); ++v) {
       for (VertexId w : g.Neighbors(v)) {
-        if (w > v) (void)db.AddEdge(v, w, 0, true);
+        if (w > v) HERMES_CHECK_OK(db.AddEdge(v, w, 0, true).status());
       }
     }
-    (void)db.SetNodeProperty(0, 0, "the-first-user");
+    HERMES_CHECK_OK(db.SetNodeProperty(0, 0, "the-first-user"));
 
     std::printf("Checkpoint: snapshot written, log truncated.\n");
     if (!db.Checkpoint().ok()) return 1;
@@ -61,7 +61,11 @@ int main() {
       const VertexId v = rng.Uniform(g.NumVertices());
       if (u != v && db.AddEdge(u, v, 1, true).ok()) ++added;
     }
-    (void)db.Sync();
+    // The post-crash durability claim below depends on this fsync.
+    if (const Status st = db.Sync(); !st.ok()) {
+      std::fprintf(stderr, "sync failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
     edges_before_crash = db.store().NumRelationships();
     std::printf("Post-checkpoint: %zu new friendships (WAL only, next "
                 "LSN=%llu)\n",

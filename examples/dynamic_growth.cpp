@@ -33,9 +33,11 @@ void GrowGraph(HermesCluster* cluster, std::size_t batch, Rng* rng) {
       auto id = cluster->InsertVertex();
       if (!id.ok()) continue;
       const VertexId sponsor = rng->Uniform(n);
-      (void)cluster->InsertEdge(*id, sponsor);
+      // The brand-new vertex cannot already have this edge.
+      HERMES_CHECK_OK(cluster->InsertEdge(*id, sponsor));
       const auto neigh = cluster->graph().Neighbors(sponsor);
       if (!neigh.empty()) {
+        // audit:allow(status, the random pick may repeat the sponsor edge)
         (void)cluster->InsertEdge(*id, neigh[rng->Uniform(neigh.size())]);
       }
     } else {
@@ -46,6 +48,7 @@ void GrowGraph(HermesCluster* cluster, std::size_t batch, Rng* rng) {
       const VertexId via = neigh[rng->Uniform(neigh.size())];
       const auto second = cluster->graph().Neighbors(via);
       if (second.empty()) continue;
+      // audit:allow(status, wedge closing may pick u itself or an existing edge)
       (void)cluster->InsertEdge(u, second[rng->Uniform(second.size())]);
     }
   }

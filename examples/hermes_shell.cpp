@@ -234,6 +234,7 @@ int main() {
       VertexId u = 0;
       VertexId v = 0;
       ss >> u >> v;
+      // audit:allow(status, the shell reports the outcome to the user)
       const Status st = g_cluster->InsertEdge(u, v);
       std::printf("%s\n", st.ToString().c_str());
     } else if (cmd == "addvertex") {

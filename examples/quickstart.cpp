@@ -38,11 +38,11 @@ int main() {
   Graph g(12);
   for (VertexId u = 0; u < 6; ++u) {
     for (VertexId v = u + 1; v < 6; ++v) {
-      (void)g.AddEdge(u, v);
-      (void)g.AddEdge(6 + u, 6 + v);
+      HERMES_CHECK_OK(g.AddEdge(u, v));
+      HERMES_CHECK_OK(g.AddEdge(6 + u, 6 + v));
     }
   }
-  (void)g.AddEdge(5, 6);
+  HERMES_CHECK_OK(g.AddEdge(5, 6));
 
   // Offline initial partitioning (the paper uses Metis for this step).
   const PartitionAssignment initial =

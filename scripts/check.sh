@@ -21,6 +21,11 @@ python3 tools/lint.py .
 echo "== layering check =="
 python3 tools/layering_check.py .
 
+echo "== status audit =="
+# Machine-readable findings/suppression summary lands next to the build.
+mkdir -p build
+python3 tools/status_audit.py . --json build/status_audit.json
+
 # clang_tidy also runs as a ctest below (zero-findings gate over
 # compile_commands.json); it self-skips when no clang-tidy binary exists.
 
@@ -53,4 +58,4 @@ if [ "$preset" != "default" ]; then
   ctest --test-dir build -R bench_smoke --output-on-failure
 fi
 
-echo "OK: lint + layering + $preset build + tests + bench smoke all green"
+echo "OK: lint + layering + status audit + $preset build + tests + bench smoke all green"

@@ -303,8 +303,23 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
       graph_.AddVertexWeight(start, 1.0);
       aux_.OnVertexWeightChanged(start, 1.0, assignment_);
     }
-    MutexLock shard_lock(&shard(p0));
-    (void)DoAddNodeWeight(p0, start, 1.0);
+    Status bump;
+    {
+      MutexLock shard_lock(&shard(p0));
+      bump = DoAddNodeWeight(p0, start, 1.0);
+    }
+    if (!bump.ok()) {
+      // The durable store missed the bump (e.g. a WAL append failure).
+      // Undo the in-memory side — otherwise graph_ and the store diverge
+      // permanently: recovery reconstructs the lower weight and every
+      // repartition decision runs on phantom load. Surface the error so
+      // the caller sees the storage fault (the traversal result itself is
+      // sacrificed; reads are retryable under the Unavailable contract).
+      MutexLock topo(&topo_mu_);
+      graph_.AddVertexWeight(start, -1.0);
+      aux_.OnVertexWeightChanged(start, -1.0, assignment_);
+      return bump;
+    }
   }
   m_reads_->Increment();
   m_read_remote_hops_->Increment(run.remote_hops);
@@ -400,8 +415,10 @@ Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
     // transaction leaks its record locks until destruction — Validate()
     // then fails forever.
     {
+      // The edge is provably present: this transaction added it under the
+      // endpoints' exclusive record locks, which it still holds.
       MutexLock topo(&topo_mu_);
-      (void)graph_.RemoveEdge(u, v);
+      HERMES_CHECK_OK(graph_.RemoveEdge(u, v));
     }
     if (first_half_stranded) {
       // Double fault: the rollback write itself failed (e.g. the WAL is
@@ -544,47 +561,91 @@ Result<MigrationStats> HermesCluster::MigrateDiffChunked(
         snapshots.push_back(std::move(snap));
       }
       // Replicate node records first so that edges between co-migrating
-      // vertices find both endpoints present.
-      for (const NodeSnapshot& snap : snapshots) {
-        const PartitionId tp = after->PartitionOf(snap.id);
-        HERMES_RETURN_NOT_OK(DoCreateNode(tp, snap.id, snap.weight));
-        for (const auto& [key, value] : snap.properties) {
-          HERMES_RETURN_NOT_OK(DoSetNodeProperty(tp, snap.id, key, value));
-        }
-      }
-      for (const NodeSnapshot& snap : snapshots) {
-        const PartitionId tp = after->PartitionOf(snap.id);
-        for (const auto& rel : snap.relationships) {
-          // Each chunk is an independent classic migration epoch against
-          // the live directory: a neighbor's locality is its placement as
-          // of the END of this chunk (co-chunk movers land with us; later
-          // chunks are still where the live directory says, and their own
-          // epoch upgrades the half record to full when they arrive — the
-          // ghost rule is id-derived, so both sides stay consistent).
-          const bool other_in_chunk =
-              std::binary_search(chunk.begin(), chunk.end(), rel.other);
-          const PartitionId other_p = other_in_chunk
-                                          ? after->PartitionOf(rel.other)
-                                          : assignment_.PartitionOf(rel.other);
-          const bool other_local = other_p == tp;
-          auto added = DoAddEdge(tp, snap.id, rel.other, rel.type, other_local);
-          if (!added.ok()) {
-            if (added.status().IsAlreadyExists()) continue;  // co-migrated
-            return added.status();
+      // vertices find both endpoints present. Progress is tracked so that
+      // a mid-chunk storage failure (a WAL append rejected on the target,
+      // say) unwinds to the pre-chunk state instead of leaving the vertex
+      // hosted by two stores with the directory still at the source.
+      std::size_t created = 0;  // snapshots whose target node record exists
+      std::size_t marked = 0;   // sources already flagged kUnavailable
+      const Status copy_st = [&]() -> Status {
+        for (const NodeSnapshot& snap : snapshots) {
+          const PartitionId tp = after->PartitionOf(snap.id);
+          HERMES_RETURN_NOT_OK(DoCreateNode(tp, snap.id, snap.weight));
+          ++created;
+          for (const auto& [key, value] : snap.properties) {
+            HERMES_RETURN_NOT_OK(DoSetNodeProperty(tp, snap.id, key, value));
           }
-          if (rel.properties_included) {
-            for (const auto& [key, value] : rel.properties) {
-              const Status st =
-                  DoSetEdgeProperty(tp, snap.id, rel.other, key, value);
-              // Ghost copies refuse properties by design.
-              if (!st.ok() && !st.IsInvalidArgument()) return st;
+        }
+        for (const NodeSnapshot& snap : snapshots) {
+          const PartitionId tp = after->PartitionOf(snap.id);
+          for (const auto& rel : snap.relationships) {
+            // Each chunk is an independent classic migration epoch against
+            // the live directory: a neighbor's locality is its placement
+            // as of the END of this chunk (co-chunk movers land with us;
+            // later chunks are still where the live directory says, and
+            // their own epoch upgrades the half record to full when they
+            // arrive — the ghost rule is id-derived, so both sides stay
+            // consistent).
+            const bool other_in_chunk =
+                std::binary_search(chunk.begin(), chunk.end(), rel.other);
+            const PartitionId other_p =
+                other_in_chunk ? after->PartitionOf(rel.other)
+                               : assignment_.PartitionOf(rel.other);
+            const bool other_local = other_p == tp;
+            auto added =
+                DoAddEdge(tp, snap.id, rel.other, rel.type, other_local);
+            if (!added.ok()) {
+              if (added.status().IsAlreadyExists()) continue;  // co-migrated
+              return added.status();
+            }
+            if (rel.properties_included) {
+              for (const auto& [key, value] : rel.properties) {
+                const Status st =
+                    DoSetEdgeProperty(tp, snap.id, rel.other, key, value);
+                // Ghost copies refuse properties by design.
+                if (!st.ok() && !st.IsInvalidArgument()) return st;
+              }
             }
           }
         }
-      }
-      for (std::size_t i = 0; i < chunk.size(); ++i) {
-        HERMES_RETURN_NOT_OK(
-            DoSetNodeState(sources[i], chunk[i], NodeState::kUnavailable));
+        for (; marked < chunk.size(); ++marked) {
+          HERMES_RETURN_NOT_OK(DoSetNodeState(sources[marked], chunk[marked],
+                                              NodeState::kUnavailable));
+        }
+        return Status::OK();
+      }();
+      if (!copy_st.ok()) {
+        // Unwind under the same exclusive directory hold, so no reader or
+        // writer ever observes the half-replicated chunk. Removing a
+        // target replica degrades any co-located records it upgraded back
+        // to the half records they were before this chunk (the degrade
+        // rule node removal always applies), so the pre-chunk
+        // representation is restored exactly. Unwind writes are
+        // best-effort: under a persistent storage fault they can fail too
+        // — warn loudly and keep going so as much of the chunk as
+        // possible is released, then surface the original error.
+        for (std::size_t i = 0; i < marked; ++i) {
+          const Status undo =
+              DoSetNodeState(sources[i], chunk[i], NodeState::kAvailable);
+          if (!undo.ok()) {
+            HERMES_LOG(Warning)
+                << "migration unwind: vertex " << chunk[i]
+                << " stuck unavailable on partition " << sources[i] << ": "
+                << undo.ToString();
+          }
+        }
+        for (std::size_t i = 0; i < created; ++i) {
+          const NodeSnapshot& snap = snapshots[i];
+          const PartitionId tp = after->PartitionOf(snap.id);
+          const Status undo = DoRemoveNode(tp, snap.id);
+          if (!undo.ok()) {
+            HERMES_LOG(Warning)
+                << "migration unwind: replica of vertex " << snap.id
+                << " stranded on partition " << tp << ": "
+                << undo.ToString();
+          }
+        }
+        return copy_st;
       }
     }
 

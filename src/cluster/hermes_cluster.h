@@ -135,13 +135,13 @@ class HermesCluster {
   /// have no node record in any store (removed and never re-created) are
   /// tombstoned: they keep weight 0, are rejected by reads and writes,
   /// and are never migrated.
-  static Result<std::unique_ptr<HermesCluster>> Recover(
+  [[nodiscard]] static Result<std::unique_ptr<HermesCluster>> Recover(
       PartitionId num_partitions, Options options);
 
   /// Snapshots every durable server and truncates its log. Serialized
   /// against whole migrations (never snapshots a half-migrated chunk).
   /// Errors when durability is off.
-  Status Checkpoint() EXCLUDES(migration_mu_, dir_mu_);
+  [[nodiscard]] Status Checkpoint() EXCLUDES(migration_mu_, dir_mu_);
 
   bool durable() const { return !options_.durability_dir.empty(); }
 
@@ -179,19 +179,20 @@ class HermesCluster {
   /// for one query) and each shard mutex only per adjacency fetch, so
   /// traversals run concurrently with each other and with writes. Reads
   /// bump the start vertex's weight when configured.
-  Result<TraversalRun> ExecuteRead(VertexId start, int hops)
+  [[nodiscard]] Result<TraversalRun> ExecuteRead(VertexId start, int hops)
       EXCLUDES(dir_mu_);
 
   /// Adapter for the declarative traversal API (graphdb/traversal.h):
   /// routes each adjacency fetch to the owning server's store, i.e. a
   /// cluster-wide remote-traversal-capable NeighborProvider.
+  // audit:allow(guard, lock-free; the provider locks per invocation)
   NeighborProvider MakeNeighborProvider() const;
 
   // --- Writes ----------------------------------------------------------------
 
   /// Creates a new vertex; placement by hash (new users have no history).
   /// Takes the directory exclusively (the vertex-id space grows).
-  Result<VertexId> InsertVertex(double weight = 1.0) EXCLUDES(dir_mu_);
+  [[nodiscard]] Result<VertexId> InsertVertex(double weight = 1.0) EXCLUDES(dir_mu_);
 
   /// Creates edge {u, v}, updating stores (with ghosts), the graph view,
   /// and the auxiliary data. Takes exclusive record locks on both
@@ -200,7 +201,7 @@ class HermesCluster {
   /// order. If a store rejects its half of the edge after the graph view
   /// accepted it, the graph edge is rolled back and the transaction
   /// aborted, so graph_ and the stores never diverge.
-  Status InsertEdge(VertexId u, VertexId v, std::uint32_t type = 0)
+  [[nodiscard]] Status InsertEdge(VertexId u, VertexId v, std::uint32_t type = 0)
       EXCLUDES(dir_mu_);
 
   // --- Repartitioning -----------------------------------------------------------
@@ -209,13 +210,13 @@ class HermesCluster {
   /// repartitioner on copies of the directory and auxiliary data (logical
   /// moves), then physically migrates the net-moved vertices between
   /// stores in chunks, releasing all locks between chunks.
-  Result<MigrationStats> RunLightweightRepartition()
+  [[nodiscard]] Result<MigrationStats> RunLightweightRepartition()
       EXCLUDES(migration_mu_, dir_mu_);
 
   /// Physically migrates stores to match `target` (used to apply an
   /// offline Metis partitioning for comparison). Labels should already be
   /// matched to the current assignment.
-  Result<MigrationStats> MigrateToAssignment(const PartitionAssignment& target)
+  [[nodiscard]] Result<MigrationStats> MigrateToAssignment(const PartitionAssignment& target)
       EXCLUDES(migration_mu_, dir_mu_);
 
   /// Cross-checks stores against the graph view and directory on a sample
@@ -256,8 +257,8 @@ class HermesCluster {
 
   Mutex& shard(PartitionId p) const { return shards_[p]->mu; }
   void InitShards(PartitionId alpha);
-  Status InitStores();
-  Status LoadStores();
+  [[nodiscard]] Status InitStores();
+  [[nodiscard]] Status LoadStores();
 
   /// Physically migrates every vertex whose live placement differs from
   /// `target`, in chunks of options_.migration_chunk. Each chunk runs the
@@ -265,23 +266,23 @@ class HermesCluster {
   /// copy + mark-unavailable under dir_mu_ exclusive, then all locks
   /// released (the observable barrier window), then directory flip +
   /// source removal under dir_mu_ exclusive again.
-  Result<MigrationStats> MigrateDiffChunked(const PartitionAssignment& target)
+  [[nodiscard]] Result<MigrationStats> MigrateDiffChunked(const PartitionAssignment& target)
       REQUIRES(migration_mu_) EXCLUDES(dir_mu_);
 
   // Mutation helpers: route through the WAL when durability is on.
   // Locking contract (documented, not statically expressible): the caller
   // holds either partition p's shard mutex (under dir_mu_ shared) or
   // dir_mu_ exclusively (which excludes all shard holders).
-  Status DoCreateNode(PartitionId p, VertexId id, double weight);
-  Status DoRemoveNode(PartitionId p, VertexId v);
-  Status DoSetNodeState(PartitionId p, VertexId v, NodeState state);
-  Status DoAddNodeWeight(PartitionId p, VertexId v, double delta);
-  Result<RecordId> DoAddEdge(PartitionId p, VertexId v, VertexId other,
+  [[nodiscard]] Status DoCreateNode(PartitionId p, VertexId id, double weight);
+  [[nodiscard]] Status DoRemoveNode(PartitionId p, VertexId v);
+  [[nodiscard]] Status DoSetNodeState(PartitionId p, VertexId v, NodeState state);
+  [[nodiscard]] Status DoAddNodeWeight(PartitionId p, VertexId v, double delta);
+  [[nodiscard]] Result<RecordId> DoAddEdge(PartitionId p, VertexId v, VertexId other,
                              std::uint32_t type, bool other_is_local);
-  Status DoRemoveEdge(PartitionId p, VertexId v, VertexId other);
-  Status DoSetNodeProperty(PartitionId p, VertexId v, std::uint32_t key,
+  [[nodiscard]] Status DoRemoveEdge(PartitionId p, VertexId v, VertexId other);
+  [[nodiscard]] Status DoSetNodeProperty(PartitionId p, VertexId v, std::uint32_t key,
                            const std::string& value);
-  Status DoSetEdgeProperty(PartitionId p, VertexId v, VertexId other,
+  [[nodiscard]] Status DoSetEdgeProperty(PartitionId p, VertexId v, VertexId other,
                            std::uint32_t key, const std::string& value);
 
   /// Capabilities — see the class comment for the full scheme. The
@@ -293,17 +294,25 @@ class HermesCluster {
                               lock_order::kRankMigration};
   mutable SharedMutex dir_mu_{"cluster.dir", lock_order::kRankCluster};
   mutable Mutex topo_mu_{"cluster.topo", lock_order::kRankClusterTopology};
+  // audit:allow(guard, topo_mu_ under a dir_mu_ hold; quiesced const access)
   Graph graph_;
+  // audit:allow(guard, dir_mu_ shared to read and exclusive to mutate)
   PartitionAssignment assignment_;
+  // audit:allow(guard, topo_mu_ under a dir_mu_ hold; quiesced const access)
   AuxiliaryData aux_;
-  Options options_;
+  const Options options_;
   /// tombstoned_[v] != 0 marks an id recovered without a node record
   /// (guarded like assignment_: dir_mu_ shared to read, exclusive to
   /// mutate). Always sized assignment_.size().
+  // audit:allow(guard, dir_mu_ shared to read and exclusive to mutate)
   std::vector<char> tombstoned_;
+  // audit:allow(guard, container fixed at construction; elements per-shard)
   std::vector<std::unique_ptr<GraphStore>> stores_;  // in-memory mode
+  // audit:allow(guard, container fixed at construction; elements per-shard)
   std::vector<std::unique_ptr<DurableGraphStore>> durable_;  // durable mode
+  // audit:allow(guard, container fixed at construction; elements per-shard)
   std::vector<GraphStore*> store_ptrs_;  // uniform read access
+  // audit:allow(guard, fixed at construction; each element is the guard)
   std::vector<std::unique_ptr<PartitionShard>> shards_;  // one per partition
   TransactionManager txns_;
 

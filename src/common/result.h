@@ -32,7 +32,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// Returns the error status, or OK if a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 

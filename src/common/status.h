@@ -1,6 +1,8 @@
 #ifndef HERMES_COMMON_STATUS_H_
 #define HERMES_COMMON_STATUS_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -40,35 +42,35 @@ class Status {
                    ? nullptr
                    : std::make_shared<State>(State{code, std::move(msg)})) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status TimedOut(std::string msg) {
+  [[nodiscard]] static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
   }
-  static Status Aborted(std::string msg) {
+  [[nodiscard]] static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
 
@@ -111,6 +113,20 @@ class Status {
   do {                                        \
     ::hermes::Status _st = (expr);            \
     if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Fatal discipline check for statuses on invariant paths (rollback of a
+/// write that provably succeeded, freeing records just observed live):
+/// aborts with the status message. Recoverable conditions propagate a
+/// Status instead; Result-returning calls pass `expr.status()`.
+#define HERMES_CHECK_OK(expr)                                           \
+  do {                                                                  \
+    ::hermes::Status _st = (expr);                                      \
+    if (!_st.ok()) {                                                    \
+      std::fprintf(stderr, "%s:%d: status invariant failed: %s\n",      \
+                   __FILE__, __LINE__, _st.ToString().c_str());         \
+      std::abort();                                                     \
+    }                                                                   \
   } while (false)
 
 /// Assigns the value of a Result expression or propagates its error.

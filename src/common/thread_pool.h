@@ -44,7 +44,8 @@ class ThreadPool {
   std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
   std::size_t in_flight_ GUARDED_BY(mu_) = 0;
   bool shutting_down_ GUARDED_BY(mu_) = false;
-  std::vector<std::thread> workers_;  // written in ctor, joined in dtor only
+  // audit:allow(guard, written in the ctor and joined in the dtor only)
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace hermes

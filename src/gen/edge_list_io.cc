@@ -7,7 +7,7 @@
 
 namespace hermes {
 
-Result<Graph> LoadEdgeList(const std::string& path) {
+[[nodiscard]] Result<Graph> LoadEdgeList(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
 
@@ -32,7 +32,7 @@ Result<Graph> LoadEdgeList(const std::string& path) {
   return GraphFromEdges(remap.size(), edges);
 }
 
-Status SaveEdgeList(const Graph& g, const std::string& path) {
+[[nodiscard]] Status SaveEdgeList(const Graph& g, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path);
   out << "# hermes edge list: " << g.NumVertices() << " vertices, "

@@ -13,10 +13,10 @@ namespace hermes {
 /// real Twitter/Orkut/DBLP crawls can be dropped in when available.
 /// Vertices are renumbered densely; duplicate edges and self-loops are
 /// skipped.
-Result<Graph> LoadEdgeList(const std::string& path);
+[[nodiscard]] Result<Graph> LoadEdgeList(const std::string& path);
 
 /// Writes a graph back out in the same format.
-Status SaveEdgeList(const Graph& g, const std::string& path);
+[[nodiscard]] Status SaveEdgeList(const Graph& g, const std::string& path);
 
 }  // namespace hermes
 

@@ -86,7 +86,7 @@ std::vector<DatasetProfile> AllProfiles(double scale) {
   return {OrkutProfile(scale), TwitterProfile(scale), DblpProfile(scale)};
 }
 
-Result<DatasetProfile> ProfileByName(const std::string& name, double scale) {
+[[nodiscard]] Result<DatasetProfile> ProfileByName(const std::string& name, double scale) {
   std::string lower = name;
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return std::tolower(c); });

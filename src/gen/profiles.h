@@ -41,7 +41,7 @@ DatasetProfile DblpProfile(double scale = 1.0, std::uint64_t seed = 13);
 std::vector<DatasetProfile> AllProfiles(double scale = 1.0);
 
 /// Looks a profile up by (case-insensitive) name.
-Result<DatasetProfile> ProfileByName(const std::string& name, double scale);
+[[nodiscard]] Result<DatasetProfile> ProfileByName(const std::string& name, double scale);
 
 /// Generates the graph for a profile.
 Graph GenerateDataset(const DatasetProfile& profile);

@@ -46,10 +46,12 @@ Graph GenerateRmat(const RmatOptions& opt) {
   for (VertexId v = 0; v < n; ++v) {
     if (g.Degree(v) == 0) {
       const VertexId peer = rng.Uniform(n);
+      // v is isolated, so the chosen edge cannot be a duplicate; only the
+      // degenerate single-vertex graph has nothing to attach to.
       if (peer != v) {
-        (void)g.AddEdge(v, peer);
-      } else {
-        (void)g.AddEdge(v, (v + 1) % n);
+        HERMES_CHECK_OK(g.AddEdge(v, peer));
+      } else if (n > 1) {
+        HERMES_CHECK_OK(g.AddEdge(v, (v + 1) % n));
       }
     }
   }

@@ -139,10 +139,12 @@ Graph GenerateSocialGraph(const SocialGraphOptions& opt,
       const std::uint32_t c = community[v];
       const VertexId peer = static_cast<VertexId>(
           community_start[c] + SampleFromCumulative(comm_cum[c], &rng));
+      // v is isolated, so the chosen edge cannot be a duplicate; only the
+      // degenerate single-vertex graph has nothing to attach to.
       if (peer != v) {
-        (void)g.AddEdge(v, peer);
-      } else {
-        (void)g.AddEdge(v, (v + 1) % n);
+        HERMES_CHECK_OK(g.AddEdge(v, peer));
+      } else if (n > 1) {
+        HERMES_CHECK_OK(g.AddEdge(v, (v + 1) % n));
       }
     }
   }

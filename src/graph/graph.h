@@ -35,10 +35,10 @@ class Graph {
 
   /// Adds an undirected edge {u, v}. Rejects self-loops, duplicate edges,
   /// and out-of-range endpoints.
-  Status AddEdge(VertexId u, VertexId v);
+  [[nodiscard]] Status AddEdge(VertexId u, VertexId v);
 
   /// Removes the undirected edge {u, v} if present.
-  Status RemoveEdge(VertexId u, VertexId v);
+  [[nodiscard]] Status RemoveEdge(VertexId u, VertexId v);
 
   bool HasEdge(VertexId u, VertexId v) const;
 

@@ -37,7 +37,7 @@ class DurableGraphStore {
  public:
   /// Opens (and recovers) the partition stored under `dir`. The directory
   /// must exist; files `snapshot.bin` and `wal.log` are created inside.
-  static Result<std::unique_ptr<DurableGraphStore>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<DurableGraphStore>> Open(
       PartitionId partition_id, const std::string& dir);
 
   /// Read access goes straight to the in-memory store.
@@ -50,23 +50,23 @@ class DurableGraphStore {
 
   // --- Logged mutations (same contracts as GraphStore) --------------------
 
-  Status CreateNode(VertexId id, double weight = 1.0) EXCLUDES(mu_);
-  Status RemoveNode(VertexId v) EXCLUDES(mu_);
-  Status SetNodeState(VertexId id, NodeState state) EXCLUDES(mu_);
-  Status AddNodeWeight(VertexId id, double delta) EXCLUDES(mu_);
-  Result<RecordId> AddEdge(VertexId v, VertexId other, std::uint32_t type,
+  [[nodiscard]] Status CreateNode(VertexId id, double weight = 1.0) EXCLUDES(mu_);
+  [[nodiscard]] Status RemoveNode(VertexId v) EXCLUDES(mu_);
+  [[nodiscard]] Status SetNodeState(VertexId id, NodeState state) EXCLUDES(mu_);
+  [[nodiscard]] Status AddNodeWeight(VertexId id, double delta) EXCLUDES(mu_);
+  [[nodiscard]] Result<RecordId> AddEdge(VertexId v, VertexId other, std::uint32_t type,
                            bool other_is_local) EXCLUDES(mu_);
-  Status RemoveEdge(VertexId v, VertexId other) EXCLUDES(mu_);
-  Status SetNodeProperty(VertexId id, std::uint32_t key,
+  [[nodiscard]] Status RemoveEdge(VertexId v, VertexId other) EXCLUDES(mu_);
+  [[nodiscard]] Status SetNodeProperty(VertexId id, std::uint32_t key,
                          const std::string& value) EXCLUDES(mu_);
-  Status SetEdgeProperty(VertexId v, VertexId other, std::uint32_t key,
+  [[nodiscard]] Status SetEdgeProperty(VertexId v, VertexId other, std::uint32_t key,
                          const std::string& value) EXCLUDES(mu_);
 
   /// Writes a snapshot, marks a checkpoint, and truncates the log.
-  Status Checkpoint() EXCLUDES(mu_);
+  [[nodiscard]] Status Checkpoint() EXCLUDES(mu_);
 
   /// Flushes the log to the OS (group-commit point).
-  Status Sync() EXCLUDES(mu_) {
+  [[nodiscard]] Status Sync() EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return wal_->Sync();
   }
@@ -83,9 +83,9 @@ class DurableGraphStore {
   // what makes a crash between the snapshot rename and the WAL
   // truncation safe (replaying the stale log in full would double-apply
   // non-idempotent entries such as kAddNodeWeight).
-  static Status WriteSnapshot(const GraphStore& store, const std::string& path,
+  [[nodiscard]] static Status WriteSnapshot(const GraphStore& store, const std::string& path,
                               std::uint64_t covered_lsn = 0);
-  static Status LoadSnapshot(const std::string& path, GraphStore* store,
+  [[nodiscard]] static Status LoadSnapshot(const std::string& path, GraphStore* store,
                              std::uint64_t* covered_lsn = nullptr);
 
  private:
@@ -97,23 +97,24 @@ class DurableGraphStore {
         store_(std::move(store)),
         wal_(std::move(wal)) {}
 
-  static Status Replay(const WalEntry& entry, GraphStore* store);
+  [[nodiscard]] static Status Replay(const WalEntry& entry, GraphStore* store);
 
   // Read-only mirror of GraphStore's rejection rules, checked BEFORE an
   // entry is logged. A mutation the live store would reject never reaches
   // the WAL, so recovery replay can treat any store rejection as real
   // divergence instead of tolerating it (see Replay).
-  static Status Precheck(const WalEntry& entry, const GraphStore& store);
+  [[nodiscard]] static Status Precheck(const WalEntry& entry, const GraphStore& store);
 
-  Status Log(WalEntry entry) REQUIRES(mu_) {
+  [[nodiscard]] Status Log(WalEntry entry) REQUIRES(mu_) {
     return wal_->Append(std::move(entry)).status();
   }
 
-  PartitionId partition_id_;
-  std::string dir_;
+  const PartitionId partition_id_;
+  const std::string dir_;
   mutable Mutex mu_{"durable_store.mu", lock_order::kRankDurableStore};
   // Guarded by mu_ on every logged-mutation path; the store() accessors
   // expose lock-free reads by documented contract (see class comment).
+  // audit:allow(guard, lock-free read contract documented above)
   std::unique_ptr<GraphStore> store_;
   std::unique_ptr<WriteAheadLog> wal_ GUARDED_BY(mu_);
 };

@@ -280,10 +280,13 @@ void GraphStore::FreePropertyChain(RecordId first_prop) {
     const PropertyRecord* rec = props_.GetPtr(id);
     HERMES_CHECK(rec != nullptr);
     const RecordId next = rec->next_prop;
+    // The record was just observed live via GetPtr, so freeing its
+    // dynamic chain and the record itself cannot legitimately fail — a
+    // failure here is chain corruption, not a recoverable condition.
     if (!rec->inlined && rec->dynamic_head != kInvalidRecord) {
-      (void)dynamic_.Free(rec->dynamic_head);
+      HERMES_CHECK_OK(dynamic_.Free(rec->dynamic_head));
     }
-    (void)props_.Delete(id);
+    HERMES_CHECK_OK(props_.Delete(id));
     id = next;
   }
 }

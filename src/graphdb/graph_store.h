@@ -41,7 +41,7 @@ class GraphStore {
 
   // --- Nodes ---------------------------------------------------------------
 
-  Status CreateNode(VertexId id, double weight = 1.0);
+  [[nodiscard]] Status CreateNode(VertexId id, double weight = 1.0);
 
   /// True when the node exists and is available (not mid-migration).
   bool HasNode(VertexId id) const;
@@ -49,13 +49,13 @@ class GraphStore {
   /// True when the node record exists regardless of availability.
   bool NodeExists(VertexId id) const;
 
-  Result<double> NodeWeight(VertexId id) const;
-  Status AddNodeWeight(VertexId id, double delta);
+  [[nodiscard]] Result<double> NodeWeight(VertexId id) const;
+  [[nodiscard]] Status AddNodeWeight(VertexId id, double delta);
 
   /// Marks a node unavailable: standard queries treat it as absent and no
   /// locks can be taken on it (migration remove step, Section 3.2).
-  Status SetNodeState(VertexId id, NodeState state);
-  Result<NodeState> GetNodeState(VertexId id) const;
+  [[nodiscard]] Status SetNodeState(VertexId id, NodeState state);
+  [[nodiscard]] Result<NodeState> GetNodeState(VertexId id) const;
 
   // --- Relationships --------------------------------------------------------
 
@@ -64,55 +64,55 @@ class GraphStore {
   /// and available. When both endpoints are local and the record already
   /// exists (e.g. created via the other endpoint) the call is a no-op
   /// returning the existing record id.
-  Result<RecordId> AddEdge(VertexId v, VertexId other, std::uint32_t type,
+  [[nodiscard]] Result<RecordId> AddEdge(VertexId v, VertexId other, std::uint32_t type,
                            bool other_is_local);
 
   /// Removes the local materialization of edge {v, other}.
-  Status RemoveEdge(VertexId v, VertexId other);
+  [[nodiscard]] Status RemoveEdge(VertexId v, VertexId other);
 
   /// Walks v's relationship chain; fully local by construction.
-  Result<std::vector<VertexId>> Neighbors(VertexId v) const;
+  [[nodiscard]] Result<std::vector<VertexId>> Neighbors(VertexId v) const;
 
   /// Neighbors reached via relationships of the given type only
   /// (pass std::nullopt for all types).
-  Result<std::vector<VertexId>> NeighborsByType(
+  [[nodiscard]] Result<std::vector<VertexId>> NeighborsByType(
       VertexId v, std::optional<std::uint32_t> type) const;
 
-  Result<std::size_t> DegreeOf(VertexId v) const;
+  [[nodiscard]] Result<std::size_t> DegreeOf(VertexId v) const;
 
   /// Record id of the edge {v, other} seen from v's chain.
-  Result<RecordId> FindEdge(VertexId v, VertexId other) const;
+  [[nodiscard]] Result<RecordId> FindEdge(VertexId v, VertexId other) const;
 
   /// Whether the local copy of edge {v, other} is a ghost (no properties).
-  Result<bool> EdgeIsGhost(VertexId v, VertexId other) const;
+  [[nodiscard]] Result<bool> EdgeIsGhost(VertexId v, VertexId other) const;
 
   // --- Properties ------------------------------------------------------------
 
-  Status SetNodeProperty(VertexId id, std::uint32_t key,
+  [[nodiscard]] Status SetNodeProperty(VertexId id, std::uint32_t key,
                          const std::string& value);
-  Result<std::string> GetNodeProperty(VertexId id, std::uint32_t key) const;
+  [[nodiscard]] Result<std::string> GetNodeProperty(VertexId id, std::uint32_t key) const;
 
-  Status SetEdgeProperty(VertexId v, VertexId other, std::uint32_t key,
+  [[nodiscard]] Status SetEdgeProperty(VertexId v, VertexId other, std::uint32_t key,
                          const std::string& value);
-  Result<std::string> GetEdgeProperty(VertexId v, VertexId other,
+  [[nodiscard]] Result<std::string> GetEdgeProperty(VertexId v, VertexId other,
                                       std::uint32_t key) const;
 
   // --- Migration -------------------------------------------------------------
 
   /// Copy-step payload for node v (does not modify the store).
-  Result<NodeSnapshot> ExtractNode(VertexId v) const;
+  [[nodiscard]] Result<NodeSnapshot> ExtractNode(VertexId v) const;
 
   /// Rebuilds a migrated node locally. `is_local` reports whether a given
   /// neighbor is hosted on this partition *after* the migration epoch;
   /// half records for neighbors that are local get merged into full
   /// records (AddEdge handles the merge).
   template <typename IsLocalFn>
-  Status IngestNodeWith(const NodeSnapshot& snapshot, IsLocalFn is_local);
+  [[nodiscard]] Status IngestNodeWith(const NodeSnapshot& snapshot, IsLocalFn is_local);
 
   /// Remove-step: deletes v and v's chain. Full records shared with a
   /// still-local neighbor degrade to half records (the neighbor keeps the
   /// edge; the ghost rule decides whether properties are kept or dropped).
-  Status RemoveNode(VertexId v);
+  [[nodiscard]] Status RemoveNode(VertexId v);
 
   // --- Introspection ----------------------------------------------------------
 
@@ -181,9 +181,9 @@ class GraphStore {
     return local > remote;
   }
 
-  Status SetPropertyOnChain(RecordId* first_prop, std::uint32_t key,
+  [[nodiscard]] Status SetPropertyOnChain(RecordId* first_prop, std::uint32_t key,
                             const std::string& value);
-  Result<std::string> GetPropertyFromChain(RecordId first_prop,
+  [[nodiscard]] Result<std::string> GetPropertyFromChain(RecordId first_prop,
                                            std::uint32_t key) const;
   void FreePropertyChain(RecordId first_prop);
   std::vector<std::pair<std::uint32_t, std::string>> DumpPropertyChain(

@@ -5,7 +5,7 @@
 
 namespace hermes {
 
-Result<TraversalResult> Traverse(VertexId start,
+[[nodiscard]] Result<TraversalResult> Traverse(VertexId start,
                                  const TraversalDescription& d,
                                  const NeighborProvider& neighbors) {
   // Probe the start node through the provider so a missing/unavailable

@@ -64,7 +64,7 @@ using NeighborProvider = std::function<Result<std::vector<VertexId>>(
 /// the start node fail the traversal; errors while expanding interior
 /// nodes (e.g. a vertex mid-migration) skip that node's expansion, exactly
 /// like queries treat unavailable records (Section 3.2).
-Result<TraversalResult> Traverse(VertexId start,
+[[nodiscard]] Result<TraversalResult> Traverse(VertexId start,
                                  const TraversalDescription& description,
                                  const NeighborProvider& neighbors);
 

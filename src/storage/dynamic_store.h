@@ -25,10 +25,10 @@ class DynamicStore {
   RecordId Put(const std::string& payload);
 
   /// Reassembles the payload starting at `head`.
-  Result<std::string> Get(RecordId head) const;
+  [[nodiscard]] Result<std::string> Get(RecordId head) const;
 
   /// Frees the whole chain starting at `head`.
-  Status Free(RecordId head);
+  [[nodiscard]] Status Free(RecordId head);
 
   std::size_t num_blocks() const { return blocks_.size(); }
   std::size_t MemoryBytes() const {

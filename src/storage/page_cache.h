@@ -36,13 +36,13 @@ class PageCache {
   /// Pins `page_no` and returns a pointer to its in-memory copy, loading
   /// it (or materializing a zero page past EOF) on miss. The pointer
   /// stays valid until Unpin.
-  Result<Page*> Pin(std::uint64_t page_no) EXCLUDES(mu_);
+  [[nodiscard]] Result<Page*> Pin(std::uint64_t page_no) EXCLUDES(mu_);
 
   /// Releases a pin; `dirty` marks the page for write-back.
   void Unpin(std::uint64_t page_no, bool dirty) EXCLUDES(mu_);
 
   /// Writes back every dirty page and syncs the file.
-  Status FlushAll() EXCLUDES(mu_);
+  [[nodiscard]] Status FlushAll() EXCLUDES(mu_);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -66,7 +66,7 @@ class PageCache {
   };
 
   /// Evicts one unpinned page (LRU order); fails when all pages pinned.
-  Status EvictOne() REQUIRES(mu_);
+  [[nodiscard]] Status EvictOne() REQUIRES(mu_);
 
   PagedFile* const file_ PT_GUARDED_BY(mu_);
   const std::size_t capacity_;
@@ -99,7 +99,7 @@ class PagedWriter {
   std::uint64_t position() const { return position_; }
 
   /// Flushes and returns the first error encountered (if any).
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
  private:
   PageCache* cache_;

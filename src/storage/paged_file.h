@@ -26,25 +26,25 @@ struct Page {
 class PagedFile {
  public:
   /// Opens (creating if needed) the paged file at `path`.
-  static Result<PagedFile> Open(const std::string& path);
+  [[nodiscard]] static Result<PagedFile> Open(const std::string& path);
 
   PagedFile(PagedFile&&) = default;
   PagedFile& operator=(PagedFile&&) = default;
 
   /// Reads page `page_no`. Reading a page past the end yields zeros (the
   /// file grows lazily).
-  Status ReadPage(std::uint64_t page_no, Page* page);
+  [[nodiscard]] Status ReadPage(std::uint64_t page_no, Page* page);
 
   /// Writes page `page_no`, growing the file as needed.
-  Status WritePage(std::uint64_t page_no, const Page& page);
+  [[nodiscard]] Status WritePage(std::uint64_t page_no, const Page& page);
 
   /// Pages currently materialized in the file.
   std::uint64_t NumPages() const { return num_pages_; }
 
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   /// Truncates to zero pages.
-  Status Reset();
+  [[nodiscard]] Status Reset();
 
   const std::string& path() const { return path_; }
 

@@ -17,7 +17,7 @@ template <typename Record>
 class RecordStore {
  public:
   /// Creates a record under `id`; fails if the id is taken.
-  Status Create(RecordId id, Record record) {
+  [[nodiscard]] Status Create(RecordId id, Record record) {
     if (!tree_.Insert(id, std::move(record))) {
       return Status::AlreadyExists("record id already in use");
     }
@@ -25,7 +25,7 @@ class RecordStore {
   }
 
   /// Copy of the record.
-  Result<Record> Get(RecordId id) const {
+  [[nodiscard]] Result<Record> Get(RecordId id) const {
     const Record* r = tree_.Find(id);
     if (r == nullptr) return Status::NotFound("no such record");
     return *r;
@@ -37,7 +37,7 @@ class RecordStore {
 
   bool Exists(RecordId id) const { return tree_.Contains(id); }
 
-  Status Delete(RecordId id) {
+  [[nodiscard]] Status Delete(RecordId id) {
     if (!tree_.Erase(id)) return Status::NotFound("no such record");
     return Status::OK();
   }

@@ -60,7 +60,7 @@ struct ScannedLog {
   std::uint64_t valid_bytes = 0;
 };
 
-Result<ScannedLog> ScanLog(const std::string& path) {
+[[nodiscard]] Result<ScannedLog> ScanLog(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot read WAL at " + path);
 

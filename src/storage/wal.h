@@ -65,7 +65,7 @@ class WriteAheadLog {
   /// collide with the range the snapshot already covers (a checkpoint
   /// truncates the log, so a freshly scanned file alone would restart
   /// LSNs at 1).
-  static Result<WriteAheadLog> Open(const std::string& path,
+  [[nodiscard]] static Result<WriteAheadLog> Open(const std::string& path,
                                     std::uint64_t min_next_lsn = 1);
 
   WriteAheadLog(WriteAheadLog&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
@@ -87,22 +87,22 @@ class WriteAheadLog {
   }
 
   /// Appends an entry; assigns and returns its LSN.
-  Result<std::uint64_t> Append(WalEntry entry) EXCLUDES(mu_);
+  [[nodiscard]] Result<std::uint64_t> Append(WalEntry entry) EXCLUDES(mu_);
 
   /// Forces buffered appends to the OS.
-  Status Sync() EXCLUDES(mu_);
+  [[nodiscard]] Status Sync() EXCLUDES(mu_);
 
   /// Appends a checkpoint marker (call right after a snapshot succeeds).
-  Result<std::uint64_t> LogCheckpoint() EXCLUDES(mu_);
+  [[nodiscard]] Result<std::uint64_t> LogCheckpoint() EXCLUDES(mu_);
 
   /// Reads all complete entries from a log file, tolerating a torn final
   /// record. Entries before the *last* checkpoint are skipped when
   /// `after_last_checkpoint` is true.
-  static Result<std::vector<WalEntry>> ReadAll(
+  [[nodiscard]] static Result<std::vector<WalEntry>> ReadAll(
       const std::string& path, bool after_last_checkpoint = false);
 
   /// Truncates the log (after a snapshot made it redundant).
-  Status Reset() EXCLUDES(mu_);
+  [[nodiscard]] Status Reset() EXCLUDES(mu_);
 
   std::uint64_t next_lsn() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
@@ -113,7 +113,8 @@ class WriteAheadLog {
  private:
   WriteAheadLog(std::string path, std::ofstream out, std::uint64_t next_lsn);
 
-  std::string path_;  // set at construction, never mutated afterwards
+  // audit:allow(guard, written only at construction and by move-assignment)
+  std::string path_;
   mutable Mutex mu_{"wal.mu", lock_order::kRankWal};
   std::ofstream out_ GUARDED_BY(mu_);
   std::uint64_t next_lsn_ GUARDED_BY(mu_) = 1;

@@ -41,11 +41,11 @@ class LockManager {
 
   /// Shared (read) lock. Re-entrant; a transaction holding the exclusive
   /// lock implicitly holds the shared one.
-  Status AcquireShared(TxnId txn, LockKey key) EXCLUDES(mu_);
+  [[nodiscard]] Status AcquireShared(TxnId txn, LockKey key) EXCLUDES(mu_);
 
   /// Exclusive (write) lock. Re-entrant; upgrades from shared succeed when
   /// the requester is the only reader.
-  Status AcquireExclusive(TxnId txn, LockKey key) EXCLUDES(mu_);
+  [[nodiscard]] Status AcquireExclusive(TxnId txn, LockKey key) EXCLUDES(mu_);
 
   /// Releases whatever `txn` holds on `key` (no-op when it holds nothing).
   void Release(TxnId txn, LockKey key) EXCLUDES(mu_);

@@ -45,13 +45,13 @@ class Transaction {
 
   /// Read lock on a record key; kTimedOut signals deadlock resolution and
   /// the caller must Abort().
-  Status LockShared(LockManager::LockKey key) {
+  [[nodiscard]] Status LockShared(LockManager::LockKey key) {
     HERMES_RETURN_NOT_OK(locks_->AcquireShared(id_, key));
     held_.push_back(key);
     return Status::OK();
   }
 
-  Status LockExclusive(LockManager::LockKey key) {
+  [[nodiscard]] Status LockExclusive(LockManager::LockKey key) {
     HERMES_RETURN_NOT_OK(locks_->AcquireExclusive(id_, key));
     held_.push_back(key);
     return Status::OK();

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/rng.h"
 #include "gen/social_graph.h"
 #include "graph/graph.h"
@@ -30,9 +32,9 @@ bool AuxMatchesRebuild(const Graph& g, const PartitionAssignment& asg,
 
 TEST(AuxDataTest, BuildCountsNeighborsPerPartition) {
   Graph g(4);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
-  ASSERT_TRUE(g.AddEdge(0, 2).ok());
-  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
+  ASSERT_OK(g.AddEdge(0, 2));
+  ASSERT_OK(g.AddEdge(0, 3));
   PartitionAssignment asg(4, 2);
   asg.Assign(2, 1);
   asg.Assign(3, 1);
@@ -61,7 +63,7 @@ TEST(AuxDataTest, OnEdgeAddedUpdatesBothEndpoints) {
   PartitionAssignment asg(3, 2);
   asg.Assign(2, 1);
   AuxiliaryData aux(g, asg);
-  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_OK(g.AddEdge(0, 2));
   aux.OnEdgeAdded(0, 2, asg);
   EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
   EXPECT_EQ(aux.NeighborCount(0, 1), 1u);
@@ -70,10 +72,10 @@ TEST(AuxDataTest, OnEdgeAddedUpdatesBothEndpoints) {
 
 TEST(AuxDataTest, OnEdgeRemovedReverses) {
   Graph g(3);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
   PartitionAssignment asg(3, 2);
   AuxiliaryData aux(g, asg);
-  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  ASSERT_OK(g.RemoveEdge(0, 1));
   aux.OnEdgeRemoved(0, 1, asg);
   EXPECT_TRUE(AuxMatchesRebuild(g, asg, aux));
 }
@@ -96,7 +98,7 @@ TEST(AuxDataTest, SelfLoopCountsOnce) {
 
 TEST(AuxDataTest, SelfLoopRemovalRestoresCounts) {
   Graph g(3);
-  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_OK(g.AddEdge(0, 2));
   PartitionAssignment asg(3, 2);
   asg.Assign(2, 1);
   AuxiliaryData aux(g, asg);
@@ -134,8 +136,8 @@ TEST(AuxDataTest, OnVertexWeightChanged) {
 
 TEST(AuxDataTest, OnVertexMigratedShiftsNeighborCounts) {
   Graph g(3);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
-  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
+  ASSERT_OK(g.AddEdge(1, 2));
   PartitionAssignment asg(3, 2);
   AuxiliaryData aux(g, asg);
   // Move vertex 1 to partition 1.
@@ -148,7 +150,7 @@ TEST(AuxDataTest, OnVertexMigratedShiftsNeighborCounts) {
 
 TEST(AuxDataTest, MigrateToSamePartitionIsNoop) {
   Graph g(2);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
   PartitionAssignment asg(2, 2);
   AuxiliaryData aux(g, asg);
   aux.OnVertexMigrated(g, 0, 0, 0);
@@ -191,7 +193,7 @@ TEST_P(AuxDataFuzzTest, IncrementalMatchesRebuild) {
         const auto neigh = g.Neighbors(u);
         if (!neigh.empty()) {
           const VertexId v = neigh[rng.Uniform(neigh.size())];
-          ASSERT_TRUE(g.RemoveEdge(u, v).ok());
+          ASSERT_OK(g.RemoveEdge(u, v));
           aux.OnEdgeRemoved(u, v, asg);
         }
         break;

@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "cluster/hermes_cluster.h"
 #include "gen/social_graph.h"
 #include "partition/hash_partitioner.h"
@@ -112,7 +114,7 @@ TEST(ClusterConcurrencyTest, ReadersWritersAndRepartitionInterleave) {
   std::size_t migrated = 0;
   for (int round = 0; round < 3; ++round) {
     auto stats = cluster.RunLightweightRepartition();
-    ASSERT_TRUE(stats.ok());
+    ASSERT_OK(stats);
     migrated += stats->vertices_moved;
     // Quiesce point for the directory (not the workload): Validate takes
     // the directory exclusively, so it serializes against every in-flight
@@ -154,7 +156,7 @@ TEST(ClusterConcurrencyTest, ConcurrentInsertVertexKeepsIdSpaceDense) {
     threads.emplace_back([&, t] {
       for (std::size_t i = 0; i < kPerThread; ++i) {
         auto id = cluster.InsertVertex(1.0);
-        ASSERT_TRUE(id.ok());
+        ASSERT_OK(id);
         ids[t].push_back(*id);
       }
     });

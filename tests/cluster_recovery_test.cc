@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "cluster/hermes_cluster.h"
 #include "gen/social_graph.h"
 #include "partition/hash_partitioner.h"
@@ -35,7 +37,7 @@ TEST(ClusterRecoveryTest, RecoverEmptyDirectoryYieldsEmptyCluster) {
   HermesCluster::Options opt;
   opt.durability_dir = FreshDir("hermes_cluster_empty");
   auto cluster = HermesCluster::Recover(4, opt);
-  ASSERT_TRUE(cluster.ok());
+  ASSERT_OK(cluster);
   EXPECT_EQ((*cluster)->graph().NumVertices(), 0u);
   EXPECT_EQ((*cluster)->num_servers(), 4u);
 }
@@ -55,7 +57,7 @@ TEST(ClusterRecoveryTest, CrashAfterLoadRecoversEverything) {
   HermesCluster::Options opt;
   opt.durability_dir = dir;
   auto recovered = HermesCluster::Recover(4, opt);
-  ASSERT_TRUE(recovered.ok());
+  ASSERT_OK(recovered);
   EXPECT_EQ((*recovered)->graph().NumVertices(), original.NumVertices());
   EXPECT_EQ((*recovered)->graph().NumEdges(), original.NumEdges());
   EXPECT_TRUE((*recovered)->assignment() == asg);
@@ -72,7 +74,7 @@ TEST(ClusterRecoveryTest, WritesAndWeightsSurviveCrash) {
     HermesCluster::Options opt;
     opt.durability_dir = dir;
     HermesCluster cluster(std::move(g), asg, opt);
-    ASSERT_TRUE(cluster.Checkpoint().ok());  // snapshot the loaded state
+    ASSERT_OK(cluster.Checkpoint());  // snapshot the loaded state
 
     TraceOptions topt;
     topt.num_requests = 400;
@@ -87,7 +89,7 @@ TEST(ClusterRecoveryTest, WritesAndWeightsSurviveCrash) {
   HermesCluster::Options opt;
   opt.durability_dir = dir;
   auto recovered = HermesCluster::Recover(4, opt);
-  ASSERT_TRUE(recovered.ok());
+  ASSERT_OK(recovered);
   EXPECT_EQ((*recovered)->graph().NumEdges(), edges_after_workload);
   EXPECT_DOUBLE_EQ((*recovered)->graph().VertexWeight(0), weight_of_zero);
   EXPECT_TRUE((*recovered)->Validate());
@@ -108,14 +110,14 @@ TEST(ClusterRecoveryTest, RepartitioningSurvivesCrash) {
     opt.repartitioner.k_fraction = 0.05;
     HermesCluster cluster(std::move(g), initial, opt);
     auto stats = cluster.RunLightweightRepartition();
-    ASSERT_TRUE(stats.ok());
+    ASSERT_OK(stats);
     ASSERT_GT(stats->vertices_moved, 0u);
     after_repartition = cluster.assignment();
   }
   HermesCluster::Options opt;
   opt.durability_dir = dir;
   auto recovered = HermesCluster::Recover(4, opt);
-  ASSERT_TRUE(recovered.ok());
+  ASSERT_OK(recovered);
   // The directory is rebuilt from where records actually live, i.e. the
   // post-migration placement.
   EXPECT_TRUE((*recovered)->assignment() == after_repartition);
@@ -129,11 +131,11 @@ TEST(ClusterRecoveryTest, CheckpointTruncatesAllLogs) {
   HermesCluster::Options opt;
   opt.durability_dir = dir;
   HermesCluster cluster(std::move(g), asg, opt);
-  ASSERT_TRUE(cluster.Checkpoint().ok());
+  ASSERT_OK(cluster.Checkpoint());
   for (PartitionId p = 0; p < 2; ++p) {
     auto tail = WriteAheadLog::ReadAll(
         dir + "/p" + std::to_string(p) + "/wal.log", true);
-    ASSERT_TRUE(tail.ok());
+    ASSERT_OK(tail);
     EXPECT_TRUE(tail->empty()) << "partition " << p;
   }
 }
@@ -147,9 +149,9 @@ TEST(ClusterRecoveryTest, RemovedNodeRecoversAsTombstoneNotPhantom) {
   const std::string dir = FreshDir("hermes_cluster_phantom");
   {
     Graph g(5);
-    ASSERT_TRUE(g.AddEdge(0, 1).ok());
-    ASSERT_TRUE(g.AddEdge(1, 3).ok());
-    ASSERT_TRUE(g.AddEdge(3, 4).ok());
+    ASSERT_OK(g.AddEdge(0, 1));
+    ASSERT_OK(g.AddEdge(1, 3));
+    ASSERT_OK(g.AddEdge(3, 4));
     PartitionAssignment asg(5, 2);
     asg.Assign(3, 1);
     asg.Assign(4, 1);
@@ -158,14 +160,14 @@ TEST(ClusterRecoveryTest, RemovedNodeRecoversAsTombstoneNotPhantom) {
     HermesCluster cluster(std::move(g), asg, opt);
     // Drop the isolated vertex's record from its store, then checkpoint:
     // on disk, id 2 now exists nowhere while max_id is still 4.
-    ASSERT_TRUE(cluster.store(0)->RemoveNode(2).ok());
-    ASSERT_TRUE(cluster.Checkpoint().ok());
+    ASSERT_OK(cluster.store(0)->RemoveNode(2));
+    ASSERT_OK(cluster.Checkpoint());
   }
 
   HermesCluster::Options opt;
   opt.durability_dir = dir;
   auto recovered = HermesCluster::Recover(2, opt);
-  ASSERT_TRUE(recovered.ok());
+  ASSERT_OK(recovered);
   HermesCluster& cluster = **recovered;
   EXPECT_TRUE(cluster.Validate());  // pre-fix: failed (phantom on p0)
   EXPECT_TRUE(cluster.IsTombstoned(2));
@@ -176,15 +178,15 @@ TEST(ClusterRecoveryTest, RemovedNodeRecoversAsTombstoneNotPhantom) {
   // ...while the id space stays monotone: new vertices allocate past it
   // instead of resurrecting it.
   auto id = cluster.InsertVertex();
-  ASSERT_TRUE(id.ok());
+  ASSERT_OK(id);
   EXPECT_EQ(*id, 5u);
   EXPECT_FALSE(cluster.IsTombstoned(*id));
   EXPECT_TRUE(cluster.Validate());
 
   // The tombstone survives another checkpoint/recover cycle.
-  ASSERT_TRUE(cluster.Checkpoint().ok());
+  ASSERT_OK(cluster.Checkpoint());
   auto again = HermesCluster::Recover(2, opt);
-  ASSERT_TRUE(again.ok());
+  ASSERT_OK(again);
   EXPECT_TRUE((*again)->IsTombstoned(2));
   EXPECT_TRUE((*again)->Validate());
 }

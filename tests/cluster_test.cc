@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/failpoint.h"
 #include "cluster/hermes_cluster.h"
 #include "gen/social_graph.h"
@@ -20,11 +22,11 @@ Graph TwoCommunities() {
   Graph g(10);
   for (VertexId u = 0; u < 5; ++u) {
     for (VertexId v = u + 1; v < 5; ++v) {
-      EXPECT_TRUE(g.AddEdge(u, v).ok());
-      EXPECT_TRUE(g.AddEdge(5 + u, 5 + v).ok());
+      EXPECT_OK(g.AddEdge(u, v));
+      EXPECT_OK(g.AddEdge(5 + u, 5 + v));
     }
   }
-  EXPECT_TRUE(g.AddEdge(4, 5).ok());
+  EXPECT_OK(g.AddEdge(4, 5));
   return g;
 }
 
@@ -49,7 +51,7 @@ TEST(HermesClusterTest, LoadsStoresConsistently) {
 TEST(HermesClusterTest, OneHopTraversalLocalWhenCommunityIntact) {
   HermesCluster cluster(TwoCommunities(), GoodSplit());
   auto run = cluster.ExecuteRead(0, 1);
-  ASSERT_TRUE(run.ok());
+  ASSERT_OK(run);
   EXPECT_EQ(run->vertices_processed, 5u);  // start + 4 neighbors
   EXPECT_EQ(run->unique_vertices, 5u);
   EXPECT_EQ(run->remote_hops, 0u);
@@ -60,7 +62,7 @@ TEST(HermesClusterTest, OneHopTraversalLocalWhenCommunityIntact) {
 TEST(HermesClusterTest, BorderVertexIncursRemoteHop) {
   HermesCluster cluster(TwoCommunities(), GoodSplit());
   auto run = cluster.ExecuteRead(4, 1);  // neighbor 5 is remote
-  ASSERT_TRUE(run.ok());
+  ASSERT_OK(run);
   EXPECT_EQ(run->vertices_processed, 6u);
   EXPECT_GE(run->remote_hops, 1u);
 }
@@ -68,7 +70,7 @@ TEST(HermesClusterTest, BorderVertexIncursRemoteHop) {
 TEST(HermesClusterTest, TwoHopRevisitsVertices) {
   HermesCluster cluster(TwoCommunities(), GoodSplit());
   auto run = cluster.ExecuteRead(0, 2);
-  ASSERT_TRUE(run.ok());
+  ASSERT_OK(run);
   // Dense community: 2-hop reprocesses many vertices; response holds each
   // once (Section 5.3.2's response/processed ratio < 1).
   EXPECT_GT(run->vertices_processed, run->unique_vertices);
@@ -77,8 +79,8 @@ TEST(HermesClusterTest, TwoHopRevisitsVertices) {
 TEST(HermesClusterTest, ReadsBumpStartVertexWeight) {
   HermesCluster cluster(TwoCommunities(), GoodSplit());
   const double before = cluster.graph().VertexWeight(0);
-  ASSERT_TRUE(cluster.ExecuteRead(0, 1).ok());
-  ASSERT_TRUE(cluster.ExecuteRead(0, 1).ok());
+  ASSERT_OK(cluster.ExecuteRead(0, 1));
+  ASSERT_OK(cluster.ExecuteRead(0, 1));
   EXPECT_DOUBLE_EQ(cluster.graph().VertexWeight(0), before + 2.0);
   EXPECT_DOUBLE_EQ(*cluster.store(0)->NodeWeight(0), before + 2.0);
   EXPECT_DOUBLE_EQ(cluster.aux().PartitionWeight(0), 7.0);
@@ -88,14 +90,14 @@ TEST(HermesClusterTest, WeightCountingCanBeDisabled) {
   HermesCluster::Options options;
   options.count_reads_in_weights = false;
   HermesCluster cluster(TwoCommunities(), GoodSplit(), options);
-  ASSERT_TRUE(cluster.ExecuteRead(0, 1).ok());
+  ASSERT_OK(cluster.ExecuteRead(0, 1));
   EXPECT_DOUBLE_EQ(cluster.graph().VertexWeight(0), 1.0);
 }
 
 TEST(HermesClusterTest, InsertVertexPlacesByHash) {
   HermesCluster cluster(TwoCommunities(), GoodSplit());
   auto id = cluster.InsertVertex(2.0);
-  ASSERT_TRUE(id.ok());
+  ASSERT_OK(id);
   EXPECT_EQ(*id, 10u);
   const PartitionId p = cluster.assignment().PartitionOf(*id);
   EXPECT_TRUE(cluster.store(p)->HasNode(*id));
@@ -105,12 +107,12 @@ TEST(HermesClusterTest, InsertVertexPlacesByHash) {
 
 TEST(HermesClusterTest, InsertEdgeSamePartition) {
   Graph g(4);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
   PartitionAssignment asg(4, 2);
   asg.Assign(2, 1);
   asg.Assign(3, 1);
   HermesCluster cluster(std::move(g), asg);
-  ASSERT_TRUE(cluster.InsertEdge(2, 3).ok());
+  ASSERT_OK(cluster.InsertEdge(2, 3));
   EXPECT_TRUE(cluster.graph().HasEdge(2, 3));
   EXPECT_FALSE(*cluster.store(1)->EdgeIsGhost(2, 3));
   EXPECT_TRUE(cluster.Validate());
@@ -122,7 +124,7 @@ TEST(HermesClusterTest, InsertEdgeAcrossPartitionsCreatesGhost) {
   asg.Assign(2, 1);
   asg.Assign(3, 1);
   HermesCluster cluster(std::move(g), asg);
-  ASSERT_TRUE(cluster.InsertEdge(0, 3).ok());
+  ASSERT_OK(cluster.InsertEdge(0, 3));
   EXPECT_TRUE(cluster.graph().HasEdge(0, 3));
   // Real copy follows lower id (0): store 0 real, store 1 ghost.
   EXPECT_FALSE(*cluster.store(0)->EdgeIsGhost(0, 3));
@@ -165,7 +167,7 @@ TEST(HermesClusterTest, InsertEdgeRollsBackGraphWhenSecondStoreFails) {
   EXPECT_TRUE(cluster.Validate());
 
   // The failure was transient; the same insert must succeed afterwards.
-  ASSERT_TRUE(cluster.InsertEdge(0, 3).ok());
+  ASSERT_OK(cluster.InsertEdge(0, 3));
   EXPECT_TRUE(cluster.graph().HasEdge(0, 3));
   EXPECT_FALSE(*cluster.store(0)->EdgeIsGhost(0, 3));
   EXPECT_TRUE(*cluster.store(1)->EdgeIsGhost(3, 0));
@@ -188,7 +190,7 @@ TEST(HermesClusterTest, RepartitionMovesHotLoadAndKeepsStoresValid) {
   HermesCluster cluster(std::move(g), GoodSplit(), options);
 
   auto stats = cluster.RunLightweightRepartition();
-  ASSERT_TRUE(stats.ok());
+  ASSERT_OK(stats);
   EXPECT_TRUE(stats->repartitioner_converged);
   EXPECT_GT(stats->vertices_moved, 0u);
   EXPECT_LT(stats->imbalance_after, stats->imbalance_before);
@@ -209,7 +211,7 @@ TEST(HermesClusterTest, MigrateToAssignmentAppliesOfflinePartitioning) {
 
   HermesCluster cluster(std::move(g), initial);
   auto stats = cluster.MigrateToAssignment(target);
-  ASSERT_TRUE(stats.ok());
+  ASSERT_OK(stats);
   EXPECT_GT(stats->vertices_moved, 0u);
   EXPECT_GT(stats->bytes_copied, 0u);
   EXPECT_GT(stats->total_time_us, stats->copy_time_us);
@@ -265,20 +267,20 @@ TEST(HermesClusterTest, ReadsDuringMigrationSeeConsistentPlacement) {
   target.Assign(2, 1);
   target.Assign(7, 0);
   auto stats = cluster.MigrateToAssignment(target);
-  ASSERT_TRUE(stats.ok());
+  ASSERT_OK(stats);
   EXPECT_EQ(stats->chunks, 2u);
 
   ASSERT_EQ(windows.size(), 2u);
   EXPECT_EQ(windows[0].chunk, (std::vector<VertexId>{1, 2}));
   EXPECT_TRUE(windows[0].chunk_read.IsUnavailable())
       << windows[0].chunk_read.ToString();
-  EXPECT_TRUE(windows[0].other_read.ok())
+  EXPECT_OK(windows[0].other_read)
       << windows[0].other_read.ToString();
   EXPECT_EQ(windows[0].p1_placement, 0u);  // chunk 1 not yet committed
 
   for (const Window& w : windows) {
     EXPECT_TRUE(w.chunk_write.IsUnavailable()) << w.chunk_write.ToString();
-    EXPECT_TRUE(w.other_write.ok()) << w.other_write.ToString();
+    EXPECT_OK(w.other_write);
   }
   // The rejected writes left no trace; the accepted ones survived the
   // rest of the migration.
@@ -287,18 +289,18 @@ TEST(HermesClusterTest, ReadsDuringMigrationSeeConsistentPlacement) {
   EXPECT_TRUE(cluster.graph().HasEdge(0, 9));
   EXPECT_TRUE(cluster.graph().HasEdge(3, 9));
   // Once the chunk commits, the previously rejected edge is accepted.
-  EXPECT_TRUE(cluster.InsertEdge(1, 9).ok());
+  EXPECT_OK(cluster.InsertEdge(1, 9));
 
   EXPECT_EQ(windows[1].chunk, (std::vector<VertexId>{7}));
   EXPECT_TRUE(windows[1].chunk_read.IsUnavailable())
       << windows[1].chunk_read.ToString();
-  EXPECT_TRUE(windows[1].other_read.ok())
+  EXPECT_OK(windows[1].other_read)
       << windows[1].other_read.ToString();
   EXPECT_EQ(windows[1].p1_placement, 1u);  // chunk 1 fully committed
 
   // After the last chunk commits there is no residual unavailability.
   for (VertexId v : {1u, 2u, 7u}) {
-    EXPECT_TRUE(cluster.ExecuteRead(v, 1).ok()) << "vertex " << v;
+    EXPECT_OK(cluster.ExecuteRead(v, 1)) << "vertex " << v;
   }
   EXPECT_TRUE(cluster.assignment() == target);
   EXPECT_TRUE(cluster.Validate());
@@ -306,15 +308,15 @@ TEST(HermesClusterTest, ReadsDuringMigrationSeeConsistentPlacement) {
 
 TEST(HermesClusterTest, MigrationPreservesProperties) {
   Graph g(3);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
-  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
+  ASSERT_OK(g.AddEdge(1, 2));
   PartitionAssignment asg(3, 2);
   HermesCluster cluster(std::move(g), asg);
-  ASSERT_TRUE(cluster.store(0)->SetNodeProperty(1, 0, "profile-blob").ok());
+  ASSERT_OK(cluster.store(0)->SetNodeProperty(1, 0, "profile-blob"));
 
   PartitionAssignment target(3, 2);
   target.Assign(1, 1);
-  ASSERT_TRUE(cluster.MigrateToAssignment(target).ok());
+  ASSERT_OK(cluster.MigrateToAssignment(target));
   EXPECT_EQ(*cluster.store(1)->GetNodeProperty(1, 0), "profile-blob");
   EXPECT_FALSE(cluster.store(0)->NodeExists(1));
   EXPECT_TRUE(cluster.Validate());
@@ -333,9 +335,9 @@ TEST(HermesClusterTest, RepeatedRepartitionIsStable) {
   HermesCluster::Options options;
   options.repartitioner.k = 1;
   HermesCluster cluster(std::move(g), GoodSplit(), options);
-  ASSERT_TRUE(cluster.RunLightweightRepartition().ok());
+  ASSERT_OK(cluster.RunLightweightRepartition());
   auto second = cluster.RunLightweightRepartition();
-  ASSERT_TRUE(second.ok());
+  ASSERT_OK(second);
   EXPECT_EQ(second->vertices_moved, 0u);  // already converged
   EXPECT_TRUE(cluster.Validate());
 }

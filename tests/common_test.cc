@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/histogram.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -19,7 +21,7 @@ namespace {
 
 TEST(StatusTest, DefaultIsOk) {
   Status st;
-  EXPECT_TRUE(st.ok());
+  EXPECT_OK(st);
   EXPECT_EQ(st.code(), StatusCode::kOk);
   EXPECT_EQ(st.ToString(), "OK");
   EXPECT_TRUE(st.message().empty());
@@ -64,9 +66,9 @@ TEST(StatusTest, ReturnNotOkMacroPropagates) {
 
 TEST(ResultTest, HoldsValue) {
   Result<int> r = 7;
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(*r, 7);
-  EXPECT_TRUE(r.status().ok());
+  EXPECT_OK(r.status());
 }
 
 TEST(ResultTest, HoldsError) {

@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "cluster/hermes_cluster.h"
 #include "common/thread_pool.h"
 #include "graph/graph.h"
@@ -95,7 +97,7 @@ TEST(ConcurrencyStressTest, ThreadPoolConcurrentSubmittersAndWaiters) {
 // counter and write-back must never lose an update.
 TEST(ConcurrencyStressTest, PageCacheConcurrentReadersWritersWithEviction) {
   auto file = PagedFile::Open(TempFile("cc_cache.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   constexpr int kThreads = 4;
   constexpr int kPages = 12;
   constexpr int kOpsPerThread = 300;
@@ -108,21 +110,21 @@ TEST(ConcurrencyStressTest, PageCacheConcurrentReadersWritersWithEviction) {
         const std::uint64_t page_no =
             static_cast<std::uint64_t>((i * 7 + t * 3) % kPages);
         auto page = cache.Pin(page_no);
-        ASSERT_TRUE(page.ok()) << page.status().ToString();
+        ASSERT_OK(page);
         ++(*page)->bytes[static_cast<std::size_t>(t)];
         cache.Unpin(page_no, /*dirty=*/true);
       }
     });
   }
   for (auto& t : threads) t.join();
-  ASSERT_TRUE(cache.FlushAll().ok());
+  ASSERT_OK(cache.FlushAll());
   EXPECT_GE(cache.stats().evictions, 1u);  // the working set overflowed
 
   // Per-page expected counts: thread t touched page p once per i with
   // (i*7 + t*3) % kPages == p.
   for (int p = 0; p < kPages; ++p) {
     Page on_disk;
-    ASSERT_TRUE(file->ReadPage(static_cast<std::uint64_t>(p), &on_disk).ok());
+    ASSERT_OK(file->ReadPage(static_cast<std::uint64_t>(p), &on_disk));
     for (int t = 0; t < kThreads; ++t) {
       int expected = 0;
       for (int i = 0; i < kOpsPerThread; ++i) {
@@ -139,13 +141,13 @@ TEST(ConcurrencyStressTest, PageCacheConcurrentReadersWritersWithEviction) {
 // frame address stable while other threads churn the rest of the cache.
 TEST(ConcurrencyStressTest, PageCachePinnedPageNeverEvicted) {
   auto file = PagedFile::Open(TempFile("cc_pin.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   // Capacity leaves room for the long-held pin plus one transient pin per
   // churner thread (a Pin can only fail when every frame is pinned).
   PageCache cache(&*file, /*capacity_pages=*/5);
 
   auto held = cache.Pin(0);
-  ASSERT_TRUE(held.ok());
+  ASSERT_OK(held);
   Page* held_ptr = *held;
   held_ptr->bytes[0] = 42;
 
@@ -155,7 +157,7 @@ TEST(ConcurrencyStressTest, PageCachePinnedPageNeverEvicted) {
       for (int i = 0; i < 200; ++i) {
         const auto page_no = static_cast<std::uint64_t>(1 + (i + t) % 8);
         auto page = cache.Pin(page_no);
-        ASSERT_TRUE(page.ok());
+        ASSERT_OK(page);
         cache.Unpin(page_no, /*dirty=*/false);
       }
     });
@@ -165,12 +167,12 @@ TEST(ConcurrencyStressTest, PageCachePinnedPageNeverEvicted) {
   // The pinned frame was untouched by eviction; re-pinning yields the same
   // frame with our write still in memory.
   auto again = cache.Pin(0);
-  ASSERT_TRUE(again.ok());
+  ASSERT_OK(again);
   EXPECT_EQ(*again, held_ptr);
   EXPECT_EQ((*again)->bytes[0], 42);
   cache.Unpin(0, /*dirty=*/true);
   cache.Unpin(0, /*dirty=*/false);
-  ASSERT_TRUE(cache.FlushAll().ok());
+  ASSERT_OK(cache.FlushAll());
 }
 
 // --- LockManager -----------------------------------------------------------
@@ -322,7 +324,7 @@ TEST(ConcurrencyStressTest, WalConcurrentAppendsKeepFramesIntact) {
   constexpr int kPerThread = 50;
   {
     auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     std::vector<std::thread> threads;
     for (int t = 0; t < kThreads; ++t) {
       threads.emplace_back([&wal, t] {
@@ -333,17 +335,17 @@ TEST(ConcurrencyStressTest, WalConcurrentAppendsKeepFramesIntact) {
           e.key = static_cast<std::uint32_t>(i);
           e.payload = std::string(17 + (i % 5), static_cast<char>('a' + t));
           auto lsn = wal->Append(e);
-          ASSERT_TRUE(lsn.ok());
+          ASSERT_OK(lsn);
         }
       });
     }
     for (auto& t : threads) t.join();
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Sync());
     EXPECT_EQ(wal->next_lsn(), 1u + kThreads * kPerThread);
   }
 
   auto entries = WriteAheadLog::ReadAll(path);
-  ASSERT_TRUE(entries.ok());
+  ASSERT_OK(entries);
   ASSERT_EQ(entries->size(), static_cast<std::size_t>(kThreads * kPerThread));
   std::set<std::uint64_t> lsns;
   std::array<int, kThreads> per_thread{};
@@ -373,14 +375,14 @@ TEST(ConcurrencyStressTest, DurableStoreConcurrentMutationsRecover) {
   constexpr int kNodesPerThread = 40;
   {
     auto store = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(store.ok());
+    ASSERT_OK(store);
     std::vector<std::thread> threads;
     for (int t = 0; t < kThreads; ++t) {
       threads.emplace_back([&store, t] {
         for (int i = 0; i < kNodesPerThread; ++i) {
           const auto id =
               static_cast<VertexId>(t * kNodesPerThread + i);
-          ASSERT_TRUE((*store)->CreateNode(id, 1.0).ok());
+          ASSERT_OK((*store)->CreateNode(id, 1.0));
           ASSERT_TRUE(
               (*store)->SetNodeProperty(id, 0, "n" + std::to_string(id)).ok());
           if (i > 0) {
@@ -392,18 +394,18 @@ TEST(ConcurrencyStressTest, DurableStoreConcurrentMutationsRecover) {
       });
     }
     for (auto& t : threads) t.join();
-    ASSERT_TRUE((*store)->Sync().ok());
+    ASSERT_OK((*store)->Sync());
   }
   // Crash-reopen: replay the log from scratch.
   auto recovered = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(recovered.ok());
+  ASSERT_OK(recovered);
   EXPECT_EQ((*recovered)->store().NumNodes(),
             static_cast<std::size_t>(kThreads * kNodesPerThread));
   for (int t = 0; t < kThreads; ++t) {
     for (int i = 1; i < kNodesPerThread; ++i) {
       const auto id = static_cast<VertexId>(t * kNodesPerThread + i);
       auto neighbors = (*recovered)->store().Neighbors(id);
-      ASSERT_TRUE(neighbors.ok());
+      ASSERT_OK(neighbors);
       EXPECT_TRUE(std::find(neighbors->begin(), neighbors->end(),
                             id - 1) != neighbors->end());
     }
@@ -446,11 +448,11 @@ TEST(ConcurrencyStressTest, IdGeneratorMintsUniqueIdsAcrossThreads) {
 Graph RingWithChords(std::size_t n) {
   Graph g(n);
   for (VertexId v = 0; v < n; ++v) {
-    EXPECT_TRUE(g.AddEdge(v, (v + 1) % n).ok());
+    EXPECT_OK(g.AddEdge(v, (v + 1) % n));
     // Chords only from the first half so no {v, v + n/2} pair repeats
     // (AddEdge rejects duplicates).
     if (v % 3 == 0 && v < n / 2) {
-      EXPECT_TRUE(g.AddEdge(v, v + n / 2).ok());
+      EXPECT_OK(g.AddEdge(v, v + n / 2));
     }
   }
   return g;
@@ -494,7 +496,7 @@ TEST(ConcurrencyStressTest, ClusterReadsWritesAndRepartitionInParallel) {
   threads.emplace_back([&cluster] {  // repartitioner
     for (int i = 0; i < 2; ++i) {
       auto stats = cluster.RunLightweightRepartition();
-      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      ASSERT_OK(stats);
     }
   });
   for (auto& t : threads) t.join();

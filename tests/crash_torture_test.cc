@@ -34,6 +34,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -344,7 +346,7 @@ void RunTortureSeed(std::uint64_t seed) {
   FailpointRegistry::Global().Reset();
 
   auto opened = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ASSERT_OK(opened);
   std::unique_ptr<DurableGraphStore> db = std::move(*opened);
 
   Rng rng(0x7087u ^ (seed * 0x9e3779b97f4a7c15ULL));
@@ -365,7 +367,7 @@ void RunTortureSeed(std::uint64_t seed) {
 
     GraphStore model(0);
     for (const Op& op : accepted) {
-      ASSERT_TRUE(ApplyToModel(&model, op).ok()) << context;
+      ASSERT_OK(ApplyToModel(&model, op)) << context;
     }
 
     const bool debug = std::getenv("HERMES_TORTURE_DEBUG") != nullptr;
@@ -419,7 +421,7 @@ void RunTortureSeed(std::uint64_t seed) {
     db.reset();
     FailpointRegistry::Global().Reset();
     auto reopened = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(reopened.ok())
+    ASSERT_OK(reopened)
         << context << "\nrecovery failed: " << reopened.status().ToString();
     db = std::move(*reopened);
     ASSERT_TRUE(db->store().CheckChains()) << context;
@@ -432,7 +434,7 @@ void RunTortureSeed(std::uint64_t seed) {
     CanonicalState prefix_state = Canonicalize(prefix);
     for (std::size_t k = 0; k <= accepted.size(); ++k) {
       if (k > 0) {
-        ASSERT_TRUE(ApplyToModel(&prefix, accepted[k - 1]).ok()) << context;
+        ASSERT_OK(ApplyToModel(&prefix, accepted[k - 1])) << context;
         prefix_state = Canonicalize(prefix);
       }
       if (k >= synced_floor && prefix_state == recovered) matched = k;
@@ -575,9 +577,9 @@ TEST_F(FailpointTest, TornWalAppendLosesOnlyTheTornOp) {
   const std::string dir = FreshDir("torture_torn_append");
   {
     auto db = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(db->get()->CreateNode(1, 1.0).ok());
-    ASSERT_TRUE(db->get()->CreateNode(2, 1.0).ok());
-    ASSERT_TRUE(db->get()->Sync().ok());
+    ASSERT_OK(db->get()->CreateNode(1, 1.0));
+    ASSERT_OK(db->get()->CreateNode(2, 1.0));
+    ASSERT_OK(db->get()->Sync());
 
     FailpointConfig cfg;
     cfg.policy = FailpointConfig::Policy::kNthHit;
@@ -591,7 +593,7 @@ TEST_F(FailpointTest, TornWalAppendLosesOnlyTheTornOp) {
   }
   FailpointRegistry::Global().Reset();
   auto reopened = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_OK(reopened);
   EXPECT_TRUE(reopened->get()->store().NodeExists(1));
   EXPECT_TRUE(reopened->get()->store().NodeExists(2));
   EXPECT_FALSE(reopened->get()->store().NodeExists(3));
@@ -602,8 +604,8 @@ TEST_F(FailpointTest, CrashBetweenSnapshotAndTruncateDoesNotDoubleApply) {
   const std::string dir = FreshDir("torture_checkpoint_window");
   {
     auto db = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(db->get()->CreateNode(1, 1.0).ok());
-    ASSERT_TRUE(db->get()->AddNodeWeight(1, 2.5).ok());
+    ASSERT_OK(db->get()->CreateNode(1, 1.0));
+    ASSERT_OK(db->get()->AddNodeWeight(1, 2.5));
 
     FailpointConfig cfg;
     cfg.policy = FailpointConfig::Policy::kNthHit;
@@ -616,7 +618,7 @@ TEST_F(FailpointTest, CrashBetweenSnapshotAndTruncateDoesNotDoubleApply) {
   }
   FailpointRegistry::Global().Reset();
   auto reopened = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_OK(reopened);
   // Replaying the stale kAddNodeWeight entry over the new snapshot would
   // yield 6.0; the snapshot's covered LSN must prevent that.
   EXPECT_DOUBLE_EQ(*reopened->get()->store().NodeWeight(1), 3.5);
@@ -626,22 +628,22 @@ TEST_F(FailpointTest, LsnsDoNotRestartAfterCheckpointAndReopen) {
   const std::string dir = FreshDir("torture_lsn_floor");
   {
     auto db = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(db->get()->CreateNode(1, 1.0).ok());
-    ASSERT_TRUE(db->get()->CreateNode(2, 1.0).ok());
-    ASSERT_TRUE(db->get()->Checkpoint().ok());  // truncates the log
+    ASSERT_OK(db->get()->CreateNode(1, 1.0));
+    ASSERT_OK(db->get()->CreateNode(2, 1.0));
+    ASSERT_OK(db->get()->Checkpoint());  // truncates the log
   }
   {
     // A fresh process scans an empty log; without the snapshot's covered
     // LSN as a floor it would hand out LSN 1 again, and the next
     // recovery would wrongly skip the new entries as already covered.
     auto db = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(db.ok());
+    ASSERT_OK(db);
     EXPECT_GT(db->get()->next_lsn(), 2u);
-    ASSERT_TRUE(db->get()->AddNodeWeight(1, 1.0).ok());
-    ASSERT_TRUE(db->get()->Sync().ok());
+    ASSERT_OK(db->get()->AddNodeWeight(1, 1.0));
+    ASSERT_OK(db->get()->Sync());
   }
   auto reopened = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(reopened.ok());
+  ASSERT_OK(reopened);
   EXPECT_DOUBLE_EQ(*reopened->get()->store().NodeWeight(1), 2.0);
 }
 
@@ -649,8 +651,8 @@ TEST_F(FailpointTest, RecoveryReadErrorFailsCleanly) {
   const std::string dir = FreshDir("torture_recovery_read");
   {
     auto db = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(db->get()->CreateNode(1, 1.0).ok());
-    ASSERT_TRUE(db->get()->Checkpoint().ok());
+    ASSERT_OK(db->get()->CreateNode(1, 1.0));
+    ASSERT_OK(db->get()->Checkpoint());
   }
   FailpointConfig cfg;
   cfg.policy = FailpointConfig::Policy::kNthHit;
@@ -661,7 +663,7 @@ TEST_F(FailpointTest, RecoveryReadErrorFailsCleanly) {
 
   FailpointRegistry::Global().Reset();
   auto recovered = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(recovered.ok());
+  ASSERT_OK(recovered);
   EXPECT_TRUE(recovered->get()->store().NodeExists(1));
 }
 

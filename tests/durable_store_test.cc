@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "graphdb/durable_store.h"
 
 namespace hermes {
@@ -17,14 +19,14 @@ std::string FreshDir(const char* name) {
 }
 
 void PopulateSmall(DurableGraphStore* db) {
-  ASSERT_TRUE(db->CreateNode(1, 2.0).ok());
-  ASSERT_TRUE(db->CreateNode(2).ok());
-  ASSERT_TRUE(db->CreateNode(3).ok());
-  ASSERT_TRUE(db->AddEdge(1, 2, 5, true).ok());
-  ASSERT_TRUE(db->AddEdge(2, 99, 0, false).ok());  // ghost-capable half
-  ASSERT_TRUE(db->SetNodeProperty(1, 0, "alice").ok());
-  ASSERT_TRUE(db->SetEdgeProperty(1, 2, 1, "friends-since-2009").ok());
-  ASSERT_TRUE(db->Sync().ok());
+  ASSERT_OK(db->CreateNode(1, 2.0));
+  ASSERT_OK(db->CreateNode(2));
+  ASSERT_OK(db->CreateNode(3));
+  ASSERT_OK(db->AddEdge(1, 2, 5, true));
+  ASSERT_OK(db->AddEdge(2, 99, 0, false));  // ghost-capable half
+  ASSERT_OK(db->SetNodeProperty(1, 0, "alice"));
+  ASSERT_OK(db->SetEdgeProperty(1, 2, 1, "friends-since-2009"));
+  ASSERT_OK(db->Sync());
 }
 
 void ExpectSmallContent(const GraphStore& store,
@@ -36,7 +38,7 @@ void ExpectSmallContent(const GraphStore& store,
   EXPECT_EQ(*store.GetNodeProperty(1, 0), "alice");
   EXPECT_EQ(*store.GetEdgeProperty(2, 1, 1), "friends-since-2009");
   auto neigh = store.Neighbors(2);
-  ASSERT_TRUE(neigh.ok());
+  ASSERT_OK(neigh);
   EXPECT_EQ(neigh->size(), 2u);  // node 1 and remote 99
   EXPECT_TRUE(store.CheckChains());
 }
@@ -45,12 +47,12 @@ TEST(DurableStoreTest, RecoversFromWalOnly) {
   const std::string dir = FreshDir("hermes_wal_only");
   {
     auto db = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(db.ok());
+    ASSERT_OK(db);
     PopulateSmall(db->get());
     // No checkpoint: recovery must come entirely from the log.
   }
   auto db = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(db.ok());
+  ASSERT_OK(db);
   ExpectSmallContent((*db)->store());
 }
 
@@ -58,16 +60,16 @@ TEST(DurableStoreTest, RecoversFromSnapshotAfterCheckpoint) {
   const std::string dir = FreshDir("hermes_snapshot");
   {
     auto db = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(db.ok());
+    ASSERT_OK(db);
     PopulateSmall(db->get());
-    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_OK((*db)->Checkpoint());
   }
   auto db = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(db.ok());
+  ASSERT_OK(db);
   ExpectSmallContent((*db)->store());
   // The log was truncated by the checkpoint.
   auto tail = WriteAheadLog::ReadAll(dir + "/wal.log", true);
-  ASSERT_TRUE(tail.ok());
+  ASSERT_OK(tail);
   EXPECT_TRUE(tail->empty());
 }
 
@@ -75,22 +77,22 @@ TEST(DurableStoreTest, SnapshotPlusTailReplay) {
   const std::string dir = FreshDir("hermes_mixed");
   {
     auto db = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(db.ok());
+    ASSERT_OK(db);
     PopulateSmall(db->get());
-    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_OK((*db)->Checkpoint());
     // Post-checkpoint mutations live only in the log.
-    ASSERT_TRUE((*db)->CreateNode(4).ok());
-    ASSERT_TRUE((*db)->AddEdge(3, 4, 0, true).ok());
-    ASSERT_TRUE((*db)->AddNodeWeight(1, 5.0).ok());
-    ASSERT_TRUE((*db)->Sync().ok());
+    ASSERT_OK((*db)->CreateNode(4));
+    ASSERT_OK((*db)->AddEdge(3, 4, 0, true));
+    ASSERT_OK((*db)->AddNodeWeight(1, 5.0));
+    ASSERT_OK((*db)->Sync());
   }
   auto db = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(db.ok());
+  ASSERT_OK(db);
   const GraphStore& store = (*db)->store();
   ExpectSmallContent(store, /*node1_weight=*/7.0);
   EXPECT_TRUE(store.HasNode(4));
   auto neigh = store.Neighbors(3);
-  ASSERT_TRUE(neigh.ok());
+  ASSERT_OK(neigh);
   EXPECT_EQ(neigh->size(), 1u);
 }
 
@@ -98,15 +100,15 @@ TEST(DurableStoreTest, DeletesSurviveRecovery) {
   const std::string dir = FreshDir("hermes_deletes");
   {
     auto db = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(db.ok());
+    ASSERT_OK(db);
     PopulateSmall(db->get());
-    ASSERT_TRUE((*db)->RemoveEdge(1, 2).ok());
-    ASSERT_TRUE((*db)->SetNodeState(3, NodeState::kUnavailable).ok());
-    ASSERT_TRUE((*db)->RemoveNode(3).ok());
-    ASSERT_TRUE((*db)->Sync().ok());
+    ASSERT_OK((*db)->RemoveEdge(1, 2));
+    ASSERT_OK((*db)->SetNodeState(3, NodeState::kUnavailable));
+    ASSERT_OK((*db)->RemoveNode(3));
+    ASSERT_OK((*db)->Sync());
   }
   auto db = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(db.ok());
+  ASSERT_OK(db);
   const GraphStore& store = (*db)->store();
   EXPECT_FALSE(store.NodeExists(3));
   EXPECT_TRUE(store.FindEdge(1, 2).status().IsNotFound());
@@ -115,16 +117,16 @@ TEST(DurableStoreTest, DeletesSurviveRecovery) {
 
 TEST(DurableStoreTest, GhostFlagsSurviveSnapshotRoundTrip) {
   GraphStore store(2);
-  ASSERT_TRUE(store.CreateNode(10).ok());
-  ASSERT_TRUE(store.CreateNode(20).ok());
-  ASSERT_TRUE(store.AddEdge(10, 20, 0, true).ok());
-  ASSERT_TRUE(store.AddEdge(10, 500, 0, false).ok());  // real half (10<500)
-  ASSERT_TRUE(store.AddEdge(20, 3, 0, false).ok());    // ghost half (20>3)
+  ASSERT_OK(store.CreateNode(10));
+  ASSERT_OK(store.CreateNode(20));
+  ASSERT_OK(store.AddEdge(10, 20, 0, true));
+  ASSERT_OK(store.AddEdge(10, 500, 0, false));  // real half (10<500)
+  ASSERT_OK(store.AddEdge(20, 3, 0, false));    // ghost half (20>3)
 
   const std::string path = ::testing::TempDir() + "/hermes_ghosts.snap";
-  ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, path).ok());
+  ASSERT_OK(DurableGraphStore::WriteSnapshot(store, path));
   GraphStore restored(2);
-  ASSERT_TRUE(DurableGraphStore::LoadSnapshot(path, &restored).ok());
+  ASSERT_OK(DurableGraphStore::LoadSnapshot(path, &restored));
 
   EXPECT_FALSE(*restored.EdgeIsGhost(10, 20));
   EXPECT_FALSE(*restored.EdgeIsGhost(10, 500));
@@ -136,12 +138,12 @@ TEST(DurableStoreTest, GhostFlagsSurviveSnapshotRoundTrip) {
 
 TEST(DurableStoreTest, UnavailableStateSurvivesSnapshot) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
-  ASSERT_TRUE(store.SetNodeState(1, NodeState::kUnavailable).ok());
+  ASSERT_OK(store.CreateNode(1));
+  ASSERT_OK(store.SetNodeState(1, NodeState::kUnavailable));
   const std::string path = ::testing::TempDir() + "/hermes_state.snap";
-  ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, path).ok());
+  ASSERT_OK(DurableGraphStore::WriteSnapshot(store, path));
   GraphStore restored(0);
-  ASSERT_TRUE(DurableGraphStore::LoadSnapshot(path, &restored).ok());
+  ASSERT_OK(DurableGraphStore::LoadSnapshot(path, &restored));
   EXPECT_TRUE(restored.NodeExists(1));
   EXPECT_FALSE(restored.HasNode(1));
   std::remove(path.c_str());
@@ -151,11 +153,11 @@ TEST(DurableStoreTest, TornLogTailLosesOnlyUnsyncedSuffix) {
   const std::string dir = FreshDir("hermes_torn");
   {
     auto db = DurableGraphStore::Open(0, dir);
-    ASSERT_TRUE(db.ok());
-    ASSERT_TRUE((*db)->CreateNode(1).ok());
-    ASSERT_TRUE((*db)->CreateNode(2).ok());
-    ASSERT_TRUE((*db)->AddEdge(1, 2, 0, true).ok());
-    ASSERT_TRUE((*db)->Sync().ok());
+    ASSERT_OK(db);
+    ASSERT_OK((*db)->CreateNode(1));
+    ASSERT_OK((*db)->CreateNode(2));
+    ASSERT_OK((*db)->AddEdge(1, 2, 0, true));
+    ASSERT_OK((*db)->Sync());
   }
   // Crash simulation: truncate the final bytes of the log.
   {
@@ -164,7 +166,7 @@ TEST(DurableStoreTest, TornLogTailLosesOnlyUnsyncedSuffix) {
     std::filesystem::resize_file(wal, size - 4);
   }
   auto db = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(db.ok());
+  ASSERT_OK(db);
   const GraphStore& store = (*db)->store();
   // Nodes (earlier records) recovered; the torn edge append is lost.
   EXPECT_TRUE(store.HasNode(1));
@@ -181,20 +183,20 @@ TEST(DurableStoreTest, ReplayRejectsDuplicateCreateWithDivergentPayload) {
   const std::string dir = FreshDir("hermes_replay_divergent");
   {
     GraphStore store(0);
-    ASSERT_TRUE(store.CreateNode(1, 1.0).ok());
+    ASSERT_OK(store.CreateNode(1, 1.0));
     ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, dir + "/snapshot.bin",
                                                  /*covered_lsn=*/0)
                     .ok());
   }
   {
     auto wal = WriteAheadLog::Open(dir + "/wal.log");
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     WalEntry e;
     e.type = WalOpType::kCreateNode;
     e.a = 1;
     e.weight = 2.0;  // disagrees with the snapshot's weight 1.0
-    ASSERT_TRUE(wal->Append(e).ok());
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Append(e));
+    ASSERT_OK(wal->Sync());
   }
   auto db = DurableGraphStore::Open(0, dir);
   ASSERT_FALSE(db.ok());
@@ -205,23 +207,23 @@ TEST(DurableStoreTest, ReplayToleratesDuplicateCreateWithMatchingPayload) {
   const std::string dir = FreshDir("hermes_replay_matching");
   {
     GraphStore store(0);
-    ASSERT_TRUE(store.CreateNode(1, 1.0).ok());
+    ASSERT_OK(store.CreateNode(1, 1.0));
     ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, dir + "/snapshot.bin",
                                                  /*covered_lsn=*/0)
                     .ok());
   }
   {
     auto wal = WriteAheadLog::Open(dir + "/wal.log");
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     WalEntry e;
     e.type = WalOpType::kCreateNode;
     e.a = 1;
     e.weight = 1.0;  // same create the snapshot already contains
-    ASSERT_TRUE(wal->Append(e).ok());
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Append(e));
+    ASSERT_OK(wal->Sync());
   }
   auto db = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(db.ok());
+  ASSERT_OK(db);
   EXPECT_DOUBLE_EQ(*(*db)->store().NodeWeight(1), 1.0);
 }
 
@@ -229,49 +231,49 @@ TEST(DurableStoreTest, ReplayToleratesEdgeAlreadyInSnapshot) {
   const std::string dir = FreshDir("hermes_replay_edge_dup");
   {
     GraphStore store(0);
-    ASSERT_TRUE(store.CreateNode(1).ok());
-    ASSERT_TRUE(store.CreateNode(2).ok());
-    ASSERT_TRUE(store.AddEdge(1, 2, 7, true).ok());
+    ASSERT_OK(store.CreateNode(1));
+    ASSERT_OK(store.CreateNode(2));
+    ASSERT_OK(store.AddEdge(1, 2, 7, true));
     ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, dir + "/snapshot.bin",
                                                  /*covered_lsn=*/0)
                     .ok());
   }
   {
     auto wal = WriteAheadLog::Open(dir + "/wal.log");
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     WalEntry e;
     e.type = WalOpType::kAddEdge;
     e.a = 1;
     e.b = 2;
     e.key = 7;
     e.flag = 1;
-    ASSERT_TRUE(wal->Append(e).ok());
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Append(e));
+    ASSERT_OK(wal->Sync());
   }
   auto db = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(db.ok());
-  EXPECT_TRUE((*db)->store().FindEdge(1, 2).ok());
+  ASSERT_OK(db);
+  EXPECT_OK((*db)->store().FindEdge(1, 2));
 }
 
 TEST(DurableStoreTest, ReplayRejectsEdgeWithMissingEndpoint) {
   const std::string dir = FreshDir("hermes_replay_edge_bad");
   {
     GraphStore store(0);
-    ASSERT_TRUE(store.CreateNode(1).ok());
+    ASSERT_OK(store.CreateNode(1));
     ASSERT_TRUE(DurableGraphStore::WriteSnapshot(store, dir + "/snapshot.bin",
                                                  /*covered_lsn=*/0)
                     .ok());
   }
   {
     auto wal = WriteAheadLog::Open(dir + "/wal.log");
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     WalEntry e;
     e.type = WalOpType::kAddEdge;
     e.a = 1;
     e.b = 3;  // endpoint 3 exists nowhere
     e.flag = 1;
-    ASSERT_TRUE(wal->Append(e).ok());
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Append(e));
+    ASSERT_OK(wal->Sync());
   }
   auto db = DurableGraphStore::Open(0, dir);
   ASSERT_FALSE(db.ok());
@@ -281,7 +283,7 @@ TEST(DurableStoreTest, ReplayRejectsEdgeWithMissingEndpoint) {
 TEST(DurableStoreTest, OpenOnEmptyDirectoryIsFreshStore) {
   const std::string dir = FreshDir("hermes_fresh");
   auto db = DurableGraphStore::Open(3, dir);
-  ASSERT_TRUE(db.ok());
+  ASSERT_OK(db);
   EXPECT_EQ((*db)->store().NumNodes(), 0u);
   EXPECT_EQ((*db)->store().partition_id(), 3u);
 }
@@ -289,17 +291,21 @@ TEST(DurableStoreTest, OpenOnEmptyDirectoryIsFreshStore) {
 TEST(DurableStoreTest, RepeatedCheckpointsStayConsistent) {
   const std::string dir = FreshDir("hermes_repeat");
   auto db = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(db.ok());
+  ASSERT_OK(db);
   for (VertexId v = 0; v < 50; ++v) {
-    ASSERT_TRUE((*db)->CreateNode(v).ok());
-    if (v > 0) ASSERT_TRUE((*db)->AddEdge(v - 1, v, 0, true).ok());
-    if (v % 10 == 9) ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_OK((*db)->CreateNode(v));
+    if (v > 0) {
+      ASSERT_OK((*db)->AddEdge(v - 1, v, 0, true));
+    }
+    if (v % 10 == 9) {
+      ASSERT_OK((*db)->Checkpoint());
+    }
   }
-  ASSERT_TRUE((*db)->Sync().ok());
+  ASSERT_OK((*db)->Sync());
   db->reset();  // close
 
   auto reopened = DurableGraphStore::Open(0, dir);
-  ASSERT_TRUE(reopened.ok());
+  ASSERT_OK(reopened);
   EXPECT_EQ((*reopened)->store().NumNodes(), 50u);
   EXPECT_EQ((*reopened)->store().NumRelationships(), 49u);
   EXPECT_TRUE((*reopened)->store().CheckChains());

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "cluster/hermes_cluster.h"
 #include "gen/social_graph.h"
 #include "partition/hash_partitioner.h"
@@ -23,13 +25,13 @@ TEST(EdgeCases, ClusterReadOutOfRangeFails) {
 
 TEST(EdgeCases, ClusterReadOfUnavailableVertexFails) {
   Graph g(4);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
   HermesCluster cluster(std::move(g), PartitionAssignment(4, 2));
-  ASSERT_TRUE(cluster.store(0)->SetNodeState(1, NodeState::kUnavailable).ok());
+  ASSERT_OK(cluster.store(0)->SetNodeState(1, NodeState::kUnavailable));
   EXPECT_TRUE(cluster.ExecuteRead(1, 1).status().IsUnavailable());
   // Traversals through the unavailable vertex skip it.
   auto run = cluster.ExecuteRead(0, 2);
-  ASSERT_TRUE(run.ok());
+  ASSERT_OK(run);
   EXPECT_EQ(run->unique_vertices, 2u);  // 0 and the id of 1 (not expanded)
 }
 
@@ -42,17 +44,17 @@ TEST(EdgeCases, NeighborProviderOutOfRange) {
 
 TEST(EdgeCases, ZeroHopReadTouchesOnlyTheStart) {
   Graph g(4);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
   HermesCluster cluster(std::move(g), PartitionAssignment(4, 2));
   auto run = cluster.ExecuteRead(0, 0);
-  ASSERT_TRUE(run.ok());
+  ASSERT_OK(run);
   EXPECT_EQ(run->vertices_processed, 1u);
   EXPECT_EQ(run->remote_hops, 0u);
 }
 
 TEST(EdgeCases, DriverCountsDuplicateEdgeInsertsAsFailed) {
   Graph g(10);
-  for (VertexId v = 0; v + 1 < 10; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  for (VertexId v = 0; v + 1 < 10; ++v) ASSERT_OK(g.AddEdge(v, v + 1));
   const auto asg = HashPartitioner(1).Partition(g, 2);
   HermesCluster cluster(std::move(g), asg);
 
@@ -95,7 +97,7 @@ TEST(EdgeCases, TraceVertexInsertShare) {
 
 TEST(EdgeCases, MultilevelAlphaLargerThanGraph) {
   Graph g(5);
-  for (VertexId v = 0; v + 1 < 5; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  for (VertexId v = 0; v + 1 < 5; ++v) ASSERT_OK(g.AddEdge(v, v + 1));
   const auto asg = MultilevelPartitioner().Partition(g, 16);
   ASSERT_EQ(asg.size(), 5u);
   for (VertexId v = 0; v < 5; ++v) EXPECT_LT(asg.PartitionOf(v), 16u);
@@ -104,8 +106,8 @@ TEST(EdgeCases, MultilevelAlphaLargerThanGraph) {
 TEST(EdgeCases, MultilevelOnDisconnectedGraph) {
   // Two components of very different sizes.
   Graph g(60);
-  for (VertexId v = 0; v + 1 < 40; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
-  for (VertexId v = 40; v + 1 < 60; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  for (VertexId v = 0; v + 1 < 40; ++v) ASSERT_OK(g.AddEdge(v, v + 1));
+  for (VertexId v = 40; v + 1 < 60; ++v) ASSERT_OK(g.AddEdge(v, v + 1));
   const auto asg = MultilevelPartitioner().Partition(g, 4);
   EXPECT_LE(ImbalanceFactor(g, asg), 1.3);
 }
@@ -145,13 +147,13 @@ TEST(EdgeCases, MigrateWholePartitionAway) {
   // Every vertex of partition 0 moves: partition 0's store must end empty
   // and the others consistent.
   Graph g(8);
-  for (VertexId v = 0; v + 1 < 8; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  for (VertexId v = 0; v + 1 < 8; ++v) ASSERT_OK(g.AddEdge(v, v + 1));
   PartitionAssignment initial(8, 2);
   for (VertexId v = 4; v < 8; ++v) initial.Assign(v, 1);
   HermesCluster cluster(std::move(g), initial);
 
   PartitionAssignment everyone_on_1(8, 2, 1);
-  ASSERT_TRUE(cluster.MigrateToAssignment(everyone_on_1).ok());
+  ASSERT_OK(cluster.MigrateToAssignment(everyone_on_1));
   EXPECT_EQ(cluster.store(0)->NumNodes(), 0u);
   EXPECT_EQ(cluster.store(0)->NumRelationships(), 0u);
   EXPECT_EQ(cluster.store(1)->NumNodes(), 8u);
@@ -161,9 +163,9 @@ TEST(EdgeCases, MigrateWholePartitionAway) {
 TEST(EdgeCases, ChainedMigrationsAcrossThreePartitions) {
   // Move a vertex 0 -> 1 -> 2 across epochs; ghosts must stay coherent.
   Graph g(6);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
-  ASSERT_TRUE(g.AddEdge(0, 3).ok());
-  ASSERT_TRUE(g.AddEdge(0, 5).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
+  ASSERT_OK(g.AddEdge(0, 3));
+  ASSERT_OK(g.AddEdge(0, 5));
   PartitionAssignment initial(6, 3);
   for (VertexId v = 2; v < 4; ++v) initial.Assign(v, 1);
   for (VertexId v = 4; v < 6; ++v) initial.Assign(v, 2);
@@ -171,12 +173,12 @@ TEST(EdgeCases, ChainedMigrationsAcrossThreePartitions) {
 
   PartitionAssignment step1 = cluster.assignment();
   step1.Assign(0, 1);
-  ASSERT_TRUE(cluster.MigrateToAssignment(step1).ok());
+  ASSERT_OK(cluster.MigrateToAssignment(step1));
   ASSERT_TRUE(cluster.Validate());
 
   PartitionAssignment step2 = cluster.assignment();
   step2.Assign(0, 2);
-  ASSERT_TRUE(cluster.MigrateToAssignment(step2).ok());
+  ASSERT_OK(cluster.MigrateToAssignment(step2));
   ASSERT_TRUE(cluster.Validate());
   // 0 now co-located with 5: that edge must be a full record.
   EXPECT_FALSE(*cluster.store(2)->EdgeIsGhost(0, 5));

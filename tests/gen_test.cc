@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/rng.h"
 #include "gen/edge_list_io.h"
 #include "gen/profiles.h"
@@ -157,9 +159,9 @@ TEST(ProfilesTest, AllThreeProfilesGenerate) {
 }
 
 TEST(ProfilesTest, LookupByName) {
-  EXPECT_TRUE(ProfileByName("twitter", 1.0).ok());
-  EXPECT_TRUE(ProfileByName("ORKUT", 1.0).ok());
-  EXPECT_TRUE(ProfileByName("Dblp", 1.0).ok());
+  EXPECT_OK(ProfileByName("twitter", 1.0));
+  EXPECT_OK(ProfileByName("ORKUT", 1.0));
+  EXPECT_OK(ProfileByName("Dblp", 1.0));
   EXPECT_TRUE(ProfileByName("facebook", 1.0).status().IsNotFound());
 }
 
@@ -178,9 +180,9 @@ TEST(EdgeListIoTest, RoundTrip) {
   opt.seed = 10;
   Graph g = GenerateSocialGraph(opt);
   const std::string path = ::testing::TempDir() + "/hermes_edges.txt";
-  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  ASSERT_OK(SaveEdgeList(g, path));
   auto loaded = LoadEdgeList(path);
-  ASSERT_TRUE(loaded.ok());
+  ASSERT_OK(loaded);
   EXPECT_EQ(loaded->NumVertices(), g.NumVertices());
   EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
   std::remove(path.c_str());
@@ -199,7 +201,7 @@ TEST(EdgeListIoTest, SkipsCommentsAndRenumbers) {
     fclose(f);
   }
   auto loaded = LoadEdgeList(path);
-  ASSERT_TRUE(loaded.ok());
+  ASSERT_OK(loaded);
   EXPECT_EQ(loaded->NumVertices(), 3u);  // densely renumbered
   EXPECT_EQ(loaded->NumEdges(), 2u);
   std::remove(path.c_str());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "graph/graph.h"
 
 namespace hermes {
@@ -35,7 +37,7 @@ TEST(GraphTest, AddVertexReturnsSequentialIds) {
 
 TEST(GraphTest, AddEdgeIsUndirected) {
   Graph g(3);
-  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_OK(g.AddEdge(0, 2));
   EXPECT_TRUE(g.HasEdge(0, 2));
   EXPECT_TRUE(g.HasEdge(2, 0));
   EXPECT_EQ(g.NumEdges(), 1u);
@@ -52,7 +54,7 @@ TEST(GraphTest, RejectsSelfLoop) {
 
 TEST(GraphTest, RejectsDuplicateEdge) {
   Graph g(2);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
   EXPECT_TRUE(g.AddEdge(0, 1).IsAlreadyExists());
   EXPECT_TRUE(g.AddEdge(1, 0).IsAlreadyExists());
   EXPECT_EQ(g.NumEdges(), 1u);
@@ -66,9 +68,9 @@ TEST(GraphTest, RejectsOutOfRangeEndpoint) {
 
 TEST(GraphTest, NeighborsAreSorted) {
   Graph g(5);
-  ASSERT_TRUE(g.AddEdge(2, 4).ok());
-  ASSERT_TRUE(g.AddEdge(2, 0).ok());
-  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_OK(g.AddEdge(2, 4));
+  ASSERT_OK(g.AddEdge(2, 0));
+  ASSERT_OK(g.AddEdge(2, 3));
   const auto n = g.Neighbors(2);
   const std::vector<VertexId> expected{0, 3, 4};
   EXPECT_TRUE(std::equal(n.begin(), n.end(), expected.begin(),
@@ -77,9 +79,9 @@ TEST(GraphTest, NeighborsAreSorted) {
 
 TEST(GraphTest, RemoveEdge) {
   Graph g(3);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
-  ASSERT_TRUE(g.AddEdge(1, 2).ok());
-  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
+  ASSERT_OK(g.AddEdge(1, 2));
+  ASSERT_OK(g.RemoveEdge(0, 1));
   EXPECT_FALSE(g.HasEdge(0, 1));
   EXPECT_TRUE(g.HasEdge(1, 2));
   EXPECT_EQ(g.NumEdges(), 1u);
@@ -117,7 +119,7 @@ TEST(GraphTest, HasEdgeOutOfRangeIsFalse) {
 TEST(GraphTest, LargeStarDegrees) {
   Graph g(1001);
   for (VertexId v = 1; v <= 1000; ++v) {
-    ASSERT_TRUE(g.AddEdge(0, v).ok());
+    ASSERT_OK(g.AddEdge(0, v));
   }
   EXPECT_EQ(g.Degree(0), 1000u);
   EXPECT_EQ(g.NumEdges(), 1000u);

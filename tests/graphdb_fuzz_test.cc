@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/rng.h"
 #include "graphdb/graph_store.h"
 
@@ -45,7 +47,7 @@ TEST_P(GraphStoreFuzzTest, MatchesReferenceModel) {
         if (ref.nodes.count(v)) {
           ASSERT_TRUE(st.IsAlreadyExists());
         } else {
-          ASSERT_TRUE(st.ok());
+          ASSERT_OK(st);
           ref.nodes[v] = w;
         }
         break;
@@ -57,7 +59,7 @@ TEST_P(GraphStoreFuzzTest, MatchesReferenceModel) {
         const bool can = a != b && ref.nodes.count(a) && ref.nodes.count(b) &&
                          !ref.adjacency[a].count(b);
         if (can) {
-          ASSERT_TRUE(st.ok()) << st.status().ToString();
+          ASSERT_OK(st);
           ref.adjacency[a].insert(b);
           ref.adjacency[b].insert(a);
         } else {
@@ -71,7 +73,7 @@ TEST_P(GraphStoreFuzzTest, MatchesReferenceModel) {
         auto st = store.AddEdge(a, b, 0, /*other_is_local=*/false);
         const bool can = ref.nodes.count(a) && !ref.adjacency[a].count(b);
         if (can) {
-          ASSERT_TRUE(st.ok());
+          ASSERT_OK(st);
           ref.adjacency[a].insert(b);  // one-sided: b is remote
         } else {
           ASSERT_FALSE(st.ok());
@@ -87,7 +89,7 @@ TEST_P(GraphStoreFuzzTest, MatchesReferenceModel) {
         auto it = ref.adjacency[a].begin();
         std::advance(it, rng.Uniform(ref.adjacency[a].size()));
         const VertexId b = *it;
-        ASSERT_TRUE(store.RemoveEdge(a, b).ok());
+        ASSERT_OK(store.RemoveEdge(a, b));
         ref.adjacency[a].erase(b);
         if (b < kRemoteBase) ref.adjacency[b].erase(a);
         ref.edge_prop.erase(Reference::Key(a, b));
@@ -100,7 +102,7 @@ TEST_P(GraphStoreFuzzTest, MatchesReferenceModel) {
           ASSERT_TRUE(st.IsNotFound());
           break;
         }
-        ASSERT_TRUE(st.ok());
+        ASSERT_OK(st);
         // Local neighbors keep a half record toward v (degrade), remote
         // halves disappear. Mirror: v keeps appearing in local neighbors'
         // adjacency (they now see v as remote).
@@ -133,7 +135,7 @@ TEST_P(GraphStoreFuzzTest, MatchesReferenceModel) {
         const VertexId v = rng.Uniform(kLocalSpace);
         const Status st = store.AddNodeWeight(v, 1.0);
         if (ref.nodes.count(v)) {
-          ASSERT_TRUE(st.ok());
+          ASSERT_OK(st);
           ref.nodes[v] += 1.0;
         } else {
           ASSERT_TRUE(st.IsNotFound());
@@ -154,7 +156,7 @@ TEST_P(GraphStoreFuzzTest, MatchesReferenceModel) {
     ASSERT_TRUE(store.NodeExists(v));
     EXPECT_DOUBLE_EQ(*store.NodeWeight(v), weight);
     auto neighbors = store.Neighbors(v);
-    ASSERT_TRUE(neighbors.ok());
+    ASSERT_OK(neighbors);
     std::vector<VertexId> got = *neighbors;
     std::sort(got.begin(), got.end());
     std::vector<VertexId> want(ref.adjacency[v].begin(),
@@ -201,7 +203,7 @@ TEST_P(PropertyRecycleFuzzTest, DynamicPropertiesAndIdRecyclingMatchModel) {
         if (weights.count(v)) {
           ASSERT_TRUE(st.IsAlreadyExists());
         } else {
-          ASSERT_TRUE(st.ok());
+          ASSERT_OK(st);
           weights[v] = 1.0;
         }
         break;
@@ -211,7 +213,7 @@ TEST_P(PropertyRecycleFuzzTest, DynamicPropertiesAndIdRecyclingMatchModel) {
         if (!weights.count(v)) {
           ASSERT_TRUE(st.IsNotFound());
         } else {
-          ASSERT_TRUE(st.ok());
+          ASSERT_OK(st);
           weights.erase(v);
           props.erase(v);
         }
@@ -224,7 +226,7 @@ TEST_P(PropertyRecycleFuzzTest, DynamicPropertiesAndIdRecyclingMatchModel) {
                                 static_cast<char>('a' + (step % 26)));
         const Status st = store.SetNodeProperty(v, key, value);
         if (weights.count(v)) {
-          ASSERT_TRUE(st.ok()) << st.ToString();
+          ASSERT_OK(st);
           props[v][key] = value;
         } else {
           ASSERT_TRUE(st.IsNotFound());
@@ -236,7 +238,7 @@ TEST_P(PropertyRecycleFuzzTest, DynamicPropertiesAndIdRecyclingMatchModel) {
         auto got = store.GetNodeProperty(v, key);
         const auto it = props.find(v);
         if (it != props.end() && it->second.count(key)) {
-          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ASSERT_OK(got);
           EXPECT_EQ(*got, it->second.at(key)) << "node " << v;
         } else {
           ASSERT_FALSE(got.ok());
@@ -245,11 +247,11 @@ TEST_P(PropertyRecycleFuzzTest, DynamicPropertiesAndIdRecyclingMatchModel) {
       }
       case 5: {  // recycle storm: remove + immediate re-create
         if (weights.count(v)) {
-          ASSERT_TRUE(store.RemoveNode(v).ok());
+          ASSERT_OK(store.RemoveNode(v));
           weights.erase(v);
           props.erase(v);
         }
-        ASSERT_TRUE(store.CreateNode(v, 2.0).ok());
+        ASSERT_OK(store.CreateNode(v, 2.0));
         weights[v] = 2.0;
         for (std::uint32_t key = 0; key < kKeys; ++key) {
           EXPECT_TRUE(store.GetNodeProperty(v, key).status().IsNotFound())

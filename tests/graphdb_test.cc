@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "graphdb/graph_store.h"
 
 namespace hermes {
@@ -10,7 +12,7 @@ namespace {
 
 std::vector<VertexId> SortedNeighbors(const GraphStore& store, VertexId v) {
   auto n = store.Neighbors(v);
-  EXPECT_TRUE(n.ok());
+  EXPECT_OK(n);
   std::vector<VertexId> out = n.ok() ? *n : std::vector<VertexId>{};
   std::sort(out.begin(), out.end());
   return out;
@@ -18,7 +20,7 @@ std::vector<VertexId> SortedNeighbors(const GraphStore& store, VertexId v) {
 
 TEST(GraphStoreTest, CreateAndQueryNodes) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1, 2.5).ok());
+  ASSERT_OK(store.CreateNode(1, 2.5));
   EXPECT_TRUE(store.HasNode(1));
   EXPECT_FALSE(store.HasNode(2));
   EXPECT_DOUBLE_EQ(*store.NodeWeight(1), 2.5);
@@ -27,24 +29,24 @@ TEST(GraphStoreTest, CreateAndQueryNodes) {
 
 TEST(GraphStoreTest, DuplicateNodeRejected) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
+  ASSERT_OK(store.CreateNode(1));
   EXPECT_TRUE(store.CreateNode(1).IsAlreadyExists());
 }
 
 TEST(GraphStoreTest, WeightAccumulates) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1, 1.0).ok());
-  ASSERT_TRUE(store.AddNodeWeight(1, 4.0).ok());
+  ASSERT_OK(store.CreateNode(1, 1.0));
+  ASSERT_OK(store.AddNodeWeight(1, 4.0));
   EXPECT_DOUBLE_EQ(*store.NodeWeight(1), 5.0);
   EXPECT_TRUE(store.AddNodeWeight(9, 1.0).IsNotFound());
 }
 
 TEST(GraphStoreTest, LocalEdgeVisibleFromBothChains) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
-  ASSERT_TRUE(store.CreateNode(2).ok());
+  ASSERT_OK(store.CreateNode(1));
+  ASSERT_OK(store.CreateNode(2));
   auto rel = store.AddEdge(1, 2, 0, /*other_is_local=*/true);
-  ASSERT_TRUE(rel.ok());
+  ASSERT_OK(rel);
   EXPECT_EQ(SortedNeighbors(store, 1), std::vector<VertexId>{2});
   EXPECT_EQ(SortedNeighbors(store, 2), std::vector<VertexId>{1});
   EXPECT_EQ(store.NumRelationships(), 1u);  // single shared record
@@ -54,50 +56,50 @@ TEST(GraphStoreTest, LocalEdgeVisibleFromBothChains) {
 
 TEST(GraphStoreTest, HalfEdgeGhostRule) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(5).ok());
+  ASSERT_OK(store.CreateNode(5));
   // Remote endpoint 9 > 5: the real copy follows the lower id, so the
   // local copy (with endpoint 5) is real.
-  ASSERT_TRUE(store.AddEdge(5, 9, 0, false).ok());
+  ASSERT_OK(store.AddEdge(5, 9, 0, false));
   EXPECT_FALSE(*store.EdgeIsGhost(5, 9));
 
-  ASSERT_TRUE(store.CreateNode(20).ok());
+  ASSERT_OK(store.CreateNode(20));
   // Remote endpoint 3 < 20: local copy is the ghost.
-  ASSERT_TRUE(store.AddEdge(20, 3, 0, false).ok());
+  ASSERT_OK(store.AddEdge(20, 3, 0, false));
   EXPECT_TRUE(*store.EdgeIsGhost(20, 3));
   EXPECT_EQ(store.NumGhostRelationships(), 1u);
 }
 
 TEST(GraphStoreTest, GhostKeepsAdjacencyLocal) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
-  ASSERT_TRUE(store.AddEdge(1, 100, 0, false).ok());
-  ASSERT_TRUE(store.AddEdge(1, 200, 0, false).ok());
+  ASSERT_OK(store.CreateNode(1));
+  ASSERT_OK(store.AddEdge(1, 100, 0, false));
+  ASSERT_OK(store.AddEdge(1, 200, 0, false));
   EXPECT_EQ(SortedNeighbors(store, 1), (std::vector<VertexId>{100, 200}));
   EXPECT_EQ(*store.DegreeOf(1), 2u);
 }
 
 TEST(GraphStoreTest, DuplicateEdgeRejected) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
-  ASSERT_TRUE(store.CreateNode(2).ok());
-  ASSERT_TRUE(store.AddEdge(1, 2, 0, true).ok());
+  ASSERT_OK(store.CreateNode(1));
+  ASSERT_OK(store.CreateNode(2));
+  ASSERT_OK(store.AddEdge(1, 2, 0, true));
   EXPECT_TRUE(store.AddEdge(1, 2, 0, true).status().IsAlreadyExists());
   EXPECT_TRUE(store.AddEdge(2, 1, 0, true).status().IsAlreadyExists());
 }
 
 TEST(GraphStoreTest, SelfLoopRejected) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
+  ASSERT_OK(store.CreateNode(1));
   EXPECT_TRUE(store.AddEdge(1, 1, 0, true).status().IsInvalidArgument());
 }
 
 TEST(GraphStoreTest, RemoveEdgeFixesChains) {
   GraphStore store(0);
-  for (VertexId v = 1; v <= 4; ++v) ASSERT_TRUE(store.CreateNode(v).ok());
-  ASSERT_TRUE(store.AddEdge(1, 2, 0, true).ok());
-  ASSERT_TRUE(store.AddEdge(1, 3, 0, true).ok());
-  ASSERT_TRUE(store.AddEdge(1, 4, 0, true).ok());
-  ASSERT_TRUE(store.RemoveEdge(1, 3).ok());
+  for (VertexId v = 1; v <= 4; ++v) ASSERT_OK(store.CreateNode(v));
+  ASSERT_OK(store.AddEdge(1, 2, 0, true));
+  ASSERT_OK(store.AddEdge(1, 3, 0, true));
+  ASSERT_OK(store.AddEdge(1, 4, 0, true));
+  ASSERT_OK(store.RemoveEdge(1, 3));
   EXPECT_EQ(SortedNeighbors(store, 1), (std::vector<VertexId>{2, 4}));
   EXPECT_TRUE(SortedNeighbors(store, 3).empty());
   EXPECT_TRUE(store.CheckChains());
@@ -106,60 +108,60 @@ TEST(GraphStoreTest, RemoveEdgeFixesChains) {
 
 TEST(GraphStoreTest, ChainSurvivesMiddleAndHeadRemoval) {
   GraphStore store(0);
-  for (VertexId v = 0; v < 6; ++v) ASSERT_TRUE(store.CreateNode(v).ok());
+  for (VertexId v = 0; v < 6; ++v) ASSERT_OK(store.CreateNode(v));
   for (VertexId v = 1; v < 6; ++v) {
-    ASSERT_TRUE(store.AddEdge(0, v, 0, true).ok());
+    ASSERT_OK(store.AddEdge(0, v, 0, true));
   }
   // Chain head is the most recently added (5); remove head, middle, tail.
-  ASSERT_TRUE(store.RemoveEdge(0, 5).ok());
-  ASSERT_TRUE(store.RemoveEdge(0, 3).ok());
-  ASSERT_TRUE(store.RemoveEdge(0, 1).ok());
+  ASSERT_OK(store.RemoveEdge(0, 5));
+  ASSERT_OK(store.RemoveEdge(0, 3));
+  ASSERT_OK(store.RemoveEdge(0, 1));
   EXPECT_EQ(SortedNeighbors(store, 0), (std::vector<VertexId>{2, 4}));
   EXPECT_TRUE(store.CheckChains());
 }
 
 TEST(GraphStoreTest, NodeProperties) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
-  ASSERT_TRUE(store.SetNodeProperty(1, 0, "alice").ok());
-  ASSERT_TRUE(store.SetNodeProperty(1, 1, "springfield").ok());
+  ASSERT_OK(store.CreateNode(1));
+  ASSERT_OK(store.SetNodeProperty(1, 0, "alice"));
+  ASSERT_OK(store.SetNodeProperty(1, 1, "springfield"));
   EXPECT_EQ(*store.GetNodeProperty(1, 0), "alice");
   EXPECT_EQ(*store.GetNodeProperty(1, 1), "springfield");
   EXPECT_TRUE(store.GetNodeProperty(1, 2).status().IsNotFound());
   // Overwrite.
-  ASSERT_TRUE(store.SetNodeProperty(1, 0, "bob").ok());
+  ASSERT_OK(store.SetNodeProperty(1, 0, "bob"));
   EXPECT_EQ(*store.GetNodeProperty(1, 0), "bob");
 }
 
 TEST(GraphStoreTest, LongPropertyValueUsesDynamicStore) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
+  ASSERT_OK(store.CreateNode(1));
   const std::string big(500, 'p');
-  ASSERT_TRUE(store.SetNodeProperty(1, 7, big).ok());
+  ASSERT_OK(store.SetNodeProperty(1, 7, big));
   EXPECT_EQ(*store.GetNodeProperty(1, 7), big);
 }
 
 TEST(GraphStoreTest, EdgePropertiesOnRealCopyOnly) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
-  ASSERT_TRUE(store.CreateNode(2).ok());
-  ASSERT_TRUE(store.AddEdge(1, 2, 0, true).ok());
-  ASSERT_TRUE(store.SetEdgeProperty(1, 2, 0, "since-2009").ok());
+  ASSERT_OK(store.CreateNode(1));
+  ASSERT_OK(store.CreateNode(2));
+  ASSERT_OK(store.AddEdge(1, 2, 0, true));
+  ASSERT_OK(store.SetEdgeProperty(1, 2, 0, "since-2009"));
   EXPECT_EQ(*store.GetEdgeProperty(2, 1, 0), "since-2009");
 
   // Ghost copy refuses writes.
-  ASSERT_TRUE(store.CreateNode(20).ok());
-  ASSERT_TRUE(store.AddEdge(20, 3, 0, false).ok());  // ghost (3 < 20)
+  ASSERT_OK(store.CreateNode(20));
+  ASSERT_OK(store.AddEdge(20, 3, 0, false));  // ghost (3 < 20)
   EXPECT_TRUE(store.SetEdgeProperty(20, 3, 0, "x").IsInvalidArgument());
   EXPECT_TRUE(store.GetEdgeProperty(20, 3, 0).status().IsUnavailable());
 }
 
 TEST(GraphStoreTest, UnavailableNodeHiddenFromQueries) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
-  ASSERT_TRUE(store.CreateNode(2).ok());
-  ASSERT_TRUE(store.AddEdge(1, 2, 0, true).ok());
-  ASSERT_TRUE(store.SetNodeState(1, NodeState::kUnavailable).ok());
+  ASSERT_OK(store.CreateNode(1));
+  ASSERT_OK(store.CreateNode(2));
+  ASSERT_OK(store.AddEdge(1, 2, 0, true));
+  ASSERT_OK(store.SetNodeState(1, NodeState::kUnavailable));
   EXPECT_FALSE(store.HasNode(1));
   EXPECT_TRUE(store.NodeExists(1));
   EXPECT_TRUE(store.Neighbors(1).status().IsUnavailable());
@@ -169,15 +171,15 @@ TEST(GraphStoreTest, UnavailableNodeHiddenFromQueries) {
 
 TEST(GraphStoreTest, ExtractNodeCarriesEverything) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1, 3.0).ok());
-  ASSERT_TRUE(store.CreateNode(2).ok());
-  ASSERT_TRUE(store.SetNodeProperty(1, 0, "alice").ok());
-  ASSERT_TRUE(store.AddEdge(1, 2, 5, true).ok());
-  ASSERT_TRUE(store.SetEdgeProperty(1, 2, 1, "friend").ok());
-  ASSERT_TRUE(store.AddEdge(1, 99, 0, false).ok());  // real half (1 < 99)
+  ASSERT_OK(store.CreateNode(1, 3.0));
+  ASSERT_OK(store.CreateNode(2));
+  ASSERT_OK(store.SetNodeProperty(1, 0, "alice"));
+  ASSERT_OK(store.AddEdge(1, 2, 5, true));
+  ASSERT_OK(store.SetEdgeProperty(1, 2, 1, "friend"));
+  ASSERT_OK(store.AddEdge(1, 99, 0, false));  // real half (1 < 99)
 
   auto snap = store.ExtractNode(1);
-  ASSERT_TRUE(snap.ok());
+  ASSERT_OK(snap);
   EXPECT_EQ(snap->id, 1u);
   EXPECT_DOUBLE_EQ(snap->weight, 3.0);
   ASSERT_EQ(snap->properties.size(), 1u);
@@ -189,17 +191,17 @@ TEST(GraphStoreTest, ExtractNodeCarriesEverything) {
 TEST(GraphStoreTest, MigrationExtractIngestAcrossStores) {
   GraphStore a(0);
   GraphStore b(1);
-  ASSERT_TRUE(a.CreateNode(1).ok());
-  ASSERT_TRUE(a.CreateNode(2).ok());
-  ASSERT_TRUE(a.AddEdge(1, 2, 0, true).ok());
-  ASSERT_TRUE(a.SetEdgeProperty(1, 2, 0, "props").ok());
+  ASSERT_OK(a.CreateNode(1));
+  ASSERT_OK(a.CreateNode(2));
+  ASSERT_OK(a.AddEdge(1, 2, 0, true));
+  ASSERT_OK(a.SetEdgeProperty(1, 2, 0, "props"));
 
   // Move node 2 from store a to store b.
   auto snap = a.ExtractNode(2);
-  ASSERT_TRUE(snap.ok());
-  ASSERT_TRUE(b.IngestNodeWith(*snap, [](VertexId) { return false; }).ok());
-  ASSERT_TRUE(a.SetNodeState(2, NodeState::kUnavailable).ok());
-  ASSERT_TRUE(a.RemoveNode(2).ok());
+  ASSERT_OK(snap);
+  ASSERT_OK(b.IngestNodeWith(*snap, [](VertexId) { return false; }));
+  ASSERT_OK(a.SetNodeState(2, NodeState::kUnavailable));
+  ASSERT_OK(a.RemoveNode(2));
 
   // Store a keeps a half record for node 1 (real: 1 < 2).
   EXPECT_EQ(SortedNeighbors(a, 1), std::vector<VertexId>{2});
@@ -214,9 +216,9 @@ TEST(GraphStoreTest, MigrationExtractIngestAcrossStores) {
 
 TEST(GraphStoreTest, IngestMergesWithExistingHalfRecord) {
   GraphStore b(1);
-  ASSERT_TRUE(b.CreateNode(1).ok());
-  ASSERT_TRUE(b.AddEdge(1, 2, 0, false).ok());  // 2 remote; real copy (1<2)
-  ASSERT_TRUE(b.SetEdgeProperty(1, 2, 0, "kept").ok());
+  ASSERT_OK(b.CreateNode(1));
+  ASSERT_OK(b.AddEdge(1, 2, 0, false));  // 2 remote; real copy (1<2)
+  ASSERT_OK(b.SetEdgeProperty(1, 2, 0, "kept"));
 
   // Node 2 arrives: its snapshot says the edge's properties live with 1.
   NodeSnapshot snap;
@@ -226,7 +228,7 @@ TEST(GraphStoreTest, IngestMergesWithExistingHalfRecord) {
   rel.other = 1;
   rel.properties_included = false;  // node 2's old copy was the ghost
   snap.relationships.push_back(rel);
-  ASSERT_TRUE(b.IngestNodeWith(snap, [](VertexId) { return true; }).ok());
+  ASSERT_OK(b.IngestNodeWith(snap, [](VertexId) { return true; }));
 
   // Single full record now serves both chains, properties preserved.
   EXPECT_EQ(b.NumRelationships(), 1u);
@@ -238,57 +240,57 @@ TEST(GraphStoreTest, IngestMergesWithExistingHalfRecord) {
 
 TEST(GraphStoreTest, RemoveNodeDeletesHalfRecords) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
-  ASSERT_TRUE(store.AddEdge(1, 50, 0, false).ok());
-  ASSERT_TRUE(store.AddEdge(1, 60, 0, false).ok());
-  ASSERT_TRUE(store.RemoveNode(1).ok());
+  ASSERT_OK(store.CreateNode(1));
+  ASSERT_OK(store.AddEdge(1, 50, 0, false));
+  ASSERT_OK(store.AddEdge(1, 60, 0, false));
+  ASSERT_OK(store.RemoveNode(1));
   EXPECT_EQ(store.NumNodes(), 0u);
   EXPECT_EQ(store.NumRelationships(), 0u);
 }
 
 TEST(GraphStoreTest, RemoveNodeDegradesSharedRecordsToGhostRule) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
-  ASSERT_TRUE(store.CreateNode(2).ok());
-  ASSERT_TRUE(store.AddEdge(1, 2, 0, true).ok());
-  ASSERT_TRUE(store.SetEdgeProperty(1, 2, 0, "payload").ok());
+  ASSERT_OK(store.CreateNode(1));
+  ASSERT_OK(store.CreateNode(2));
+  ASSERT_OK(store.AddEdge(1, 2, 0, true));
+  ASSERT_OK(store.SetEdgeProperty(1, 2, 0, "payload"));
 
   // Remove node 2 (migrating away); node 1 keeps the edge. Since 1 < 2 the
   // surviving copy is real and keeps properties.
-  ASSERT_TRUE(store.RemoveNode(2).ok());
+  ASSERT_OK(store.RemoveNode(2));
   EXPECT_EQ(SortedNeighbors(store, 1), std::vector<VertexId>{2});
   EXPECT_FALSE(*store.EdgeIsGhost(1, 2));
   EXPECT_EQ(*store.GetEdgeProperty(1, 2, 0), "payload");
 
   // Symmetric case: removing the lower endpoint drops the properties.
   GraphStore store2(0);
-  ASSERT_TRUE(store2.CreateNode(1).ok());
-  ASSERT_TRUE(store2.CreateNode(2).ok());
-  ASSERT_TRUE(store2.AddEdge(1, 2, 0, true).ok());
-  ASSERT_TRUE(store2.SetEdgeProperty(1, 2, 0, "payload").ok());
-  ASSERT_TRUE(store2.RemoveNode(1).ok());
+  ASSERT_OK(store2.CreateNode(1));
+  ASSERT_OK(store2.CreateNode(2));
+  ASSERT_OK(store2.AddEdge(1, 2, 0, true));
+  ASSERT_OK(store2.SetEdgeProperty(1, 2, 0, "payload"));
+  ASSERT_OK(store2.RemoveNode(1));
   EXPECT_TRUE(*store2.EdgeIsGhost(2, 1));
   EXPECT_TRUE(store2.GetEdgeProperty(2, 1, 0).status().IsUnavailable());
 }
 
 TEST(GraphStoreTest, NodeIdsListsLiveNodes) {
   GraphStore store(0);
-  for (VertexId v : {5, 1, 9}) ASSERT_TRUE(store.CreateNode(v).ok());
-  ASSERT_TRUE(store.RemoveNode(1).ok());
+  for (VertexId v : {5, 1, 9}) ASSERT_OK(store.CreateNode(v));
+  ASSERT_OK(store.RemoveNode(1));
   EXPECT_EQ(store.NodeIds(), (std::vector<VertexId>{5, 9}));
 }
 
 TEST(GraphStoreTest, MemoryBytesGrowsWithContent) {
   GraphStore store(0);
   const std::size_t empty = store.MemoryBytes();
-  ASSERT_TRUE(store.CreateNode(1).ok());
-  ASSERT_TRUE(store.SetNodeProperty(1, 0, std::string(200, 'z')).ok());
+  ASSERT_OK(store.CreateNode(1));
+  ASSERT_OK(store.SetNodeProperty(1, 0, std::string(200, 'z')));
   EXPECT_GT(store.MemoryBytes(), empty);
 }
 
 TEST(GraphStoreTest, EdgeToMissingLocalEndpointFails) {
   GraphStore store(0);
-  ASSERT_TRUE(store.CreateNode(1).ok());
+  ASSERT_OK(store.CreateNode(1));
   EXPECT_TRUE(store.AddEdge(1, 2, 0, true).status().IsNotFound());
   EXPECT_TRUE(store.AddEdge(3, 1, 0, true).status().IsNotFound());
 }

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "cluster/hermes_cluster.h"
 #include "gen/profiles.h"
 #include "gen/social_graph.h"
@@ -51,7 +53,7 @@ TEST(IntegrationTest, SkewedWorkloadTriggersAndBenefitsFromRepartitioning) {
 
   // Phase 2: repartition.
   auto stats = cluster.RunLightweightRepartition();
-  ASSERT_TRUE(stats.ok());
+  ASSERT_OK(stats);
   EXPECT_TRUE(stats->repartitioner_converged);
   EXPECT_GT(stats->vertices_moved, 0u);
   EXPECT_LE(stats->imbalance_after, 1.1 + 1e-6);
@@ -126,7 +128,7 @@ TEST(IntegrationTest, WriteHeavyWorkloadKeepsQualityAfterRepartition) {
       GenerateTrace(cluster.graph(), cluster.assignment(), writes);
   const ThroughputReport report = RunWorkload(&cluster, trace);
   EXPECT_GT(report.writes_completed, 0u);
-  ASSERT_TRUE(cluster.RunLightweightRepartition().ok());
+  ASSERT_OK(cluster.RunLightweightRepartition());
   EXPECT_TRUE(cluster.Validate(300));
 
   const double cut_now =
@@ -149,7 +151,7 @@ TEST(IntegrationTest, DatasetProfilesDriveFullPipeline) {
     const ThroughputReport report = RunWorkload(&cluster, trace);
     EXPECT_GT(report.vertices_processed, 0u) << profile.name;
     auto stats = cluster.RunLightweightRepartition();
-    ASSERT_TRUE(stats.ok()) << profile.name;
+    ASSERT_OK(stats) << profile.name;
     EXPECT_TRUE(cluster.Validate(150)) << profile.name;
   }
 }
@@ -175,7 +177,7 @@ TEST(IntegrationTest, GhostDisciplineSurvivesManyEpochs) {
     const auto trace =
         GenerateTrace(cluster.graph(), cluster.assignment(), topt);
     RunWorkload(&cluster, trace);
-    ASSERT_TRUE(cluster.RunLightweightRepartition().ok()) << epoch;
+    ASSERT_OK(cluster.RunLightweightRepartition()) << epoch;
     ASSERT_TRUE(cluster.Validate()) << "epoch " << epoch;
     for (PartitionId p = 0; p < 4; ++p) {
       ASSERT_TRUE(cluster.store(p)->CheckChains()) << "epoch " << epoch;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "gen/social_graph.h"
 #include "graph/graph.h"
 #include "partition/jabeja.h"
@@ -60,7 +62,7 @@ TEST(JabejaTest, CannotRebalanceWeightSkew) {
   // uniform weights; swaps preserve vertex counts, so popularity skew
   // stays unresolved.
   Graph g(100);
-  for (VertexId v = 0; v + 1 < 100; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  for (VertexId v = 0; v + 1 < 100; ++v) ASSERT_OK(g.AddEdge(v, v + 1));
   for (VertexId v = 0; v < 10; ++v) g.SetVertexWeight(v, 50.0);
 
   JabejaOptions opt;

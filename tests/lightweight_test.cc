@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "gen/social_graph.h"
 #include "graph/graph.h"
 #include "partition/assignment.h"
@@ -27,7 +29,7 @@ struct Figure1 {
         {4, 5},                          // the single edge-cut e-f
         {5, 6}, {6, 7}, {7, 8}, {8, 9},  // f-g-h-i-j
     };
-    for (const auto& [u, v] : edges) EXPECT_TRUE(g.AddEdge(u, v).ok());
+    for (const auto& [u, v] : edges) EXPECT_OK(g.AddEdge(u, v));
     const std::vector<double> weights{2, 2, 3, 2, 2, 2, 3, 2, 2, 2};
     for (VertexId v = 0; v < 10; ++v) g.SetVertexWeight(v, weights[v]);
     for (VertexId v = 5; v < 10; ++v) asg.Assign(v, 1);
@@ -93,14 +95,14 @@ struct Figure2 {
     // completely cross-connected (9 edges). Vertices 6-8 (partition 0)
     // and 9-11 (partition 1) are ballast cliques keeping loads equal.
     for (VertexId u = 0; u < 3; ++u) {
-      for (VertexId v = 3; v < 6; ++v) EXPECT_TRUE(g.AddEdge(u, v).ok());
+      for (VertexId v = 3; v < 6; ++v) EXPECT_OK(g.AddEdge(u, v));
     }
-    EXPECT_TRUE(g.AddEdge(6, 7).ok());
-    EXPECT_TRUE(g.AddEdge(7, 8).ok());
-    EXPECT_TRUE(g.AddEdge(6, 8).ok());
-    EXPECT_TRUE(g.AddEdge(9, 10).ok());
-    EXPECT_TRUE(g.AddEdge(10, 11).ok());
-    EXPECT_TRUE(g.AddEdge(9, 11).ok());
+    EXPECT_OK(g.AddEdge(6, 7));
+    EXPECT_OK(g.AddEdge(7, 8));
+    EXPECT_OK(g.AddEdge(6, 8));
+    EXPECT_OK(g.AddEdge(9, 10));
+    EXPECT_OK(g.AddEdge(10, 11));
+    EXPECT_OK(g.AddEdge(9, 11));
     for (VertexId v : {3, 4, 5, 9, 10, 11}) asg.Assign(v, 1);
   }
 };
@@ -158,7 +160,7 @@ struct Figure3 {
         {6, 7}, {7, 8}, {8, 9}, {6, 9},  // community C cycle
         {2, 3},                          // bridge A-B
     };
-    for (const auto& [u, v] : edges) EXPECT_TRUE(g.AddEdge(u, v).ok());
+    for (const auto& [u, v] : edges) EXPECT_OK(g.AddEdge(u, v));
     // Misplacements: vertex 0 (A) on partition 1, vertex 5 (B) on
     // partition 2, vertex 6 (C) on partition 0.
     const std::vector<PartitionId> initial{1, 0, 0, 1, 1, 2, 0, 2, 2, 2};
@@ -215,9 +217,9 @@ class TargetRuleTest : public ::testing::Test {
 TEST_F(TargetRuleTest, PositiveGainRequiredWhenBalanced) {
   // Neighbors: 1 local, 2 remote -> gain +1; migration allowed. beta must
   // leave headroom for the unit weight on the 6-weight target partition.
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
-  ASSERT_TRUE(g.AddEdge(0, 6).ok());
-  ASSERT_TRUE(g.AddEdge(0, 7).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
+  ASSERT_OK(g.AddEdge(0, 6));
+  ASSERT_OK(g.AddEdge(0, 7));
   AuxiliaryData aux(g, asg);
   RepartitionerOptions opt;
   opt.beta = 1.3;
@@ -228,8 +230,8 @@ TEST_F(TargetRuleTest, PositiveGainRequiredWhenBalanced) {
 }
 
 TEST_F(TargetRuleTest, ZeroGainRejectedWhenBalanced) {
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
-  ASSERT_TRUE(g.AddEdge(0, 6).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
+  ASSERT_OK(g.AddEdge(0, 6));
   AuxiliaryData aux(g, asg);
   LightweightRepartitioner rp{RepartitionerOptions{}};
   EXPECT_EQ(rp.GetTargetPartition(aux, 0, 1.0, 0, 1, nullptr),
@@ -237,8 +239,8 @@ TEST_F(TargetRuleTest, ZeroGainRejectedWhenBalanced) {
 }
 
 TEST_F(TargetRuleTest, DirectionRuleBlocksWrongStage) {
-  ASSERT_TRUE(g.AddEdge(0, 6).ok());
-  ASSERT_TRUE(g.AddEdge(0, 7).ok());
+  ASSERT_OK(g.AddEdge(0, 6));
+  ASSERT_OK(g.AddEdge(0, 7));
   AuxiliaryData aux(g, asg);
   RepartitionerOptions ropt;
   ropt.beta = 1.3;
@@ -247,8 +249,8 @@ TEST_F(TargetRuleTest, DirectionRuleBlocksWrongStage) {
   EXPECT_EQ(rp.GetTargetPartition(aux, 0, 1.0, 0, 2, nullptr),
             kInvalidPartition);
   // And a partition-1 vertex may move down in stage 2.
-  ASSERT_TRUE(g.AddEdge(6, 1).ok());
-  ASSERT_TRUE(g.AddEdge(6, 2).ok());
+  ASSERT_OK(g.AddEdge(6, 1));
+  ASSERT_OK(g.AddEdge(6, 2));
   AuxiliaryData aux2(g, asg);
   EXPECT_EQ(rp.GetTargetPartition(aux2, 6, 1.0, 1, 2, nullptr), 0u);
   EXPECT_EQ(rp.GetTargetPartition(aux2, 6, 1.0, 1, 1, nullptr),
@@ -258,8 +260,8 @@ TEST_F(TargetRuleTest, DirectionRuleBlocksWrongStage) {
 TEST_F(TargetRuleTest, OverloadedTargetRejected) {
   // Make partition 1 heavy: moving there would exceed beta * avg.
   g.SetVertexWeight(6, 10.0);
-  ASSERT_TRUE(g.AddEdge(0, 6).ok());
-  ASSERT_TRUE(g.AddEdge(0, 7).ok());
+  ASSERT_OK(g.AddEdge(0, 6));
+  ASSERT_OK(g.AddEdge(0, 7));
   AuxiliaryData aux(g, asg);
   LightweightRepartitioner rp{RepartitionerOptions{}};
   EXPECT_EQ(rp.GetTargetPartition(aux, 0, 1.0, 0, 1, nullptr),
@@ -270,7 +272,7 @@ TEST_F(TargetRuleTest, UnderloadingSourceRejected) {
   // Vertex 0 weighs most of its partition; moving it would underload the
   // source below (2 - beta) * avg.
   g.SetVertexWeight(0, 6.0);
-  ASSERT_TRUE(g.AddEdge(0, 6).ok());
+  ASSERT_OK(g.AddEdge(0, 6));
   AuxiliaryData aux(g, asg);
   RepartitionerOptions opt;
   opt.beta = 1.1;
@@ -283,8 +285,8 @@ TEST_F(TargetRuleTest, OverloadedSourceAdmitsNegativeGain) {
   // All of vertex 0's neighbors are local (gain -2 to move), but its
   // partition is overloaded; the prose variant lets it shed anyway.
   g.SetVertexWeight(1, 8.0);
-  ASSERT_TRUE(g.AddEdge(0, 2).ok());
-  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_OK(g.AddEdge(0, 2));
+  ASSERT_OK(g.AddEdge(0, 3));
   AuxiliaryData aux(g, asg);
   RepartitionerOptions opt;
   opt.beta = 1.1;
@@ -308,10 +310,10 @@ TEST_F(TargetRuleTest, BestGainTargetWinsAmongSeveral) {
   for (VertexId v = 4; v < 8; ++v) asg3.Assign(v, 1);
   for (VertexId v = 8; v < 12; ++v) asg3.Assign(v, 2);
   // Vertex 0: 1 neighbor in partition 1, 3 neighbors in partition 2.
-  ASSERT_TRUE(g3.AddEdge(0, 4).ok());
-  ASSERT_TRUE(g3.AddEdge(0, 8).ok());
-  ASSERT_TRUE(g3.AddEdge(0, 9).ok());
-  ASSERT_TRUE(g3.AddEdge(0, 10).ok());
+  ASSERT_OK(g3.AddEdge(0, 4));
+  ASSERT_OK(g3.AddEdge(0, 8));
+  ASSERT_OK(g3.AddEdge(0, 9));
+  ASSERT_OK(g3.AddEdge(0, 10));
   AuxiliaryData aux(g3, asg3);
   RepartitionerOptions opt;
   opt.beta = 1.5;
@@ -330,8 +332,8 @@ TEST(LightweightRunTest, TopKCapsPerPartitionMoves) {
   PartitionAssignment asg(20, 2);
   for (VertexId v = 10; v < 20; ++v) asg.Assign(v, 1);
   for (VertexId u = 0; u < 10; ++u) {
-    ASSERT_TRUE(g.AddEdge(u, 10 + u).ok());
-    ASSERT_TRUE(g.AddEdge(u, 10 + (u + 1) % 10).ok());
+    ASSERT_OK(g.AddEdge(u, 10 + u));
+    ASSERT_OK(g.AddEdge(u, 10 + (u + 1) % 10));
   }
   AuxiliaryData aux(g, asg);
   RepartitionerOptions opt;

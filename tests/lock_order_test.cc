@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "txn/lock_manager.h"
@@ -173,7 +175,7 @@ TEST(LockOrderDeathTest, SkippedWithoutValidator) {
 
 TEST(LockOrderLockManagerTest, TimeoutPathBalancesHeldStack) {
   LockManager locks(milliseconds(30));
-  ASSERT_TRUE(locks.AcquireExclusive(1, 0xA).ok());
+  ASSERT_OK(locks.AcquireExclusive(1, 0xA));
   Status s;
   std::thread blocked([&] {
     s = locks.AcquireExclusive(2, 0xA);
@@ -193,25 +195,25 @@ TEST(LockOrderLockManagerTest, TimeoutUnderOuterClusterRankLock) {
   lock_order::ResetGraphForTest();
   Mutex outer("test.cluster_like.mu", lock_order::kRankCluster);
   LockManager locks(milliseconds(25));
-  ASSERT_TRUE(locks.AcquireExclusive(7, 42).ok());
+  ASSERT_OK(locks.AcquireExclusive(7, 42));
 
   outer.Lock();
   Status s = locks.AcquireExclusive(8, 42);  // waits under outer, times out
   EXPECT_TRUE(s.IsTimedOut());
-  EXPECT_TRUE(locks.AcquireShared(7, 42).ok());  // re-entrant success path
+  EXPECT_OK(locks.AcquireShared(7, 42));  // re-entrant success path
   outer.Unlock();
   EXPECT_EQ(lock_order::HeldCount(), 0u);
 }
 
 TEST(LockOrderLockManagerTest, HandoffBeforeTimeoutReacquiresCleanly) {
   LockManager locks(milliseconds(500));
-  ASSERT_TRUE(locks.AcquireExclusive(1, 0xF).ok());
+  ASSERT_OK(locks.AcquireExclusive(1, 0xF));
   Status s;
   std::thread waiter([&] { s = locks.AcquireExclusive(2, 0xF); });
   std::this_thread::sleep_for(milliseconds(30));
   locks.Release(1, 0xF);
   waiter.join();
-  EXPECT_TRUE(s.ok());
+  EXPECT_OK(s);
   locks.Release(2, 0xF);
   EXPECT_EQ(locks.NumLockedKeys(), 0u);
   EXPECT_EQ(lock_order::HeldCount(), 0u);

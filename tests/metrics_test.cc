@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "graph/graph.h"
 #include "partition/assignment.h"
 #include "partition/hash_partitioner.h"
@@ -11,13 +13,13 @@ namespace {
 Graph TwoTriangles() {
   // Vertices 0-2 and 3-5 form triangles, bridged by edge 2-3.
   Graph g(6);
-  EXPECT_TRUE(g.AddEdge(0, 1).ok());
-  EXPECT_TRUE(g.AddEdge(1, 2).ok());
-  EXPECT_TRUE(g.AddEdge(0, 2).ok());
-  EXPECT_TRUE(g.AddEdge(3, 4).ok());
-  EXPECT_TRUE(g.AddEdge(4, 5).ok());
-  EXPECT_TRUE(g.AddEdge(3, 5).ok());
-  EXPECT_TRUE(g.AddEdge(2, 3).ok());
+  EXPECT_OK(g.AddEdge(0, 1));
+  EXPECT_OK(g.AddEdge(1, 2));
+  EXPECT_OK(g.AddEdge(0, 2));
+  EXPECT_OK(g.AddEdge(3, 4));
+  EXPECT_OK(g.AddEdge(4, 5));
+  EXPECT_OK(g.AddEdge(3, 5));
+  EXPECT_OK(g.AddEdge(2, 3));
   return g;
 }
 

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "gen/social_graph.h"
 #include "graph/graph.h"
 #include "partition/hash_partitioner.h"
@@ -40,11 +42,11 @@ TEST(MultilevelTest, SeparatesTwoCliques) {
   Graph g(40);
   for (VertexId u = 0; u < 20; ++u) {
     for (VertexId v = u + 1; v < 20; ++v) {
-      ASSERT_TRUE(g.AddEdge(u, v).ok());
-      ASSERT_TRUE(g.AddEdge(20 + u, 20 + v).ok());
+      ASSERT_OK(g.AddEdge(u, v));
+      ASSERT_OK(g.AddEdge(20 + u, 20 + v));
     }
   }
-  ASSERT_TRUE(g.AddEdge(0, 20).ok());
+  ASSERT_OK(g.AddEdge(0, 20));
   const auto asg = MultilevelPartitioner().Partition(g, 2);
   EXPECT_EQ(EdgeCut(g, asg), 1u);
   EXPECT_LE(ImbalanceFactor(g, asg), 1.05 + 1e-9);

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "cluster/hermes_cluster.h"
 #include "common/metrics.h"
 #include "gen/social_graph.h"
@@ -206,7 +208,7 @@ TEST(ClusterMetricsTest, RepartitionRecordsMigrationMetrics) {
   const auto trace = GenerateTrace(cluster.graph(), cluster.assignment(), topt);
   (void)RunWorkload(&cluster, trace);
   const auto stats = cluster.RunLightweightRepartition();
-  ASSERT_TRUE(stats.ok());
+  ASSERT_OK(stats);
 
   const MetricsSnapshot snap = cluster.MetricsSnapshot();
   EXPECT_EQ(snap.counters.at("cluster.migrations"), 1u);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "storage/page_cache.h"
@@ -26,24 +28,24 @@ Page MakePage(unsigned char fill) {
 
 TEST(PagedFileTest, WriteReadRoundTrip) {
   auto file = PagedFile::Open(TempFile("pf_roundtrip.pg"));
-  ASSERT_TRUE(file.ok());
-  ASSERT_TRUE(file->WritePage(0, MakePage(0xAB)).ok());
-  ASSERT_TRUE(file->WritePage(3, MakePage(0xCD)).ok());
+  ASSERT_OK(file);
+  ASSERT_OK(file->WritePage(0, MakePage(0xAB)));
+  ASSERT_OK(file->WritePage(3, MakePage(0xCD)));
   EXPECT_EQ(file->NumPages(), 4u);
 
   Page p;
-  ASSERT_TRUE(file->ReadPage(0, &p).ok());
+  ASSERT_OK(file->ReadPage(0, &p));
   EXPECT_EQ(p.bytes[0], 0xAB);
   EXPECT_EQ(p.bytes[kPageSize - 1], 0xAB);
-  ASSERT_TRUE(file->ReadPage(3, &p).ok());
+  ASSERT_OK(file->ReadPage(3, &p));
   EXPECT_EQ(p.bytes[100], 0xCD);
 }
 
 TEST(PagedFileTest, ReadPastEndYieldsZeros) {
   auto file = PagedFile::Open(TempFile("pf_zeros.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   Page p = MakePage(0xFF);
-  ASSERT_TRUE(file->ReadPage(42, &p).ok());
+  ASSERT_OK(file->ReadPage(42, &p));
   for (unsigned char b : p.bytes) ASSERT_EQ(b, 0);
 }
 
@@ -51,34 +53,34 @@ TEST(PagedFileTest, PersistsAcrossReopen) {
   const std::string path = TempFile("pf_reopen.pg");
   {
     auto file = PagedFile::Open(path);
-    ASSERT_TRUE(file.ok());
-    ASSERT_TRUE(file->WritePage(1, MakePage(0x5A)).ok());
-    ASSERT_TRUE(file->Sync().ok());
+    ASSERT_OK(file);
+    ASSERT_OK(file->WritePage(1, MakePage(0x5A)));
+    ASSERT_OK(file->Sync());
   }
   auto file = PagedFile::Open(path);
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   EXPECT_EQ(file->NumPages(), 2u);
   Page p;
-  ASSERT_TRUE(file->ReadPage(1, &p).ok());
+  ASSERT_OK(file->ReadPage(1, &p));
   EXPECT_EQ(p.bytes[17], 0x5A);
 }
 
 TEST(PagedFileTest, ResetTruncates) {
   auto file = PagedFile::Open(TempFile("pf_reset.pg"));
-  ASSERT_TRUE(file.ok());
-  ASSERT_TRUE(file->WritePage(5, MakePage(1)).ok());
-  ASSERT_TRUE(file->Reset().ok());
+  ASSERT_OK(file);
+  ASSERT_OK(file->WritePage(5, MakePage(1)));
+  ASSERT_OK(file->Reset());
   EXPECT_EQ(file->NumPages(), 0u);
 }
 
 TEST(PageCacheTest, HitAfterMiss) {
   auto file = PagedFile::Open(TempFile("pc_hits.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   PageCache cache(&*file, 4);
   auto p = cache.Pin(0);
-  ASSERT_TRUE(p.ok());
+  ASSERT_OK(p);
   cache.Unpin(0, false);
-  ASSERT_TRUE(cache.Pin(0).ok());
+  ASSERT_OK(cache.Pin(0));
   cache.Unpin(0, false);
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().hits, 1u);
@@ -86,24 +88,24 @@ TEST(PageCacheTest, HitAfterMiss) {
 
 TEST(PageCacheTest, DirtyPageWrittenBackOnEviction) {
   auto file = PagedFile::Open(TempFile("pc_dirty.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   PageCache cache(&*file, 2);
   {
     auto p = cache.Pin(0);
-    ASSERT_TRUE(p.ok());
+    ASSERT_OK(p);
     (*p)->bytes[7] = 0x77;
     cache.Unpin(0, true);
   }
   // Touch two more pages: page 0 must be evicted and written back.
   for (std::uint64_t pg : {1u, 2u}) {
     auto p = cache.Pin(pg);
-    ASSERT_TRUE(p.ok());
+    ASSERT_OK(p);
     cache.Unpin(pg, false);
   }
   EXPECT_GE(cache.stats().evictions, 1u);
   EXPECT_GE(cache.stats().writebacks, 1u);
   Page direct;
-  ASSERT_TRUE(file->ReadPage(0, &direct).ok());
+  ASSERT_OK(file->ReadPage(0, &direct));
   EXPECT_EQ(direct.bytes[7], 0x77);
 }
 
@@ -117,11 +119,11 @@ TEST(PageCacheTest, FailedWritebackKeepsVictimResidentAndEvictable) {
     GTEST_SKIP() << "needs HERMES_FAILPOINTS (asan-ubsan / tsan presets)";
   }
   auto file = PagedFile::Open(TempFile("pc_wb_fail.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   PageCache cache(&*file, 2);
   for (std::uint64_t pg : {0u, 1u}) {
     auto p = cache.Pin(pg);
-    ASSERT_TRUE(p.ok());
+    ASSERT_OK(p);
     (*p)->bytes[0] = static_cast<unsigned char>(0x50 + pg);
     cache.Unpin(pg, /*dirty=*/true);
   }
@@ -138,74 +140,74 @@ TEST(PageCacheTest, FailedWritebackKeepsVictimResidentAndEvictable) {
 
   // Pre-fix this Pin was the UB: a hit on the half-evicted victim.
   auto victim = cache.Pin(0);
-  ASSERT_TRUE(victim.ok());
+  ASSERT_OK(victim);
   EXPECT_EQ((*victim)->bytes[0], 0x50);  // dirty data survived the failure
   cache.Unpin(0, /*dirty=*/true);
 
   // With the fault cleared, eviction (and its write-back) works again.
   FailpointRegistry::Global().Reset();
   auto ok = cache.Pin(2);
-  ASSERT_TRUE(ok.ok());
+  ASSERT_OK(ok);
   cache.Unpin(2, /*dirty=*/false);
-  ASSERT_TRUE(cache.FlushAll().ok());
+  ASSERT_OK(cache.FlushAll());
   Page direct;
-  ASSERT_TRUE(file->ReadPage(1, &direct).ok());
+  ASSERT_OK(file->ReadPage(1, &direct));
   EXPECT_EQ(direct.bytes[0], 0x51);
 }
 
 TEST(PageCacheTest, PinnedPagesNeverEvicted) {
   auto file = PagedFile::Open(TempFile("pc_pinned.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   PageCache cache(&*file, 2);
   auto a = cache.Pin(0);
   auto b = cache.Pin(1);
-  ASSERT_TRUE(a.ok());
-  ASSERT_TRUE(b.ok());
+  ASSERT_OK(a);
+  ASSERT_OK(b);
   // Both frames pinned: a third pin must fail, not evict.
   EXPECT_TRUE(cache.Pin(2).status().IsInternal());
   cache.Unpin(0, false);
   cache.Unpin(1, false);
-  EXPECT_TRUE(cache.Pin(2).ok());
+  EXPECT_OK(cache.Pin(2));
   cache.Unpin(2, false);
 }
 
 TEST(PageCacheTest, LruEvictsColdestPage) {
   auto file = PagedFile::Open(TempFile("pc_lru.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   PageCache cache(&*file, 2);
   for (std::uint64_t pg : {0u, 1u}) {
-    ASSERT_TRUE(cache.Pin(pg).ok());
+    ASSERT_OK(cache.Pin(pg));
     cache.Unpin(pg, false);
   }
   // Re-touch page 0 so page 1 is the LRU victim.
-  ASSERT_TRUE(cache.Pin(0).ok());
+  ASSERT_OK(cache.Pin(0));
   cache.Unpin(0, false);
-  ASSERT_TRUE(cache.Pin(2).ok());
+  ASSERT_OK(cache.Pin(2));
   cache.Unpin(2, false);
   // Page 0 should still be resident (hit), page 1 should miss.
   const auto hits_before = cache.stats().hits;
-  ASSERT_TRUE(cache.Pin(0).ok());
+  ASSERT_OK(cache.Pin(0));
   cache.Unpin(0, false);
   EXPECT_EQ(cache.stats().hits, hits_before + 1);
 }
 
 TEST(PageCacheTest, FlushAllPersistsWithoutEviction) {
   auto file = PagedFile::Open(TempFile("pc_flush.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   PageCache cache(&*file, 8);
   auto p = cache.Pin(3);
-  ASSERT_TRUE(p.ok());
+  ASSERT_OK(p);
   (*p)->bytes[0] = 0x99;
   cache.Unpin(3, true);
-  ASSERT_TRUE(cache.FlushAll().ok());
+  ASSERT_OK(cache.FlushAll());
   Page direct;
-  ASSERT_TRUE(file->ReadPage(3, &direct).ok());
+  ASSERT_OK(file->ReadPage(3, &direct));
   EXPECT_EQ(direct.bytes[0], 0x99);
 }
 
 TEST(PagedStreamTest, WriterReaderRoundTripAcrossPages) {
   auto file = PagedFile::Open(TempFile("ps_roundtrip.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   PageCache cache(&*file, 3);  // smaller than the data: forces eviction
   PagedWriter writer(&cache);
 
@@ -215,7 +217,7 @@ TEST(PagedStreamTest, WriterReaderRoundTripAcrossPages) {
     values.push_back(rng.Next());
     writer.Append(&values.back(), sizeof(std::uint64_t));
   }
-  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_OK(writer.Finish());
   EXPECT_EQ(writer.position(), 5000u * sizeof(std::uint64_t));
 
   PagedReader reader(&cache, writer.position());
@@ -230,12 +232,12 @@ TEST(PagedStreamTest, WriterReaderRoundTripAcrossPages) {
 
 TEST(PagedStreamTest, UnalignedWritesSpanPageBoundaries) {
   auto file = PagedFile::Open(TempFile("ps_unaligned.pg"));
-  ASSERT_TRUE(file.ok());
+  ASSERT_OK(file);
   PageCache cache(&*file, 2);
   PagedWriter writer(&cache);
   const std::string chunk = "abcdefghijklmnopqrstuvwxy";  // 25 bytes
   for (int i = 0; i < 1000; ++i) writer.Append(chunk.data(), chunk.size());
-  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_OK(writer.Finish());
 
   PagedReader reader(&cache, writer.position());
   std::string got(chunk.size(), '\0');

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/rng.h"
 #include "gen/social_graph.h"
 #include "graph/graph.h"
@@ -10,16 +12,16 @@ namespace {
 
 Graph Triangle() {
   Graph g(3);
-  EXPECT_TRUE(g.AddEdge(0, 1).ok());
-  EXPECT_TRUE(g.AddEdge(1, 2).ok());
-  EXPECT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_OK(g.AddEdge(0, 1));
+  EXPECT_OK(g.AddEdge(1, 2));
+  EXPECT_OK(g.AddEdge(0, 2));
   return g;
 }
 
 Graph Path(std::size_t n) {
   Graph g(n);
   for (VertexId v = 0; v + 1 < n; ++v) {
-    EXPECT_TRUE(g.AddEdge(v, v + 1).ok());
+    EXPECT_OK(g.AddEdge(v, v + 1));
   }
   return g;
 }
@@ -41,7 +43,7 @@ TEST(StatsTest, PathClusteringIsZero) {
 
 TEST(StatsTest, StarCenterClusteringZero) {
   Graph g(5);
-  for (VertexId v = 1; v < 5; ++v) ASSERT_TRUE(g.AddEdge(0, v).ok());
+  for (VertexId v = 1; v < 5; ++v) ASSERT_OK(g.AddEdge(0, v));
   EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 0.0);
   // Leaves have degree 1 -> defined as 0.
   EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 1), 0.0);
@@ -50,10 +52,10 @@ TEST(StatsTest, StarCenterClusteringZero) {
 TEST(StatsTest, HalfClosedWedge) {
   // 0-1, 0-2, 0-3, 1-2: vertex 0 has 3 neighbor pairs, 1 closed.
   Graph g(4);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
-  ASSERT_TRUE(g.AddEdge(0, 2).ok());
-  ASSERT_TRUE(g.AddEdge(0, 3).ok());
-  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
+  ASSERT_OK(g.AddEdge(0, 2));
+  ASSERT_OK(g.AddEdge(0, 3));
+  ASSERT_OK(g.AddEdge(1, 2));
   EXPECT_NEAR(LocalClusteringCoefficient(g, 0), 1.0 / 3.0, 1e-12);
 }
 
@@ -106,17 +108,17 @@ TEST(StatsTest, ComponentBoundOnConnectedGraph) {
 
 TEST(StatsTest, ComponentBoundOnDisconnectedGraph) {
   Graph g(4);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
   // 2 and 3 isolated from 0.
-  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_OK(g.AddEdge(2, 3));
   EXPECT_DOUBLE_EQ(LargestComponentLowerBound(g), 0.5);
 }
 
 TEST(StatsTest, DegreeStats) {
   Graph g(4);
-  ASSERT_TRUE(g.AddEdge(0, 1).ok());
-  ASSERT_TRUE(g.AddEdge(0, 2).ok());
-  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_OK(g.AddEdge(0, 1));
+  ASSERT_OK(g.AddEdge(0, 2));
+  ASSERT_OK(g.AddEdge(0, 3));
   const DegreeStats stats = ComputeDegreeStats(g);
   EXPECT_EQ(stats.min, 1u);
   EXPECT_EQ(stats.max, 3u);

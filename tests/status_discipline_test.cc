@@ -1,0 +1,124 @@
+// Regression tests for the two swallowed-status defects fixed by the
+// error-propagation contract (DESIGN.md §10). Both drive a real WAL
+// failure through a failpoint and fail against the pre-fix code:
+//
+//  1. ExecuteRead discarded the DoAddNodeWeight status, so a WAL append
+//     failure left the in-memory popularity weight bumped while the
+//     durable store missed it — recovery would rebuild a lower weight
+//     and every repartition decision would run on phantom load.
+//
+//  2. A WAL append failure in the middle of a migration chunk's copy
+//     step returned early with the vertex replicated on the target
+//     while the directory still routed to the source — Validate()
+//     stayed false forever.
+//
+// Failpoints compile to no-ops under the default preset, so these skip
+// there and run under asan-ubsan / tsan (HERMES_FAILPOINTS).
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "cluster/hermes_cluster.h"
+#include "common/failpoint.h"
+#include "gen/social_graph.h"
+#include "partition/hash_partitioner.h"
+
+namespace hermes {
+namespace {
+
+std::string FreshDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Graph SmallSocial(std::uint64_t seed = 5) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 600;
+  opt.seed = seed;
+  return GenerateSocialGraph(opt);
+}
+
+class StatusDisciplineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kFailpointsEnabled) {
+      GTEST_SKIP() << "HERMES_FAILPOINTS is off (default preset); run the "
+                      "asan-ubsan or tsan preset for fault injection";
+    }
+    FailpointRegistry::Global().Reset();
+  }
+  void TearDown() override { FailpointRegistry::Global().Reset(); }
+};
+
+TEST_F(StatusDisciplineTest, ReadWeightBumpWalFailureSurfacesAndRollsBack) {
+  Graph g = SmallSocial();
+  const auto asg = HashPartitioner(1).Partition(g, 4);
+  HermesCluster::Options opt;
+  opt.durability_dir = FreshDir("status_discipline_read_bump");
+  HermesCluster cluster(std::move(g), asg, opt);
+  const double before = cluster.graph().VertexWeight(0);
+
+  // Every WAL append fails; the only append a read issues is the
+  // popularity-weight bump.
+  FailpointConfig cfg;
+  cfg.policy = FailpointConfig::Policy::kEveryK;
+  cfg.n = 1;
+  FailpointRegistry::Global().Arm("wal.append.io_error", cfg);
+  auto run = cluster.ExecuteRead(0, 1);
+  FailpointRegistry::Global().Reset();
+
+  // Pre-fix: the bump status was (void)-discarded, the read returned OK,
+  // and the in-memory weight diverged from the durable store.
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsIOError()) << run.status().ToString();
+  EXPECT_DOUBLE_EQ(cluster.graph().VertexWeight(0), before);
+
+  // With the fault cleared the read is retryable and the bump lands once.
+  ASSERT_OK(cluster.ExecuteRead(0, 1));
+  EXPECT_DOUBLE_EQ(cluster.graph().VertexWeight(0), before + 1.0);
+  EXPECT_TRUE(cluster.Validate());
+}
+
+TEST_F(StatusDisciplineTest, MidChunkMigrationWalFailureUnwindsCleanly) {
+  Graph g = SmallSocial(9);
+  const auto initial = HashPartitioner(1).Partition(g, 4);
+  // Hotspot partition 0 so the repartitioner has vertices to move.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (initial.PartitionOf(v) == 0) g.AddVertexWeight(v, 2.0);
+  }
+  HermesCluster::Options opt;
+  opt.durability_dir = FreshDir("status_discipline_migration");
+  opt.repartitioner.k_fraction = 0.05;
+  HermesCluster cluster(std::move(g), initial, opt);
+
+  // The copy step's appends are all target-side: node creates first,
+  // then edges. n=2 lets the first replica land and then fails, so the
+  // chunk is genuinely half-replicated when the error surfaces.
+  FailpointConfig cfg;
+  cfg.policy = FailpointConfig::Policy::kNthHit;
+  cfg.n = 2;
+  FailpointRegistry::Global().Arm("wal.append.io_error", cfg);
+  auto stats = cluster.RunLightweightRepartition();
+  FailpointRegistry::Global().Reset();
+
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsIOError()) << stats.status().ToString();
+  // Pre-fix: the replica stayed on the target with the directory still
+  // at the source, so Validate() was false — forever.
+  EXPECT_TRUE(cluster.Validate());
+
+  // The unwind restored the pre-chunk state, so a retry succeeds.
+  auto retry = cluster.RunLightweightRepartition();
+  ASSERT_OK(retry);
+  EXPECT_GT(retry->vertices_moved, 0u);
+  EXPECT_TRUE(cluster.Validate());
+}
+
+}  // namespace
+}  // namespace hermes

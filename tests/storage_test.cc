@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "storage/dynamic_store.h"
 #include "storage/id_generator.h"
 #include "storage/record_store.h"
@@ -18,25 +20,25 @@ TEST(RecordStoreTest, CreateGetDelete) {
   NodeRecord rec;
   rec.in_use = true;
   rec.weight = 3.0;
-  ASSERT_TRUE(store.Create(10, rec).ok());
+  ASSERT_OK(store.Create(10, rec));
   EXPECT_TRUE(store.Exists(10));
   auto got = store.Get(10);
-  ASSERT_TRUE(got.ok());
+  ASSERT_OK(got);
   EXPECT_DOUBLE_EQ(got->weight, 3.0);
-  ASSERT_TRUE(store.Delete(10).ok());
+  ASSERT_OK(store.Delete(10));
   EXPECT_FALSE(store.Exists(10));
   EXPECT_TRUE(store.Get(10).status().IsNotFound());
 }
 
 TEST(RecordStoreTest, DuplicateCreateRejected) {
   RecordStore<NodeRecord> store;
-  ASSERT_TRUE(store.Create(1, NodeRecord{}).ok());
+  ASSERT_OK(store.Create(1, NodeRecord{}));
   EXPECT_TRUE(store.Create(1, NodeRecord{}).IsAlreadyExists());
 }
 
 TEST(RecordStoreTest, GetMutableUpdatesInPlace) {
   RecordStore<NodeRecord> store;
-  ASSERT_TRUE(store.Create(5, NodeRecord{}).ok());
+  ASSERT_OK(store.Create(5, NodeRecord{}));
   store.GetMutable(5)->weight = 42.0;
   EXPECT_DOUBLE_EQ(store.Get(5)->weight, 42.0);
   EXPECT_EQ(store.GetMutable(999), nullptr);
@@ -45,7 +47,7 @@ TEST(RecordStoreTest, GetMutableUpdatesInPlace) {
 TEST(RecordStoreTest, ForEachVisitsInIdOrder) {
   RecordStore<RelationshipRecord> store;
   for (RecordId id : {30, 10, 20}) {
-    ASSERT_TRUE(store.Create(id, RelationshipRecord{}).ok());
+    ASSERT_OK(store.Create(id, RelationshipRecord{}));
   }
   std::vector<RecordId> seen;
   store.ForEach([&seen](RecordId id, const RelationshipRecord&) {
@@ -58,7 +60,7 @@ TEST(RecordStoreTest, ForEachVisitsInIdOrder) {
 TEST(RecordStoreTest, ForEachEarlyStop) {
   RecordStore<NodeRecord> store;
   for (RecordId id = 0; id < 10; ++id) {
-    ASSERT_TRUE(store.Create(id, NodeRecord{}).ok());
+    ASSERT_OK(store.Create(id, NodeRecord{}));
   }
   int visited = 0;
   store.ForEach([&visited](RecordId, const NodeRecord&) {
@@ -71,7 +73,7 @@ TEST(RecordStoreTest, MemoryAccountingGrows) {
   RecordStore<NodeRecord> store;
   const std::size_t empty = store.MemoryBytes();
   for (RecordId id = 0; id < 100; ++id) {
-    ASSERT_TRUE(store.Create(id, NodeRecord{}).ok());
+    ASSERT_OK(store.Create(id, NodeRecord{}));
   }
   EXPECT_GT(store.MemoryBytes(), empty);
   EXPECT_EQ(store.size(), 100u);
@@ -83,7 +85,7 @@ TEST(DynamicStoreTest, ShortStringRoundTrip) {
   DynamicStore store;
   const RecordId head = store.Put("hello");
   auto got = store.Get(head);
-  ASSERT_TRUE(got.ok());
+  ASSERT_OK(got);
   EXPECT_EQ(*got, "hello");
   EXPECT_EQ(store.num_blocks(), 1u);
 }
@@ -92,7 +94,7 @@ TEST(DynamicStoreTest, EmptyString) {
   DynamicStore store;
   const RecordId head = store.Put("");
   auto got = store.Get(head);
-  ASSERT_TRUE(got.ok());
+  ASSERT_OK(got);
   EXPECT_EQ(*got, "");
 }
 
@@ -117,7 +119,7 @@ TEST(DynamicStoreTest, FreeReleasesChain) {
   DynamicStore store;
   const RecordId a = store.Put(std::string(60, 'a'));
   const RecordId b = store.Put("short");
-  ASSERT_TRUE(store.Free(a).ok());
+  ASSERT_OK(store.Free(a));
   EXPECT_EQ(store.num_blocks(), 1u);
   EXPECT_TRUE(store.Get(a).status().IsNotFound());
   EXPECT_EQ(*store.Get(b), "short");

@@ -1,0 +1,40 @@
+#ifndef HERMES_TESTS_TEST_UTIL_H_
+#define HERMES_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// Shared status assertions for the test suite.
+///
+/// ASSERT_OK/EXPECT_OK accept either a Status or a Result<T> and print
+/// the failing expression together with the status code and message —
+/// unlike ASSERT_TRUE(x.ok()), which reports only "false". Both support
+/// the usual gtest stream suffix: ASSERT_OK(st) << "context";
+
+namespace hermes::test {
+
+inline const Status& ToStatus(const Status& s) { return s; }
+
+template <typename T>
+Status ToStatus(const Result<T>& r) {
+  return r.status();
+}
+
+template <typename T>
+::testing::AssertionResult IsOkPredicate(const char* expr_text, const T& v) {
+  const Status& st = ToStatus(v);
+  if (st.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << expr_text << " returned " << st.ToString();
+}
+
+}  // namespace hermes::test
+
+#define ASSERT_OK(expr) \
+  ASSERT_PRED_FORMAT1(::hermes::test::IsOkPredicate, (expr))
+#define EXPECT_OK(expr) \
+  EXPECT_PRED_FORMAT1(::hermes::test::IsOkPredicate, (expr))
+
+#endif  // HERMES_TESTS_TEST_UTIL_H_

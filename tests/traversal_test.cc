@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "cluster/hermes_cluster.h"
 #include "graphdb/graph_store.h"
 #include "graphdb/traversal.h"
@@ -14,13 +16,13 @@ namespace {
 /// Star: 0 at the center of 1..4, plus a tail 4-5-6; typed edges.
 GraphStore MakeStore() {
   GraphStore store(0);
-  for (VertexId v = 0; v <= 6; ++v) EXPECT_TRUE(store.CreateNode(v).ok());
-  EXPECT_TRUE(store.AddEdge(0, 1, /*type=*/0, true).ok());
-  EXPECT_TRUE(store.AddEdge(0, 2, 0, true).ok());
-  EXPECT_TRUE(store.AddEdge(0, 3, 1, true).ok());  // type 1: "follows"
-  EXPECT_TRUE(store.AddEdge(0, 4, 0, true).ok());
-  EXPECT_TRUE(store.AddEdge(4, 5, 0, true).ok());
-  EXPECT_TRUE(store.AddEdge(5, 6, 0, true).ok());
+  for (VertexId v = 0; v <= 6; ++v) EXPECT_OK(store.CreateNode(v));
+  EXPECT_OK(store.AddEdge(0, 1, /*type=*/0, true));
+  EXPECT_OK(store.AddEdge(0, 2, 0, true));
+  EXPECT_OK(store.AddEdge(0, 3, 1, true));  // type 1: "follows"
+  EXPECT_OK(store.AddEdge(0, 4, 0, true));
+  EXPECT_OK(store.AddEdge(4, 5, 0, true));
+  EXPECT_OK(store.AddEdge(5, 6, 0, true));
   return store;
 }
 
@@ -42,7 +44,7 @@ TEST(TraversalTest, OneHopReturnsNeighborsAndStart) {
   TraversalDescription d;
   d.max_depth = 1;
   auto r = Traverse(0, d, Provider(store));
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(HitNodes(*r), (std::vector<VertexId>{0, 1, 2, 3, 4}));
   EXPECT_EQ(r->nodes_processed, 5u);
 }
@@ -52,12 +54,12 @@ TEST(TraversalTest, DepthLimitsExpansion) {
   TraversalDescription d;
   d.max_depth = 2;
   auto r = Traverse(0, d, Provider(store));
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(HitNodes(*r), (std::vector<VertexId>{0, 1, 2, 3, 4, 5}));
 
   d.max_depth = 3;
   r = Traverse(0, d, Provider(store));
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(HitNodes(*r), (std::vector<VertexId>{0, 1, 2, 3, 4, 5, 6}));
 }
 
@@ -66,7 +68,7 @@ TEST(TraversalTest, DepthsAreBfsDistances) {
   TraversalDescription d;
   d.max_depth = 3;
   auto r = Traverse(0, d, Provider(store));
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   for (const TraversalHit& hit : r->hits) {
     if (hit.node == 0) EXPECT_EQ(hit.depth, 0);
     if (hit.node == 4) EXPECT_EQ(hit.depth, 1);
@@ -81,7 +83,7 @@ TEST(TraversalTest, RelationshipTypeFilter) {
   d.max_depth = 1;
   d.relationship_type = 1;
   auto r = Traverse(0, d, Provider(store));
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(HitNodes(*r), (std::vector<VertexId>{0, 3}));
 }
 
@@ -91,7 +93,7 @@ TEST(TraversalTest, IncludeEvaluatorFiltersResults) {
   d.max_depth = 2;
   d.include = [](VertexId v, int depth) { return depth == 2 && v != 0; };
   auto r = Traverse(0, d, Provider(store));
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(HitNodes(*r), (std::vector<VertexId>{5}));
 }
 
@@ -101,7 +103,7 @@ TEST(TraversalTest, PruneStopsExpansion) {
   d.max_depth = 3;
   d.prune = [](VertexId v, int) { return v == 4; };  // do not go past 4
   auto r = Traverse(0, d, Provider(store));
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(HitNodes(*r), (std::vector<VertexId>{0, 1, 2, 3, 4}));
 }
 
@@ -111,23 +113,23 @@ TEST(TraversalTest, MaxResultsShortCircuits) {
   d.max_depth = 3;
   d.max_results = 3;
   auto r = Traverse(0, d, Provider(store));
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(r->hits.size(), 3u);
 }
 
 TEST(TraversalTest, UniquenessNoneReportsRevisits) {
   // Triangle 0-1-2: at depth 2 under kNone, vertices are reached again.
   GraphStore store(0);
-  for (VertexId v = 0; v < 3; ++v) ASSERT_TRUE(store.CreateNode(v).ok());
-  ASSERT_TRUE(store.AddEdge(0, 1, 0, true).ok());
-  ASSERT_TRUE(store.AddEdge(1, 2, 0, true).ok());
-  ASSERT_TRUE(store.AddEdge(0, 2, 0, true).ok());
+  for (VertexId v = 0; v < 3; ++v) ASSERT_OK(store.CreateNode(v));
+  ASSERT_OK(store.AddEdge(0, 1, 0, true));
+  ASSERT_OK(store.AddEdge(1, 2, 0, true));
+  ASSERT_OK(store.AddEdge(0, 2, 0, true));
 
   TraversalDescription d;
   d.max_depth = 2;
   d.uniqueness = Uniqueness::kNone;
   auto r = Traverse(0, d, Provider(store));
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   // Hits: 0 (start), 1, 2 (depth 1), then each of 1 and 2 re-reaches the
   // other two: response > unique (the Section 5.3.2 effect).
   EXPECT_GT(r->hits.size(), 3u);
@@ -136,7 +138,7 @@ TEST(TraversalTest, UniquenessNoneReportsRevisits) {
   TraversalDescription unique = d;
   unique.uniqueness = Uniqueness::kNodeGlobal;
   auto ru = Traverse(0, unique, Provider(store));
-  ASSERT_TRUE(ru.ok());
+  ASSERT_OK(ru);
   EXPECT_EQ(ru->hits.size(), 3u);
   EXPECT_LT(ru->hits.size(), r->hits.size());
 }
@@ -150,11 +152,11 @@ TEST(TraversalTest, MissingStartFails) {
 
 TEST(TraversalTest, UnavailableInteriorNodeSkipped) {
   GraphStore store = MakeStore();
-  ASSERT_TRUE(store.SetNodeState(4, NodeState::kUnavailable).ok());
+  ASSERT_OK(store.SetNodeState(4, NodeState::kUnavailable));
   TraversalDescription d;
   d.max_depth = 2;
   auto r = Traverse(0, d, Provider(store));
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   // 4 is still reported (its id is in 0's local chain) but not expanded,
   // so 5 is unreachable — queries act as if the record is absent.
   EXPECT_EQ(HitNodes(*r), (std::vector<VertexId>{0, 1, 2, 3, 4}));
@@ -162,7 +164,7 @@ TEST(TraversalTest, UnavailableInteriorNodeSkipped) {
 
 TEST(TraversalTest, ClusterProviderCrossesPartitions) {
   Graph g(6);
-  for (VertexId v = 0; v + 1 < 6; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  for (VertexId v = 0; v + 1 < 6; ++v) ASSERT_OK(g.AddEdge(v, v + 1));
   PartitionAssignment asg(6, 3);
   for (VertexId v = 0; v < 6; ++v) {
     asg.Assign(v, static_cast<PartitionId>(v / 2));
@@ -171,7 +173,7 @@ TEST(TraversalTest, ClusterProviderCrossesPartitions) {
   TraversalDescription d;
   d.max_depth = 5;
   auto r = Traverse(0, d, cluster.MakeNeighborProvider());
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(HitNodes(*r), (std::vector<VertexId>{0, 1, 2, 3, 4, 5}));
 }
 

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
 
@@ -13,49 +15,49 @@ using std::chrono::milliseconds;
 
 TEST(LockManagerTest, SharedLocksCoexist) {
   LockManager locks(milliseconds(20));
-  EXPECT_TRUE(locks.AcquireShared(1, 100).ok());
-  EXPECT_TRUE(locks.AcquireShared(2, 100).ok());
+  EXPECT_OK(locks.AcquireShared(1, 100));
+  EXPECT_OK(locks.AcquireShared(2, 100));
   EXPECT_TRUE(locks.Holds(1, 100));
   EXPECT_TRUE(locks.Holds(2, 100));
 }
 
 TEST(LockManagerTest, ExclusiveBlocksShared) {
   LockManager locks(milliseconds(20));
-  ASSERT_TRUE(locks.AcquireExclusive(1, 100).ok());
+  ASSERT_OK(locks.AcquireExclusive(1, 100));
   EXPECT_TRUE(locks.AcquireShared(2, 100).IsTimedOut());
 }
 
 TEST(LockManagerTest, SharedBlocksExclusive) {
   LockManager locks(milliseconds(20));
-  ASSERT_TRUE(locks.AcquireShared(1, 100).ok());
+  ASSERT_OK(locks.AcquireShared(1, 100));
   EXPECT_TRUE(locks.AcquireExclusive(2, 100).IsTimedOut());
 }
 
 TEST(LockManagerTest, ExclusiveIsReentrant) {
   LockManager locks(milliseconds(20));
-  ASSERT_TRUE(locks.AcquireExclusive(1, 100).ok());
-  EXPECT_TRUE(locks.AcquireExclusive(1, 100).ok());
-  EXPECT_TRUE(locks.AcquireShared(1, 100).ok());  // implied by exclusive
+  ASSERT_OK(locks.AcquireExclusive(1, 100));
+  EXPECT_OK(locks.AcquireExclusive(1, 100));
+  EXPECT_OK(locks.AcquireShared(1, 100));  // implied by exclusive
 }
 
 TEST(LockManagerTest, UpgradeWhenSoleReader) {
   LockManager locks(milliseconds(20));
-  ASSERT_TRUE(locks.AcquireShared(1, 100).ok());
-  EXPECT_TRUE(locks.AcquireExclusive(1, 100).ok());
+  ASSERT_OK(locks.AcquireShared(1, 100));
+  EXPECT_OK(locks.AcquireExclusive(1, 100));
 }
 
 TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
   LockManager locks(milliseconds(20));
-  ASSERT_TRUE(locks.AcquireShared(1, 100).ok());
-  ASSERT_TRUE(locks.AcquireShared(2, 100).ok());
+  ASSERT_OK(locks.AcquireShared(1, 100));
+  ASSERT_OK(locks.AcquireShared(2, 100));
   EXPECT_TRUE(locks.AcquireExclusive(1, 100).IsTimedOut());
 }
 
 TEST(LockManagerTest, ReleaseWakesWaiters) {
   LockManager locks(milliseconds(500));
-  ASSERT_TRUE(locks.AcquireExclusive(1, 100).ok());
+  ASSERT_OK(locks.AcquireExclusive(1, 100));
   std::thread waiter([&locks] {
-    EXPECT_TRUE(locks.AcquireExclusive(2, 100).ok());
+    EXPECT_OK(locks.AcquireExclusive(2, 100));
     locks.Release(2, 100);
   });
   std::this_thread::sleep_for(milliseconds(30));
@@ -65,8 +67,8 @@ TEST(LockManagerTest, ReleaseWakesWaiters) {
 
 TEST(LockManagerTest, TableShrinksWhenUnlocked) {
   LockManager locks(milliseconds(20));
-  ASSERT_TRUE(locks.AcquireExclusive(1, 100).ok());
-  ASSERT_TRUE(locks.AcquireShared(1, 200).ok());
+  ASSERT_OK(locks.AcquireExclusive(1, 100));
+  ASSERT_OK(locks.AcquireShared(1, 200));
   EXPECT_EQ(locks.NumLockedKeys(), 2u);
   locks.Release(1, 100);
   locks.Release(1, 200);
@@ -77,8 +79,8 @@ TEST(LockManagerTest, DeadlockResolvedByTimeout) {
   // Classic two-transaction deadlock: T1 holds A wants B, T2 holds B
   // wants A. With timeout detection at least one aborts; nothing hangs.
   LockManager locks(milliseconds(50));
-  ASSERT_TRUE(locks.AcquireExclusive(1, 0xA).ok());
-  ASSERT_TRUE(locks.AcquireExclusive(2, 0xB).ok());
+  ASSERT_OK(locks.AcquireExclusive(1, 0xA));
+  ASSERT_OK(locks.AcquireExclusive(2, 0xB));
 
   Status s1;
   Status s2;
@@ -91,15 +93,15 @@ TEST(LockManagerTest, DeadlockResolvedByTimeout) {
 
 TEST(LockManagerTest, DifferentKeysIndependent) {
   LockManager locks(milliseconds(20));
-  EXPECT_TRUE(locks.AcquireExclusive(1, 100).ok());
-  EXPECT_TRUE(locks.AcquireExclusive(2, 200).ok());
+  EXPECT_OK(locks.AcquireExclusive(1, 100));
+  EXPECT_OK(locks.AcquireExclusive(2, 200));
 }
 
 TEST(TransactionTest, CommitReleasesLocks) {
   TransactionManager mgr(milliseconds(20));
   {
     Transaction txn = mgr.Begin();
-    ASSERT_TRUE(txn.LockExclusive(7).ok());
+    ASSERT_OK(txn.LockExclusive(7));
     EXPECT_TRUE(mgr.lock_manager()->Holds(txn.id(), 7));
     txn.Commit();
   }
@@ -110,7 +112,7 @@ TEST(TransactionTest, DestructorAborts) {
   TransactionManager mgr(milliseconds(20));
   {
     Transaction txn = mgr.Begin();
-    ASSERT_TRUE(txn.LockExclusive(7).ok());
+    ASSERT_OK(txn.LockExclusive(7));
   }  // no explicit commit/abort
   EXPECT_EQ(mgr.lock_manager()->NumLockedKeys(), 0u);
 }
@@ -126,12 +128,12 @@ TEST(TransactionTest, ConflictReportsTimeout) {
   TransactionManager mgr(milliseconds(20));
   Transaction a = mgr.Begin();
   Transaction b = mgr.Begin();
-  ASSERT_TRUE(a.LockExclusive(5).ok());
+  ASSERT_OK(a.LockExclusive(5));
   EXPECT_TRUE(b.LockExclusive(5).IsTimedOut());
   a.Commit();
   // After release, a fresh attempt succeeds.
   Transaction c = mgr.Begin();
-  EXPECT_TRUE(c.LockExclusive(5).ok());
+  EXPECT_OK(c.LockExclusive(5));
 }
 
 TEST(TransactionTest, ConcurrentIncrementsAreSerialized) {

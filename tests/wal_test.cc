@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "storage/wal.h"
 
 namespace hermes {
@@ -32,11 +34,11 @@ WalEntry MakeEdgeEntry(VertexId a, VertexId b) {
 TEST(WalTest, AppendAssignsIncreasingLsns) {
   const std::string path = TempLog("wal_lsn.log");
   auto wal = WriteAheadLog::Open(path);
-  ASSERT_TRUE(wal.ok());
+  ASSERT_OK(wal);
   auto l1 = wal->Append(MakeEdgeEntry(1, 2));
   auto l2 = wal->Append(MakeEdgeEntry(3, 4));
-  ASSERT_TRUE(l1.ok());
-  ASSERT_TRUE(l2.ok());
+  ASSERT_OK(l1);
+  ASSERT_OK(l2);
   EXPECT_LT(*l1, *l2);
 }
 
@@ -44,7 +46,7 @@ TEST(WalTest, RoundTripAllFields) {
   const std::string path = TempLog("wal_roundtrip.log");
   {
     auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     WalEntry e;
     e.type = WalOpType::kSetNodeProperty;
     e.a = 42;
@@ -53,11 +55,11 @@ TEST(WalTest, RoundTripAllFields) {
     e.key = 9;
     e.flag = 1;
     e.payload = "hello \0 world";
-    ASSERT_TRUE(wal->Append(e).ok());
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Append(e));
+    ASSERT_OK(wal->Sync());
   }
   auto entries = WriteAheadLog::ReadAll(path);
-  ASSERT_TRUE(entries.ok());
+  ASSERT_OK(entries);
   ASSERT_EQ(entries->size(), 1u);
   const WalEntry& e = entries->front();
   EXPECT_EQ(e.type, WalOpType::kSetNodeProperty);
@@ -73,18 +75,18 @@ TEST(WalTest, ManyEntriesSurviveReopen) {
   const std::string path = TempLog("wal_reopen.log");
   {
     auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     for (VertexId i = 0; i < 100; ++i) {
-      ASSERT_TRUE(wal->Append(MakeEdgeEntry(i, i + 1)).ok());
+      ASSERT_OK(wal->Append(MakeEdgeEntry(i, i + 1)));
     }
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Sync());
   }
   // Reopen continues the LSN sequence.
   auto wal = WriteAheadLog::Open(path);
-  ASSERT_TRUE(wal.ok());
+  ASSERT_OK(wal);
   EXPECT_EQ(wal->next_lsn(), 101u);
   auto entries = WriteAheadLog::ReadAll(path);
-  ASSERT_TRUE(entries.ok());
+  ASSERT_OK(entries);
   EXPECT_EQ(entries->size(), 100u);
 }
 
@@ -92,11 +94,11 @@ TEST(WalTest, TornTailIsDiscarded) {
   const std::string path = TempLog("wal_torn.log");
   {
     auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     for (VertexId i = 0; i < 10; ++i) {
-      ASSERT_TRUE(wal->Append(MakeEdgeEntry(i, i + 1)).ok());
+      ASSERT_OK(wal->Append(MakeEdgeEntry(i, i + 1)));
     }
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Sync());
   }
   // Simulate a crash mid-append: chop off the last 5 bytes.
   {
@@ -110,7 +112,7 @@ TEST(WalTest, TornTailIsDiscarded) {
     out.write(data.data(), static_cast<std::streamsize>(size - 5));
   }
   auto entries = WriteAheadLog::ReadAll(path);
-  ASSERT_TRUE(entries.ok());
+  ASSERT_OK(entries);
   EXPECT_EQ(entries->size(), 9u);  // the torn 10th entry is dropped
 }
 
@@ -118,11 +120,11 @@ TEST(WalTest, CorruptTailIsDiscarded) {
   const std::string path = TempLog("wal_corrupt.log");
   {
     auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     for (VertexId i = 0; i < 5; ++i) {
-      ASSERT_TRUE(wal->Append(MakeEdgeEntry(i, i + 1)).ok());
+      ASSERT_OK(wal->Append(MakeEdgeEntry(i, i + 1)));
     }
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Sync());
   }
   {
     // Flip a byte inside the last record's body.
@@ -131,26 +133,26 @@ TEST(WalTest, CorruptTailIsDiscarded) {
     f.put('\xff');
   }
   auto entries = WriteAheadLog::ReadAll(path);
-  ASSERT_TRUE(entries.ok());
+  ASSERT_OK(entries);
   EXPECT_EQ(entries->size(), 4u);
 }
 
 TEST(WalTest, CheckpointFiltersEarlierEntries) {
   const std::string path = TempLog("wal_checkpoint.log");
   auto wal = WriteAheadLog::Open(path);
-  ASSERT_TRUE(wal.ok());
-  ASSERT_TRUE(wal->Append(MakeEdgeEntry(1, 2)).ok());
-  ASSERT_TRUE(wal->Append(MakeEdgeEntry(3, 4)).ok());
-  ASSERT_TRUE(wal->LogCheckpoint().ok());
-  ASSERT_TRUE(wal->Append(MakeEdgeEntry(5, 6)).ok());
-  ASSERT_TRUE(wal->Sync().ok());
+  ASSERT_OK(wal);
+  ASSERT_OK(wal->Append(MakeEdgeEntry(1, 2)));
+  ASSERT_OK(wal->Append(MakeEdgeEntry(3, 4)));
+  ASSERT_OK(wal->LogCheckpoint());
+  ASSERT_OK(wal->Append(MakeEdgeEntry(5, 6)));
+  ASSERT_OK(wal->Sync());
 
   auto all = WriteAheadLog::ReadAll(path, false);
-  ASSERT_TRUE(all.ok());
+  ASSERT_OK(all);
   EXPECT_EQ(all->size(), 4u);
 
   auto tail = WriteAheadLog::ReadAll(path, true);
-  ASSERT_TRUE(tail.ok());
+  ASSERT_OK(tail);
   ASSERT_EQ(tail->size(), 1u);
   EXPECT_EQ(tail->front().a, 5u);
 }
@@ -158,13 +160,13 @@ TEST(WalTest, CheckpointFiltersEarlierEntries) {
 TEST(WalTest, ResetTruncates) {
   const std::string path = TempLog("wal_reset.log");
   auto wal = WriteAheadLog::Open(path);
-  ASSERT_TRUE(wal.ok());
-  ASSERT_TRUE(wal->Append(MakeEdgeEntry(1, 2)).ok());
-  ASSERT_TRUE(wal->Reset().ok());
-  ASSERT_TRUE(wal->Append(MakeEdgeEntry(9, 10)).ok());
-  ASSERT_TRUE(wal->Sync().ok());
+  ASSERT_OK(wal);
+  ASSERT_OK(wal->Append(MakeEdgeEntry(1, 2)));
+  ASSERT_OK(wal->Reset());
+  ASSERT_OK(wal->Append(MakeEdgeEntry(9, 10)));
+  ASSERT_OK(wal->Sync());
   auto entries = WriteAheadLog::ReadAll(path);
-  ASSERT_TRUE(entries.ok());
+  ASSERT_OK(entries);
   ASSERT_EQ(entries->size(), 1u);
   EXPECT_EQ(entries->front().a, 9u);
 }
@@ -207,13 +209,13 @@ TEST(WalTest, TruncationSweepRecoversLongestValidPrefix) {
   constexpr std::size_t kRecords = 5;
   {
     auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     for (std::size_t i = 0; i < kRecords; ++i) {
       WalEntry e = MakeEdgeEntry(i, i + 1);
       e.payload = std::string(i * 3, static_cast<char>('a' + i));
-      ASSERT_TRUE(wal->Append(e).ok());
+      ASSERT_OK(wal->Append(e));
     }
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Sync());
   }
   const std::string full = ReadFileBytes(path);
   const std::vector<std::size_t> ends = FrameBoundaries(full);
@@ -227,7 +229,7 @@ TEST(WalTest, TruncationSweepRecoversLongestValidPrefix) {
             ends.begin(), ends.end(),
             [len](std::size_t end) { return end <= len; }));
     auto entries = WriteAheadLog::ReadAll(cut_path);
-    ASSERT_TRUE(entries.ok()) << "truncated at byte " << len;
+    ASSERT_OK(entries) << "truncated at byte " << len;
     ASSERT_EQ(entries->size(), want) << "truncated at byte " << len;
     for (std::size_t i = 0; i < want; ++i) {
       EXPECT_EQ((*entries)[i].a, i) << "truncated at byte " << len;
@@ -243,13 +245,13 @@ TEST(WalTest, FlippedCrcMidLogStopsReplayAtLastGoodRecord) {
   const std::string path = TempLog("wal_midcrc.log");
   {
     auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     for (VertexId i = 0; i < 5; ++i) {
       WalEntry e = MakeEdgeEntry(i, i + 1);
       e.payload = "payload";
-      ASSERT_TRUE(wal->Append(e).ok());
+      ASSERT_OK(wal->Append(e));
     }
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Sync());
   }
   std::string data = ReadFileBytes(path);
   const std::vector<std::size_t> ends = FrameBoundaries(data);
@@ -259,7 +261,7 @@ TEST(WalTest, FlippedCrcMidLogStopsReplayAtLastGoodRecord) {
   WriteFileBytes(path, data);
 
   auto entries = WriteAheadLog::ReadAll(path);
-  ASSERT_TRUE(entries.ok());
+  ASSERT_OK(entries);
   ASSERT_EQ(entries->size(), 2u);
   EXPECT_EQ(entries->back().a, 1u);
 }
@@ -271,11 +273,11 @@ TEST(WalTest, OpenTruncatesTornTailSoLaterAppendsSurvive) {
   const std::string path = TempLog("wal_open_trunc.log");
   {
     auto wal = WriteAheadLog::Open(path);
-    ASSERT_TRUE(wal.ok());
+    ASSERT_OK(wal);
     for (VertexId i = 0; i < 3; ++i) {
-      ASSERT_TRUE(wal->Append(MakeEdgeEntry(i, i + 1)).ok());
+      ASSERT_OK(wal->Append(MakeEdgeEntry(i, i + 1)));
     }
-    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_OK(wal->Sync());
   }
   // Crash mid-append: half of a fourth frame reaches the disk.
   std::string data = ReadFileBytes(path);
@@ -283,14 +285,14 @@ TEST(WalTest, OpenTruncatesTornTailSoLaterAppendsSurvive) {
   WriteFileBytes(path, data + data.substr(0, 11));
 
   auto wal = WriteAheadLog::Open(path);
-  ASSERT_TRUE(wal.ok());
+  ASSERT_OK(wal);
   EXPECT_EQ(wal->next_lsn(), 4u);
   EXPECT_EQ(std::filesystem::file_size(path), intact);
-  ASSERT_TRUE(wal->Append(MakeEdgeEntry(9, 10)).ok());
-  ASSERT_TRUE(wal->Sync().ok());
+  ASSERT_OK(wal->Append(MakeEdgeEntry(9, 10)));
+  ASSERT_OK(wal->Sync());
 
   auto entries = WriteAheadLog::ReadAll(path);
-  ASSERT_TRUE(entries.ok());
+  ASSERT_OK(entries);
   ASSERT_EQ(entries->size(), 4u);
   EXPECT_EQ(entries->back().a, 9u);
   EXPECT_EQ(entries->back().lsn, 4u);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "cluster/hermes_cluster.h"
 #include "gen/social_graph.h"
 #include "partition/hash_partitioner.h"
@@ -202,7 +204,7 @@ TEST(DriverTest, DeterministicAcrossRepartitionerThreads) {
     const auto trace =
         GenerateTrace(cluster.graph(), cluster.assignment(), topt);
     ThroughputReport before = RunWorkload(&cluster, trace);
-    EXPECT_TRUE(cluster.RunLightweightRepartition().ok());
+    EXPECT_OK(cluster.RunLightweightRepartition());
     ThroughputReport after = RunWorkload(&cluster, trace);
     return std::pair<ThroughputReport, ThroughputReport>(before, after);
   };
