@@ -54,7 +54,8 @@ if [ "$preset" != "default" ]; then
   echo "== bench smoke (default preset) =="
   cmake --preset default
   cmake --build --preset default -j "$(nproc)" \
-    --target fig7_edgecut --target concurrent_reads
+    --target fig7_edgecut --target concurrent_reads \
+    --target write_throughput
   ctest --test-dir build -R bench_smoke --output-on-failure
 fi
 

@@ -332,7 +332,7 @@ Status DurableGraphStore::Precheck(const WalEntry& e, const GraphStore& s) {
 }
 
 Result<std::unique_ptr<DurableGraphStore>> DurableGraphStore::Open(
-    PartitionId partition_id, const std::string& dir) {
+    PartitionId partition_id, const std::string& dir, const Options& options) {
   auto store = std::make_unique<GraphStore>(partition_id);
   const std::string snapshot_path = dir + "/snapshot.bin";
   const std::string wal_path = dir + "/wal.log";
@@ -362,11 +362,13 @@ Result<std::unique_ptr<DurableGraphStore>> DurableGraphStore::Open(
 
   // New appends must never reuse LSNs the snapshot covers, even though a
   // checkpoint truncated the log this scan sees.
-  HERMES_ASSIGN_OR_RETURN(WriteAheadLog wal,
-                          WriteAheadLog::Open(wal_path, covered_lsn + 1));
+  HERMES_ASSIGN_OR_RETURN(
+      WriteAheadLog wal,
+      WriteAheadLog::Open(wal_path, covered_lsn + 1, options.group_commit));
   return std::unique_ptr<DurableGraphStore>(new DurableGraphStore(
       partition_id, dir, std::move(store),
-      std::make_unique<WriteAheadLog>(std::move(wal))));
+      std::make_unique<WriteAheadLog>(std::move(wal)),
+      options.durable_mutations));
 }
 
 Status DurableGraphStore::Checkpoint() {
@@ -386,101 +388,159 @@ Status DurableGraphStore::Checkpoint() {
   return wal_->Reset();
 }
 
+// Every mutator follows the same shape: under mu_, precheck + append +
+// apply (the WAL rule, atomic across threads); then, only when
+// durable_mutations is on, wait for the entry's LSN to be fsynced with
+// mu_ RELEASED. The release is the point of group commit — concurrent
+// mutators stage back-to-back under mu_ and then share one fsync window
+// instead of serializing write+fsync per call.
+
 Status DurableGraphStore::CreateNode(VertexId id, double weight) {
-  MutexLock lock(&mu_);
-  WalEntry e;
-  e.type = WalOpType::kCreateNode;
-  e.a = id;
-  e.weight = weight;
-  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
-  HERMES_RETURN_NOT_OK(Log(std::move(e)));
-  return store_->CreateNode(id, weight);
+  std::uint64_t lsn = 0;
+  bool durable = false;
+  {
+    MutexLock lock(&mu_);
+    WalEntry e;
+    e.type = WalOpType::kCreateNode;
+    e.a = id;
+    e.weight = weight;
+    HERMES_RETURN_NOT_OK(Precheck(e, *store_));
+    HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
+    HERMES_RETURN_NOT_OK(store_->CreateNode(id, weight));
+    durable = durable_mutations_;
+  }
+  return durable ? wal_->SyncUntil(lsn) : Status::OK();
 }
 
 Status DurableGraphStore::RemoveNode(VertexId v) {
-  MutexLock lock(&mu_);
-  WalEntry e;
-  e.type = WalOpType::kRemoveNode;
-  e.a = v;
-  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
-  HERMES_RETURN_NOT_OK(Log(std::move(e)));
-  return store_->RemoveNode(v);
+  std::uint64_t lsn = 0;
+  bool durable = false;
+  {
+    MutexLock lock(&mu_);
+    WalEntry e;
+    e.type = WalOpType::kRemoveNode;
+    e.a = v;
+    HERMES_RETURN_NOT_OK(Precheck(e, *store_));
+    HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
+    HERMES_RETURN_NOT_OK(store_->RemoveNode(v));
+    durable = durable_mutations_;
+  }
+  return durable ? wal_->SyncUntil(lsn) : Status::OK();
 }
 
 Status DurableGraphStore::SetNodeState(VertexId id, NodeState state) {
-  MutexLock lock(&mu_);
-  WalEntry e;
-  e.type = WalOpType::kSetNodeState;
-  e.a = id;
-  e.flag = static_cast<std::uint8_t>(state);
-  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
-  HERMES_RETURN_NOT_OK(Log(std::move(e)));
-  return store_->SetNodeState(id, state);
+  std::uint64_t lsn = 0;
+  bool durable = false;
+  {
+    MutexLock lock(&mu_);
+    WalEntry e;
+    e.type = WalOpType::kSetNodeState;
+    e.a = id;
+    e.flag = static_cast<std::uint8_t>(state);
+    HERMES_RETURN_NOT_OK(Precheck(e, *store_));
+    HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
+    HERMES_RETURN_NOT_OK(store_->SetNodeState(id, state));
+    durable = durable_mutations_;
+  }
+  return durable ? wal_->SyncUntil(lsn) : Status::OK();
 }
 
 Status DurableGraphStore::AddNodeWeight(VertexId id, double delta) {
-  MutexLock lock(&mu_);
-  WalEntry e;
-  e.type = WalOpType::kAddNodeWeight;
-  e.a = id;
-  e.weight = delta;
-  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
-  HERMES_RETURN_NOT_OK(Log(std::move(e)));
-  return store_->AddNodeWeight(id, delta);
+  std::uint64_t lsn = 0;
+  bool durable = false;
+  {
+    MutexLock lock(&mu_);
+    WalEntry e;
+    e.type = WalOpType::kAddNodeWeight;
+    e.a = id;
+    e.weight = delta;
+    HERMES_RETURN_NOT_OK(Precheck(e, *store_));
+    HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
+    HERMES_RETURN_NOT_OK(store_->AddNodeWeight(id, delta));
+    durable = durable_mutations_;
+  }
+  return durable ? wal_->SyncUntil(lsn) : Status::OK();
 }
 
 Result<RecordId> DurableGraphStore::AddEdge(VertexId v, VertexId other,
                                             std::uint32_t type,
                                             bool other_is_local) {
-  MutexLock lock(&mu_);
-  WalEntry e;
-  e.type = WalOpType::kAddEdge;
-  e.a = v;
-  e.b = other;
-  e.key = type;
-  e.flag = other_is_local ? 1 : 0;
-  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
-  HERMES_RETURN_NOT_OK(Log(std::move(e)));
-  return store_->AddEdge(v, other, type, other_is_local);
+  std::uint64_t lsn = 0;
+  bool durable = false;
+  RecordId rid = 0;
+  {
+    MutexLock lock(&mu_);
+    WalEntry e;
+    e.type = WalOpType::kAddEdge;
+    e.a = v;
+    e.b = other;
+    e.key = type;
+    e.flag = other_is_local ? 1 : 0;
+    HERMES_RETURN_NOT_OK(Precheck(e, *store_));
+    HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
+    HERMES_ASSIGN_OR_RETURN(rid,
+                            store_->AddEdge(v, other, type, other_is_local));
+    durable = durable_mutations_;
+  }
+  if (durable) HERMES_RETURN_NOT_OK(wal_->SyncUntil(lsn));
+  return rid;
 }
 
 Status DurableGraphStore::RemoveEdge(VertexId v, VertexId other) {
-  MutexLock lock(&mu_);
-  WalEntry e;
-  e.type = WalOpType::kRemoveEdge;
-  e.a = v;
-  e.b = other;
-  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
-  HERMES_RETURN_NOT_OK(Log(std::move(e)));
-  return store_->RemoveEdge(v, other);
+  std::uint64_t lsn = 0;
+  bool durable = false;
+  {
+    MutexLock lock(&mu_);
+    WalEntry e;
+    e.type = WalOpType::kRemoveEdge;
+    e.a = v;
+    e.b = other;
+    HERMES_RETURN_NOT_OK(Precheck(e, *store_));
+    HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
+    HERMES_RETURN_NOT_OK(store_->RemoveEdge(v, other));
+    durable = durable_mutations_;
+  }
+  return durable ? wal_->SyncUntil(lsn) : Status::OK();
 }
 
 Status DurableGraphStore::SetNodeProperty(VertexId id, std::uint32_t key,
                                           const std::string& value) {
-  MutexLock lock(&mu_);
-  WalEntry e;
-  e.type = WalOpType::kSetNodeProperty;
-  e.a = id;
-  e.key = key;
-  e.payload = value;
-  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
-  HERMES_RETURN_NOT_OK(Log(std::move(e)));
-  return store_->SetNodeProperty(id, key, value);
+  std::uint64_t lsn = 0;
+  bool durable = false;
+  {
+    MutexLock lock(&mu_);
+    WalEntry e;
+    e.type = WalOpType::kSetNodeProperty;
+    e.a = id;
+    e.key = key;
+    e.payload = value;
+    HERMES_RETURN_NOT_OK(Precheck(e, *store_));
+    HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
+    HERMES_RETURN_NOT_OK(store_->SetNodeProperty(id, key, value));
+    durable = durable_mutations_;
+  }
+  return durable ? wal_->SyncUntil(lsn) : Status::OK();
 }
 
 Status DurableGraphStore::SetEdgeProperty(VertexId v, VertexId other,
                                           std::uint32_t key,
                                           const std::string& value) {
-  MutexLock lock(&mu_);
-  WalEntry e;
-  e.type = WalOpType::kSetEdgeProperty;
-  e.a = v;
-  e.b = other;
-  e.key = key;
-  e.payload = value;
-  HERMES_RETURN_NOT_OK(Precheck(e, *store_));
-  HERMES_RETURN_NOT_OK(Log(std::move(e)));
-  return store_->SetEdgeProperty(v, other, key, value);
+  std::uint64_t lsn = 0;
+  bool durable = false;
+  {
+    MutexLock lock(&mu_);
+    WalEntry e;
+    e.type = WalOpType::kSetEdgeProperty;
+    e.a = v;
+    e.b = other;
+    e.key = key;
+    e.payload = value;
+    HERMES_RETURN_NOT_OK(Precheck(e, *store_));
+    HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
+    HERMES_RETURN_NOT_OK(store_->SetEdgeProperty(v, other, key, value));
+    durable = durable_mutations_;
+  }
+  return durable ? wal_->SyncUntil(lsn) : Status::OK();
 }
 
 }  // namespace hermes

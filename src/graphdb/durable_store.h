@@ -29,16 +29,37 @@ namespace hermes {
 ///
 /// Concurrency: every logged mutation and Checkpoint() is serialized
 /// under `mu_`, which keeps the WAL rule atomic (log, then apply) across
-/// threads. Lock order: mu_ is acquired BEFORE the WriteAheadLog's
-/// internal mutex (never the reverse). Reads through store() are
-/// lock-free and therefore only safe when writers are quiesced or the
-/// caller holds record-level locks — see DESIGN.md.
+/// threads — but the *fsync wait* of a durable mutation happens after
+/// `mu_` is released, so concurrent durable writers stage under the
+/// store lock and then batch into one group-commit window instead of
+/// serializing their fsyncs. Lock order: mu_ is acquired BEFORE the
+/// WriteAheadLog's internal mutex (never the reverse). Reads through
+/// store() are lock-free and therefore only safe when writers are
+/// quiesced or the caller holds record-level locks — see DESIGN.md.
 class DurableGraphStore {
  public:
+  struct Options {
+    /// Group-commit window tuning, forwarded to WriteAheadLog::Open.
+    WalGroupCommitOptions group_commit;
+    /// When true, every mutation blocks until its WAL entry is fsynced
+    /// (joining the current group-commit window). When false (default,
+    /// the historical behavior), mutations are staged and Sync() /
+    /// Checkpoint() are the durability points.
+    bool durable_mutations = false;
+  };
+
   /// Opens (and recovers) the partition stored under `dir`. The directory
   /// must exist; files `snapshot.bin` and `wal.log` are created inside.
+  /// (Overload instead of a defaulted Options argument: a nested class's
+  /// member initializers are only parsed at the end of the enclosing
+  /// class, so `= {}` here would not compile.)
   [[nodiscard]] static Result<std::unique_ptr<DurableGraphStore>> Open(
-      PartitionId partition_id, const std::string& dir);
+      PartitionId partition_id, const std::string& dir,
+      const Options& options);
+  [[nodiscard]] static Result<std::unique_ptr<DurableGraphStore>> Open(
+      PartitionId partition_id, const std::string& dir) {
+    return Open(partition_id, dir, Options());
+  }
 
   /// Read access goes straight to the in-memory store.
   const GraphStore& store() const { return *store_; }
@@ -65,17 +86,22 @@ class DurableGraphStore {
   /// Writes a snapshot, marks a checkpoint, and truncates the log.
   [[nodiscard]] Status Checkpoint() EXCLUDES(mu_);
 
-  /// Flushes the log to the OS (group-commit point).
-  [[nodiscard]] Status Sync() EXCLUDES(mu_) {
+  /// Makes every staged entry durable: joins (or leads) a group-commit
+  /// window and returns once the log is fsynced through the last appended
+  /// LSN. The WAL synchronizes itself, so no store lock is taken — calls
+  /// overlap with concurrent mutations and batch into shared windows.
+  [[nodiscard]] Status Sync() EXCLUDES(mu_) { return wal_->Sync(); }
+
+  /// Toggles per-mutation durability at runtime (see Options).
+  void set_durable_mutations(bool on) EXCLUDES(mu_) {
     MutexLock lock(&mu_);
-    return wal_->Sync();
+    durable_mutations_ = on;
   }
 
   const std::string& directory() const { return dir_; }
-  std::uint64_t next_lsn() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return wal_->next_lsn();
-  }
+  std::uint64_t next_lsn() const { return wal_->next_lsn(); }
+  std::uint64_t durable_lsn() const { return wal_->durable_lsn(); }
+  std::uint64_t fsync_count() const { return wal_->fsync_count(); }
 
   // Exposed for tests: snapshot round-trip without a full Open().
   // `covered_lsn` is the highest WAL LSN whose effects the snapshot
@@ -91,11 +117,12 @@ class DurableGraphStore {
  private:
   DurableGraphStore(PartitionId partition_id, std::string dir,
                     std::unique_ptr<GraphStore> store,
-                    std::unique_ptr<WriteAheadLog> wal)
+                    std::unique_ptr<WriteAheadLog> wal, bool durable_mutations)
       : partition_id_(partition_id),
         dir_(std::move(dir)),
         store_(std::move(store)),
-        wal_(std::move(wal)) {}
+        wal_(std::move(wal)),
+        durable_mutations_(durable_mutations) {}
 
   [[nodiscard]] static Status Replay(const WalEntry& entry, GraphStore* store);
 
@@ -105,8 +132,12 @@ class DurableGraphStore {
   // divergence instead of tolerating it (see Replay).
   [[nodiscard]] static Status Precheck(const WalEntry& entry, const GraphStore& store);
 
-  [[nodiscard]] Status Log(WalEntry entry) REQUIRES(mu_) {
-    return wal_->Append(std::move(entry)).status();
+  /// Appends under mu_ (the log-then-apply step of the WAL rule) and
+  /// hands back the assigned LSN so the caller can wait for durability
+  /// AFTER releasing mu_ — that release is what lets concurrent durable
+  /// mutations share one group-commit fsync.
+  [[nodiscard]] Result<std::uint64_t> Log(WalEntry entry) REQUIRES(mu_) {
+    return wal_->Append(std::move(entry));
   }
 
   const PartitionId partition_id_;
@@ -116,7 +147,11 @@ class DurableGraphStore {
   // expose lock-free reads by documented contract (see class comment).
   // audit:allow(guard, lock-free read contract documented above)
   std::unique_ptr<GraphStore> store_;
-  std::unique_ptr<WriteAheadLog> wal_ GUARDED_BY(mu_);
+  // The WAL is internally synchronized (its own mutex ranks after mu_),
+  // so the pointer itself is const and calls need no store lock — that is
+  // what allows Sync()/SyncUntil() to run outside mu_.
+  const std::unique_ptr<WriteAheadLog> wal_;
+  bool durable_mutations_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hermes

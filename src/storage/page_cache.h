@@ -5,6 +5,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/result.h"
@@ -14,21 +15,34 @@
 
 namespace hermes {
 
-/// LRU page cache over a PagedFile — the buffer-management layer between
-/// the stores and disk (Neo4j's page cache). Pages are pinned for access;
-/// unpinned dirty pages are written back on eviction or on FlushAll().
+/// Sharded LRU page cache over a PagedFile — the buffer-management layer
+/// between the stores and disk (Neo4j's page cache). Pages are pinned for
+/// access; unpinned dirty pages are written back on eviction or on
+/// FlushAll().
+///
+/// Pages hash to one of N shards (page_no % N), each with its own mutex,
+/// LRU list, and capacity slice, so pins on different shards never
+/// contend. All file I/O — miss loads and dirty write-backs — happens
+/// *outside* the shard lock under a per-frame `busy` flag: a busy frame
+/// is being loaded or written back by exactly one thread, concurrent
+/// pinners of it wait on the shard's CondVar, and the shard lock itself
+/// is never held across a read/write/fsync (PagedFile's pread/pwrite are
+/// atomic per call, so shards do parallel I/O safely).
 ///
 /// Thread-safe: Pin/Unpin/FlushAll may be called concurrently. A pinned
 /// page is never evicted, so the Page* returned by Pin() stays valid (and
 /// its frame's address stable) until the matching Unpin(); concurrent
 /// pinners of the same page share one frame. Byte-range coordination
 /// WITHIN a pinned page is the caller's job (record-level locks) — the
-/// cache only guarantees frame lifetime and metadata consistency. File
-/// I/O currently happens under `mu_` (correctness first; lock-free I/O is
-/// future work).
+/// cache only guarantees frame lifetime and metadata consistency.
 class PageCache {
  public:
-  PageCache(PagedFile* file, std::size_t capacity_pages);
+  /// `num_shards` 0 (the default) picks automatically: one shard per 8
+  /// pages of capacity, capped at kMaxShards — small caches (unit tests,
+  /// tiny snapshot caches) get a single shard and therefore exact global
+  /// LRU behavior; large caches shard for concurrency.
+  PageCache(PagedFile* file, std::size_t capacity_pages,
+            std::size_t num_shards = 0);
 
   PageCache(const PageCache&) = delete;
   PageCache& operator=(const PageCache&) = delete;
@@ -36,13 +50,13 @@ class PageCache {
   /// Pins `page_no` and returns a pointer to its in-memory copy, loading
   /// it (or materializing a zero page past EOF) on miss. The pointer
   /// stays valid until Unpin.
-  [[nodiscard]] Result<Page*> Pin(std::uint64_t page_no) EXCLUDES(mu_);
+  [[nodiscard]] Result<Page*> Pin(std::uint64_t page_no);
 
   /// Releases a pin; `dirty` marks the page for write-back.
-  void Unpin(std::uint64_t page_no, bool dirty) EXCLUDES(mu_);
+  void Unpin(std::uint64_t page_no, bool dirty);
 
   /// Writes back every dirty page and syncs the file.
-  [[nodiscard]] Status FlushAll() EXCLUDES(mu_);
+  [[nodiscard]] Status FlushAll();
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -50,10 +64,14 @@ class PageCache {
     std::uint64_t evictions = 0;
     std::uint64_t writebacks = 0;
   };
-  Stats stats() const EXCLUDES(mu_);
+  /// Aggregated over all shards.
+  Stats stats() const;
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t resident() const EXCLUDES(mu_);
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t resident() const;
+
+  static constexpr std::size_t kMaxShards = 16;
 
  private:
   struct Frame {
@@ -61,23 +79,51 @@ class PageCache {
     std::uint64_t page_no = 0;
     int pins = 0;
     bool dirty = false;
-    std::list<std::uint64_t>::iterator lru_pos;  // valid when pins == 0
+    /// One thread is doing file I/O on this frame with the shard lock
+    /// released (miss load or write-back); everyone else keeps out and
+    /// waits on the shard CondVar.
+    bool busy = false;
+    std::list<std::uint64_t>::iterator lru_pos;  // valid when in_lru
     bool in_lru = false;
   };
 
-  /// Evicts one unpinned page (LRU order); fails when all pages pinned.
-  [[nodiscard]] Status EvictOne() REQUIRES(mu_);
+  /// One cache shard: an independent LRU over its slice of the capacity.
+  /// `mu` ranks at kRankPageCacheShardBase + shard index, so the
+  /// validator proves no code path ever holds two shards at once.
+  struct Shard {
+    Shard(const char* mu_name, int rank, std::size_t cap)
+        : mu(mu_name, rank), capacity(cap) {}
 
-  PagedFile* const file_ PT_GUARDED_BY(mu_);
+    mutable Mutex mu;
+    CondVar cv;  // busy-frame transitions and freed capacity
+    std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames
+        GUARDED_BY(mu);
+    std::list<std::uint64_t> lru GUARDED_BY(mu);  // front = most recent
+    Stats stats GUARDED_BY(mu);
+    /// Number of frames currently busy (I/O in flight off-lock).
+    std::size_t busy_frames GUARDED_BY(mu) = 0;
+    const std::size_t capacity;
+  };
+
+  Shard& ShardFor(std::uint64_t page_no) const {
+    return *shards_[page_no % shards_.size()];
+  }
+
+  /// Builds the shard vector (resolving `num_shards` 0 to the automatic
+  /// count) with per-shard capacity slices and ranked, named mutexes.
+  static std::vector<std::unique_ptr<Shard>> MakeShards(
+      std::size_t capacity, std::size_t num_shards);
+
+  // No mutex of its own: all mutable state lives inside the shards, and
+  // `file_` is only accessed outside shard locks (pread/pwrite are
+  // per-call atomic; see PagedFile).
+  PagedFile* const file_;
   const std::size_t capacity_;
-  mutable Mutex mu_{"page_cache.mu", lock_order::kRankPageCache};
-  std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_
-      GUARDED_BY(mu_);
-  std::list<std::uint64_t> lru_ GUARDED_BY(mu_);  // front = most recent
-  Stats stats_ GUARDED_BY(mu_);
+  const std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Process-wide observability mirrors of stats_ (metric naming scheme in
-  // DESIGN.md §7); pointers cached once, registry owns the counters.
+  // Process-wide observability mirrors of the shard stats (metric naming
+  // scheme in DESIGN.md §7); pointers cached once, registry owns the
+  // counters.
   Counter* const m_hits_;
   Counter* const m_misses_;
   Counter* const m_evictions_;

@@ -1,50 +1,109 @@
 #include "storage/paged_file.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
-#include <filesystem>
 
 #include "common/failpoint.h"
 
 namespace hermes {
 
-Result<PagedFile> PagedFile::Open(const std::string& path) {
-  // Ensure the file exists before opening read/write.
-  if (!std::filesystem::exists(path)) {
-    std::ofstream create(path, std::ios::binary);
-    if (!create) return Status::IOError("cannot create " + path);
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+/// Full-buffer pwrite with EINTR/short-write retry.
+[[nodiscard]] Status PwriteAll(int fd, const void* data, std::size_t len,
+                               std::uint64_t offset, const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t remaining = len;
+  auto off = static_cast<off_t>(offset);
+  while (remaining > 0) {
+    const ssize_t n = ::pwrite(fd, p, remaining, off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pwrite failed for", path));
+    }
+    p += n;
+    off += n;
+    remaining -= static_cast<std::size_t>(n);
   }
-  std::fstream file(path,
-                    std::ios::binary | std::ios::in | std::ios::out);
-  if (!file) return Status::IOError("cannot open " + path);
-  file.seekg(0, std::ios::end);
-  const auto size = static_cast<std::uint64_t>(file.tellg());
-  return PagedFile(path, std::move(file),
-                   (size + kPageSize - 1) / kPageSize);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PagedFile> PagedFile::Open(const std::string& path) {
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status err = Status::IOError(ErrnoMessage("fstat failed for", path));
+    ::close(fd);
+    return err;
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  return PagedFile(path, fd, (size + kPageSize - 1) / kPageSize);
+}
+
+PagedFile::~PagedFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+PagedFile& PagedFile::operator=(PagedFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    num_pages_ = other.num_pages_;
+    other.fd_ = -1;
+    other.num_pages_ = 0;
+  }
+  return *this;
 }
 
 Status PagedFile::ReadPage(std::uint64_t page_no, Page* page) {
   HERMES_FAILPOINT_IOERROR("paged_file.read.io_error");
-  if (page_no >= num_pages_) {
-    page->bytes.fill(0);
-    return Status::OK();
+  {
+    MutexLock lock(&meta_mu_);
+    if (page_no >= num_pages_) {
+      page->bytes.fill(0);
+      return Status::OK();
+    }
   }
-  file_.clear();
-  file_.seekg(static_cast<std::streamoff>(page_no * kPageSize));
-  file_.read(reinterpret_cast<char*>(page->bytes.data()), kPageSize);
-  if (file_.gcount() < static_cast<std::streamsize>(kPageSize)) {
-    // Short tail page: zero-fill the remainder.
-    std::memset(page->bytes.data() + file_.gcount(), 0,
-                kPageSize - static_cast<std::size_t>(file_.gcount()));
-    file_.clear();
+  unsigned char* p = page->bytes.data();
+  std::size_t remaining = kPageSize;
+  auto off = static_cast<off_t>(page_no * kPageSize);
+  while (remaining > 0) {
+    const ssize_t n = ::pread(fd_, p, remaining, off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pread failed for", path_));
+    }
+    if (n == 0) {
+      // Short tail page: zero-fill the remainder.
+      std::memset(p, 0, remaining);
+      break;
+    }
+    p += n;
+    off += n;
+    remaining -= static_cast<std::size_t>(n);
   }
   return Status::OK();
 }
 
 Status PagedFile::WritePage(std::uint64_t page_no, const Page& page) {
   HERMES_FAILPOINT_IOERROR("paged_file.write.io_error");
-  file_.clear();
-  file_.seekp(static_cast<std::streamoff>(page_no * kPageSize));
+  const std::uint64_t offset = page_no * kPageSize;
   const FailpointHit torn =
       HERMES_FAILPOINT_HIT("paged_file.write.short_write");
   if (torn.fired) {
@@ -52,34 +111,44 @@ Status PagedFile::WritePage(std::uint64_t page_no, const Page& page) {
     // the simulated power loss; the crash latch keeps later writes from
     // papering over the damage.
     const std::uint64_t want = torn.arg != 0 ? torn.arg : kPageSize / 2;
-    const auto cut = static_cast<std::streamsize>(
+    const auto cut = static_cast<std::size_t>(
         std::min<std::uint64_t>(want, kPageSize - 1));
-    file_.write(reinterpret_cast<const char*>(page.bytes.data()), cut);
-    file_.flush();
+    if (Status st = PwriteAll(fd_, page.bytes.data(), cut, offset, path_);
+        !st.ok()) {
+      // The tear is the injected failure; a second error writing the
+      // prefix leaves an even shorter tear, which recovery must equally
+      // survive.
+    }
     HERMES_FAILPOINT_LATCH_CRASH("paged_file.write.short_write");
     return Status::IOError("failpoint: paged_file.write.short_write");
   }
-  file_.write(reinterpret_cast<const char*>(page.bytes.data()), kPageSize);
-  if (!file_) return Status::IOError("page write failed");
+  HERMES_RETURN_NOT_OK(
+      PwriteAll(fd_, page.bytes.data(), kPageSize, offset, path_));
+  MutexLock lock(&meta_mu_);
   num_pages_ = std::max(num_pages_, page_no + 1);
   return Status::OK();
 }
 
 Status PagedFile::Sync() {
   HERMES_FAILPOINT_IOERROR("paged_file.sync.io_error");
-  file_.flush();
-  if (!file_) return Status::IOError("sync failed");
+  if (fd_ < 0) return Status::IOError("sync failed: " + path_ + " not open");
+#if defined(__linux__)
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fdatasync failed for", path_));
+  }
+#else
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fsync failed for", path_));
+  }
+#endif
   return Status::OK();
 }
 
 Status PagedFile::Reset() {
-  file_.close();
-  {
-    std::ofstream truncate(path_, std::ios::binary | std::ios::trunc);
-    if (!truncate) return Status::IOError("truncate failed");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError(ErrnoMessage("ftruncate failed for", path_));
   }
-  file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
-  if (!file_) return Status::IOError("reopen failed");
+  MutexLock lock(&meta_mu_);
   num_pages_ = 0;
   return Status::OK();
 }

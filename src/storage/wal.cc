@@ -1,9 +1,12 @@
 #include "storage/wal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <system_error>
+#include <utility>
 
 #include "common/failpoint.h"
 
@@ -93,6 +96,70 @@ struct ScannedLog {
   return log;
 }
 
+/// How a commit window ended, and what the log must do about it.
+enum class CommitOutcome {
+  kOk,        // every batched byte is on stable storage
+  kRestage,   // nothing reached the file; re-stage the batch and retry
+  kPoison,    // the file may hold a partial frame; log dead until reopen
+  kTransient, // bytes written but the fsync failed; a later window retries
+};
+
+struct CommitResult {
+  CommitOutcome outcome;
+  Status status;
+};
+
+/// One group-commit window: a contiguous write of the batched frames plus
+/// one fsync. Called by the window leader with `mu_` released (the leader
+/// token grants exclusive file access) or, in per-append-fsync mode, with
+/// `mu_` held. Failpoints model the three distinct failure boundaries:
+/// before any byte reaches the file (retryable), after bytes reach the OS
+/// but before the fsync (power loss drops the buffered suffix), and the
+/// fsync call itself failing.
+CommitResult CommitBatchIo(FdAppender& file, const std::string& batch) {
+  {
+    const FailpointHit hit = HERMES_FAILPOINT_HIT("wal.flush.io_error");
+    if (hit.fired) {
+      return {CommitOutcome::kRestage,
+              Status::IOError("failpoint: wal.flush.io_error")};
+    }
+  }
+  if (!batch.empty()) {
+    if (Status st = file.Append(batch.data(), batch.size()); !st.ok()) {
+      // A failed write(2) may have landed a prefix of the batch; replay
+      // would stop at the tear, so nothing after it may ever be appended.
+      return {CommitOutcome::kPoison, st};
+    }
+  }
+  {
+    const FailpointHit drop = HERMES_FAILPOINT_HIT("wal.os_buffer.drop");
+    if (drop.fired) {
+      // Power-loss model: the machine dies with the window's bytes still
+      // in the OS buffer cache — fsync never returned, so nothing past
+      // the previous synced watermark survives. The crash latch kills the
+      // "process"; DropUnsynced truncates the file to what a real disk
+      // would have kept.
+      HERMES_FAILPOINT_LATCH_CRASH("wal.os_buffer.drop");
+      if (Status st = file.DropUnsynced(); !st.ok()) {
+        return {CommitOutcome::kPoison, st};
+      }
+      return {CommitOutcome::kPoison,
+              Status::IOError("failpoint: wal.os_buffer.drop")};
+    }
+  }
+  {
+    const FailpointHit hit = HERMES_FAILPOINT_HIT("wal.sync.io_error");
+    if (hit.fired) {
+      return {CommitOutcome::kTransient,
+              Status::IOError("failpoint: wal.sync.io_error")};
+    }
+  }
+  if (Status st = file.Sync(); !st.ok()) {
+    return {CommitOutcome::kTransient, st};
+  }
+  return {CommitOutcome::kOk, Status::OK()};
+}
+
 }  // namespace
 
 std::uint32_t WalCrc32(const void* data, std::size_t size) {
@@ -107,18 +174,36 @@ std::uint32_t WalCrc32(const void* data, std::size_t size) {
   return crc ^ 0xffffffffu;
 }
 
-WriteAheadLog::WriteAheadLog(std::string path, std::ofstream out,
-                             std::uint64_t next_lsn)
+WriteAheadLog::WriteAheadLog(std::string path, FdAppender file,
+                             std::uint64_t next_lsn,
+                             const WalGroupCommitOptions& options)
     : path_(std::move(path)),
-      out_(std::move(out)),
+      file_(std::move(file)),
+      options_(options),
       next_lsn_(next_lsn),
+      durable_lsn_(next_lsn - 1),
       m_appends_(MetricsRegistry::Global().GetCounter("wal.appends")),
       m_append_bytes_(
           MetricsRegistry::Global().GetCounter("wal.append_bytes")),
       m_syncs_(MetricsRegistry::Global().GetCounter("wal.syncs")) {}
 
+WriteAheadLog::~WriteAheadLog() {
+  // A crash-latched failpoint means the "machine" died mid-run: the
+  // staged frames never reached the OS and must not be written by the
+  // destructor of the dead process.
+  if (kFailpointsEnabled && FailpointRegistry::Global().crashed()) return;
+  MutexLock lock(&mu_);
+  if (!file_.valid() || pending_.empty() || !poison_.ok()) return;
+  if (Status st = file_.Append(pending_.data(), pending_.size()); !st.ok()) {
+    // Best-effort close-time flush: losing appends that were never synced
+    // is within the durability contract (Sync() is the boundary).
+  }
+  pending_.clear();
+}
+
 Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
-                                          std::uint64_t min_next_lsn) {
+                                          std::uint64_t min_next_lsn,
+                                          const WalGroupCommitOptions& options) {
   // Scan any existing log to find the next LSN.
   std::uint64_t next_lsn = std::max<std::uint64_t>(min_next_lsn, 1);
   {
@@ -141,48 +226,194 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
       }
     }
   }
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out) return Status::IOError("cannot open WAL at " + path);
-  return WriteAheadLog(path, std::move(out), next_lsn);
+  HERMES_ASSIGN_OR_RETURN(FdAppender file, FdAppender::Open(path));
+  return WriteAheadLog(path, std::move(file), next_lsn, options);
 }
 
-Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry) {
-  MutexLock lock(&mu_);
-  // Transient failure before anything reaches the file or the LSN
-  // counter moves: the entry is simply rejected.
-  HERMES_FAILPOINT_IOERROR("wal.append.io_error");
-  // Crash before the write: the record is fully absent from the file.
-  HERMES_FAILPOINT_CRASH("wal.append.crash");
-  entry.lsn = next_lsn_++;
-  const std::string frame = EncodeEntry(entry);
-  const FailpointHit torn = HERMES_FAILPOINT_HIT("wal.append.short_write");
-  if (torn.fired) {
-    // Torn write: a prefix of the frame reaches the file and then the
-    // process dies. The crash latch guarantees nothing else can be
-    // appended after the tear — otherwise later (even synced) records
-    // would sit beyond a corrupt frame where replay cannot reach them.
-    const std::uint64_t want = torn.arg != 0 ? torn.arg : frame.size() / 2;
-    const auto cut = static_cast<std::streamsize>(
-        std::min<std::uint64_t>(want, frame.size() - 1));
-    out_.write(frame.data(), cut);
-    out_.flush();
-    HERMES_FAILPOINT_LATCH_CRASH("wal.append.short_write");
-    return Status::IOError("failpoint: wal.append.short_write");
+Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry, bool durable) {
+  std::uint64_t lsn = 0;
+  bool group_commit = true;
+  {
+    MutexLock lock(&mu_);
+    if (!poison_.ok()) return poison_;
+    // Transient failure before anything reaches the file or the LSN
+    // counter moves: the entry is simply rejected.
+    HERMES_FAILPOINT_IOERROR("wal.append.io_error");
+    // Crash before the write: the record is fully absent from the file.
+    HERMES_FAILPOINT_CRASH("wal.append.crash");
+    entry.lsn = next_lsn_++;
+    const std::string frame = EncodeEntry(entry);
+    const FailpointHit torn = HERMES_FAILPOINT_HIT("wal.append.short_write");
+    if (torn.fired) {
+      // Torn write: a prefix of the frame reaches the file and then the
+      // process dies. The tear must land at the true tail, so flush the
+      // staged frames first; skip all file access if a window leader is
+      // mid-flight (the crash latch makes the suffix unreachable anyway,
+      // and the leader owns the file while its fsync runs).
+      if (!leader_active_) {
+        if (Status staged = file_.Append(pending_.data(), pending_.size());
+            staged.ok()) {
+          pending_.clear();
+          pending_entries_ = 0;
+        }
+        const std::uint64_t want =
+            torn.arg != 0 ? torn.arg : frame.size() / 2;
+        const auto cut = static_cast<std::size_t>(
+            std::min<std::uint64_t>(want, frame.size() - 1));
+        if (Status tear = file_.Append(frame.data(), cut); !tear.ok()) {
+          // The tear itself is the injected failure; a second error while
+          // writing it changes nothing about the poisoned outcome below.
+        }
+      }
+      HERMES_FAILPOINT_LATCH_CRASH("wal.append.short_write");
+      // The entry never became part of the log: give its LSN back and
+      // poison the log — the file may end in a partial frame, so nothing
+      // may be appended until Open() truncates the tail.
+      --next_lsn_;
+      poison_ = Status::IOError(
+          "WAL poisoned by torn append (reopen to truncate the tail)");
+      return Status::IOError("failpoint: wal.append.short_write");
+    }
+    pending_ += frame;
+    ++pending_entries_;
+    m_appends_->Increment();
+    m_append_bytes_->Increment(frame.size());
+    lsn = entry.lsn;
+    group_commit = options_.enabled;
+    if (durable && !group_commit) {
+      // Per-append-fsync baseline: one write + one fsync per durable
+      // append, fully serialized under mu_.
+      HERMES_RETURN_NOT_OK(CommitPendingLocked());
+      return lsn;
+    }
+    if (leader_waiting_ &&
+        (pending_.size() >= options_.max_window_bytes ||
+         pending_entries_ >= options_.max_window_entries)) {
+      arrival_cv_.NotifyAll();
+    }
   }
-  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  if (!out_) return Status::IOError("WAL append failed");
-  m_appends_->Increment();
-  m_append_bytes_->Increment(frame.size());
-  return entry.lsn;
+  if (durable) {
+    HERMES_RETURN_NOT_OK(SyncUntil(lsn));
+  }
+  return lsn;
+}
+
+Status WriteAheadLog::CommitPendingLocked() {
+  std::string batch;
+  batch.swap(pending_);
+  const std::size_t batch_entries = pending_entries_;
+  pending_entries_ = 0;
+  const std::uint64_t batch_end = next_lsn_ - 1;
+  const CommitResult commit = CommitBatchIo(file_, batch);
+  switch (commit.outcome) {
+    case CommitOutcome::kOk:
+      durable_lsn_ = std::max(durable_lsn_, batch_end);
+      ++fsync_count_;
+      m_syncs_->Increment();
+      return Status::OK();
+    case CommitOutcome::kRestage:
+      // Nothing reached the file. Put the batch back *in front of* any
+      // frames staged meanwhile so the on-disk order stays the LSN order.
+      batch += pending_;
+      pending_ = std::move(batch);
+      pending_entries_ += batch_entries;
+      return commit.status;
+    case CommitOutcome::kPoison:
+      poison_ = commit.status;
+      return commit.status;
+    case CommitOutcome::kTransient:
+      return commit.status;
+  }
+  return Status::Internal("unreachable commit outcome");
 }
 
 Status WriteAheadLog::Sync() {
-  MutexLock lock(&mu_);
-  HERMES_FAILPOINT_IOERROR("wal.sync.io_error");
-  out_.flush();
-  if (!out_) return Status::IOError("WAL sync failed");
-  m_syncs_->Increment();
-  return Status::OK();
+  std::uint64_t target = 0;
+  {
+    MutexLock lock(&mu_);
+    if (!poison_.ok()) return poison_;
+    target = next_lsn_ - 1;
+  }
+  return SyncUntil(target);
+}
+
+Status WriteAheadLog::SyncUntil(std::uint64_t lsn) {
+  for (;;) {
+    std::string batch;
+    std::size_t batch_entries = 0;
+    std::uint64_t batch_end = 0;
+    FdAppender* file = nullptr;
+    {
+      MutexLock lock(&mu_);
+      if (!poison_.ok()) return poison_;
+      if (lsn >= next_lsn_) lsn = next_lsn_ - 1;  // clamp to assigned LSNs
+      if (durable_lsn_ >= lsn) return Status::OK();
+      if (leader_active_) {
+        // Another thread's window is in flight; it covers every LSN
+        // assigned before its swap. Wait for its verdict and re-check.
+        commit_cv_.Wait(&mu_);
+        continue;
+      }
+      if (!options_.enabled) {
+        // Per-append-fsync mode: no leader protocol, no batching across
+        // callers — write + fsync while holding mu_.
+        HERMES_RETURN_NOT_OK(CommitPendingLocked());
+        continue;
+      }
+      leader_active_ = true;
+      if (options_.max_window_delay_us > 0) {
+        // Linger for more arrivals so sub-threshold windows amortize the
+        // fsync better. Appenders notify when a bound is crossed.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(options_.max_window_delay_us);
+        leader_waiting_ = true;
+        while (pending_.size() < options_.max_window_bytes &&
+               pending_entries_ < options_.max_window_entries) {
+          if (arrival_cv_.WaitUntil(&mu_, deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
+        leader_waiting_ = false;
+      }
+      batch.swap(pending_);
+      batch_entries = pending_entries_;
+      pending_entries_ = 0;
+      batch_end = next_lsn_ - 1;
+      // The leader token makes this thread the only one touching the
+      // file until leader_active_ clears, so the pointer may be used
+      // with mu_ released.
+      file = &file_;
+    }
+
+    const CommitResult commit = CommitBatchIo(*file, batch);
+
+    MutexLock lock(&mu_);
+    leader_active_ = false;
+    commit_cv_.NotifyAll();
+    switch (commit.outcome) {
+      case CommitOutcome::kOk:
+        durable_lsn_ = std::max(durable_lsn_, batch_end);
+        ++fsync_count_;
+        m_syncs_->Increment();
+        if (durable_lsn_ >= lsn) return Status::OK();
+        continue;
+      case CommitOutcome::kRestage:
+        batch += pending_;
+        pending_ = std::move(batch);
+        pending_entries_ += batch_entries;
+        return commit.status;
+      case CommitOutcome::kPoison:
+        poison_ = commit.status;
+        return commit.status;
+      case CommitOutcome::kTransient:
+        // The batch is in the file but not on disk; waiters re-loop and
+        // a later window's fsync can still make it durable.
+        return commit.status;
+    }
+    return Status::Internal("unreachable commit outcome");
+  }
 }
 
 Result<std::uint64_t> WriteAheadLog::LogCheckpoint() {
@@ -211,12 +442,25 @@ Result<std::vector<WalEntry>> WriteAheadLog::ReadAll(
 
 Status WriteAheadLog::Reset() {
   MutexLock lock(&mu_);
-  out_.close();
-  std::ofstream truncate(path_, std::ios::binary | std::ios::trunc);
-  if (!truncate) return Status::IOError("WAL truncate failed");
-  truncate.close();
-  out_.open(path_, std::ios::binary | std::ios::app);
-  if (!out_) return Status::IOError("WAL reopen failed");
+  if (!poison_.ok()) return poison_;
+  while (leader_active_) commit_cv_.Wait(&mu_);
+  const FailpointHit hit = HERMES_FAILPOINT_HIT("wal.reset.io_error");
+  if (hit.fired) {
+    poison_ = Status::IOError(
+        "WAL poisoned by failed Reset (truncate failed: failpoint "
+        "wal.reset.io_error); reopen the log to recover");
+    return poison_;
+  }
+  if (Status st = file_.Truncate(); !st.ok()) {
+    poison_ = Status::IOError("WAL poisoned by failed Reset (" +
+                              st.message() + "); reopen the log to recover");
+    return poison_;
+  }
+  // Everything below next_lsn_ is covered by the snapshot that justified
+  // this Reset; staged frames are redundant and the empty log is durable.
+  pending_.clear();
+  pending_entries_ = 0;
+  durable_lsn_ = next_lsn_ - 1;
   return Status::OK();
 }
 

@@ -2,7 +2,6 @@
 #define HERMES_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
+#include "storage/fd_appender.h"
 
 namespace hermes {
 
@@ -47,15 +47,49 @@ struct WalEntry {
   }
 };
 
+/// Tuning knobs for the group-commit window (DESIGN.md §"Durability
+/// semantics"). A window closes — one contiguous write + one fsync — when
+/// any bound is reached: staged bytes, staged entries, or the optional
+/// leader linger. With `enabled` false the log falls back to
+/// per-append-fsync (each durable append performs its own write+fsync
+/// inside the append critical section) — the baseline mode the
+/// write_throughput bench compares against.
+struct WalGroupCommitOptions {
+  bool enabled = true;
+  std::size_t max_window_bytes = std::size_t{1} << 20;
+  std::size_t max_window_entries = 1024;
+  /// How long the commit leader lingers for more arrivals before closing
+  /// a sub-threshold window. 0 (default) = close immediately; natural
+  /// batching still happens because appenders accumulate while the
+  /// previous window's fsync is in flight.
+  std::uint32_t max_window_delay_us = 0;
+};
+
 /// Append-only write-ahead log with CRC-protected, length-prefixed binary
 /// records. Mutations are logged before they are applied to the store
 /// (WAL rule); recovery replays every complete entry after the last
 /// checkpoint and discards a torn tail (crash during append).
 ///
-/// Thread-safe: concurrent Append()s are serialized under `mu_` (LSN
-/// assignment and the stream write happen atomically, so frames never
-/// interleave). Moving a WriteAheadLog is only legal while no other
-/// thread uses it (it happens once, inside Open()).
+/// Durability contract: Append() stages the encoded frame in memory and
+/// assigns its LSN; Sync()/SyncUntil() (or `Append(..., durable=true)`)
+/// force it to stable storage via a real fsync and return only once
+/// `durable_lsn() >= lsn`. Concurrent durable appenders are batched by a
+/// group-commit leader: one contiguous write + one fsync per window, every
+/// waiter woken with the window's Status (per-waiter propagation — a
+/// failed window reports the failure to each caller that depended on it).
+///
+/// Failure model: a write failure that may have left a partial frame in
+/// the file rolls back nothing it cannot prove absent — the log is
+/// *poisoned* (every later Append/Sync/Reset returns the sticky poison
+/// Status) until reopened, at which point Open() truncates the torn tail.
+/// A failed fsync is transient: the bytes are in the file, the window
+/// reports the error, and a later window may retry the sync.
+///
+/// Thread-safe: staging is serialized under `mu_` (LSN assignment and the
+/// frame ordering are atomic, so frames never interleave); file I/O is
+/// performed outside `mu_` by the single window leader. Moving a
+/// WriteAheadLog is only legal while no other thread uses it (it happens
+/// once, inside Open()).
 class WriteAheadLog {
  public:
   /// Opens (creating if needed) the log at `path` for appending. LSNs
@@ -65,32 +99,61 @@ class WriteAheadLog {
   /// collide with the range the snapshot already covers (a checkpoint
   /// truncates the log, so a freshly scanned file alone would restart
   /// LSNs at 1).
-  [[nodiscard]] static Result<WriteAheadLog> Open(const std::string& path,
-                                    std::uint64_t min_next_lsn = 1);
+  [[nodiscard]] static Result<WriteAheadLog> Open(
+      const std::string& path, std::uint64_t min_next_lsn = 1,
+      const WalGroupCommitOptions& options = {});
 
+  ~WriteAheadLog();
   WriteAheadLog(WriteAheadLog&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
       : path_(std::move(other.path_)),
-        out_(std::move(other.out_)),
+        file_(std::move(other.file_)),
+        options_(other.options_),
+        pending_(std::move(other.pending_)),
+        pending_entries_(other.pending_entries_),
         next_lsn_(other.next_lsn_),
+        durable_lsn_(other.durable_lsn_),
+        fsync_count_(other.fsync_count_),
+        poison_(std::move(other.poison_)),
         m_appends_(other.m_appends_),
         m_append_bytes_(other.m_append_bytes_),
-        m_syncs_(other.m_syncs_) {}
+        m_syncs_(other.m_syncs_) {
+    other.pending_entries_ = 0;
+  }
   WriteAheadLog& operator=(WriteAheadLog&& other) noexcept
       NO_THREAD_SAFETY_ANALYSIS {
     path_ = std::move(other.path_);
-    out_ = std::move(other.out_);
+    file_ = std::move(other.file_);
+    options_ = other.options_;
+    pending_ = std::move(other.pending_);
+    pending_entries_ = other.pending_entries_;
     next_lsn_ = other.next_lsn_;
+    durable_lsn_ = other.durable_lsn_;
+    fsync_count_ = other.fsync_count_;
+    poison_ = std::move(other.poison_);
     m_appends_ = other.m_appends_;
     m_append_bytes_ = other.m_append_bytes_;
     m_syncs_ = other.m_syncs_;
+    other.pending_entries_ = 0;
     return *this;
   }
 
-  /// Appends an entry; assigns and returns its LSN.
-  [[nodiscard]] Result<std::uint64_t> Append(WalEntry entry) EXCLUDES(mu_);
+  /// Appends an entry; assigns and returns its LSN. With `durable` true
+  /// the call also blocks until the entry is fsynced (joining the current
+  /// group-commit window); with `durable` false the frame is staged in
+  /// memory and reaches the OS at the next window, Sync(), or clean
+  /// close.
+  [[nodiscard]] Result<std::uint64_t> Append(WalEntry entry,
+                                             bool durable = false)
+      EXCLUDES(mu_);
 
-  /// Forces buffered appends to the OS.
+  /// Forces every appended entry to stable storage (fsync), equivalent to
+  /// SyncUntil(next_lsn() - 1).
   [[nodiscard]] Status Sync() EXCLUDES(mu_);
+
+  /// Blocks until `durable_lsn() >= lsn` (clamped to the last assigned
+  /// LSN). Returns the commit window's Status on failure — each waiter of
+  /// a failed window observes that window's error.
+  [[nodiscard]] Status SyncUntil(std::uint64_t lsn) EXCLUDES(mu_);
 
   /// Appends a checkpoint marker (call right after a snapshot succeeds).
   [[nodiscard]] Result<std::uint64_t> LogCheckpoint() EXCLUDES(mu_);
@@ -101,23 +164,64 @@ class WriteAheadLog {
   [[nodiscard]] static Result<std::vector<WalEntry>> ReadAll(
       const std::string& path, bool after_last_checkpoint = false);
 
-  /// Truncates the log (after a snapshot made it redundant).
+  /// Truncates the log (after a snapshot made it redundant). A Reset that
+  /// fails mid-way poisons the log with a Status naming the failed step —
+  /// later appends report the cause instead of a generic write error.
   [[nodiscard]] Status Reset() EXCLUDES(mu_);
 
   std::uint64_t next_lsn() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return next_lsn_;
   }
+  /// Highest LSN known forced to stable storage.
+  std::uint64_t durable_lsn() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return durable_lsn_;
+  }
+  /// Number of successful fsync windows since Open (deterministic,
+  /// per-log — unlike the process-wide `wal.syncs` counter).
+  std::uint64_t fsync_count() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return fsync_count_;
+  }
   const std::string& path() const { return path_; }
 
  private:
-  WriteAheadLog(std::string path, std::ofstream out, std::uint64_t next_lsn);
+  WriteAheadLog(std::string path, FdAppender file, std::uint64_t next_lsn,
+                const WalGroupCommitOptions& options);
+
+  /// Per-append-fsync mode and Reset/destructor helper: writes + fsyncs
+  /// the staged buffer while still holding `mu_`.
+  [[nodiscard]] Status CommitPendingLocked() REQUIRES(mu_);
 
   // audit:allow(guard, written only at construction and by move-assignment)
   std::string path_;
   mutable Mutex mu_{"wal.mu", lock_order::kRankWal};
-  std::ofstream out_ GUARDED_BY(mu_);
+  /// The group-commit leader accesses `file_` *outside* `mu_` while
+  /// `leader_active_` is set — the leader token grants exclusive file
+  /// access so staging never blocks behind an fsync.
+  FdAppender file_ GUARDED_BY(mu_);
+  WalGroupCommitOptions options_ GUARDED_BY(mu_);
+  /// Encoded frames accepted but not yet handed to the OS, in LSN order.
+  std::string pending_ GUARDED_BY(mu_);
+  std::size_t pending_entries_ GUARDED_BY(mu_) = 0;
   std::uint64_t next_lsn_ GUARDED_BY(mu_) = 1;
+  /// Highest LSN covered by a successful fsync (or by the snapshot after
+  /// Reset).
+  std::uint64_t durable_lsn_ GUARDED_BY(mu_) = 0;
+  std::uint64_t fsync_count_ GUARDED_BY(mu_) = 0;
+  /// True while one thread (the window leader) performs file I/O with
+  /// `mu_` released.
+  bool leader_active_ GUARDED_BY(mu_) = false;
+  /// True while the leader lingers for more arrivals
+  /// (max_window_delay_us); Append() notifies `arrival_cv_` when a window
+  /// bound is crossed.
+  bool leader_waiting_ GUARDED_BY(mu_) = false;
+  /// Sticky failure: set when the file may hold a partial frame (torn
+  /// append, failed batch write) or a Reset failed. OK when healthy.
+  Status poison_ GUARDED_BY(mu_);
+  CondVar commit_cv_;   // leader done: durable_lsn_/poison_ changed
+  CondVar arrival_cv_;  // staged bytes/entries crossed a window bound
 
   // Observability (all logs share the process-wide counters; DESIGN.md §7).
   Counter* m_appends_ = nullptr;

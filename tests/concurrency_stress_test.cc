@@ -363,6 +363,88 @@ TEST(ConcurrencyStressTest, WalConcurrentAppendsKeepFramesIntact) {
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[t], kPerThread);
 }
 
+// Concurrent DURABLE appenders: every Append(durable=true) that returns
+// OK must be fsynced, and the leader/follower protocol must batch the
+// callers into shared commit windows instead of one fsync per append.
+TEST(ConcurrencyStressTest, WalConcurrentDurableAppendsShareFsyncWindows) {
+  const std::string path = TempFile("cc_wal_durable.log");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_OK(wal);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&wal, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          WalEntry e;
+          e.type = WalOpType::kSetNodeProperty;
+          e.a = static_cast<VertexId>(t);
+          e.key = static_cast<std::uint32_t>(i);
+          e.payload = std::string(9 + (i % 3), static_cast<char>('a' + t));
+          auto lsn = wal->Append(e, /*durable=*/true);
+          ASSERT_OK(lsn);
+          // The durable contract: returning means fsynced through my LSN.
+          ASSERT_GE(wal->durable_lsn(), *lsn);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const std::uint64_t total = kThreads * kPerThread;
+    EXPECT_EQ(wal->next_lsn(), total + 1);
+    EXPECT_EQ(wal->durable_lsn(), total);
+    // Group commit can only merge windows, never add fsyncs beyond one
+    // per durable append (the scheduling-dependent lower bound is proven
+    // deterministically in wal_test.cc).
+    EXPECT_GE(wal->fsync_count(), 1u);
+    EXPECT_LE(wal->fsync_count(), total);
+  }
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_OK(entries);
+  ASSERT_EQ(entries->size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::set<std::uint64_t> lsns;
+  for (const WalEntry& e : *entries) {
+    lsns.insert(e.lsn);
+    EXPECT_EQ(e.payload, std::string(9 + (e.key % 3),
+                                     static_cast<char>('a' + e.a)));
+  }
+  EXPECT_EQ(lsns.size(), entries->size());
+  EXPECT_EQ(*lsns.begin(), 1u);
+  EXPECT_EQ(*lsns.rbegin(), entries->size());
+}
+
+// Concurrent Sync() callers racing concurrent appenders: each Sync must
+// cover everything appended before it was called, and none may deadlock
+// with the appenders' arrival notifications.
+TEST(ConcurrencyStressTest, WalSyncersRaceAppenders) {
+  const std::string path = TempFile("cc_wal_syncers.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_OK(wal);
+  constexpr int kAppenders = 3;
+  constexpr int kPerThread = 40;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kAppenders; ++t) {
+    threads.emplace_back([&wal, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        WalEntry e;
+        e.type = WalOpType::kCreateNode;
+        e.a = static_cast<VertexId>(t * kPerThread + i);
+        ASSERT_OK(wal->Append(e));
+      }
+    });
+  }
+  threads.emplace_back([&wal] {
+    for (int i = 0; i < 20; ++i) ASSERT_OK(wal->Sync());
+  });
+  for (auto& t : threads) t.join();
+  ASSERT_OK(wal->Sync());
+  EXPECT_EQ(wal->durable_lsn(), kAppenders * kPerThread);
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_OK(entries);
+  EXPECT_EQ(entries->size(),
+            static_cast<std::size_t>(kAppenders * kPerThread));
+}
+
 // --- DurableGraphStore -----------------------------------------------------
 
 // Concurrent logged mutations on one partition store, then recovery from
@@ -411,6 +493,95 @@ TEST(ConcurrencyStressTest, DurableStoreConcurrentMutationsRecover) {
     }
   }
   std::filesystem::remove_all(dir);
+}
+
+// durable_mutations mode under contention: every mutation that returned
+// OK must survive an immediate reopen WITHOUT any explicit Sync — the
+// whole point of the per-mutation durability contract.
+TEST(ConcurrencyStressTest, DurableStoreDurableMutationsSurviveReopen) {
+  const std::string dir = ::testing::TempDir() + "/cc_durable_mutations";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  constexpr int kThreads = 4;
+  constexpr int kNodesPerThread = 25;
+  {
+    DurableGraphStore::Options options;
+    options.durable_mutations = true;
+    auto store = DurableGraphStore::Open(0, dir, options);
+    ASSERT_OK(store);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&store, t] {
+        for (int i = 0; i < kNodesPerThread; ++i) {
+          const auto id = static_cast<VertexId>(t * kNodesPerThread + i);
+          ASSERT_OK((*store)->CreateNode(id, 1.0));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ((*store)->durable_lsn(),
+              static_cast<std::uint64_t>(kThreads * kNodesPerThread));
+    // No Sync() here — the mutations must already be on the platter.
+  }
+  auto recovered = DurableGraphStore::Open(0, dir);
+  ASSERT_OK(recovered);
+  EXPECT_EQ((*recovered)->store().NumNodes(),
+            static_cast<std::size_t>(kThreads * kNodesPerThread));
+  std::filesystem::remove_all(dir);
+}
+
+// --- PageCache (sharded) ---------------------------------------------------
+
+// A capacity of 64 auto-selects 8 shards; hammer all of them with misses,
+// hits, evictions, and a thundering herd on single cold pages so the
+// busy-frame placeholder protocol (one load per page, everyone else
+// waits) is exercised under TSan.
+TEST(ConcurrencyStressTest, ShardedPageCacheKeepsPagesConsistent) {
+  auto file = PagedFile::Open(TempFile("cc_sharded.pg"));
+  ASSERT_OK(file);
+  PageCache cache(&*file, /*capacity_pages=*/64);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  constexpr int kThreads = 4;
+  constexpr int kPages = 96;  // > capacity: constant eviction traffic
+  constexpr int kOpsPerThread = 400;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Every 7th op all threads converge on the same page so several
+        // pinners race one miss load.
+        const std::uint64_t page_no =
+            (i % 7 == 0) ? static_cast<std::uint64_t>(i % kPages)
+                         : static_cast<std::uint64_t>((i * 11 + t * 5) %
+                                                      kPages);
+        auto page = cache.Pin(page_no);
+        ASSERT_OK(page);
+        ++(*page)->bytes[static_cast<std::size_t>(t)];
+        cache.Unpin(page_no, /*dirty=*/true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_OK(cache.FlushAll());
+  EXPECT_GE(cache.stats().evictions, 1u);
+
+  // Per-thread byte lanes: no increment may be lost to a racy load or
+  // write-back.
+  for (int p = 0; p < kPages; ++p) {
+    Page on_disk;
+    ASSERT_OK(file->ReadPage(static_cast<std::uint64_t>(p), &on_disk));
+    for (int t = 0; t < kThreads; ++t) {
+      int expected = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int page_no = (i % 7 == 0) ? i % kPages : (i * 11 + t * 5) % kPages;
+        if (page_no == p) ++expected;
+      }
+      EXPECT_EQ(static_cast<int>(on_disk.bytes[static_cast<std::size_t>(t)]),
+                expected % 256)
+          << "page " << p << " thread " << t;
+    }
+  }
 }
 
 // --- IdGenerator -----------------------------------------------------------

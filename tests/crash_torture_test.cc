@@ -286,6 +286,7 @@ std::string DescribeSchedule(const std::vector<ArmedPoint>& schedule) {
 constexpr const char* kCrashSites[] = {
     "wal.append.crash",
     "wal.append.short_write",
+    "wal.os_buffer.drop",  // power loss drops un-fsynced OS buffers
     "paged_file.write.short_write",
     "durable_store.checkpoint.crash",
     "durable_store.checkpoint.after_snapshot.crash",
@@ -294,6 +295,7 @@ constexpr const char* kCrashSites[] = {
 };
 constexpr const char* kTransientSites[] = {
     "wal.append.io_error",   "wal.sync.io_error",
+    "wal.flush.io_error",
     "paged_file.read.io_error", "paged_file.write.io_error",
     "paged_file.sync.io_error",
 };
@@ -598,6 +600,55 @@ TEST_F(FailpointTest, TornWalAppendLosesOnlyTheTornOp) {
   EXPECT_TRUE(reopened->get()->store().NodeExists(2));
   EXPECT_FALSE(reopened->get()->store().NodeExists(3));
   EXPECT_FALSE(reopened->get()->store().NodeExists(4));
+}
+
+// The durability-hole regression at the store level: ops synced before a
+// power loss survive; ops that only reached the OS page cache are gone —
+// and recovery sees EXACTLY the fsynced prefix, nothing in between.
+TEST_F(FailpointTest, OsBufferDropRecoversExactlyTheFsyncedPrefix) {
+  const std::string dir = FreshDir("torture_os_drop");
+  {
+    auto db = DurableGraphStore::Open(0, dir);
+    ASSERT_OK(db->get()->CreateNode(1, 1.0));
+    ASSERT_OK(db->get()->CreateNode(2, 1.0));
+    ASSERT_OK(db->get()->Sync());  // nodes 1,2 fsynced
+    ASSERT_OK(db->get()->CreateNode(3, 1.0));  // staged + OS-buffered only
+
+    FailpointConfig cfg;
+    cfg.policy = FailpointConfig::Policy::kNthHit;
+    cfg.n = 1;
+    FailpointRegistry::Global().Arm("wal.os_buffer.drop", cfg);
+    // Power loss strikes during the commit window: the write()s for node
+    // 3 are in flight in OS buffers and never reach the platter.
+    EXPECT_FALSE(db->get()->Sync().ok());
+    EXPECT_TRUE(FailpointRegistry::Global().crashed());
+  }
+  FailpointRegistry::Global().Reset();
+  auto reopened = DurableGraphStore::Open(0, dir);
+  ASSERT_OK(reopened);
+  EXPECT_TRUE(reopened->get()->store().NodeExists(1));
+  EXPECT_TRUE(reopened->get()->store().NodeExists(2));
+  EXPECT_FALSE(reopened->get()->store().NodeExists(3));
+}
+
+// With durable_mutations on, a mutation that returned OK is durable,
+// full stop: a power loss immediately after must not lose it.
+TEST_F(FailpointTest, DurableMutationSurvivesImmediatePowerLoss) {
+  const std::string dir = FreshDir("torture_durable_mutation");
+  {
+    DurableGraphStore::Options options;
+    options.durable_mutations = true;
+    auto db = DurableGraphStore::Open(0, dir, options);
+    ASSERT_OK(db);
+    ASSERT_OK(db->get()->CreateNode(1, 1.0));  // returns => fsynced
+    // Simulated power loss with nothing staged: the latch kills all
+    // later I/O, and the destructor must not flush anything.
+    FailpointRegistry::Global().LatchCrash("test.power_loss");
+  }
+  FailpointRegistry::Global().Reset();
+  auto reopened = DurableGraphStore::Open(0, dir);
+  ASSERT_OK(reopened);
+  EXPECT_TRUE(reopened->get()->store().NodeExists(1));
 }
 
 TEST_F(FailpointTest, CrashBetweenSnapshotAndTruncateDoesNotDoubleApply) {

@@ -18,6 +18,9 @@ the regressions that motivated rule changes:
     sites inside src/storage//src/graphdb/ and on sanitizer presets.
   * Real sleeps (sleep_for/sleep_until) in src/ must be flagged outside
     the cluster's opt-in hop-latency model (hermes_cluster.cc).
+  * Write-path streams in src/storage/ must be flagged
+    (std::ofstream/std::fstream can never fsync) while read-only
+    std::ifstream and ofstreams outside the storage layer stay quiet.
 
 Usage: tests/lint_selftest.py [repo_root]   (exit 0 = all cases pass)
 """
@@ -195,6 +198,37 @@ def case_real_sleeps_are_contained():
               "hermes_cluster.cc" not in out, out)
 
 
+def case_storage_write_streams_are_banned():
+    """The WAL durability hole shipped because std::ofstream::flush()
+    looks like a sync; the rule pins every storage write path to the fd
+    appender, whose Sync() is a real fsync."""
+    print("case: std::ofstream in src/storage/ is flagged; ifstream and "
+          "non-storage ofstreams are not")
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        write(root, "src/CMakeLists.txt",
+              "add_library(x STATIC storage/bad.cc storage/scan.cc "
+              "sim/report.cc)\n")
+        write(root, "src/storage/bad.cc",
+              "#include <fstream>\n"
+              "void w() { std::ofstream out(\"wal.log\"); out << 1; }\n")
+        write(root, "src/storage/scan.cc",
+              "#include <fstream>\n"
+              "int r() { std::ifstream in(\"wal.log\"); return in.get(); }\n")
+        write(root, "src/sim/report.cc",
+              "#include <fstream>\n"
+              "void dump() { std::ofstream out(\"report.json\"); }\n")
+        code, out = run_lint(root)
+        check("storage ofstream exits 1",
+              code == 1 and "storage/bad.cc" in out, out)
+        check("finding points at the fd appender",
+              "fd_appender" in out, out)
+        check("read-only ifstream in storage is quiet",
+              "storage/scan.cc" not in out, out)
+        check("ofstream outside src/storage/ is quiet",
+              "sim/report.cc" not in out, out)
+
+
 def case_repo_itself_is_clean():
     print("case: the repo itself lints clean")
     code, out = run_lint(REPO_ROOT)
@@ -209,6 +243,7 @@ def main():
                  case_failpoint_containment,
                  case_failpoints_must_stay_out_of_release,
                  case_real_sleeps_are_contained,
+                 case_storage_write_streams_are_banned,
                  case_repo_itself_is_clean):
         case()
     if FAILURES:

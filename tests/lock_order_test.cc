@@ -27,9 +27,9 @@ namespace {
 using std::chrono::milliseconds;
 
 TEST(LockOrderTest, MutexCarriesNameAndRank) {
-  Mutex mu("test.named.mu", lock_order::kRankPageCache);
+  Mutex mu("test.named.mu", lock_order::kRankPagedFile);
   EXPECT_STREQ(mu.name(), "test.named.mu");
-  EXPECT_EQ(mu.rank(), lock_order::kRankPageCache);
+  EXPECT_EQ(mu.rank(), lock_order::kRankPagedFile);
 
   Mutex plain;
   EXPECT_STREQ(plain.name(), "<unranked>");

@@ -10,6 +10,7 @@
 
 #include "test_util.h"
 
+#include "common/failpoint.h"
 #include "storage/wal.h"
 
 namespace hermes {
@@ -302,6 +303,180 @@ TEST(WalTest, Crc32KnownVector) {
   // CRC-32C of "123456789" is 0xE3069283 (RFC 3720 test vector).
   EXPECT_EQ(WalCrc32("123456789", 9), 0xE3069283u);
   EXPECT_EQ(WalCrc32("", 0), 0u);
+}
+
+// --- durability / group commit -------------------------------------------
+
+TEST(WalTest, SyncBatchesStagedAppendsIntoOneFsync) {
+  const std::string path = TempLog("wal_group.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_OK(wal);
+  for (VertexId i = 0; i < 10; ++i) {
+    ASSERT_OK(wal->Append(MakeEdgeEntry(i, i + 1)));
+  }
+  EXPECT_EQ(wal->durable_lsn(), 0u);  // staged, not yet durable
+  const std::uint64_t fsyncs_before = wal->fsync_count();
+  ASSERT_OK(wal->Sync());
+  EXPECT_EQ(wal->fsync_count(), fsyncs_before + 1);  // one window, one fsync
+  EXPECT_EQ(wal->durable_lsn(), 10u);
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_OK(entries);
+  EXPECT_EQ(entries->size(), 10u);
+}
+
+TEST(WalTest, DurableAppendAdvancesDurableLsn) {
+  const std::string path = TempLog("wal_durable_append.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_OK(wal);
+  auto lsn = wal->Append(MakeEdgeEntry(1, 2), /*durable=*/true);
+  ASSERT_OK(lsn);
+  EXPECT_GE(wal->durable_lsn(), *lsn);
+  EXPECT_GE(wal->fsync_count(), 1u);
+}
+
+TEST(WalTest, PerAppendFsyncModeSyncsEveryDurableAppend) {
+  const std::string path = TempLog("wal_perappend.log");
+  WalGroupCommitOptions options;
+  options.enabled = false;  // the pre-group-commit baseline
+  auto wal = WriteAheadLog::Open(path, 1, options);
+  ASSERT_OK(wal);
+  for (VertexId i = 0; i < 4; ++i) {
+    ASSERT_OK(wal->Append(MakeEdgeEntry(i, i + 1), /*durable=*/true));
+  }
+  EXPECT_EQ(wal->fsync_count(), 4u);  // one fsync per append, no batching
+  EXPECT_EQ(wal->durable_lsn(), 4u);
+}
+
+// Regression (pre-fix the first expectation fails): a failed append used
+// to advance next_lsn_ anyway, so the LSN sequence had a hole and the
+// log kept accepting appends beyond a tail of unknown state.
+TEST(WalTest, FailedAppendRollsBackLsnAndPoisonsTheLog) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "needs HERMES_FAILPOINTS (asan-ubsan / tsan presets)";
+  }
+  const std::string path = TempLog("wal_append_rollback.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_OK(wal);
+    ASSERT_OK(wal->Append(MakeEdgeEntry(1, 2)));
+    ASSERT_OK(wal->Sync());
+    const std::uint64_t lsn_before = wal->next_lsn();
+
+    FailpointConfig cfg;
+    cfg.policy = FailpointConfig::Policy::kNthHit;
+    cfg.n = 1;
+    FailpointRegistry::Global().Arm("wal.append.short_write", cfg);
+    auto torn = wal->Append(MakeEdgeEntry(3, 4));
+    ASSERT_FALSE(torn.ok());
+    FailpointRegistry::Global().Reset();  // release the crash latch
+
+    // The failed append's LSN must not be consumed...
+    EXPECT_EQ(wal->next_lsn(), lsn_before);
+    // ...and the log is poisoned until reopen: nothing may land after a
+    // tail whose on-disk state is unknown.
+    auto after = wal->Append(MakeEdgeEntry(5, 6));
+    ASSERT_FALSE(after.ok());
+    EXPECT_NE(after.status().message().find("poisoned"), std::string::npos);
+    EXPECT_FALSE(wal->Sync().ok());
+  }
+  FailpointRegistry::Global().Reset();
+  // Reopen truncates the torn tail and recovers the synced prefix.
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_OK(wal);
+  EXPECT_EQ(wal->next_lsn(), 2u);
+  ASSERT_OK(wal->Append(MakeEdgeEntry(7, 8), /*durable=*/true));
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_OK(entries);
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ(entries->back().a, 7u);
+}
+
+// Regression (pre-fix this silently returned OK on the next append): a
+// Reset() that failed at the truncate step left the file still holding
+// the old records while the in-memory log believed it was empty.
+TEST(WalTest, FailedResetPoisonsAndNamesTheReset) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "needs HERMES_FAILPOINTS (asan-ubsan / tsan presets)";
+  }
+  const std::string path = TempLog("wal_reset_fail.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_OK(wal);
+  ASSERT_OK(wal->Append(MakeEdgeEntry(1, 2), /*durable=*/true));
+
+  FailpointConfig cfg;
+  cfg.policy = FailpointConfig::Policy::kNthHit;
+  cfg.n = 1;
+  FailpointRegistry::Global().Arm("wal.reset.io_error", cfg);
+  const Status reset = wal->Reset();
+  FailpointRegistry::Global().Reset();
+  ASSERT_FALSE(reset.ok());
+
+  // Sticky: every later operation names the failed Reset instead of
+  // pretending the log is usable.
+  auto after = wal->Append(MakeEdgeEntry(3, 4));
+  ASSERT_FALSE(after.ok());
+  EXPECT_NE(after.status().message().find("Reset"), std::string::npos);
+  EXPECT_FALSE(wal->Sync().ok());
+}
+
+// Regression for the durability hole itself: pre-fix Sync() was
+// ofstream::flush(), which hands bytes to the OS and survives nothing.
+// Modeled here: entries synced before a power loss survive it; entries
+// merely appended (sitting in OS buffers) do not.
+TEST(WalTest, OsBufferDropLosesExactlyTheUnsyncedSuffix) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "needs HERMES_FAILPOINTS (asan-ubsan / tsan presets)";
+  }
+  const std::string path = TempLog("wal_os_drop.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_OK(wal);
+    ASSERT_OK(wal->Append(MakeEdgeEntry(1, 2)));
+    ASSERT_OK(wal->Sync());  // entry 1 reaches the platter
+    ASSERT_OK(wal->Append(MakeEdgeEntry(3, 4)));  // entry 2 stays buffered
+
+    FailpointConfig cfg;
+    cfg.policy = FailpointConfig::Policy::kNthHit;
+    cfg.n = 1;
+    FailpointRegistry::Global().Arm("wal.os_buffer.drop", cfg);
+    EXPECT_FALSE(wal->Sync().ok());  // power loss during the commit window
+  }
+  FailpointRegistry::Global().Reset();
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_OK(entries);
+  ASSERT_EQ(entries->size(), 1u);  // exactly the fsynced prefix
+  EXPECT_EQ(entries->front().a, 1u);
+
+  // Recovery continues cleanly after the synced prefix.
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_OK(wal);
+  EXPECT_EQ(wal->next_lsn(), 2u);
+}
+
+// A transient fsync failure (device hiccup, not a crash) must not poison
+// the log: the bytes are in the file, and a later window's fsync covers
+// them.
+TEST(WalTest, TransientFsyncFailureIsRetryable) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "needs HERMES_FAILPOINTS (asan-ubsan / tsan presets)";
+  }
+  const std::string path = TempLog("wal_transient.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_OK(wal);
+  ASSERT_OK(wal->Append(MakeEdgeEntry(1, 2)));
+
+  FailpointConfig cfg;
+  cfg.policy = FailpointConfig::Policy::kNthHit;
+  cfg.n = 1;
+  FailpointRegistry::Global().Arm("wal.sync.io_error", cfg);
+  EXPECT_FALSE(wal->Sync().ok());
+  FailpointRegistry::Global().Reset();
+
+  ASSERT_OK(wal->Sync());  // retry succeeds; nothing was lost
+  EXPECT_EQ(wal->durable_lsn(), 1u);
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_OK(entries);
+  EXPECT_EQ(entries->size(), 1u);
 }
 
 }  // namespace

@@ -40,6 +40,12 @@ Checks (all over `src/`, the shipped library code):
   8. failpoints stay out of release builds: the ``HERMES_FAILPOINTS``
      CMake option must default OFF, and only sanitizer presets
      (name contains "san") may turn it ON in CMakePresets.json.
+  9. durable writes go through the fd appender (src/storage/ only):
+     ``std::ofstream`` / ``std::fstream`` are banned there because
+     ostream flushes reach the OS page cache, not the disk — a
+     "durable" path built on them silently cannot fsync. Writes go
+     through storage/fd_appender.h (or raw pwrite as in PagedFile);
+     read-only ``std::ifstream`` (e.g. the WAL scanner) stays allowed.
 
 Usage: tools/lint.py [repo_root]   (exit 0 = clean, 1 = findings)
 """
@@ -273,6 +279,29 @@ def check_failpoints_off_in_release(root, findings):
                     "compile failpoints in")
 
 
+# --- storage write-path streams -------------------------------------------
+# PR "the WAL never fsyncs" root cause: std::ofstream's flush() only hands
+# bytes to the OS, so no ostream-based write path can implement a
+# durability contract. Inside src/storage/ every write path must use the
+# fd-backed appender (storage/fd_appender.h) or raw pwrite; ofstream (and
+# the read/write fstream) are banned outright. std::ifstream is read-only
+# and stays allowed (the WAL scanner uses it).
+STORAGE_STREAM_RE = re.compile(r"std::o?fstream\b")
+STORAGE_STREAM_DIR = "src/storage"
+
+
+def check_storage_write_streams(rel, text, findings):
+    if not rel.as_posix().startswith(STORAGE_STREAM_DIR + "/"):
+        return
+    for i, line in enumerate(strip_comments(text).splitlines(), 1):
+        m = STORAGE_STREAM_RE.search(line)
+        if m:
+            findings.append(
+                f"{rel}:{i}: {m.group(0)} in src/storage/ — ostream flushes "
+                "never fsync; write through storage/fd_appender.h "
+                "(std::ifstream is fine for read-only scans)")
+
+
 def check_determinism(rel, text, findings):
     rel_posix = rel.as_posix()
     if not any(rel_posix.startswith(d + "/") for d in DETERMINISM_DIRS):
@@ -308,6 +337,7 @@ def main(argv):
         check_real_sleeps(rel, text, findings)
         check_determinism(rel, text, findings)
         check_failpoint_containment(rel, text, findings)
+        check_storage_write_streams(rel, text, findings)
     check_cmake_lists_all_sources(root, findings)
     check_failpoints_off_in_release(root, findings)
 
