@@ -219,6 +219,31 @@ class BenchReport {
   std::vector<Row> results_;
 };
 
+/// Surfaces the lock profiler's evidence for `lock_name` ("wal.mu",
+/// "cluster.dir", ...) as headline result rows — hold-time p99/max plus
+/// the contention count — so the committed BENCH_*.json shows at a
+/// glance that no lock was held across I/O (the runtime half of the
+/// critical_section_audit contract). No-op when HERMES_LOCK_PROFILING
+/// is off: the histogram is simply absent from the snapshot. The full
+/// lock.<name>.* set still lands in metrics.histograms via Write().
+inline void AddLockEvidence(BenchReport* report,
+                            const std::string& lock_name) {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto hold = snap.histograms.find("lock." + lock_name + ".hold_us");
+  if (hold == snap.histograms.end()) return;
+  report->AddResult("lock." + lock_name + ".hold_p99_us", hold->second.p99,
+                    "us");
+  report->AddResult("lock." + lock_name + ".hold_max_us", hold->second.max,
+                    "us");
+  const auto contention =
+      snap.counters.find("lock." + lock_name + ".contention");
+  if (contention != snap.counters.end()) {
+    report->AddResult("lock." + lock_name + ".contention",
+                      static_cast<double>(contention->second),
+                      "acquisitions");
+  }
+}
+
 }  // namespace hermes::bench
 
 #endif  // HERMES_BENCH_BENCH_COMMON_H_

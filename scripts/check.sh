@@ -26,6 +26,9 @@ echo "== status audit =="
 mkdir -p build
 python3 tools/status_audit.py . --json build/status_audit.json
 
+echo "== critical-section audit =="
+python3 tools/critical_section_audit.py . --json build/critical_section_audit.json
+
 # clang_tidy also runs as a ctest below (zero-findings gate over
 # compile_commands.json); it self-skips when no clang-tidy binary exists.
 
@@ -59,4 +62,4 @@ if [ "$preset" != "default" ]; then
   ctest --test-dir build -R bench_smoke --output-on-failure
 fi
 
-echo "OK: lint + layering + status audit + $preset build + tests + bench smoke all green"
+echo "OK: lint + layering + status audit + critical-section audit + $preset build + tests + bench smoke all green"

@@ -149,6 +149,9 @@ Status HermesCluster::Checkpoint() {
     return Status::InvalidArgument("cluster is not durable");
   }
   for (auto& d : durable_) {
+    // audit:allow(blocking, checkpoint is the documented quiesce point: the
+    // exclusive directory hold is what makes the per-partition snapshots
+    // mutually consistent)
     HERMES_RETURN_NOT_OK(d->Checkpoint());
   }
   return Status::OK();
@@ -290,6 +293,9 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
         // Model the remote round-trip with a real wait. No shard mutex is
         // held here, so concurrent readers overlap their network waits —
         // under the old global lock these sleeps serialized.
+        // audit:allow(blocking, network-latency model: only the shared
+        // directory hold spans the simulated hop, so readers overlap and
+        // writers wait exactly as a remote fetch would make them)
         std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
             options_.read_hop_latency_us));
       }
@@ -375,7 +381,11 @@ Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
   Transaction txn = txns_.Begin();
   // Lock both endpoints in id order to keep lock acquisition ordered;
   // conflicting workloads still resolve deadlocks by timeout.
+  // audit:allow(blocking, 2PL under directory stability: the shared dir
+  // hold pins the topology while vertex locks are acquired, and the lock
+  // manager bounds the wait with the deadlock timeout)
   HERMES_RETURN_NOT_OK(txn.LockExclusive(std::min(u, v)));
+  // audit:allow(blocking, same 2PL acquisition as the line above)
   HERMES_RETURN_NOT_OK(txn.LockExclusive(std::max(u, v)));
 
   {
@@ -446,17 +456,27 @@ Result<MigrationStats> HermesCluster::RunLightweightRepartition() {
   LightweightRepartitioner repartitioner(options_.repartitioner);
   RepartitionResult logical;
   std::optional<PartitionAssignment> target;
+  std::optional<Graph> graph_copy;
+  AuxiliaryData aux_copy;
   {
-    // Phase one (logical) runs on copies of the directory and auxiliary
-    // data: readers keep traversing the live directory while the
-    // algorithm iterates, and no reader ever observes a post-move
-    // placement before the records physically moved.
-    WriterMutexLock dir(&dir_mu_);
+    // Phase one (logical) runs on copies of the directory, topology, and
+    // auxiliary data: the locks are held only long enough to snapshot a
+    // consistent triple, then released before the algorithm iterates —
+    // readers keep traversing the live directory the whole time
+    // (RepartitionDoesNotBlockReaders). migration_mu_ alone serializes
+    // concurrent repartitions, and MigrateDiffChunked re-snapshots the
+    // live directory, so mutations that land during the computation only
+    // make the chosen placement stale, never wrong.
+    ReaderMutexLock dir(&dir_mu_);
     MutexLock topo(&topo_mu_);
     target = assignment_;
-    AuxiliaryData aux_copy = aux_;
-    logical = repartitioner.Run(graph_, &*target, &aux_copy);
+    graph_copy = graph_;
+    aux_copy = aux_;
   }
+  // audit:allow(blocking, only migration_mu_ — the repartition-serialization
+  // token — spans the computation; it guards no reader or writer path)
+  logical = repartitioner.Run(*graph_copy, &*target, &aux_copy);
+  graph_copy.reset();
   HERMES_ASSIGN_OR_RETURN(MigrationStats stats, MigrateDiffChunked(*target));
   stats.repartitioner_iterations = logical.iterations;
   stats.repartitioner_converged = logical.converged;

@@ -117,10 +117,225 @@ void ResetGraphForTest() {
 }  // namespace lock_order
 }  // namespace hermes
 
-#else  // !HERMES_DEBUG_LOCK_ORDER
+#endif  // HERMES_DEBUG_LOCK_ORDER
+
+#ifdef HERMES_LOCK_PROFILING
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>  // raw std::mutex: the profiler cannot use the Mutex it instruments
+#include <string>
+#include <vector>
+
+namespace hermes {
+namespace lock_order {
+
+namespace {
+
+constexpr int kHistBuckets = 64;
+
+// Value v lands in bucket bit_width(v) (0 for v == 0); the bucket's
+// representative value is its upper bound 2^b - 1. All recording is
+// relaxed — the profiler tolerates slightly torn snapshots in exchange
+// for staying off the hot path's critical section entirely.
+int BucketIndex(std::uint64_t v) {
+  const int w = std::bit_width(v);
+  return w < kHistBuckets ? w : kHistBuckets - 1;
+}
+
+std::uint64_t BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  if (b >= 63) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+struct AtomicHist {
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max{0};
+  std::atomic<std::uint64_t> buckets[kHistBuckets] = {};
+
+  void Record(std::uint64_t v) {
+    buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = min.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistSummary Summarize() const {
+    std::uint64_t counts[kHistBuckets];
+    std::uint64_t total = 0;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      counts[b] = buckets[b].load(std::memory_order_relaxed);
+      total += counts[b];
+    }
+    HistSummary out;
+    if (total == 0) return out;
+    out.count = total;
+    out.sum = sum.load(std::memory_order_relaxed);
+    out.min = min.load(std::memory_order_relaxed);
+    out.max = max.load(std::memory_order_relaxed);
+    auto quantile = [&](double q) {
+      const std::uint64_t target =
+          static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5);
+      std::uint64_t cum = 0;
+      for (int b = 0; b < kHistBuckets; ++b) {
+        cum += counts[b];
+        if (cum >= target && cum > 0) {
+          return std::min(BucketUpperBound(b), out.max);
+        }
+      }
+      return out.max;
+    };
+    out.p50 = std::max(quantile(0.50), out.min);
+    out.p99 = std::max(quantile(0.99), out.min);
+    return out;
+  }
+
+  void Reset() {
+    sum.store(0, std::memory_order_relaxed);
+    min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    max.store(0, std::memory_order_relaxed);
+    for (int b = 0; b < kHistBuckets; ++b) {
+      buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace
+
+struct LockStats {
+  std::string name;
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::atomic<std::uint64_t> contention{0};
+  std::atomic<std::uint64_t> try_lock_misses{0};
+  AtomicHist hold;
+  AtomicHist wait;
+};
+
+namespace {
+
+// Name -> stats, created on first use and leaked on purpose (rows must
+// outlive every Mutex, including function-local statics destroyed at
+// exit). Guarded by a raw std::mutex: registration and snapshotting are
+// cold paths and must not recurse into the instrumented Mutex.
+std::mutex g_profile_mu;
+std::map<std::string, LockStats*>* g_profile_rows = nullptr;
+
+// Per-thread acquire stamps for hold-time measurement. Keyed by mutex
+// address so nested holds (distinct ranks) resolve correctly.
+struct HoldStamp {
+  const void* mu;
+  LockStats* stats;
+  std::uint64_t t0_us;
+};
+thread_local std::vector<HoldStamp> tl_hold_stamps;
+
+}  // namespace
+
+LockStats* ProfileStats(std::atomic<LockStats*>* slot, const char* name,
+                        int rank) {
+  LockStats* s = slot->load(std::memory_order_acquire);
+  if (s != nullptr) return s;
+  if (rank == kRankUnranked || name == nullptr) return nullptr;
+  std::lock_guard<std::mutex> g(g_profile_mu);
+  if (g_profile_rows == nullptr) {
+    g_profile_rows = new std::map<std::string, LockStats*>();
+  }
+  LockStats*& row = (*g_profile_rows)[name];
+  if (row == nullptr) {
+    row = new LockStats();
+    row->name = name;
+  }
+  slot->store(row, std::memory_order_release);
+  return row;
+}
+
+std::uint64_t ProfileNowMicros() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin)
+          .count());
+}
+
+void ProfileContention(LockStats* s, std::uint64_t wait_us) {
+  if (s == nullptr) return;
+  s->contention.fetch_add(1, std::memory_order_relaxed);
+  s->wait.Record(wait_us);
+}
+
+void ProfileTryLockMiss(LockStats* s) {
+  if (s == nullptr) return;
+  s->try_lock_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProfileAcquired(LockStats* s, const void* mu) {
+  if (s == nullptr) return;
+  s->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  tl_hold_stamps.push_back(HoldStamp{mu, s, ProfileNowMicros()});
+}
+
+void ProfileReleased(const void* mu) {
+  for (auto it = tl_hold_stamps.rbegin(); it != tl_hold_stamps.rend(); ++it) {
+    if (it->mu == mu) {
+      it->stats->hold.Record(ProfileNowMicros() - it->t0_us);
+      tl_hold_stamps.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::vector<LockProfileRow> ProfileSnapshot() {
+  std::vector<LockProfileRow> rows;
+  std::lock_guard<std::mutex> g(g_profile_mu);
+  if (g_profile_rows == nullptr) return rows;
+  for (const auto& [name, stats] : *g_profile_rows) {
+    LockProfileRow row;
+    row.name = name;
+    row.acquisitions = stats->acquisitions.load(std::memory_order_relaxed);
+    row.contention = stats->contention.load(std::memory_order_relaxed);
+    row.try_lock_misses =
+        stats->try_lock_misses.load(std::memory_order_relaxed);
+    if (row.acquisitions == 0 && row.try_lock_misses == 0) continue;
+    row.hold = stats->hold.Summarize();
+    row.wait = stats->wait.Summarize();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void ProfileReset() {
+  std::lock_guard<std::mutex> g(g_profile_mu);
+  if (g_profile_rows == nullptr) return;
+  for (auto& [name, stats] : *g_profile_rows) {
+    stats->acquisitions.store(0, std::memory_order_relaxed);
+    stats->contention.store(0, std::memory_order_relaxed);
+    stats->try_lock_misses.store(0, std::memory_order_relaxed);
+    stats->hold.Reset();
+    stats->wait.Reset();
+  }
+}
+
+}  // namespace lock_order
+}  // namespace hermes
+
+#endif  // HERMES_LOCK_PROFILING
+
+#if !defined(HERMES_DEBUG_LOCK_ORDER) && !defined(HERMES_LOCK_PROFILING)
 
 // The hooks are inline no-ops in the header; this TU is intentionally
-// empty in release builds.
+// empty when both the validator and the profiler are compiled out.
 namespace hermes {
 namespace lock_order {
 namespace {
@@ -129,4 +344,4 @@ namespace {
 }  // namespace lock_order
 }  // namespace hermes
 
-#endif  // HERMES_DEBUG_LOCK_ORDER
+#endif  // !HERMES_DEBUG_LOCK_ORDER && !HERMES_LOCK_PROFILING

@@ -3,6 +3,13 @@
 
 #include <cstddef>
 
+#ifdef HERMES_LOCK_PROFILING
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+#endif
+
 /// Runtime lock-order validator (DESIGN.md §6 / §8).
 ///
 /// Every shared-state Mutex in the repo is constructed with a name and a
@@ -85,6 +92,82 @@ inline std::size_t HeldCount() { return 0; }
 inline void ResetGraphForTest() {}
 
 #endif  // HERMES_DEBUG_LOCK_ORDER
+
+#ifdef HERMES_LOCK_PROFILING
+
+/// Lock contention profiler (DESIGN.md §11). Every named, ranked Mutex
+/// and SharedMutex records, per lock name:
+///   - an acquisition counter and a contention counter (acquisitions
+///     that had to wait because the lock was already held),
+///   - a hold-time histogram (microseconds between acquire and release),
+///   - a wait-time histogram (microseconds spent blocked on contended
+///     acquires only, so count(wait_us) == contention).
+/// MetricsRegistry::Snapshot() merges these rows in as
+/// lock.<name>.acquisitions / lock.<name>.contention counters and
+/// lock.<name>.hold_us / lock.<name>.wait_us histograms, which is how
+/// they reach HermesCluster::MetricsSnapshot() and the BENCH_*.json
+/// reports. All recording is lock-free (relaxed atomics into power-of-two
+/// buckets); the one raw std::mutex guards only first-use registration
+/// and snapshotting. Compiled out entirely unless HERMES_LOCK_PROFILING.
+
+/// Opaque per-lock-name accumulator; obtained once per Mutex via
+/// ProfileStats and cached in the Mutex's atomic slot.
+struct LockStats;
+
+/// Resolves (and on first use registers) the stats row for `name`,
+/// caching it through `slot`. Returns nullptr for unnamed/unranked
+/// mutexes ("<unranked>") so scratch locks stay invisible, mirroring the
+/// validator's kRankUnranked behavior.
+LockStats* ProfileStats(std::atomic<LockStats*>* slot, const char* name,
+                        int rank);
+
+/// Steady-clock microseconds. Defined here (not via metrics.h) because
+/// thread_annotations.h cannot include metrics.h without a cycle.
+std::uint64_t ProfileNowMicros();
+
+/// Records one contended acquisition that waited `wait_us`.
+void ProfileContention(LockStats* s, std::uint64_t wait_us);
+
+/// Records a failed TryLock (the lock was held by someone else).
+void ProfileTryLockMiss(LockStats* s);
+
+/// Records a successful acquisition of `mu` and stamps the hold start on
+/// this thread; paired with ProfileReleased(mu).
+void ProfileAcquired(LockStats* s, const void* mu);
+
+/// Records the hold time for the acquisition stamped by the matching
+/// ProfileAcquired on this thread. A release with no matching stamp
+/// (e.g. a lock handed between threads) is silently dropped.
+void ProfileReleased(const void* mu);
+
+/// One histogram, summarized. Quantiles are approximate: each falls on
+/// the upper bound of its power-of-two bucket.
+struct HistSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+};
+
+struct LockProfileRow {
+  std::string name;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contention = 0;
+  std::uint64_t try_lock_misses = 0;
+  HistSummary hold;
+  HistSummary wait;
+};
+
+/// All registered locks, sorted by name. Rows with zero acquisitions and
+/// zero misses are skipped.
+std::vector<LockProfileRow> ProfileSnapshot();
+
+/// Zeroes every registered row (test/bench hook; registration survives).
+void ProfileReset();
+
+#endif  // HERMES_LOCK_PROFILING
 
 }  // namespace lock_order
 }  // namespace hermes

@@ -54,6 +54,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     MutexLock lock(&g_log_mutex);
+    // audit:allow(blocking, serialized console emission is the mutex's
+    // whole job; it sits at the ultimate leaf rank so no other lock can
+    // ever wait behind a slow stderr)
     std::cerr << stream_.str() << std::endl;
   }
   (void)level_;

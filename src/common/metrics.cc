@@ -48,6 +48,36 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     s.p99 = hist.Quantile(0.99);
     snap.histograms[name] = s;
   }
+#ifdef HERMES_LOCK_PROFILING
+  // Merge the lock profiler's rows (common/lock_order.h) so hold/wait
+  // times and contention reach every consumer of the registry snapshot —
+  // HermesCluster::MetricsSnapshot() and the BENCH_*.json reports — under
+  // stable lock.<name>.* keys. ProfileSnapshot's internal raw mutex is a
+  // leaf below mu_ (it never takes an annotated Mutex), so calling it
+  // under the registry lock cannot invert.
+  for (const lock_order::LockProfileRow& row : lock_order::ProfileSnapshot()) {
+    const std::string prefix = "lock." + row.name;
+    snap.counters[prefix + ".acquisitions"] = row.acquisitions;
+    snap.counters[prefix + ".contention"] = row.contention;
+    auto hist = [](const lock_order::HistSummary& h) {
+      MetricsSnapshot::HistogramSummary s;
+      s.count = h.count;
+      s.sum = static_cast<double>(h.sum);
+      s.mean = h.count == 0 ? 0.0
+                            : static_cast<double>(h.sum) /
+                                  static_cast<double>(h.count);
+      s.min = static_cast<double>(h.min);
+      s.max = static_cast<double>(h.max);
+      s.p50 = static_cast<double>(h.p50);
+      s.p99 = static_cast<double>(h.p99);
+      return s;
+    };
+    snap.histograms[prefix + ".hold_us"] = hist(row.hold);
+    if (row.wait.count > 0) {
+      snap.histograms[prefix + ".wait_us"] = hist(row.wait);
+    }
+  }
+#endif
   return snap;
 }
 
@@ -56,6 +86,9 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist.Reset();
+#ifdef HERMES_LOCK_PROFILING
+  lock_order::ProfileReset();
+#endif
 }
 
 TraceLog& TraceLog::Global() {

@@ -5,6 +5,11 @@
 #include <condition_variable>
 #include <mutex>
 
+#ifdef HERMES_LOCK_PROFILING
+#include <atomic>
+#include <cstdint>
+#endif
+
 #include "common/lock_order.h"
 
 /// Clang thread-safety-analysis annotations plus an annotated Mutex /
@@ -109,15 +114,41 @@ class CAPABILITY("mutex") Mutex {
 
   void Lock() ACQUIRE() {
     lock_order::OnAcquire(this, name_, rank_);
+#ifdef HERMES_LOCK_PROFILING
+    lock_order::LockStats* s = ProfileRow();
+    if (s != nullptr) {
+      // try_lock-first: an uncontended acquire pays one CAS and no clock
+      // reads beyond the hold stamp; only a miss times the blocking wait.
+      if (!mu_.try_lock()) {
+        const std::uint64_t t0 = lock_order::ProfileNowMicros();
+        mu_.lock();
+        lock_order::ProfileContention(s,
+                                      lock_order::ProfileNowMicros() - t0);
+      }
+      lock_order::ProfileAcquired(s, this);
+      return;
+    }
+#endif
     mu_.lock();
   }
   void Unlock() RELEASE() {
     mu_.unlock();
     lock_order::OnRelease(this);
+#ifdef HERMES_LOCK_PROFILING
+    lock_order::ProfileReleased(this);
+#endif
   }
   bool TryLock() TRY_ACQUIRE(true) {
-    if (!mu_.try_lock()) return false;
+    if (!mu_.try_lock()) {
+#ifdef HERMES_LOCK_PROFILING
+      lock_order::ProfileTryLockMiss(ProfileRow());
+#endif
+      return false;
+    }
     lock_order::OnAcquire(this, name_, rank_);
+#ifdef HERMES_LOCK_PROFILING
+    lock_order::ProfileAcquired(ProfileRow(), this);
+#endif
     return true;
   }
 
@@ -130,6 +161,12 @@ class CAPABILITY("mutex") Mutex {
   bool try_lock() TRY_ACQUIRE(true) { return TryLock(); }
 
  private:
+#ifdef HERMES_LOCK_PROFILING
+  lock_order::LockStats* ProfileRow() {
+    return lock_order::ProfileStats(&pstats_, name_, rank_);
+  }
+  std::atomic<lock_order::LockStats*> pstats_{nullptr};
+#endif
   std::mutex mu_;
   const char* name_ = "<unranked>";
   int rank_ = lock_order::kRankUnranked;
@@ -166,11 +203,27 @@ class CAPABILITY("shared_mutex") SharedMutex {
 
   void Lock() ACQUIRE() {
     lock_order::OnAcquire(this, name_, rank_);
+#ifdef HERMES_LOCK_PROFILING
+    lock_order::LockStats* s = ProfileRow();
+#endif
     std::unique_lock<std::mutex> l(mu_);
     ++waiting_writers_;
+#ifdef HERMES_LOCK_PROFILING
+    // Contended iff the acquire predicate is false right now (checked
+    // under the internal mutex, so the read is exact, not a race).
+    const bool contended = writer_active_ || active_readers_ > 0;
+    const std::uint64_t t0 =
+        contended ? lock_order::ProfileNowMicros() : 0;
+#endif
     cv_writer_.wait(l, [&] { return !writer_active_ && active_readers_ == 0; });
     --waiting_writers_;
     writer_active_ = true;
+#ifdef HERMES_LOCK_PROFILING
+    if (s != nullptr && contended) {
+      lock_order::ProfileContention(s, lock_order::ProfileNowMicros() - t0);
+    }
+    lock_order::ProfileAcquired(s, this);
+#endif
   }
   void Unlock() RELEASE() {
     {
@@ -180,12 +233,29 @@ class CAPABILITY("shared_mutex") SharedMutex {
     cv_writer_.notify_one();
     cv_reader_.notify_all();
     lock_order::OnRelease(this);
+#ifdef HERMES_LOCK_PROFILING
+    lock_order::ProfileReleased(this);
+#endif
   }
   void LockShared() ACQUIRE_SHARED() {
     lock_order::OnAcquire(this, name_, rank_);
+#ifdef HERMES_LOCK_PROFILING
+    lock_order::LockStats* s = ProfileRow();
+#endif
     std::unique_lock<std::mutex> l(mu_);
+#ifdef HERMES_LOCK_PROFILING
+    const bool contended = writer_active_ || waiting_writers_ > 0;
+    const std::uint64_t t0 =
+        contended ? lock_order::ProfileNowMicros() : 0;
+#endif
     cv_reader_.wait(l, [&] { return !writer_active_ && waiting_writers_ == 0; });
     ++active_readers_;
+#ifdef HERMES_LOCK_PROFILING
+    if (s != nullptr && contended) {
+      lock_order::ProfileContention(s, lock_order::ProfileNowMicros() - t0);
+    }
+    lock_order::ProfileAcquired(s, this);
+#endif
   }
   void UnlockShared() RELEASE_SHARED() {
     bool last_reader;
@@ -195,12 +265,21 @@ class CAPABILITY("shared_mutex") SharedMutex {
     }
     if (last_reader) cv_writer_.notify_one();
     lock_order::OnRelease(this);
+#ifdef HERMES_LOCK_PROFILING
+    lock_order::ProfileReleased(this);
+#endif
   }
 
   const char* name() const { return name_; }
   int rank() const { return rank_; }
 
  private:
+#ifdef HERMES_LOCK_PROFILING
+  lock_order::LockStats* ProfileRow() {
+    return lock_order::ProfileStats(&pstats_, name_, rank_);
+  }
+  std::atomic<lock_order::LockStats*> pstats_{nullptr};
+#endif
   std::mutex mu_;
   std::condition_variable cv_reader_;
   std::condition_variable cv_writer_;

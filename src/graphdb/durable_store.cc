@@ -380,11 +380,16 @@ Status DurableGraphStore::Checkpoint() {
   // (replay-after-last-checkpoint sees an empty tail).
   HERMES_FAILPOINT_CRASH("durable_store.checkpoint.crash");
   const std::uint64_t covered_lsn = wal_->next_lsn() - 1;
+  // audit:allow(blocking, checkpoint is the documented quiesce point: mu_
+  // must span snapshot + marker + truncation or a racing mutator could
+  // slip an entry between the snapshot and the log reset and lose it)
   HERMES_RETURN_NOT_OK(
       WriteSnapshot(*store_, dir_ + "/snapshot.bin", covered_lsn));
   HERMES_FAILPOINT_CRASH("durable_store.checkpoint.after_snapshot.crash");
+  // audit:allow(blocking, same checkpoint quiesce as above)
   HERMES_RETURN_NOT_OK(wal_->LogCheckpoint().status());
   HERMES_FAILPOINT_CRASH("durable_store.checkpoint.before_reset.crash");
+  // audit:allow(blocking, same checkpoint quiesce as above)
   return wal_->Reset();
 }
 

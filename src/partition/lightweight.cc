@@ -253,6 +253,7 @@ RepartitionResult LightweightRepartitioner::Run(const Graph& g,
   double best_imbalance = AuxImbalance(*aux);
   std::size_t stalled_iterations = 0;
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    if (options_.iteration_hook_for_test) options_.iteration_hook_for_test();
     const std::size_t moves = RunIteration(g, asg, aux, pool.get());
     ++result.iterations;
     result.total_logical_moves += moves;

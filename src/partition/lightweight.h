@@ -2,6 +2,7 @@
 #define HERMES_PARTITION_LIGHTWEIGHT_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "graph/graph.h"
@@ -75,6 +76,11 @@ struct RepartitionerOptions {
   /// thread pool). 0/1 = serial. Results are identical either way: the
   /// scan is read-only and candidates merge in deterministic order.
   std::size_t num_threads = 0;
+
+  /// Test hook: runs at the start of every iteration of Run(). Cluster
+  /// concurrency tests park the algorithm here to prove the logical
+  /// phase holds no cluster lock (readers must stay live while parked).
+  std::function<void()> iteration_hook_for_test;
 };
 
 /// Outcome of a repartitioning run.

@@ -194,6 +194,8 @@ WriteAheadLog::~WriteAheadLog() {
   if (kFailpointsEnabled && FailpointRegistry::Global().crashed()) return;
   MutexLock lock(&mu_);
   if (!file_.valid() || pending_.empty() || !poison_.ok()) return;
+  // audit:allow(blocking, best-effort close-time flush: the log is being
+  // destroyed, so nothing can contend for mu_ after this)
   if (Status st = file_.Append(pending_.data(), pending_.size()); !st.ok()) {
     // Best-effort close-time flush: losing appends that were never synced
     // is within the durability contract (Sync() is the boundary).
@@ -251,6 +253,8 @@ Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry, bool durable) {
       // mid-flight (the crash latch makes the suffix unreachable anyway,
       // and the leader owns the file while its fsync runs).
       if (!leader_active_) {
+        // audit:allow(blocking, crash model: the torn frame must land at
+        // the true file tail, which only exists while mu_ freezes staging)
         if (Status staged = file_.Append(pending_.data(), pending_.size());
             staged.ok()) {
           pending_.clear();
@@ -260,6 +264,7 @@ Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry, bool durable) {
             torn.arg != 0 ? torn.arg : frame.size() / 2;
         const auto cut = static_cast<std::size_t>(
             std::min<std::uint64_t>(want, frame.size() - 1));
+        // audit:allow(blocking, same crash-model tear as above)
         if (Status tear = file_.Append(frame.data(), cut); !tear.ok()) {
           // The tear itself is the injected failure; a second error while
           // writing it changes nothing about the poisoned outcome below.
@@ -283,6 +288,9 @@ Result<std::uint64_t> WriteAheadLog::Append(WalEntry entry, bool durable) {
     if (durable && !group_commit) {
       // Per-append-fsync baseline: one write + one fsync per durable
       // append, fully serialized under mu_.
+      // audit:allow(blocking, the per-append-fsync baseline is *defined*
+      // as fsync-under-mu_ — the honest comparison point the group-commit
+      // bench measures against)
       HERMES_RETURN_NOT_OK(CommitPendingLocked());
       return lsn;
     }
@@ -304,6 +312,9 @@ Status WriteAheadLog::CommitPendingLocked() {
   const std::size_t batch_entries = pending_entries_;
   pending_entries_ = 0;
   const std::uint64_t batch_end = next_lsn_ - 1;
+  // audit:allow(blocking, REQUIRES(mu_) is this helper's contract: it is
+  // the per-append-fsync baseline and the destructor/Reset flush path,
+  // both of which must commit under the staging lock by design)
   const CommitResult commit = CommitBatchIo(file_, batch);
   switch (commit.outcome) {
     case CommitOutcome::kOk:
@@ -357,6 +368,7 @@ Status WriteAheadLog::SyncUntil(std::uint64_t lsn) {
       if (!options_.enabled) {
         // Per-append-fsync mode: no leader protocol, no batching across
         // callers — write + fsync while holding mu_.
+        // audit:allow(blocking, per-append-fsync baseline, as in Append)
         HERMES_RETURN_NOT_OK(CommitPendingLocked());
         continue;
       }
@@ -387,6 +399,7 @@ Status WriteAheadLog::SyncUntil(std::uint64_t lsn) {
       file = &file_;
     }
 
+    if (commit_io_hook_for_test_) commit_io_hook_for_test_();
     const CommitResult commit = CommitBatchIo(*file, batch);
 
     MutexLock lock(&mu_);
@@ -441,26 +454,48 @@ Result<std::vector<WalEntry>> WriteAheadLog::ReadAll(
 }
 
 Status WriteAheadLog::Reset() {
-  MutexLock lock(&mu_);
-  if (!poison_.ok()) return poison_;
-  while (leader_active_) commit_cv_.Wait(&mu_);
+  std::uint64_t covered = 0;
+  FdAppender* file = nullptr;
+  {
+    MutexLock lock(&mu_);
+    if (!poison_.ok()) return poison_;
+    while (leader_active_) commit_cv_.Wait(&mu_);
+    // Everything assigned so far is covered by the snapshot that
+    // justified this Reset, so the staged frames are redundant. Frames
+    // staged *during* the off-lock truncate below keep their (higher)
+    // LSNs, stay pending, and are NOT covered — hence `covered` is
+    // captured here, not after the truncate.
+    pending_.clear();
+    pending_entries_ = 0;
+    covered = next_lsn_ - 1;
+    // Take the leader token: exclusive file access with mu_ released.
+    // Pre-fix, the ftruncate+fsync ran under mu_ and every concurrent
+    // Append() staging in memory stalled behind the disk for the whole
+    // checkpoint truncation (WalResetDoesNotBlockStagers regression).
+    leader_active_ = true;
+    file = &file_;
+  }
+
+  if (commit_io_hook_for_test_) commit_io_hook_for_test_();
+  Status truncated;
   const FailpointHit hit = HERMES_FAILPOINT_HIT("wal.reset.io_error");
   if (hit.fired) {
-    poison_ = Status::IOError(
-        "WAL poisoned by failed Reset (truncate failed: failpoint "
-        "wal.reset.io_error); reopen the log to recover");
-    return poison_;
+    truncated =
+        Status::IOError("truncate failed: failpoint wal.reset.io_error");
+  } else {
+    truncated = file->Truncate();
   }
-  if (Status st = file_.Truncate(); !st.ok()) {
+
+  MutexLock lock(&mu_);
+  leader_active_ = false;
+  commit_cv_.NotifyAll();
+  if (!truncated.ok()) {
     poison_ = Status::IOError("WAL poisoned by failed Reset (" +
-                              st.message() + "); reopen the log to recover");
+                              truncated.message() +
+                              "); reopen the log to recover");
     return poison_;
   }
-  // Everything below next_lsn_ is covered by the snapshot that justified
-  // this Reset; staged frames are redundant and the empty log is durable.
-  pending_.clear();
-  pending_entries_ = 0;
-  durable_lsn_ = next_lsn_ - 1;
+  durable_lsn_ = std::max(durable_lsn_, covered);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define HERMES_STORAGE_WAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -114,6 +115,7 @@ class WriteAheadLog {
         durable_lsn_(other.durable_lsn_),
         fsync_count_(other.fsync_count_),
         poison_(std::move(other.poison_)),
+        commit_io_hook_for_test_(std::move(other.commit_io_hook_for_test_)),
         m_appends_(other.m_appends_),
         m_append_bytes_(other.m_append_bytes_),
         m_syncs_(other.m_syncs_) {
@@ -130,6 +132,7 @@ class WriteAheadLog {
     durable_lsn_ = other.durable_lsn_;
     fsync_count_ = other.fsync_count_;
     poison_ = std::move(other.poison_);
+    commit_io_hook_for_test_ = std::move(other.commit_io_hook_for_test_);
     m_appends_ = other.m_appends_;
     m_append_bytes_ = other.m_append_bytes_;
     m_syncs_ = other.m_syncs_;
@@ -168,6 +171,15 @@ class WriteAheadLog {
   /// fails mid-way poisons the log with a Status naming the failed step —
   /// later appends report the cause instead of a generic write error.
   [[nodiscard]] Status Reset() EXCLUDES(mu_);
+
+  /// Test hook: runs at the start of every off-lock I/O section (the
+  /// group-commit window in SyncUntil, the truncate in Reset) while the
+  /// calling thread holds the leader token but NOT `mu_`. Concurrency
+  /// tests park the leader here to prove stagers stay unblocked. Set
+  /// before the log is shared between threads.
+  void SetCommitIoHookForTest(std::function<void()> hook) {
+    commit_io_hook_for_test_ = std::move(hook);
+  }
 
   std::uint64_t next_lsn() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
@@ -220,6 +232,9 @@ class WriteAheadLog {
   /// Sticky failure: set when the file may hold a partial frame (torn
   /// append, failed batch write) or a Reset failed. OK when healthy.
   Status poison_ GUARDED_BY(mu_);
+  // audit:allow(guard, test hook set before the log is shared; only the
+  // leader-token holder invokes it)
+  std::function<void()> commit_io_hook_for_test_;
   CondVar commit_cv_;   // leader done: durable_lsn_/poison_ changed
   CondVar arrival_cv_;  // staged bytes/entries crossed a window bound
 

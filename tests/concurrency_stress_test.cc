@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -19,6 +20,8 @@
 #include "test_util.h"
 
 #include "cluster/hermes_cluster.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "partition/assignment.h"
@@ -36,6 +39,17 @@ std::string TempFile(const char* name) {
   std::string path = ::testing::TempDir() + "/" + name;
   std::remove(path.c_str());
   return path;
+}
+
+// Bounded wait for a flag set by another thread; returns whether it was
+// set within `timeout_ms`. The no-blocking-under-lock regressions below
+// use it so that a reintroduced lock hold fails the test instead of
+// hanging the suite.
+bool AwaitTrue(const std::atomic<bool>& flag, int timeout_ms) {
+  for (int i = 0; i < timeout_ms && !flag.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return flag.load();
 }
 
 // --- ThreadPool ------------------------------------------------------------
@@ -445,6 +459,145 @@ TEST(ConcurrencyStressTest, WalSyncersRaceAppenders) {
             static_cast<std::size_t>(kAppenders * kPerThread));
 }
 
+// Regression (pre-fix this test fails: the stager never gets through):
+// Reset() used to hold wal.mu across the ftruncate + fsync, so every
+// concurrent Append() stalled for the whole truncate. Reset now takes the
+// group-commit leader token and truncates off-lock; stagers must keep
+// completing while the truncate is parked in the test hook.
+TEST(ConcurrencyStressTest, WalResetDoesNotBlockStagers) {
+  const std::string path = TempFile("cc_wal_reset_stagers.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_OK(wal);
+  for (int i = 0; i < 3; ++i) {
+    WalEntry e;
+    e.type = WalOpType::kCreateNode;
+    e.a = static_cast<VertexId>(i);
+    ASSERT_OK(wal->Append(e));
+  }
+  ASSERT_OK(wal->Sync());
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  wal->SetCommitIoHookForTest([&parked, &release] {
+    parked.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread resetter([&wal] { ASSERT_OK(wal->Reset()); });
+  ASSERT_TRUE(AwaitTrue(parked, 5000));
+
+  // The truncate is in flight with the leader token held and wal.mu
+  // free: a stager must complete while it is parked.
+  std::atomic<bool> staged{false};
+  std::thread stager([&wal, &staged] {
+    WalEntry e;
+    e.type = WalOpType::kAddEdge;
+    e.a = 7;
+    e.b = 8;
+    ASSERT_OK(wal->Append(e));
+    staged.store(true);
+  });
+  EXPECT_TRUE(AwaitTrue(staged, 5000));
+  release.store(true);
+  stager.join();
+  resetter.join();
+  wal->SetCommitIoHookForTest(nullptr);
+
+  // The frame staged during the truncate window kept its LSN and stayed
+  // pending (it is *not* covered by the snapshot the Reset served): the
+  // next sync writes it after the truncated tail.
+  ASSERT_OK(wal->Sync());
+  auto entries = WriteAheadLog::ReadAll(path);
+  ASSERT_OK(entries);
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].lsn, 4u);
+  EXPECT_EQ((*entries)[0].type, WalOpType::kAddEdge);
+}
+
+// The same invariant aimed at the group-commit leader: a leader stalled
+// inside its fsync window — even one whose fsync then *fails* (the
+// wal.sync.io_error failpoint, when the build has failpoints) — must not
+// hold wal.mu. Concurrent stagers keep completing, and the lock
+// profiler's hold-time histogram stays bounded by microseconds rather
+// than by the stall (the runtime half of the critical_section_audit
+// contract).
+TEST(ConcurrencyStressTest, WalStalledCommitLeaderDoesNotBlockStagers) {
+  MetricsRegistry::Global().ResetAll();
+  const std::string path = TempFile("cc_wal_stalled_leader.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_OK(wal);
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> hook_calls{0};
+  wal->SetCommitIoHookForTest([&parked, &release, &hook_calls] {
+    if (hook_calls.fetch_add(1) != 0) return;  // only the first window parks
+    parked.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  if (kFailpointsEnabled) {
+    FailpointConfig cfg;
+    cfg.policy = FailpointConfig::Policy::kNthHit;
+    cfg.n = 1;
+    FailpointRegistry::Global().Arm("wal.sync.io_error", cfg);
+  }
+
+  std::thread leader([&wal] {
+    WalEntry e;
+    e.type = WalOpType::kCreateNode;
+    e.a = 1;
+    auto lsn = wal->Append(e, /*durable=*/true);
+    if (kFailpointsEnabled) {
+      // The window's fsync failed; the failure is transient (not poison)
+      // and was reported to the waiter that depended on it.
+      EXPECT_FALSE(lsn.ok());
+    } else {
+      EXPECT_TRUE(lsn.ok());
+    }
+  });
+  ASSERT_TRUE(AwaitTrue(parked, 5000));
+
+  constexpr int kStagers = 4;
+  std::atomic<int> staged{0};
+  std::atomic<bool> all_staged{false};
+  std::vector<std::thread> stagers;
+  for (int t = 0; t < kStagers; ++t) {
+    stagers.emplace_back([&wal, &staged, &all_staged, t] {
+      WalEntry e;
+      e.type = WalOpType::kSetNodeState;
+      e.a = static_cast<VertexId>(t + 10);
+      ASSERT_OK(wal->Append(e));
+      if (staged.fetch_add(1) + 1 == kStagers) all_staged.store(true);
+    });
+  }
+  EXPECT_TRUE(AwaitTrue(all_staged, 5000));
+  // Keep the leader parked long enough that a reintroduced
+  // fsync-under-mu_ would be unmissable in the hold histogram below.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  release.store(true);
+  for (auto& t : stagers) t.join();
+  leader.join();
+  if (kFailpointsEnabled) FailpointRegistry::Global().Reset();
+
+  // A later window retries the fsync and covers everything staged.
+  ASSERT_OK(wal->Sync());
+  EXPECT_EQ(wal->durable_lsn(), 1u + kStagers);
+  wal->SetCommitIoHookForTest(nullptr);
+
+#ifdef HERMES_LOCK_PROFILING
+  // The 150 ms stall must not appear as wal.mu hold time: the leader
+  // parks holding only the leader token.
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto it = snap.histograms.find("lock.wal.mu.hold_us");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_LT(it->second.max, 100'000.0);
+#endif
+}
+
 // --- DurableGraphStore -----------------------------------------------------
 
 // Concurrent logged mutations on one partition store, then recovery from
@@ -674,6 +827,60 @@ TEST(ConcurrencyStressTest, ClusterReadsWritesAndRepartitionInParallel) {
 
   EXPECT_GT(reads_ok.load(), 0);
   EXPECT_GT(edges_added.load(), 0);
+  EXPECT_TRUE(cluster.Validate());
+}
+
+// Regression (pre-fix the reader and writer never complete): the logical
+// phase of RunLightweightRepartition() used to hold the directory write
+// lock across the entire multi-iteration computation, despite the
+// documented claim that it runs on copies. It now snapshots the
+// (assignment, graph, aux) triple under the locks and releases them
+// before the algorithm iterates; reads and edge inserts must complete
+// while the repartitioner is parked mid-computation.
+TEST(ConcurrencyStressTest, RepartitionDoesNotBlockReaders) {
+  const std::size_t n = 120;
+  Graph g = RingWithChords(n);
+  PartitionAssignment asg(n, 4);
+  for (VertexId v = 0; v < n; ++v) asg.Assign(v, v % 4);
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> iterations{0};
+  HermesCluster::Options options;
+  options.repartitioner.max_iterations = 4;
+  options.repartitioner.iteration_hook_for_test =
+      [&parked, &release, &iterations] {
+        if (iterations.fetch_add(1) != 0) return;  // park only once
+        parked.store(true);
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      };
+  HermesCluster cluster(std::move(g), std::move(asg), options);
+
+  std::thread repartitioner([&cluster] {
+    auto stats = cluster.RunLightweightRepartition();
+    ASSERT_OK(stats);
+  });
+  ASSERT_TRUE(AwaitTrue(parked, 5000));
+
+  std::atomic<bool> read_done{false};
+  std::atomic<bool> write_done{false};
+  std::thread reader([&cluster, &read_done] {
+    auto run = cluster.ExecuteRead(3, 2);
+    EXPECT_TRUE(run.ok());
+    read_done.store(true);
+  });
+  std::thread writer([&cluster, &write_done] {
+    EXPECT_OK(cluster.InsertEdge(5, 40));
+    write_done.store(true);
+  });
+  EXPECT_TRUE(AwaitTrue(read_done, 5000));
+  EXPECT_TRUE(AwaitTrue(write_done, 5000));
+  release.store(true);
+  reader.join();
+  writer.join();
+  repartitioner.join();
   EXPECT_TRUE(cluster.Validate());
 }
 

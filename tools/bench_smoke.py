@@ -8,9 +8,16 @@ machine-readable report it writes (bench/bench_common.h, BenchReport):
   * schema_version is 1 and the top-level keys are present and typed,
   * results is a non-empty list of {label, value, unit} rows,
   * metrics.counters is a non-empty dict of integers (the binary must
-    actually exercise instrumented code paths).
+    actually exercise instrumented code paths),
+  * with --require-lock-metrics, at least one lock profiler histogram
+    lock.<name>.hold_us is present (full summary key set) together with
+    its sibling lock.<name>.acquisitions / lock.<name>.contention
+    counters — the runtime evidence half of the critical-section
+    discipline (DESIGN.md); pass it for benches built with
+    HERMES_LOCK_PROFILING (the default preset).
 
-Usage: tools/bench_smoke.py <bench-binary> [bench args...]
+Usage: tools/bench_smoke.py [--require-lock-metrics] <bench-binary>
+       [bench args...]
 """
 
 import json
@@ -32,6 +39,22 @@ REQUIRED_KEYS = {
 def fail(msg):
     print(f"bench_smoke: FAIL: {msg}", file=sys.stderr)
     return 1
+
+
+def validate_lock_metrics(metrics):
+    """Returns an error string unless >= 1 lock.<name>.hold_us histogram
+    exists with its sibling acquisition/contention counters."""
+    names = [key[len("lock."):-len(".hold_us")]
+             for key in metrics["histograms"]
+             if key.startswith("lock.") and key.endswith(".hold_us")]
+    if not names:
+        return "no lock.<name>.hold_us histogram (lock profiler silent " \
+               "— was the bench built with HERMES_LOCK_PROFILING?)"
+    for name in names:
+        for sibling in (f"lock.{name}.acquisitions", f"lock.{name}.contention"):
+            if sibling not in metrics["counters"]:
+                return f"lock.{name}.hold_us has no sibling counter {sibling!r}"
+    return None
 
 
 def validate(report, name):
@@ -80,8 +103,11 @@ def validate(report, name):
 
 
 def main(argv):
+    require_lock_metrics = "--require-lock-metrics" in argv
+    argv = [a for a in argv if a != "--require-lock-metrics"]
     if len(argv) < 2:
-        return fail("usage: bench_smoke.py <bench-binary> [bench args...]")
+        return fail("usage: bench_smoke.py [--require-lock-metrics] "
+                    "<bench-binary> [bench args...]")
     binary = os.path.abspath(argv[1])
     name = os.path.basename(binary)
     with tempfile.TemporaryDirectory(prefix="bench_smoke_") as scratch:
@@ -100,6 +126,8 @@ def main(argv):
         except json.JSONDecodeError as e:
             return fail(f"BENCH_{name}.json is not valid JSON: {e}")
         error = validate(report, name)
+        if error is None and require_lock_metrics:
+            error = validate_lock_metrics(report["metrics"])
         if error:
             return fail(f"BENCH_{name}.json: {error}")
     print(f"bench_smoke: OK ({name}: {len(report['results'])} results, "
