@@ -19,6 +19,7 @@
 
 #include "bench/bench_common.h"
 #include "cluster/hermes_cluster.h"
+#include "graphdb/graph_store.h"
 #include "gen/social_graph.h"
 #include "partition/hash_partitioner.h"
 

@@ -1,0 +1,184 @@
+// Message-path round-trip microbench (DESIGN.md §12): the cost of one
+// typed call through encode → transport inbox → dispatch thread →
+// server apply → reply frame → bus wakeup, measured three ways:
+//
+//   1. ping:       single-threaded HealthRequest RTT against one server
+//                  (p50/p99 from the bus's msg.rtt_us histogram);
+//   2. mt_calls:   --threads callers issuing probe calls concurrently
+//                  (bus + inbox contention);
+//   3. read path:  HermesCluster::ExecuteRead end-to-end, i.e. what a
+//                  traversal pays now that every neighbor fetch is a
+//                  message instead of a shared-memory call.
+//
+// Emits BENCH_message_rtt.json (validated by tools/bench_smoke.py in
+// CI, including lock-profiler evidence for the bus mutex).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/hermes_cluster.h"
+#include "gen/social_graph.h"
+#include "net/bus.h"
+#include "net/inproc_transport.h"
+#include "net/message.h"
+#include "partition/hash_partitioner.h"
+#include "server/partition_server.h"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::bench;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+struct Rig {
+  explicit Rig(std::size_t servers) {
+    for (std::size_t p = 0; p < servers; ++p) {
+      auto opened = PartitionServer::Open(
+          static_cast<PartitionId>(p), static_cast<EndpointId>(p), &transport,
+          {});
+      if (!opened.ok()) {
+        std::fprintf(stderr, "server open failed: %s\n",
+                     opened.status().ToString().c_str());
+        std::exit(1);
+      }
+      server_pool.push_back(std::move(*opened));
+    }
+    bus = std::make_unique<MessageBus>(
+        &transport, static_cast<EndpointId>(servers), MessageBus::Options{});
+    if (const Status st = bus->Start(); !st.ok()) {
+      std::fprintf(stderr, "bus start failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  ~Rig() {
+    bus->Shutdown();
+    transport.Shutdown();
+  }
+
+  InProcTransport transport{{}};
+  std::vector<std::unique_ptr<PartitionServer>> server_pool;
+  std::unique_ptr<MessageBus> bus;
+};
+
+Status Ping(MessageBus* bus, EndpointId dst) {
+  Envelope req;
+  req.payload = HealthRequest{};
+  auto reply = bus->Call(dst, std::move(req));
+  if (!reply.ok()) return reply.status();
+  const auto* rep = std::get_if<HealthReply>(&reply->payload);
+  if (rep == nullptr) return Status::Internal("unexpected reply type");
+  return rep->status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long calls = FlagInt(argc, argv, "calls", 20000);
+  const long threads = FlagInt(argc, argv, "threads", 4);
+
+  PrintHeader("Typed message bus round-trip cost",
+              "the Section 3.1 message-passing system model");
+  BenchReport report("message_rtt");
+  report.SetParam("calls", static_cast<double>(calls));
+  report.SetParam("threads", static_cast<double>(threads));
+
+  // --- 1. Single-threaded ping RTT ---------------------------------------
+  {
+    Rig rig(1);
+    const auto begin = Clock::now();
+    for (long i = 0; i < calls; ++i) {
+      if (const Status st = Ping(rig.bus.get(), 0); !st.ok()) {
+        std::fprintf(stderr, "ping failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    const double secs = SecondsSince(begin);
+    const double per_call_us = secs * 1e6 / static_cast<double>(calls);
+    report.AddResult("ping_calls_per_sec",
+                     static_cast<double>(calls) / secs, "calls/s");
+    report.AddResult("ping_mean_us", per_call_us, "us");
+    std::printf("ping: %ld calls, %.1f us/call, %.0f calls/s\n", calls,
+                per_call_us, static_cast<double>(calls) / secs);
+  }
+
+  // The bus observes every matched reply into msg.rtt_us.
+  {
+    const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    const auto rtt = snap.histograms.find("msg.rtt_us");
+    if (rtt != snap.histograms.end()) {
+      report.AddResult("ping_rtt_p50_us", rtt->second.p50, "us");
+      report.AddResult("ping_rtt_p99_us", rtt->second.p99, "us");
+      std::printf("rtt histogram: p50 %.1f us, p99 %.1f us (n=%llu)\n",
+                  rtt->second.p50, rtt->second.p99,
+                  static_cast<unsigned long long>(rtt->second.count));
+    }
+  }
+
+  // --- 2. Multithreaded call throughput ----------------------------------
+  {
+    Rig rig(4);
+    const auto begin = Clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (long t = 0; t < threads; ++t) {
+      pool.emplace_back([&rig, t, calls] {
+        for (long i = 0; i < calls; ++i) {
+          const auto dst = static_cast<EndpointId>((t + i) % 4);
+          if (const Status st = Ping(rig.bus.get(), dst); !st.ok()) {
+            std::fprintf(stderr, "mt ping failed: %s\n",
+                         st.ToString().c_str());
+            std::exit(1);
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    const double secs = SecondsSince(begin);
+    const double total = static_cast<double>(calls) * threads;
+    report.AddResult("mt_calls_per_sec", total / secs, "calls/s");
+    std::printf("mt: %ld threads x %ld calls -> %.0f calls/s\n", threads,
+                calls, total / secs);
+  }
+
+  // --- 3. Cluster read path through the bus ------------------------------
+  {
+    SocialGraphOptions gopt;
+    gopt.num_vertices = 400;
+    gopt.seed = 7;
+    const Graph g = GenerateSocialGraph(gopt);
+    HermesCluster cluster(g, HashPartitioner(1).Partition(g, 4));
+    const long reads = std::max(200L, calls / 20);
+    const auto begin = Clock::now();
+    for (long i = 0; i < reads; ++i) {
+      const auto start =
+          static_cast<VertexId>(static_cast<std::uint64_t>(i * 37) %
+                                g.NumVertices());
+      auto run = cluster.ExecuteRead(start, 1);
+      if (!run.ok()) {
+        std::fprintf(stderr, "read failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const double secs = SecondsSince(begin);
+    report.AddResult("cluster_read_ops_per_sec",
+                     static_cast<double>(reads) / secs, "reads/s");
+    std::printf("cluster reads: %ld one-hop -> %.0f reads/s\n", reads,
+                static_cast<double>(reads) / secs);
+  }
+
+  AddLockEvidence(&report, "msg.bus");
+  AddLockEvidence(&report, "msg.transport");
+  report.Write();
+  return 0;
+}

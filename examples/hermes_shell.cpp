@@ -27,6 +27,7 @@
 #include <string>
 
 #include "cluster/hermes_cluster.h"
+#include "graphdb/graph_store.h"
 #include "common/logging.h"
 #include "gen/edge_list_io.h"
 #include "gen/profiles.h"

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "cluster/hermes_cluster.h"
+#include "graphdb/graph_store.h"
 #include "common/logging.h"
 #include "gen/profiles.h"
 #include "partition/metrics.h"

@@ -58,7 +58,7 @@ if [ "$preset" != "default" ]; then
   cmake --preset default
   cmake --build --preset default -j "$(nproc)" \
     --target fig7_edgecut --target concurrent_reads \
-    --target write_throughput
+    --target write_throughput --target message_rtt
   ctest --test-dir build -R bench_smoke --output-on-failure
 fi
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <filesystem>
 #include <map>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -23,9 +25,9 @@ HermesCluster::HermesCluster(Graph graph, PartitionAssignment assignment,
       options_(std::move(options)),
       tombstoned_(assignment_.size(), 0) {
   HERMES_CHECK(assignment_.size() == graph_.NumVertices());
-  Status st = InitStores();
+  Status st = InitServers();
   HERMES_CHECK(st.ok());
-  st = LoadStores();
+  st = LoadServers();
   HERMES_CHECK(st.ok());
 }
 
@@ -33,48 +35,101 @@ HermesCluster::HermesCluster(Graph graph, PartitionAssignment assignment)
     : HermesCluster(std::move(graph), std::move(assignment), Options{}) {}
 
 HermesCluster::HermesCluster(
-    RecoveredTag, Graph graph, PartitionAssignment assignment,
-    Options options, std::vector<std::unique_ptr<DurableGraphStore>> durable,
-    std::vector<char> tombstoned)
+    RecoveredTag, Graph graph, PartitionAssignment assignment, Options options,
+    std::unique_ptr<InProcTransport> transport,
+    std::vector<std::unique_ptr<PartitionServer>> servers,
+    std::unique_ptr<MessageBus> bus, std::vector<char> tombstoned)
     : graph_(std::move(graph)),
       assignment_(std::move(assignment)),
       aux_(graph_, assignment_),
       options_(std::move(options)),
       tombstoned_(std::move(tombstoned)),
-      durable_(std::move(durable)) {
+      transport_(std::move(transport)),
+      servers_(std::move(servers)),
+      bus_(std::move(bus)) {
   tombstoned_.resize(assignment_.size(), 0);
-  store_ptrs_.reserve(durable_.size());
-  for (auto& d : durable_) store_ptrs_.push_back(d->mutable_store());
-  InitShards(static_cast<PartitionId>(durable_.size()));
 }
 
-void HermesCluster::InitShards(PartitionId alpha) {
-  shards_.clear();
-  shards_.reserve(alpha);
-  for (PartitionId p = 0; p < alpha; ++p) {
-    shards_.push_back(std::make_unique<PartitionShard>(p));
-  }
+HermesCluster::~HermesCluster() {
+  // Fail every pending call, then join the dispatch threads while all the
+  // servers are still alive. Members then destruct bus_ -> servers_ ->
+  // transport_, and the (idempotent) transport re-Shutdown is a no-op.
+  if (bus_ != nullptr) bus_->Shutdown();
+  if (transport_ != nullptr) transport_->Shutdown();
 }
 
-Status HermesCluster::InitStores() {
-  // Construction-time, single-threaded: no locks needed or taken.
+Status HermesCluster::InitServers() {
+  // Construction-time, single-threaded: no cluster locks needed or taken.
+  // Endpoint layout: server p owns endpoint p, the client bus owns
+  // endpoint alpha.
   const PartitionId alpha = assignment_.num_partitions();
-  InitShards(alpha);
-  store_ptrs_.clear();
-  if (durable()) {
-    for (PartitionId p = 0; p < alpha; ++p) {
-      const std::string dir =
+  transport_ = std::make_unique<InProcTransport>(options_.transport);
+  servers_.reserve(alpha);
+  for (PartitionId p = 0; p < alpha; ++p) {
+    PartitionServer::Options server_options;
+    if (durable()) {
+      server_options.durability_dir =
           options_.durability_dir + "/p" + std::to_string(p);
-      std::filesystem::create_directories(dir);
-      HERMES_ASSIGN_OR_RETURN(auto store, DurableGraphStore::Open(p, dir));
-      store_ptrs_.push_back(store->mutable_store());
-      durable_.push_back(std::move(store));
     }
-  } else {
-    for (PartitionId p = 0; p < alpha; ++p) {
-      stores_.push_back(std::make_unique<GraphStore>(p));
-      store_ptrs_.push_back(stores_.back().get());
+    HERMES_ASSIGN_OR_RETURN(
+        auto server, PartitionServer::Open(p, p, transport_.get(),
+                                           std::move(server_options)));
+    servers_.push_back(std::move(server));
+  }
+  bus_ = std::make_unique<MessageBus>(transport_.get(), alpha, options_.bus);
+  HERMES_RETURN_NOT_OK(bus_->Start());
+  return Status::OK();
+}
+
+Status HermesCluster::LoadServers() {
+  // Construction-time, single-threaded. Every partition's node chunks are
+  // installed before any edge chunk, so a co-located half record always
+  // finds both endpoints present (cross-partition halves never need the
+  // remote node).
+  const std::size_t n = graph_.NumVertices();
+  const PartitionId alpha = assignment_.num_partitions();
+  constexpr std::size_t kLoadChunk = 8192;
+  std::vector<InstallChunkRequest> pending(alpha);
+  auto flush = [&](PartitionId p) -> Status {
+    if (pending[p].nodes.empty() && pending[p].edges.empty()) {
+      return Status::OK();
     }
+    HERMES_ASSIGN_OR_RETURN(InstallChunkReply reply,
+                            CallInstallChunk(p, std::move(pending[p])));
+    pending[p] = InstallChunkRequest{};
+    return reply.status;
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionId p = assignment_.PartitionOf(v);
+    pending[p].nodes.push_back({v, graph_.VertexWeight(v), {}});
+    if (pending[p].nodes.size() >= kLoadChunk) {
+      HERMES_RETURN_NOT_OK(flush(p));
+    }
+  }
+  for (PartitionId p = 0; p < alpha; ++p) {
+    HERMES_RETURN_NOT_OK(flush(p));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionId pv = assignment_.PartitionOf(v);
+    for (VertexId w : graph_.Neighbors(v)) {
+      if (w < v) continue;  // one pass per undirected edge
+      const PartitionId pw = assignment_.PartitionOf(w);
+      if (pv == pw) {
+        pending[pv].edges.push_back({v, w, 0, true, false, {}});
+      } else {
+        pending[pv].edges.push_back({v, w, 0, false, false, {}});
+        pending[pw].edges.push_back({w, v, 0, false, false, {}});
+      }
+      if (pending[pv].edges.size() >= kLoadChunk) {
+        HERMES_RETURN_NOT_OK(flush(pv));
+      }
+      if (pv != pw && pending[pw].edges.size() >= kLoadChunk) {
+        HERMES_RETURN_NOT_OK(flush(pw));
+      }
+    }
+  }
+  for (PartitionId p = 0; p < alpha; ++p) {
+    HERMES_RETURN_NOT_OK(flush(p));
   }
   return Status::OK();
 }
@@ -84,31 +139,74 @@ Result<std::unique_ptr<HermesCluster>> HermesCluster::Recover(
   if (options.durability_dir.empty()) {
     return Status::InvalidArgument("Recover() needs a durability_dir");
   }
-  std::vector<std::unique_ptr<DurableGraphStore>> durable;
-  VertexId max_id = 0;
-  bool any_node = false;
+  // Bring up the message runtime first, exactly as the constructor does,
+  // then rebuild the logical directory from per-server Dump replies. On
+  // any failure the transport is shut down before the servers go out of
+  // scope, so no dispatch thread outlives its server.
+  auto transport = std::make_unique<InProcTransport>(options.transport);
+  std::vector<std::unique_ptr<PartitionServer>> servers;
+  servers.reserve(num_partitions);
   for (PartitionId p = 0; p < num_partitions; ++p) {
-    const std::string dir =
+    PartitionServer::Options server_options;
+    server_options.durability_dir =
         options.durability_dir + "/p" + std::to_string(p);
-    std::filesystem::create_directories(dir);
-    HERMES_ASSIGN_OR_RETURN(auto store, DurableGraphStore::Open(p, dir));
-    for (VertexId id : store->store().NodeIds()) {
-      max_id = std::max(max_id, id);
-      any_node = true;
+    auto server =
+        PartitionServer::Open(p, p, transport.get(), std::move(server_options));
+    if (!server.ok()) {
+      transport->Shutdown();
+      return server.status();
     }
-    durable.push_back(std::move(store));
+    servers.push_back(std::move(*server));
+  }
+  auto bus =
+      std::make_unique<MessageBus>(transport.get(), num_partitions, options.bus);
+  {
+    const Status st = bus->Start();
+    if (!st.ok()) {
+      transport->Shutdown();
+      return st;
+    }
+  }
+  std::vector<DumpReply> dumps;
+  dumps.reserve(num_partitions);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    Envelope request;
+    request.payload = DumpRequest{};
+    auto reply = bus->Call(p, std::move(request));
+    if (!reply.ok()) {
+      transport->Shutdown();
+      return reply.status();
+    }
+    auto* dump = std::get_if<DumpReply>(&reply->payload);
+    if (dump == nullptr) {
+      transport->Shutdown();
+      return Status::Internal("recover: unexpected reply payload");
+    }
+    if (!dump->status.ok()) {
+      transport->Shutdown();
+      return dump->status;
+    }
+    dumps.push_back(std::move(*dump));
   }
 
   // Rebuild the graph view and directory from the recovered records:
   // every node record places its vertex; every non-ghost relationship
   // record contributes its edge exactly once (full records appear in one
   // store; cross-partition edges have one real and one ghost copy).
+  VertexId max_id = 0;
+  bool any_node = false;
+  for (const DumpReply& dump : dumps) {
+    for (const auto& node : dump.nodes) {
+      max_id = std::max(max_id, node.id);
+      any_node = true;
+    }
+  }
   const std::size_t n = any_node ? static_cast<std::size_t>(max_id) + 1 : 0;
   Graph graph(n);
   PartitionAssignment assignment(n, num_partitions);
   std::vector<char> seen(n, 0);
   for (PartitionId p = 0; p < num_partitions; ++p) {
-    for (const auto& node : durable[p]->store().DumpNodes()) {
+    for (const auto& node : dumps[p].nodes) {
       assignment.Assign(node.id, p);
       graph.SetVertexWeight(node.id, node.weight);
       seen[node.id] = 1;
@@ -127,17 +225,20 @@ Result<std::unique_ptr<HermesCluster>> HermesCluster::Recover(
       graph.SetVertexWeight(v, 0.0);
     }
   }
-  for (PartitionId p = 0; p < num_partitions; ++p) {
-    for (const auto& rel : durable[p]->store().DumpRelationships()) {
+  for (const DumpReply& dump : dumps) {
+    for (const auto& rel : dump.rels) {
       if (rel.ghost) continue;
       const Status st = graph.AddEdge(rel.src, rel.dst);
-      if (!st.ok() && !st.IsAlreadyExists()) return st;
+      if (!st.ok() && !st.IsAlreadyExists()) {
+        transport->Shutdown();
+        return st;
+      }
     }
   }
-  return std::unique_ptr<HermesCluster>(
-      new HermesCluster(RecoveredTag{}, std::move(graph),
-                        std::move(assignment), std::move(options),
-                        std::move(durable), std::move(tombstoned)));
+  return std::unique_ptr<HermesCluster>(new HermesCluster(
+      RecoveredTag{}, std::move(graph), std::move(assignment),
+      std::move(options), std::move(transport), std::move(servers),
+      std::move(bus), std::move(tombstoned)));
 }
 
 Status HermesCluster::Checkpoint() {
@@ -148,89 +249,170 @@ Status HermesCluster::Checkpoint() {
   if (!durable()) {
     return Status::InvalidArgument("cluster is not durable");
   }
-  for (auto& d : durable_) {
+  for (PartitionId p = 0; p < num_servers(); ++p) {
     // audit:allow(blocking, checkpoint is the documented quiesce point: the
     // exclusive directory hold is what makes the per-partition snapshots
-    // mutually consistent)
-    HERMES_RETURN_NOT_OK(d->Checkpoint());
+    // mutually consistent, and the dispatch thread serving this call takes
+    // only its own server mutex — never a cluster lock)
+    HERMES_ASSIGN_OR_RETURN(CheckpointReply reply, CallCheckpoint(p));
+    HERMES_RETURN_NOT_OK(reply.status);
   }
   return Status::OK();
+}
+
+// --- Message-bus round-trips ----------------------------------------------
+//
+// Every cross-server operation below is one Call() on the bus: encode,
+// send, block for the matching reply (bounded by the call timeout). The
+// typed wrappers unwrap the expected reply payload; a payload of the
+// wrong type is a protocol bug, not an I/O error.
+
+Result<Envelope> HermesCluster::BusCall(PartitionId p,
+                                        MessagePayload payload) const {
+  Envelope request;
+  request.payload = std::move(payload);
+  return bus_->Call(p, std::move(request));
+}
+
+namespace {
+// Shared unwrap: BusCall succeeded, now the payload must be the reply
+// type the request implies.
+template <typename ReplyT>
+[[nodiscard]] Result<ReplyT> UnwrapReply(Result<Envelope> reply) {
+  HERMES_RETURN_NOT_OK(reply.status());
+  auto* typed = std::get_if<ReplyT>(&reply->payload);
+  if (typed == nullptr) {
+    return Status::Internal("message bus: unexpected reply payload type");
+  }
+  return std::move(*typed);
+}
+}  // namespace
+
+Result<NeighborsReply> HermesCluster::CallNeighbors(
+    PartitionId p, NeighborsRequest req) const {
+  return UnwrapReply<NeighborsReply>(BusCall(p, MessagePayload(std::move(req))));
+}
+Result<ProbeReply> HermesCluster::CallProbe(PartitionId p,
+                                            ProbeRequest req) const {
+  return UnwrapReply<ProbeReply>(BusCall(p, MessagePayload(std::move(req))));
+}
+Result<MutateReply> HermesCluster::CallMutate(PartitionId p,
+                                              MutateRequest req) const {
+  return UnwrapReply<MutateReply>(BusCall(p, MessagePayload(std::move(req))));
+}
+Result<InstallChunkReply> HermesCluster::CallInstallChunk(
+    PartitionId p, InstallChunkRequest req) const {
+  return UnwrapReply<InstallChunkReply>(
+      BusCall(p, MessagePayload(std::move(req))));
+}
+Result<ExtractReply> HermesCluster::CallExtract(PartitionId p,
+                                                VertexId v) const {
+  ExtractRequest req;
+  req.vertex = v;
+  return UnwrapReply<ExtractReply>(BusCall(p, MessagePayload(std::move(req))));
+}
+Result<AuxExchangeReply> HermesCluster::CallAuxExchange(
+    PartitionId p, AuxExchangeRequest req) const {
+  return UnwrapReply<AuxExchangeReply>(
+      BusCall(p, MessagePayload(std::move(req))));
+}
+Result<HealthReply> HermesCluster::CallHealth(PartitionId p) const {
+  return UnwrapReply<HealthReply>(BusCall(p, MessagePayload(HealthRequest{})));
+}
+Result<CheckpointReply> HermesCluster::CallCheckpoint(PartitionId p) const {
+  return UnwrapReply<CheckpointReply>(
+      BusCall(p, MessagePayload(CheckpointRequest{})));
 }
 
 // --- Mutation routing -----------------------------------------------------
 //
-// Callers hold either partition p's shard mutex (under dir_mu_ shared) or
-// dir_mu_ exclusively — see the locking contract in the header.
+// Thin wrappers that put one store mutation on the wire. Callers hold
+// dir_mu_ (shared for single-record ops, exclusive for migration epochs);
+// the owning server serializes execution on its dispatch thread.
 
 Status HermesCluster::DoCreateNode(PartitionId p, VertexId id, double w) {
-  return durable() ? durable_[p]->CreateNode(id, w)
-                   : store_ptrs_[p]->CreateNode(id, w);
+  MutateRequest req;
+  req.op = MutateRequest::Op::kCreateNode;
+  req.vertex = id;
+  req.weight = w;
+  HERMES_ASSIGN_OR_RETURN(MutateReply reply, CallMutate(p, std::move(req)));
+  return reply.status;
 }
 Status HermesCluster::DoRemoveNode(PartitionId p, VertexId v) {
-  return durable() ? durable_[p]->RemoveNode(v)
-                   : store_ptrs_[p]->RemoveNode(v);
+  MutateRequest req;
+  req.op = MutateRequest::Op::kRemoveNode;
+  req.vertex = v;
+  HERMES_ASSIGN_OR_RETURN(MutateReply reply, CallMutate(p, std::move(req)));
+  return reply.status;
 }
 Status HermesCluster::DoSetNodeState(PartitionId p, VertexId v,
-                                     NodeState state) {
-  return durable() ? durable_[p]->SetNodeState(v, state)
-                   : store_ptrs_[p]->SetNodeState(v, state);
+                                     WireNodeState state) {
+  MutateRequest req;
+  req.op = MutateRequest::Op::kSetNodeState;
+  req.vertex = v;
+  req.node_state = state;
+  HERMES_ASSIGN_OR_RETURN(MutateReply reply, CallMutate(p, std::move(req)));
+  return reply.status;
 }
 Status HermesCluster::DoAddNodeWeight(PartitionId p, VertexId v,
                                       double delta) {
-  return durable() ? durable_[p]->AddNodeWeight(v, delta)
-                   : store_ptrs_[p]->AddNodeWeight(v, delta);
+  MutateRequest req;
+  req.op = MutateRequest::Op::kAddNodeWeight;
+  req.vertex = v;
+  req.weight = delta;
+  HERMES_ASSIGN_OR_RETURN(MutateReply reply, CallMutate(p, std::move(req)));
+  return reply.status;
 }
 Result<RecordId> HermesCluster::DoAddEdge(PartitionId p, VertexId v,
                                           VertexId other, std::uint32_t type,
                                           bool other_is_local) {
-  return durable() ? durable_[p]->AddEdge(v, other, type, other_is_local)
-                   : store_ptrs_[p]->AddEdge(v, other, type, other_is_local);
+  MutateRequest req;
+  req.op = MutateRequest::Op::kAddEdge;
+  req.vertex = v;
+  req.other = other;
+  req.type_or_key = type;
+  req.other_is_local = other_is_local;
+  HERMES_ASSIGN_OR_RETURN(MutateReply reply, CallMutate(p, std::move(req)));
+  HERMES_RETURN_NOT_OK(reply.status);
+  return reply.record_id;
 }
 Status HermesCluster::DoRemoveEdge(PartitionId p, VertexId v, VertexId other) {
-  return durable() ? durable_[p]->RemoveEdge(v, other)
-                   : store_ptrs_[p]->RemoveEdge(v, other);
+  MutateRequest req;
+  req.op = MutateRequest::Op::kRemoveEdge;
+  req.vertex = v;
+  req.other = other;
+  HERMES_ASSIGN_OR_RETURN(MutateReply reply, CallMutate(p, std::move(req)));
+  return reply.status;
 }
 Status HermesCluster::DoSetNodeProperty(PartitionId p, VertexId v,
                                         std::uint32_t key,
                                         const std::string& value) {
-  return durable() ? durable_[p]->SetNodeProperty(v, key, value)
-                   : store_ptrs_[p]->SetNodeProperty(v, key, value);
+  MutateRequest req;
+  req.op = MutateRequest::Op::kSetNodeProperty;
+  req.vertex = v;
+  req.type_or_key = key;
+  req.value = value;
+  HERMES_ASSIGN_OR_RETURN(MutateReply reply, CallMutate(p, std::move(req)));
+  return reply.status;
 }
 Status HermesCluster::DoSetEdgeProperty(PartitionId p, VertexId v,
                                         VertexId other, std::uint32_t key,
                                         const std::string& value) {
-  return durable() ? durable_[p]->SetEdgeProperty(v, other, key, value)
-                   : store_ptrs_[p]->SetEdgeProperty(v, other, key, value);
-}
-
-Status HermesCluster::LoadStores() {
-  // Construction-time, single-threaded: no locks needed or taken.
-  const std::size_t n = graph_.NumVertices();
-  for (VertexId v = 0; v < n; ++v) {
-    HERMES_RETURN_NOT_OK(DoCreateNode(assignment_.PartitionOf(v), v,
-                                      graph_.VertexWeight(v)));
-  }
-  for (VertexId v = 0; v < n; ++v) {
-    const PartitionId pv = assignment_.PartitionOf(v);
-    for (VertexId w : graph_.Neighbors(v)) {
-      if (w < v) continue;  // one pass per undirected edge
-      const PartitionId pw = assignment_.PartitionOf(w);
-      if (pv == pw) {
-        HERMES_RETURN_NOT_OK(DoAddEdge(pv, v, w, 0, true).status());
-      } else {
-        HERMES_RETURN_NOT_OK(DoAddEdge(pv, v, w, 0, false).status());
-        HERMES_RETURN_NOT_OK(DoAddEdge(pw, w, v, 0, false).status());
-      }
-    }
-  }
-  return Status::OK();
+  MutateRequest req;
+  req.op = MutateRequest::Op::kSetEdgeProperty;
+  req.vertex = v;
+  req.other = other;
+  req.type_or_key = key;
+  req.value = value;
+  HERMES_ASSIGN_OR_RETURN(MutateReply reply, CallMutate(p, std::move(req)));
+  return reply.status;
 }
 
 Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
                                                                int hops) {
   // The shared directory hold pins every vertex's placement for the whole
-  // traversal; shard mutexes are taken per adjacency fetch only, so
-  // concurrent traversals (and writes to other partitions) interleave.
+  // traversal; per-server serialization happens on the dispatch threads,
+  // so concurrent traversals (and writes to other partitions) interleave.
   ReaderMutexLock dir(&dir_mu_);
   if (start >= assignment_.size()) {
     return Status::OutOfRange("start vertex out of range");
@@ -240,8 +422,16 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
   }
   const PartitionId p0 = assignment_.PartitionOf(start);
   {
-    MutexLock shard_lock(&shard(p0));
-    if (!store_ptrs_[p0]->HasNode(start)) {
+    ProbeRequest probe;
+    probe.mode = ProbeRequest::Mode::kHasNode;
+    probe.vertex = start;
+    // audit:allow(blocking, bus round-trip under the shared directory
+    // hold: the dispatch thread serving it takes only its own server
+    // mutex, never a cluster lock, so the reply always arrives or the
+    // call times out retryably (DESIGN.md §12))
+    HERMES_ASSIGN_OR_RETURN(ProbeReply reply, CallProbe(p0, std::move(probe)));
+    HERMES_RETURN_NOT_OK(reply.status);
+    if (!reply.truth) {
       return Status::Unavailable("start vertex unavailable (mid-migration)");
     }
   }
@@ -252,30 +442,39 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
   run.unique_vertices = 1;
 
   // Level-synchronous execution with per-server batching: at each hop the
-  // query is forwarded once to every server that hosts touched vertices
-  // (scatter-gather), not once per edge. Touching a vertex's record
-  // happens on its host, so the per-server visit counts — and the number
-  // of distinct remote servers per level — are what edge-cut controls.
+  // query is forwarded once to every server that hosts touched vertices —
+  // a single NeighborsRequest carries the whole level's vertices for that
+  // server (scatter-gather), not one message per edge. Touching a
+  // vertex's record happens on its host, so the per-server visit counts —
+  // and the number of distinct remote servers per level — are what
+  // edge-cut controls.
   std::unordered_set<VertexId> seen{start};
   std::vector<VertexId> level{start};
   PartitionId position = p0;  // server currently holding the traversal
   for (int depth = 0; depth < hops && !level.empty(); ++depth) {
+    std::map<PartitionId, NeighborsRequest> batches;
+    for (VertexId v : level) {
+      batches[assignment_.PartitionOf(v)].vertices.push_back(v);
+    }
     std::vector<VertexId> next_level;
     std::map<PartitionId, std::uint32_t> visits_by_server;
-    for (VertexId v : level) {
-      const PartitionId pv = assignment_.PartitionOf(v);
-      const Result<std::vector<VertexId>> neighbors =
-          [&]() -> Result<std::vector<VertexId>> {
-        MutexLock shard_lock(&shard(pv));
-        return store_ptrs_[pv]->Neighbors(v);
-      }();
-      if (!neighbors.ok()) continue;  // unavailable (mid-migration barrier)
-      for (VertexId w : *neighbors) {
-        ++visits_by_server[assignment_.PartitionOf(w)];
-        ++run.vertices_processed;
-        if (seen.insert(w).second) {
-          ++run.unique_vertices;
-          next_level.push_back(w);
+    for (auto& [pv, batch] : batches) {
+      // audit:allow(blocking, bus round-trip under the shared directory
+      // hold — same non-deadlock argument as the probe above)
+      HERMES_ASSIGN_OR_RETURN(NeighborsReply reply,
+                              CallNeighbors(pv, std::move(batch)));
+      HERMES_RETURN_NOT_OK(reply.status);
+      for (const auto& adjacency : reply.results) {
+        // Per-vertex failure = unavailable (mid-migration barrier): skip
+        // the vertex, keep the batch.
+        if (!adjacency.status.ok()) continue;
+        for (VertexId w : adjacency.neighbors) {
+          ++visits_by_server[assignment_.PartitionOf(w)];
+          ++run.vertices_processed;
+          if (seen.insert(w).second) {
+            ++run.unique_vertices;
+            next_level.push_back(w);
+          }
         }
       }
     }
@@ -290,9 +489,9 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
       run.segments.emplace_back(server, visits);
       position = server;
       if (options_.read_hop_latency_us > 0.0) {
-        // Model the remote round-trip with a real wait. No shard mutex is
-        // held here, so concurrent readers overlap their network waits —
-        // under the old global lock these sleeps serialized.
+        // Model the remote round-trip with a real wait. No server is
+        // blocked on this: only the shared directory hold spans the
+        // simulated hop, so concurrent readers overlap their waits.
         // audit:allow(blocking, network-latency model: only the shared
         // directory hold spans the simulated hop, so readers overlap and
         // writers wait exactly as a remote fetch would make them)
@@ -309,22 +508,25 @@ Result<HermesCluster::TraversalRun> HermesCluster::ExecuteRead(VertexId start,
       graph_.AddVertexWeight(start, 1.0);
       aux_.OnVertexWeightChanged(start, 1.0, assignment_);
     }
-    Status bump;
-    {
-      MutexLock shard_lock(&shard(p0));
-      bump = DoAddNodeWeight(p0, start, 1.0);
-    }
-    if (!bump.ok()) {
-      // The durable store missed the bump (e.g. a WAL append failure).
-      // Undo the in-memory side — otherwise graph_ and the store diverge
-      // permanently: recovery reconstructs the lower weight and every
-      // repartition decision runs on phantom load. Surface the error so
-      // the caller sees the storage fault (the traversal result itself is
-      // sacrificed; reads are retryable under the Unavailable contract).
+    AuxExchangeRequest bump_req;
+    bump_req.entries.push_back({start, 1.0});
+    // audit:allow(blocking, bus round-trip under the shared directory
+    // hold — same non-deadlock argument as the probe above)
+    const Result<AuxExchangeReply> bump =
+        CallAuxExchange(p0, std::move(bump_req));
+    const Status bump_st = bump.ok() ? bump->status : bump.status();
+    if (!bump_st.ok()) {
+      // The server missed the bump (e.g. a WAL append failure, or the
+      // reply was lost). Undo the in-memory side — otherwise graph_ and
+      // the store diverge permanently: recovery reconstructs the lower
+      // weight and every repartition decision runs on phantom load.
+      // Surface the error so the caller sees the fault (the traversal
+      // result itself is sacrificed; reads are retryable under the
+      // Unavailable contract).
       MutexLock topo(&topo_mu_);
       graph_.AddVertexWeight(start, -1.0);
       aux_.OnVertexWeightChanged(start, -1.0, assignment_);
-      return bump;
+      return bump_st;
     }
   }
   m_reads_->Increment();
@@ -343,14 +545,26 @@ NeighborProvider HermesCluster::MakeNeighborProvider() const {
       return Status::NotFound("vertex is tombstoned");
     }
     const PartitionId p = assignment_.PartitionOf(v);
-    MutexLock shard_lock(&shard(p));
-    return store_ptrs_[p]->NeighborsByType(v, type);
+    NeighborsRequest req;
+    req.vertices.push_back(v);
+    req.has_type = type.has_value();
+    req.type = type.value_or(0);
+    // audit:allow(blocking, bus round-trip under the shared directory
+    // hold: dispatch threads never take cluster locks (DESIGN.md §12))
+    HERMES_ASSIGN_OR_RETURN(NeighborsReply reply,
+                            CallNeighbors(p, std::move(req)));
+    HERMES_RETURN_NOT_OK(reply.status);
+    if (reply.results.size() != 1) {
+      return Status::Internal("neighbors reply shape mismatch");
+    }
+    HERMES_RETURN_NOT_OK(reply.results[0].status);
+    return std::move(reply.results[0].neighbors);
   };
 }
 
 Result<VertexId> HermesCluster::InsertVertex(double weight) {
   // The vertex-id space grows: exclusive directory hold (which also
-  // excludes every shard holder, so no shard mutex is needed).
+  // excludes every other cluster-side capability).
   WriterMutexLock dir(&dir_mu_);
   VertexId id;
   {
@@ -365,7 +579,20 @@ Result<VertexId> HermesCluster::InsertVertex(double weight) {
     MutexLock topo(&topo_mu_);
     aux_.OnVertexAdded(p, weight);
   }
-  HERMES_RETURN_NOT_OK(DoCreateNode(p, id, weight));
+  // audit:allow(blocking, bus round-trip under the exclusive directory
+  // hold: the dispatch thread serving it takes only its own server mutex,
+  // never a cluster lock (DESIGN.md §12))
+  const Status created = DoCreateNode(p, id, weight);
+  if (!created.ok()) {
+    // The store never saw the node (the send failed before apply), so
+    // tombstoning the burned id keeps directory and stores in agreement;
+    // the weight contribution is cancelled rather than the aux row
+    // removed (ids are append-only).
+    tombstoned_[id] = 1;
+    MutexLock topo(&topo_mu_);
+    aux_.OnVertexWeightChanged(id, -weight, assignment_);
+    return created;
+  }
   m_writes_->Increment();
   return id;
 }
@@ -398,22 +625,25 @@ Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
   }
   const PartitionId pu = assignment_.PartitionOf(u);
   const PartitionId pv = assignment_.PartitionOf(v);
-  // Write the store records with the endpoint shard mutexes held, taken
-  // in partition-id order (== increasing lock rank).
+  // Write the half records through the bus; each owning server serializes
+  // its own store, and the exclusive record locks above make the pair of
+  // sends atomic with respect to competing writers.
   Status store_st;
   bool first_half_stranded = false;
   if (pu == pv) {
-    MutexLock shard_lock(&shard(pu));
+    // audit:allow(blocking, bus round-trip under the shared directory
+    // hold: dispatch threads never take cluster locks (DESIGN.md §12))
     store_st = DoAddEdge(pu, u, v, type, true).status();
   } else {
-    MutexLock shard_lo(&shard(std::min(pu, pv)));
-    MutexLock shard_hi(&shard(std::max(pu, pv)));
+    // audit:allow(blocking, same bus round-trip contract as above)
     store_st = DoAddEdge(pu, u, v, type, false).status();
     if (store_st.ok()) {
+      // audit:allow(blocking, same bus round-trip contract as above)
       store_st = DoAddEdge(pv, v, u, type, false).status();
       if (!store_st.ok()) {
         // v's half failed after u's succeeded: undo u's half so the two
         // stores agree before we roll back the graph view.
+        // audit:allow(blocking, same bus round-trip contract as above)
         const Status undo = DoRemoveEdge(pu, u, v);
         first_half_stranded = !undo.ok();
       }
@@ -432,8 +662,9 @@ Status HermesCluster::InsertEdge(VertexId u, VertexId v, std::uint32_t type) {
     }
     if (first_half_stranded) {
       // Double fault: the rollback write itself failed (e.g. the WAL is
-      // rejecting appends). The half record on pu's store is stranded
-      // until recovery; surface it rather than hiding it.
+      // rejecting appends, or the reply was lost). The half record on
+      // pu's store is stranded until recovery; surface it rather than
+      // hiding it.
       HERMES_LOG(Warning) << "InsertEdge rollback failed; edge {" << u << ","
                           << v << "} half record stranded on partition "
                           << pu;
@@ -555,82 +786,83 @@ Result<MigrationStats> HermesCluster::MigrateDiffChunked(
     const std::size_t end = std::min(moved.size(), begin + chunk_size);
     chunk.assign(moved.begin() + begin, moved.begin() + end);
     ++stats.chunks;
-    std::vector<NodeSnapshot> snapshots;
+    std::vector<ExtractReply> extracts;
     std::vector<PartitionId> sources;
-    snapshots.reserve(chunk.size());
+    extracts.reserve(chunk.size());
     sources.reserve(chunk.size());
 
-    // --- Copy step (exclusive directory hold, which excludes every shard
-    // holder — no shard mutexes needed). Snapshot on the source, replicate
-    // on the target, then mark the originals unavailable so the barrier
-    // window below is observable to readers (Section 3.2: the directory
-    // still routes to the source, whose record answers Unavailable).
+    // --- Copy step (exclusive directory hold, which excludes every other
+    // cluster-side capability). Extract each vertex off its source server,
+    // replicate everything on the targets with InstallChunk messages, then
+    // mark the originals unavailable so the barrier window below is
+    // observable to readers (Section 3.2: the directory still routes to
+    // the source, whose record answers Unavailable).
     {
       WriterMutexLock dir(&dir_mu_);
       TraceSpan copy_span("cluster.migration.copy");
       for (VertexId v : chunk) {
         const PartitionId sp = assignment_.PartitionOf(v);
-        HERMES_ASSIGN_OR_RETURN(NodeSnapshot snap,
-                                store_ptrs_[sp]->ExtractNode(v));
-        stats.bytes_copied += snap.WireBytes();
+        // Extraction is read-only: a failure here aborts the chunk with
+        // nothing to unwind.
+        // audit:allow(blocking, bus round-trip under the exclusive
+        // directory hold: the dispatch thread serving it takes only its
+        // own server mutex, never a cluster lock (DESIGN.md §12))
+        HERMES_ASSIGN_OR_RETURN(ExtractReply snap, CallExtract(sp, v));
+        HERMES_RETURN_NOT_OK(snap.status);
+        stats.bytes_copied += snap.wire_bytes;
         target_busy[after->PartitionOf(v)] +=
-            static_cast<SimTime>(snap.WireBytes()) * options_.net.per_byte_us +
+            static_cast<SimTime>(snap.wire_bytes) * options_.net.per_byte_us +
             static_cast<SimTime>(1 + snap.relationships.size()) *
                 options_.net.write_op_us;
         sources.push_back(sp);
-        snapshots.push_back(std::move(snap));
+        extracts.push_back(std::move(snap));
       }
-      // Replicate node records first so that edges between co-migrating
-      // vertices find both endpoints present. Progress is tracked so that
-      // a mid-chunk storage failure (a WAL append rejected on the target,
-      // say) unwinds to the pre-chunk state instead of leaving the vertex
-      // hosted by two stores with the directory still at the source.
-      std::size_t created = 0;  // snapshots whose target node record exists
-      std::size_t marked = 0;   // sources already flagged kUnavailable
-      const Status copy_st = [&]() -> Status {
-        for (const NodeSnapshot& snap : snapshots) {
-          const PartitionId tp = after->PartitionOf(snap.id);
-          HERMES_RETURN_NOT_OK(DoCreateNode(tp, snap.id, snap.weight));
-          ++created;
-          for (const auto& [key, value] : snap.properties) {
-            HERMES_RETURN_NOT_OK(DoSetNodeProperty(tp, snap.id, key, value));
-          }
+      // Group the replicas into one InstallChunk per target server. The
+      // server creates node records before edges, so edges between
+      // co-migrating vertices find both endpoints present. Progress is
+      // tracked through the replies so that a mid-chunk storage failure
+      // (a WAL append rejected on the target, say) unwinds to the
+      // pre-chunk state instead of leaving a vertex hosted by two stores
+      // with the directory still at the source.
+      std::map<PartitionId, InstallChunkRequest> installs;
+      for (const ExtractReply& snap : extracts) {
+        const PartitionId tp = after->PartitionOf(snap.id);
+        InstallChunkRequest& req = installs[tp];
+        req.nodes.push_back({snap.id, snap.weight, snap.properties});
+        for (const auto& rel : snap.relationships) {
+          // Each chunk is an independent classic migration epoch against
+          // the live directory: a neighbor's locality is its placement as
+          // of the END of this chunk (co-chunk movers land with us; later
+          // chunks are still where the live directory says, and their own
+          // epoch upgrades the half record to full when they arrive — the
+          // ghost rule is id-derived, so both sides stay consistent).
+          const bool other_in_chunk =
+              std::binary_search(chunk.begin(), chunk.end(), rel.other);
+          const PartitionId other_p = other_in_chunk
+                                          ? after->PartitionOf(rel.other)
+                                          : assignment_.PartitionOf(rel.other);
+          req.edges.push_back({snap.id, rel.other, rel.type, other_p == tp,
+                               rel.properties_included, rel.properties});
         }
-        for (const NodeSnapshot& snap : snapshots) {
-          const PartitionId tp = after->PartitionOf(snap.id);
-          for (const auto& rel : snap.relationships) {
-            // Each chunk is an independent classic migration epoch against
-            // the live directory: a neighbor's locality is its placement
-            // as of the END of this chunk (co-chunk movers land with us;
-            // later chunks are still where the live directory says, and
-            // their own epoch upgrades the half record to full when they
-            // arrive — the ghost rule is id-derived, so both sides stay
-            // consistent).
-            const bool other_in_chunk =
-                std::binary_search(chunk.begin(), chunk.end(), rel.other);
-            const PartitionId other_p =
-                other_in_chunk ? after->PartitionOf(rel.other)
-                               : assignment_.PartitionOf(rel.other);
-            const bool other_local = other_p == tp;
-            auto added =
-                DoAddEdge(tp, snap.id, rel.other, rel.type, other_local);
-            if (!added.ok()) {
-              if (added.status().IsAlreadyExists()) continue;  // co-migrated
-              return added.status();
-            }
-            if (rel.properties_included) {
-              for (const auto& [key, value] : rel.properties) {
-                const Status st =
-                    DoSetEdgeProperty(tp, snap.id, rel.other, key, value);
-                // Ghost copies refuse properties by design.
-                if (!st.ok() && !st.IsInvalidArgument()) return st;
-              }
-            }
-          }
+      }
+      // (target, nodes created there) for the unwind path; node order
+      // within a target matches installs[target].nodes.
+      std::vector<std::pair<PartitionId, std::uint64_t>> created_by_target;
+      std::size_t marked = 0;  // sources already flagged kUnavailable
+      const Status copy_st = [&]() -> Status {
+        for (const auto& [tp, req] : installs) {
+          // audit:allow(blocking, bus round-trip under the exclusive
+          // directory hold — same non-deadlock argument as CallExtract)
+          const Result<InstallChunkReply> reply = CallInstallChunk(tp, req);
+          HERMES_RETURN_NOT_OK(reply.status());
+          created_by_target.emplace_back(tp, reply->nodes_created);
+          HERMES_RETURN_NOT_OK(reply->status);
         }
         for (; marked < chunk.size(); ++marked) {
+          // audit:allow(blocking, bus round-trip under the exclusive
+          // directory hold — same non-deadlock argument as CallExtract)
           HERMES_RETURN_NOT_OK(DoSetNodeState(sources[marked], chunk[marked],
-                                              NodeState::kUnavailable));
+                                              WireNodeState::kUnavailable));
         }
         return Status::OK();
       }();
@@ -645,8 +877,10 @@ Result<MigrationStats> HermesCluster::MigrateDiffChunked(
         // — warn loudly and keep going so as much of the chunk as
         // possible is released, then surface the original error.
         for (std::size_t i = 0; i < marked; ++i) {
+          // audit:allow(blocking, bus round-trip under the exclusive
+          // directory hold — same non-deadlock argument as CallExtract)
           const Status undo =
-              DoSetNodeState(sources[i], chunk[i], NodeState::kAvailable);
+              DoSetNodeState(sources[i], chunk[i], WireNodeState::kAvailable);
           if (!undo.ok()) {
             HERMES_LOG(Warning)
                 << "migration unwind: vertex " << chunk[i]
@@ -654,15 +888,18 @@ Result<MigrationStats> HermesCluster::MigrateDiffChunked(
                 << undo.ToString();
           }
         }
-        for (std::size_t i = 0; i < created; ++i) {
-          const NodeSnapshot& snap = snapshots[i];
-          const PartitionId tp = after->PartitionOf(snap.id);
-          const Status undo = DoRemoveNode(tp, snap.id);
-          if (!undo.ok()) {
-            HERMES_LOG(Warning)
-                << "migration unwind: replica of vertex " << snap.id
-                << " stranded on partition " << tp << ": "
-                << undo.ToString();
+        for (const auto& [tp, created] : created_by_target) {
+          const auto& nodes = installs[tp].nodes;
+          for (std::uint64_t i = 0; i < created; ++i) {
+            // audit:allow(blocking, bus round-trip under the exclusive
+            // directory hold — same non-deadlock argument as CallExtract)
+            const Status undo = DoRemoveNode(tp, nodes[i].id);
+            if (!undo.ok()) {
+              HERMES_LOG(Warning)
+                  << "migration unwind: replica of vertex " << nodes[i].id
+                  << " stranded on partition " << tp << ": "
+                  << undo.ToString();
+            }
           }
         }
         return copy_st;
@@ -681,8 +918,8 @@ Result<MigrationStats> HermesCluster::MigrateDiffChunked(
     {
       WriterMutexLock dir(&dir_mu_);
       TraceSpan remove_span("cluster.migration.remove");
-      for (std::size_t i = 0; i < snapshots.size(); ++i) {
-        const NodeSnapshot& snap = snapshots[i];
+      for (std::size_t i = 0; i < extracts.size(); ++i) {
+        const ExtractReply& snap = extracts[i];
         const PartitionId sp = sources[i];
         const PartitionId tp = after->PartitionOf(snap.id);
         {
@@ -695,6 +932,8 @@ Result<MigrationStats> HermesCluster::MigrateDiffChunked(
         source_busy[sp] +=
             static_cast<SimTime>(1 + snap.relationships.size()) *
             options_.net.write_op_us;
+        // audit:allow(blocking, bus round-trip under the exclusive
+        // directory hold — same non-deadlock argument as CallExtract)
         HERMES_RETURN_NOT_OK(DoRemoveNode(sp, snap.id));
       }
     }
@@ -715,6 +954,22 @@ Result<MigrationStats> HermesCluster::MigrateDiffChunked(
 bool HermesCluster::Validate(std::size_t sample, std::uint64_t seed) const {
   WriterMutexLock dir(&dir_mu_);
   MutexLock topo(&topo_mu_);
+  // Everything below goes through the message protocol too — validation
+  // exercises the same probes a remote client would. Any bus-level error
+  // counts as an inconsistency (strict by design).
+  auto probe = [this](PartitionId p, ProbeRequest::Mode mode, VertexId v,
+                      VertexId other) -> Result<bool> {
+    ProbeRequest req;
+    req.mode = mode;
+    req.vertex = v;
+    req.other = other;
+    // audit:allow(blocking, bus round-trip under the exclusive directory
+    // hold: the dispatch thread serving it takes only its own server
+    // mutex, never a cluster lock (DESIGN.md §12))
+    HERMES_ASSIGN_OR_RETURN(ProbeReply reply, CallProbe(p, std::move(req)));
+    HERMES_RETURN_NOT_OK(reply.status);
+    return reply.truth;
+  };
   const std::size_t n = graph_.NumVertices();
   Rng rng(seed);
   const bool all = (sample == 0 || sample >= n);
@@ -724,19 +979,32 @@ bool HermesCluster::Validate(std::size_t sample, std::uint64_t seed) const {
     if (tombstoned_[v]) {
       // A tombstoned id must not exist in any store.
       for (PartitionId p = 0; p < num_servers(); ++p) {
-        if (store_ptrs_[p]->NodeExists(v)) return false;
+        const Result<bool> exists =
+            probe(p, ProbeRequest::Mode::kNodeExists, v, 0);
+        if (!exists.ok() || *exists) return false;
       }
       continue;
     }
     const PartitionId pv = assignment_.PartitionOf(v);
-    if (!store_ptrs_[pv]->HasNode(v)) return false;
+    const Result<bool> hosted = probe(pv, ProbeRequest::Mode::kHasNode, v, 0);
+    if (!hosted.ok() || !*hosted) return false;
     // No other store may host v.
     for (PartitionId p = 0; p < num_servers(); ++p) {
-      if (p != pv && store_ptrs_[p]->NodeExists(v)) return false;
+      if (p == pv) continue;
+      const Result<bool> exists =
+          probe(p, ProbeRequest::Mode::kNodeExists, v, 0);
+      if (!exists.ok() || *exists) return false;
     }
-    auto neighbors = store_ptrs_[pv]->Neighbors(v);
-    if (!neighbors.ok()) return false;
-    std::vector<VertexId> from_store = *neighbors;
+    NeighborsRequest req;
+    req.vertices.push_back(v);
+    // audit:allow(blocking, bus round-trip under the exclusive directory
+    // hold — same non-deadlock argument as the probe lambda)
+    const Result<NeighborsReply> reply = CallNeighbors(pv, std::move(req));
+    if (!reply.ok() || !reply->status.ok() || reply->results.size() != 1 ||
+        !reply->results[0].status.ok()) {
+      return false;
+    }
+    std::vector<VertexId> from_store = reply->results[0].neighbors;
     std::sort(from_store.begin(), from_store.end());
     const auto expected = graph_.Neighbors(v);
     if (from_store.size() != expected.size() ||
@@ -747,8 +1015,10 @@ bool HermesCluster::Validate(std::size_t sample, std::uint64_t seed) const {
     // co-located edges have a single non-ghost record.
     for (VertexId w : expected) {
       const PartitionId pw = assignment_.PartitionOf(w);
-      auto mine = store_ptrs_[pv]->EdgeIsGhost(v, w);
-      auto theirs = store_ptrs_[pw]->EdgeIsGhost(w, v);
+      const Result<bool> mine =
+          probe(pv, ProbeRequest::Mode::kEdgeIsGhost, v, w);
+      const Result<bool> theirs =
+          probe(pw, ProbeRequest::Mode::kEdgeIsGhost, w, v);
       if (!mine.ok() || !theirs.ok()) return false;
       if (pv == pw) {
         if (*mine || *theirs) return false;
@@ -764,8 +1034,13 @@ std::size_t HermesCluster::TotalStoreBytes() const {
   ReaderMutexLock dir(&dir_mu_);
   std::size_t total = 0;
   for (PartitionId p = 0; p < num_servers(); ++p) {
-    MutexLock shard_lock(&shard(p));
-    total += store_ptrs_[p]->MemoryBytes();
+    // Best-effort metric: a server that fails to answer contributes 0.
+    // audit:allow(blocking, bus round-trip under the shared directory
+    // hold: dispatch threads never take cluster locks (DESIGN.md §12))
+    const Result<HealthReply> health = CallHealth(p);
+    if (health.ok() && health->status.ok()) {
+      total += static_cast<std::size_t>(health->store_bytes);
+    }
   }
   return total;
 }
@@ -779,8 +1054,12 @@ hermes::MetricsSnapshot HermesCluster::MetricsSnapshot() const {
     ReaderMutexLock dir(&dir_mu_);
     std::size_t store_bytes = 0;
     for (PartitionId p = 0; p < num_servers(); ++p) {
-      MutexLock shard_lock(&shard(p));
-      store_bytes += store_ptrs_[p]->MemoryBytes();
+      // audit:allow(blocking, bus round-trip under the shared directory
+      // hold: dispatch threads never take cluster locks (DESIGN.md §12))
+      const Result<HealthReply> health = CallHealth(p);
+      if (health.ok() && health->status.ok()) {
+        store_bytes += static_cast<std::size_t>(health->store_bytes);
+      }
     }
     registry.GetGauge("cluster.store_bytes")
         ->Set(static_cast<double>(store_bytes));

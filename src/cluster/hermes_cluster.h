@@ -13,12 +13,14 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "graph/graph.h"
-#include "graphdb/durable_store.h"
-#include "graphdb/graph_store.h"
 #include "graphdb/traversal.h"
+#include "net/bus.h"
+#include "net/inproc_transport.h"
+#include "net/message.h"
 #include "partition/assignment.h"
 #include "partition/aux_data.h"
 #include "partition/lightweight.h"
+#include "server/partition_server.h"
 #include "sim/network.h"
 #include "txn/transaction.h"
 
@@ -45,18 +47,28 @@ struct MigrationStats {
   double imbalance_after = 0.0;
 };
 
-/// The distributed Hermes deployment: `alpha` peer servers, each hosting a
-/// GraphStore shard of the social graph, plus the shared directory
-/// (PartitionAssignment), per-server auxiliary data, and transaction
-/// management (Figure 5/6). Clients connect to any server; traversals are
-/// forwarded along partition boundaries as remote hops.
+/// The distributed Hermes deployment: `alpha` peer partition servers,
+/// each hosting a GraphStore shard of the social graph, plus the shared
+/// directory (PartitionAssignment), per-server auxiliary data, and
+/// transaction management (Figure 5/6). Clients connect to any server;
+/// traversals are forwarded along partition boundaries as remote hops.
+///
+/// Every cross-server operation — adjacency fetches, record mutations,
+/// migration chunk copy/remove traffic, weight exchange, health,
+/// checkpoint, recovery dumps — travels as a typed message through the
+/// MessageBus over a Transport (DESIGN.md §12). The cluster object holds
+/// no store pointers at all: the partition-server boundary is the wire
+/// protocol, and tools/layers.json forbids this module from including
+/// the store headers, so "no direct cross-server access" is checked at
+/// build time. The first transport is in-process queues; a socket
+/// `hermesd` slots in behind the same interface.
 ///
 /// The cluster also keeps the algorithmic `Graph` view in sync with the
-/// stores: the repartitioner runs against the auxiliary data exactly as in
-/// the paper, and physical migration runs against the stores.
+/// stores: the repartitioner runs against the auxiliary data exactly as
+/// in the paper, and physical migration runs against the stores.
 ///
-/// Concurrency model (phase 2, sharded — DESIGN.md §6). Four ranked
-/// capabilities replace the old single cluster mutex:
+/// Concurrency model (phase 3, message-passing — DESIGN.md §6/§12).
+/// Client-side capabilities:
 ///
 ///   migration_mu_ (rank 5)   one migration epoch at a time; held across
 ///                            all chunks of a physical migration and
@@ -73,26 +85,20 @@ struct MigrationStats {
 ///                            adjacency+weights and aux_ counters (both
 ///                            are not internally synchronized). Always
 ///                            taken under dir_mu_ (shared or exclusive).
-///   shards_[p].mu (rank 100+p, name "cluster.p<p>") guards partition
-///                            p's GraphStore/DurableGraphStore. Shard
-///                            mutexes are only ever acquired while
-///                            holding dir_mu_ shared; a thread that needs
-///                            two shards (cross-partition InsertEdge)
-///                            takes them in partition-id order, which is
-///                            exactly increasing rank order. Holding
-///                            dir_mu_ EXCLUSIVE therefore implies
-///                            exclusive access to every store, which is
-///                            what migration chunks rely on.
 ///
-/// Record-level transaction locks are acquired under dir_mu_ shared and
-/// before any shard mutex; a writer stalled on a record lock held by an
-/// external transaction resolves by timeout, never deadlock. The const
-/// accessors (graph(), aux(), store(), ...) hand out unsynchronized
-/// references and are only safe on a quiesced cluster — for the same
-/// reason assignment_/graph_/aux_/store state carry documented, not
-/// static, capabilities (per-partition guards are not expressible to the
-/// analysis); the runtime lock-order validator and the tsan preset are
-/// the enforcement mechanism. See DESIGN.md "Concurrency invariants".
+/// Per-partition store serialization lives inside each PartitionServer
+/// (rank 100+p), on the transport's dispatch threads. Issuing a bus call
+/// while holding dir_mu_/topo_mu_ is deadlock-free by construction: the
+/// bus/transport/inbox mutexes rank strictly between topo_mu_ and the
+/// servers, dispatch threads acquire only their own server mutex (never
+/// a cluster lock), and replies are sent with no locks held — so the
+/// client-side hold can always be serviced. Record-level transaction
+/// locks are acquired under dir_mu_ shared; a writer stalled on a record
+/// lock held by an external transaction resolves by timeout, never
+/// deadlock. The const accessors (graph(), aux(), store(), ...) hand out
+/// unsynchronized references and are only safe on a quiesced cluster —
+/// the runtime lock-order validator and the tsan preset are the
+/// enforcement mechanism. See DESIGN.md "Concurrency invariants".
 class HermesCluster {
  public:
   struct Options {
@@ -120,21 +126,30 @@ class HermesCluster {
     /// window: chunk vertices unavailable at the source, directory not
     /// yet flipped).
     std::function<void(const std::vector<VertexId>&)> migration_barrier_hook;
+    /// In-process transport tuning: inbox capacity (backpressure bound)
+    /// and the seeded duplicate/reorder fault cadences.
+    InProcTransport::Options transport;
+    /// Per-call reply timeout. A lost frame surfaces as kUnavailable
+    /// (retryable) after this long instead of hanging.
+    MessageBus::Options bus;
   };
 
-  /// Builds the cluster, loading every store with its shard (ghost
+  /// Builds the cluster, loading every server with its shard (ghost
   /// relationships created for cross-partition edges).
   HermesCluster(Graph graph, PartitionAssignment assignment,
                 Options options);
   HermesCluster(Graph graph, PartitionAssignment assignment);
 
+  /// Joins the transport dispatch threads before tearing anything down.
+  ~HermesCluster();
+
   /// Reopens a durable cluster from `options.durability_dir` after a
   /// crash or shutdown: recovers every server's store (snapshot + WAL
   /// tail), then rebuilds the directory, graph view, and auxiliary data
-  /// from the recovered records. Vertex ids below the recovered max that
-  /// have no node record in any store (removed and never re-created) are
-  /// tombstoned: they keep weight 0, are rejected by reads and writes,
-  /// and are never migrated.
+  /// from per-server Dump messages. Vertex ids below the recovered max
+  /// that have no node record in any store (removed and never
+  /// re-created) are tombstoned: they keep weight 0, are rejected by
+  /// reads and writes, and are never migrated.
   [[nodiscard]] static Result<std::unique_ptr<HermesCluster>> Recover(
       PartitionId num_partitions, Options options);
 
@@ -149,8 +164,12 @@ class HermesCluster {
   const Graph& graph() const { return graph_; }
   const PartitionAssignment& assignment() const { return assignment_; }
   const AuxiliaryData& aux() const { return aux_; }
-  GraphStore* store(PartitionId p) { return store_ptrs_[p]; }
-  const GraphStore* store(PartitionId p) const { return store_ptrs_[p]; }
+  /// Quiesced TEST access to a server's store, bypassing the message
+  /// protocol. Production paths must use the bus.
+  GraphStore* store(PartitionId p) { return servers_[p]->store_for_test(); }
+  const GraphStore* store(PartitionId p) const {
+    return servers_[p]->store_for_test();
+  }
   TransactionManager* txn_manager() { return &txns_; }
   const Options& options() const { return options_; }
 
@@ -176,15 +195,16 @@ class HermesCluster {
   /// Executes a `hops`-hop traversal from `start` against the stores
   /// (walking real relationship chains) and records per-server segments.
   /// Holds dir_mu_ shared for the whole traversal (placement is stable
-  /// for one query) and each shard mutex only per adjacency fetch, so
-  /// traversals run concurrently with each other and with writes. Reads
-  /// bump the start vertex's weight when configured.
+  /// for one query); each level's adjacency fetches are batched into one
+  /// NeighborsRequest per touched server (scatter-gather), so traversals
+  /// run concurrently with each other and with writes. Reads bump the
+  /// start vertex's weight when configured.
   [[nodiscard]] Result<TraversalRun> ExecuteRead(VertexId start, int hops)
       EXCLUDES(dir_mu_);
 
   /// Adapter for the declarative traversal API (graphdb/traversal.h):
-  /// routes each adjacency fetch to the owning server's store, i.e. a
-  /// cluster-wide remote-traversal-capable NeighborProvider.
+  /// routes each adjacency fetch to the owning server over the bus, i.e.
+  /// a cluster-wide remote-traversal-capable NeighborProvider.
   // audit:allow(guard, lock-free; the provider locks per invocation)
   NeighborProvider MakeNeighborProvider() const;
 
@@ -197,10 +217,11 @@ class HermesCluster {
   /// Creates edge {u, v}, updating stores (with ghosts), the graph view,
   /// and the auxiliary data. Takes exclusive record locks on both
   /// endpoints (a lock timeout aborts with kTimedOut — deadlock
-  /// resolution) and the two endpoint shard mutexes in partition-id
-  /// order. If a store rejects its half of the edge after the graph view
-  /// accepted it, the graph edge is rolled back and the transaction
-  /// aborted, so graph_ and the stores never diverge.
+  /// resolution), then writes each endpoint's half record through the
+  /// bus; each server serializes its own store. If a store rejects its
+  /// half of the edge after the graph view accepted it, the graph edge
+  /// is rolled back and the transaction aborted, so graph_ and the
+  /// stores never diverge.
   [[nodiscard]] Status InsertEdge(VertexId u, VertexId v, std::uint32_t type = 0)
       EXCLUDES(dir_mu_);
 
@@ -220,13 +241,14 @@ class HermesCluster {
       EXCLUDES(migration_mu_, dir_mu_);
 
   /// Cross-checks stores against the graph view and directory on a sample
-  /// of `sample` vertices (0 = all). Returns false on any inconsistency.
-  /// Takes the directory exclusively, so it is a quiesce point: it never
-  /// observes the inside of a migration chunk.
+  /// of `sample` vertices (0 = all), probing every store through the bus.
+  /// Returns false on any inconsistency. Takes the directory exclusively,
+  /// so it is a quiesce point: it never observes the inside of a
+  /// migration chunk.
   bool Validate(std::size_t sample = 0, std::uint64_t seed = 1) const
       EXCLUDES(dir_mu_);
 
-  /// Total bytes across all store shards.
+  /// Total bytes across all store shards (per-server Health messages).
   std::size_t TotalStoreBytes() const EXCLUDES(dir_mu_);
 
   /// Refreshes the cluster gauges (store bytes, vertex count) under the
@@ -236,46 +258,55 @@ class HermesCluster {
   hermes::MetricsSnapshot MetricsSnapshot() const EXCLUDES(dir_mu_);
 
  private:
-  /// One partition's shard: the store mutex plus owned storage for its
-  /// lock-order name ("cluster.p<i>"). Heap-allocated because Mutex is
-  /// neither movable nor copyable.
-  struct PartitionShard {
-    explicit PartitionShard(PartitionId p)
-        : label("cluster.p" + std::to_string(p)),
-          mu(label.c_str(),
-             lock_order::kRankPartitionBase + static_cast<int>(p)) {}
-    const std::string label;
-    Mutex mu;
-  };
-
   /// Builds without loading stores (used by Recover()).
   struct RecoveredTag {};
   HermesCluster(RecoveredTag, Graph graph, PartitionAssignment assignment,
                 Options options,
-                std::vector<std::unique_ptr<DurableGraphStore>> durable,
+                std::unique_ptr<InProcTransport> transport,
+                std::vector<std::unique_ptr<PartitionServer>> servers,
+                std::unique_ptr<MessageBus> bus,
                 std::vector<char> tombstoned);
 
-  Mutex& shard(PartitionId p) const { return shards_[p]->mu; }
-  void InitShards(PartitionId alpha);
-  [[nodiscard]] Status InitStores();
-  [[nodiscard]] Status LoadStores();
+  /// Brings up the transport, one PartitionServer per partition
+  /// (endpoints 0..alpha-1), and the client bus (endpoint alpha).
+  [[nodiscard]] Status InitServers();
+  /// Seeds every server's store from graph_/assignment_ with chunked
+  /// InstallChunk messages.
+  [[nodiscard]] Status LoadServers();
 
   /// Physically migrates every vertex whose live placement differs from
   /// `target`, in chunks of options_.migration_chunk. Each chunk runs the
   /// classic copy -> barrier -> remove epoch against the live directory:
-  /// copy + mark-unavailable under dir_mu_ exclusive, then all locks
-  /// released (the observable barrier window), then directory flip +
-  /// source removal under dir_mu_ exclusive again.
+  /// extract + install + mark-unavailable (all bus traffic) under dir_mu_
+  /// exclusive, then all locks released (the observable barrier window),
+  /// then directory flip + source removal under dir_mu_ exclusive again.
   [[nodiscard]] Result<MigrationStats> MigrateDiffChunked(const PartitionAssignment& target)
       REQUIRES(migration_mu_) EXCLUDES(dir_mu_);
 
-  // Mutation helpers: route through the WAL when durability is on.
-  // Locking contract (documented, not statically expressible): the caller
-  // holds either partition p's shard mutex (under dir_mu_ shared) or
-  // dir_mu_ exclusively (which excludes all shard holders).
+  // --- Message-bus round-trips ----------------------------------------------
+  // All cross-server traffic funnels through BusCall; the typed wrappers
+  // unwrap the expected reply payload. Every one of these blocks on the
+  // reply (bounded by options_.bus.call_timeout_us). Locking contract:
+  // issuing a call while holding dir_mu_/topo_mu_ is legal (see the
+  // class comment); dispatch threads never take cluster locks.
+  [[nodiscard]] Result<Envelope> BusCall(PartitionId p, MessagePayload payload) const;
+  [[nodiscard]] Result<NeighborsReply> CallNeighbors(PartitionId p, NeighborsRequest req) const;
+  [[nodiscard]] Result<ProbeReply> CallProbe(PartitionId p, ProbeRequest req) const;
+  [[nodiscard]] Result<MutateReply> CallMutate(PartitionId p, MutateRequest req) const;
+  [[nodiscard]] Result<InstallChunkReply> CallInstallChunk(PartitionId p,
+                                                           InstallChunkRequest req) const;
+  [[nodiscard]] Result<ExtractReply> CallExtract(PartitionId p, VertexId v) const;
+  [[nodiscard]] Result<AuxExchangeReply> CallAuxExchange(PartitionId p,
+                                                         AuxExchangeRequest req) const;
+  [[nodiscard]] Result<HealthReply> CallHealth(PartitionId p) const;
+  [[nodiscard]] Result<CheckpointReply> CallCheckpoint(PartitionId p) const;
+
+  // Mutation helpers over CallMutate, mirroring the store API. The
+  // owning server serializes execution; callers typically hold dir_mu_
+  // (shared for single-record ops, exclusive for migration epochs).
   [[nodiscard]] Status DoCreateNode(PartitionId p, VertexId id, double weight);
   [[nodiscard]] Status DoRemoveNode(PartitionId p, VertexId v);
-  [[nodiscard]] Status DoSetNodeState(PartitionId p, VertexId v, NodeState state);
+  [[nodiscard]] Status DoSetNodeState(PartitionId p, VertexId v, WireNodeState state);
   [[nodiscard]] Status DoAddNodeWeight(PartitionId p, VertexId v, double delta);
   [[nodiscard]] Result<RecordId> DoAddEdge(PartitionId p, VertexId v, VertexId other,
                              std::uint32_t type, bool other_is_local);
@@ -286,10 +317,10 @@ class HermesCluster {
                            std::uint32_t key, const std::string& value);
 
   /// Capabilities — see the class comment for the full scheme. The
-  /// guarded data members stay unannotated (the per-partition guards and
-  /// the "shared-or-exclusive" directory discipline are not expressible
-  /// to the static analysis); the runtime lock-order validator enforces
-  /// the acquisition order instead.
+  /// guarded data members stay unannotated (the "shared-or-exclusive"
+  /// directory discipline is not expressible to the static analysis);
+  /// the runtime lock-order validator enforces the acquisition order
+  /// instead.
   mutable Mutex migration_mu_{"cluster.migration_mu",
                               lock_order::kRankMigration};
   mutable SharedMutex dir_mu_{"cluster.dir", lock_order::kRankCluster};
@@ -306,14 +337,16 @@ class HermesCluster {
   /// mutate). Always sized assignment_.size().
   // audit:allow(guard, dir_mu_ shared to read and exclusive to mutate)
   std::vector<char> tombstoned_;
-  // audit:allow(guard, container fixed at construction; elements per-shard)
-  std::vector<std::unique_ptr<GraphStore>> stores_;  // in-memory mode
-  // audit:allow(guard, container fixed at construction; elements per-shard)
-  std::vector<std::unique_ptr<DurableGraphStore>> durable_;  // durable mode
-  // audit:allow(guard, container fixed at construction; elements per-shard)
-  std::vector<GraphStore*> store_ptrs_;  // uniform read access
-  // audit:allow(guard, fixed at construction; each element is the guard)
-  std::vector<std::unique_ptr<PartitionShard>> shards_;  // one per partition
+  /// Message runtime. Declaration order matters for teardown: the
+  /// destructor shuts the bus and transport down first (joining every
+  /// dispatch thread), then members destruct bus -> servers -> transport
+  /// so no dispatcher can touch a dead server.
+  // audit:allow(guard, internally synchronized; see InProcTransport)
+  std::unique_ptr<InProcTransport> transport_;
+  // audit:allow(guard, fixed at construction; each server self-serializes)
+  std::vector<std::unique_ptr<PartitionServer>> servers_;
+  // audit:allow(guard, internally synchronized; see MessageBus)
+  std::unique_ptr<MessageBus> bus_;
   TransactionManager txns_;
 
   // Observability (process-wide counters, DESIGN.md §7). Initialized here

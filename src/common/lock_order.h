@@ -49,7 +49,17 @@ inline constexpr int kRankUnranked = -1;  // invisible to the validator
 inline constexpr int kRankMigration = 5;  // HermesCluster::migration_mu_
 inline constexpr int kRankCluster = 10;   // HermesCluster::dir_mu_ (shared)
 inline constexpr int kRankClusterTopology = 20;  // HermesCluster::topo_mu_
-inline constexpr int kRankPartitionBase = 100;   // cluster.p<i> -> 100 + i
+/// Message-bus tier (DESIGN.md §12): a cluster thread may issue a bus
+/// call while holding the directory/topology locks, so the bus's pending
+/// table, the transport registry, and the per-endpoint inbox mutexes all
+/// rank above kRankClusterTopology and below the partition servers.
+/// Inbox mutexes take kRankMsgInboxBase + endpoint id ("msg.inbox.<i>");
+/// InProcTransport rejects endpoint ids that would collide with
+/// kRankPartitionBase.
+inline constexpr int kRankMsgBus = 30;        // MessageBus::mu_
+inline constexpr int kRankMsgTransport = 35;  // InProcTransport::mu_
+inline constexpr int kRankMsgInboxBase = 40;  // msg.inbox.<i> -> 40 + i
+inline constexpr int kRankPartitionBase = 100;   // server.p<i> -> 100 + i
 inline constexpr int kRankDurableStore = 10000;  // DurableGraphStore::mu_
 inline constexpr int kRankWal = 10010;           // WriteAheadLog::mu_
 inline constexpr int kRankThreadPool = 10020;    // ThreadPool::mu_

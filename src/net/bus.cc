@@ -1,0 +1,108 @@
+#include "net/bus.h"
+
+#include <chrono>
+#include <utility>
+
+namespace hermes {
+
+MessageBus::MessageBus(Transport* transport, EndpointId self, Options options)
+    : transport_(transport),
+      self_(self),
+      options_(options),
+      m_calls_(MetricsRegistry::Global().GetCounter("msg.calls")),
+      m_timeouts_(MetricsRegistry::Global().GetCounter("msg.timeouts")),
+      m_decode_errors_(
+          MetricsRegistry::Global().GetCounter("msg.decode_errors")),
+      m_stale_replies_(
+          MetricsRegistry::Global().GetCounter("msg.stale_replies")) {}
+
+Status MessageBus::Start() {
+  return transport_->OpenEndpoint(
+      self_, [this](std::string frame) { OnFrame(std::move(frame)); });
+}
+
+Result<Envelope> MessageBus::Call(EndpointId dst, Envelope request) {
+  request.src = self_;
+  request.dst = dst;
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) {
+      return Status::Unavailable("message bus: shut down");
+    }
+    request.request_id = next_request_id_++;
+    waiting_.insert(request.request_id);
+  }
+  const std::uint64_t id = request.request_id;
+  auto cleanup = [this, id]() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    waiting_.erase(id);
+    done_.erase(id);
+  };
+  auto encoded = EncodeFrame(request);
+  if (!encoded.ok()) {
+    cleanup();
+    return encoded.status();
+  }
+  const std::uint64_t start_us = SteadyNowMicros();
+  // The pending-table mutex is NOT held across Send: a bounded inbox can
+  // block the sender, and the reply handler needs the mutex to complete
+  // this very call.
+  Status sent = transport_->Send(dst, std::move(*encoded));
+  if (!sent.ok()) {
+    cleanup();
+    return sent;
+  }
+  m_calls_->Increment();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(options_.call_timeout_us);
+  Envelope reply;
+  {
+    MutexLock lock(&mu_);
+    while (done_.find(id) == done_.end() && !shutdown_) {
+      if (reply_cv_.WaitUntil(&mu_, deadline) == std::cv_status::timeout &&
+          done_.find(id) == done_.end()) {
+        waiting_.erase(id);
+        m_timeouts_->Increment();
+        return Status::Unavailable(
+            "message bus: reply timed out (retryable)");
+      }
+    }
+    auto it = done_.find(id);
+    if (it == done_.end()) {
+      waiting_.erase(id);
+      return Status::Unavailable("message bus: shut down");
+    }
+    reply = std::move(it->second);
+    done_.erase(it);
+    waiting_.erase(id);
+  }
+  MetricsRegistry::Global().Observe(
+      "msg.rtt_us", static_cast<double>(SteadyNowMicros() - start_us));
+  return reply;
+}
+
+void MessageBus::Shutdown() {
+  MutexLock lock(&mu_);
+  shutdown_ = true;
+  reply_cv_.NotifyAll();
+}
+
+void MessageBus::OnFrame(std::string frame) {
+  auto env = DecodeFrame(frame);
+  if (!env.ok()) {
+    m_decode_errors_->Increment();
+    return;
+  }
+  MutexLock lock(&mu_);
+  if (waiting_.find(env->request_id) == waiting_.end()) {
+    // Duplicate of an already-claimed reply, or a reply that raced its
+    // own timeout. Either way the caller is gone.
+    m_stale_replies_->Increment();
+    return;
+  }
+  done_[env->request_id] = std::move(*env);
+  reply_cv_.NotifyAll();
+}
+
+}  // namespace hermes

@@ -1,0 +1,76 @@
+/// Request/reply bus over a Transport (DESIGN.md §12). Call() stamps a
+/// fresh request id, sends the encoded frame, and blocks until the
+/// matching reply frame arrives on this bus's own endpoint or the call
+/// deadline passes — a timeout surfaces as kUnavailable ("retryable"),
+/// never a hang, which is what the delivery-fault tests pin down.
+/// Replies are matched purely by request id, so duplicated or reordered
+/// frames at the transport layer cannot mispair a call: stale and
+/// duplicate replies are counted and dropped.
+#ifndef HERMES_NET_BUS_H_
+#define HERMES_NET_BUS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/lock_order.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "net/message.h"
+#include "net/transport.h"
+
+namespace hermes {
+
+class MessageBus {
+ public:
+  struct Options {
+    /// How long Call() waits for the reply before returning
+    /// kUnavailable.
+    std::uint64_t call_timeout_us = 30'000'000;
+  };
+
+  /// The bus does not own `transport`; it must outlive the bus.
+  MessageBus(Transport* transport, EndpointId self, Options options);
+
+  /// Opens this bus's reply endpoint on the transport.
+  [[nodiscard]] Status Start() EXCLUDES(mu_);
+
+  /// Sends `request` to `dst` and waits for the matching reply.
+  /// `request.payload` must be set; the routing header is filled in
+  /// here. Returns the transport error, the encode error, or
+  /// kUnavailable on reply timeout / bus shutdown.
+  [[nodiscard]] Result<Envelope> Call(EndpointId dst, Envelope request)
+      EXCLUDES(mu_);
+
+  /// Fails every pending and future Call with kUnavailable. Does not
+  /// touch the transport (the owner shuts that down separately).
+  void Shutdown() EXCLUDES(mu_);
+
+  EndpointId endpoint() const { return self_; }
+
+ private:
+  void OnFrame(std::string frame) EXCLUDES(mu_);
+
+  // audit:allow(guard, not owned; Transport implementations self-synchronize)
+  Transport* const transport_;
+  const EndpointId self_;
+  const Options options_;
+  mutable Mutex mu_{"msg.bus", lock_order::kRankMsgBus};
+  CondVar reply_cv_;
+  std::uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
+  /// Calls that have been issued and not yet completed.
+  std::set<std::uint64_t> waiting_ GUARDED_BY(mu_);
+  /// Replies delivered but not yet claimed by their caller.
+  std::map<std::uint64_t, Envelope> done_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  Counter* const m_calls_;
+  Counter* const m_timeouts_;
+  Counter* const m_decode_errors_;
+  Counter* const m_stale_replies_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_NET_BUS_H_

@@ -1,0 +1,160 @@
+#include "net/inproc_transport.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+
+namespace hermes {
+
+InProcTransport::Inbox::Inbox(EndpointId id, FrameHandler h)
+    : label("msg.inbox." + std::to_string(id)),
+      handler(std::move(h)),
+      mu(label.c_str(),
+         lock_order::kRankMsgInboxBase + static_cast<int>(id)),
+      depth_gauge(MetricsRegistry::Global().GetGauge(
+          "msg.inbox_depth." + std::to_string(id))) {}
+
+InProcTransport::InProcTransport(Options options)
+    : options_(options),
+      m_sent_(MetricsRegistry::Global().GetCounter("msg.sent")),
+      m_bytes_(MetricsRegistry::Global().GetCounter("msg.bytes")),
+      m_dropped_(MetricsRegistry::Global().GetCounter("msg.dropped")),
+      m_duplicated_(MetricsRegistry::Global().GetCounter("msg.duplicated")),
+      m_reordered_(MetricsRegistry::Global().GetCounter("msg.reordered")) {}
+
+InProcTransport::~InProcTransport() { Shutdown(); }
+
+Status InProcTransport::OpenEndpoint(EndpointId id, FrameHandler handler) {
+  // Inbox ranks live between the transport registry and the partition
+  // servers; an id that reached kRankPartitionBase would alias a server
+  // rank and blind the lock-order validator.
+  if (lock_order::kRankMsgInboxBase + static_cast<int>(id) >=
+      lock_order::kRankPartitionBase) {
+    return Status::InvalidArgument("inproc transport: endpoint id too large");
+  }
+  auto inbox = std::make_unique<Inbox>(id, std::move(handler));
+  Inbox* raw = inbox.get();
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) {
+      return Status::Unavailable("inproc transport: shut down");
+    }
+    if (!inboxes_.emplace(id, std::move(inbox)).second) {
+      return Status::AlreadyExists("inproc transport: endpoint already open");
+    }
+  }
+  raw->dispatcher = std::thread(&InProcTransport::DispatchLoop, this, raw);
+  return Status::OK();
+}
+
+Status InProcTransport::Send(EndpointId dst, std::string frame) {
+  HERMES_FAILPOINT_IOERROR("msg.send.io_error");
+  Inbox* inbox = nullptr;
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) {
+      return Status::Unavailable("inproc transport: shut down");
+    }
+    auto it = inboxes_.find(dst);
+    if (it == inboxes_.end()) {
+      return Status::NotFound("inproc transport: no such endpoint");
+    }
+    inbox = it->second.get();
+  }
+  // A fired receive-drop means the frame was "accepted" but never
+  // arrives: the sender sees OK and the caller's reply timeout is what
+  // surfaces the loss, exactly like a lossy network.
+  if (HERMES_FAILPOINT_HIT("msg.recv.drop").fired) {
+    m_dropped_->Increment();
+    return Status::OK();
+  }
+  m_sent_->Increment();
+  m_bytes_->Increment(frame.size());
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(options_.send_timeout_us);
+  MutexLock lock(&inbox->mu);
+  while (inbox->frames.size() >= options_.inbox_capacity &&
+         !inbox->stopping) {
+    if (inbox->not_full.WaitUntil(&inbox->mu, deadline) ==
+            std::cv_status::timeout &&
+        inbox->frames.size() >= options_.inbox_capacity &&
+        !inbox->stopping) {
+      return Status::TimedOut("inproc transport: inbox full");
+    }
+  }
+  if (inbox->stopping) {
+    return Status::Unavailable("inproc transport: endpoint stopping");
+  }
+  ++inbox->pushes;
+  const std::uint64_t phase = inbox->pushes + options_.fault_seed;
+  const bool duplicate = options_.duplicate_every_n != 0 &&
+                         phase % options_.duplicate_every_n == 0;
+  const bool reorder = options_.reorder_every_n != 0 &&
+                       phase % options_.reorder_every_n == 0;
+  if (reorder && !inbox->frames.empty()) {
+    // Deliver this frame ahead of the one queued before it.
+    inbox->frames.insert(inbox->frames.end() - 1, frame);
+    m_reordered_->Increment();
+  } else {
+    inbox->frames.push_back(frame);
+  }
+  if (duplicate) {
+    inbox->frames.push_back(std::move(frame));
+    m_duplicated_->Increment();
+  }
+  inbox->depth_gauge->Set(static_cast<double>(inbox->frames.size()));
+  inbox->not_empty.NotifyOne();
+  return Status::OK();
+}
+
+void InProcTransport::DispatchLoop(Inbox* inbox) {
+  for (;;) {
+    std::string frame;
+    {
+      MutexLock lock(&inbox->mu);
+      while (inbox->frames.empty() && !inbox->stopping) {
+        inbox->not_empty.Wait(&inbox->mu);
+      }
+      if (inbox->frames.empty()) {
+        return;  // stopping and fully drained
+      }
+      frame = std::move(inbox->frames.front());
+      inbox->frames.pop_front();
+      inbox->depth_gauge->Set(static_cast<double>(inbox->frames.size()));
+      inbox->not_full.NotifyAll();
+    }
+    TraceSpan span("msg.dispatch");
+    inbox->handler(std::move(frame));
+  }
+}
+
+void InProcTransport::Shutdown() {
+  std::vector<Inbox*> all;
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    all.reserve(inboxes_.size());
+    for (auto& [id, inbox] : inboxes_) {
+      all.push_back(inbox.get());
+    }
+  }
+  for (Inbox* inbox : all) {
+    MutexLock lock(&inbox->mu);
+    inbox->stopping = true;
+    inbox->not_empty.NotifyAll();
+    inbox->not_full.NotifyAll();
+  }
+  for (Inbox* inbox : all) {
+    if (inbox->dispatcher.joinable()) {
+      inbox->dispatcher.join();
+    }
+  }
+}
+
+}  // namespace hermes

@@ -1,0 +1,95 @@
+/// In-process Transport: one bounded frame queue ("inbox") per endpoint,
+/// drained by a dedicated dispatch thread. This is the first transport
+/// behind the bus seam — it exercises the full encode/queue/dispatch
+/// path and all of its failure modes (full inboxes, injected send
+/// errors, dropped/duplicated/reordered frames) without sockets, so the
+/// cluster logic is already written against real message semantics when
+/// a socket `hermesd` transport arrives.
+///
+/// Fault injection: `msg.send.io_error` and `msg.recv.drop` failpoints
+/// fire at the send boundary; seeded duplicate/reorder cadences are
+/// plain Options so every build preset can exercise them
+/// deterministically.
+#ifndef HERMES_NET_INPROC_TRANSPORT_H_
+#define HERMES_NET_INPROC_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/lock_order.h"
+#include "common/metrics.h"
+#include "common/thread_annotations.h"
+#include "net/transport.h"
+
+namespace hermes {
+
+class InProcTransport final : public Transport {
+ public:
+  struct Options {
+    /// Frames an inbox may hold before Send blocks (backpressure).
+    std::size_t inbox_capacity = 1024;
+    /// How long Send waits on a full inbox before giving up.
+    std::uint64_t send_timeout_us = 10'000'000;
+    /// Every n-th accepted frame is delivered twice (0 = off).
+    std::uint64_t duplicate_every_n = 0;
+    /// Every n-th accepted frame is delivered before its predecessor
+    /// (0 = off).
+    std::uint64_t reorder_every_n = 0;
+    /// Phase offset for the duplicate/reorder cadences, so different
+    /// seeds hit different frames.
+    std::uint64_t fault_seed = 0;
+  };
+
+  explicit InProcTransport(Options options);
+  ~InProcTransport() override;
+
+  [[nodiscard]] Status OpenEndpoint(EndpointId id,
+                                    FrameHandler handler) override
+      EXCLUDES(mu_);
+  [[nodiscard]] Status Send(EndpointId dst, std::string frame) override
+      EXCLUDES(mu_);
+  void Shutdown() override EXCLUDES(mu_);
+
+ private:
+  /// One endpoint's bounded queue plus the thread that drains it. The
+  /// mutex rank is kRankMsgInboxBase + id: above the bus/transport
+  /// registry (senders may hold those), below every partition server
+  /// (dispatch handlers acquire server mutexes with nothing held).
+  struct Inbox {
+    Inbox(EndpointId id, FrameHandler h);
+
+    const std::string label;
+    const FrameHandler handler;
+    Mutex mu;
+    CondVar not_empty;
+    CondVar not_full;
+    std::deque<std::string> frames GUARDED_BY(mu);
+    bool stopping GUARDED_BY(mu) = false;
+    /// Accepted-frame counter driving the fault cadences.
+    std::uint64_t pushes GUARDED_BY(mu) = 0;
+    Gauge* const depth_gauge;
+    // audit:allow(guard, joined exactly once by Shutdown after `stopping`
+    // is published under `mu`; never touched concurrently)
+    std::thread dispatcher;
+  };
+
+  void DispatchLoop(Inbox* inbox);
+
+  const Options options_;
+  mutable Mutex mu_{"msg.transport", lock_order::kRankMsgTransport};
+  std::map<EndpointId, std::unique_ptr<Inbox>> inboxes_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  Counter* const m_sent_;
+  Counter* const m_bytes_;
+  Counter* const m_dropped_;
+  Counter* const m_duplicated_;
+  Counter* const m_reordered_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_NET_INPROC_TRANSPORT_H_

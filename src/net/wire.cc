@@ -1,0 +1,131 @@
+#include "net/wire.h"
+
+#include <array>
+
+namespace hermes {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> kTable = BuildCrcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status WireReader::ReadU16(std::uint16_t* out) {
+  HERMES_RETURN_NOT_OK(Need(2));
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+        << (8 * i));
+  }
+  pos_ += 2;
+  *out = v;
+  return Status::OK();
+}
+
+Status WireReader::ReadU32(std::uint32_t* out) {
+  HERMES_RETURN_NOT_OK(Need(4));
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(buf_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return Status::OK();
+}
+
+Status WireReader::ReadU64(std::uint64_t* out) {
+  HERMES_RETURN_NOT_OK(Need(8));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(buf_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return Status::OK();
+}
+
+Status WireReader::ReadBool(bool* out) {
+  std::uint8_t v = 0;
+  HERMES_RETURN_NOT_OK(ReadU8(&v));
+  if (v > 1) {
+    return Status::InvalidArgument("wire: bool byte out of range");
+  }
+  *out = v != 0;
+  return Status::OK();
+}
+
+Status WireReader::ReadF64(double* out) {
+  std::uint64_t bits = 0;
+  HERMES_RETURN_NOT_OK(this->ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status WireReader::ReadString(std::string* out) {
+  std::uint32_t len = 0;
+  HERMES_RETURN_NOT_OK(this->ReadU32(&len));
+  if (len > remaining()) {
+    return Status::OutOfRange("wire: string length exceeds buffer");
+  }
+  out->assign(buf_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status WireReader::ReadCount(std::size_t min_elem_bytes, std::uint32_t* out) {
+  std::uint32_t count = 0;
+  HERMES_RETURN_NOT_OK(this->ReadU32(&count));
+  if (min_elem_bytes > 0 && count > remaining() / min_elem_bytes) {
+    return Status::OutOfRange("wire: element count exceeds buffer");
+  }
+  *out = count;
+  return Status::OK();
+}
+
+void PutStatus(const Status& s, WireWriter* w) {
+  w->PutU8(static_cast<std::uint8_t>(s.code()));
+  w->PutString(s.message());
+}
+
+[[nodiscard]] Status ReadStatus(WireReader* r, Status* out) {
+  std::uint8_t code = 0;
+  std::string msg;
+  HERMES_RETURN_NOT_OK(r->ReadU8(&code));
+  HERMES_RETURN_NOT_OK(r->ReadString(&msg));
+  if (code > static_cast<std::uint8_t>(StatusCode::kNotImplemented)) {
+    return Status::InvalidArgument("wire: unknown status code");
+  }
+  if (code == 0) {
+    *out = Status::OK();
+  } else {
+    *out = Status(static_cast<StatusCode>(code), std::move(msg));
+  }
+  return Status::OK();
+}
+
+}  // namespace hermes

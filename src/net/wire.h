@@ -1,0 +1,116 @@
+/// Wire primitives for the typed message layer (DESIGN.md §12): a
+/// little-endian append-only writer, a bounds-checked reader whose every
+/// accessor returns Status instead of crashing on hostile input, and the
+/// CRC-32 used to seal frames. The encoding is deliberately dumb —
+/// fixed-width integers, doubles as raw bit patterns, strings and vectors
+/// as u32 count + elements — so that encode→decode→re-encode is
+/// byte-identical (the round-trip fuzz test in tests/net_wire_test.cc
+/// relies on this).
+#ifndef HERMES_NET_WIRE_H_
+#define HERMES_NET_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hermes {
+
+/// Current frame-format version. Bump when the frame layout or any
+/// message payload encoding changes; tests/net_golden_test.cc documents
+/// the procedure.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Hard ceiling on a single frame (length prefix included). Large enough
+/// for a single-shot recovery dump at test scale; bulk paths (store
+/// loading, migration) chunk their payloads well below this.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `data`.
+[[nodiscard]] std::uint32_t Crc32(const void* data, std::size_t len);
+
+/// Appends little-endian primitives to an owned buffer. Never fails:
+/// bounds problems only exist on the decode side.
+class WireWriter {
+ public:
+  void PutU8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU16(std::uint16_t v) { PutLittleEndian(v, 2); }
+  void PutU32(std::uint32_t v) { PutLittleEndian(v, 4); }
+  void PutU64(std::uint64_t v) { PutLittleEndian(v, 8); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  /// Doubles travel as their IEEE-754 bit pattern, so every value —
+  /// including NaNs — re-encodes to the same bytes.
+  void PutF64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  void PutRaw(std::string_view s) { out_.append(s.data(), s.size()); }
+
+  const std::string& bytes() const { return out_; }
+  std::string&& TakeBytes() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  void PutLittleEndian(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed buffer. Every
+/// accessor returns Status; reading past the end yields kOutOfRange and
+/// leaves the cursor untouched, so decoders can bail with
+/// HERMES_RETURN_NOT_OK and never index out of bounds.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view buf) : buf_(buf) {}
+
+  [[nodiscard]] Status ReadU8(std::uint8_t* out) {
+    HERMES_RETURN_NOT_OK(Need(1));
+    *out = static_cast<std::uint8_t>(buf_[pos_++]);
+    return Status::OK();
+  }
+  [[nodiscard]] Status ReadU16(std::uint16_t* out);
+  [[nodiscard]] Status ReadU32(std::uint32_t* out);
+  [[nodiscard]] Status ReadU64(std::uint64_t* out);
+  [[nodiscard]] Status ReadBool(bool* out);
+  [[nodiscard]] Status ReadF64(double* out);
+  [[nodiscard]] Status ReadString(std::string* out);
+  /// Reads an element count and validates it against the bytes actually
+  /// remaining (each element needs at least `min_elem_bytes`), so a
+  /// hostile count cannot trigger a huge allocation.
+  [[nodiscard]] Status ReadCount(std::size_t min_elem_bytes,
+                                 std::uint32_t* out);
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  [[nodiscard]] Status Need(std::size_t n) {
+    if (remaining() < n) {
+      return Status::OutOfRange("wire: truncated buffer");
+    }
+    return Status::OK();
+  }
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Status as it travels on the wire: u8 code + message string.
+void PutStatus(const Status& s, WireWriter* w);
+[[nodiscard]] Status ReadStatus(WireReader* r, Status* out);
+
+}  // namespace hermes
+
+#endif  // HERMES_NET_WIRE_H_

@@ -1,0 +1,406 @@
+#include "server/partition_server.h"
+
+#include <filesystem>
+#include <vector>
+
+#include "common/logging.h"
+#include "graphdb/durable_store.h"
+#include "graphdb/graph_store.h"
+#include "graphdb/node_snapshot.h"
+#include "storage/records.h"
+
+namespace hermes {
+
+namespace {
+
+/// Duplicate-suppression window per server. Large enough that a
+/// transport-manufactured duplicate (delivered at most a few frames
+/// after the original) always lands inside it.
+constexpr std::size_t kDedupWindow = 4096;
+
+}  // namespace
+
+PartitionServer::PartitionServer(PartitionId partition, EndpointId endpoint,
+                                 Transport* transport,
+                                 std::unique_ptr<GraphStore> mem_store,
+                                 std::unique_ptr<DurableGraphStore> durable,
+                                 GraphStore* store)
+    : partition_(partition),
+      endpoint_(endpoint),
+      transport_(transport),
+      label_("server.p" + std::to_string(partition)),
+      mu_(label_.c_str(),
+          lock_order::kRankPartitionBase + static_cast<int>(partition)),
+      mem_store_(std::move(mem_store)),
+      durable_(std::move(durable)),
+      durable_raw_(durable_.get()),
+      store_(store),
+      m_requests_(MetricsRegistry::Global().GetCounter("server.requests")),
+      m_duplicates_(
+          MetricsRegistry::Global().GetCounter("server.duplicate_requests")),
+      m_decode_errors_(
+          MetricsRegistry::Global().GetCounter("server.decode_errors")),
+      m_reply_errors_(
+          MetricsRegistry::Global().GetCounter("server.reply_errors")) {}
+
+PartitionServer::~PartitionServer() = default;
+
+Result<std::unique_ptr<PartitionServer>> PartitionServer::Open(
+    PartitionId partition, EndpointId endpoint, Transport* transport,
+    Options options) {
+  std::unique_ptr<GraphStore> mem_store;
+  std::unique_ptr<DurableGraphStore> durable;
+  GraphStore* store = nullptr;
+  if (options.durability_dir.empty()) {
+    mem_store = std::make_unique<GraphStore>(partition);
+    store = mem_store.get();
+  } else {
+    std::filesystem::create_directories(options.durability_dir);
+    HERMES_ASSIGN_OR_RETURN(
+        durable, DurableGraphStore::Open(partition, options.durability_dir));
+    store = durable->mutable_store();
+  }
+  std::unique_ptr<PartitionServer> server(
+      new PartitionServer(partition, endpoint, transport,
+                          std::move(mem_store), std::move(durable), store));
+  PartitionServer* raw = server.get();
+  HERMES_RETURN_NOT_OK(transport->OpenEndpoint(
+      endpoint, [raw](std::string frame) { raw->HandleFrame(std::move(frame)); }));
+  return server;
+}
+
+void PartitionServer::HandleFrame(std::string frame) {
+  auto env = DecodeFrame(frame);
+  if (!env.ok()) {
+    // No request id to answer to; the caller's timeout surfaces the loss.
+    m_decode_errors_->Increment();
+    return;
+  }
+  Envelope reply;
+  reply.request_id = env->request_id;
+  reply.src = endpoint_;
+  reply.dst = env->src;
+  bool duplicate = false;
+  {
+    MutexLock lock(&mu_);
+    duplicate = !RememberLocked(env->src, env->request_id);
+    if (!duplicate) {
+      reply.payload = ApplyLocked(env->payload);
+    }
+  }
+  if (duplicate) {
+    // The original application already replied (or its reply was lost,
+    // in which case the caller's timeout makes the op retryable);
+    // re-applying would double-execute a non-idempotent mutation.
+    m_duplicates_->Increment();
+    return;
+  }
+  m_requests_->Increment();
+  auto encoded = EncodeFrame(reply);
+  if (!encoded.ok()) {
+    m_reply_errors_->Increment();
+    return;
+  }
+  const Status sent = transport_->Send(reply.dst, std::move(*encoded));
+  if (!sent.ok()) {
+    m_reply_errors_->Increment();
+    HERMES_LOG(Warning) << "partition server p" << partition_
+                        << ": reply send failed: " << sent.ToString();
+  }
+}
+
+bool PartitionServer::RememberLocked(EndpointId src,
+                                     std::uint64_t request_id) {
+  if (!seen_.insert({src, request_id}).second) {
+    return false;
+  }
+  seen_fifo_.push_back({src, request_id});
+  if (seen_fifo_.size() > kDedupWindow) {
+    seen_.erase(seen_fifo_.front());
+    seen_fifo_.pop_front();
+  }
+  return true;
+}
+
+MessagePayload PartitionServer::ApplyLocked(const MessagePayload& request) {
+  if (const auto* m = std::get_if<NeighborsRequest>(&request)) {
+    return DoNeighbors(*m);
+  }
+  if (const auto* m = std::get_if<ProbeRequest>(&request)) {
+    return DoProbe(*m);
+  }
+  if (const auto* m = std::get_if<MutateRequest>(&request)) {
+    return DoMutate(*m);
+  }
+  if (const auto* m = std::get_if<InstallChunkRequest>(&request)) {
+    return DoInstall(*m);
+  }
+  if (const auto* m = std::get_if<ExtractRequest>(&request)) {
+    return DoExtract(*m);
+  }
+  if (const auto* m = std::get_if<AuxExchangeRequest>(&request)) {
+    return DoAux(*m);
+  }
+  if (std::get_if<HealthRequest>(&request) != nullptr) {
+    return DoHealth();
+  }
+  if (std::get_if<CheckpointRequest>(&request) != nullptr) {
+    return DoCheckpoint();
+  }
+  if (std::get_if<DumpRequest>(&request) != nullptr) {
+    return DoDump();
+  }
+  MutateReply reply;
+  reply.status = Status::InvalidArgument("server: frame is not a request");
+  return reply;
+}
+
+NeighborsReply PartitionServer::DoNeighbors(const NeighborsRequest& req) {
+  NeighborsReply reply;
+  reply.status = Status::OK();
+  reply.results.reserve(req.vertices.size());
+  for (VertexId v : req.vertices) {
+    NeighborsReply::Adjacency adj;
+    auto neighbors = req.has_type
+                         ? store_->NeighborsByType(v, req.type)
+                         : store_->Neighbors(v);
+    if (neighbors.ok()) {
+      adj.status = Status::OK();
+      adj.neighbors = std::move(*neighbors);
+    } else {
+      adj.status = neighbors.status();
+    }
+    reply.results.push_back(std::move(adj));
+  }
+  return reply;
+}
+
+ProbeReply PartitionServer::DoProbe(const ProbeRequest& req) {
+  ProbeReply reply;
+  reply.status = Status::OK();
+  switch (req.mode) {
+    case ProbeRequest::Mode::kHasNode:
+      reply.truth = store_->HasNode(req.vertex);
+      break;
+    case ProbeRequest::Mode::kNodeExists:
+      reply.truth = store_->NodeExists(req.vertex);
+      break;
+    case ProbeRequest::Mode::kEdgeIsGhost: {
+      auto ghost = store_->EdgeIsGhost(req.vertex, req.other);
+      if (ghost.ok()) {
+        reply.truth = *ghost;
+      } else {
+        reply.status = ghost.status();
+      }
+      break;
+    }
+  }
+  return reply;
+}
+
+MutateReply PartitionServer::DoMutate(const MutateRequest& req) {
+  MutateReply reply;
+  switch (req.op) {
+    case MutateRequest::Op::kCreateNode:
+      reply.status = durable_raw_
+                         ? durable_raw_->CreateNode(req.vertex, req.weight)
+                         : store_->CreateNode(req.vertex, req.weight);
+      break;
+    case MutateRequest::Op::kRemoveNode:
+      reply.status = durable_raw_ ? durable_raw_->RemoveNode(req.vertex)
+                                  : store_->RemoveNode(req.vertex);
+      break;
+    case MutateRequest::Op::kSetNodeState: {
+      const NodeState state = static_cast<NodeState>(req.node_state);
+      reply.status = durable_raw_
+                         ? durable_raw_->SetNodeState(req.vertex, state)
+                         : store_->SetNodeState(req.vertex, state);
+      break;
+    }
+    case MutateRequest::Op::kAddNodeWeight:
+      reply.status = durable_raw_
+                         ? durable_raw_->AddNodeWeight(req.vertex, req.weight)
+                         : store_->AddNodeWeight(req.vertex, req.weight);
+      break;
+    case MutateRequest::Op::kAddEdge: {
+      auto added = durable_raw_
+                       ? durable_raw_->AddEdge(req.vertex, req.other,
+                                               req.type_or_key,
+                                               req.other_is_local)
+                       : store_->AddEdge(req.vertex, req.other,
+                                         req.type_or_key, req.other_is_local);
+      if (added.ok()) {
+        reply.record_id = *added;
+        reply.status = Status::OK();
+      } else {
+        reply.status = added.status();
+      }
+      break;
+    }
+    case MutateRequest::Op::kRemoveEdge:
+      reply.status = durable_raw_
+                         ? durable_raw_->RemoveEdge(req.vertex, req.other)
+                         : store_->RemoveEdge(req.vertex, req.other);
+      break;
+    case MutateRequest::Op::kSetNodeProperty:
+      reply.status =
+          durable_raw_
+              ? durable_raw_->SetNodeProperty(req.vertex, req.type_or_key,
+                                              req.value)
+              : store_->SetNodeProperty(req.vertex, req.type_or_key,
+                                        req.value);
+      break;
+    case MutateRequest::Op::kSetEdgeProperty:
+      reply.status =
+          durable_raw_
+              ? durable_raw_->SetEdgeProperty(req.vertex, req.other,
+                                              req.type_or_key, req.value)
+              : store_->SetEdgeProperty(req.vertex, req.other,
+                                        req.type_or_key, req.value);
+      break;
+  }
+  return reply;
+}
+
+InstallChunkReply PartitionServer::DoInstall(const InstallChunkRequest& req) {
+  InstallChunkReply reply;
+  reply.status = Status::OK();
+  // Nodes first, so edges between co-installed vertices find both
+  // endpoints. nodes_created counts actual creations even on failure:
+  // the cluster's unwind removes exactly these.
+  for (const auto& node : req.nodes) {
+    const Status st = durable_raw_
+                          ? durable_raw_->CreateNode(node.id, node.weight)
+                          : store_->CreateNode(node.id, node.weight);
+    if (!st.ok()) {
+      reply.status = st;
+      return reply;
+    }
+    ++reply.nodes_created;
+    for (const auto& prop : node.properties) {
+      const Status pst =
+          durable_raw_
+              ? durable_raw_->SetNodeProperty(node.id, prop.key, prop.value)
+              : store_->SetNodeProperty(node.id, prop.key, prop.value);
+      if (!pst.ok()) {
+        reply.status = pst;
+        return reply;
+      }
+    }
+  }
+  for (const auto& edge : req.edges) {
+    auto added =
+        durable_raw_
+            ? durable_raw_->AddEdge(edge.v, edge.other, edge.type,
+                                    edge.other_is_local)
+            : store_->AddEdge(edge.v, edge.other, edge.type,
+                              edge.other_is_local);
+    if (!added.ok()) {
+      // Co-migrated neighbors may have installed this record already.
+      if (added.status().IsAlreadyExists()) continue;
+      reply.status = added.status();
+      return reply;
+    }
+    ++reply.edges_created;
+    if (edge.properties_included) {
+      for (const auto& prop : edge.properties) {
+        const Status pst =
+            durable_raw_
+                ? durable_raw_->SetEdgeProperty(edge.v, edge.other, prop.key,
+                                                prop.value)
+                : store_->SetEdgeProperty(edge.v, edge.other, prop.key,
+                                          prop.value);
+        // Ghost copies refuse properties by design.
+        if (!pst.ok() && !pst.IsInvalidArgument()) {
+          reply.status = pst;
+          return reply;
+        }
+      }
+    }
+  }
+  return reply;
+}
+
+ExtractReply PartitionServer::DoExtract(const ExtractRequest& req) {
+  ExtractReply reply;
+  auto snap = store_->ExtractNode(req.vertex);
+  if (!snap.ok()) {
+    reply.status = snap.status();
+    return reply;
+  }
+  reply.status = Status::OK();
+  reply.id = snap->id;
+  reply.weight = snap->weight;
+  reply.wire_bytes = snap->WireBytes();
+  reply.properties.reserve(snap->properties.size());
+  for (const auto& [key, value] : snap->properties) {
+    reply.properties.push_back({key, value});
+  }
+  reply.relationships.reserve(snap->relationships.size());
+  for (const auto& rel : snap->relationships) {
+    ExtractReply::Relationship out;
+    out.other = rel.other;
+    out.type = rel.type;
+    out.properties_included = rel.properties_included;
+    out.properties.reserve(rel.properties.size());
+    for (const auto& [key, value] : rel.properties) {
+      out.properties.push_back({key, value});
+    }
+    reply.relationships.push_back(std::move(out));
+  }
+  return reply;
+}
+
+AuxExchangeReply PartitionServer::DoAux(const AuxExchangeRequest& req) {
+  AuxExchangeReply reply;
+  reply.status = Status::OK();
+  for (const auto& entry : req.entries) {
+    const Status st =
+        durable_raw_ ? durable_raw_->AddNodeWeight(entry.vertex, entry.delta)
+                     : store_->AddNodeWeight(entry.vertex, entry.delta);
+    if (!st.ok()) {
+      reply.status = st;
+      return reply;
+    }
+    ++reply.applied;
+  }
+  return reply;
+}
+
+HealthReply PartitionServer::DoHealth() {
+  HealthReply reply;
+  reply.status = Status::OK();
+  reply.store_bytes = store_->MemoryBytes();
+  reply.nodes = store_->NumNodes();
+  reply.relationships = store_->NumRelationships();
+  reply.ghost_relationships = store_->NumGhostRelationships();
+  return reply;
+}
+
+CheckpointReply PartitionServer::DoCheckpoint() {
+  CheckpointReply reply;
+  if (durable_raw_ == nullptr) {
+    reply.status = Status::InvalidArgument("server is not durable");
+    return reply;
+  }
+  // audit:allow(blocking, checkpoint quiesces this server by design: the
+  // server mutex is exactly what makes the snapshot atomic against
+  // concurrent requests, and the cluster additionally serializes
+  // checkpoints against migration)
+  reply.status = durable_raw_->Checkpoint();
+  return reply;
+}
+
+DumpReply PartitionServer::DoDump() {
+  DumpReply reply;
+  reply.status = Status::OK();
+  for (const auto& node : store_->DumpNodes()) {
+    reply.nodes.push_back({node.id, node.weight});
+  }
+  for (const auto& rel : store_->DumpRelationships()) {
+    reply.rels.push_back({rel.src, rel.dst, rel.type, rel.ghost});
+  }
+  return reply;
+}
+
+}  // namespace hermes

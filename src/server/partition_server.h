@@ -1,0 +1,121 @@
+/// One partition server: owns a partition's GraphStore (optionally
+/// durable) and speaks only the typed message protocol (DESIGN.md §12).
+/// Frames arrive on the transport's dispatch thread, the request is
+/// applied under the server's own mutex, and the reply frame is sent
+/// with no locks held — so a server never participates in a lock cycle
+/// with the cluster directory or another server.
+///
+/// The header deliberately forward-declares the store types and exposes
+/// no store-typed API besides the quiesced test accessor: the cluster
+/// layer compiles against this interface without ever seeing a store
+/// header, which is what makes "all cross-server access goes through
+/// the bus" a compile-time property (tools/layers.json forbids the
+/// includes outright).
+#ifndef HERMES_SERVER_PARTITION_SERVER_H_
+#define HERMES_SERVER_PARTITION_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/lock_order.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "net/message.h"
+#include "net/transport.h"
+
+namespace hermes {
+
+class GraphStore;
+class DurableGraphStore;
+
+class PartitionServer {
+ public:
+  struct Options {
+    /// Non-empty: open a DurableGraphStore rooted here (the directory is
+    /// created if missing). Empty: plain in-memory store.
+    std::string durability_dir;
+  };
+
+  /// Creates the server's store and registers its endpoint + dispatch
+  /// thread on `transport`. The transport must be shut down before the
+  /// server is destroyed (the cluster owns that ordering).
+  [[nodiscard]] static Result<std::unique_ptr<PartitionServer>> Open(
+      PartitionId partition, EndpointId endpoint, Transport* transport,
+      Options options);
+
+  ~PartitionServer();
+  PartitionServer(const PartitionServer&) = delete;
+  PartitionServer& operator=(const PartitionServer&) = delete;
+
+  PartitionId partition() const { return partition_; }
+  EndpointId endpoint() const { return endpoint_; }
+  bool durable() const { return durable_raw_ != nullptr; }
+
+  /// Direct store access for quiesced tests and recovery-free seeding
+  /// ONLY — production traffic goes through the message protocol.
+  GraphStore* store_for_test() { return store_; }
+  const GraphStore* store_for_test() const { return store_; }
+
+ private:
+  PartitionServer(PartitionId partition, EndpointId endpoint,
+                  Transport* transport,
+                  std::unique_ptr<GraphStore> mem_store,
+                  std::unique_ptr<DurableGraphStore> durable,
+                  GraphStore* store);
+
+  /// Entry point on the transport dispatch thread.
+  void HandleFrame(std::string frame);
+
+  /// Applies one decoded request and produces the reply payload.
+  [[nodiscard]] MessagePayload ApplyLocked(const MessagePayload& request)
+      REQUIRES(mu_);
+
+  /// Records (src, request_id); false means this frame is a duplicate
+  /// the transport manufactured and must not be re-applied.
+  [[nodiscard]] bool RememberLocked(EndpointId src, std::uint64_t request_id)
+      REQUIRES(mu_);
+
+  NeighborsReply DoNeighbors(const NeighborsRequest& req) REQUIRES(mu_);
+  ProbeReply DoProbe(const ProbeRequest& req) REQUIRES(mu_);
+  MutateReply DoMutate(const MutateRequest& req) REQUIRES(mu_);
+  InstallChunkReply DoInstall(const InstallChunkRequest& req) REQUIRES(mu_);
+  ExtractReply DoExtract(const ExtractRequest& req) REQUIRES(mu_);
+  AuxExchangeReply DoAux(const AuxExchangeRequest& req) REQUIRES(mu_);
+  HealthReply DoHealth() REQUIRES(mu_);
+  CheckpointReply DoCheckpoint() REQUIRES(mu_);
+  DumpReply DoDump() REQUIRES(mu_);
+
+  const PartitionId partition_;
+  const EndpointId endpoint_;
+  // audit:allow(guard, not owned; Transport implementations self-synchronize)
+  Transport* const transport_;
+  const std::string label_;
+  /// Serializes every request against this partition's store — the
+  /// message-era successor of the cluster's per-partition shard mutex,
+  /// so it keeps the kRankPartitionBase + p rank slot.
+  mutable Mutex mu_;
+  std::unique_ptr<GraphStore> mem_store_ GUARDED_BY(mu_);
+  std::unique_ptr<DurableGraphStore> durable_ GUARDED_BY(mu_);
+  // audit:allow(guard, set once in the ctor; request paths read it under mu_)
+  DurableGraphStore* durable_raw_;
+  // audit:allow(guard, same single-assignment view as durable_raw_)
+  GraphStore* store_;
+  /// Recently seen (src, request_id) pairs for duplicate suppression.
+  std::set<std::pair<EndpointId, std::uint64_t>> seen_ GUARDED_BY(mu_);
+  std::deque<std::pair<EndpointId, std::uint64_t>> seen_fifo_ GUARDED_BY(mu_);
+  Counter* const m_requests_;
+  Counter* const m_duplicates_;
+  Counter* const m_decode_errors_;
+  Counter* const m_reply_errors_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_SERVER_PARTITION_SERVER_H_

@@ -137,6 +137,78 @@ TEST(ClusterConcurrencyTest, ReadersWritersAndRepartitionInterleave) {
   EXPECT_TRUE(cluster.Validate());
 }
 
+TEST(ClusterConcurrencyTest, ReadersWritersMigrationUnderMessageFaults) {
+  // Same interleaving as above, but the in-process transport injects
+  // duplicated and reordered frames on a seeded cadence (DESIGN.md §12).
+  // Server-side request dedup and request-id reply matching must keep
+  // every outcome inside the documented set and the cluster exactly
+  // consistent at each quiesce point — a double-applied mutation or a
+  // mispaired reply would surface in Validate() or as an `other` status.
+  HermesCluster::Options options;
+  options.migration_chunk = 16;
+  options.transport.duplicate_every_n = 7;
+  options.transport.reorder_every_n = 11;
+  options.transport.fault_seed = 3;
+  HermesCluster cluster(MediumSocial(41),
+                        HashPartitioner(1).Partition(MediumSocial(41), 4),
+                        options);
+  const VertexId id_space = cluster.graph().NumVertices();
+  ASSERT_TRUE(cluster.Validate());
+
+  constexpr std::size_t kReaders = 3;
+  constexpr std::size_t kReadsPerThread = 150;
+  constexpr std::size_t kWriters = 2;
+  constexpr std::size_t kWritesPerThread = 80;
+
+  std::vector<ReadTally> tallies(kReaders);
+  std::atomic<std::uint64_t> writes_ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + kWriters);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      tallies[r] = ReaderLoop(&cluster, 3000 + r, kReadsPerThread, id_space);
+    });
+  }
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      std::mt19937_64 rng(4000 + w);
+      for (std::size_t i = 0; i < kWritesPerThread; ++i) {
+        const VertexId u = static_cast<VertexId>(rng() % id_space);
+        const VertexId v = static_cast<VertexId>(rng() % id_space);
+        if (u == v) continue;
+        const Status st = cluster.InsertEdge(u, v);
+        if (st.ok()) {
+          writes_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_TRUE(st.IsAlreadyExists() || st.IsTimedOut() ||
+                      st.IsUnavailable())
+              << st.ToString();
+        }
+      }
+    });
+  }
+
+  std::size_t migrated = 0;
+  for (int round = 0; round < 2; ++round) {
+    auto stats = cluster.RunLightweightRepartition();
+    ASSERT_OK(stats);
+    migrated += stats->vertices_moved;
+    EXPECT_TRUE(cluster.Validate());
+  }
+  EXPECT_GT(migrated, 0u);
+
+  for (auto& t : threads) t.join();
+
+  std::uint64_t reads_ok = 0;
+  for (const ReadTally& t : tallies) {
+    reads_ok += t.ok;
+    EXPECT_EQ(t.other, 0u);
+  }
+  EXPECT_GT(reads_ok, 0u);
+  EXPECT_GT(writes_ok.load(), 0u);
+  EXPECT_TRUE(cluster.Validate());
+}
+
 TEST(ClusterConcurrencyTest, ConcurrentInsertVertexKeepsIdSpaceDense) {
   // InsertVertex takes the directory exclusively (it grows every
   // directory-shaped structure); concurrent inserters plus readers

@@ -10,9 +10,11 @@
 #include "test_util.h"
 
 #include "cluster/hermes_cluster.h"
+#include "graphdb/graph_store.h"
 #include "gen/social_graph.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metrics.h"
+#include "storage/wal.h"
 #include "workload/driver.h"
 #include "workload/trace.h"
 

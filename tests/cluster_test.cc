@@ -9,6 +9,7 @@
 
 #include "common/failpoint.h"
 #include "cluster/hermes_cluster.h"
+#include "graphdb/graph_store.h"
 #include "gen/social_graph.h"
 #include "partition/hash_partitioner.h"
 #include "partition/metrics.h"

@@ -20,6 +20,8 @@
 #include "test_util.h"
 
 #include "cluster/hermes_cluster.h"
+#include "graphdb/durable_store.h"
+#include "graphdb/graph_store.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"

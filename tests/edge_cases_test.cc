@@ -6,6 +6,7 @@
 #include "test_util.h"
 
 #include "cluster/hermes_cluster.h"
+#include "graphdb/graph_store.h"
 #include "gen/social_graph.h"
 #include "partition/hash_partitioner.h"
 #include "partition/lightweight.h"

@@ -3,8 +3,8 @@
 
 Hermes's module table (DESIGN.md §3) implies a strict layer DAG:
 
-    common -> graph/storage -> gen/txn/sim -> graphdb/partition
-           -> cluster -> workload
+    common -> graph/storage/net -> gen/txn/sim -> graphdb/partition
+           -> server -> cluster -> workload
 
 `tools/layers.json` declares that DAG as ranked layers. This script
 parses every ``#include "..."`` edge over ``src/`` and rejects:
@@ -13,6 +13,9 @@ parses every ``#include "..."`` edge over ``src/`` and rejects:
     headers from M itself or from a module in a strictly lower layer;
   * **unknown modules** — every first-level directory under src/ must be
     declared in the manifest (so new modules get placed deliberately);
+  * **forbidden includes** — manifest ``forbidden_includes`` entries ban
+    specific direct includes even when the ranks would allow them (the
+    cluster-never-sees-a-store-header contract, DESIGN.md §12);
   * **include cycles** — any cycle in the file-level include graph is
     reported with the full offending chain, even when the modules
     involved would be rank-legal.
@@ -25,6 +28,7 @@ translation unit so the fix site is obvious.
 Usage: tools/layering_check.py [repo_root]   (exit 0 = clean, 1 = findings)
 """
 
+import fnmatch
 import json
 import re
 import sys
@@ -40,7 +44,7 @@ def load_manifest(root):
     for layer in manifest["layers"]:
         for module in layer["modules"]:
             rank_of[module] = layer["rank"]
-    return rank_of
+    return rank_of, manifest.get("forbidden_includes", [])
 
 
 def module_of(rel_to_src):
@@ -125,6 +129,31 @@ def check_layering(edges, rank_of, findings):
                 findings.append(msg)
 
 
+def check_forbidden(edges, forbidden, findings):
+    """Bans specific direct includes even when the layer ranks allow them.
+
+    Each manifest entry is {files: glob, includes: [globs], reason}; both
+    globs match src-relative posix paths (fnmatch). This is how boundary
+    contracts stronger than the layer DAG are enforced — e.g. the cluster
+    module must reach stores only through the message bus, never by
+    including a store header."""
+    for entry in forbidden:
+        file_glob = entry["files"]
+        include_globs = entry["includes"]
+        reason = entry.get("reason", "")
+        for rel in sorted(edges):
+            if not fnmatch.fnmatch(rel, file_glob):
+                continue
+            for line_no, inc in edges[rel]:
+                if any(fnmatch.fnmatch(inc, g) for g in include_globs):
+                    msg = (f"src/{rel}:{line_no}: forbidden include of "
+                           f"\"{inc}\" (files matching '{file_glob}' may not "
+                           f"include it)")
+                    if reason:
+                        msg += f"\n      reason: {reason}"
+                    findings.append(msg)
+
+
 def check_cycles(edges, findings):
     # Iterative DFS with colour marking; reports each back-edge's cycle.
     WHITE, GREY, BLACK = 0, 1, 2
@@ -169,10 +198,11 @@ def main(argv):
               file=sys.stderr)
         return 2
 
-    rank_of = load_manifest(root)
+    rank_of, forbidden = load_manifest(root)
     edges = parse_includes(root)
     findings = []
     check_layering(edges, rank_of, findings)
+    check_forbidden(edges, forbidden, findings)
     check_cycles(edges, findings)
 
     if findings:

@@ -34,9 +34,11 @@ Checks (all over `src/`, the shipped library code):
      order). A line may carry ``// lint:allow(determinism)`` after an
      audited review to suppress, stating why.
   7. failpoint containment: ``HERMES_FAILPOINT*`` macros may appear only
-     in the storage stack (src/storage/, src/graphdb/) and in the
-     registry itself (src/common/failpoint.{h,cc}) — fault injection is
-     a storage-recovery tool, not a general control-flow mechanism.
+     in the storage stack (src/storage/, src/graphdb/), the message
+     layer's delivery boundary (src/net/), and in the registry itself
+     (src/common/failpoint.{h,cc}) — fault injection is a
+     storage-recovery and message-delivery tool, not a general
+     control-flow mechanism.
   8. failpoints stay out of release builds: the ``HERMES_FAILPOINTS``
      CMake option must default OFF, and only sanitizer presets
      (name contains "san") may turn it ON in CMakePresets.json.
@@ -234,7 +236,7 @@ NONDET_TOKEN_RES = [
 # flow. The registry itself is the only file outside those layers that
 # may name the macros.
 FAILPOINT_TOKEN_RE = re.compile(r"\bHERMES_FAILPOINT\w*")
-FAILPOINT_ALLOWED_DIRS = ("src/storage", "src/graphdb")
+FAILPOINT_ALLOWED_DIRS = ("src/storage", "src/graphdb", "src/net")
 FAILPOINT_ALLOWED_FILES = {
     Path("src/common/failpoint.h"),
     Path("src/common/failpoint.cc"),
@@ -252,8 +254,8 @@ def check_failpoint_containment(rel, text, findings):
         if m:
             findings.append(
                 f"{rel}:{i}: {m.group(0)} outside the storage stack — "
-                "failpoints live in src/storage/ and src/graphdb/ only "
-                "(registry: src/common/failpoint.{h,cc})")
+                "failpoints live in src/storage/, src/graphdb/ and "
+                "src/net/ only (registry: src/common/failpoint.{h,cc})")
 
 
 def check_failpoints_off_in_release(root, findings):
