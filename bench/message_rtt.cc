@@ -8,7 +8,12 @@
 //                  (bus + inbox contention);
 //   3. read path:  HermesCluster::ExecuteRead end-to-end, i.e. what a
 //                  traversal pays now that every neighbor fetch is a
-//                  message instead of a shared-memory call.
+//                  message instead of a shared-memory call;
+//   4. lossy mutations: a seeded cadence of dropped replies that the
+//                  bus's same-token retries must heal — the price of
+//                  the exactly-once contract (DESIGN.md §12), reported
+//                  via msg.retries / msg.dedup_hits and the
+//                  msg.retry_latency_us histogram.
 //
 // Emits BENCH_message_rtt.json (validated by tools/bench_smoke.py in
 // CI, including lock-profiler evidence for the bus mutex).
@@ -175,6 +180,90 @@ int main(int argc, char** argv) {
                      static_cast<double>(reads) / secs, "reads/s");
     std::printf("cluster reads: %ld one-hop -> %.0f reads/s\n", reads,
                 static_cast<double>(reads) / secs);
+  }
+
+  // --- 4. Mutations under reply loss -------------------------------------
+  // Every 17th frame addressed to the bus endpoint vanishes, so ~6% of
+  // calls lose their reply AFTER the server applied the mutation. The
+  // bus heals each loss by retrying the same idempotency token and the
+  // server replays the cached reply; the scenario prices that healing
+  // (retry latency is dominated by call_timeout_us, kept short here the
+  // way a latency-sensitive deployment would).
+  {
+    InProcTransport::Options topt;
+    topt.drop_every_n = 17;
+    topt.drop_dst = 1;  // the bus endpoint (one server at endpoint 0)
+    topt.fault_seed = 3;
+    InProcTransport transport{topt};
+    auto opened = PartitionServer::Open(0, 0, &transport, {});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "server open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    auto server = std::move(*opened);
+    MessageBus::Options bopt;
+    bopt.call_timeout_us = 5'000;
+    bopt.retry_backoff_us = 200;
+    bopt.max_attempts = 6;
+    MessageBus bus(&transport, 1, bopt);
+    if (const Status st = bus.Start(); !st.ok()) {
+      std::fprintf(stderr, "bus start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    const long mutations = std::max(500L, calls / 10);
+    const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+    const auto begin = Clock::now();
+    for (long i = 0; i < mutations; ++i) {
+      MutateRequest req;
+      if (i == 0) {
+        req.op = MutateRequest::Op::kCreateNode;
+        req.vertex = 1;
+        req.weight = 1.0;
+      } else {
+        req.op = MutateRequest::Op::kAddNodeWeight;
+        req.vertex = 1;
+        req.weight = 1.0;
+      }
+      Envelope env;
+      env.payload = req;
+      auto reply = bus.Call(0, std::move(env));
+      if (!reply.ok()) {
+        std::fprintf(stderr, "lossy mutation failed: %s\n",
+                     reply.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const double secs = SecondsSince(begin);
+    bus.Shutdown();
+    transport.Shutdown();
+
+    const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+    const auto delta = [&](const char* name) {
+      const auto b = before.counters.find(name);
+      const auto a = after.counters.find(name);
+      const std::uint64_t was = b == before.counters.end() ? 0 : b->second;
+      return static_cast<double>(
+          (a == after.counters.end() ? 0 : a->second) - was);
+    };
+    report.AddResult("lossy_mutations_per_sec",
+                     static_cast<double>(mutations) / secs, "calls/s");
+    report.AddResult("lossy_retries", delta("msg.retries"), "retries");
+    report.AddResult("lossy_dedup_hits", delta("msg.dedup_hits"), "hits");
+    std::printf(
+        "lossy mutations: %ld calls (1/17 replies dropped) -> %.0f calls/s, "
+        "%.0f retries, %.0f dedup hits\n",
+        mutations, static_cast<double>(mutations) / secs,
+        delta("msg.retries"), delta("msg.dedup_hits"));
+    const auto rl = after.histograms.find("msg.retry_latency_us");
+    if (rl != after.histograms.end()) {
+      report.AddResult("lossy_retry_latency_p50_us", rl->second.p50, "us");
+      report.AddResult("lossy_retry_latency_p99_us", rl->second.p99, "us");
+      std::printf("retry latency: p50 %.1f us, p99 %.1f us (n=%llu)\n",
+                  rl->second.p50, rl->second.p99,
+                  static_cast<unsigned long long>(rl->second.count));
+    }
   }
 
   AddLockEvidence(&report, "msg.bus");

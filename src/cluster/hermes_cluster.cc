@@ -71,6 +71,12 @@ Status HermesCluster::InitServers() {
       server_options.durability_dir =
           options_.durability_dir + "/p" + std::to_string(p);
     }
+    // The dedup window must dominate the number of frames that can be in
+    // flight at once (every inbox full, all addressed to one server), or
+    // eviction could forget a token whose duplicate is still queued and
+    // re-apply the mutation.
+    server_options.dedup_window =
+        options_.transport.inbox_capacity * (alpha + 1);
     HERMES_ASSIGN_OR_RETURN(
         auto server, PartitionServer::Open(p, p, transport_.get(),
                                            std::move(server_options)));
@@ -150,6 +156,9 @@ Result<std::unique_ptr<HermesCluster>> HermesCluster::Recover(
     PartitionServer::Options server_options;
     server_options.durability_dir =
         options.durability_dir + "/p" + std::to_string(p);
+    server_options.dedup_window =
+        options.transport.inbox_capacity *
+        (static_cast<std::size_t>(num_partitions) + 1);
     auto server =
         PartitionServer::Open(p, p, transport.get(), std::move(server_options));
     if (!server.ok()) {
@@ -157,6 +166,13 @@ Result<std::unique_ptr<HermesCluster>> HermesCluster::Recover(
       return server.status();
     }
     servers.push_back(std::move(*server));
+  }
+  // Start minting request ids above every idempotency token recovered
+  // from the WALs: a fresh call whose id collided with a recovered token
+  // would be answered from stale dedup state instead of being applied.
+  for (const auto& server : servers) {
+    options.bus.first_request_id = std::max(
+        options.bus.first_request_id, server->max_recovered_token_id() + 1);
   }
   auto bus =
       std::make_unique<MessageBus>(transport.get(), num_partitions, options.bus);

@@ -347,10 +347,22 @@ Result<std::unique_ptr<DurableGraphStore>> DurableGraphStore::Open(
   // the log truncation leaves both on disk). A missing log just means a
   // fresh store; any other replay failure is real divergence and aborts
   // recovery (see Replay for the one verified tolerance).
+  //
+  // Idempotency tokens are collected from EVERY scanned entry — even ones
+  // replay skips — because a skipped entry's mutation is applied state
+  // all the same, and its client may still be retrying.
+  std::vector<WalToken> recovered_tokens;
   auto entries = WriteAheadLog::ReadAll(wal_path,
-                                        /*after_last_checkpoint=*/true);
+                                        /*after_last_checkpoint=*/false);
   if (entries.ok()) {
-    for (const WalEntry& e : *entries) {
+    std::size_t replay_from = 0;
+    for (std::size_t i = 0; i < entries->size(); ++i) {
+      const WalEntry& e = (*entries)[i];
+      if (e.type == WalOpType::kCheckpoint) replay_from = i + 1;
+      if (e.token.valid()) recovered_tokens.push_back(e.token);
+    }
+    for (std::size_t i = replay_from; i < entries->size(); ++i) {
+      const WalEntry& e = (*entries)[i];
       if (e.lsn <= covered_lsn) continue;
       const Status st = Replay(e, store.get());
       if (!st.ok()) {
@@ -365,10 +377,12 @@ Result<std::unique_ptr<DurableGraphStore>> DurableGraphStore::Open(
   HERMES_ASSIGN_OR_RETURN(
       WriteAheadLog wal,
       WriteAheadLog::Open(wal_path, covered_lsn + 1, options.group_commit));
-  return std::unique_ptr<DurableGraphStore>(new DurableGraphStore(
+  auto db = std::unique_ptr<DurableGraphStore>(new DurableGraphStore(
       partition_id, dir, std::move(store),
       std::make_unique<WriteAheadLog>(std::move(wal)),
       options.durable_mutations));
+  db->recovered_tokens_ = std::move(recovered_tokens);
+  return db;
 }
 
 Status DurableGraphStore::Checkpoint() {
@@ -400,7 +414,8 @@ Status DurableGraphStore::Checkpoint() {
 // mutators stage back-to-back under mu_ and then share one fsync window
 // instead of serializing write+fsync per call.
 
-Status DurableGraphStore::CreateNode(VertexId id, double weight) {
+Status DurableGraphStore::CreateNode(VertexId id, double weight,
+                                     WalToken token) {
   std::uint64_t lsn = 0;
   bool durable = false;
   {
@@ -409,6 +424,7 @@ Status DurableGraphStore::CreateNode(VertexId id, double weight) {
     e.type = WalOpType::kCreateNode;
     e.a = id;
     e.weight = weight;
+    e.token = token;
     HERMES_RETURN_NOT_OK(Precheck(e, *store_));
     HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
     HERMES_RETURN_NOT_OK(store_->CreateNode(id, weight));
@@ -417,7 +433,7 @@ Status DurableGraphStore::CreateNode(VertexId id, double weight) {
   return durable ? wal_->SyncUntil(lsn) : Status::OK();
 }
 
-Status DurableGraphStore::RemoveNode(VertexId v) {
+Status DurableGraphStore::RemoveNode(VertexId v, WalToken token) {
   std::uint64_t lsn = 0;
   bool durable = false;
   {
@@ -425,6 +441,7 @@ Status DurableGraphStore::RemoveNode(VertexId v) {
     WalEntry e;
     e.type = WalOpType::kRemoveNode;
     e.a = v;
+    e.token = token;
     HERMES_RETURN_NOT_OK(Precheck(e, *store_));
     HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
     HERMES_RETURN_NOT_OK(store_->RemoveNode(v));
@@ -433,7 +450,8 @@ Status DurableGraphStore::RemoveNode(VertexId v) {
   return durable ? wal_->SyncUntil(lsn) : Status::OK();
 }
 
-Status DurableGraphStore::SetNodeState(VertexId id, NodeState state) {
+Status DurableGraphStore::SetNodeState(VertexId id, NodeState state,
+                                       WalToken token) {
   std::uint64_t lsn = 0;
   bool durable = false;
   {
@@ -442,6 +460,7 @@ Status DurableGraphStore::SetNodeState(VertexId id, NodeState state) {
     e.type = WalOpType::kSetNodeState;
     e.a = id;
     e.flag = static_cast<std::uint8_t>(state);
+    e.token = token;
     HERMES_RETURN_NOT_OK(Precheck(e, *store_));
     HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
     HERMES_RETURN_NOT_OK(store_->SetNodeState(id, state));
@@ -450,7 +469,8 @@ Status DurableGraphStore::SetNodeState(VertexId id, NodeState state) {
   return durable ? wal_->SyncUntil(lsn) : Status::OK();
 }
 
-Status DurableGraphStore::AddNodeWeight(VertexId id, double delta) {
+Status DurableGraphStore::AddNodeWeight(VertexId id, double delta,
+                                        WalToken token) {
   std::uint64_t lsn = 0;
   bool durable = false;
   {
@@ -459,6 +479,7 @@ Status DurableGraphStore::AddNodeWeight(VertexId id, double delta) {
     e.type = WalOpType::kAddNodeWeight;
     e.a = id;
     e.weight = delta;
+    e.token = token;
     HERMES_RETURN_NOT_OK(Precheck(e, *store_));
     HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
     HERMES_RETURN_NOT_OK(store_->AddNodeWeight(id, delta));
@@ -469,7 +490,8 @@ Status DurableGraphStore::AddNodeWeight(VertexId id, double delta) {
 
 Result<RecordId> DurableGraphStore::AddEdge(VertexId v, VertexId other,
                                             std::uint32_t type,
-                                            bool other_is_local) {
+                                            bool other_is_local,
+                                            WalToken token) {
   std::uint64_t lsn = 0;
   bool durable = false;
   RecordId rid = 0;
@@ -481,6 +503,7 @@ Result<RecordId> DurableGraphStore::AddEdge(VertexId v, VertexId other,
     e.b = other;
     e.key = type;
     e.flag = other_is_local ? 1 : 0;
+    e.token = token;
     HERMES_RETURN_NOT_OK(Precheck(e, *store_));
     HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
     HERMES_ASSIGN_OR_RETURN(rid,
@@ -491,7 +514,8 @@ Result<RecordId> DurableGraphStore::AddEdge(VertexId v, VertexId other,
   return rid;
 }
 
-Status DurableGraphStore::RemoveEdge(VertexId v, VertexId other) {
+Status DurableGraphStore::RemoveEdge(VertexId v, VertexId other,
+                                     WalToken token) {
   std::uint64_t lsn = 0;
   bool durable = false;
   {
@@ -500,6 +524,7 @@ Status DurableGraphStore::RemoveEdge(VertexId v, VertexId other) {
     e.type = WalOpType::kRemoveEdge;
     e.a = v;
     e.b = other;
+    e.token = token;
     HERMES_RETURN_NOT_OK(Precheck(e, *store_));
     HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
     HERMES_RETURN_NOT_OK(store_->RemoveEdge(v, other));
@@ -509,7 +534,8 @@ Status DurableGraphStore::RemoveEdge(VertexId v, VertexId other) {
 }
 
 Status DurableGraphStore::SetNodeProperty(VertexId id, std::uint32_t key,
-                                          const std::string& value) {
+                                          const std::string& value,
+                                          WalToken token) {
   std::uint64_t lsn = 0;
   bool durable = false;
   {
@@ -519,6 +545,7 @@ Status DurableGraphStore::SetNodeProperty(VertexId id, std::uint32_t key,
     e.a = id;
     e.key = key;
     e.payload = value;
+    e.token = token;
     HERMES_RETURN_NOT_OK(Precheck(e, *store_));
     HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
     HERMES_RETURN_NOT_OK(store_->SetNodeProperty(id, key, value));
@@ -529,7 +556,8 @@ Status DurableGraphStore::SetNodeProperty(VertexId id, std::uint32_t key,
 
 Status DurableGraphStore::SetEdgeProperty(VertexId v, VertexId other,
                                           std::uint32_t key,
-                                          const std::string& value) {
+                                          const std::string& value,
+                                          WalToken token) {
   std::uint64_t lsn = 0;
   bool durable = false;
   {
@@ -540,6 +568,7 @@ Status DurableGraphStore::SetEdgeProperty(VertexId v, VertexId other,
     e.b = other;
     e.key = key;
     e.payload = value;
+    e.token = token;
     HERMES_RETURN_NOT_OK(Precheck(e, *store_));
     HERMES_ASSIGN_OR_RETURN(lsn, Log(std::move(e)));
     HERMES_RETURN_NOT_OK(store_->SetEdgeProperty(v, other, key, value));

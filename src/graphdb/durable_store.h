@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -70,18 +71,31 @@ class DurableGraphStore {
   GraphStore* mutable_store() { return store_.get(); }
 
   // --- Logged mutations (same contracts as GraphStore) --------------------
+  //
+  // The trailing `token` stamps the mutation's idempotency token into its
+  // WAL entry (see WalToken). Callers off the message bus leave it
+  // defaulted; PartitionServer passes the bus (src, request_id) so a
+  // crash between apply and reply leaves the token recoverable.
 
-  [[nodiscard]] Status CreateNode(VertexId id, double weight = 1.0) EXCLUDES(mu_);
-  [[nodiscard]] Status RemoveNode(VertexId v) EXCLUDES(mu_);
-  [[nodiscard]] Status SetNodeState(VertexId id, NodeState state) EXCLUDES(mu_);
-  [[nodiscard]] Status AddNodeWeight(VertexId id, double delta) EXCLUDES(mu_);
+  [[nodiscard]] Status CreateNode(VertexId id, double weight = 1.0,
+                                  WalToken token = {}) EXCLUDES(mu_);
+  [[nodiscard]] Status RemoveNode(VertexId v, WalToken token = {})
+      EXCLUDES(mu_);
+  [[nodiscard]] Status SetNodeState(VertexId id, NodeState state,
+                                    WalToken token = {}) EXCLUDES(mu_);
+  [[nodiscard]] Status AddNodeWeight(VertexId id, double delta,
+                                     WalToken token = {}) EXCLUDES(mu_);
   [[nodiscard]] Result<RecordId> AddEdge(VertexId v, VertexId other, std::uint32_t type,
-                           bool other_is_local) EXCLUDES(mu_);
-  [[nodiscard]] Status RemoveEdge(VertexId v, VertexId other) EXCLUDES(mu_);
+                           bool other_is_local, WalToken token = {})
+      EXCLUDES(mu_);
+  [[nodiscard]] Status RemoveEdge(VertexId v, VertexId other,
+                                  WalToken token = {}) EXCLUDES(mu_);
   [[nodiscard]] Status SetNodeProperty(VertexId id, std::uint32_t key,
-                         const std::string& value) EXCLUDES(mu_);
+                         const std::string& value, WalToken token = {})
+      EXCLUDES(mu_);
   [[nodiscard]] Status SetEdgeProperty(VertexId v, VertexId other, std::uint32_t key,
-                         const std::string& value) EXCLUDES(mu_);
+                         const std::string& value, WalToken token = {})
+      EXCLUDES(mu_);
 
   /// Writes a snapshot, marks a checkpoint, and truncates the log.
   [[nodiscard]] Status Checkpoint() EXCLUDES(mu_);
@@ -96,6 +110,16 @@ class DurableGraphStore {
   void set_durable_mutations(bool on) EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     durable_mutations_ = on;
+  }
+
+  /// Idempotency tokens of every mutation found in the WAL during Open(),
+  /// in log order — including entries the snapshot already covered (a
+  /// crash can land between the snapshot rename and the log truncation,
+  /// and a token's retry may still be in flight either way).
+  /// PartitionServer::Open seeds its dedup table from this so a
+  /// post-recovery retry is answered, not double-applied.
+  const std::vector<WalToken>& recovered_tokens() const {
+    return recovered_tokens_;
   }
 
   const std::string& directory() const { return dir_; }
@@ -152,6 +176,9 @@ class DurableGraphStore {
   // what allows Sync()/SyncUntil() to run outside mu_.
   const std::unique_ptr<WriteAheadLog> wal_;
   bool durable_mutations_ GUARDED_BY(mu_) = false;
+  /// Written once inside Open() before the store is shared; read-only after.
+  // audit:allow(guard, written once inside Open() before the store is shared)
+  std::vector<WalToken> recovered_tokens_;
 };
 
 }  // namespace hermes

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "common/rng.h"
+
 namespace hermes {
 
 MessageBus::MessageBus(Transport* transport, EndpointId self, Options options)
@@ -14,7 +16,12 @@ MessageBus::MessageBus(Transport* transport, EndpointId self, Options options)
       m_decode_errors_(
           MetricsRegistry::Global().GetCounter("msg.decode_errors")),
       m_stale_replies_(
-          MetricsRegistry::Global().GetCounter("msg.stale_replies")) {}
+          MetricsRegistry::Global().GetCounter("msg.stale_replies")),
+      m_retries_(MetricsRegistry::Global().GetCounter("msg.retries")) {
+  MutexLock lock(&mu_);
+  next_request_id_ = options_.first_request_id == 0 ? 1
+                                                    : options_.first_request_id;
+}
 
 Status MessageBus::Start() {
   return transport_->OpenEndpoint(
@@ -38,48 +45,121 @@ Result<Envelope> MessageBus::Call(EndpointId dst, Envelope request) {
     waiting_.erase(id);
     done_.erase(id);
   };
-  auto encoded = EncodeFrame(request);
-  if (!encoded.ok()) {
-    cleanup();
-    return encoded.status();
-  }
+  const std::uint32_t max_attempts =
+      options_.max_attempts == 0 ? 1 : options_.max_attempts;
   const std::uint64_t start_us = SteadyNowMicros();
-  // The pending-table mutex is NOT held across Send: a bounded inbox can
-  // block the sender, and the reply handler needs the mutex to complete
-  // this very call.
-  Status sent = transport_->Send(dst, std::move(*encoded));
-  if (!sent.ok()) {
-    cleanup();
-    return sent;
-  }
   m_calls_->Increment();
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::microseconds(options_.call_timeout_us);
   Envelope reply;
-  {
-    MutexLock lock(&mu_);
-    while (done_.find(id) == done_.end() && !shutdown_) {
-      if (reply_cv_.WaitUntil(&mu_, deadline) == std::cv_status::timeout &&
-          done_.find(id) == done_.end()) {
-        waiting_.erase(id);
-        m_timeouts_->Increment();
-        return Status::Unavailable(
-            "message bus: reply timed out (retryable)");
+  bool have_reply = false;
+  std::uint32_t attempts_used = 1;
+  Status last_error =
+      Status::Unavailable("message bus: reply timed out (retryable)");
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential, deterministically jittered backoff before every
+      // resend. The wait parks on reply_cv_ (never a raw sleep), so a
+      // straggler reply from an earlier attempt completes the call
+      // mid-backoff instead of after it.
+      const auto backoff_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(BackoffUs(attempt, id));
+      const WaitOutcome w = WaitForReply(id, backoff_deadline, &reply);
+      if (w == WaitOutcome::kShutdown) {
+        return Status::Unavailable("message bus: shut down");
       }
+      if (w == WaitOutcome::kReply) {
+        have_reply = true;
+        break;
+      }
+      m_retries_->Increment();
+      attempts_used = attempt + 1;
     }
-    auto it = done_.find(id);
-    if (it == done_.end()) {
-      waiting_.erase(id);
+    // Every attempt resends the SAME request id — the idempotency token.
+    // A server that already applied this mutation replays its cached
+    // reply instead of re-executing, which is what makes the retry loop
+    // exactly-once rather than at-least-once.
+    request.attempt = static_cast<std::uint16_t>(attempt);
+    auto encoded = EncodeFrame(request);
+    if (!encoded.ok()) {
+      cleanup();
+      return encoded.status();
+    }
+    // The pending-table mutex is NOT held across Send: a bounded inbox
+    // can block the sender, and the reply handler needs the mutex to
+    // complete this very call.
+    const Status sent = transport_->Send(dst, std::move(*encoded));
+    if (!sent.ok()) {
+      last_error = sent;
+      if (sent.IsNotFound() || sent.IsInvalidArgument()) {
+        // No such endpoint / malformed destination: permanent, fail fast.
+        cleanup();
+        return sent;
+      }
+      continue;  // retryable send failure: back off, then resend
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.call_timeout_us);
+    const WaitOutcome w = WaitForReply(id, deadline, &reply);
+    if (w == WaitOutcome::kShutdown) {
       return Status::Unavailable("message bus: shut down");
     }
-    reply = std::move(it->second);
-    done_.erase(it);
-    waiting_.erase(id);
+    if (w == WaitOutcome::kReply) {
+      have_reply = true;
+      break;
+    }
+    m_timeouts_->Increment();
+    last_error =
+        Status::Unavailable("message bus: reply timed out (retryable)");
   }
-  MetricsRegistry::Global().Observe(
-      "msg.rtt_us", static_cast<double>(SteadyNowMicros() - start_us));
+  if (!have_reply) {
+    cleanup();
+    return last_error;
+  }
+  const double elapsed = static_cast<double>(SteadyNowMicros() - start_us);
+  MetricsRegistry::Global().Observe("msg.rtt_us", elapsed);
+  if (attempts_used > 1) {
+    // Latency distribution of calls that needed at least one retry: the
+    // price of a lost frame under the exactly-once contract.
+    MetricsRegistry::Global().Observe("msg.retry_latency_us", elapsed);
+  }
   return reply;
+}
+
+MessageBus::WaitOutcome MessageBus::WaitForReply(
+    std::uint64_t id, std::chrono::steady_clock::time_point deadline,
+    Envelope* out) {
+  MutexLock lock(&mu_);
+  for (;;) {
+    auto it = done_.find(id);
+    if (it != done_.end()) {
+      *out = std::move(it->second);
+      done_.erase(it);
+      waiting_.erase(id);
+      return WaitOutcome::kReply;
+    }
+    if (shutdown_) {
+      waiting_.erase(id);
+      return WaitOutcome::kShutdown;
+    }
+    if (reply_cv_.WaitUntil(&mu_, deadline) == std::cv_status::timeout &&
+        done_.find(id) == done_.end() && !shutdown_) {
+      // The id stays in waiting_: a later attempt (or a straggler reply
+      // beating the next resend) can still complete this call.
+      return WaitOutcome::kTimeout;
+    }
+  }
+}
+
+std::uint64_t MessageBus::BackoffUs(std::uint32_t attempt,
+                                    std::uint64_t id) const {
+  const std::uint64_t base = attempt >= 64
+                                 ? options_.retry_backoff_us
+                                 : options_.retry_backoff_us << (attempt - 1);
+  if (base == 0) return 0;
+  Rng jitter(options_.retry_jitter_seed ^ (id * 0x9e3779b97f4a7c15ULL) ^
+             attempt);
+  return base + jitter.Uniform(base);
 }
 
 void MessageBus::Shutdown() {

@@ -6,9 +6,19 @@
 /// Replies are matched purely by request id, so duplicated or reordered
 /// frames at the transport layer cannot mispair a call: stale and
 /// duplicate replies are counted and dropped.
+///
+/// Retries are idempotent by construction: a Call that times out or hits
+/// a retryable send error resends the SAME request id (never a fresh
+/// one), with bounded attempts and exponential, deterministically
+/// jittered backoff. Servers deduplicate on (src, request_id) and replay
+/// the cached reply, which upgrades mutations from at-most-once to
+/// exactly-once under message loss (the exactly-once contract, DESIGN.md
+/// §12). tools/lint.py enforces that no retry loop outside this class
+/// mints request ids.
 #ifndef HERMES_NET_BUS_H_
 #define HERMES_NET_BUS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -26,9 +36,25 @@ namespace hermes {
 class MessageBus {
  public:
   struct Options {
-    /// How long Call() waits for the reply before returning
-    /// kUnavailable.
+    /// How long one attempt waits for the reply before timing out (and,
+    /// if attempts remain, resending the same token).
     std::uint64_t call_timeout_us = 30'000'000;
+    /// Total delivery attempts per Call (0 behaves as 1). Every attempt
+    /// reuses the request id minted on the first, so server-side dedup
+    /// makes retried mutations exactly-once.
+    std::uint32_t max_attempts = 3;
+    /// Backoff before the 2nd attempt; doubles each further attempt,
+    /// plus a deterministic jitter in [0, backoff) seeded from
+    /// `retry_jitter_seed`, the request id, and the attempt number. The
+    /// wait parks on the reply condvar, so a straggler reply completes
+    /// the call mid-backoff.
+    std::uint64_t retry_backoff_us = 1'000;
+    std::uint64_t retry_jitter_seed = 0x48455253u;  // "HERS"
+    /// First request id this bus mints. HermesCluster::Recover() sets it
+    /// above the highest idempotency token recovered from any WAL, so a
+    /// fresh post-recovery call can never collide with a recovered
+    /// token and be answered from stale dedup state.
+    std::uint64_t first_request_id = 1;
   };
 
   /// The bus does not own `transport`; it must outlive the bus.
@@ -51,7 +77,22 @@ class MessageBus {
   EndpointId endpoint() const { return self_; }
 
  private:
+  enum class WaitOutcome { kReply, kShutdown, kTimeout };
+
   void OnFrame(std::string frame) EXCLUDES(mu_);
+
+  /// Blocks until the reply for `id` arrives (claims it into `*out`),
+  /// the bus shuts down, or `deadline` passes. On kTimeout the id stays
+  /// in `waiting_` so a later attempt — or a straggler reply — can still
+  /// complete the call.
+  [[nodiscard]] WaitOutcome WaitForReply(
+      std::uint64_t id, std::chrono::steady_clock::time_point deadline,
+      Envelope* out) EXCLUDES(mu_);
+
+  /// Exponential backoff with deterministic jitter before attempt
+  /// `attempt` (>= 1) of request `id`.
+  [[nodiscard]] std::uint64_t BackoffUs(std::uint32_t attempt,
+                                        std::uint64_t id) const;
 
   // audit:allow(guard, not owned; Transport implementations self-synchronize)
   Transport* const transport_;
@@ -59,7 +100,7 @@ class MessageBus {
   const Options options_;
   mutable Mutex mu_{"msg.bus", lock_order::kRankMsgBus};
   CondVar reply_cv_;
-  std::uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
+  std::uint64_t next_request_id_ GUARDED_BY(mu_);
   /// Calls that have been issued and not yet completed.
   std::set<std::uint64_t> waiting_ GUARDED_BY(mu_);
   /// Replies delivered but not yet claimed by their caller.
@@ -69,6 +110,7 @@ class MessageBus {
   Counter* const m_timeouts_;
   Counter* const m_decode_errors_;
   Counter* const m_stale_replies_;
+  Counter* const m_retries_;
 };
 
 }  // namespace hermes

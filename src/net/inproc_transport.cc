@@ -52,6 +52,7 @@ Status InProcTransport::OpenEndpoint(EndpointId id, FrameHandler handler) {
 Status InProcTransport::Send(EndpointId dst, std::string frame) {
   HERMES_FAILPOINT_IOERROR("msg.send.io_error");
   Inbox* inbox = nullptr;
+  bool drop = false;
   {
     MutexLock lock(&mu_);
     if (shutdown_) {
@@ -62,6 +63,19 @@ Status InProcTransport::Send(EndpointId dst, std::string frame) {
       return Status::NotFound("inproc transport: no such endpoint");
     }
     inbox = it->second.get();
+    if (options_.drop_every_n != 0 && dst == options_.drop_dst) {
+      // Count the arrival whether or not it survives: a cadence over
+      // delivered frames only would re-fire on every frame after the
+      // first hit.
+      ++drop_arrivals_;
+      drop = (drop_arrivals_ + options_.fault_seed) %
+                 options_.drop_every_n ==
+             0;
+    }
+  }
+  if (drop) {
+    m_dropped_->Increment();
+    return Status::OK();
   }
   // A fired receive-drop means the frame was "accepted" but never
   // arrives: the sender sees OK and the caller's reply timeout is what

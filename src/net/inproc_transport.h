@@ -39,9 +39,18 @@ class InProcTransport final : public Transport {
     /// Every n-th accepted frame is delivered before its predecessor
     /// (0 = off).
     std::uint64_t reorder_every_n = 0;
-    /// Phase offset for the duplicate/reorder cadences, so different
-    /// seeds hit different frames.
+    /// Phase offset for the duplicate/reorder/drop cadences, so
+    /// different seeds hit different frames.
     std::uint64_t fault_seed = 0;
+    /// Every n-th frame addressed to `drop_dst` vanishes after Send
+    /// returns OK (0 = off) — the sender only learns via its reply
+    /// timeout, exactly like a lossy network. Unlike the msg.recv.drop
+    /// failpoint this is plain configuration, so benchmarks in every
+    /// build preset can measure retry cost deterministically. The
+    /// cadence counts every arrival (dropped frames included), so a hit
+    /// never shifts the phase onto the frames that follow it.
+    std::uint64_t drop_every_n = 0;
+    EndpointId drop_dst = 0;
   };
 
   explicit InProcTransport(Options options);
@@ -83,6 +92,9 @@ class InProcTransport final : public Transport {
   mutable Mutex mu_{"msg.transport", lock_order::kRankMsgTransport};
   std::map<EndpointId, std::unique_ptr<Inbox>> inboxes_ GUARDED_BY(mu_);
   bool shutdown_ GUARDED_BY(mu_) = false;
+  /// Arrivals at `drop_dst`, dropped frames included, driving the
+  /// Options::drop_every_n cadence.
+  std::uint64_t drop_arrivals_ GUARDED_BY(mu_) = 0;
   Counter* const m_sent_;
   Counter* const m_bytes_;
   Counter* const m_dropped_;

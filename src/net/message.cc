@@ -404,7 +404,7 @@ MsgType Envelope::type() const {
 
 namespace {
 
-/// Frame header after the length prefix: version + type + reserved +
+/// Frame header after the length prefix: version + type + attempt +
 /// request_id + src + dst.
 constexpr std::size_t kFrameHeaderBytes = 1 + 1 + 2 + 8 + 4 + 4;
 
@@ -414,7 +414,7 @@ constexpr std::size_t kFrameHeaderBytes = 1 + 1 + 2 + 8 + 4 + 4;
   WireWriter body;
   body.PutU8(kWireVersion);
   body.PutU8(static_cast<std::uint8_t>(env.type()));
-  body.PutU16(0);
+  body.PutU16(env.attempt);
   body.PutU64(env.request_id);
   body.PutU32(env.src);
   body.PutU32(env.dst);
@@ -455,17 +455,13 @@ constexpr std::size_t kFrameHeaderBytes = 1 + 1 + 2 + 8 + 4 + 4;
   WireReader r(crcd);
   std::uint8_t version = 0;
   std::uint8_t type = 0;
-  std::uint16_t reserved = 0;
   Envelope env;
   HERMES_RETURN_NOT_OK(r.ReadU8(&version));
   if (version != kWireVersion) {
     return Status::InvalidArgument("wire: unsupported frame version");
   }
   HERMES_RETURN_NOT_OK(r.ReadU8(&type));
-  HERMES_RETURN_NOT_OK(r.ReadU16(&reserved));
-  if (reserved != 0) {
-    return Status::InvalidArgument("wire: reserved header bits set");
-  }
+  HERMES_RETURN_NOT_OK(r.ReadU16(&env.attempt));
   HERMES_RETURN_NOT_OK(r.ReadU64(&env.request_id));
   HERMES_RETURN_NOT_OK(r.ReadU32(&env.src));
   HERMES_RETURN_NOT_OK(r.ReadU32(&env.dst));

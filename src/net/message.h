@@ -306,6 +306,11 @@ using MessagePayload =
 /// variant index determines the on-wire MsgType.
 struct Envelope {
   std::uint64_t request_id = 0;
+  /// Retry ordinal of this delivery: 0 for the first send, incremented by
+  /// the bus on each same-token resend (v2 wire field, formerly reserved).
+  /// Servers dedup on (src, request_id) alone; `attempt` exists for
+  /// diagnostics and so a future socket transport can prioritize retries.
+  std::uint16_t attempt = 0;
   EndpointId src = 0;
   EndpointId dst = 0;
   MessagePayload payload;

@@ -21,7 +21,13 @@ namespace hermes {
 /// Current frame-format version. Bump when the frame layout or any
 /// message payload encoding changes; tests/net_golden_test.cc documents
 /// the procedure.
-inline constexpr std::uint8_t kWireVersion = 1;
+///
+/// Version history:
+///   v1 — initial layout; u16 after the type byte was reserved (must be 0).
+///   v2 — the reserved u16 became the retry `attempt` counter so servers
+///        can distinguish first deliveries from client retries (DESIGN.md
+///        §12, exactly-once mutation contract).
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Hard ceiling on a single frame (length prefix included). Large enough
 /// for a single-shot recovery dump at test scale; bulk paths (store

@@ -1,5 +1,6 @@
 #include "server/partition_server.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <vector>
 
@@ -13,10 +14,11 @@ namespace hermes {
 
 namespace {
 
-/// Duplicate-suppression window per server. Large enough that a
-/// transport-manufactured duplicate (delivered at most a few frames
-/// after the original) always lands inside it.
-constexpr std::size_t kDedupWindow = 4096;
+/// Default dedup window when Options::dedup_window is 0. Standalone
+/// servers (tests, benches) see at most a few in-flight frames; the
+/// cluster overrides this with inbox capacity x endpoint count so a
+/// token can never be evicted while its duplicate is still queued.
+constexpr std::size_t kDefaultDedupWindow = 4096;
 
 }  // namespace
 
@@ -24,7 +26,7 @@ PartitionServer::PartitionServer(PartitionId partition, EndpointId endpoint,
                                  Transport* transport,
                                  std::unique_ptr<GraphStore> mem_store,
                                  std::unique_ptr<DurableGraphStore> durable,
-                                 GraphStore* store)
+                                 GraphStore* store, std::size_t dedup_window)
     : partition_(partition),
       endpoint_(endpoint),
       transport_(transport),
@@ -35,13 +37,15 @@ PartitionServer::PartitionServer(PartitionId partition, EndpointId endpoint,
       durable_(std::move(durable)),
       durable_raw_(durable_.get()),
       store_(store),
+      dedup_window_(dedup_window == 0 ? kDefaultDedupWindow : dedup_window),
       m_requests_(MetricsRegistry::Global().GetCounter("server.requests")),
       m_duplicates_(
           MetricsRegistry::Global().GetCounter("server.duplicate_requests")),
       m_decode_errors_(
           MetricsRegistry::Global().GetCounter("server.decode_errors")),
       m_reply_errors_(
-          MetricsRegistry::Global().GetCounter("server.reply_errors")) {}
+          MetricsRegistry::Global().GetCounter("server.reply_errors")),
+      m_dedup_hits_(MetricsRegistry::Global().GetCounter("msg.dedup_hits")) {}
 
 PartitionServer::~PartitionServer() = default;
 
@@ -60,10 +64,30 @@ Result<std::unique_ptr<PartitionServer>> PartitionServer::Open(
         durable, DurableGraphStore::Open(partition, options.durability_dir));
     store = durable->mutable_store();
   }
-  std::unique_ptr<PartitionServer> server(
-      new PartitionServer(partition, endpoint, transport,
-                          std::move(mem_store), std::move(durable), store));
+  std::unique_ptr<PartitionServer> server(new PartitionServer(
+      partition, endpoint, transport, std::move(mem_store), std::move(durable),
+      store, options.dedup_window));
   PartitionServer* raw = server.get();
+  if (raw->durable_raw_ != nullptr) {
+    // Seed the dedup table with every token the WAL still remembers: a
+    // client whose reply died with the crashed process is about to retry,
+    // and that retry must be answered (RecoveredReplyLocked), never
+    // re-applied. The endpoint is not registered yet, so this lock is
+    // uncontended — it exists for the thread-safety analysis.
+    MutexLock lock(&raw->mu_);
+    for (const WalToken& token : raw->durable_raw_->recovered_tokens()) {
+      const DedupKey key{static_cast<EndpointId>(token.src), token.id};
+      if (raw->seen_.insert(key).second) {
+        raw->seen_fifo_.push_back(key);
+      }
+      raw->max_recovered_token_id_ =
+          std::max(raw->max_recovered_token_id_, token.id);
+    }
+    while (raw->seen_fifo_.size() > raw->dedup_window_) {
+      raw->seen_.erase(raw->seen_fifo_.front());
+      raw->seen_fifo_.pop_front();
+    }
+  }
   HERMES_RETURN_NOT_OK(transport->OpenEndpoint(
       endpoint, [raw](std::string frame) { raw->HandleFrame(std::move(frame)); }));
   return server;
@@ -76,32 +100,49 @@ void PartitionServer::HandleFrame(std::string frame) {
     m_decode_errors_->Increment();
     return;
   }
-  Envelope reply;
-  reply.request_id = env->request_id;
-  reply.src = endpoint_;
-  reply.dst = env->src;
-  bool duplicate = false;
+  const bool mutating = IsMutatingRequest(env->payload);
+  const DedupKey key{env->src, env->request_id};
+  std::string encoded;
   {
     MutexLock lock(&mu_);
-    duplicate = !RememberLocked(env->src, env->request_id);
-    if (!duplicate) {
-      reply.payload = ApplyLocked(env->payload);
+    if (mutating && replies_.count(key) != 0) {
+      // Same-token retry (or a transport-manufactured duplicate) of a
+      // mutation this server already applied: replay the cached reply
+      // byte-for-byte. Re-applying would double-execute; replying with
+      // nothing — the pre-fix behavior — made every same-id retry time
+      // out, which is the at-most-once hole this path closes.
+      m_duplicates_->Increment();
+      m_dedup_hits_->Increment();
+      encoded = replies_[key];
+    } else {
+      Envelope reply;
+      reply.request_id = env->request_id;
+      reply.src = endpoint_;
+      reply.dst = env->src;
+      if (mutating && seen_.count(key) != 0) {
+        // Token recovered from the WAL: the mutation is applied state,
+        // but the encoded reply died with the crashed process.
+        m_duplicates_->Increment();
+        m_dedup_hits_->Increment();
+        reply.payload = RecoveredReplyLocked(env->payload);
+      } else {
+        if (mutating) RememberLocked(key);
+        reply.payload = ApplyLocked(env->payload, env->src, env->request_id);
+        m_requests_->Increment();
+      }
+      auto frame_bytes = EncodeFrame(reply);
+      if (!frame_bytes.ok()) {
+        m_reply_errors_->Increment();
+        return;
+      }
+      encoded = std::move(*frame_bytes);
+      // Cache the encoded reply while the token is in the window, so
+      // every later same-token delivery gets the identical answer.
+      if (mutating) replies_[key] = encoded;
     }
   }
-  if (duplicate) {
-    // The original application already replied (or its reply was lost,
-    // in which case the caller's timeout makes the op retryable);
-    // re-applying would double-execute a non-idempotent mutation.
-    m_duplicates_->Increment();
-    return;
-  }
-  m_requests_->Increment();
-  auto encoded = EncodeFrame(reply);
-  if (!encoded.ok()) {
-    m_reply_errors_->Increment();
-    return;
-  }
-  const Status sent = transport_->Send(reply.dst, std::move(*encoded));
+  // Reply send happens with no locks held (class contract).
+  const Status sent = transport_->Send(env->src, std::move(encoded));
   if (!sent.ok()) {
     m_reply_errors_->Increment();
     HERMES_LOG(Warning) << "partition server p" << partition_
@@ -109,20 +150,25 @@ void PartitionServer::HandleFrame(std::string frame) {
   }
 }
 
-bool PartitionServer::RememberLocked(EndpointId src,
-                                     std::uint64_t request_id) {
-  if (!seen_.insert({src, request_id}).second) {
-    return false;
-  }
-  seen_fifo_.push_back({src, request_id});
-  if (seen_fifo_.size() > kDedupWindow) {
+bool PartitionServer::IsMutatingRequest(const MessagePayload& request) {
+  return std::get_if<MutateRequest>(&request) != nullptr ||
+         std::get_if<InstallChunkRequest>(&request) != nullptr ||
+         std::get_if<AuxExchangeRequest>(&request) != nullptr;
+}
+
+void PartitionServer::RememberLocked(const DedupKey& key) {
+  if (!seen_.insert(key).second) return;
+  seen_fifo_.push_back(key);
+  if (seen_fifo_.size() > dedup_window_) {
+    replies_.erase(seen_fifo_.front());
     seen_.erase(seen_fifo_.front());
     seen_fifo_.pop_front();
   }
-  return true;
 }
 
-MessagePayload PartitionServer::ApplyLocked(const MessagePayload& request) {
+MessagePayload PartitionServer::ApplyLocked(const MessagePayload& request,
+                                            EndpointId src,
+                                            std::uint64_t request_id) {
   if (const auto* m = std::get_if<NeighborsRequest>(&request)) {
     return DoNeighbors(*m);
   }
@@ -130,16 +176,16 @@ MessagePayload PartitionServer::ApplyLocked(const MessagePayload& request) {
     return DoProbe(*m);
   }
   if (const auto* m = std::get_if<MutateRequest>(&request)) {
-    return DoMutate(*m);
+    return DoMutate(*m, src, request_id);
   }
   if (const auto* m = std::get_if<InstallChunkRequest>(&request)) {
-    return DoInstall(*m);
+    return DoInstall(*m, src, request_id);
   }
   if (const auto* m = std::get_if<ExtractRequest>(&request)) {
     return DoExtract(*m);
   }
   if (const auto* m = std::get_if<AuxExchangeRequest>(&request)) {
-    return DoAux(*m);
+    return DoAux(*m, src, request_id);
   }
   if (std::get_if<HealthRequest>(&request) != nullptr) {
     return DoHealth();
@@ -152,6 +198,47 @@ MessagePayload PartitionServer::ApplyLocked(const MessagePayload& request) {
   }
   MutateReply reply;
   reply.status = Status::InvalidArgument("server: frame is not a request");
+  return reply;
+}
+
+MessagePayload PartitionServer::RecoveredReplyLocked(
+    const MessagePayload& request) {
+  // The mutation's effects are already in the recovered store; the reply
+  // is reconstructed from what the apply must have produced. Success is
+  // the only reply ever cached into the WAL path: a mutation that failed
+  // Precheck was never logged, so its token was never recovered.
+  if (const auto* m = std::get_if<MutateRequest>(&request)) {
+    MutateReply reply;
+    reply.status = Status::OK();
+    if (m->op == MutateRequest::Op::kAddEdge) {
+      if (auto rid = store_->FindEdge(m->vertex, m->other); rid.ok()) {
+        reply.record_id = *rid;
+      }
+    }
+    return reply;
+  }
+  if (const auto* m = std::get_if<InstallChunkRequest>(&request)) {
+    // Counts are recomputed from presence. A crash mid-chunk can leave
+    // the chunk partially logged; the cluster rebuilds migration state
+    // from Dump() on Recover(), so this reply only serves stray retries.
+    InstallChunkReply reply;
+    reply.status = Status::OK();
+    for (const auto& node : m->nodes) {
+      if (store_->NodeExists(node.id)) ++reply.nodes_created;
+    }
+    for (const auto& edge : m->edges) {
+      if (store_->FindEdge(edge.v, edge.other).ok()) ++reply.edges_created;
+    }
+    return reply;
+  }
+  if (const auto* m = std::get_if<AuxExchangeRequest>(&request)) {
+    AuxExchangeReply reply;
+    reply.status = Status::OK();
+    reply.applied = m->entries.size();
+    return reply;
+  }
+  MutateReply reply;
+  reply.status = Status::Internal("recovered token for non-mutating request");
   return reply;
 }
 
@@ -198,35 +285,38 @@ ProbeReply PartitionServer::DoProbe(const ProbeRequest& req) {
   return reply;
 }
 
-MutateReply PartitionServer::DoMutate(const MutateRequest& req) {
+MutateReply PartitionServer::DoMutate(const MutateRequest& req,
+                                      EndpointId src,
+                                      std::uint64_t request_id) {
+  const WalToken token{src, request_id};
   MutateReply reply;
   switch (req.op) {
     case MutateRequest::Op::kCreateNode:
       reply.status = durable_raw_
-                         ? durable_raw_->CreateNode(req.vertex, req.weight)
+                         ? durable_raw_->CreateNode(req.vertex, req.weight, token)
                          : store_->CreateNode(req.vertex, req.weight);
       break;
     case MutateRequest::Op::kRemoveNode:
-      reply.status = durable_raw_ ? durable_raw_->RemoveNode(req.vertex)
+      reply.status = durable_raw_ ? durable_raw_->RemoveNode(req.vertex, token)
                                   : store_->RemoveNode(req.vertex);
       break;
     case MutateRequest::Op::kSetNodeState: {
       const NodeState state = static_cast<NodeState>(req.node_state);
       reply.status = durable_raw_
-                         ? durable_raw_->SetNodeState(req.vertex, state)
+                         ? durable_raw_->SetNodeState(req.vertex, state, token)
                          : store_->SetNodeState(req.vertex, state);
       break;
     }
     case MutateRequest::Op::kAddNodeWeight:
       reply.status = durable_raw_
-                         ? durable_raw_->AddNodeWeight(req.vertex, req.weight)
+                         ? durable_raw_->AddNodeWeight(req.vertex, req.weight, token)
                          : store_->AddNodeWeight(req.vertex, req.weight);
       break;
     case MutateRequest::Op::kAddEdge: {
       auto added = durable_raw_
                        ? durable_raw_->AddEdge(req.vertex, req.other,
                                                req.type_or_key,
-                                               req.other_is_local)
+                                               req.other_is_local, token)
                        : store_->AddEdge(req.vertex, req.other,
                                          req.type_or_key, req.other_is_local);
       if (added.ok()) {
@@ -239,14 +329,14 @@ MutateReply PartitionServer::DoMutate(const MutateRequest& req) {
     }
     case MutateRequest::Op::kRemoveEdge:
       reply.status = durable_raw_
-                         ? durable_raw_->RemoveEdge(req.vertex, req.other)
+                         ? durable_raw_->RemoveEdge(req.vertex, req.other, token)
                          : store_->RemoveEdge(req.vertex, req.other);
       break;
     case MutateRequest::Op::kSetNodeProperty:
       reply.status =
           durable_raw_
               ? durable_raw_->SetNodeProperty(req.vertex, req.type_or_key,
-                                              req.value)
+                                              req.value, token)
               : store_->SetNodeProperty(req.vertex, req.type_or_key,
                                         req.value);
       break;
@@ -254,7 +344,8 @@ MutateReply PartitionServer::DoMutate(const MutateRequest& req) {
       reply.status =
           durable_raw_
               ? durable_raw_->SetEdgeProperty(req.vertex, req.other,
-                                              req.type_or_key, req.value)
+                                              req.type_or_key, req.value,
+                                              token)
               : store_->SetEdgeProperty(req.vertex, req.other,
                                         req.type_or_key, req.value);
       break;
@@ -262,7 +353,10 @@ MutateReply PartitionServer::DoMutate(const MutateRequest& req) {
   return reply;
 }
 
-InstallChunkReply PartitionServer::DoInstall(const InstallChunkRequest& req) {
+InstallChunkReply PartitionServer::DoInstall(const InstallChunkRequest& req,
+                                             EndpointId src,
+                                             std::uint64_t request_id) {
+  const WalToken token{src, request_id};
   InstallChunkReply reply;
   reply.status = Status::OK();
   // Nodes first, so edges between co-installed vertices find both
@@ -270,7 +364,7 @@ InstallChunkReply PartitionServer::DoInstall(const InstallChunkRequest& req) {
   // the cluster's unwind removes exactly these.
   for (const auto& node : req.nodes) {
     const Status st = durable_raw_
-                          ? durable_raw_->CreateNode(node.id, node.weight)
+                          ? durable_raw_->CreateNode(node.id, node.weight, token)
                           : store_->CreateNode(node.id, node.weight);
     if (!st.ok()) {
       reply.status = st;
@@ -280,7 +374,8 @@ InstallChunkReply PartitionServer::DoInstall(const InstallChunkRequest& req) {
     for (const auto& prop : node.properties) {
       const Status pst =
           durable_raw_
-              ? durable_raw_->SetNodeProperty(node.id, prop.key, prop.value)
+              ? durable_raw_->SetNodeProperty(node.id, prop.key, prop.value,
+                                              token)
               : store_->SetNodeProperty(node.id, prop.key, prop.value);
       if (!pst.ok()) {
         reply.status = pst;
@@ -292,7 +387,7 @@ InstallChunkReply PartitionServer::DoInstall(const InstallChunkRequest& req) {
     auto added =
         durable_raw_
             ? durable_raw_->AddEdge(edge.v, edge.other, edge.type,
-                                    edge.other_is_local)
+                                    edge.other_is_local, token)
             : store_->AddEdge(edge.v, edge.other, edge.type,
                               edge.other_is_local);
     if (!added.ok()) {
@@ -307,7 +402,7 @@ InstallChunkReply PartitionServer::DoInstall(const InstallChunkRequest& req) {
         const Status pst =
             durable_raw_
                 ? durable_raw_->SetEdgeProperty(edge.v, edge.other, prop.key,
-                                                prop.value)
+                                                prop.value, token)
                 : store_->SetEdgeProperty(edge.v, edge.other, prop.key,
                                           prop.value);
         // Ghost copies refuse properties by design.
@@ -351,12 +446,16 @@ ExtractReply PartitionServer::DoExtract(const ExtractRequest& req) {
   return reply;
 }
 
-AuxExchangeReply PartitionServer::DoAux(const AuxExchangeRequest& req) {
+AuxExchangeReply PartitionServer::DoAux(const AuxExchangeRequest& req,
+                                        EndpointId src,
+                                        std::uint64_t request_id) {
+  const WalToken token{src, request_id};
   AuxExchangeReply reply;
   reply.status = Status::OK();
   for (const auto& entry : req.entries) {
     const Status st =
-        durable_raw_ ? durable_raw_->AddNodeWeight(entry.vertex, entry.delta)
+        durable_raw_
+            ? durable_raw_->AddNodeWeight(entry.vertex, entry.delta, token)
                      : store_->AddNodeWeight(entry.vertex, entry.delta);
     if (!st.ok()) {
       reply.status = st;

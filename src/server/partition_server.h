@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -41,6 +42,13 @@ class PartitionServer {
     /// Non-empty: open a DurableGraphStore rooted here (the directory is
     /// created if missing). Empty: plain in-memory store.
     std::string durability_dir;
+    /// Capacity of the (src, request_id) dedup window and its reply
+    /// cache. 0 selects the built-in default. The cluster sizes this from
+    /// the transport's inbox capacity × endpoint count: eviction of a
+    /// token whose duplicate is still queued somewhere silently
+    /// reintroduces double-apply, so the window must dominate the number
+    /// of frames that can be in flight at once.
+    std::size_t dedup_window = 0;
   };
 
   /// Creates the server's store and registers its endpoint + dispatch
@@ -58,6 +66,14 @@ class PartitionServer {
   EndpointId endpoint() const { return endpoint_; }
   bool durable() const { return durable_raw_ != nullptr; }
 
+  /// Highest bus request id among the idempotency tokens recovered from
+  /// the WAL at Open() (0 when none). The cluster starts the post-recovery
+  /// MessageBus above this so fresh request ids can never collide with a
+  /// recovered token and be answered from stale dedup state.
+  std::uint64_t max_recovered_token_id() const {
+    return max_recovered_token_id_;
+  }
+
   /// Direct store access for quiesced tests and recovery-free seeding
   /// ONLY — production traffic goes through the message protocol.
   GraphStore* store_for_test() { return store_; }
@@ -68,26 +84,48 @@ class PartitionServer {
                   Transport* transport,
                   std::unique_ptr<GraphStore> mem_store,
                   std::unique_ptr<DurableGraphStore> durable,
-                  GraphStore* store);
+                  GraphStore* store, std::size_t dedup_window);
+
+  using DedupKey = std::pair<EndpointId, std::uint64_t>;
 
   /// Entry point on the transport dispatch thread.
   void HandleFrame(std::string frame);
 
-  /// Applies one decoded request and produces the reply payload.
-  [[nodiscard]] MessagePayload ApplyLocked(const MessagePayload& request)
+  /// True for request payloads that mutate the store (Mutate /
+  /// InstallChunk / AuxExchange): these are deduplicated by token and
+  /// their replies cached for replay. Reads are idempotent and simply
+  /// re-execute on duplicate delivery.
+  [[nodiscard]] static bool IsMutatingRequest(const MessagePayload& request);
+
+  /// Applies one decoded request and produces the reply payload. `src`
+  /// and `request_id` identify the mutation's idempotency token for the
+  /// WAL (reads ignore them).
+  [[nodiscard]] MessagePayload ApplyLocked(const MessagePayload& request,
+                                           EndpointId src,
+                                           std::uint64_t request_id)
       REQUIRES(mu_);
 
-  /// Records (src, request_id); false means this frame is a duplicate
-  /// the transport manufactured and must not be re-applied.
-  [[nodiscard]] bool RememberLocked(EndpointId src, std::uint64_t request_id)
-      REQUIRES(mu_);
+  /// Synthesizes the reply for a mutation whose token was recovered from
+  /// the WAL: the mutation is applied state, but its encoded reply died
+  /// with the crashed process, so the answer is reconstructed from the
+  /// current store (e.g. FindEdge supplies the record id a kAddEdge retry
+  /// expects).
+  [[nodiscard]] MessagePayload RecoveredReplyLocked(
+      const MessagePayload& request) REQUIRES(mu_);
+
+  /// Records a mutation token, evicting the oldest entry (and its cached
+  /// reply) once the window overflows.
+  void RememberLocked(const DedupKey& key) REQUIRES(mu_);
 
   NeighborsReply DoNeighbors(const NeighborsRequest& req) REQUIRES(mu_);
   ProbeReply DoProbe(const ProbeRequest& req) REQUIRES(mu_);
-  MutateReply DoMutate(const MutateRequest& req) REQUIRES(mu_);
-  InstallChunkReply DoInstall(const InstallChunkRequest& req) REQUIRES(mu_);
+  MutateReply DoMutate(const MutateRequest& req, EndpointId src,
+                       std::uint64_t request_id) REQUIRES(mu_);
+  InstallChunkReply DoInstall(const InstallChunkRequest& req, EndpointId src,
+                              std::uint64_t request_id) REQUIRES(mu_);
   ExtractReply DoExtract(const ExtractRequest& req) REQUIRES(mu_);
-  AuxExchangeReply DoAux(const AuxExchangeRequest& req) REQUIRES(mu_);
+  AuxExchangeReply DoAux(const AuxExchangeRequest& req, EndpointId src,
+                         std::uint64_t request_id) REQUIRES(mu_);
   HealthReply DoHealth() REQUIRES(mu_);
   CheckpointReply DoCheckpoint() REQUIRES(mu_);
   DumpReply DoDump() REQUIRES(mu_);
@@ -107,13 +145,23 @@ class PartitionServer {
   DurableGraphStore* durable_raw_;
   // audit:allow(guard, same single-assignment view as durable_raw_)
   GraphStore* store_;
-  /// Recently seen (src, request_id) pairs for duplicate suppression.
-  std::set<std::pair<EndpointId, std::uint64_t>> seen_ GUARDED_BY(mu_);
-  std::deque<std::pair<EndpointId, std::uint64_t>> seen_fifo_ GUARDED_BY(mu_);
+  /// Dedup window capacity (Options::dedup_window, defaulted).
+  const std::size_t dedup_window_;
+  /// Mutation tokens this server has applied (or recovered from the WAL),
+  /// plus their FIFO eviction order. Exactly-once contract: a token in
+  /// `seen_` is never re-applied; if its encoded reply is in `replies_`
+  /// it is replayed verbatim, otherwise (recovered token) the reply is
+  /// synthesized from store state. All three structures evict together.
+  std::set<DedupKey> seen_ GUARDED_BY(mu_);
+  std::deque<DedupKey> seen_fifo_ GUARDED_BY(mu_);
+  std::map<DedupKey, std::string> replies_ GUARDED_BY(mu_);
+  // audit:allow(guard, set once in Open() before the endpoint is registered)
+  std::uint64_t max_recovered_token_id_ = 0;
   Counter* const m_requests_;
   Counter* const m_duplicates_;
   Counter* const m_decode_errors_;
   Counter* const m_reply_errors_;
+  Counter* const m_dedup_hits_;
 };
 
 }  // namespace hermes

@@ -15,6 +15,10 @@ namespace hermes {
 namespace {
 
 /// Fixed-width binary header preceding each entry's variable payload.
+/// The token fields were added for the exactly-once contract (DESIGN.md
+/// §12); changing this struct changes the on-disk format, which is fine
+/// because the WAL is truncated at every checkpoint and never read by a
+/// binary other than the one that wrote it.
 struct EntryHeader {
   std::uint8_t type;
   std::uint64_t lsn;
@@ -23,6 +27,8 @@ struct EntryHeader {
   double weight;
   std::uint32_t key;
   std::uint8_t flag;
+  std::uint32_t token_src;
+  std::uint64_t token_id;
   std::uint32_t payload_size;
 };
 
@@ -39,6 +45,8 @@ std::string EncodeEntry(const WalEntry& e) {
   h.weight = e.weight;
   h.key = e.key;
   h.flag = e.flag;
+  h.token_src = e.token.src;
+  h.token_id = e.token.id;
   h.payload_size = static_cast<std::uint32_t>(e.payload.size());
 
   std::string body;
@@ -89,6 +97,8 @@ struct ScannedLog {
     e.weight = h.weight;
     e.key = h.key;
     e.flag = h.flag;
+    e.token.src = h.token_src;
+    e.token.id = h.token_id;
     e.payload = body.substr(sizeof(h));
     log.entries.push_back(std::move(e));
     log.valid_bytes = static_cast<std::uint64_t>(in.tellg());

@@ -29,6 +29,24 @@ enum class WalOpType : std::uint8_t {
   kCheckpoint = 9,  // snapshot boundary: earlier entries are durable
 };
 
+/// Idempotency token of the mutation that produced a WAL entry: the
+/// (client endpoint, request id) pair the message bus retries under. A
+/// zero token (`!valid()`) marks mutations that did not arrive through
+/// the bus (store loading, recovery replay, direct API use). Recording
+/// the token in the redo record is what makes dedup recovery-safe: a
+/// server that crashes between apply and reply rebuilds its dedup table
+/// from the scanned log, so a post-recovery retry is answered instead of
+/// double-applied (DESIGN.md §12).
+struct WalToken {
+  std::uint32_t src = 0;  // client endpoint id
+  std::uint64_t id = 0;   // bus request id (0 = no token)
+
+  [[nodiscard]] bool valid() const { return id != 0; }
+  bool operator==(const WalToken& other) const {
+    return src == other.src && id == other.id;
+  }
+};
+
 /// One redo record. Fields are interpreted per op type; unused fields stay
 /// at their defaults.
 struct WalEntry {
@@ -39,12 +57,14 @@ struct WalEntry {
   double weight = 0.0;              // node weight / weight delta
   std::uint32_t key = 0;            // property key / relationship type
   std::uint8_t flag = 0;            // other_is_local / NodeState
+  WalToken token;                   // idempotency token (0 = none)
   std::string payload;              // property value
 
   bool operator==(const WalEntry& other) const {
     return type == other.type && lsn == other.lsn && a == other.a &&
            b == other.b && weight == other.weight && key == other.key &&
-           flag == other.flag && payload == other.payload;
+           flag == other.flag && token == other.token &&
+           payload == other.payload;
   }
 };
 

@@ -209,6 +209,93 @@ TEST(ClusterConcurrencyTest, ReadersWritersMigrationUnderMessageFaults) {
   EXPECT_TRUE(cluster.Validate());
 }
 
+TEST(ClusterConcurrencyTest, ReadersWritersMigrationUnderReplyLoss) {
+  // The exactly-once contract under concurrency: the transport silently
+  // drops a cadence of the frames addressed to the client bus — lost
+  // REPLIES, the nastiest fault class, because the server has already
+  // applied the mutation when the loss happens. The bus's same-token
+  // retries plus server-side reply replay must make every healed write
+  // exactly-once, including the InstallChunk/AuxExchange traffic of two
+  // live migration rounds: one double-applied chunk or edge half would
+  // fail Validate() at the next quiesce point.
+  HermesCluster::Options options;
+  options.migration_chunk = 16;
+  // Every 37th bus-bound frame vanishes. Each loss costs its call one
+  // 50ms reply timeout, so the rate is tuned to exercise hundreds of
+  // retries across the run without stretching wall time: Validate()
+  // alone issues thousands of probes, which is also why the quiesce
+  // checks below sample rather than sweep.
+  options.transport.drop_every_n = 37;
+  options.transport.drop_dst = 4;  // the bus endpoint (4 partitions)
+  options.transport.fault_seed = 5;
+  options.bus.call_timeout_us = 50'000;  // lost replies heal fast
+  options.bus.retry_backoff_us = 500;
+  // Six attempts: at a 1/37 drop rate with jittered backoff, the chance
+  // of one call losing every reply is vanishing, so the suite stays
+  // deterministic-in-practice while every retry path gets traffic.
+  options.bus.max_attempts = 6;
+  HermesCluster cluster(MediumSocial(43),
+                        HashPartitioner(1).Partition(MediumSocial(43), 4),
+                        options);
+  const VertexId id_space = cluster.graph().NumVertices();
+  ASSERT_TRUE(cluster.Validate(64, 1));
+
+  constexpr std::size_t kReaders = 3;
+  constexpr std::size_t kReadsPerThread = 120;
+  constexpr std::size_t kWriters = 2;
+  constexpr std::size_t kWritesPerThread = 60;
+
+  std::vector<ReadTally> tallies(kReaders);
+  std::atomic<std::uint64_t> writes_ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + kWriters);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      tallies[r] = ReaderLoop(&cluster, 5000 + r, kReadsPerThread, id_space);
+    });
+  }
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      std::mt19937_64 rng(6000 + w);
+      for (std::size_t i = 0; i < kWritesPerThread; ++i) {
+        const VertexId u = static_cast<VertexId>(rng() % id_space);
+        const VertexId v = static_cast<VertexId>(rng() % id_space);
+        if (u == v) continue;
+        const Status st = cluster.InsertEdge(u, v);
+        if (st.ok()) {
+          writes_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_TRUE(st.IsAlreadyExists() || st.IsTimedOut() ||
+                      st.IsUnavailable())
+              << st.ToString();
+        }
+      }
+    });
+  }
+
+  std::size_t migrated = 0;
+  for (int round = 0; round < 2; ++round) {
+    auto stats = cluster.RunLightweightRepartition();
+    ASSERT_OK(stats);
+    migrated += stats->vertices_moved;
+    EXPECT_TRUE(cluster.Validate(64, static_cast<std::uint64_t>(round) + 2));
+  }
+  EXPECT_GT(migrated, 0u);
+
+  for (auto& t : threads) t.join();
+
+  std::uint64_t reads_ok = 0;
+  for (const ReadTally& t : tallies) {
+    reads_ok += t.ok;
+    EXPECT_EQ(t.other, 0u);
+  }
+  EXPECT_GT(reads_ok, 0u);
+  // With retries healing the losses, the overwhelming majority of writes
+  // must land (a lost reply is no longer a lost write).
+  EXPECT_GT(writes_ok.load(), 0u);
+  EXPECT_TRUE(cluster.Validate(128, 99));
+}
+
 TEST(ClusterConcurrencyTest, ConcurrentInsertVertexKeepsIdSpaceDense) {
   // InsertVertex takes the directory exclusively (it grows every
   // directory-shaped structure); concurrent inserters plus readers

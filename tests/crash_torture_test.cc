@@ -726,17 +726,22 @@ TEST_F(FailpointTest, RecoveryReadErrorFailsCleanly) {
 // Message-delivery fault sweep (DESIGN.md §12): the same seeded-schedule
 // style as the storage torture above, but the armed sites sit at the
 // cluster's send/receive boundary (`msg.send.io_error`, `msg.recv.drop`)
-// while live reads and writes run against a message-passing cluster.
-// Contract under test: every op returns one of the documented statuses —
-// no hang, no crash — and the cluster still Validate()s after each round.
+// while live reads AND MUTATIONS run against a message-passing cluster.
+// Contract under test: with the bus's idempotent retries on, every
+// mutation under fault still succeeds exactly once (the exactly-once
+// contract), reads heal transparently, and the cluster Validate()s at
+// every quiesce point — no hang, no crash, no directory/store drift.
 //
-// Faulted phases are read-only. Both armed sites can hit a *reply*
-// frame as easily as a request — a mutation whose reply is lost is
-// applied but reported failed, which is the at-most-once gap a retry
-// layer above the bus owns, not a wire-level corruption — so mutations
-// run in the fault-free phase of each round (where they must succeed
-// exactly), and the deterministic request-side mutation faults are
-// pinned separately in tests/net_transport_test.cc.
+// The fault cadence is pinned to k >= 3. Each delivery needs two clean
+// consecutive failpoint hits (request send + reply send), and after any
+// fault the next k-1 hits are clean — so for k >= 3 the attempt after a
+// faulted one always completes, and bounded retries provably converge.
+// k = 2 is the one adversary bounded retries cannot beat: it alternates
+// the fault onto every reply of a same-token resend chain, which is
+// unbounded loss, not a realistic lossy link. That regime (single
+// injected faults, exhausted-retry behavior, recovery of the
+// applied-but-unacknowledged window) is pinned deterministically in
+// tests/net_transport_test.cc instead.
 
 Graph MessageFaultGraph(std::uint64_t seed) {
   SocialGraphOptions opt;
@@ -751,6 +756,7 @@ void RunMessageFaultSeed(std::uint64_t seed) {
 
   HermesCluster::Options options;
   options.bus.call_timeout_us = 200'000;  // dropped frames fail fast
+  options.bus.retry_backoff_us = 500;     // and heal fast
   const Graph g = MessageFaultGraph(seed);
   HermesCluster cluster(g, HashPartitioner(1).Partition(g, 3), options);
   ASSERT_TRUE(cluster.Validate());
@@ -759,33 +765,47 @@ void RunMessageFaultSeed(std::uint64_t seed) {
     const bool drop_round = rng.Bernoulli(0.5);
     FailpointConfig cfg;
     cfg.policy = FailpointConfig::Policy::kEveryK;
-    cfg.n = 2 + rng.Uniform(9);
+    // k in [3, 10]: see the convergence argument in the header comment —
+    // k >= 3 guarantees the attempt after a faulted one completes, so
+    // every retried op below MUST succeed, not just fail politely.
+    cfg.n = 3 + rng.Uniform(8);
     const char* site = drop_round ? "msg.recv.drop" : "msg.send.io_error";
     FailpointRegistry::Global().Arm(site, cfg);
     SCOPED_TRACE("seed=" + std::to_string(seed) + " round=" +
                  std::to_string(round) + " site=" + site +
                  " k=" + std::to_string(cfg.n));
 
-    // Faulted phase: reads and health probes against the armed site.
+    // Faulted phase: LIVE MUTATIONS interleaved with reads while every
+    // k-th frame is lost or errors. The bus's same-token retries must
+    // make each op exactly-once: an edge inserted under a lost reply
+    // and then re-applied would double its half records and fail
+    // Validate(); one reported-failed-but-applied would drift the
+    // directory from the stores.
     const VertexId id_space = cluster.graph().NumVertices();
     for (int step = 0; step < 50; ++step) {
-      if (rng.Uniform(10) == 0) {
-        (void)cluster.TotalStoreBytes();  // best-effort under faults
-        continue;
+      const std::uint64_t ctl = rng.Uniform(100);
+      if (ctl < 10) {
+        (void)cluster.TotalStoreBytes();  // best-effort health probe
+      } else if (ctl < 35) {
+        const VertexId u = rng.Uniform(id_space);
+        const VertexId v = rng.Uniform(id_space);
+        if (u == v) continue;
+        Status st = cluster.InsertEdge(u, v);
+        if (st.IsAlreadyExists()) st = Status::OK();  // duplicate edge
+        EXPECT_OK(st);
+      } else if (ctl < 45) {
+        EXPECT_OK(cluster.InsertVertex(1.0).status());
+      } else {
+        const VertexId start = rng.Uniform(id_space);
+        EXPECT_OK(cluster.ExecuteRead(start, 1 + rng.Uniform(2)).status());
       }
-      const VertexId start = rng.Uniform(id_space);
-      const Status st = cluster.ExecuteRead(start, 1 + rng.Uniform(2)).status();
-      // Documented outcomes only: success, or the injected fault
-      // surfaced as a retryable error — never a hang or a crash.
-      EXPECT_TRUE(st.ok() || st.IsUnavailable() || st.IsIOError() ||
-                  st.IsTimedOut() || st.IsNotFound())
-          << st.ToString();
+      if (::testing::Test::HasFailure()) break;
     }
     FailpointRegistry::Global().Reset();
     EXPECT_TRUE(cluster.Validate());
 
-    // Fault-free phase: mutations churn the stores between rounds, so
-    // the next faulted phase reads a cluster the bus itself mutated.
+    // Fault-free phase: more churn between rounds, so the next faulted
+    // phase runs against a cluster the bus itself mutated.
     for (int step = 0; step < 12; ++step) {
       const std::uint64_t ctl = rng.Uniform(100);
       Status st = Status::OK();

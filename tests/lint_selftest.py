@@ -21,6 +21,9 @@ the regressions that motivated rule changes:
   * Write-path streams in src/storage/ must be flagged
     (std::ofstream/std::fstream can never fsync) while read-only
     std::ifstream and ofstreams outside the storage layer stay quiet.
+  * Request-id minting outside src/net/ must be flagged (a retry loop
+    with fresh ids defeats the (src, request_id) dedup) while the
+    server's reply echo and Options::first_request_id stay quiet.
 
 Usage: tests/lint_selftest.py [repo_root]   (exit 0 = all cases pass)
 """
@@ -229,6 +232,46 @@ def case_storage_write_streams_are_banned():
               "sim/report.cc" not in out, out)
 
 
+def case_request_id_minting_is_banned_outside_net():
+    """Exactly-once regression guard: a retry loop that mints a fresh
+    request id per attempt defeats the server's (src, request_id) dedup,
+    so outside src/net/ the lint bans request-id assignment/increment
+    while keeping the two legitimate shapes (echo + first_request_id)."""
+    print("case: request-id minting is flagged outside src/net/")
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        write(root, "src/CMakeLists.txt",
+              "add_library(x STATIC cluster/bad.cc server/echo.cc "
+              "net/bus.cc)\n")
+        # A caller-side retry loop minting a new token per attempt —
+        # exactly the bug class the rule exists for.
+        write(root, "src/cluster/bad.cc",
+              "void retry() {\n"
+              "  for (int a = 0; a < 3; ++a) {\n"
+              "    env.request_id = next_id++;\n"
+              "    Send(env);\n"
+              "  }\n"
+              "}\n")
+        # Echoing the incoming token into the reply is the server's job
+        # and must stay quiet.
+        write(root, "src/server/echo.cc",
+              "void reply_to(const Envelope* env) {\n"
+              "  reply.request_id = env->request_id;\n"
+              "  options.bus.first_request_id = 7;\n"
+              "}\n")
+        # The bus itself owns minting.
+        write(root, "src/net/bus.cc",
+              "void mint() { request.request_id = next_request_id_++; }\n")
+        code, out = run_lint(root)
+        check("caller-side mint exits 1",
+              code == 1 and "cluster/bad.cc" in out, out)
+        check("finding names the idempotency token",
+              "idempotency token" in out, out)
+        check("server echo + first_request_id stay quiet",
+              "server/echo.cc" not in out, out)
+        check("the bus itself stays quiet", "net/bus.cc" not in out, out)
+
+
 def case_repo_itself_is_clean():
     print("case: the repo itself lints clean")
     code, out = run_lint(REPO_ROOT)
@@ -244,6 +287,7 @@ def main():
                  case_failpoints_must_stay_out_of_release,
                  case_real_sleeps_are_contained,
                  case_storage_write_streams_are_banned,
+                 case_request_id_minting_is_banned_outside_net,
                  case_repo_itself_is_clean):
         case()
     if FAILURES:

@@ -179,77 +179,103 @@ MessagePayload GoldenPayload(MsgType type) {
 struct GoldenCase {
   MsgType type;
   const char* name;
-  /// EncodeFrame() output at kWireVersion == 1, hex-encoded.
+  /// EncodeFrame() output at kWireVersion == 2, hex-encoded.
   const char* hex;
 };
 
-// Fixture frames use request_id 0x0102030405060708, src 4, dst 1.
+// Fixture frames use request_id 0x0102030405060708, attempt 0x0102
+// (a retry, so the v2 attempt counter is visible in the bytes), src 4,
+// dst 1.
 constexpr std::uint64_t kGoldenRequestId = 0x0102030405060708ull;
+constexpr std::uint16_t kGoldenAttempt = 0x0102;
 constexpr EndpointId kGoldenSrc = 4;
 constexpr EndpointId kGoldenDst = 1;
 
 const GoldenCase kGoldenCases[] = {
     {MsgType::kNeighborsRequest, "NeighborsRequest",
-     "3900000001010000080706050403020104000000010000000300000001000000000000"
-     "000200000000000000efbeadde000000000107000000eb5d35df"},
+     "3900000002010201080706050403020104000000010000000300000001000000000000"
+     "000200000000000000efbeadde000000000107000000be756197"},
     {MsgType::kNeighborsReply, "NeighborsReply",
-     "4700000001020000080706050403020104000000010000000000000000020000000000"
+     "4700000002020201080706050403020104000000010000000000000000020000000000"
      "000000020000000a000000000000000b000000000000000204000000676f6e65000000"
-     "00ac0e626a"},
+     "001daa4173"},
     {MsgType::kProbeRequest, "ProbeRequest",
-     "290000000103000008070605040302010400000001000000022a000000000000002b00"
-     "000000000000178e7c67"},
+     "290000000203020108070605040302010400000001000000022a000000000000002b00"
+     "00000000000090c9d25d"},
     {MsgType::kProbeReply, "ProbeReply",
-     "1e0000000104000008070605040302010400000001000000000000000001d344413e"},
+     "1e0000000204020108070605040302010400000001000000000000000001f08f5e8e"},
     {MsgType::kMutateRequest, "MutateRequest",
-     "3f00000001050000080706050403020104000000010000000405000000000000000600"
-     "0000000000000300000001000000000000f83f010400000070726f70b49130c5"},
+     "3f00000002050201080706050403020104000000010000000405000000000000000600"
+     "0000000000000300000001000000000000f83f010400000070726f70b8282452"},
     {MsgType::kMutateReply, "MutateReply",
-     "25000000010600000807060504030201040000000100000000000000004d0000000000"
-     "000000aa1ea0"},
+     "25000000020602010807060504030201040000000100000000000000004d0000000000"
+     "0000bf29a6da"},
     {MsgType::kInstallChunkRequest, "InstallChunkRequest",
-     "6100000001070000080706050403020104000000010000000100000009000000000000"
+     "6100000002070201080706050403020104000000010000000100000009000000000000"
      "000000000000000040010000000100000001000000610100000009000000000000000a"
-     "0000000000000001000000000101000000020000000200000062629a27f11b"},
+     "000000000000000100000000010100000002000000020000006262bbef6751"},
     {MsgType::kInstallChunkReply, "InstallChunkReply",
-     "2d00000001080000080706050403020104000000010000000000000000010000000000"
-     "00000200000000000000946d712b"},
+     "2d00000002080201080706050403020104000000010000000000000000010000000000"
+     "000002000000000000008630a2d8"},
     {MsgType::kExtractRequest, "ExtractRequest",
-     "200000000109000008070605040302010400000001000000d20400000000000020a687"
-     "e6"},
+     "200000000209020108070605040302010400000001000000d204000000000000667a98"
+     "54"},
     {MsgType::kExtractReply, "ExtractReply",
-     "59000000010a0000080706050403020104000000010000000000000000d20400000000"
+     "59000000020a0201080706050403020104000000010000000000000000d20400000000"
      "00000000000000000a40e70300000000000001000000040000000300000076616c0100"
-     "0000380000000000000002000000000000000045cccbcf"},
+     "000038000000000000000200000000000000007fe1d716"},
     {MsgType::kAuxExchangeRequest, "AuxExchangeRequest",
-     "3c000000010b0000080706050403020104000000010000000200000015000000000000"
-     "00000000000000e03f1600000000000000000000000000f0bfa6b244c7"},
+     "3c000000020b0201080706050403020104000000010000000200000015000000000000"
+     "00000000000000e03f1600000000000000000000000000f0bff265689c"},
     {MsgType::kAuxExchangeReply, "AuxExchangeReply",
-     "25000000010c0000080706050403020104000000010000000000000000020000000000"
-     "00000043728b"},
+     "25000000020c0201080706050403020104000000010000000000000000020000000000"
+     "0000bfc0caf1"},
     {MsgType::kHealthRequest, "HealthRequest",
-     "18000000010d0000080706050403020104000000010000009ba8fae5"},
+     "18000000020d020108070605040302010400000001000000914521c8"},
     {MsgType::kHealthReply, "HealthReply",
-     "3d000000010e0000080706050403020104000000010000000000000000001000000000"
-     "00006400000000000000c8000000000000003200000000000000a42322e3"},
+     "3d000000020e0201080706050403020104000000010000000000000000001000000000"
+     "00006400000000000000c80000000000000032000000000000009e9a7f8f"},
     {MsgType::kCheckpointRequest, "CheckpointRequest",
-     "18000000010f0000080706050403020104000000010000006aae4e91"},
+     "18000000020f020108070605040302010400000001000000604395bc"},
     {MsgType::kCheckpointReply, "CheckpointReply",
-     "21000000011000000807060504030201040000000100000008040000006469736b7f45"
-     "d652"},
+     "21000000021002010807060504030201040000000100000008040000006469736b06be"
+     "dbcd"},
     {MsgType::kDumpRequest, "DumpRequest",
-     "180000000111000008070605040302010400000001000000f6837116"},
+     "180000000211020108070605040302010400000001000000fc6eaa3b"},
     {MsgType::kDumpReply, "DumpReply",
-     "5a00000001120000080706050403020104000000010000000000000000020000000100"
+     "5a00000002120201080706050403020104000000010000000000000000020000000100"
      "000000000000000000000000f03f020000000000000000000000000010400100000001"
-     "00000000000000020000000000000000000000010676b10f"},
+     "000000000000000200000000000000000000000199b364c9"},
 };
 
 TEST(NetGoldenTest, WireVersionIsPinned) {
-  // The fixtures below were generated at version 1; a version bump must
-  // come with regenerated fixtures (see the procedure in the header
-  // comment).
-  EXPECT_EQ(kWireVersion, 1);
+  // The fixtures below were generated at version 2 (the reserved u16
+  // became the retry attempt counter); a version bump must come with
+  // regenerated fixtures (see the procedure in the header comment).
+  EXPECT_EQ(kWireVersion, 2);
+}
+
+TEST(NetGoldenTest, VersionOneFrameIsRejected) {
+  // The v1 HealthRequest fixture, byte for byte as committed before the
+  // v2 bump. Mixed-version clusters must fail loudly: a v1 frame decodes
+  // to InvalidArgument, never to a misread envelope.
+  static constexpr char kV1HealthRequestHex[] =
+      "18000000010d0000080706050403020104000000010000009ba8fae5";
+  std::string frame;
+  for (std::size_t i = 0; kV1HealthRequestHex[i] != '\0'; i += 2) {
+    auto nibble = [](char c) {
+      return c <= '9' ? c - '0' : c - 'a' + 10;
+    };
+    frame.push_back(static_cast<char>(
+        (nibble(kV1HealthRequestHex[i]) << 4) |
+        nibble(kV1HealthRequestHex[i + 1])));
+  }
+  Result<Envelope> decoded = DecodeFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument())
+      << decoded.status().ToString();
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos)
+      << decoded.status().ToString();
 }
 
 TEST(NetGoldenTest, EveryMessageTypeMatchesItsFixture) {
@@ -257,6 +283,7 @@ TEST(NetGoldenTest, EveryMessageTypeMatchesItsFixture) {
   for (const GoldenCase& c : kGoldenCases) {
     Envelope env;
     env.request_id = kGoldenRequestId;
+    env.attempt = kGoldenAttempt;
     env.src = kGoldenSrc;
     env.dst = kGoldenDst;
     env.payload = GoldenPayload(c.type);
@@ -275,6 +302,7 @@ TEST(NetGoldenTest, EveryMessageTypeMatchesItsFixture) {
     ASSERT_OK(decoded) << c.name;
     EXPECT_EQ(decoded->type(), c.type) << c.name;
     EXPECT_EQ(decoded->request_id, kGoldenRequestId) << c.name;
+    EXPECT_EQ(decoded->attempt, kGoldenAttempt) << c.name;
   }
 }
 

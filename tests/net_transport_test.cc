@@ -9,8 +9,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <filesystem>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -43,9 +47,10 @@ std::uint64_t CounterValue(const std::string& name) {
 /// bus first, then transport (joining dispatchers), then the server.
 struct Rig {
   explicit Rig(InProcTransport::Options topt = {},
-               MessageBus::Options bopt = {})
+               MessageBus::Options bopt = {},
+               PartitionServer::Options sopt = {})
       : transport(topt) {
-    auto opened = PartitionServer::Open(0, 0, &transport, {});
+    auto opened = PartitionServer::Open(0, 0, &transport, std::move(sopt));
     HERMES_CHECK(opened.ok());
     server = std::move(*opened);
     bus = std::make_unique<MessageBus>(&transport, 1, bopt);
@@ -275,7 +280,11 @@ TEST(NetTransportFaultTest, SendIoErrorSurfacesAsStatus) {
     GTEST_SKIP() << "HERMES_FAILPOINTS is off (default preset); run the "
                     "asan-ubsan or tsan preset";
   }
-  Rig rig;
+  // One attempt: this test pins how a send fault SURFACES; the healing
+  // retry path has its own tests below.
+  MessageBus::Options bopt;
+  bopt.max_attempts = 1;
+  Rig rig({}, bopt);
   FailpointConfig cfg;
   cfg.policy = FailpointConfig::Policy::kNthHit;
   cfg.n = 1;
@@ -294,6 +303,7 @@ TEST(NetTransportFaultTest, DroppedRequestSurfacesRetryableTimeout) {
   }
   MessageBus::Options bopt;
   bopt.call_timeout_us = 100'000;
+  bopt.max_attempts = 1;  // pin the surfaced status, not the healing
   Rig rig({}, bopt);
   const std::uint64_t timeouts_before = CounterValue("msg.timeouts");
   FailpointConfig cfg;
@@ -308,6 +318,275 @@ TEST(NetTransportFaultTest, DroppedRequestSurfacesRetryableTimeout) {
   EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
   EXPECT_GT(CounterValue("msg.timeouts"), timeouts_before);
   ASSERT_OK(rig.Call(HealthRequest{}));
+}
+
+std::string FreshDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Spin-waits (bounded) until `name` exceeds `prev` — used to quiesce on
+/// server-side effects of frames whose replies never reached the bus.
+void AwaitCounterAbove(const std::string& name, std::uint64_t prev) {
+  for (int i = 0; i < 5000 && CounterValue(name) <= prev; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(CounterValue(name), prev) << name;
+}
+
+MutateRequest MakeCreate(VertexId v, double weight) {
+  MutateRequest m;
+  m.op = MutateRequest::Op::kCreateNode;
+  m.vertex = v;
+  m.weight = weight;
+  return m;
+}
+
+MutateRequest MakeBump(VertexId v, double delta) {
+  MutateRequest m;
+  m.op = MutateRequest::Op::kAddNodeWeight;
+  m.vertex = v;
+  m.weight = delta;
+  return m;
+}
+
+double ExtractWeight(Rig* rig, VertexId v) {
+  ExtractRequest req;
+  req.vertex = v;
+  auto r = rig->Call(req);
+  EXPECT_OK(r);
+  if (!r.ok()) return -1.0;
+  const auto& rep = std::get<ExtractReply>(r->payload);
+  EXPECT_OK(rep.status);
+  return rep.weight;
+}
+
+// The headline exactly-once regression (fails pre-fix): the server
+// applies a mutation but its reply vanishes in flight. Pre-fix the
+// duplicate path suppressed the re-apply but sent NOTHING, so the
+// same-token resend timed out forever — the at-most-once hole. Post-fix
+// the cached reply is replayed and the call succeeds with the mutation
+// applied exactly once. The transport drop knob makes this run in every
+// preset, failpoints or not.
+TEST(NetTransportRetryTest, ReplyLossIsHealedBySameTokenRetry) {
+  InProcTransport::Options topt;
+  topt.drop_every_n = 2;  // with fault_seed 1: every odd arrival at the
+  topt.drop_dst = 1;      // bus endpoint vanishes — every first reply
+  topt.fault_seed = 1;    // lost, every retried reply delivered
+  MessageBus::Options bopt;
+  bopt.call_timeout_us = 50'000;
+  bopt.retry_backoff_us = 500;
+  const std::uint64_t retries_before = CounterValue("msg.retries");
+  const std::uint64_t dedup_before = CounterValue("msg.dedup_hits");
+  Rig rig(topt, bopt);
+
+  auto created = rig.Call(MakeCreate(1, 2.0));
+  ASSERT_OK(created);
+  ASSERT_OK(std::get<MutateReply>(created->payload).status);
+  auto bumped = rig.Call(MakeBump(1, 0.5));
+  ASSERT_OK(bumped);
+  ASSERT_OK(std::get<MutateReply>(bumped->payload).status);
+  // Both mutations lost their first reply and were resent under the same
+  // token; the weight arithmetic proves each applied exactly once.
+  EXPECT_DOUBLE_EQ(ExtractWeight(&rig, 1), 2.5);
+  EXPECT_GT(CounterValue("msg.retries"), retries_before);
+  EXPECT_GT(CounterValue("msg.dedup_hits"), dedup_before);
+}
+
+TEST(NetTransportRetryTest, ExhaustedRetriesStillApplyExactlyOnce) {
+  InProcTransport::Options topt;
+  topt.drop_every_n = 1;  // EVERY reply to the bus vanishes
+  topt.drop_dst = 1;
+  MessageBus::Options bopt;
+  bopt.call_timeout_us = 30'000;
+  bopt.retry_backoff_us = 500;
+  bopt.max_attempts = 2;
+  const std::uint64_t dedup_before = CounterValue("msg.dedup_hits");
+  Rig rig(topt, bopt);
+  // Seed the node out of band so the only bus traffic is the mutation
+  // under test (store_for_test is the sanctioned seeding path).
+  ASSERT_OK(rig.server->store_for_test()->CreateNode(9, 1.0));
+
+  auto r = rig.Call(MakeBump(9, 0.5));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+  // The second attempt dedup-hit the first apply; once it has been
+  // processed the rig is quiescent and the store must show ONE apply
+  // even though the client never heard back.
+  AwaitCounterAbove("msg.dedup_hits", dedup_before);
+  auto weight = rig.server->store_for_test()->NodeWeight(9);
+  ASSERT_OK(weight);
+  EXPECT_DOUBLE_EQ(*weight, 1.5);
+}
+
+// Regression for the eviction bug (fails pre-fix): the old fixed 4096
+// FIFO forgot a token after 4096 later mutations, so a straggling resend
+// re-applied it. Options::dedup_window now sizes the window; with one
+// larger than the flood the early token must survive and its resend must
+// dedup-hit instead of double-applying.
+TEST(NetTransportRetryTest, DedupWindowFromOptionsSurvivesOverflowOfOldDefault) {
+  constexpr std::size_t kOldFixedWindow = 4096;
+  constexpr std::size_t kFlood = kOldFixedWindow + 400;
+  PartitionServer::Options sopt;
+  sopt.dedup_window = kFlood + 600;  // dominates everything in flight
+  InProcTransport transport({});
+  auto opened = PartitionServer::Open(0, 0, &transport, std::move(sopt));
+  ASSERT_OK(opened);
+  auto server = std::move(*opened);
+
+  // Raw client endpoint 1: crafts frames directly so the same token can
+  // be resent byte-for-byte, bypassing the bus's own dedup of ids.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::uint64_t, Envelope> replies;
+  ASSERT_OK(transport.OpenEndpoint(1, [&](std::string frame) {
+    auto env = DecodeFrame(frame);
+    if (!env.ok()) return;
+    std::lock_guard<std::mutex> lock(mu);
+    replies[env->request_id] = std::move(*env);
+    cv.notify_all();
+  }));
+  auto send = [&](std::uint64_t id, MessagePayload payload) {
+    Envelope env;
+    env.request_id = id;
+    env.src = 1;
+    env.dst = 0;
+    env.payload = std::move(payload);
+    auto frame = EncodeFrame(env);
+    ASSERT_OK(frame);
+    ASSERT_OK(transport.Send(0, std::move(*frame)));
+  };
+  auto wait_for = [&](std::uint64_t id) -> Envelope {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return replies.count(id) != 0; });
+    return replies[id];
+  };
+
+  send(1, MakeCreate(1, 1.0));
+  send(2, MakeBump(1, 1.0));  // the token under test
+  send(3, MakeCreate(2, 1.0));
+  wait_for(3);
+  const std::uint64_t dedup_before = CounterValue("msg.dedup_hits");
+  for (std::uint64_t i = 0; i < kFlood; ++i) {
+    send(4 + i, MakeBump(2, 1.0));
+  }
+  wait_for(3 + kFlood);
+  // The straggling resend of token 2, byte-identical. Pre-fix the window
+  // had evicted it and the bump re-applied.
+  send(2, MakeBump(1, 1.0));
+  ExtractRequest ex;
+  ex.vertex = 1;
+  send(4 + kFlood, ex);
+  const Envelope extracted = wait_for(4 + kFlood);
+  const auto& rep = std::get<ExtractReply>(extracted.payload);
+  ASSERT_OK(rep.status);
+  EXPECT_DOUBLE_EQ(rep.weight, 2.0);  // one create + exactly one bump
+  EXPECT_GT(CounterValue("msg.dedup_hits"), dedup_before);
+  transport.Shutdown();
+}
+
+// Recovery-safe dedup (fails pre-fix): the server crashes after applying
+// a mutation and durably logging its token, but before the reply reached
+// the client. The reopened server must answer the client's same-token
+// retry from recovered dedup state — synthesized reply, no double-apply.
+TEST(NetTransportRecoveryTest, RecoveredTokenAnsweredAfterCrashBetweenApplyAndReply) {
+  const std::string dir = FreshDir("net_recovered_token");
+  PartitionServer::Options sopt;
+  sopt.durability_dir = dir;
+  const std::uint64_t bump_token = 2;  // ids mint from 1: create=1, bump=2
+  MutateRequest bump = MakeBump(1, 0.5);
+  {
+    InProcTransport::Options topt;
+    topt.drop_every_n = 2;  // fault_seed 0: arrival 2 at the bus — the
+    topt.drop_dst = 1;      // bump's reply — vanishes
+    MessageBus::Options bopt;
+    bopt.call_timeout_us = 50'000;
+    bopt.max_attempts = 1;  // the client "crashes with the server":
+                            // no in-session retry, the loss surfaces
+    const std::uint64_t dropped_before = CounterValue("msg.dropped");
+    Rig rig(topt, bopt, sopt);
+    auto created = rig.Call(MakeCreate(1, 2.0));
+    ASSERT_OK(created);
+    ASSERT_OK(std::get<MutateReply>(created->payload).status);
+    auto bumped = rig.Call(bump);
+    ASSERT_FALSE(bumped.ok());
+    EXPECT_TRUE(bumped.status().IsUnavailable()) << bumped.status().ToString();
+    // The drop fires AFTER the server applied and WAL-logged the token,
+    // so once it is counted the crash point is exactly apply-then-no-reply.
+    AwaitCounterAbove("msg.dropped", dropped_before);
+  }  // "crash": no checkpoint; the WAL keeps the mutations and tokens
+
+  InProcTransport transport({});
+  auto reopened = PartitionServer::Open(0, 0, &transport, std::move(sopt));
+  ASSERT_OK(reopened);
+  auto server = std::move(*reopened);
+  // Recovery surfaced the token, and the cluster-level contract
+  // (first_request_id above every recovered token) depends on this.
+  EXPECT_EQ(server->max_recovered_token_id(), bump_token);
+  MessageBus::Options bopt;
+  bopt.first_request_id = bump_token;  // the client retries ITS token
+  MessageBus bus(&transport, 1, bopt);
+  ASSERT_OK(bus.Start());
+  Envelope retry;
+  retry.payload = bump;
+  auto r = bus.Call(0, std::move(retry));
+  ASSERT_OK(r);
+  ASSERT_OK(std::get<MutateReply>(r->payload).status);
+  Envelope ex;
+  ExtractRequest ex_req;
+  ex_req.vertex = 1;
+  ex.payload = ex_req;
+  auto extracted = bus.Call(0, std::move(ex));
+  ASSERT_OK(extracted);
+  const auto& rep = std::get<ExtractReply>(extracted->payload);
+  ASSERT_OK(rep.status);
+  EXPECT_DOUBLE_EQ(rep.weight, 2.5);  // applied once, across the crash
+  bus.Shutdown();
+  transport.Shutdown();
+}
+
+TEST(NetTransportFaultTest, TransientSendErrorIsHealedByRetry) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "HERMES_FAILPOINTS is off (default preset)";
+  }
+  MessageBus::Options bopt;
+  bopt.retry_backoff_us = 500;
+  Rig rig({}, bopt);
+  const std::uint64_t retries_before = CounterValue("msg.retries");
+  FailpointConfig cfg;
+  cfg.policy = FailpointConfig::Policy::kNthHit;
+  cfg.n = 1;
+  FailpointRegistry::Global().Arm("msg.send.io_error", cfg);
+  auto r = rig.Call(MakeCreate(3, 1.5));
+  FailpointRegistry::Global().Reset();
+  // The first send failed outright; the same-token resend healed it.
+  ASSERT_OK(r);
+  ASSERT_OK(std::get<MutateReply>(r->payload).status);
+  EXPECT_GT(CounterValue("msg.retries"), retries_before);
+  EXPECT_DOUBLE_EQ(ExtractWeight(&rig, 3), 1.5);
+}
+
+TEST(NetTransportFaultTest, DroppedRequestIsHealedByRetry) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "HERMES_FAILPOINTS is off (default preset)";
+  }
+  MessageBus::Options bopt;
+  bopt.call_timeout_us = 50'000;
+  bopt.retry_backoff_us = 500;
+  Rig rig({}, bopt);
+  FailpointConfig cfg;
+  cfg.policy = FailpointConfig::Policy::kNthHit;
+  cfg.n = 1;
+  FailpointRegistry::Global().Arm("msg.recv.drop", cfg);
+  auto r = rig.Call(MakeCreate(4, 2.25));
+  FailpointRegistry::Global().Reset();
+  // The REQUEST vanished: the server first saw the token on the resend
+  // and applied exactly once.
+  ASSERT_OK(r);
+  ASSERT_OK(std::get<MutateReply>(r->payload).status);
+  EXPECT_DOUBLE_EQ(ExtractWeight(&rig, 4), 2.25);
 }
 
 Graph TwoTriangles() {
@@ -351,6 +630,7 @@ TEST(NetTransportClusterTest, ClusterReadSurfacesRetryableDeliveryFault) {
   }
   HermesCluster::Options opt;
   opt.bus.call_timeout_us = 100'000;
+  opt.bus.max_attempts = 1;  // pin the surfaced status, not the healing
   HermesCluster cluster(TwoTriangles(), SplitAtBridge(), opt);
   FailpointConfig cfg;
   cfg.policy = FailpointConfig::Policy::kNthHit;

@@ -279,8 +279,8 @@ TEST_P(NetWireFuzzTest, EverySingleBitFlipIsDetected) {
     const auto type = static_cast<MsgType>(t);
     Result<std::string> frame = EncodeFrame(RandomEnvelope(type, &rng));
     ASSERT_OK(frame);
-    // Length, version, reserved-bits, type, and CRC checks together must
-    // catch any single-bit corruption anywhere in the frame.
+    // Length, version, type, and CRC checks together must catch any
+    // single-bit corruption anywhere in the frame.
     for (std::size_t byte = 0; byte < frame->size(); ++byte) {
       for (int bit = 0; bit < 8; ++bit) {
         std::string damaged = *frame;
@@ -317,11 +317,11 @@ TEST(NetWireTest, OversizedDecodeRejected) {
 /// Builds a frame by hand — correct length prefix and CRC — so the
 /// header checks pass and the damage under test is reached.
 std::string CraftFrame(std::uint8_t version, std::uint8_t type,
-                       std::uint16_t reserved, std::string_view payload) {
+                       std::uint16_t attempt, std::string_view payload) {
   WireWriter body;
   body.PutU8(version);
   body.PutU8(type);
-  body.PutU16(reserved);
+  body.PutU16(attempt);
   body.PutU64(7);  // request_id
   body.PutU32(1);  // src
   body.PutU32(0);  // dst
@@ -369,14 +369,36 @@ TEST(NetWireTest, UnknownTypeRejected) {
   }
 }
 
-TEST(NetWireTest, ReservedHeaderBitsRejected) {
+TEST(NetWireTest, AttemptCounterRoundTrips) {
+  // v2 repurposed the v1 reserved u16 as the retry attempt counter; it
+  // must survive an encode/decode round trip so servers can log which
+  // resend a duplicate frame came from.
+  Envelope env;
+  env.request_id = 7;
+  env.attempt = 0x0102;
+  env.src = 1;
+  env.dst = 0;
+  env.payload = HealthRequest{};
+  Result<std::string> frame = EncodeFrame(env);
+  ASSERT_OK(frame);
+  Result<Envelope> decoded = DecodeFrame(*frame);
+  ASSERT_OK(decoded);
+  EXPECT_EQ(decoded->attempt, 0x0102);
+  EXPECT_EQ(decoded->request_id, 7u);
+}
+
+TEST(NetWireTest, PriorVersionFrameRejected) {
+  // v1 frames (reserved u16 still zero) must not decode: the attempt
+  // field changed the header's meaning, so version 1 is a hard error
+  // rather than a silent misread.
   WireWriter payload;
   const std::string frame = CraftFrame(
-      kWireVersion, static_cast<std::uint8_t>(MsgType::kHealthRequest), 0x0001,
+      1, static_cast<std::uint8_t>(MsgType::kHealthRequest), 0,
       payload.bytes());
   Result<Envelope> decoded = DecodeFrame(frame);
   ASSERT_FALSE(decoded.ok());
-  EXPECT_NE(decoded.status().message().find("reserved"), std::string::npos);
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
 }
 
 TEST(NetWireTest, TrailingGarbageAfterPayloadRejected) {

@@ -48,6 +48,12 @@ Checks (all over `src/`, the shipped library code):
      "durable" path built on them silently cannot fsync. Writes go
      through storage/fd_appender.h (or raw pwrite as in PagedFile);
      read-only ``std::ifstream`` (e.g. the WAL scanner) stays allowed.
+  10. idempotency-token discipline: outside src/net/, no code may mint
+     or increment a ``request_id`` — the id is the mutation's
+     idempotency token and a caller-side retry loop with fresh ids
+     silently reintroduces double-apply. Echoing (``reply.request_id =
+     env->request_id``) and configuring ``first_request_id`` stay
+     allowed; everything else routes through MessageBus::Call.
 
 Usage: tools/lint.py [repo_root]   (exit 0 = clean, 1 = findings)
 """
@@ -311,6 +317,40 @@ def check_storage_write_streams(rel, text, findings):
                 "(std::ifstream is fine for read-only scans)")
 
 
+# --- idempotency-token discipline (everything outside src/net) ------------
+# The exactly-once contract (DESIGN.md §12) hinges on a retry reusing the
+# SAME request id: the id IS the mutation's idempotency token, and a retry
+# loop that mints a fresh id per attempt silently reintroduces double-apply
+# (the server dedups by (src, request_id), so a new id looks like a new
+# mutation). MessageBus::Call owns minting and the retry loop. Outside
+# src/net/ a request id may only be *echoed* (reply.request_id =
+# env->request_id in the server) or *configured* (Options::first_request_id
+# after recovery); any other assignment or increment is a finding.
+REQUEST_ID_WRITE_RE = re.compile(r"(?<!first_)\brequest_id\s*=(?!=)\s*(.*)")
+REQUEST_ID_BUMP_RE = re.compile(
+    r"\w*request_id\w*\s*(\+\+|--|\+=|-=)|(\+\+|--)\s*\w*request_id")
+REQUEST_ID_ALLOWED_DIR = "src/net"
+
+
+def check_request_id_minting(rel, text, findings):
+    if rel.as_posix().startswith(REQUEST_ID_ALLOWED_DIR + "/"):
+        return
+    for i, line in enumerate(strip_comments(text).splitlines(), 1):
+        m = REQUEST_ID_WRITE_RE.search(line)
+        if m and "request_id" not in m.group(1):
+            findings.append(
+                f"{rel}:{i}: mints a fresh request id outside src/net/ — "
+                "the request id is the mutation's idempotency token and "
+                "retries must reuse it; route calls through "
+                "MessageBus::Call, which owns the retry loop")
+            continue
+        if REQUEST_ID_BUMP_RE.search(line):
+            findings.append(
+                f"{rel}:{i}: increments a request-id counter outside "
+                "src/net/ — only MessageBus::Call mints idempotency "
+                "tokens (see DESIGN.md §12)")
+
+
 def check_determinism(rel, text, findings):
     rel_posix = rel.as_posix()
     if not any(rel_posix.startswith(d + "/") for d in DETERMINISM_DIRS):
@@ -345,6 +385,7 @@ def main(argv):
         check_adhoc_atomics(rel, text, findings)
         check_real_sleeps(rel, text, findings)
         check_determinism(rel, text, findings)
+        check_request_id_minting(rel, text, findings)
         check_failpoint_containment(rel, text, findings)
         check_storage_write_streams(rel, text, findings)
     check_cmake_lists_all_sources(root, findings)
